@@ -1,0 +1,98 @@
+// Ablation — feature reuse (Section 2.1).
+//
+// Paper claim: "By reusing the product's information and image features, the
+// indexing's performance is significantly improved" — 513M of 521M daily
+// image additions reuse previously extracted features instead of re-running
+// the CNN.
+//
+// Harness: apply the same stream of re-listing addition messages twice —
+// once against a warm feature DB (production state) and once against a cold
+// one — with a realistic extraction cost, and report the indexing throughput
+// of each. The speedup is the value of the extract-once policy.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace jdvs;
+
+double RunAdditions(bool warm, std::size_t num_products,
+                    std::int64_t extract_micros) {
+  const SyntheticEmbedder embedder({.dim = 64, .num_categories = 20,
+                                    .seed = 3});
+  FeatureDb features(
+      embedder, ExtractionCostModel{.mean_micros = extract_micros},
+      /*num_shards=*/64, /*lookup_micros=*/500);
+  ProductCatalog catalog;
+  ImageStore images;
+  CatalogGenConfig cg;
+  cg.num_products = num_products;
+  cg.num_categories = 20;
+  cg.initial_off_market_fraction = 1.0;  // everything starts off-market
+  GenerateCatalog(cg, catalog, images, warm ? &features : nullptr);
+
+  FullIndexBuilderConfig fc;
+  fc.kmeans.num_clusters = 32;
+  fc.training_sample = 512;
+  // Quantizer training must not be charged to either mode: use a zero-cost
+  // feature DB over a small on-market copy of the catalog.
+  FeatureDb train_db(embedder, ExtractionCostModel{.mean_micros = 0});
+  ProductCatalog train_catalog;
+  std::size_t taken = 0;
+  catalog.ForEach([&](const ProductRecord& r) {
+    if (taken >= 200) return;
+    ProductRecord copy = r;
+    copy.on_market = true;
+    train_catalog.Upsert(std::move(copy));
+    ++taken;
+  });
+  FullIndexBuilder quant_builder(train_catalog, images, train_db, fc);
+  auto quantizer = quant_builder.TrainQuantizer();
+  // The measured index starts empty (everything off-market); the addition
+  // stream below is what gets timed.
+  FullIndexBuilder builder(catalog, images, features, fc);
+  auto index = builder.Build(quantizer);
+
+  RealTimeIndexer indexer(*index, features);
+  const Stopwatch watch(MonotonicClock::Instance());
+  std::uint64_t messages = 0;
+  catalog.ForEach([&](const ProductRecord& record) {
+    ProductUpdateMessage add;
+    add.type = UpdateType::kAddProduct;
+    add.product_id = record.id;
+    add.category_id = record.category;
+    add.image_urls = record.image_urls;
+    add.attributes = record.attributes;
+    indexer.Apply(add);
+    ++messages;
+  });
+  const double elapsed = watch.ElapsedSeconds();
+  std::printf("  %-4s: %5llu re-listing additions in %6.2fs = %7.0f msg/s "
+              "(%llu features reused, %llu extracted)\n",
+              warm ? "warm" : "cold", (unsigned long long)messages, elapsed,
+              static_cast<double>(messages) / elapsed,
+              (unsigned long long)indexer.counters().features_reused,
+              (unsigned long long)indexer.counters().features_extracted);
+  return static_cast<double>(messages) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jdvs::bench;
+  PrintHeader("Ablation: feature reuse on re-listing additions",
+              "reuse 'significantly improves' indexing performance "
+              "(98.5% of production additions reuse features)");
+
+  constexpr std::size_t kProducts = 200;
+  constexpr std::int64_t kExtractMicros = 10'000;  // modest CNN cost
+  std::printf("%zu products (~5 images each), extraction cost %.0fms, KV "
+              "lookup 0.5ms:\n",
+              kProducts, kExtractMicros / 1000.0);
+  const double warm = RunAdditions(true, kProducts, kExtractMicros);
+  const double cold = RunAdditions(false, kProducts, kExtractMicros);
+  std::printf("\nfeature reuse speedup on the addition path: %.1fx\n",
+              warm / cold);
+  return 0;
+}

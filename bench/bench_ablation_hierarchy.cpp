@@ -1,0 +1,54 @@
+// Ablation — the 3-level hierarchy (Sections 2.1 and 2.4).
+//
+// Paper claim: "The three level architecture offers scalability to large
+// numbers of images, indexes and searches" — brokers limit each node's
+// fan-out (a blender talks to B brokers, each broker to P/B searchers)
+// instead of one node fanning out to every searcher and merging everything
+// itself.
+//
+// Harness: the same 20-partition index served through different broker
+// counts (1 broker = flat fan-out from a single merge point; 2/4 brokers =
+// progressively deeper tree) under an identical closed-loop query load.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jdvs;
+  using namespace jdvs::bench;
+
+  PrintHeader("Ablation: broker tier width (flat vs 3-level fan-out)",
+              "'The three level architecture offers scalability'");
+
+  std::printf("%10s %10s %12s %12s %12s\n", "brokers", "QPS", "mean s",
+              "p99 s", "hit rate");
+  for (const std::size_t brokers : {1u, 2u, 4u}) {
+    TestbedOptions options;
+    options.num_products = 10000;
+    options.num_partitions = 20;
+    options.num_brokers = brokers;
+    options.num_blenders = 2;
+    // Make per-broker capacity the scarce resource (each broker node stands
+    // in for one server): cheap query extraction so fan-out/merge dominate,
+    // and a single worker per broker so one flat broker saturates first.
+    options.query_extraction_micros = 1000;
+    options.broker_threads = 1;
+    options.blender_threads = 6;
+    auto cluster = BuildTestbed(options);
+
+    QueryWorkloadConfig qc;
+    qc.num_threads = 24;
+    qc.duration_micros = 4'000'000;
+    QueryClient client(*cluster, qc);
+    const QueryWorkloadResult result = client.Run();
+    std::printf("%10zu %10.0f %12.4f %12.4f %12.2f\n", brokers, result.qps,
+                result.latency_micros->Mean() * 1e-6,
+                static_cast<double>(result.latency_micros->P99()) * 1e-6,
+                result.subject_hit_rate);
+    cluster->Stop();
+  }
+  std::printf("\n(a wider broker tier spreads the merge work and the "
+              "searcher fan-out across nodes; with one broker every query "
+              "serializes through a single merge point)\n");
+  return 0;
+}

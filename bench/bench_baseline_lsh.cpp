@@ -1,0 +1,162 @@
+// Baselines — multi-probe LSH (the paper's references [21, 22]) and the
+// inverted multi-index (reference [18]) vs the paper's k-means/IVF indexing.
+//
+// The related-work section positions hash-based and multi-index
+// high-dimensional indexing as the alternatives the system did not choose.
+// This harness puts all three on the same axes over the same data: build
+// time, recall@10 against exact search, and per-query latency, sweeping each
+// method's probe/candidate budget.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jdvs;
+  using namespace jdvs::bench;
+
+  PrintHeader("Baselines: multi-probe LSH [21] and inverted multi-index [18] "
+              "vs k-means IVF (the paper)",
+              "the system uses k-means inverted lists; LSH and the "
+              "multi-index are the cited alternatives");
+
+  const SyntheticEmbedder embedder({.dim = 64, .num_categories = 50,
+                                    .seed = 53});
+  constexpr std::size_t kProducts = 10000;
+  constexpr std::uint32_t kImagesPerProduct = 3;
+  const auto& clock = MonotonicClock::Instance();
+
+  // Data.
+  struct Item {
+    ImageId id;
+    ProductId pid;
+    CategoryId cat;
+    std::string url;
+    FeatureVector feature;
+  };
+  std::vector<Item> items;
+  items.reserve(kProducts * kImagesPerProduct);
+  for (ProductId pid = 1; pid <= kProducts; ++pid) {
+    const auto cat = static_cast<CategoryId>(pid % 50);
+    for (std::uint32_t k = 0; k < kImagesPerProduct; ++k) {
+      std::string url = MakeImageUrl(pid, k);
+      auto f = embedder.Extract({url, pid, cat});
+      items.push_back(
+          {Fnv1a64(url), pid, cat, std::move(url), std::move(f)});
+    }
+  }
+
+  // IVF build (training + assignment).
+  Stopwatch ivf_watch(clock);
+  std::vector<FeatureVector> training;
+  Rng rng(2);
+  for (int i = 0; i < 4096; ++i) {
+    training.push_back(items[rng.Below(items.size())].feature);
+  }
+  KMeansConfig kc;
+  kc.num_clusters = 64;
+  auto quantizer = std::make_shared<CoarseQuantizer>(TrainKMeans(training, kc));
+  IvfIndexConfig ic;
+  ic.nprobe = 8;
+  IvfIndex ivf(quantizer, ic);
+  const ProductAttributes attrs{.sales = 1, .price_cents = 1, .praise = 1};
+  for (const Item& item : items) {
+    ivf.AddImage(item.url, item.pid, item.cat, attrs, "", item.feature);
+  }
+  const double ivf_build_s = ivf_watch.ElapsedSeconds();
+
+  // LSH build.
+  Stopwatch lsh_watch(clock);
+  LshIndexConfig lc;
+  lc.num_tables = 8;
+  lc.hashes_per_table = 6;
+  lc.bucket_width = 24.0f;  // tuned for the synthetic feature scale
+  LshIndex lsh(64, lc);
+  for (const Item& item : items) lsh.Add(item.id, item.feature);
+  const double lsh_build_s = lsh_watch.ElapsedSeconds();
+
+  // IMI build.
+  Stopwatch imi_watch(clock);
+  ImiConfig mc;
+  mc.centroids_per_half = 64;  // 64x64 = 4096 cells vs IVF's 64 lists
+  InvertedMultiIndex imi(64, training, mc);
+  for (const Item& item : items) imi.Add(item.id, item.feature);
+  const double imi_build_s = imi_watch.ElapsedSeconds();
+
+  // Binary hash codes build (refs [22, 23, 29]).
+  BinaryHashIndex binary(64, {.num_bits = 128, .rerank_candidates = 100});
+  for (const Item& item : items) binary.Add(item.id, item.feature);
+
+  std::printf("build: IVF %.2fs (train + assign), LSH %.2fs (%zu buckets), "
+              "IMI %.2fs (%zu/%zu cells occupied)\n\n",
+              ivf_build_s, lsh_build_s, lsh.BucketCount(), imi_build_s,
+              imi.OccupiedCells(), imi.num_cells());
+
+  // Ground truth.
+  constexpr int kQueries = 200;
+  std::vector<FeatureVector> queries;
+  std::vector<std::vector<ImageId>> truth(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    const ProductId pid = 1 + rng.Below(kProducts);
+    queries.push_back(
+        embedder.ExtractQuery(pid, static_cast<CategoryId>(pid % 50), q));
+    for (const auto& hit : ivf.SearchExhaustive(queries.back(), 10)) {
+      truth[q].push_back(hit.image_id);
+    }
+  }
+
+  const auto evaluate = [&](auto&& search, const char* label) {
+    double recall_sum = 0.0;
+    Histogram latency;
+    for (int q = 0; q < kQueries; ++q) {
+      const Micros start = clock.NowMicros();
+      const auto hits = search(queries[q]);
+      latency.Record(clock.NowMicros() - start);
+      int found = 0;
+      for (const ImageId id : truth[q]) {
+        for (const auto& hit : hits) {
+          ImageId hit_id;
+          if constexpr (requires { hit.image_id; }) {
+            hit_id = hit.image_id;
+          }
+          if (hit_id == id) {
+            ++found;
+            break;
+          }
+        }
+      }
+      recall_sum += static_cast<double>(found) / 10.0;
+    }
+    std::printf("%-28s %12.3f %12.1f\n", label, recall_sum / kQueries,
+                latency.Mean());
+  };
+
+  std::printf("%-28s %12s %12s\n", "index", "recall@10", "mean us");
+  for (const std::size_t nprobe : {1u, 4u, 8u}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "IVF nprobe=%zu", nprobe);
+    evaluate(
+        [&, nprobe](const FeatureVector& q) { return ivf.Search(q, 10, nprobe); },
+        label);
+  }
+  for (const std::size_t probes : {0u, 4u, 16u}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "LSH extra_probes=%zu", probes);
+    evaluate(
+        [&, probes](const FeatureVector& q) { return lsh.Search(q, 10, probes); },
+        label);
+  }
+  for (const std::size_t budget : {64u, 256u, 1024u}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "IMI candidates=%zu", budget);
+    evaluate(
+        [&, budget](const FeatureVector& q) { return imi.Search(q, 10, budget); },
+        label);
+  }
+  evaluate([&](const FeatureVector& q) { return binary.Search(q, 10); },
+           "binary hash 128b+rerank");
+  std::printf("\n(IVF also supports the real-time append/expansion protocol "
+              "of Section 2.3; LSH buckets and the IMI grid do not address "
+              "real-time update and data freshness — the paper's point about "
+              "[18, 21, 22])\n");
+  return 0;
+}

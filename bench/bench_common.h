@@ -1,0 +1,84 @@
+// Shared setup helpers for the benchmark harnesses.
+//
+// Every harness prints a self-describing report: the paper reference, the
+// workload parameters, and the regenerated rows/series. Absolute numbers
+// differ from the paper's production testbed (this is an in-process
+// simulation); the *shapes* are the reproduction target — see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "jdvs/jdvs.h"
+
+namespace jdvs::bench {
+
+// The paper's performance testbed (Section 3.2): 100,000 images over 20
+// searchers, 6 blender/broker servers. ~20k products x ~5 images = 100k.
+struct TestbedOptions {
+  std::size_t num_products = 20000;
+  std::size_t num_partitions = 20;
+  std::size_t num_brokers = 3;
+  std::size_t num_blenders = 3;
+  bool realtime = true;
+  // Query-side CNN cost; the dominant per-query service time, sized so the
+  // simulated testbed saturates near the paper's ~1800 QPS.
+  std::int64_t query_extraction_micros = 10'000;
+  std::int64_t searcher_threads = 2;
+  std::int64_t blender_threads = 6;
+  std::int64_t broker_threads = 6;
+  double initial_off_market_fraction = 0.0;
+  std::uint64_t seed = 2018;
+};
+
+inline ClusterConfig MakeTestbedConfig(const TestbedOptions& options) {
+  ClusterConfig config;
+  config.num_partitions = options.num_partitions;
+  config.num_brokers = options.num_brokers;
+  config.num_blenders = options.num_blenders;
+  config.searcher_threads = static_cast<std::size_t>(options.searcher_threads);
+  config.broker_threads = static_cast<std::size_t>(options.broker_threads);
+  config.blender_threads = static_cast<std::size_t>(options.blender_threads);
+  config.hop_latency = {.base_micros = 150, .jitter_median_micros = 100,
+                        .sigma = 0.6};
+  config.embedder = {.dim = 64, .num_categories = 50, .seed = options.seed};
+  config.detector = {.num_categories = 50, .top1_accuracy = 0.95};
+  config.extraction = {.mean_micros = 0};  // latency benches override
+  config.query_extraction_micros = options.query_extraction_micros;
+  config.kmeans.num_clusters = 64;
+  config.training_sample = 4096;
+  config.ivf.nprobe = 8;
+  config.realtime_enabled = options.realtime;
+  config.seed = options.seed;
+  return config;
+}
+
+// Builds the testbed: generates the catalog (features prewarmed — the
+// production steady state), builds and installs full indexes, starts
+// real-time consumers.
+inline std::unique_ptr<VisualSearchCluster> BuildTestbed(
+    const TestbedOptions& options) {
+  auto cluster = std::make_unique<VisualSearchCluster>(
+      MakeTestbedConfig(options));
+  CatalogGenConfig cg;
+  cg.num_products = options.num_products;
+  cg.num_categories = 50;
+  cg.min_images_per_product = 3;
+  cg.max_images_per_product = 7;
+  cg.initial_off_market_fraction = options.initial_off_market_fraction;
+  cg.seed = options.seed ^ 0x11;
+  GenerateCatalog(cg, cluster->catalog(), cluster->image_store(),
+                  &cluster->features());
+  cluster->BuildAndInstallFullIndexes();
+  cluster->Start();
+  return cluster;
+}
+
+inline void PrintHeader(const char* id, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace jdvs::bench

@@ -1,0 +1,90 @@
+// Figure 11(b) — "Performance of Real Time Indexing" (update latency).
+//
+// Paper (production, 8/4/2018): per-hour average / p90 / p99 latency of
+// real-time index updates over the day; averages 132ms / 223ms / 816ms.
+// The p99 swings hour-to-hour (0.5s-2.3s) because a small fraction of
+// additions are genuinely new images whose CNN extraction dominates.
+//
+// Reproduction: the diurnal trace applied through one searcher's real-time
+// indexer with *realistic* substrate costs switched on: a 4ms round trip to
+// the distributed feature KV store per image lookup and a ~150ms simulated
+// CNN on extraction misses (≈1.5% of added images, Table 1). Attribute
+// updates and deletions touch only local memory and stay in microseconds;
+// re-listings pay KV lookups; fresh additions pay extraction — reproducing
+// the paper's avg << p90 << p99 structure and the hour-to-hour p99 noise.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jdvs;
+  using namespace jdvs::bench;
+
+  PrintHeader("Figure 11(b): latency of real-time index updates per hour",
+              "24h averages: mean 132ms, p90 223ms, p99 816ms");
+
+  const SyntheticEmbedder embedder({.dim = 64, .num_categories = 50,
+                                    .seed = 7});
+  // Realistic costs: remote KV lookup 4ms, CNN extraction ~150ms on a miss.
+  // Both stay off during bulk setup and are switched on for the measured
+  // trace.
+  FeatureDb features(embedder,
+                     ExtractionCostModel{.mean_micros = 150'000, .sigma = 0.6},
+                     /*num_shards=*/64, /*lookup_micros=*/0);
+  ProductCatalog catalog;
+  ImageStore images;
+  CatalogGenConfig cg;
+  cg.num_products = 30000;
+  cg.num_categories = 50;
+  cg.initial_off_market_fraction = 0.65;
+  GenerateCatalog(cg, catalog, images, &features);
+
+  FullIndexBuilderConfig fc;
+  fc.kmeans.num_clusters = 64;
+  fc.training_sample = 1024;
+  FullIndexBuilder builder(catalog, images, features, fc);
+  auto index = builder.Build(builder.TrainQuantizer());
+  features.set_lookup_micros(4'000);  // measured phase: remote KV is remote
+
+  // Fresh indexer per hour bucket would lose cross-hour state; instead one
+  // indexer, latencies routed into the hour's histogram.
+  RealTimeIndexer indexer(*index, features);
+  HourlyUpdateSeries series;
+  const auto& clock = MonotonicClock::Instance();
+
+  DayTraceConfig tc;
+  tc.total_messages = 2400;  // sized so the realistic sleeps replay in ~40s
+  tc.num_categories = 50;
+  DayTraceGenerator generator(tc, catalog);
+  generator.Generate([&](const TraceEvent& event) {
+    const Micros start = clock.NowMicros();
+    indexer.Apply(event.message);
+    series.AddLatency(event.hour, clock.NowMicros() - start);
+  });
+
+  Histogram day;
+  std::printf("%5s %8s %10s %10s %10s %10s\n", "hour", "n", "avg", "p90",
+              "p99", "max");
+  for (int h = 0; h < 24; ++h) {
+    const Histogram& hist = series.LatencyAt(h);
+    if (hist.Count() == 0) continue;
+    day.Merge(hist);
+    std::printf("%4d: %8llu %10s %10s %10s %10s\n", h,
+                (unsigned long long)hist.Count(),
+                FormatMicros(static_cast<Micros>(hist.Mean())).c_str(),
+                FormatMicros(hist.P90()).c_str(),
+                FormatMicros(hist.P99()).c_str(),
+                FormatMicros(hist.Max()).c_str());
+  }
+  std::printf("\n24h aggregate (paper: mean 132ms, p90 223ms, p99 816ms):\n");
+  std::printf("  %s\n", SummarizeLatency(day, "update latency").c_str());
+  const auto& c = indexer.counters();
+  std::printf("  (%llu attr updates, %llu additions [%llu KV-hit, %llu "
+              "extracted], %llu deletions)\n",
+              (unsigned long long)c.attribute_updates,
+              (unsigned long long)c.additions,
+              (unsigned long long)c.features_reused,
+              (unsigned long long)c.features_extracted,
+              (unsigned long long)c.deletions);
+  return 0;
+}

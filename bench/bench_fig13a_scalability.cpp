@@ -1,0 +1,45 @@
+// Figure 13(a) — "Query Performance Scalability" (throughput).
+//
+// Paper (testbed: 100k images, 20 searchers): QPS vs number of concurrent
+// client threads from 1 to 35; throughput rises with offered load and
+// saturates around ~1800 QPS (~155M searches/day).
+//
+// Reproduction: the simulated testbed sized so that its aggregate query-side
+// service capacity (3 blenders x 6 threads / 10ms extraction) also saturates
+// near 1800 QPS, then a closed-loop client sweep over 1..35 threads.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jdvs;
+  using namespace jdvs::bench;
+
+  PrintHeader("Figure 13(a): QPS vs concurrent client threads (1..35)",
+              "throughput saturates around ~1800 QPS");
+
+  TestbedOptions options;
+  std::printf("building testbed (100k images, 20 searchers)...\n\n");
+  auto cluster = BuildTestbed(options);
+
+  std::printf("%10s %10s  %s\n", "threads", "QPS", "(bar)");
+  double max_qps = 0.0;
+  for (std::size_t threads = 1; threads <= 35; threads += 2) {
+    QueryWorkloadConfig qc;
+    qc.num_threads = threads;
+    qc.duration_micros = 1'500'000;
+    QueryClient client(*cluster, qc);
+    const QueryWorkloadResult result = client.Run();
+    max_qps = std::max(max_qps, result.qps);
+    char bar[51] = {0};
+    const int len =
+        static_cast<int>(std::min(50.0, result.qps / 40.0));
+    for (int i = 0; i < len; ++i) bar[i] = '#';
+    std::printf("%10zu %10.0f  %s\n", threads, result.qps, bar);
+  }
+  std::printf("\npeak throughput: %.0f QPS = %.0fM searches/day "
+              "(paper: ~1800 QPS = 155M/day)\n",
+              max_qps, max_qps * 86400.0 / 1e6);
+  cluster->Stop();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 13(b) — "Query Response Time Distribution" (CDF).
+//
+// Paper: the CDF of query response times at maximum throughput; the 99th
+// percentile is 0.3s and the maximum observed response time is 2.1s.
+//
+// Reproduction: run the testbed at the saturating offered load (35 closed-
+// loop client threads, past the Figure 13(a) knee) and dump the response
+// time CDF plus the headline percentiles.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jdvs;
+  using namespace jdvs::bench;
+
+  PrintHeader("Figure 13(b): response-time CDF at max throughput",
+              "p99 = 0.3s, max = 2.1s");
+
+  TestbedOptions options;
+  std::printf("building testbed (100k images, 20 searchers)...\n");
+  auto cluster = BuildTestbed(options);
+
+  QueryWorkloadConfig qc;
+  qc.num_threads = 35;  // past the saturation knee of Figure 13(a)
+  qc.duration_micros = 8'000'000;
+  QueryClient client(*cluster, qc);
+  const QueryWorkloadResult result = client.Run();
+
+  std::printf("\nran %llu queries at %.0f QPS with 35 threads\n",
+              (unsigned long long)result.queries, result.qps);
+  std::printf("%s\n",
+              SummarizeLatency(*result.latency_micros, "response time").c_str());
+  std::printf("paper: p99 0.3s, max 2.1s\n");
+
+  std::printf("\nCDF (response_time_seconds  cumulative_fraction):\n");
+  PrintCdfSeconds(std::cout, *result.latency_micros, 30);
+  cluster->Stop();
+  return 0;
+}

@@ -1,0 +1,279 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: distance
+// kernels, top-k selection, bitmap, forward index, inverted list, histogram,
+// coarse quantizer.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "jdvs/jdvs.h"
+
+namespace jdvs {
+namespace {
+
+FeatureVector RandomVector(Rng& rng, std::size_t dim) {
+  FeatureVector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+void BM_L2SquaredDistance(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const FeatureVector a = RandomVector(rng, dim);
+  const FeatureVector b = RandomVector(rng, dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2SquaredDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2SquaredDistance)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_L2SquaredBatch(benchmark::State& state) {
+  constexpr std::size_t kDim = 64;
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<float> base(kDim * count);
+  for (float& x : base) x = static_cast<float>(rng.NextGaussian());
+  const FeatureVector q = RandomVector(rng, kDim);
+  std::vector<float> out(count);
+  for (auto _ : state) {
+    L2SquaredBatch(q, base.data(), kDim, count, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_L2SquaredBatch)->Arg(64)->Arg(1024);
+
+void BM_TopKOffer(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<float> distances(100000);
+  for (float& d : distances) d = static_cast<float>(rng.NextDouble());
+  for (auto _ : state) {
+    TopK topk(k);
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      topk.Offer(i, distances[i]);
+    }
+    benchmark::DoNotOptimize(topk.size());
+  }
+  state.SetItemsProcessed(state.iterations() * distances.size());
+}
+BENCHMARK(BM_TopKOffer)->Arg(10)->Arg(100);
+
+void BM_BitmapSetGet(benchmark::State& state) {
+  ValidityBitmap bitmap(1 << 20);
+  Rng rng(4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bitmap.Set(i % (1 << 20), (i & 1) != 0);
+    benchmark::DoNotOptimize(bitmap.Get((i * 7919) % (1 << 20)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapSetGet);
+
+void BM_ForwardIndexAppend(benchmark::State& state) {
+  const ProductAttributes attrs{.sales = 5, .price_cents = 100, .praise = 2};
+  std::size_t i = 0;
+  std::unique_ptr<ForwardIndex> index;
+  for (auto _ : state) {
+    if (i % 1000000 == 0) index = std::make_unique<ForwardIndex>();
+    benchmark::DoNotOptimize(
+        index->Append(i, i, 0, attrs, "jd://img/0/0", "jd://item/0"));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardIndexAppend);
+
+void BM_ForwardIndexUpdateNumeric(benchmark::State& state) {
+  ForwardIndex index;
+  const ProductAttributes attrs{.sales = 5, .price_cents = 100, .praise = 2};
+  for (int i = 0; i < 1024; ++i) {
+    index.Append(i, i, 0, attrs, "u", "d");
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    index.UpdateNumeric(static_cast<LocalId>(i++ % 1024), attrs);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardIndexUpdateNumeric);
+
+void BM_InvertedListAppend(benchmark::State& state) {
+  std::unique_ptr<InvertedList> list;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i % 1000000 == 0) list = std::make_unique<InvertedList>(1024);
+    list->Append(static_cast<LocalId>(i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InvertedListAppend);
+
+void BM_InvertedListScan(benchmark::State& state) {
+  InvertedList list(1 << 16);
+  for (LocalId i = 0; i < (1 << 16); ++i) list.Append(i);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    list.Scan([&sum](LocalId id) { sum += id; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_InvertedListScan);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    histogram.Record(static_cast<std::int64_t>(i++ * 37 % 1000000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_QuantizerNearestCentroid(benchmark::State& state) {
+  const std::size_t clusters = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kDim = 64;
+  Rng rng(6);
+  std::vector<float> centroids(clusters * kDim);
+  for (float& x : centroids) x = static_cast<float>(rng.NextGaussian());
+  const CoarseQuantizer quantizer(std::move(centroids), kDim);
+  const FeatureVector q = RandomVector(rng, kDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantizer.NearestCentroid(q));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantizerNearestCentroid)->Arg(64)->Arg(256);
+
+void BM_SyntheticEmbedderExtract(benchmark::State& state) {
+  const SyntheticEmbedder embedder(
+      {.dim = 64, .num_categories = 50, .seed = 1});
+  const ImageContent content{"jd://img/1/0", 1, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.Extract(content));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticEmbedderExtract);
+
+void BM_PqEncode(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<FeatureVector> training;
+  for (int i = 0; i < 1024; ++i) training.push_back(RandomVector(rng, 64));
+  ProductQuantizerConfig pc;
+  pc.num_subspaces = 8;
+  pc.codebook_size = 256;
+  const ProductQuantizer pq = ProductQuantizer::Train(training, pc);
+  const FeatureVector v = RandomVector(rng, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pq.Encode(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PqEncode);
+
+void BM_PqAdcScan(benchmark::State& state) {
+  // ADC distance over a block of codes: the IVF-PQ inner loop.
+  Rng rng(12);
+  std::vector<FeatureVector> training;
+  for (int i = 0; i < 1024; ++i) training.push_back(RandomVector(rng, 64));
+  ProductQuantizerConfig pc;
+  pc.num_subspaces = 8;
+  pc.codebook_size = 256;
+  const ProductQuantizer pq = ProductQuantizer::Train(training, pc);
+  CodeSet codes(pq.code_bytes());
+  constexpr int kCodes = 4096;
+  for (int i = 0; i < kCodes; ++i) {
+    codes.Append(pq.Encode(RandomVector(rng, 64)));
+  }
+  const FeatureVector q = RandomVector(rng, 64);
+  const auto table = pq.BuildDistanceTable(q);
+  for (auto _ : state) {
+    float sum = 0.f;
+    for (int i = 0; i < kCodes; ++i) {
+      sum += pq.DistanceWithTable(table, codes.At(i));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kCodes);
+}
+BENCHMARK(BM_PqAdcScan);
+
+void BM_BinaryHashHamming(benchmark::State& state) {
+  Rng rng(13);
+  constexpr std::size_t kWords = 2;  // 128 bits
+  constexpr int kSignatures = 8192;
+  std::vector<std::uint64_t> signatures(kSignatures * kWords);
+  for (auto& w : signatures) w = rng.Next64();
+  const std::uint64_t query[kWords] = {rng.Next64(), rng.Next64()};
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kSignatures; ++i) {
+      sum += BinaryHashIndex::HammingDistance(query,
+                                              &signatures[i * kWords], kWords);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kSignatures);
+}
+BENCHMARK(BM_BinaryHashHamming);
+
+void BM_QueryCacheLookupHit(benchmark::State& state) {
+  QueryCache cache(64);
+  Rng rng(14);
+  const FeatureVector q = RandomVector(rng, 64);
+  const auto key = cache.KeyFor(q, 10, 0);
+  QueryResponse response;
+  response.results.resize(10);
+  cache.Insert(key, 0, response);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(key, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryCacheLookupHit);
+
+void BM_IvfSearch(benchmark::State& state) {
+  const std::size_t nprobe = static_cast<std::size_t>(state.range(0));
+  const SyntheticEmbedder embedder(
+      {.dim = 64, .num_categories = 20, .seed = 9});
+  Rng rng(9);
+  std::vector<FeatureVector> sample;
+  for (int i = 0; i < 1024; ++i) {
+    sample.push_back(
+        embedder.Extract({MakeImageUrl(i % 512, 0), static_cast<ProductId>(i % 512),
+                          static_cast<CategoryId>(i % 20)}));
+  }
+  KMeansConfig kc;
+  kc.num_clusters = 64;
+  auto quantizer =
+      std::make_shared<CoarseQuantizer>(TrainKMeans(sample, kc));
+  IvfIndexConfig ic;
+  ic.nprobe = nprobe;
+  IvfIndex index(quantizer, ic);
+  const ProductAttributes attrs{.sales = 1, .price_cents = 1, .praise = 1};
+  for (int i = 0; i < 50000; ++i) {
+    const ProductId pid = 1 + static_cast<ProductId>(i % 10000);
+    const CategoryId cat = static_cast<CategoryId>(pid % 20);
+    index.AddImage(MakeImageUrl(pid, static_cast<std::uint32_t>(i / 10000)),
+                   pid, cat, attrs, "",
+                   embedder.Extract({MakeImageUrl(pid, 9), pid, cat}));
+  }
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const ProductId pid = 1 + static_cast<ProductId>(q % 10000);
+    const auto query =
+        embedder.ExtractQuery(pid, static_cast<CategoryId>(pid % 20), q);
+    benchmark::DoNotOptimize(index.Search(query, 10));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IvfSearch)->Arg(1)->Arg(8);
+
+}  // namespace
+}  // namespace jdvs

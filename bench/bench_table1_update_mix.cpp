@@ -1,0 +1,99 @@
+// Table 1 — "Number of Image Updates on 8/4/2018".
+//
+// Paper (production, one day): 977M total messages = 315M attribute updates
+// (32.2%), 521M image additions (53.3%), 141M image removals (14.4%);
+// 513M of the 521M additions (98.5%) were re-listings whose features were
+// previously extracted and reused.
+//
+// Reproduction: a 1:20,000-scale synthetic day (48,850 messages) with the
+// same type mix, driven through the real-time indexing path against a warm
+// catalog whose off-market pool is deep enough to sustain the production
+// re-listing rate. The harness reports the same four counters as Table 1
+// plus the measured reuse ratio.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace jdvs;
+  using namespace jdvs::bench;
+
+  PrintHeader("Table 1: number of image updates by type (scaled 1:20,000)",
+              "977M total = 315M update / 521M addition / 141M deletion; "
+              "98.5% of additions reuse previously extracted features");
+
+  // Warm catalog: 30k products, 65% currently off the market (the
+  // re-listing pool), all features extracted in some earlier life.
+  const SyntheticEmbedder embedder({.dim = 64, .num_categories = 50,
+                                    .seed = 7});
+  FeatureDb features(embedder, ExtractionCostModel{.mean_micros = 0});
+  ProductCatalog catalog;
+  ImageStore images;
+  CatalogGenConfig cg;
+  cg.num_products = 30000;
+  cg.num_categories = 50;
+  cg.initial_off_market_fraction = 0.65;
+  const CatalogGenStats gen = GenerateCatalog(cg, catalog, images, &features);
+  std::printf("catalog: %llu products (%llu on market), %llu images, "
+              "%llu features prewarmed\n\n",
+              (unsigned long long)gen.products,
+              (unsigned long long)gen.on_market_products,
+              (unsigned long long)gen.images,
+              (unsigned long long)gen.features_prewarmed);
+
+  // One searcher owning the full index (Table 1 is a whole-system count; the
+  // partition split is orthogonal).
+  FullIndexBuilderConfig fc;
+  fc.kmeans.num_clusters = 64;
+  fc.training_sample = 4096;
+  FullIndexBuilder builder(catalog, images, features, fc);
+  auto quantizer = builder.TrainQuantizer();
+  auto index = builder.Build(quantizer);
+  RealTimeIndexer indexer(*index, features);
+  features.ResetStats();
+
+  DayTraceConfig tc;
+  tc.total_messages = 48850;  // 977M / 20,000
+  tc.num_categories = 50;
+  DayTraceGenerator generator(tc, catalog);
+  const Stopwatch watch(MonotonicClock::Instance());
+  const DayTraceStats trace = generator.Generate(
+      [&](const TraceEvent& event) { indexer.Apply(event.message); });
+  const double elapsed = watch.ElapsedSeconds();
+
+  const auto& c = indexer.counters();
+  const auto pct = [&](std::uint64_t n) {
+    return 100.0 * static_cast<double>(n) / static_cast<double>(trace.total);
+  };
+  std::printf("%-18s %12s %12s | %10s %10s\n", "type", "measured", "share",
+              "paper", "share");
+  std::printf("%-18s %12llu %11.1f%% | %10s %10s\n", "total",
+              (unsigned long long)trace.total, 100.0, "977M", "100%");
+  std::printf("%-18s %12llu %11.1f%% | %10s %10s\n", "attribute update",
+              (unsigned long long)c.attribute_updates,
+              pct(c.attribute_updates), "315M", "32.2%");
+  std::printf("%-18s %12llu %11.1f%% | %10s %10s\n", "image addition",
+              (unsigned long long)c.additions, pct(c.additions), "521M",
+              "53.3%");
+  std::printf("%-18s %12llu %11.1f%% | %10s %10s\n", "image deletion",
+              (unsigned long long)c.deletions, pct(c.deletions), "141M",
+              "14.4%");
+
+  const std::uint64_t reused_adds = trace.relist_additions;
+  std::printf("\nadditions reusing previously extracted features: "
+              "%llu / %llu = %.1f%%  (paper: 513M / 521M = 98.5%%)\n",
+              (unsigned long long)reused_adds,
+              (unsigned long long)trace.additions,
+              100.0 * static_cast<double>(reused_adds) /
+                  static_cast<double>(trace.additions));
+  std::printf("image-level reuse: %llu revalidated in index + %llu feature-DB "
+              "hits, %llu fresh extractions\n",
+              (unsigned long long)c.images_revalidated,
+              (unsigned long long)c.features_reused,
+              (unsigned long long)c.features_extracted);
+  std::printf("\nprocessed %llu messages in %.2fs (%.0f msg/s, single "
+              "searcher, zero-cost CNN model)\n",
+              (unsigned long long)trace.total, elapsed,
+              static_cast<double>(trace.total) / elapsed);
+  return 0;
+}

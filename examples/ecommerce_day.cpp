@@ -1,0 +1,113 @@
+// A compressed "day at JD": replay a diurnal update trace (Table 1 mix,
+// Figure 11(a) shape) against a live cluster while queries run, then perform
+// the end-of-day full indexing cycle (Figure 2).
+//
+//   ./ecommerce_day [--products=4000] [--messages=20000] [--partitions=8]
+#include <cstdio>
+
+#include "jdvs/jdvs.h"
+
+int main(int argc, char** argv) {
+  using namespace jdvs;
+  const Flags flags(argc, argv);
+
+  ClusterConfig config;
+  config.num_partitions =
+      static_cast<std::size_t>(flags.GetInt("partitions", 8));
+  config.num_brokers = 2;
+  config.num_blenders = 2;
+  config.embedder = {.dim = 32, .num_categories = 12, .seed = 9};
+  config.detector = {.num_categories = 12, .top1_accuracy = 0.95};
+  config.kmeans.num_clusters = 24;
+  config.ivf.nprobe = 6;
+  // Keep the simulated CNN cheap so the compressed day replays in seconds;
+  // the latency-focused benches use realistic extraction costs instead.
+  config.extraction = {.mean_micros = 1000};
+  VisualSearchCluster cluster(config);
+
+  // Catalog with a 30% off-market re-listing pool (prewarmed features).
+  CatalogGenConfig cg;
+  cg.num_products = static_cast<std::size_t>(flags.GetInt("products", 4000));
+  cg.num_categories = 12;
+  cg.initial_off_market_fraction = 0.3;
+  const CatalogGenStats gen = GenerateCatalog(
+      cg, cluster.catalog(), cluster.image_store(), &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+  std::printf("start of day: %llu products (%llu on market), %zu images indexed\n",
+              (unsigned long long)gen.products,
+              (unsigned long long)gen.on_market_products,
+              cluster.AggregateIndexStats().valid_images);
+
+  // Replay a 20k-message day (Table 1 mix) through the message queue.
+  DayTraceConfig trace_config;
+  trace_config.total_messages =
+      static_cast<std::uint64_t>(flags.GetInt("messages", 20000));
+  trace_config.num_categories = 12;
+  DayTraceGenerator generator(trace_config, cluster.catalog());
+  HourlyUpdateSeries series;
+  const DayTraceStats trace = generator.Generate([&](const TraceEvent& event) {
+    series.AddCount(event.hour, event.message.type);
+    cluster.PublishUpdate(event.message);
+  });
+  if (!cluster.WaitForUpdatesDrained(120'000'000)) {
+    std::printf("warning: update stream not fully drained\n");
+  }
+
+  std::printf("\nday trace (Table 1 mix): total=%llu updates=%llu "
+              "additions=%llu (relist %llu, new %llu) deletions=%llu\n",
+              (unsigned long long)trace.total,
+              (unsigned long long)trace.attribute_updates,
+              (unsigned long long)trace.additions,
+              (unsigned long long)trace.relist_additions,
+              (unsigned long long)trace.new_product_additions,
+              (unsigned long long)trace.deletions);
+
+  std::printf("\nhourly update counts (Figure 11(a) shape):\n");
+  std::printf("%5s %10s %10s %10s %10s\n", "hour", "update", "deletion",
+              "addition", "total");
+  for (int h = 0; h < 24; ++h) {
+    std::printf("%5d %10llu %10llu %10llu %10llu\n", h,
+                (unsigned long long)series.CountAt(h, UpdateType::kAttributeUpdate),
+                (unsigned long long)series.CountAt(h, UpdateType::kRemoveProduct),
+                (unsigned long long)series.CountAt(h, UpdateType::kAddProduct),
+                (unsigned long long)series.TotalAt(h));
+  }
+
+  const auto counters = cluster.TotalUpdateCounters();
+  std::printf("\nreal-time indexing: %llu images added, %llu revalidated "
+              "(reuse), %llu features extracted, %llu invalidated\n",
+              (unsigned long long)counters.images_added,
+              (unsigned long long)counters.images_revalidated,
+              (unsigned long long)counters.features_extracted,
+              (unsigned long long)counters.images_invalidated);
+
+  Histogram update_latency;
+  cluster.MergeUpdateLatencyInto(update_latency);
+  std::printf("%s\n",
+              SummarizeLatency(update_latency, "update latency").c_str());
+
+  // Queries against the freshly updated catalog.
+  QueryWorkloadConfig qc;
+  qc.num_threads = 8;
+  qc.queries_per_thread = 50;
+  QueryClient client(cluster, qc);
+  const QueryWorkloadResult queries = client.Run();
+  std::printf("\nqueries: %llu ok, %.0f QPS, subject-hit rate %.2f\n",
+              (unsigned long long)queries.queries, queries.qps,
+              queries.subject_hit_rate);
+  std::printf("%s\n",
+              SummarizeLatency(*queries.latency_micros, "query latency").c_str());
+
+  // End-of-day full indexing cycle (Figure 2): replay log, retrain, rebuild.
+  const Stopwatch watch(MonotonicClock::Instance());
+  cluster.RunFullIndexingCycle();
+  std::printf("\nend-of-day full indexing cycle: rebuilt %zu images in %s\n",
+              cluster.AggregateIndexStats().valid_images,
+              FormatMicros(watch.ElapsedMicros()).c_str());
+
+  std::printf("\n--- cluster status ---\n%s", cluster.StatusReport().c_str());
+
+  cluster.Stop();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: stand up a small visual-search cluster, index a synthetic
+// catalog, and run a query through the full blender -> broker -> searcher
+// path.
+//
+//   ./quickstart [--products=1000] [--partitions=4] [--dim=32] [--k=10]
+#include <cstdio>
+
+#include "jdvs/jdvs.h"
+
+int main(int argc, char** argv) {
+  using namespace jdvs;
+  const Flags flags(argc, argv);
+
+  // 1. Configure a small cluster (4 partitions, 2 brokers, 2 blenders).
+  ClusterConfig config;
+  config.num_partitions =
+      static_cast<std::size_t>(flags.GetInt("partitions", 4));
+  config.num_brokers = 2;
+  config.num_blenders = 2;
+  config.embedder = {.dim = static_cast<std::size_t>(flags.GetInt("dim", 32)),
+                     .num_categories = 10,
+                     .seed = 7};
+  config.detector = {.num_categories = 10, .top1_accuracy = 0.95};
+  config.kmeans.num_clusters = 16;
+  config.ivf.nprobe = 4;
+  config.default_k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  VisualSearchCluster cluster(config);
+
+  // 2. Populate the product catalog (1000 products, ~5 images each) and
+  //    pre-warm the feature DB (production state: everything ever listed has
+  //    been extracted once).
+  CatalogGenConfig catalog_config;
+  catalog_config.num_products =
+      static_cast<std::size_t>(flags.GetInt("products", 1000));
+  catalog_config.num_categories = 10;
+  const CatalogGenStats gen = GenerateCatalog(
+      catalog_config, cluster.catalog(), cluster.image_store(),
+      &cluster.features());
+  std::printf("catalog: %llu products, %llu images\n",
+              (unsigned long long)gen.products, (unsigned long long)gen.images);
+
+  // 3. Build and install the full indexes, then start real-time indexing.
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+  const IvfIndexStats stats = cluster.AggregateIndexStats();
+  std::printf("indexed: %zu images across %zu searchers\n", stats.total_images,
+              cluster.num_searchers());
+
+  // 4. A user photographs product #123 and searches.
+  const auto record = cluster.catalog().Get(123);
+  const QueryImage photo{123, record->category, /*query_seed=*/42};
+  const QueryResponse response = cluster.Query(photo);
+
+  std::printf("\nquery for product 123 (category %u) took %s, top %zu:\n",
+              record->category, FormatMicros(response.total_micros).c_str(),
+              response.results.size());
+  for (const RankedResult& r : response.results) {
+    std::printf("  product=%-6llu distance=%.3f score=%.3f sales=%llu %s\n",
+                (unsigned long long)r.hit.product_id, r.hit.distance, r.score,
+                (unsigned long long)r.hit.attributes.sales,
+                r.hit.image_url.c_str());
+  }
+
+  // 5. Real-time: list a brand-new product and find it immediately.
+  ProductUpdateMessage add;
+  add.type = UpdateType::kAddProduct;
+  add.product_id = 99999;
+  add.category_id = 3;
+  add.attributes = {.sales = 1, .price_cents = 4999, .praise = 0};
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    add.image_urls.push_back(MakeImageUrl(99999, k));
+  }
+  cluster.PublishUpdate(add);
+  cluster.WaitForUpdatesDrained();
+  const QueryResponse fresh = cluster.Query(QueryImage{99999, 3, 1});
+  std::printf("\nnew product 99999 searchable immediately: top hit product=%llu\n",
+              fresh.results.empty()
+                  ? 0ULL
+                  : (unsigned long long)fresh.results[0].hit.product_id);
+
+  cluster.Stop();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 14 analogue: three example visual searches, each printing the top-6
+// similar products with their ranking attributes — what the JD mobile app
+// renders as a result grid.
+//
+//   ./search_examples
+#include <cstdio>
+
+#include "jdvs/jdvs.h"
+
+int main() {
+  using namespace jdvs;
+
+  ClusterConfig config;
+  config.num_partitions = 4;
+  config.embedder = {.dim = 32, .num_categories = 6, .seed = 21};
+  config.detector = {.num_categories = 6, .top1_accuracy = 1.0};
+  config.kmeans.num_clusters = 12;
+  config.ivf.nprobe = 4;
+  config.default_k = 6;  // the app shows the top 6 similar products
+  VisualSearchCluster cluster(config);
+
+  CatalogGenConfig cg;
+  cg.num_products = 2000;
+  cg.num_categories = 6;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  const char* kCategoryNames[6] = {"dresses",   "sneakers", "handsets",
+                                   "backpacks", "watches",  "headphones"};
+  // Three user photos: a dress, a sneaker, a handset.
+  const ProductId subjects[3] = {101, 202, 303};
+
+  for (int i = 0; i < 3; ++i) {
+    const auto record = cluster.catalog().Get(subjects[i]);
+    if (!record) continue;
+    const QueryImage photo{subjects[i], record->category,
+                           static_cast<std::uint64_t>(1000 + i)};
+    const QueryResponse response = cluster.Query(photo);
+
+    std::printf("=== search %d: photo of product %llu (%s) — %s, detected %s\n",
+                i + 1, (unsigned long long)subjects[i],
+                kCategoryNames[record->category % 6],
+                FormatMicros(response.total_micros).c_str(),
+                kCategoryNames[response.detected_category % 6]);
+    std::printf("    %-4s %-8s %-10s %-8s %-8s %-8s %s\n", "rank", "product",
+                "category", "dist", "sales", "price", "image");
+    int rank = 1;
+    for (const RankedResult& r : response.results) {
+      std::printf("    %-4d %-8llu %-10s %-8.3f %-8llu %-8.2f %s\n", rank++,
+                  (unsigned long long)r.hit.product_id,
+                  kCategoryNames[r.hit.category % 6], r.hit.distance,
+                  (unsigned long long)r.hit.attributes.sales,
+                  static_cast<double>(r.hit.attributes.price_cents) / 100.0,
+                  r.hit.image_url.c_str());
+    }
+    std::printf("\n");
+  }
+
+  cluster.Stop();
+  return 0;
+}

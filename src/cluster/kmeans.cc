@@ -1,0 +1,150 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+// k-means++ seeding: first centroid uniform, each next centroid sampled with
+// probability proportional to squared distance to the nearest chosen one.
+std::vector<float> SeedPlusPlus(const float* points, std::size_t count,
+                                std::size_t dim, std::size_t k, Rng& rng) {
+  std::vector<float> centroids;
+  centroids.reserve(k * dim);
+
+  const std::size_t first = rng.Below(count);
+  centroids.insert(centroids.end(), points + first * dim,
+                   points + (first + 1) * dim);
+
+  std::vector<double> d2(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    d2[i] = L2SquaredDistance(FeatureView(points + i * dim, dim),
+                              FeatureView(centroids.data(), dim));
+  }
+
+  while (centroids.size() < k * dim) {
+    double total = 0.0;
+    for (const double d : d2) total += d;
+    std::size_t chosen;
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; fall back to uniform.
+      chosen = rng.Below(count);
+    } else {
+      double r = rng.NextDouble() * total;
+      chosen = count - 1;
+      for (std::size_t i = 0; i < count; ++i) {
+        r -= d2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    const FeatureView c(points + chosen * dim, dim);
+    centroids.insert(centroids.end(), c.begin(), c.end());
+    const std::size_t chosen_idx = centroids.size() / dim - 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      const float d = L2SquaredDistance(
+          FeatureView(points + i * dim, dim),
+          FeatureView(centroids.data() + chosen_idx * dim, dim));
+      d2[i] = std::min(d2[i], static_cast<double>(d));
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult TrainKMeans(const float* points, std::size_t count,
+                         std::size_t dim, const KMeansConfig& config) {
+  assert(count >= 1 && dim >= 1);
+  KMeansResult result;
+  result.dim = dim;
+  result.num_clusters = std::max<std::size_t>(
+      1, std::min(config.num_clusters, count));
+  const std::size_t k = result.num_clusters;
+
+  Rng rng(config.seed);
+  result.centroids = SeedPlusPlus(points, count, dim, k, rng);
+  result.assignments.assign(count, 0);
+
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> sizes(k);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < std::max<std::size_t>(
+                                 config.max_iterations, 1);
+       ++iter) {
+    result.iterations_run = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const FeatureView p(points + i * dim, dim);
+      float best = std::numeric_limits<float>::infinity();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const float d = L2SquaredDistance(p, result.Centroid(c));
+        if (d < best) {
+          best = d;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      result.assignments[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(sizes.begin(), sizes.end(), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t c = result.assignments[i];
+      ++sizes[c];
+      for (std::size_t j = 0; j < dim; ++j) {
+        sums[c * dim + j] += points[i * dim + j];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (sizes[c] == 0) {
+        // Empty cluster: re-seed on a random point to keep k lists useful.
+        const std::size_t pick = rng.Below(count);
+        std::copy(points + pick * dim, points + (pick + 1) * dim,
+                  result.centroids.begin() + c * dim);
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(sizes[c]);
+      for (std::size_t j = 0; j < dim; ++j) {
+        result.centroids[c * dim + j] =
+            static_cast<float>(sums[c * dim + j] * inv);
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::infinity()) {
+      const double improvement =
+          (prev_inertia - inertia) / std::max(prev_inertia, 1e-12);
+      if (improvement >= 0.0 && improvement < config.tolerance) break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+KMeansResult TrainKMeans(const std::vector<FeatureVector>& points,
+                         const KMeansConfig& config) {
+  assert(!points.empty());
+  const std::size_t dim = points.front().size();
+  std::vector<float> flat;
+  flat.reserve(points.size() * dim);
+  for (const auto& p : points) {
+    assert(p.size() == dim);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  return TrainKMeans(flat.data(), points.size(), dim, config);
+}
+
+}  // namespace jdvs

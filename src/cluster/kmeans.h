@@ -1,0 +1,52 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Section 2.2: "The k-mean algorithm on a set of training data set (i.e.,
+// image features) is used to generate the classification" — the resulting
+// centroids define the N inverted lists of the IVF index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+struct KMeansConfig {
+  std::size_t num_clusters = 64;
+  std::size_t max_iterations = 25;
+  // Stop early when the relative improvement of total inertia drops below
+  // this threshold.
+  double tolerance = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  // num_clusters * dim floats, row-major.
+  std::vector<float> centroids;
+  std::size_t dim = 0;
+  std::size_t num_clusters = 0;
+  // Assignment of each training point to its centroid.
+  std::vector<std::uint32_t> assignments;
+  // Final total within-cluster sum of squared distances.
+  double inertia = 0.0;
+  std::size_t iterations_run = 0;
+
+  FeatureView Centroid(std::size_t c) const {
+    return FeatureView(centroids.data() + c * dim, dim);
+  }
+};
+
+// Trains k-means over `points` (count x dim, row-major). If there are fewer
+// points than clusters, the number of clusters is reduced to the number of
+// distinct points used. Requires count >= 1 and dim >= 1.
+KMeansResult TrainKMeans(const float* points, std::size_t count,
+                         std::size_t dim, const KMeansConfig& config);
+
+// Convenience overload over a vector of FeatureVectors (all of equal dim).
+KMeansResult TrainKMeans(const std::vector<FeatureVector>& points,
+                         const KMeansConfig& config);
+
+}  // namespace jdvs

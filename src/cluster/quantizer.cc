@@ -1,0 +1,53 @@
+#include "cluster/quantizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "vecmath/distance.h"
+
+namespace jdvs {
+
+CoarseQuantizer::CoarseQuantizer(std::vector<float> centroids, std::size_t dim)
+    : centroids_(std::move(centroids)),
+      dim_(dim),
+      num_clusters_(dim == 0 ? 0 : centroids_.size() / dim) {
+  assert(dim_ > 0);
+  assert(centroids_.size() % dim_ == 0);
+  assert(num_clusters_ > 0);
+}
+
+CoarseQuantizer::CoarseQuantizer(const KMeansResult& kmeans)
+    : CoarseQuantizer(kmeans.centroids, kmeans.dim) {}
+
+std::uint32_t CoarseQuantizer::NearestCentroid(FeatureView v) const {
+  assert(v.size() == dim_);
+  float best = std::numeric_limits<float>::infinity();
+  std::uint32_t best_c = 0;
+  for (std::size_t c = 0; c < num_clusters_; ++c) {
+    const float d = L2SquaredDistance(v, Centroid(c));
+    if (d < best) {
+      best = d;
+      best_c = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best_c;
+}
+
+std::vector<std::uint32_t> CoarseQuantizer::NearestCentroids(
+    FeatureView v, std::size_t nprobe) const {
+  assert(v.size() == dim_);
+  nprobe = std::clamp<std::size_t>(nprobe, 1, num_clusters_);
+  std::vector<std::pair<float, std::uint32_t>> scored;
+  scored.reserve(num_clusters_);
+  for (std::size_t c = 0; c < num_clusters_; ++c) {
+    scored.emplace_back(L2SquaredDistance(v, Centroid(c)),
+                        static_cast<std::uint32_t>(c));
+  }
+  std::partial_sort(scored.begin(), scored.begin() + nprobe, scored.end());
+  std::vector<std::uint32_t> result(nprobe);
+  for (std::size_t i = 0; i < nprobe; ++i) result[i] = scored[i].second;
+  return result;
+}
+
+}  // namespace jdvs

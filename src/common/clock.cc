@@ -1,0 +1,16 @@
+#include "common/clock.h"
+
+namespace jdvs {
+
+Micros MonotonicClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const MonotonicClock& MonotonicClock::Instance() {
+  static const MonotonicClock clock;
+  return clock;
+}
+
+}  // namespace jdvs

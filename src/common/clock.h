@@ -1,0 +1,66 @@
+// Clocks.
+//
+// The production system measures wall-clock latency; the reproduction also
+// needs a *simulated* clock so a 24-hour trace (Figure 11) can be replayed in
+// seconds. Components take a Clock& so tests can substitute a ManualClock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace jdvs {
+
+// Microseconds since an arbitrary epoch.
+using Micros = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros NowMicros() const = 0;
+};
+
+// Real monotonic time.
+class MonotonicClock final : public Clock {
+ public:
+  Micros NowMicros() const override;
+
+  // Process-wide instance (stateless, safe to share).
+  static const MonotonicClock& Instance();
+};
+
+// A clock advanced explicitly by the test/simulation driver. Thread-safe.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void SetMicros(Micros t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+// Simple stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock)
+      : clock_(&clock), start_(clock.NowMicros()) {}
+
+  Micros ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+  void Restart() { start_ = clock_->NowMicros(); }
+
+ private:
+  const Clock* clock_;
+  Micros start_;
+};
+
+}  // namespace jdvs

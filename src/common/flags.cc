@@ -1,0 +1,74 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace jdvs {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(body)] = "true";
+    } else {
+      values_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
+    }
+  }
+}
+
+bool Flags::Has(std::string_view key) const {
+  queried_[std::string(key)] = true;
+  return values_.find(std::string(key)) != values_.end();
+}
+
+std::string Flags::GetString(std::string_view key,
+                             std::string_view default_value) const {
+  queried_[std::string(key)] = true;
+  const auto it = values_.find(std::string(key));
+  return it == values_.end() ? std::string(default_value) : it->second;
+}
+
+std::int64_t Flags::GetInt(std::string_view key,
+                           std::int64_t default_value) const {
+  queried_[std::string(key)] = true;
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(std::string_view key, double default_value) const {
+  queried_[std::string(key)] = true;
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(std::string_view key, bool default_value) const {
+  queried_[std::string(key)] = true;
+  const auto it = values_.find(std::string(key));
+  if (it == values_.end()) return default_value;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v.empty()) return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return default_value;
+}
+
+std::vector<std::string> Flags::UnusedKeys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (queried_.find(key) == queried_.end()) unused.push_back(key);
+  }
+  std::sort(unused.begin(), unused.end());
+  return unused;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the examples and bench harnesses.
+//
+// Supports `--key=value` and bare `--key` (boolean true); everything else is
+// positional. No registry, no global state: parse once, query typed values
+// with defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jdvs {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool Has(std::string_view key) const;
+
+  std::string GetString(std::string_view key,
+                        std::string_view default_value) const;
+  std::int64_t GetInt(std::string_view key, std::int64_t default_value) const;
+  double GetDouble(std::string_view key, double default_value) const;
+  // Bare `--key` and `--key=true/1/yes` are true; `--key=false/0/no` false.
+  bool GetBool(std::string_view key, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Keys that were parsed but never queried — typo detection for harnesses.
+  std::vector<std::string> UnusedKeys() const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  mutable std::unordered_map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace jdvs

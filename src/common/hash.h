@@ -1,0 +1,36 @@
+// Hashing utilities used across the system: stable 64-bit string hashing for
+// partitioning image URLs (Section 2.4 of the paper partitions the index by
+// hashing the image URL) and integer mixing for deterministic synthetic data.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jdvs {
+
+// FNV-1a 64-bit. Stable across platforms and runs, which matters because the
+// partition assignment of an image must be identical on every node.
+constexpr std::uint64_t Fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// SplitMix64 finalizer: a strong 64-bit integer mixer. Used to derive
+// independent-looking streams from (seed, counter) pairs.
+constexpr std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combines two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace jdvs

@@ -1,0 +1,139 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace jdvs {
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::BucketFor(std::int64_t value) noexcept {
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < (1ULL << kSubBucketBits)) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;
+  const std::uint64_t mantissa = (v >> shift) & ((1ULL << kSubBucketBits) - 1);
+  return (static_cast<std::size_t>(msb - kSubBucketBits + 1)
+          << kSubBucketBits) +
+         static_cast<std::size_t>(mantissa);
+}
+
+std::int64_t Histogram::BucketUpperBound(std::size_t bucket) noexcept {
+  if (bucket < (1ULL << kSubBucketBits)) {
+    return static_cast<std::int64_t>(bucket);
+  }
+  const std::size_t exponent = (bucket >> kSubBucketBits);
+  const std::uint64_t mantissa = bucket & ((1ULL << kSubBucketBits) - 1);
+  const int shift = static_cast<int>(exponent) - 1;
+  const std::uint64_t base = (1ULL << kSubBucketBits) << shift;
+  return static_cast<std::int64_t>(base + ((mantissa + 1) << shift) - 1);
+}
+
+void Histogram::Record(std::int64_t value) noexcept { RecordN(value, 1); }
+
+void Histogram::RecordN(std::int64_t value, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  value = std::clamp<std::int64_t>(value, 0, kMaxValue);
+  buckets_[BucketFor(value)].fetch_add(count, std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(value * static_cast<std::int64_t>(count),
+                 std::memory_order_relaxed);
+  // CAS loops for min/max; contention is negligible at reporting accuracy.
+  std::int64_t observed = min_.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !min_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::Count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::Min() const noexcept {
+  return Count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::Max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const noexcept {
+  const auto n = Count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+std::int64_t Histogram::Quantile(double q) const noexcept {
+  const auto total = Count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > target || (seen == target && seen == total)) {
+      return BucketUpperBound(i);
+    }
+  }
+  return Max();
+}
+
+void Histogram::Merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const auto c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  if (other.Count() != 0) {
+    RecordN(other.Min(), 0);  // no-op count, keeps API symmetric
+    std::int64_t v = other.min_.load(std::memory_order_relaxed);
+    std::int64_t observed = min_.load(std::memory_order_relaxed);
+    while (v < observed &&
+           !min_.compare_exchange_weak(observed, v,
+                                       std::memory_order_relaxed)) {
+    }
+    v = other.max_.load(std::memory_order_relaxed);
+    observed = max_.load(std::memory_order_relaxed);
+    while (v > observed &&
+           !max_.compare_exchange_weak(observed, v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
+std::vector<std::pair<std::int64_t, double>> Histogram::CdfPoints() const {
+  std::vector<std::pair<std::int64_t, double>> points;
+  const auto total = Count();
+  if (total == 0) return points;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const auto c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    seen += c;
+    points.emplace_back(BucketUpperBound(i),
+                        static_cast<double>(seen) / static_cast<double>(total));
+  }
+  return points;
+}
+
+}  // namespace jdvs

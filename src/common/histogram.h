@@ -1,0 +1,64 @@
+// Log-bucketed latency histogram.
+//
+// The paper reports average / p90 / p99 / max latencies and full response
+// time CDFs (Figures 11(b), 12(b), 13(b)). This histogram records
+// microsecond-scale values into exponentially sized buckets (HdrHistogram
+// style, ~4% relative error), is lock-free on the record path so searcher
+// threads can record under load, and supports merging across threads/nodes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace jdvs {
+
+class Histogram {
+ public:
+  Histogram();
+
+  // Thread-safe, wait-free. Values are clamped to [0, kMaxValue].
+  void Record(std::int64_t value) noexcept;
+  void RecordN(std::int64_t value, std::uint64_t count) noexcept;
+
+  // Accessors are linearizable enough for reporting (relaxed reads).
+  std::uint64_t Count() const noexcept;
+  std::int64_t Min() const noexcept;  // 0 when empty
+  std::int64_t Max() const noexcept;  // 0 when empty
+  double Mean() const noexcept;       // 0 when empty
+
+  // q in [0, 1]. Returns an upper bound of the bucket containing quantile q.
+  std::int64_t Quantile(double q) const noexcept;
+  std::int64_t P50() const noexcept { return Quantile(0.50); }
+  std::int64_t P90() const noexcept { return Quantile(0.90); }
+  std::int64_t P99() const noexcept { return Quantile(0.99); }
+
+  // Adds other's counts into this histogram.
+  void Merge(const Histogram& other) noexcept;
+
+  void Reset() noexcept;
+
+  // (upper_bound, cumulative_fraction) pairs over non-empty buckets; the
+  // input to CDF plots (Figure 13(b)).
+  std::vector<std::pair<std::int64_t, double>> CdfPoints() const;
+
+  static constexpr std::int64_t kMaxValue = 1LL << 40;  // ~12.7 days in us
+
+ private:
+  // Bucket layout: 64 value bits split into (exponent, 5-bit mantissa)
+  // sub-buckets => at most 64*32 buckets; values < 32 map exactly.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::size_t kNumBuckets = 64 << kSubBucketBits;
+
+  static std::size_t BucketFor(std::int64_t value) noexcept;
+  static std::int64_t BucketUpperBound(std::size_t bucket) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_;
+  std::atomic<std::uint64_t> count_;
+  std::atomic<std::int64_t> sum_;
+  std::atomic<std::int64_t> min_;
+  std::atomic<std::int64_t> max_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Benchmarks and examples print their results via stdout directly; the
+// logger is for operational messages (node lifecycle, failover, index
+// expansion) and is rate-friendly: level filtering happens before any
+// formatting work.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jdvs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace jdvs
+
+#define JDVS_LOG(level)                                        \
+  if (static_cast<int>(::jdvs::LogLevel::level) <              \
+      static_cast<int>(::jdvs::GetLogLevel())) {               \
+  } else                                                       \
+    ::jdvs::internal::LogMessage(::jdvs::LogLevel::level)

@@ -1,0 +1,89 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace jdvs {
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion of the seed into the xoshiro state; guarantees a
+  // non-zero state for any seed.
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = Mix64(s);
+  }
+}
+
+std::uint64_t Rng::Next64() noexcept {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::Uniform(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? Next64() : Below(span));
+}
+
+double Rng::NextDouble() noexcept {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() noexcept {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::NextExponential(double mean) noexcept {
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+Rng Rng::Fork() noexcept { return Rng(Next64()); }
+
+}  // namespace jdvs

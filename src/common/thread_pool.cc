@@ -1,0 +1,36 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace jdvs {
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name,
+                       std::size_t queue_capacity)
+    : queue_(queue_capacity), name_(std::move(name)) {
+  threads_.reserve(std::max<std::size_t>(num_threads, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(num_threads, 1); ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace jdvs

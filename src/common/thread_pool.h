@@ -1,0 +1,62 @@
+// Fixed-size thread pool.
+//
+// Each simulated cluster node (searcher / broker / blender) owns a bounded
+// pool, mirroring the per-server worker threads of the production deployment;
+// background index-copy tasks (Figure 9) also run here.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+
+namespace jdvs {
+
+class ThreadPool {
+ public:
+  // `name` is informational (thread naming); `queue_capacity` bounds the
+  // backlog so a saturated node exerts backpressure instead of growing
+  // without bound.
+  explicit ThreadPool(std::size_t num_threads, std::string name = "pool",
+                      std::size_t queue_capacity = 16384);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Blocks if the queue is full. Returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  // Submit returning a future for the task's result.
+  template <typename F>
+  auto SubmitWithResult(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (!Submit([task] { (*task)(); })) {
+      // Pool already shut down: run inline so the future is always fulfilled.
+      (*task)();
+    }
+    return result;
+  }
+
+  // Drains queued tasks, then joins all workers. Idempotent.
+  void Shutdown();
+
+  std::size_t num_threads() const { return threads_.size(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  MpmcQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::string name_;
+};
+
+}  // namespace jdvs

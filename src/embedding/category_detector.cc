@@ -1,0 +1,23 @@
+#include "embedding/category_detector.h"
+
+#include "common/hash.h"
+
+namespace jdvs {
+
+CategoryDetector::CategoryDetector(const CategoryDetectorConfig& config)
+    : config_(config) {}
+
+CategoryId CategoryDetector::Detect(CategoryId true_category,
+                                    std::uint64_t query_seed) const {
+  Rng rng(HashCombine(Mix64(config_.seed), Mix64(query_seed)));
+  if (config_.num_categories <= 1 || rng.NextBool(config_.top1_accuracy)) {
+    return true_category;
+  }
+  // Uniform over the other categories.
+  const auto offset =
+      1 + rng.Below(config_.num_categories - 1);
+  return static_cast<CategoryId>(
+      (true_category + offset) % config_.num_categories);
+}
+
+}  // namespace jdvs

@@ -1,0 +1,37 @@
+// Item detection / category identification stand-in.
+//
+// Section 2.4: "an item in the picture is detected and the product category
+// of the item is identified" before feature extraction. The detector here
+// returns the true category with a configurable top-1 accuracy and a
+// uniformly wrong category otherwise, so experiments can quantify how
+// detector errors propagate into retrieval quality.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+struct CategoryDetectorConfig {
+  std::uint32_t num_categories = 50;
+  double top1_accuracy = 0.95;
+  std::uint64_t seed = 7;
+};
+
+class CategoryDetector {
+ public:
+  explicit CategoryDetector(const CategoryDetectorConfig& config);
+
+  // Detects the category of a query about `true_category`. Deterministic in
+  // (seed, query_seed). Thread-safe (stateless per call).
+  CategoryId Detect(CategoryId true_category, std::uint64_t query_seed) const;
+
+  const CategoryDetectorConfig& config() const { return config_; }
+
+ private:
+  CategoryDetectorConfig config_;
+};
+
+}  // namespace jdvs

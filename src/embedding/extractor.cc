@@ -1,0 +1,78 @@
+#include "embedding/extractor.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+// Fills out[0..dim) with Gaussian(0, scale) deviates from a derived stream.
+void FillGaussian(std::uint64_t stream_seed, float scale, std::size_t dim,
+                  float* out, bool accumulate) {
+  Rng rng(stream_seed);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const float g = static_cast<float>(rng.NextGaussian()) * scale;
+    if (accumulate) {
+      out[i] += g;
+    } else {
+      out[i] = g;
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticEmbedder::SyntheticEmbedder(const EmbedderConfig& config)
+    : config_(config) {}
+
+void SyntheticEmbedder::ProductPoint(ProductId product_id,
+                                     CategoryId category_id,
+                                     float* out) const {
+  const std::uint32_t cat =
+      config_.num_categories == 0 ? 0 : category_id % config_.num_categories;
+  const std::uint64_t cat_seed =
+      HashCombine(Mix64(config_.seed), Mix64(0x43A7ULL + cat));
+  FillGaussian(cat_seed, config_.category_spread, config_.dim, out,
+               /*accumulate=*/false);
+  const std::uint64_t prod_seed =
+      HashCombine(Mix64(config_.seed ^ 0x9D0DULL), Mix64(product_id));
+  FillGaussian(prod_seed, config_.product_spread, config_.dim, out,
+               /*accumulate=*/true);
+}
+
+FeatureVector SyntheticEmbedder::Extract(const ImageContent& content) const {
+  FeatureVector feature(config_.dim);
+  ProductPoint(content.product_id, content.category_id, feature.data());
+  const std::uint64_t img_seed =
+      HashCombine(Mix64(config_.seed ^ 0x1237ULL), Fnv1a64(content.url));
+  FillGaussian(img_seed, config_.image_noise, config_.dim, feature.data(),
+               /*accumulate=*/true);
+  if (config_.normalize) NormalizeL2(feature);
+  return feature;
+}
+
+FeatureVector SyntheticEmbedder::ExtractQuery(ProductId product_id,
+                                              CategoryId category_id,
+                                              std::uint64_t query_seed) const {
+  FeatureVector feature(config_.dim);
+  ProductPoint(product_id, category_id, feature.data());
+  const std::uint64_t q_seed =
+      HashCombine(Mix64(config_.seed ^ 0xBEEFULL), Mix64(query_seed));
+  FillGaussian(q_seed, config_.image_noise, config_.dim, feature.data(),
+               /*accumulate=*/true);
+  if (config_.normalize) NormalizeL2(feature);
+  return feature;
+}
+
+std::int64_t ExtractionCostModel::SampleMicros(Rng& rng) const {
+  if (mean_micros <= 0) return 0;
+  // Lognormal with the requested mean: mean = exp(mu + sigma^2/2).
+  const double mu =
+      std::log(static_cast<double>(mean_micros)) - sigma * sigma / 2.0;
+  const double sample = std::exp(mu + sigma * rng.NextGaussian());
+  return static_cast<std::int64_t>(sample);
+}
+
+}  // namespace jdvs

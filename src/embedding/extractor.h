@@ -1,0 +1,86 @@
+// Feature extraction substrate.
+//
+// The production system runs a deep CNN over product images; the extracted
+// high-dimensional feature is the only thing any downstream component sees.
+// This reproduction substitutes a deterministic synthetic embedder that
+// preserves the two properties the systems evaluation depends on:
+//
+//   1. *Cluster structure*: images of the same category are close in feature
+//      space (category prototypes), images of the same product are closer
+//      still (product offsets), so k-means/IVF partitioning behaves as it
+//      does on CNN features.
+//   2. *Cost*: extraction is expensive relative to index operations and is
+//      worth caching (Section 2.1 feature reuse). The cost is modelled
+//      explicitly and configurable.
+//
+// Determinism: the same image content always yields the same feature, which
+// is also what makes the KV-store dedup (extract-once) correct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+// The "pixels" stand-in: everything the synthetic embedder derives a feature
+// from. Produced by the image store, consumed by the extractor.
+struct ImageContent {
+  std::string url;          // unique image key
+  ProductId product_id = 0;
+  CategoryId category_id = 0;
+};
+
+struct EmbedderConfig {
+  std::size_t dim = 64;
+  std::uint32_t num_categories = 50;
+  // Scale of category prototypes (inter-class separation).
+  float category_spread = 4.0f;
+  // Scale of per-product offsets from the category prototype.
+  float product_spread = 1.0f;
+  // Scale of per-image noise around the product point.
+  float image_noise = 0.25f;
+  std::uint64_t seed = 42;
+  bool normalize = false;  // L2-normalize outputs
+};
+
+class SyntheticEmbedder {
+ public:
+  explicit SyntheticEmbedder(const EmbedderConfig& config);
+
+  // Deterministic feature for the image content. Pure function of
+  // (config seed, content identity); thread-safe.
+  FeatureVector Extract(const ImageContent& content) const;
+
+  // The feature of a *query photo* of the given product: the product point
+  // plus fresh query noise. Models a user photographing a product they want
+  // to find; used by workload generators so queries have known ground truth.
+  FeatureVector ExtractQuery(ProductId product_id, CategoryId category_id,
+                             std::uint64_t query_seed) const;
+
+  const EmbedderConfig& config() const { return config_; }
+  std::size_t dim() const { return config_.dim; }
+
+ private:
+  // Writes prototype(category) + offset(product) into out.
+  void ProductPoint(ProductId product_id, CategoryId category_id,
+                    float* out) const;
+
+  EmbedderConfig config_;
+};
+
+// Models the latency of running the CNN (the paper's motivation for feature
+// reuse: extraction is "an expensive operation"). Lognormal service time.
+struct ExtractionCostModel {
+  // Mean extraction time; 0 disables simulated cost entirely.
+  std::int64_t mean_micros = 20000;
+  // Lognormal shape parameter (spread of the tail).
+  double sigma = 0.4;
+
+  std::int64_t SampleMicros(Rng& rng) const;
+};
+
+}  // namespace jdvs

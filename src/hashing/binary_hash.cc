@@ -1,0 +1,82 @@
+#include "hashing/binary_hash.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <mutex>
+
+#include "vecmath/distance.h"
+
+namespace jdvs {
+
+BinaryHashIndex::BinaryHashIndex(std::size_t dim,
+                                 const BinaryHashConfig& config)
+    : dim_(dim), config_(config), vectors_(dim) {
+  // Round bit count up to whole words.
+  config_.num_bits = std::max<std::size_t>(config_.num_bits, 64);
+  config_.num_bits = (config_.num_bits + 63) / 64 * 64;
+  words_ = config_.num_bits / 64;
+  Rng rng(config_.seed);
+  hyperplanes_.resize(config_.num_bits * dim_);
+  for (float& x : hyperplanes_) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+}
+
+std::vector<std::uint64_t> BinaryHashIndex::Sign(FeatureView v) const {
+  assert(v.size() == dim_);
+  std::vector<std::uint64_t> signature(words_, 0);
+  for (std::size_t b = 0; b < config_.num_bits; ++b) {
+    const FeatureView plane(&hyperplanes_[b * dim_], dim_);
+    if (InnerProduct(plane, v) >= 0.f) {
+      signature[b / 64] |= (1ULL << (b % 64));
+    }
+  }
+  return signature;
+}
+
+void BinaryHashIndex::Add(ImageId id, FeatureView v) {
+  const auto signature = Sign(v);
+  std::unique_lock lock(mu_);
+  vectors_.Append(v);
+  ids_.push_back(id);
+  signatures_.insert(signatures_.end(), signature.begin(), signature.end());
+}
+
+std::uint32_t BinaryHashIndex::HammingDistance(const std::uint64_t* a,
+                                               const std::uint64_t* b,
+                                               std::size_t words) noexcept {
+  std::uint32_t distance = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    distance += static_cast<std::uint32_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return distance;
+}
+
+std::vector<ScoredImage> BinaryHashIndex::Search(FeatureView query,
+                                                 std::size_t k) const {
+  const auto signature = Sign(query);
+  std::shared_lock lock(mu_);
+  const std::size_t n = ids_.size();
+  // Stage 1: Hamming short-list (TopK over slot indexes).
+  TopK shortlist(std::max(config_.rerank_candidates, k));
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::uint32_t d = HammingDistance(
+        signature.data(), &signatures_[slot * words_], words_);
+    shortlist.Offer(slot, static_cast<float>(d));
+  }
+  // Stage 2: exact re-rank.
+  TopK exact(k);
+  for (const ScoredImage& candidate : shortlist.TakeSorted()) {
+    const auto slot = static_cast<std::size_t>(candidate.image_id);
+    exact.Offer(ids_[slot], L2SquaredDistance(query, vectors_.At(slot)));
+  }
+  return exact.TakeSorted();
+}
+
+std::size_t BinaryHashIndex::size() const {
+  std::shared_lock lock(mu_);
+  return ids_.size();
+}
+
+}  // namespace jdvs

@@ -1,0 +1,68 @@
+// Binary hash-code retrieval (the paper's references [22, 23, 29]).
+//
+// A large family of related work retrieves by compact binary codes: each
+// vector is reduced to B bits (here via random hyperplanes — the classic
+// SimHash/LSH-for-cosine construction that learned deep-hashing methods
+// approximate), candidates are ranked by Hamming distance with hardware
+// popcount, and the short-list is re-ranked with exact distances. This is
+// the smallest-memory baseline: 8-16 bytes per vector with no codebooks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "vecmath/topk.h"
+#include "vecmath/vector.h"
+#include "vecmath/vector_set.h"
+
+namespace jdvs {
+
+struct BinaryHashConfig {
+  std::size_t num_bits = 64;  // multiple of 64
+  std::uint64_t seed = 23;
+  // Hamming short-list size that gets exact re-ranking.
+  std::size_t rerank_candidates = 100;
+};
+
+class BinaryHashIndex {
+ public:
+  BinaryHashIndex(std::size_t dim, const BinaryHashConfig& config = {});
+
+  BinaryHashIndex(const BinaryHashIndex&) = delete;
+  BinaryHashIndex& operator=(const BinaryHashIndex&) = delete;
+
+  // Signature of a vector (num_bits/64 words).
+  std::vector<std::uint64_t> Sign(FeatureView v) const;
+
+  // Inserts a vector under `id` (single writer).
+  void Add(ImageId id, FeatureView v);
+
+  // Top-k: Hamming scan over all signatures, exact re-rank of the best
+  // `rerank_candidates`.
+  std::vector<ScoredImage> Search(FeatureView query, std::size_t k) const;
+
+  // Hamming distance between two stored signatures (diagnostics/tests).
+  static std::uint32_t HammingDistance(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t words) noexcept;
+
+  std::size_t size() const;
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t num_bits() const noexcept { return config_.num_bits; }
+  std::size_t bytes_per_vector() const noexcept { return words_ * 8; }
+
+ private:
+  const std::size_t dim_;
+  BinaryHashConfig config_;
+  std::size_t words_;
+  std::vector<float> hyperplanes_;  // num_bits x dim
+  std::vector<std::uint64_t> signatures_;  // size * words_
+  VectorSet vectors_;  // exact re-ranking store
+  std::vector<ImageId> ids_;
+  mutable std::shared_mutex mu_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,179 @@
+#include "imi/multi_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <unordered_set>
+
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+// Trains one half-space codebook over the corresponding slices of the
+// training vectors.
+std::vector<float> TrainHalf(const std::vector<FeatureVector>& training,
+                             std::size_t offset, std::size_t half_dim,
+                             std::size_t k, const KMeansConfig& base,
+                             std::uint64_t seed_offset) {
+  std::vector<float> slices;
+  slices.reserve(training.size() * half_dim);
+  for (const auto& v : training) {
+    slices.insert(slices.end(), v.begin() + static_cast<long>(offset),
+                  v.begin() + static_cast<long>(offset + half_dim));
+  }
+  KMeansConfig config = base;
+  config.num_clusters = k;
+  config.seed = base.seed + seed_offset;
+  KMeansResult result =
+      TrainKMeans(slices.data(), training.size(), half_dim, config);
+  // Pad (by duplicating the last centroid) if training had too few points.
+  std::vector<float> centroids(k * half_dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t src = std::min(c, result.num_clusters - 1);
+    std::memcpy(&centroids[c * half_dim],
+                result.centroids.data() + src * half_dim,
+                half_dim * sizeof(float));
+  }
+  return centroids;
+}
+
+// Index of the nearest centroid in a flat (k x d) codebook.
+std::uint32_t Nearest(const std::vector<float>& centroids, std::size_t d,
+                      FeatureView v) {
+  const std::size_t k = centroids.size() / d;
+  float best = std::numeric_limits<float>::infinity();
+  std::uint32_t best_c = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const float dist =
+        L2SquaredDistance(v, FeatureView(centroids.data() + c * d, d));
+    if (dist < best) {
+      best = dist;
+      best_c = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best_c;
+}
+
+}  // namespace
+
+InvertedMultiIndex::InvertedMultiIndex(
+    std::size_t dim, const std::vector<FeatureVector>& training,
+    const ImiConfig& config)
+    : dim_(dim),
+      half_dim_(dim / 2),
+      k_(std::max<std::size_t>(config.centroids_per_half, 1)),
+      config_(config),
+      vectors_(dim) {
+  assert(dim_ % 2 == 0);
+  assert(!training.empty());
+  centroids_a_ =
+      TrainHalf(training, 0, half_dim_, k_, config.kmeans, /*seed_offset=*/0);
+  centroids_b_ = TrainHalf(training, half_dim_, half_dim_, k_, config.kmeans,
+                           /*seed_offset=*/1);
+  cells_.resize(k_ * k_);
+}
+
+std::size_t InvertedMultiIndex::CellFor(FeatureView v) const {
+  const std::uint32_t a =
+      Nearest(centroids_a_, half_dim_, FeatureView(v.data(), half_dim_));
+  const std::uint32_t b = Nearest(
+      centroids_b_, half_dim_, FeatureView(v.data() + half_dim_, half_dim_));
+  return static_cast<std::size_t>(a) * k_ + b;
+}
+
+void InvertedMultiIndex::Add(ImageId id, FeatureView v) {
+  assert(v.size() == dim_);
+  std::unique_lock lock(mu_);
+  const auto slot = static_cast<std::uint32_t>(vectors_.Append(v));
+  ids_.push_back(id);
+  cells_[CellFor(v)].push_back(slot);
+}
+
+std::vector<ScoredImage> InvertedMultiIndex::Search(
+    FeatureView query, std::size_t k, std::size_t candidate_budget) const {
+  assert(query.size() == dim_);
+  std::shared_lock lock(mu_);
+  const std::size_t budget =
+      candidate_budget == 0 ? config_.min_candidates : candidate_budget;
+
+  // Per-half centroid distances, sorted ascending.
+  const FeatureView qa(query.data(), half_dim_);
+  const FeatureView qb(query.data() + half_dim_, half_dim_);
+  struct Scored {
+    float d;
+    std::uint32_t c;
+  };
+  std::vector<Scored> da(k_);
+  std::vector<Scored> db(k_);
+  for (std::size_t c = 0; c < k_; ++c) {
+    da[c] = {L2SquaredDistance(
+                 qa, FeatureView(centroids_a_.data() + c * half_dim_,
+                                 half_dim_)),
+             static_cast<std::uint32_t>(c)};
+    db[c] = {L2SquaredDistance(
+                 qb, FeatureView(centroids_b_.data() + c * half_dim_,
+                                 half_dim_)),
+             static_cast<std::uint32_t>(c)};
+  }
+  const auto by_distance = [](const Scored& x, const Scored& y) {
+    return x.d < y.d;
+  };
+  std::sort(da.begin(), da.end(), by_distance);
+  std::sort(db.begin(), db.end(), by_distance);
+
+  // Multi-sequence traversal: a min-heap over (i, j) rank pairs ordered by
+  // da[i].d + db[j].d, expanding (i+1, j) and (i, j+1).
+  struct HeapEntry {
+    float bound;
+    std::uint32_t i;
+    std::uint32_t j;
+    bool operator>(const HeapEntry& other) const {
+      return bound > other.bound;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      frontier;
+  std::unordered_set<std::uint64_t> pushed;
+  const auto push = [&](std::uint32_t i, std::uint32_t j) {
+    if (i >= k_ || j >= k_) return;
+    const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | j;
+    if (!pushed.insert(key).second) return;
+    frontier.push(HeapEntry{da[i].d + db[j].d, i, j});
+  };
+  push(0, 0);
+
+  TopK topk(k);
+  std::size_t candidates = 0;
+  while (!frontier.empty() && candidates < budget) {
+    const HeapEntry top = frontier.top();
+    frontier.pop();
+    const std::size_t cell =
+        static_cast<std::size_t>(da[top.i].c) * k_ + db[top.j].c;
+    for (const std::uint32_t slot : cells_[cell]) {
+      topk.Offer(ids_[slot], L2SquaredDistance(query, vectors_.At(slot)));
+      ++candidates;
+    }
+    push(top.i + 1, top.j);
+    push(top.i, top.j + 1);
+  }
+  return topk.TakeSorted();
+}
+
+std::size_t InvertedMultiIndex::size() const {
+  std::shared_lock lock(mu_);
+  return ids_.size();
+}
+
+std::size_t InvertedMultiIndex::OccupiedCells() const {
+  std::shared_lock lock(mu_);
+  std::size_t occupied = 0;
+  for (const auto& cell : cells_) occupied += !cell.empty();
+  return occupied;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,64 @@
+#include "index/bitmap.h"
+
+#include <bit>
+
+namespace jdvs {
+
+ValidityBitmap::ValidityBitmap(std::size_t initial_bits) {
+  chunks_.reserve(1 << 16);
+  EnsureSize(initial_bits);
+}
+
+ValidityBitmap::Word* ValidityBitmap::WordFor(std::size_t index) noexcept {
+  const std::size_t word = index / kBitsPerWord;
+  return &chunks_[word / kWordsPerChunk][word % kWordsPerChunk];
+}
+
+const ValidityBitmap::Word* ValidityBitmap::WordFor(
+    std::size_t index) const noexcept {
+  const std::size_t word = index / kBitsPerWord;
+  return &chunks_[word / kWordsPerChunk][word % kWordsPerChunk];
+}
+
+void ValidityBitmap::EnsureSize(std::size_t bits) {
+  const std::size_t words_needed = (bits + kBitsPerWord - 1) / kBitsPerWord;
+  std::size_t words = num_words_.load(std::memory_order_relaxed);
+  if (words_needed <= words) return;
+  while (chunks_.size() * kWordsPerChunk < words_needed) {
+    // Word is an atomic with a trivial default constructor zero-initialized
+    // by value initialization in make_unique.
+    chunks_.push_back(std::make_unique<Word[]>(kWordsPerChunk));
+  }
+  words = chunks_.size() * kWordsPerChunk;
+  num_words_.store(words, std::memory_order_release);
+}
+
+void ValidityBitmap::Set(std::size_t index, bool valid) {
+  EnsureSize(index + 1);
+  const std::uint64_t mask = 1ULL << (index % kBitsPerWord);
+  if (valid) {
+    WordFor(index)->fetch_or(mask, std::memory_order_release);
+  } else {
+    WordFor(index)->fetch_and(~mask, std::memory_order_release);
+  }
+}
+
+bool ValidityBitmap::Get(std::size_t index) const noexcept {
+  if (index >= size_bits()) return false;
+  const std::uint64_t mask = 1ULL << (index % kBitsPerWord);
+  return (WordFor(index)->load(std::memory_order_acquire) & mask) != 0;
+}
+
+std::size_t ValidityBitmap::CountValid() const noexcept {
+  const std::size_t words = num_words_.load(std::memory_order_acquire);
+  std::size_t valid = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t value =
+        chunks_[w / kWordsPerChunk][w % kWordsPerChunk].load(
+            std::memory_order_relaxed);
+    valid += static_cast<std::size_t>(std::popcount(value));
+  }
+  return valid;
+}
+
+}  // namespace jdvs

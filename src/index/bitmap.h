@@ -1,0 +1,61 @@
+// Validity bitmap.
+//
+// Section 2.1: "A bitmap is used to indicate if a product or image is valid
+// or not. When a product is removed from the market ... it is marked invalid
+// and excluded from the indexing and search processes." Deletion in the
+// real-time index is therefore O(1) per image (Figure 6: flip the flag from
+// 1 to 0) and never touches the inverted lists.
+//
+// Concurrency: bits are stored in atomic words; Set/Get are wait-free.
+// Growth appends whole chunks (pointers never move), published through an
+// atomic word count, so a single writer can grow the bitmap while searches
+// read it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace jdvs {
+
+class ValidityBitmap {
+ public:
+  explicit ValidityBitmap(std::size_t initial_bits = 0);
+
+  ValidityBitmap(const ValidityBitmap&) = delete;
+  ValidityBitmap& operator=(const ValidityBitmap&) = delete;
+
+  // Grows the bitmap to cover at least `bits` bits (new bits are 0/invalid).
+  // Single writer.
+  void EnsureSize(std::size_t bits);
+
+  // Sets bit `index` to `valid`. Grows if needed (single writer).
+  void Set(std::size_t index, bool valid);
+
+  // Reads bit `index`; out-of-range bits read as invalid. Wait-free.
+  bool Get(std::size_t index) const noexcept;
+
+  // Number of bits currently addressable.
+  std::size_t size_bits() const noexcept {
+    return num_words_.load(std::memory_order_acquire) * kBitsPerWord;
+  }
+
+  // Population count over all words (approximate under concurrent writes).
+  std::size_t CountValid() const noexcept;
+
+ private:
+  static constexpr std::size_t kBitsPerWord = 64;
+  static constexpr std::size_t kWordsPerChunk = 1024;  // 64K bits per chunk
+
+  using Word = std::atomic<std::uint64_t>;
+
+  Word* WordFor(std::size_t index) noexcept;
+  const Word* WordFor(std::size_t index) const noexcept;
+
+  std::vector<std::unique_ptr<Word[]>> chunks_;
+  std::atomic<std::size_t> num_words_{0};
+};
+
+}  // namespace jdvs

@@ -1,0 +1,143 @@
+#include "index/forward_index.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace jdvs {
+namespace {
+
+constexpr std::uint64_t PackRef(std::uint64_t offset, std::uint64_t length) {
+  return (offset << 24) | (length & 0xFFFFFFULL);
+}
+
+constexpr std::uint64_t RefOffset(std::uint64_t ref) { return ref >> 24; }
+constexpr std::uint64_t RefLength(std::uint64_t ref) {
+  return ref & 0xFFFFFFULL;
+}
+
+}  // namespace
+
+AppendOnlyBuffer::AppendOnlyBuffer(std::size_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes) {
+  chunks_.reserve(1 << 16);
+  chunks_.push_back(std::make_unique<char[]>(chunk_bytes_));
+}
+
+std::uint64_t AppendOnlyBuffer::Append(std::string_view data) {
+  assert(data.size() < chunk_bytes_);
+  if (data.empty()) return kEmptyRef;
+  if (write_offset_ + data.size() > chunk_bytes_) {
+    // Pad out the current chunk; strings never straddle chunks.
+    bytes_used_.fetch_add(chunk_bytes_ - write_offset_,
+                          std::memory_order_relaxed);
+    chunks_.push_back(std::make_unique<char[]>(chunk_bytes_));
+    ++write_chunk_;
+    write_offset_ = 0;
+  }
+  char* dst = chunks_[write_chunk_].get() + write_offset_;
+  std::memcpy(dst, data.data(), data.size());
+  const std::uint64_t global_offset =
+      static_cast<std::uint64_t>(write_chunk_) * chunk_bytes_ + write_offset_;
+  write_offset_ += data.size();
+  bytes_used_.fetch_add(data.size(), std::memory_order_relaxed);
+  // +1 so that offset 0 is distinguishable from kEmptyRef.
+  return PackRef(global_offset + 1, data.size());
+}
+
+std::string_view AppendOnlyBuffer::View(std::uint64_t ref) const noexcept {
+  if (ref == kEmptyRef) return {};
+  const std::uint64_t offset = RefOffset(ref) - 1;
+  const std::uint64_t length = RefLength(ref);
+  const char* base = chunks_[offset / chunk_bytes_].get();
+  return std::string_view(base + offset % chunk_bytes_, length);
+}
+
+ForwardIndex::ForwardIndex(std::size_t chunk_entries)
+    : chunk_entries_(chunk_entries) {
+  chunks_.reserve(1 << 20);
+}
+
+ForwardEntry& ForwardIndex::EntryFor(std::size_t id) noexcept {
+  return chunks_[id / chunk_entries_][id % chunk_entries_];
+}
+
+const ForwardEntry& ForwardIndex::EntryFor(std::size_t id) const noexcept {
+  return chunks_[id / chunk_entries_][id % chunk_entries_];
+}
+
+LocalId ForwardIndex::Append(ImageId image_id, ProductId product_id,
+                             CategoryId category,
+                             const ProductAttributes& attributes,
+                             std::string_view image_url,
+                             std::string_view detail_url) {
+  const std::size_t id = size_.load(std::memory_order_relaxed);
+  if (id / chunk_entries_ == chunks_.size()) {
+    chunks_.push_back(std::make_unique<ForwardEntry[]>(chunk_entries_));
+  }
+  ForwardEntry& entry = EntryFor(id);
+  entry.image_id = image_id;
+  entry.product_id = product_id;
+  entry.category = category;
+  entry.sales.store(attributes.sales, std::memory_order_relaxed);
+  entry.price_cents.store(attributes.price_cents, std::memory_order_relaxed);
+  entry.praise.store(attributes.praise, std::memory_order_relaxed);
+  entry.image_url_ref.store(buffer_.Append(image_url),
+                            std::memory_order_relaxed);
+  entry.detail_url_ref.store(buffer_.Append(detail_url),
+                             std::memory_order_relaxed);
+  // Publish: all fields above become visible before the new size.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<LocalId>(id);
+}
+
+void ForwardIndex::UpdateNumeric(LocalId id,
+                                 const ProductAttributes& attributes) noexcept {
+  assert(id < size());
+  ForwardEntry& entry = EntryFor(id);
+  entry.sales.store(attributes.sales, std::memory_order_release);
+  entry.price_cents.store(attributes.price_cents, std::memory_order_release);
+  entry.praise.store(attributes.praise, std::memory_order_release);
+}
+
+void ForwardIndex::UpdateDetailUrl(LocalId id, std::string_view detail_url) {
+  assert(id < size());
+  const std::uint64_t ref = buffer_.Append(detail_url);
+  // Single-word swap publishes the new value atomically.
+  EntryFor(id).detail_url_ref.store(ref, std::memory_order_release);
+}
+
+AttributeSnapshot ForwardIndex::Get(LocalId id) const noexcept {
+  assert(id < size());
+  const ForwardEntry& entry = EntryFor(id);
+  AttributeSnapshot snapshot;
+  snapshot.image_id = entry.image_id;
+  snapshot.product_id = entry.product_id;
+  snapshot.category = entry.category;
+  snapshot.attributes.sales = entry.sales.load(std::memory_order_acquire);
+  snapshot.attributes.price_cents =
+      entry.price_cents.load(std::memory_order_acquire);
+  snapshot.attributes.praise = entry.praise.load(std::memory_order_acquire);
+  snapshot.image_url =
+      buffer_.View(entry.image_url_ref.load(std::memory_order_acquire));
+  snapshot.detail_url =
+      buffer_.View(entry.detail_url_ref.load(std::memory_order_acquire));
+  return snapshot;
+}
+
+std::string_view ForwardIndex::ImageUrl(LocalId id) const noexcept {
+  assert(id < size());
+  return buffer_.View(
+      EntryFor(id).image_url_ref.load(std::memory_order_acquire));
+}
+
+ProductId ForwardIndex::ProductOf(LocalId id) const noexcept {
+  assert(id < size());
+  return EntryFor(id).product_id;
+}
+
+CategoryId ForwardIndex::CategoryOf(LocalId id) const noexcept {
+  assert(id < size());
+  return EntryFor(id).category;
+}
+
+}  // namespace jdvs

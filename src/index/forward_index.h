@@ -1,0 +1,143 @@
+// Forward index.
+//
+// Section 2.2: "Each image is numbered sequentially and the product
+// attributes of the image are stored in a forward index, which is a custom
+// array ... The numeric attributes such as product ID, sales, price are
+// stored in the fixed-length fields in the array. The variable length
+// attributes like URL are stored in an additional buffer, and the offset of
+// the attribute in the buffer is recorded in the array."
+//
+// Real-time attribute updates (Section 2.3, Figure 7) must be atomic with
+// respect to concurrent searches: numeric fields are single-word atomics and
+// variable-length values are appended to the buffer first, then published by
+// swapping one packed (offset,length) word — readers see either the old or
+// the new value, never a torn one, and no lock is ever taken.
+//
+// Concurrency contract: one writer (the partition's searcher applies all
+// index mutations), any number of readers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "mq/message.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+// Append-only byte buffer for variable-length attributes. Strings are stored
+// contiguously inside fixed-size chunks; a packed 64-bit reference
+// (offset:40, length:24) addresses them. Old values are never reclaimed —
+// exactly the paper's scheme ("the value is added at the end of the buffer
+// and the offset value is updated"), traded for lock-freedom; the weekly
+// full index rebuild (Section 2.2) is what compacts the buffer in production
+// and here.
+class AppendOnlyBuffer {
+ public:
+  explicit AppendOnlyBuffer(std::size_t chunk_bytes = 1 << 20);
+
+  AppendOnlyBuffer(const AppendOnlyBuffer&) = delete;
+  AppendOnlyBuffer& operator=(const AppendOnlyBuffer&) = delete;
+
+  // Appends `data` (single writer); returns the packed reference.
+  // Precondition: data.size() < chunk_bytes.
+  std::uint64_t Append(std::string_view data);
+
+  // Resolves a packed reference. Safe concurrently with Append for any
+  // reference previously obtained from it.
+  std::string_view View(std::uint64_t ref) const noexcept;
+
+  // Total bytes consumed (including chunk-tail padding waste).
+  std::size_t bytes_used() const noexcept {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::uint64_t kEmptyRef = 0;
+
+ private:
+  static constexpr int kLengthBits = 24;
+
+  const std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t write_chunk_ = 0;   // writer-only
+  std::size_t write_offset_ = 0;  // writer-only, intra-chunk
+  std::atomic<std::size_t> bytes_used_{0};
+};
+
+// One element of the paper's "custom array": fixed-length numeric fields as
+// atomics plus packed buffer references for the variable-length attributes.
+// Entries are neither copyable nor movable; ForwardIndex stores them in
+// stable chunks.
+struct ForwardEntry {
+  ImageId image_id = 0;        // immutable after append
+  ProductId product_id = 0;    // immutable after append
+  CategoryId category = 0;     // immutable after append
+  std::atomic<std::uint64_t> sales{0};
+  std::atomic<std::uint64_t> price_cents{0};
+  std::atomic<std::uint64_t> praise{0};
+  std::atomic<std::uint64_t> image_url_ref{AppendOnlyBuffer::kEmptyRef};
+  std::atomic<std::uint64_t> detail_url_ref{AppendOnlyBuffer::kEmptyRef};
+};
+
+// Read-side snapshot of one entry (string_views point into the buffer and
+// remain valid for the index's lifetime).
+struct AttributeSnapshot {
+  ImageId image_id = 0;
+  ProductId product_id = 0;
+  CategoryId category = 0;
+  ProductAttributes attributes;
+  std::string_view image_url;
+  std::string_view detail_url;
+};
+
+class ForwardIndex {
+ public:
+  explicit ForwardIndex(std::size_t chunk_entries = 4096);
+
+  ForwardIndex(const ForwardIndex&) = delete;
+  ForwardIndex& operator=(const ForwardIndex&) = delete;
+
+  // Appends a new image entry (single writer); returns its sequential id.
+  LocalId Append(ImageId image_id, ProductId product_id, CategoryId category,
+                 const ProductAttributes& attributes,
+                 std::string_view image_url, std::string_view detail_url);
+
+  // Atomic numeric-attribute update (Figure 7); wait-free, never blocks
+  // concurrent searches.
+  void UpdateNumeric(LocalId id, const ProductAttributes& attributes) noexcept;
+
+  // Variable-length attribute update: append-then-swap-offset (Figure 7).
+  void UpdateDetailUrl(LocalId id, std::string_view detail_url);
+
+  // Consistent-enough read of one entry (each field individually atomic; the
+  // paper makes the same per-field atomicity guarantee, not a multi-field
+  // transaction).
+  AttributeSnapshot Get(LocalId id) const noexcept;
+
+  std::string_view ImageUrl(LocalId id) const noexcept;
+  ProductId ProductOf(LocalId id) const noexcept;
+  CategoryId CategoryOf(LocalId id) const noexcept;
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  std::size_t buffer_bytes_used() const noexcept {
+    return buffer_.bytes_used();
+  }
+
+ private:
+  ForwardEntry& EntryFor(std::size_t id) noexcept;
+  const ForwardEntry& EntryFor(std::size_t id) const noexcept;
+
+  const std::size_t chunk_entries_;
+  std::vector<std::unique_ptr<ForwardEntry[]>> chunks_;
+  std::atomic<std::size_t> size_{0};
+  AppendOnlyBuffer buffer_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,145 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace jdvs {
+
+CopyExecutor InlineCopyExecutor() {
+  return [](std::function<void()> task) { task(); };
+}
+
+CopyExecutor PoolCopyExecutor(ThreadPool& pool) {
+  return [&pool](std::function<void()> task) { pool.Submit(std::move(task)); };
+}
+
+InvertedList::InvertedList(std::size_t initial_capacity,
+                           CopyExecutor copy_executor)
+    : copy_executor_(std::move(copy_executor)) {
+  current_.store(
+      std::make_shared<Buffer>(std::max<std::size_t>(initial_capacity, 1)),
+      std::memory_order_release);
+}
+
+void InvertedList::StartExpansion(const std::shared_ptr<Buffer>& full) {
+  // "a new inverted list of double size is created" (Figure 9).
+  next_ = std::make_shared<Buffer>(full->capacity * 2);
+  next_append_pos_ = full->capacity;  // new ids land after the copy region
+  copy_done_ = std::make_shared<std::atomic<bool>>(false);
+  ++expansions_;
+
+  auto source = full;
+  auto destination = next_;
+  auto done = copy_done_;
+  // "a background process finishes copying all the content of the current
+  // list to the new list".
+  copy_executor_([source, destination, done] {
+    std::memcpy(destination->ids.get(), source->ids.get(),
+                source->capacity * sizeof(LocalId));
+    done->store(true, std::memory_order_release);
+  });
+}
+
+void InvertedList::MaybeFinishExpansion() {
+  if (!next_ || !copy_done_->load(std::memory_order_acquire)) return;
+  // Publish everything appended during the window, then swap: "the newly
+  // created inverted list becomes the current one and the old one is
+  // deleted" (the shared_ptr refcount retires the old buffer once the last
+  // in-flight reader drops it — safe reclamation without locks).
+  next_->size.store(next_append_pos_, std::memory_order_release);
+  current_.store(next_, std::memory_order_release);
+  next_.reset();
+  copy_done_.reset();
+}
+
+void InvertedList::WaitForCopy() const noexcept {
+  while (!copy_done_->load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void InvertedList::Append(LocalId id) {
+  MaybeFinishExpansion();
+  if (next_) {
+    // Expansion window: append into the new buffer past the copy region.
+    if (next_append_pos_ == next_->capacity) {
+      // The doubled buffer also filled up before the copy landed (pathological
+      // burst). Wait for the copy, finish the swap, and fall through to a
+      // fresh expansion. This is the only blocking path and it requires an
+      // insert burst of >= capacity during one O(n) copy.
+      WaitForCopy();
+      MaybeFinishExpansion();
+      Append(id);
+      return;
+    }
+    next_->ids[next_append_pos_++] = id;
+    ++total_appended_;
+    MaybeFinishExpansion();
+    return;
+  }
+
+  const std::shared_ptr<Buffer> buffer =
+      current_.load(std::memory_order_acquire);
+  const std::size_t n = buffer->size.load(std::memory_order_relaxed);
+  if (n < buffer->capacity) {
+    buffer->ids[n] = id;
+    // Release publishes the slot write before the new "last position".
+    buffer->size.store(n + 1, std::memory_order_release);
+    ++total_appended_;
+    return;
+  }
+  StartExpansion(buffer);
+  Append(id);
+}
+
+void InvertedList::Scan(const std::function<void(LocalId)>& visit) const {
+  const std::shared_ptr<Buffer> buffer =
+      current_.load(std::memory_order_acquire);
+  const std::size_t n = buffer->size.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) visit(buffer->ids[i]);
+}
+
+std::vector<LocalId> InvertedList::SnapshotIds() const {
+  std::vector<LocalId> out;
+  out.reserve(VisibleSize());
+  Scan([&out](LocalId id) { out.push_back(id); });
+  return out;
+}
+
+std::size_t InvertedList::VisibleSize() const noexcept {
+  const std::shared_ptr<Buffer> buffer =
+      current_.load(std::memory_order_acquire);
+  return buffer->size.load(std::memory_order_acquire);
+}
+
+std::size_t InvertedList::VisibleCapacity() const noexcept {
+  return current_.load(std::memory_order_acquire)->capacity;
+}
+
+LockedInvertedList::LockedInvertedList(std::size_t initial_capacity) {
+  ids_.reserve(std::max<std::size_t>(initial_capacity, 1));
+}
+
+void LockedInvertedList::Append(LocalId id) {
+  std::lock_guard lock(mu_);
+  ids_.push_back(id);
+}
+
+void LockedInvertedList::Scan(
+    const std::function<void(LocalId)>& visit) const {
+  std::lock_guard lock(mu_);
+  for (const LocalId id : ids_) visit(id);
+}
+
+std::vector<LocalId> LockedInvertedList::SnapshotIds() const {
+  std::lock_guard lock(mu_);
+  return ids_;
+}
+
+std::size_t LockedInvertedList::VisibleSize() const noexcept {
+  std::lock_guard lock(mu_);
+  return ids_.size();
+}
+
+}  // namespace jdvs

@@ -1,0 +1,133 @@
+// Inverted index lists with real-time, lock-free expansion.
+//
+// Section 2.2: "The inverted index is composed of N inverted lists. Each
+// inverted list represents a class of images with similar high-dimensional
+// features." Section 2.3 adds the real-time machinery:
+//
+//  * "there is an auxiliary array for storing the position of the last
+//    element in each inverted list" (Figure 5) — here, each list buffer
+//    carries an atomic `size` published with release ordering after the slot
+//    write, which is exactly that last-element position; InvertedIndex
+//    exposes the whole auxiliary array via LastPositions().
+//
+//  * Memory management (Figure 9): lists are pre-allocated; when one fills
+//    up, a double-size buffer is created, *new ids are appended to the new
+//    buffer* while "the current inverted list continues to serve the
+//    requests", a background task copies the old contents across, and once
+//    the copy finishes the new buffer atomically becomes current and the old
+//    one is retired. Readers are lock-free throughout (atomic shared_ptr
+//    load + atomic size); the writer never waits for the O(n) copy.
+//
+// Concurrency contract: one writer per list (the partition's searcher owns
+// all mutations — matching the paper's one-searcher-per-partition design),
+// any number of readers, plus the background copier coordinated through an
+// atomic flag. The *writer* performs the final swap when it observes the
+// copy finished, so writer state needs no synchronization with the copier
+// beyond that flag.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+// Executes the background copy of Figure 9. Abstracted so tests can run the
+// copy synchronously or hold it back to exercise the expansion window.
+using CopyExecutor = std::function<void(std::function<void()>)>;
+
+// Runs the copy inline (expansion completes on the next append).
+CopyExecutor InlineCopyExecutor();
+
+// Runs the copy on a thread pool (the production configuration).
+CopyExecutor PoolCopyExecutor(ThreadPool& pool);
+
+class InvertedList {
+ public:
+  // `initial_capacity` is the pre-allocated size (Section 2.3: "the memory
+  // of an inverted list is pre-allocated").
+  explicit InvertedList(std::size_t initial_capacity = 64,
+                        CopyExecutor copy_executor = InlineCopyExecutor());
+
+  InvertedList(const InvertedList&) = delete;
+  InvertedList& operator=(const InvertedList&) = delete;
+
+  // Appends an image id (single writer). Triggers expansion when full.
+  void Append(LocalId id);
+
+  // Invokes `visit` on every readable id. Lock-free; safe concurrently with
+  // Append/expansion. During an expansion window this reads the old buffer —
+  // ids appended since the expansion started become visible at the swap,
+  // which is the (bounded) freshness lag the paper's protocol accepts.
+  void Scan(const std::function<void(LocalId)>& visit) const;
+
+  // Copies the readable ids out (test/bench convenience).
+  std::vector<LocalId> SnapshotIds() const;
+
+  // Number of ids visible to readers right now.
+  std::size_t VisibleSize() const noexcept;
+
+  // Number of ids appended in total (visible + pending behind a copy).
+  std::size_t TotalAppended() const noexcept { return total_appended_; }
+
+  // Capacity of the buffer readers currently see.
+  std::size_t VisibleCapacity() const noexcept;
+
+  // True while an expansion copy is outstanding.
+  bool expanding() const noexcept { return next_ != nullptr; }
+
+  std::uint64_t expansions() const noexcept { return expansions_; }
+
+  // If an expansion finished copying, performs the swap now (the writer also
+  // does this on its next Append; exposing it lets the searcher finish
+  // expansions during idle periods). Single writer.
+  void MaybeFinishExpansion();
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), ids(std::make_unique<LocalId[]>(cap)) {}
+    const std::size_t capacity;
+    // Readable prefix; the paper's "position of the last element".
+    std::atomic<std::size_t> size{0};
+    std::unique_ptr<LocalId[]> ids;
+  };
+
+  void StartExpansion(const std::shared_ptr<Buffer>& full);
+  void WaitForCopy() const noexcept;
+
+  std::atomic<std::shared_ptr<Buffer>> current_;
+  // Writer-owned expansion state.
+  std::shared_ptr<Buffer> next_;
+  std::size_t next_append_pos_ = 0;
+  std::shared_ptr<std::atomic<bool>> copy_done_;
+  std::size_t total_appended_ = 0;  // writer-only
+  std::uint64_t expansions_ = 0;    // writer-only
+  CopyExecutor copy_executor_;
+};
+
+// Baseline for the ablation bench: the same API with a mutex around a plain
+// std::vector (readers and writers both take the lock; growth reallocates in
+// place while holding it).
+class LockedInvertedList {
+ public:
+  explicit LockedInvertedList(std::size_t initial_capacity = 64);
+
+  void Append(LocalId id);
+  void Scan(const std::function<void(LocalId)>& visit) const;
+  std::vector<LocalId> SnapshotIds() const;
+  std::size_t VisibleSize() const noexcept;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LocalId> ids_;
+};
+
+}  // namespace jdvs

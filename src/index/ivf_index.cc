@@ -1,0 +1,192 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+
+IvfIndex::IvfIndex(std::shared_ptr<const CoarseQuantizer> quantizer,
+                   const IvfIndexConfig& config, CopyExecutor copy_executor)
+    : quantizer_(std::move(quantizer)),
+      config_(config),
+      features_(quantizer_->dim()) {
+  lists_.reserve(quantizer_->num_clusters());
+  for (std::size_t c = 0; c < quantizer_->num_clusters(); ++c) {
+    lists_.push_back(std::make_unique<InvertedList>(
+        config_.initial_list_capacity, copy_executor));
+  }
+}
+
+LocalId IvfIndex::AddImage(std::string_view image_url, ProductId product_id,
+                           CategoryId category,
+                           const ProductAttributes& attributes,
+                           std::string_view detail_url, FeatureView feature) {
+  assert(feature.size() == dim());
+  // 1. "a new index element plus the product's attributes are created in the
+  //    forward index. The image URL is then inserted to the buffer and the
+  //    offset is recorded" (Figure 8).
+  const ImageId image_id = Fnv1a64(image_url);
+  const LocalId local = forward_.Append(image_id, product_id, category,
+                                        attributes, image_url, detail_url);
+  // 2. Feature stored so inverted-list scans can compute distances.
+  const std::size_t slot = features_.Append(feature);
+  (void)slot;
+  assert(slot == local);
+  // 3. "the inverted index list that the image belongs to is calculated
+  //    based on its high-dimensional features. The image ID is then added to
+  //    the end of the inverted list and the last element position ... is
+  //    updated in the auxiliary array."
+  const std::uint32_t list = quantizer_->NearestCentroid(feature);
+  lists_[list]->Append(local);
+  // 4. Valid and searchable from this moment (data freshness).
+  valid_.Set(local, true);
+  // Writer-side lookup state.
+  url_to_local_.emplace(std::string(image_url), local);
+  product_to_locals_[product_id].push_back(local);
+  return local;
+}
+
+bool IvfIndex::HasImage(std::string_view image_url) const {
+  return url_to_local_.find(std::string(image_url)) != url_to_local_.end();
+}
+
+bool IvfIndex::HasProduct(ProductId product_id) const {
+  return product_to_locals_.find(product_id) != product_to_locals_.end();
+}
+
+std::size_t IvfIndex::UpdateProductAttributes(ProductId product_id,
+                                              const ProductAttributes& attributes,
+                                              std::string_view detail_url) {
+  const auto it = product_to_locals_.find(product_id);
+  if (it == product_to_locals_.end()) return 0;
+  for (const LocalId local : it->second) {
+    forward_.UpdateNumeric(local, attributes);
+    if (!detail_url.empty()) forward_.UpdateDetailUrl(local, detail_url);
+  }
+  return it->second.size();
+}
+
+std::size_t IvfIndex::SetProductValidity(ProductId product_id, bool valid) {
+  const auto it = product_to_locals_.find(product_id);
+  if (it == product_to_locals_.end()) return 0;
+  for (const LocalId local : it->second) valid_.Set(local, valid);
+  return it->second.size();
+}
+
+bool IvfIndex::SetImageValidity(std::string_view image_url, bool valid) {
+  const auto it = url_to_local_.find(std::string(image_url));
+  if (it == url_to_local_.end()) return false;
+  valid_.Set(it->second, valid);
+  return true;
+}
+
+bool IvfIndex::IsImageValid(std::string_view image_url) const {
+  const auto it = url_to_local_.find(std::string(image_url));
+  return it != url_to_local_.end() && valid_.Get(it->second);
+}
+
+void IvfIndex::FinishPendingExpansions() {
+  for (const auto& list : lists_) list->MaybeFinishExpansion();
+}
+
+void IvfIndex::ScanList(std::size_t list, FeatureView query,
+                        CategoryId category_filter, TopK& topk) const {
+  lists_[list]->Scan([&](LocalId local) {
+    // "Only the valid images are used" — the bitmap check costs one atomic
+    // load and skips the O(dim) distance for removed products.
+    if (config_.filter_invalid_during_scan && !valid_.Get(local)) return;
+    // Category scoping: the entry's category is immutable after append.
+    if (category_filter != kNoCategoryFilter &&
+        forward_.CategoryOf(local) != category_filter) {
+      return;
+    }
+    const float d = L2SquaredDistance(query, features_.At(local));
+    topk.Offer(local, d);
+  });
+}
+
+SearchHit IvfIndex::MaterializeHit(const ScoredImage& scored) const {
+  const auto local = static_cast<LocalId>(scored.image_id);
+  const AttributeSnapshot snapshot = forward_.Get(local);
+  SearchHit hit;
+  hit.image_id = snapshot.image_id;
+  hit.distance = scored.distance;
+  hit.product_id = snapshot.product_id;
+  hit.category = snapshot.category;
+  hit.attributes = snapshot.attributes;
+  hit.image_url = std::string(snapshot.image_url);
+  hit.detail_url = std::string(snapshot.detail_url);
+  return hit;
+}
+
+std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
+                                        std::size_t nprobe_override,
+                                        CategoryId category_filter) const {
+  assert(query.size() == dim());
+  const std::size_t nprobe =
+      nprobe_override == 0 ? config_.nprobe : nprobe_override;
+  // "each searcher node identifies the cluster that is most similar to the
+  // queried image based on its features" (Section 2.4), generalized to the
+  // standard multi-probe recall knob.
+  const std::vector<std::uint32_t> probes =
+      quantizer_->NearestCentroids(query, nprobe);
+  TopK topk(k);
+  for (const std::uint32_t list : probes) {
+    ScanList(list, query, category_filter, topk);
+  }
+
+  std::vector<SearchHit> hits;
+  for (const ScoredImage& scored : topk.TakeSorted()) {
+    if (!config_.filter_invalid_during_scan &&
+        !valid_.Get(static_cast<LocalId>(scored.image_id))) {
+      continue;  // late filtering (ablation baseline)
+    }
+    hits.push_back(MaterializeHit(scored));
+  }
+  return hits;
+}
+
+std::vector<SearchHit> IvfIndex::SearchExhaustive(FeatureView query,
+                                                  std::size_t k) const {
+  assert(query.size() == dim());
+  TopK topk(k);
+  const std::size_t n = features_.size();
+  for (std::size_t local = 0; local < n; ++local) {
+    if (!valid_.Get(local)) continue;
+    topk.Offer(static_cast<ImageId>(local),
+               L2SquaredDistance(query, features_.At(local)));
+  }
+  std::vector<SearchHit> hits;
+  for (const ScoredImage& scored : topk.TakeSorted()) {
+    hits.push_back(MaterializeHit(scored));
+  }
+  return hits;
+}
+
+void IvfIndex::ForEachEntry(
+    const std::function<void(LocalId, const AttributeSnapshot&, FeatureView,
+                             bool)>& visit) const {
+  const std::size_t n = forward_.size();
+  for (std::size_t local = 0; local < n; ++local) {
+    const auto id = static_cast<LocalId>(local);
+    visit(id, forward_.Get(id), features_.At(local), valid_.Get(local));
+  }
+}
+
+IvfIndexStats IvfIndex::Stats() const {
+  IvfIndexStats stats;
+  stats.total_images = forward_.size();
+  stats.valid_images = valid_.CountValid();
+  stats.num_lists = lists_.size();
+  for (const auto& list : lists_) {
+    stats.largest_list = std::max(stats.largest_list, list->VisibleSize());
+    stats.list_expansions += list->expansions();
+  }
+  stats.buffer_bytes = forward_.buffer_bytes_used();
+  return stats;
+}
+
+}  // namespace jdvs

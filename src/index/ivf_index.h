@@ -1,0 +1,144 @@
+// Per-partition IVF index: the unit a searcher owns.
+//
+// Combines everything Sections 2.2-2.4 describe for one partition of the
+// image set: the coarse quantizer (k-means classes), the N inverted lists,
+// the forward index with product attributes, the per-image feature store
+// (needed to compute Euclidean distances during the inverted-list scan), and
+// the validity bitmap.
+//
+// Concurrency contract (matching the paper's architecture): exactly one
+// writer — the searcher applies every index mutation, both real-time updates
+// and re-additions — and any number of concurrent reader threads executing
+// Search(). All reader-visible state is published via atomics; Search never
+// takes a lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/quantizer.h"
+#include "index/bitmap.h"
+#include "index/forward_index.h"
+#include "index/image_index.h"
+#include "index/inverted_index.h"
+#include "mq/message.h"
+#include "vecmath/topk.h"
+#include "vecmath/vector.h"
+#include "vecmath/vector_set.h"
+
+namespace jdvs {
+
+struct IvfIndexConfig {
+  // Number of inverted lists probed per search (recall knob).
+  std::size_t nprobe = 4;
+  // Pre-allocated capacity of each inverted list.
+  std::size_t initial_list_capacity = 64;
+  // When false, the validity bitmap is ignored during the scan and invalid
+  // images are filtered only when materializing results — the "no bitmap
+  // optimization" ablation baseline.
+  bool filter_invalid_during_scan = true;
+};
+
+struct IvfIndexStats {
+  std::size_t total_images = 0;    // forward index entries
+  std::size_t valid_images = 0;    // bitmap population
+  std::size_t num_lists = 0;
+  std::size_t largest_list = 0;
+  std::uint64_t list_expansions = 0;
+  std::size_t buffer_bytes = 0;
+};
+
+class IvfIndex final : public ImageIndex {
+ public:
+  IvfIndex(std::shared_ptr<const CoarseQuantizer> quantizer,
+           const IvfIndexConfig& config = {},
+           CopyExecutor copy_executor = InlineCopyExecutor());
+
+  IvfIndex(const IvfIndex&) = delete;
+  IvfIndex& operator=(const IvfIndex&) = delete;
+
+  // ---- Writer operations (single writer) ----
+
+  // Inserts a brand-new image (Figure 8): forward-index entry + attributes,
+  // URL into the buffer, feature stored, image id appended to the inverted
+  // list chosen by the quantizer, validity bit set. Returns the local id.
+  LocalId AddImage(std::string_view image_url, ProductId product_id,
+                   CategoryId category, const ProductAttributes& attributes,
+                   std::string_view detail_url, FeatureView feature) override;
+
+  // True if this image URL already has a forward-index entry (the re-listing
+  // reuse path: no re-extraction, no new entry — just revalidation).
+  bool HasImage(std::string_view image_url) const override;
+  bool HasProduct(ProductId product_id) const override;
+
+  // Updates numeric attributes (and optionally the detail URL) on every
+  // image of the product in this partition (Figure 7). Returns the number of
+  // entries touched.
+  std::size_t UpdateProductAttributes(ProductId product_id,
+                                      const ProductAttributes& attributes,
+                                      std::string_view detail_url = {}) override;
+
+  // Marks all of the product's images (in this partition) valid/invalid —
+  // O(1) per image, never touches the inverted lists (Deletion, Figure 6).
+  // Returns the number of bits flipped.
+  std::size_t SetProductValidity(ProductId product_id, bool valid) override;
+
+  // Marks one image valid/invalid; false if unknown.
+  bool SetImageValidity(std::string_view image_url, bool valid) override;
+
+  bool IsImageValid(std::string_view image_url) const;
+
+  // Finishes any outstanding inverted-list expansions (writer housekeeping).
+  void FinishPendingExpansions() override;
+
+  // ---- Reader operations (any thread, lock-free) ----
+
+  // Top-k most similar valid images to `query`. `nprobe_override` of 0 uses
+  // the configured nprobe; `category_filter` optionally restricts the scan.
+  using ImageIndex::Search;
+  std::vector<SearchHit> Search(FeatureView query, std::size_t k,
+                                std::size_t nprobe_override,
+                                CategoryId category_filter) const override;
+
+  // Brute-force scan over all valid images (ground truth for recall tests).
+  std::vector<SearchHit> SearchExhaustive(FeatureView query,
+                                          std::size_t k) const;
+
+  // Visits every entry in local-id order with its attributes, feature and
+  // validity — the iteration snapshotting and replication tooling builds on.
+  // Safe concurrently with searches; must not race the writer if an exact
+  // point-in-time snapshot is required.
+  void ForEachEntry(
+      const std::function<void(LocalId, const AttributeSnapshot&, FeatureView,
+                               bool valid)>& visit) const;
+
+  IvfIndexStats Stats() const;
+  std::size_t size() const override { return forward_.size(); }
+  std::size_t dim() const override { return quantizer_->dim(); }
+  const CoarseQuantizer& quantizer() const { return *quantizer_; }
+  const IvfIndexConfig& config() const { return config_; }
+
+ private:
+  SearchHit MaterializeHit(const ScoredImage& scored) const;
+  void ScanList(std::size_t list, FeatureView query,
+                CategoryId category_filter, TopK& topk) const;
+
+  std::shared_ptr<const CoarseQuantizer> quantizer_;
+  IvfIndexConfig config_;
+  ForwardIndex forward_;
+  VectorSet features_;
+  ValidityBitmap valid_;
+  std::vector<std::unique_ptr<InvertedList>> lists_;
+  // Writer-owned lookup state (never touched by Search).
+  std::unordered_map<std::string, LocalId> url_to_local_;
+  std::unordered_map<ProductId, std::vector<LocalId>> product_to_locals_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,155 @@
+#include "index/snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace jdvs {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4A44565349445831ULL;  // "JDVSIDX1"
+constexpr std::uint32_t kVersion = 1;
+
+void WriteRaw(std::ostream& os, const void* data, std::size_t bytes) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(bytes));
+  if (!os) throw SnapshotError("snapshot write failed");
+}
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WriteRaw(os, &value, sizeof(T));
+}
+
+void WriteString(std::ostream& os, std::string_view s) {
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  WriteRaw(os, s.data(), s.size());
+}
+
+void ReadRaw(std::istream& is, void* data, std::size_t bytes) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (is.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw SnapshotError("snapshot truncated");
+  }
+}
+
+template <typename T>
+T ReadPod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  ReadRaw(is, &value, sizeof(T));
+  return value;
+}
+
+std::string ReadString(std::istream& is) {
+  const auto size = ReadPod<std::uint32_t>(is);
+  if (size > (1u << 24)) throw SnapshotError("snapshot string too large");
+  std::string s(size, '\0');
+  ReadRaw(is, s.data(), size);
+  return s;
+}
+
+}  // namespace
+
+void SaveIndexSnapshot(const IvfIndex& index, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw SnapshotError("cannot open for writing: " + path);
+
+  WritePod(os, kMagic);
+  WritePod(os, kVersion);
+
+  // Index configuration.
+  const IvfIndexConfig& config = index.config();
+  WritePod<std::uint64_t>(os, config.nprobe);
+  WritePod<std::uint64_t>(os, config.initial_list_capacity);
+  WritePod<std::uint8_t>(os, config.filter_invalid_during_scan ? 1 : 0);
+
+  // Quantizer.
+  const CoarseQuantizer& quantizer = index.quantizer();
+  WritePod<std::uint64_t>(os, quantizer.dim());
+  WritePod<std::uint64_t>(os, quantizer.num_clusters());
+  for (std::size_t c = 0; c < quantizer.num_clusters(); ++c) {
+    const FeatureView centroid = quantizer.Centroid(c);
+    WriteRaw(os, centroid.data(), centroid.size() * sizeof(float));
+  }
+
+  // Entries.
+  WritePod<std::uint64_t>(os, index.size());
+  index.ForEachEntry([&](LocalId, const AttributeSnapshot& snapshot,
+                         FeatureView feature, bool valid) {
+    WriteString(os, snapshot.image_url);
+    WritePod<std::uint64_t>(os, snapshot.product_id);
+    WritePod<std::uint32_t>(os, snapshot.category);
+    WritePod<std::uint64_t>(os, snapshot.attributes.sales);
+    WritePod<std::uint64_t>(os, snapshot.attributes.price_cents);
+    WritePod<std::uint64_t>(os, snapshot.attributes.praise);
+    WriteString(os, snapshot.detail_url);
+    WritePod<std::uint8_t>(os, valid ? 1 : 0);
+    WriteRaw(os, feature.data(), feature.size() * sizeof(float));
+  });
+  os.flush();
+  if (!os) throw SnapshotError("snapshot flush failed");
+}
+
+std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
+                                            CopyExecutor copy_executor) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SnapshotError("cannot open for reading: " + path);
+
+  if (ReadPod<std::uint64_t>(is) != kMagic) {
+    throw SnapshotError("bad snapshot magic: " + path);
+  }
+  const auto version = ReadPod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw SnapshotError("unsupported snapshot version " +
+                        std::to_string(version));
+  }
+
+  IvfIndexConfig config;
+  config.nprobe = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  config.initial_list_capacity =
+      static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  config.filter_invalid_during_scan = ReadPod<std::uint8_t>(is) != 0;
+
+  const auto dim = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  const auto num_clusters = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  if (dim == 0 || dim > (1u << 20) || num_clusters == 0 ||
+      num_clusters > (1u << 24)) {
+    throw SnapshotError("implausible snapshot dimensions");
+  }
+  std::vector<float> centroids(num_clusters * dim);
+  ReadRaw(is, centroids.data(), centroids.size() * sizeof(float));
+  auto quantizer =
+      std::make_shared<const CoarseQuantizer>(std::move(centroids), dim);
+
+  auto index = std::make_unique<IvfIndex>(std::move(quantizer), config,
+                                          std::move(copy_executor));
+  const auto count = ReadPod<std::uint64_t>(is);
+  std::vector<float> feature(dim);
+  std::vector<std::pair<std::string, bool>> validity;
+  validity.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string image_url = ReadString(is);
+    const auto product_id = ReadPod<std::uint64_t>(is);
+    const auto category = ReadPod<std::uint32_t>(is);
+    ProductAttributes attributes;
+    attributes.sales = ReadPod<std::uint64_t>(is);
+    attributes.price_cents = ReadPod<std::uint64_t>(is);
+    attributes.praise = ReadPod<std::uint64_t>(is);
+    const std::string detail_url = ReadString(is);
+    const bool valid = ReadPod<std::uint8_t>(is) != 0;
+    ReadRaw(is, feature.data(), feature.size() * sizeof(float));
+    index->AddImage(image_url, product_id, category, attributes, detail_url,
+                    FeatureView(feature.data(), feature.size()));
+    if (!valid) validity.emplace_back(image_url, false);
+  }
+  // AddImage marks entries valid; reapply the invalid bits afterwards.
+  for (const auto& [url, valid] : validity) {
+    index->SetImageValidity(url, valid);
+  }
+  index->FinishPendingExpansions();
+  return index;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,39 @@
+// Index snapshot persistence.
+//
+// The production pipeline builds the full index weekly (Section 2.2) and
+// ships it to searcher nodes; that requires a durable on-disk form. A
+// snapshot captures one partition's complete index — quantizer centroids,
+// every entry's attributes, feature and validity bit, and the index
+// configuration — and reloads into an IvfIndex whose search results are
+// bit-for-bit identical (inverted-list assignment is recomputed from the
+// same centroids, so the structure reproduces deterministically).
+//
+// Format: a little-endian binary stream with a magic/version header. The
+// format is an internal interchange format between builder and searchers of
+// the same build, not a long-term stable archive.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "index/inverted_index.h"
+#include "index/ivf_index.h"
+
+namespace jdvs {
+
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Writes `index` to `path`. Throws SnapshotError on I/O failure. Must not
+// race the index's writer (searchers snapshot between update batches).
+void SaveIndexSnapshot(const IvfIndex& index, const std::string& path);
+
+// Reads a snapshot back into a fresh index. Throws SnapshotError on I/O
+// failure, bad magic, version mismatch, or truncation.
+std::unique_ptr<IvfIndex> LoadIndexSnapshot(
+    const std::string& path, CopyExecutor copy_executor = InlineCopyExecutor());
+
+}  // namespace jdvs

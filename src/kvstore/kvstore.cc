@@ -1,0 +1,11 @@
+#include "kvstore/kvstore.h"
+
+namespace jdvs {
+
+std::size_t ShardIndexFor(std::string_view key, std::size_t num_shards) {
+  return num_shards <= 1
+             ? 0
+             : static_cast<std::size_t>(Fnv1a64(key) % num_shards);
+}
+
+}  // namespace jdvs

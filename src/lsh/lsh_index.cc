@@ -1,0 +1,128 @@
+#include "lsh/lsh_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <mutex>
+
+#include "common/hash.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+
+LshIndex::LshIndex(std::size_t dim, const LshIndexConfig& config)
+    : dim_(dim), config_(config), vectors_(dim) {
+  Rng rng(config_.seed);
+  tables_.resize(config_.num_tables);
+  for (auto& table : tables_) {
+    table.projections.resize(config_.hashes_per_table * dim_);
+    for (float& x : table.projections) {
+      x = static_cast<float>(rng.NextGaussian());
+    }
+    table.offsets.resize(config_.hashes_per_table);
+    for (float& b : table.offsets) {
+      b = static_cast<float>(rng.NextDouble()) * config_.bucket_width;
+    }
+  }
+}
+
+std::vector<float> LshIndex::RawHashes(const Table& table,
+                                       FeatureView v) const {
+  std::vector<float> raw(config_.hashes_per_table);
+  for (std::size_t i = 0; i < config_.hashes_per_table; ++i) {
+    const FeatureView row(&table.projections[i * dim_], dim_);
+    raw[i] = (InnerProduct(row, v) + table.offsets[i]) / config_.bucket_width;
+  }
+  return raw;
+}
+
+std::uint64_t LshIndex::KeyFor(const std::vector<std::int64_t>& values) {
+  std::uint64_t key = 0xcbf29ce484222325ULL;
+  for (const std::int64_t v : values) {
+    key = HashCombine(key, Mix64(static_cast<std::uint64_t>(v)));
+  }
+  return key;
+}
+
+void LshIndex::Add(ImageId id, FeatureView v) {
+  assert(v.size() == dim_);
+  std::unique_lock lock(mu_);
+  const auto slot = static_cast<std::uint32_t>(vectors_.Append(v));
+  ids_.push_back(id);
+  std::vector<std::int64_t> coords(config_.hashes_per_table);
+  for (auto& table : tables_) {
+    const std::vector<float> raw = RawHashes(table, v);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      coords[i] = static_cast<std::int64_t>(std::floor(raw[i]));
+    }
+    table.buckets[KeyFor(coords)].push_back(slot);
+  }
+}
+
+std::vector<ScoredImage> LshIndex::Search(FeatureView query, std::size_t k,
+                                          std::size_t extra_probes) const {
+  assert(query.size() == dim_);
+  std::shared_lock lock(mu_);
+  TopK topk(k);
+  std::vector<bool> seen(vectors_.size(), false);
+  std::vector<std::int64_t> coords(config_.hashes_per_table);
+
+  const auto scan_bucket = [&](const Table& table, std::uint64_t key) {
+    const auto it = table.buckets.find(key);
+    if (it == table.buckets.end()) return;
+    for (const std::uint32_t slot : it->second) {
+      if (seen[slot]) continue;
+      seen[slot] = true;
+      topk.Offer(ids_[slot], L2SquaredDistance(query, vectors_.At(slot)));
+    }
+  };
+
+  for (const auto& table : tables_) {
+    const std::vector<float> raw = RawHashes(table, query);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      coords[i] = static_cast<std::int64_t>(std::floor(raw[i]));
+    }
+    scan_bucket(table, KeyFor(coords));
+
+    if (extra_probes == 0) continue;
+    // Multi-probe: rank single-coordinate +/-1 perturbations by the query's
+    // distance to that hash boundary, probe the closest `extra_probes`.
+    struct Perturbation {
+      float boundary_distance;
+      std::size_t coordinate;
+      int direction;
+    };
+    std::vector<Perturbation> perturbations;
+    perturbations.reserve(2 * raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const float frac = raw[i] - std::floor(raw[i]);
+      perturbations.push_back({1.f - frac, i, +1});
+      perturbations.push_back({frac, i, -1});
+    }
+    std::sort(perturbations.begin(), perturbations.end(),
+              [](const Perturbation& a, const Perturbation& b) {
+                return a.boundary_distance < b.boundary_distance;
+              });
+    const std::size_t probes = std::min(extra_probes, perturbations.size());
+    for (std::size_t p = 0; p < probes; ++p) {
+      coords[perturbations[p].coordinate] += perturbations[p].direction;
+      scan_bucket(table, KeyFor(coords));
+      coords[perturbations[p].coordinate] -= perturbations[p].direction;
+    }
+  }
+  return topk.TakeSorted();
+}
+
+std::size_t LshIndex::size() const {
+  std::shared_lock lock(mu_);
+  return ids_.size();
+}
+
+std::size_t LshIndex::BucketCount() const {
+  std::shared_lock lock(mu_);
+  std::size_t count = 0;
+  for (const auto& table : tables_) count += table.buckets.size();
+  return count;
+}
+
+}  // namespace jdvs

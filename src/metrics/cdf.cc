@@ -1,0 +1,30 @@
+#include "metrics/cdf.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace jdvs {
+
+void PrintCdfSeconds(std::ostream& os, const Histogram& histogram,
+                     std::size_t max_points) {
+  const auto points = histogram.CdfPoints();
+  if (points.empty()) {
+    os << "(empty)\n";
+    return;
+  }
+  double next_fraction = 0.0;
+  const double step =
+      max_points > 1 ? 1.0 / static_cast<double>(max_points - 1) : 1.0;
+  char line[64];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& [upper_micros, fraction] = points[i];
+    const bool last = i + 1 == points.size();
+    if (fraction + 1e-12 < next_fraction && !last) continue;
+    std::snprintf(line, sizeof(line), "%.4f\t%.4f\n",
+                  static_cast<double>(upper_micros) * 1e-6, fraction);
+    os << line;
+    next_fraction = fraction + step;
+  }
+}
+
+}  // namespace jdvs

@@ -1,0 +1,15 @@
+// CDF output (Figure 13(b)-style response-time distribution).
+#pragma once
+
+#include <iosfwd>
+
+#include "common/histogram.h"
+
+namespace jdvs {
+
+// Prints "value_seconds<TAB>cumulative_fraction" lines, downsampled to at
+// most `max_points` rows (evenly spaced in cumulative probability).
+void PrintCdfSeconds(std::ostream& os, const Histogram& histogram,
+                     std::size_t max_points = 40);
+
+}  // namespace jdvs

@@ -1,0 +1,21 @@
+#include "metrics/qps_counter.h"
+
+namespace jdvs {
+
+QpsCounter::QpsCounter(const Clock& clock)
+    : clock_(&clock), start_(clock.NowMicros()) {}
+
+double QpsCounter::Qps() const noexcept {
+  const Micros elapsed =
+      clock_->NowMicros() - start_.load(std::memory_order_relaxed);
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(count()) /
+         (static_cast<double>(elapsed) * 1e-6);
+}
+
+void QpsCounter::Reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  start_.store(clock_->NowMicros(), std::memory_order_relaxed);
+}
+
+}  // namespace jdvs

@@ -1,0 +1,34 @@
+// Throughput counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace jdvs {
+
+class QpsCounter {
+ public:
+  explicit QpsCounter(const Clock& clock = MonotonicClock::Instance());
+
+  void Add(std::uint64_t n = 1) noexcept {
+    count_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  // Events per second since construction (or the last Reset).
+  double Qps() const noexcept;
+
+  void Reset() noexcept;
+
+ private:
+  const Clock* clock_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<Micros> start_;
+};
+
+}  // namespace jdvs

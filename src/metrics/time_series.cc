@@ -1,0 +1,37 @@
+#include "metrics/time_series.h"
+
+namespace jdvs {
+
+HourlyUpdateSeries::HourlyUpdateSeries() {
+  for (auto& per_type : counts_) {
+    for (auto& c : per_type) c.store(0, std::memory_order_relaxed);
+  }
+  for (auto& h : latency_) h = std::make_unique<Histogram>();
+}
+
+void HourlyUpdateSeries::AddCount(int hour, UpdateType type,
+                                  std::uint64_t n) noexcept {
+  counts_[static_cast<std::size_t>(hour)][static_cast<std::size_t>(type)]
+      .fetch_add(n, std::memory_order_relaxed);
+}
+
+void HourlyUpdateSeries::AddLatency(int hour, std::int64_t micros) noexcept {
+  latency_[static_cast<std::size_t>(hour)]->Record(micros);
+}
+
+std::uint64_t HourlyUpdateSeries::CountAt(int hour,
+                                          UpdateType type) const noexcept {
+  return counts_[static_cast<std::size_t>(hour)]
+                [static_cast<std::size_t>(type)]
+                    .load(std::memory_order_relaxed);
+}
+
+std::uint64_t HourlyUpdateSeries::TotalAt(int hour) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_[static_cast<std::size_t>(hour)]) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace jdvs

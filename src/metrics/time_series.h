@@ -1,0 +1,37 @@
+// Hourly time series for the operational plots (Figure 11).
+//
+// Buckets counts and latency histograms by hour-of-day and by update type,
+// producing exactly the series the paper plots: per-hour stacked update
+// counts (11(a)) and per-hour avg/p90/p99 update latency (11(b)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/histogram.h"
+#include "mq/message.h"
+
+namespace jdvs {
+
+class HourlyUpdateSeries {
+ public:
+  HourlyUpdateSeries();
+
+  // Thread-safe.
+  void AddCount(int hour, UpdateType type, std::uint64_t n = 1) noexcept;
+  void AddLatency(int hour, std::int64_t micros) noexcept;
+
+  std::uint64_t CountAt(int hour, UpdateType type) const noexcept;
+  std::uint64_t TotalAt(int hour) const noexcept;
+  const Histogram& LatencyAt(int hour) const noexcept {
+    return *latency_[static_cast<std::size_t>(hour)];
+  }
+
+ private:
+  static constexpr std::size_t kTypes = 3;
+  std::array<std::array<std::atomic<std::uint64_t>, kTypes>, 24> counts_;
+  std::array<std::unique_ptr<Histogram>, 24> latency_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,31 @@
+#include "mq/message.h"
+
+#include <sstream>
+
+namespace jdvs {
+
+const char* UpdateTypeName(UpdateType type) {
+  switch (type) {
+    case UpdateType::kAttributeUpdate:
+      return "attribute_update";
+    case UpdateType::kAddProduct:
+      return "add_product";
+    case UpdateType::kRemoveProduct:
+      return "remove_product";
+  }
+  return "unknown";
+}
+
+std::string ToString(const ProductUpdateMessage& message) {
+  std::ostringstream os;
+  os << "{" << UpdateTypeName(message.type) << " product=" << message.product_id
+     << " category=" << message.category_id
+     << " images=" << message.image_urls.size()
+     << " sales=" << message.attributes.sales
+     << " price=" << message.attributes.price_cents
+     << " praise=" << message.attributes.praise << " seq=" << message.sequence
+     << "}";
+  return os.str();
+}
+
+}  // namespace jdvs

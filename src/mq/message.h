@@ -1,0 +1,56 @@
+// Product update messages.
+//
+// Section 2.3: "Messages about product or image updates are received from a
+// message queue and processed instantly." Three message kinds drive the
+// real-time index (Figure 6): numeric/attribute updates, product additions
+// (including re-listings of previously seen products), and removals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+enum class UpdateType : std::uint8_t {
+  kAttributeUpdate = 0,  // numeric or variable-length attribute change
+  kAddProduct = 1,       // add (or re-list) a product and its images
+  kRemoveProduct = 2,    // take the product off the market
+};
+
+const char* UpdateTypeName(UpdateType type);
+
+// Numeric product attributes carried by the forward index (Section 2.2: "The
+// numeric attributes such as product ID, sales, price are stored in the
+// fixed-length fields").
+struct ProductAttributes {
+  std::uint64_t sales = 0;
+  std::uint64_t price_cents = 0;
+  std::uint64_t praise = 0;  // favorable-review count, used in ranking
+
+  friend bool operator==(const ProductAttributes&,
+                         const ProductAttributes&) = default;
+};
+
+struct ProductUpdateMessage {
+  UpdateType type = UpdateType::kAttributeUpdate;
+  ProductId product_id = 0;
+  CategoryId category_id = 0;
+  // Image URLs of the product. Required for kAddProduct; optional context
+  // for the other types.
+  std::vector<std::string> image_urls;
+  ProductAttributes attributes;
+  // Optional variable-length attribute change (e.g. a new landing URL);
+  // empty means unchanged.
+  std::string detail_url;
+  // Event time in microseconds (producer clock).
+  std::int64_t timestamp_micros = 0;
+  // Monotone per-producer sequence number; the message log replays in order.
+  std::uint64_t sequence = 0;
+};
+
+std::string ToString(const ProductUpdateMessage& message);
+
+}  // namespace jdvs

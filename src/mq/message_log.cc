@@ -1,0 +1,35 @@
+#include "mq/message_log.h"
+
+namespace jdvs {
+
+std::uint64_t MessageLog::Append(ProductUpdateMessage message) {
+  std::lock_guard lock(mu_);
+  message.sequence = next_sequence_++;
+  entries_.push_back(std::move(message));
+  return entries_.back().sequence;
+}
+
+void MessageLog::Replay(
+    const std::function<void(const ProductUpdateMessage&)>& visit) const {
+  // Snapshot under the lock, visit outside it: replay drives feature
+  // extraction and index construction, which must not serialize appends.
+  const std::vector<ProductUpdateMessage> snapshot = Snapshot();
+  for (const auto& message : snapshot) visit(message);
+}
+
+std::vector<ProductUpdateMessage> MessageLog::Snapshot() const {
+  std::lock_guard lock(mu_);
+  return std::vector<ProductUpdateMessage>(entries_.begin(), entries_.end());
+}
+
+std::size_t MessageLog::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void MessageLog::Clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace jdvs

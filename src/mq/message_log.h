@@ -1,0 +1,48 @@
+// Append-only, replayable message log.
+//
+// Section 2.2 / Figure 2: "All product update messages of a day are buffered
+// in a message log. At the end of the day, each message in the log is
+// processed in order." The log records every message the real-time path saw
+// so the periodic full indexing can rebuild state deterministically, then be
+// truncated for the next day.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "mq/message.h"
+
+namespace jdvs {
+
+class MessageLog {
+ public:
+  MessageLog() = default;
+
+  MessageLog(const MessageLog&) = delete;
+  MessageLog& operator=(const MessageLog&) = delete;
+
+  // Appends a message; assigns and returns its log sequence number.
+  std::uint64_t Append(ProductUpdateMessage message);
+
+  // Invokes `visit` on every logged message in append order. The log is
+  // snapshot-consistent: messages appended during replay are not visited.
+  void Replay(const std::function<void(const ProductUpdateMessage&)>& visit) const;
+
+  // Copies out the full contents in order.
+  std::vector<ProductUpdateMessage> Snapshot() const;
+
+  std::size_t size() const;
+
+  // Truncates the log (start of a new day).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<ProductUpdateMessage> entries_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,64 @@
+#include "mq/topic_queue.h"
+
+namespace jdvs {
+
+std::shared_ptr<Subscription> TopicQueue::Subscribe(const std::string& topic) {
+  auto subscription = std::make_shared<Subscription>(capacity_);
+  std::lock_guard lock(mu_);
+  Topic& t = topics_[topic];
+  if (t.closed) {
+    subscription->queue_.Close();
+  } else {
+    t.subscriptions.push_back(subscription);
+  }
+  return subscription;
+}
+
+std::size_t TopicQueue::Publish(const std::string& topic,
+                                ProductUpdateMessage message) {
+  // Snapshot subscriptions under the lock, push outside it so a slow
+  // subscriber cannot block Subscribe/Publish on other topics.
+  std::vector<std::shared_ptr<Subscription>> targets;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end() || it->second.closed) return 0;
+    targets = it->second.subscriptions;
+  }
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    // The last target can take the message by move.
+    if (i + 1 == targets.size()) {
+      delivered += targets[i]->queue_.Push(std::move(message)) ? 1 : 0;
+    } else {
+      delivered += targets[i]->queue_.Push(message) ? 1 : 0;
+    }
+  }
+  return delivered;
+}
+
+void TopicQueue::CloseTopic(const std::string& topic) {
+  std::vector<std::shared_ptr<Subscription>> targets;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return;
+    it->second.closed = true;
+    targets = it->second.subscriptions;
+  }
+  for (const auto& s : targets) s->queue_.Close();
+}
+
+void TopicQueue::CloseAll() {
+  std::vector<std::shared_ptr<Subscription>> targets;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [name, topic] : topics_) {
+      topic.closed = true;
+      for (const auto& s : topic.subscriptions) targets.push_back(s);
+    }
+  }
+  for (const auto& s : targets) s->queue_.Close();
+}
+
+}  // namespace jdvs

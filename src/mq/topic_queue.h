@@ -1,0 +1,70 @@
+// Topic-based message queue (JMQ stand-in).
+//
+// Producers publish ProductUpdateMessages to a topic; each subscriber group
+// member pops from a shared bounded queue (work-sharing, like one consumer
+// group). A separate fan-out mode clones the message to every subscription,
+// which is how one update stream feeds many searcher partitions (the
+// partition owner filters by image-URL hash).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "mq/message.h"
+
+namespace jdvs {
+
+class Subscription {
+ public:
+  explicit Subscription(std::size_t capacity) : queue_(capacity) {}
+
+  // Blocking pop; nullopt when the topic is closed and drained.
+  std::optional<ProductUpdateMessage> Receive() { return queue_.Pop(); }
+  std::optional<ProductUpdateMessage> TryReceive() { return queue_.TryPop(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Unblocks receivers; remaining messages drain, then Receive() returns
+  // nullopt. Used by consumers shutting down independently of the topic.
+  void Close() { queue_.Close(); }
+
+ private:
+  friend class TopicQueue;
+  MpmcQueue<ProductUpdateMessage> queue_;
+};
+
+class TopicQueue {
+ public:
+  explicit TopicQueue(std::size_t per_subscription_capacity = 65536)
+      : capacity_(per_subscription_capacity) {}
+
+  // Creates a new subscription on `topic`. Every message published to the
+  // topic after this call is delivered to every live subscription (fan-out).
+  std::shared_ptr<Subscription> Subscribe(const std::string& topic);
+
+  // Publishes to all subscriptions of `topic`. Blocks on full subscriber
+  // queues (backpressure). Returns the number of subscriptions reached.
+  std::size_t Publish(const std::string& topic, ProductUpdateMessage message);
+
+  // Closes a topic: subscribers drain and then see end-of-stream.
+  void CloseTopic(const std::string& topic);
+
+  // Closes everything.
+  void CloseAll();
+
+ private:
+  struct Topic {
+    std::vector<std::shared_ptr<Subscription>> subscriptions;
+    bool closed = false;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<std::string, Topic> topics_;
+  std::size_t capacity_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,4 @@
+#include "net/load_balancer.h"
+
+// RoundRobinBalancer is a template; this translation unit anchors the header.
+namespace jdvs {}

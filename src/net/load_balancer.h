@@ -1,0 +1,49 @@
+// Front-end load balancer (the paper's Nginx stand-in).
+//
+// "Upon receiving a query from the user, a front end (i.e., load balancer)
+// forwards the query to one of the blenders." Round robin over backends,
+// skipping unhealthy ones via a caller-supplied predicate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace jdvs {
+
+template <typename Backend>
+class RoundRobinBalancer {
+ public:
+  using HealthCheck = std::function<bool(const Backend&)>;
+
+  explicit RoundRobinBalancer(
+      std::vector<Backend*> backends,
+      HealthCheck healthy = [](const Backend&) { return true; })
+      : backends_(std::move(backends)), healthy_(std::move(healthy)) {
+    if (backends_.empty()) {
+      throw std::invalid_argument("load balancer needs at least one backend");
+    }
+  }
+
+  // Next healthy backend, round robin. Throws when every backend is down.
+  Backend& Next() {
+    const std::size_t n = backends_.size();
+    const std::size_t start = cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      Backend* candidate = backends_[(start + i) % n];
+      if (healthy_(*candidate)) return *candidate;
+    }
+    throw std::runtime_error("no healthy backend available");
+  }
+
+  std::size_t num_backends() const { return backends_.size(); }
+
+ private:
+  std::vector<Backend*> backends_;
+  HealthCheck healthy_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace jdvs

@@ -1,0 +1,87 @@
+// Simulated cluster node.
+//
+// Each blender, broker and searcher instance of Figure 10 runs as a Node: a
+// named entity with its own bounded worker pool (standing in for a server's
+// cores) and a fail switch for availability experiments. Invoke() is the RPC
+// entry point: the callable runs on the *callee's* pool after a simulated
+// network hop, and the result travels back through a future after a second
+// hop — so fan-out calls from one node to many execute genuinely in
+// parallel, and a saturated node queues requests exactly like a busy server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "net/latency_model.h"
+
+namespace jdvs {
+
+// Thrown by Invoke()'d work when the callee is marked failed; surfaces to
+// the caller through the future (brokers catch it and fail over to a
+// replica, Section 2.4 "multiple copies for availability").
+class NodeFailedError : public std::runtime_error {
+ public:
+  explicit NodeFailedError(const std::string& node)
+      : std::runtime_error("node failed: " + node) {}
+};
+
+class Node {
+ public:
+  Node(std::string name, std::size_t threads, LatencyModel latency = {},
+       std::uint64_t seed = 0)
+      : name_(std::move(name)),
+        latency_(latency),
+        seed_(HashCombine(Mix64(seed), Fnv1a64(name_))),
+        pool_(threads, name_) {}
+
+  // Schedules `fn` on this node's pool, charging one inbound network hop
+  // before it runs and one outbound hop before the future is fulfilled.
+  // Throws NodeFailedError through the future while failed() is set.
+  template <typename F>
+  auto Invoke(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [this, fn = std::forward<F>(fn)]() mutable -> R {
+          ChargeHop(latency_, seed_);  // request transit
+          if (failed_.load(std::memory_order_acquire)) {
+            throw NodeFailedError(name_);
+          }
+          if constexpr (std::is_void_v<R>) {
+            fn();
+            ChargeHop(latency_, seed_ ^ 1);  // response transit
+          } else {
+            R result = fn();
+            ChargeHop(latency_, seed_ ^ 1);
+            return result;
+          }
+        });
+    std::future<R> result = task->get_future();
+    pool_.Submit([task] { (*task)(); });
+    return result;
+  }
+
+  void set_failed(bool failed) {
+    failed_.store(failed, std::memory_order_release);
+  }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  const std::string& name() const { return name_; }
+  ThreadPool& pool() { return pool_; }
+  const LatencyModel& latency() const { return latency_; }
+
+ private:
+  std::string name_;
+  LatencyModel latency_;
+  std::uint64_t seed_;
+  std::atomic<bool> failed_{false};
+  ThreadPool pool_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,25 @@
+#include "net/partitioner.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace jdvs {
+
+UrlPartitioner::UrlPartitioner(std::size_t num_partitions)
+    : num_partitions_(std::max<std::size_t>(num_partitions, 1)) {}
+
+std::size_t UrlPartitioner::PartitionOf(
+    std::string_view image_url) const noexcept {
+  return static_cast<std::size_t>(Fnv1a64(image_url) % num_partitions_);
+}
+
+PartitionFilter UrlPartitioner::FilterFor(std::size_t partition) const {
+  const std::size_t p = partition;
+  const std::size_t n = num_partitions_;
+  return [p, n](std::string_view url) {
+    return static_cast<std::size_t>(Fnv1a64(url) % n) == p;
+  };
+}
+
+}  // namespace jdvs

@@ -1,0 +1,33 @@
+// Index partitioning.
+//
+// Section 2.4: "The entire image index data is divided into multiple
+// partitions by hashing the image's URL. ... A partition is handled by a
+// single searcher node." Stable FNV-1a hashing guarantees every node agrees
+// on ownership without coordination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "index/realtime_indexer.h"
+
+namespace jdvs {
+
+class UrlPartitioner {
+ public:
+  explicit UrlPartitioner(std::size_t num_partitions);
+
+  std::size_t PartitionOf(std::string_view image_url) const noexcept;
+
+  // Filter accepting exactly the URLs owned by `partition`.
+  PartitionFilter FilterFor(std::size_t partition) const;
+
+  std::size_t num_partitions() const noexcept { return num_partitions_; }
+
+ private:
+  std::size_t num_partitions_;
+};
+
+}  // namespace jdvs

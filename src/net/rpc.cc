@@ -1,0 +1,4 @@
+#include "net/rpc.h"
+
+// Header-only helpers; this translation unit anchors the header.
+namespace jdvs {}

@@ -1,0 +1,30 @@
+// Small RPC helpers over Node::Invoke.
+#pragma once
+
+#include <future>
+#include <vector>
+
+namespace jdvs {
+
+// Collects the results of a vector of futures, dropping those that failed
+// with an exception (fan-out with partial results: a broker still answers
+// when one searcher replica call fails and the retry also fails). Returns
+// how many futures failed via `failures` when non-null.
+template <typename R>
+std::vector<R> CollectPartial(std::vector<std::future<R>>& futures,
+                              std::size_t* failures = nullptr) {
+  std::vector<R> results;
+  results.reserve(futures.size());
+  std::size_t failed = 0;
+  for (auto& f : futures) {
+    try {
+      results.push_back(f.get());
+    } catch (...) {
+      ++failed;
+    }
+  }
+  if (failures != nullptr) *failures = failed;
+  return results;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,200 @@
+#include "pq/ivfpq_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+
+IvfPqIndex::IvfPqIndex(std::shared_ptr<const CoarseQuantizer> quantizer,
+                       std::shared_ptr<const ProductQuantizer> pq,
+                       const IvfPqIndexConfig& config,
+                       CopyExecutor copy_executor)
+    : quantizer_(std::move(quantizer)),
+      pq_(std::move(pq)),
+      config_(config),
+      codes_(pq_->code_bytes()) {
+  assert(quantizer_->dim() == pq_->dim());
+  if (config_.keep_raw_vectors) {
+    raw_ = std::make_unique<VectorSet>(quantizer_->dim());
+  } else {
+    // Re-ranking without raw vectors would silently degrade to ADC order.
+    config_.rerank_candidates = 0;
+  }
+  lists_.reserve(quantizer_->num_clusters());
+  for (std::size_t c = 0; c < quantizer_->num_clusters(); ++c) {
+    lists_.push_back(std::make_unique<InvertedList>(
+        config_.initial_list_capacity, copy_executor));
+  }
+}
+
+LocalId IvfPqIndex::AddImage(std::string_view image_url, ProductId product_id,
+                             CategoryId category,
+                             const ProductAttributes& attributes,
+                             std::string_view detail_url, FeatureView feature) {
+  assert(feature.size() == dim());
+  const ImageId image_id = Fnv1a64(image_url);
+  const LocalId local = forward_.Append(image_id, product_id, category,
+                                        attributes, image_url, detail_url);
+  const std::size_t slot = codes_.Append(pq_->Encode(feature));
+  (void)slot;
+  assert(slot == local);
+  if (raw_) raw_->Append(feature);
+  const std::uint32_t list = quantizer_->NearestCentroid(feature);
+  lists_[list]->Append(local);
+  local_to_list_.push_back(list);
+  valid_.Set(local, true);
+  url_to_local_.emplace(std::string(image_url), local);
+  product_to_locals_[product_id].push_back(local);
+  return local;
+}
+
+bool IvfPqIndex::HasImage(std::string_view image_url) const {
+  return url_to_local_.find(std::string(image_url)) != url_to_local_.end();
+}
+
+bool IvfPqIndex::HasProduct(ProductId product_id) const {
+  return product_to_locals_.find(product_id) != product_to_locals_.end();
+}
+
+std::size_t IvfPqIndex::UpdateProductAttributes(ProductId product_id,
+                                                const ProductAttributes& attributes,
+                                                std::string_view detail_url) {
+  const auto it = product_to_locals_.find(product_id);
+  if (it == product_to_locals_.end()) return 0;
+  for (const LocalId local : it->second) {
+    forward_.UpdateNumeric(local, attributes);
+    if (!detail_url.empty()) forward_.UpdateDetailUrl(local, detail_url);
+  }
+  return it->second.size();
+}
+
+std::size_t IvfPqIndex::SetProductValidity(ProductId product_id, bool valid) {
+  const auto it = product_to_locals_.find(product_id);
+  if (it == product_to_locals_.end()) return 0;
+  for (const LocalId local : it->second) valid_.Set(local, valid);
+  return it->second.size();
+}
+
+bool IvfPqIndex::SetImageValidity(std::string_view image_url, bool valid) {
+  const auto it = url_to_local_.find(std::string(image_url));
+  if (it == url_to_local_.end()) return false;
+  valid_.Set(it->second, valid);
+  return true;
+}
+
+void IvfPqIndex::FinishPendingExpansions() {
+  for (const auto& list : lists_) list->MaybeFinishExpansion();
+}
+
+SearchHit IvfPqIndex::MaterializeHit(const ScoredImage& scored) const {
+  const auto local = static_cast<LocalId>(scored.image_id);
+  const AttributeSnapshot snapshot = forward_.Get(local);
+  SearchHit hit;
+  hit.image_id = snapshot.image_id;
+  hit.distance = scored.distance;
+  hit.product_id = snapshot.product_id;
+  hit.category = snapshot.category;
+  hit.attributes = snapshot.attributes;
+  hit.image_url = std::string(snapshot.image_url);
+  hit.detail_url = std::string(snapshot.detail_url);
+  return hit;
+}
+
+std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
+                                          std::size_t nprobe_override,
+                                          CategoryId category_filter) const {
+  assert(query.size() == dim());
+  const std::size_t nprobe =
+      nprobe_override == 0 ? config_.nprobe : nprobe_override;
+  const std::vector<float> table = pq_->BuildDistanceTable(query);
+
+  const std::size_t adc_k =
+      config_.rerank_candidates > 0 ? std::max(config_.rerank_candidates, k)
+                                    : k;
+  TopK adc_topk(adc_k);
+  for (const std::uint32_t list : quantizer_->NearestCentroids(query, nprobe)) {
+    lists_[list]->Scan([&](LocalId local) {
+      if (!valid_.Get(local)) return;
+      if (category_filter != kNoCategoryFilter &&
+          forward_.CategoryOf(local) != category_filter) {
+        return;
+      }
+      adc_topk.Offer(local, pq_->DistanceWithTable(table, codes_.At(local)));
+    });
+  }
+
+  std::vector<ScoredImage> ranked = adc_topk.TakeSorted();
+  if (config_.rerank_candidates > 0) {
+    // Exact re-ranking against the refinement store (IVFADC+R).
+    TopK exact(k);
+    for (const ScoredImage& candidate : ranked) {
+      const auto local = static_cast<LocalId>(candidate.image_id);
+      exact.Offer(candidate.image_id,
+                  L2SquaredDistance(query, raw_->At(local)));
+    }
+    ranked = exact.TakeSorted();
+  } else if (ranked.size() > k) {
+    ranked.resize(k);
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(ranked.size());
+  for (const ScoredImage& scored : ranked) hits.push_back(MaterializeHit(scored));
+  return hits;
+}
+
+void IvfPqIndex::ForEachEntry(
+    const std::function<void(LocalId, const AttributeSnapshot&,
+                             const std::uint8_t*, std::uint32_t, FeatureView,
+                             bool)>& visit) const {
+  const std::size_t n = forward_.size();
+  for (std::size_t local = 0; local < n; ++local) {
+    const auto id = static_cast<LocalId>(local);
+    const FeatureView raw = raw_ ? raw_->At(local) : FeatureView();
+    visit(id, forward_.Get(id), codes_.At(local), local_to_list_[local], raw,
+          valid_.Get(local));
+  }
+}
+
+LocalId IvfPqIndex::AddEncoded(std::string_view image_url,
+                               ProductId product_id, CategoryId category,
+                               const ProductAttributes& attributes,
+                               std::string_view detail_url, const PqCode& code,
+                               std::uint32_t list, FeatureView raw_or_empty) {
+  assert(list < lists_.size());
+  const ImageId image_id = Fnv1a64(image_url);
+  const LocalId local = forward_.Append(image_id, product_id, category,
+                                        attributes, image_url, detail_url);
+  codes_.Append(code);
+  if (raw_) {
+    if (raw_or_empty.empty()) {
+      const FeatureVector decoded = pq_->Decode(code);
+      raw_->Append(decoded);
+    } else {
+      raw_->Append(raw_or_empty);
+    }
+  }
+  lists_[list]->Append(local);
+  local_to_list_.push_back(list);
+  valid_.Set(local, true);
+  url_to_local_.emplace(std::string(image_url), local);
+  product_to_locals_[product_id].push_back(local);
+  return local;
+}
+
+IvfPqStats IvfPqIndex::Stats() const {
+  IvfPqStats stats;
+  stats.total_images = forward_.size();
+  stats.valid_images = valid_.CountValid();
+  stats.num_lists = lists_.size();
+  stats.code_bytes_per_vector = pq_->code_bytes();
+  stats.code_memory_bytes = codes_.memory_bytes();
+  stats.raw_memory_bytes =
+      raw_ ? raw_->size() * dim() * sizeof(float) : 0;
+  return stats;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,189 @@
+#include "pq/pq_snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace jdvs {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4A44565350513031ULL;  // "JDVSPQ01"
+constexpr std::uint32_t kVersion = 1;
+
+void WriteRaw(std::ostream& os, const void* data, std::size_t bytes) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(bytes));
+  if (!os) throw SnapshotError("pq snapshot write failed");
+}
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WriteRaw(os, &value, sizeof(T));
+}
+
+void WriteString(std::ostream& os, std::string_view s) {
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  WriteRaw(os, s.data(), s.size());
+}
+
+void ReadRaw(std::istream& is, void* data, std::size_t bytes) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (is.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw SnapshotError("pq snapshot truncated");
+  }
+}
+
+template <typename T>
+T ReadPod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  ReadRaw(is, &value, sizeof(T));
+  return value;
+}
+
+std::string ReadString(std::istream& is) {
+  const auto size = ReadPod<std::uint32_t>(is);
+  if (size > (1u << 24)) throw SnapshotError("pq snapshot string too large");
+  std::string s(size, '\0');
+  ReadRaw(is, s.data(), size);
+  return s;
+}
+
+}  // namespace
+
+void SaveIvfPqSnapshot(const IvfPqIndex& index, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw SnapshotError("cannot open for writing: " + path);
+
+  WritePod(os, kMagic);
+  WritePod(os, kVersion);
+
+  // Index configuration.
+  const IvfPqIndexConfig& config = index.config();
+  WritePod<std::uint64_t>(os, config.nprobe);
+  WritePod<std::uint64_t>(os, config.initial_list_capacity);
+  WritePod<std::uint64_t>(os, config.rerank_candidates);
+  WritePod<std::uint8_t>(os, config.keep_raw_vectors ? 1 : 0);
+
+  // Coarse quantizer.
+  const CoarseQuantizer& quantizer = index.quantizer();
+  WritePod<std::uint64_t>(os, quantizer.dim());
+  WritePod<std::uint64_t>(os, quantizer.num_clusters());
+  for (std::size_t c = 0; c < quantizer.num_clusters(); ++c) {
+    const FeatureView centroid = quantizer.Centroid(c);
+    WriteRaw(os, centroid.data(), centroid.size() * sizeof(float));
+  }
+
+  // Product quantizer.
+  const ProductQuantizer& pq = index.pq();
+  WritePod<std::uint64_t>(os, pq.num_subspaces());
+  WritePod<std::uint64_t>(os, pq.codebook_size());
+  WriteRaw(os, pq.codebooks().data(), pq.codebooks().size() * sizeof(float));
+
+  // Entries.
+  WritePod<std::uint64_t>(os, index.size());
+  const std::size_t code_bytes = pq.code_bytes();
+  index.ForEachEntry([&](LocalId, const AttributeSnapshot& snapshot,
+                         const std::uint8_t* code, std::uint32_t list,
+                         FeatureView raw, bool valid) {
+    WriteString(os, snapshot.image_url);
+    WritePod<std::uint64_t>(os, snapshot.product_id);
+    WritePod<std::uint32_t>(os, snapshot.category);
+    WritePod<std::uint64_t>(os, snapshot.attributes.sales);
+    WritePod<std::uint64_t>(os, snapshot.attributes.price_cents);
+    WritePod<std::uint64_t>(os, snapshot.attributes.praise);
+    WriteString(os, snapshot.detail_url);
+    WritePod<std::uint32_t>(os, list);
+    WritePod<std::uint8_t>(os, valid ? 1 : 0);
+    WriteRaw(os, code, code_bytes);
+    WritePod<std::uint8_t>(os, raw.empty() ? 0 : 1);
+    if (!raw.empty()) {
+      WriteRaw(os, raw.data(), raw.size() * sizeof(float));
+    }
+  });
+  os.flush();
+  if (!os) throw SnapshotError("pq snapshot flush failed");
+}
+
+std::unique_ptr<IvfPqIndex> LoadIvfPqSnapshot(const std::string& path,
+                                              CopyExecutor copy_executor) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SnapshotError("cannot open for reading: " + path);
+
+  if (ReadPod<std::uint64_t>(is) != kMagic) {
+    throw SnapshotError("bad pq snapshot magic: " + path);
+  }
+  const auto version = ReadPod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw SnapshotError("unsupported pq snapshot version " +
+                        std::to_string(version));
+  }
+
+  IvfPqIndexConfig config;
+  config.nprobe = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  config.initial_list_capacity =
+      static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  config.rerank_candidates =
+      static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  config.keep_raw_vectors = ReadPod<std::uint8_t>(is) != 0;
+
+  const auto dim = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  const auto num_clusters = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  if (dim == 0 || dim > (1u << 20) || num_clusters == 0 ||
+      num_clusters > (1u << 24)) {
+    throw SnapshotError("implausible pq snapshot dimensions");
+  }
+  std::vector<float> centroids(num_clusters * dim);
+  ReadRaw(is, centroids.data(), centroids.size() * sizeof(float));
+  auto quantizer =
+      std::make_shared<const CoarseQuantizer>(std::move(centroids), dim);
+
+  const auto num_subspaces =
+      static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  const auto codebook_size =
+      static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  if (num_subspaces == 0 || num_subspaces > dim || dim % num_subspaces != 0 ||
+      codebook_size == 0 || codebook_size > 256) {
+    throw SnapshotError("implausible pq codebook shape");
+  }
+  std::vector<float> codebooks(num_subspaces * codebook_size *
+                               (dim / num_subspaces));
+  ReadRaw(is, codebooks.data(), codebooks.size() * sizeof(float));
+  auto pq = std::make_shared<const ProductQuantizer>(
+      dim, num_subspaces, codebook_size, std::move(codebooks));
+
+  auto index = std::make_unique<IvfPqIndex>(std::move(quantizer), pq, config,
+                                            std::move(copy_executor));
+  const auto count = ReadPod<std::uint64_t>(is);
+  PqCode code(pq->code_bytes());
+  std::vector<float> raw(dim);
+  std::vector<std::string> invalid_urls;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string image_url = ReadString(is);
+    const auto product_id = ReadPod<std::uint64_t>(is);
+    const auto category = ReadPod<std::uint32_t>(is);
+    ProductAttributes attributes;
+    attributes.sales = ReadPod<std::uint64_t>(is);
+    attributes.price_cents = ReadPod<std::uint64_t>(is);
+    attributes.praise = ReadPod<std::uint64_t>(is);
+    const std::string detail_url = ReadString(is);
+    const auto list = ReadPod<std::uint32_t>(is);
+    const bool valid = ReadPod<std::uint8_t>(is) != 0;
+    ReadRaw(is, code.data(), code.size());
+    const bool has_raw = ReadPod<std::uint8_t>(is) != 0;
+    FeatureView raw_view;
+    if (has_raw) {
+      ReadRaw(is, raw.data(), raw.size() * sizeof(float));
+      raw_view = FeatureView(raw.data(), raw.size());
+    }
+    index->AddEncoded(image_url, product_id, category, attributes, detail_url,
+                      code, list, raw_view);
+    if (!valid) invalid_urls.push_back(image_url);
+  }
+  for (const auto& url : invalid_urls) index->SetImageValidity(url, false);
+  index->FinishPendingExpansions();
+  return index;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,123 @@
+#include "search/blender.h"
+
+#include <chrono>
+#include <thread>
+
+#include "net/rpc.h"
+
+namespace jdvs {
+
+Blender::Blender(std::string name, const Config& config,
+                 const SyntheticEmbedder& embedder,
+                 const CategoryDetector& detector, std::vector<Broker*> brokers)
+    : config_(config),
+      node_(std::move(name), config.threads, config.latency, config.seed),
+      embedder_(embedder),
+      detector_(detector),
+      brokers_(std::move(brokers)) {
+  if (config_.enable_result_cache) {
+    cache_ = std::make_unique<QueryCache>(embedder_.dim(), config_.cache);
+  }
+}
+
+QueryResponse Blender::Search(const QueryImage& query,
+                              const QueryOptions& options) {
+  return SearchAsync(query, options).get();
+}
+
+std::future<QueryResponse> Blender::SearchAsync(const QueryImage& query,
+                                                const QueryOptions& options) {
+  // Admission control: count the query against the in-flight budget at
+  // submission so queued work counts too; shed if the budget is exhausted.
+  if (config_.max_in_flight > 0) {
+    const std::size_t current =
+        in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (current >= config_.max_in_flight) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      std::promise<QueryResponse> rejected;
+      rejected.set_exception(std::make_exception_ptr(
+          BlenderOverloadedError(node_.name())));
+      return rejected.get_future();
+    }
+  } else {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return node_.Invoke([this, query, options] {
+    struct InFlightGuard {
+      std::atomic<std::size_t>* gauge;
+      ~InFlightGuard() { gauge->fetch_sub(1, std::memory_order_acq_rel); }
+    } guard{&in_flight_};
+    return Execute(query, options);
+  });
+}
+
+QueryResponse Blender::Execute(const QueryImage& query,
+                               const QueryOptions& options) {
+  const Stopwatch watch(MonotonicClock::Instance());
+  QueryResponse response;
+
+  // 1. Detect the item and identify its category (Section 2.4).
+  response.detected_category =
+      detector_.Detect(query.true_category, query.query_seed);
+  // 2. Extract the query photo's high-dimensional features, charging the
+  //    simulated CNN cost.
+  if (config_.query_extraction_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.query_extraction_micros));
+  }
+  const FeatureVector feature = embedder_.ExtractQuery(
+      query.subject_product, query.true_category, query.query_seed);
+
+  // The category scan filter comes from explicit query options first, then
+  // the detector when configured to narrow the search (Section 2.4).
+  CategoryId category_filter = options.category_filter;
+  if (category_filter == kNoCategoryFilter && config_.use_category_filter) {
+    category_filter = response.detected_category;
+  }
+
+  // 2b. Result cache (when enabled): near-duplicate query photos of a hot
+  //     product hit the same locality-sensitive key, skipping the fan-out.
+  const std::uint64_t version =
+      config_.index_version == nullptr
+          ? 0
+          : config_.index_version->load(std::memory_order_relaxed);
+  std::uint64_t cache_key = 0;
+  if (cache_) {
+    cache_key =
+        cache_->KeyFor(feature, options.k, options.nprobe, category_filter);
+    if (auto cached = cache_->Lookup(cache_key, version)) {
+      cached->from_cache = true;
+      cached->total_micros = watch.ElapsedMicros();
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      return *std::move(cached);
+    }
+  }
+
+  // 3. "sends them to all the brokers" — parallel fan-out. Fetch more than k
+  //    from below so attribute re-ranking has candidates to work with.
+  const std::size_t fetch_k = options.k * 2;
+  std::vector<std::future<std::vector<SearchHit>>> futures;
+  futures.reserve(brokers_.size());
+  for (Broker* broker : brokers_) {
+    futures.push_back(broker->SearchAsync(feature, fetch_k, options.nprobe,
+                                          category_filter));
+  }
+  response.brokers_asked = futures.size();
+  std::size_t failures = 0;
+  std::vector<std::vector<SearchHit>> partials =
+      CollectPartial(futures, &failures);
+  response.broker_failures = failures;
+
+  // 4. "combines and ranks the results": merge by distance, then rank by
+  //    similarity + sales/praise/price attributes.
+  std::vector<SearchHit> merged = MergeHits(std::move(partials), fetch_k);
+  response.results = RankResults(std::move(merged), response.detected_category,
+                                 config_.ranking, options.k);
+  response.total_micros = watch.ElapsedMicros();
+  if (cache_) cache_->Insert(cache_key, version, response);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+}  // namespace jdvs

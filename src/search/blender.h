@@ -1,0 +1,112 @@
+// Blender: top tier of Figure 10.
+//
+// "When a blender receives an image query request, it extracts the features
+// and sends them to all the brokers. The blender also combines and ranks the
+// results and returns to the user." Query-side feature extraction (detect
+// the item, identify its category, run the CNN) happens here, charged via a
+// configurable extraction cost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "embedding/category_detector.h"
+#include "embedding/extractor.h"
+#include "net/node.h"
+#include "search/broker.h"
+#include "search/query_cache.h"
+#include "search/ranking.h"
+#include "search/types.h"
+
+namespace jdvs {
+
+// Thrown (through the returned future) when a blender sheds load because
+// its in-flight query count exceeded the configured admission limit. The
+// front end treats an overloaded blender like a failed one and retries on
+// another instance.
+class BlenderOverloadedError : public std::runtime_error {
+ public:
+  explicit BlenderOverloadedError(const std::string& blender)
+      : std::runtime_error("blender overloaded: " + blender) {}
+};
+
+class Blender {
+ public:
+  struct Config {
+    std::size_t threads = 4;
+    LatencyModel latency;
+    std::uint64_t seed = 0;
+    // Simulated query-side CNN cost (item detection + feature extraction).
+    std::int64_t query_extraction_micros = 0;
+    RankingConfig ranking;
+    std::size_t default_k = 10;
+    std::size_t nprobe = 0;  // 0 = searcher index default
+    // When true, the detector's category is pushed down to searchers as a
+    // scan filter (Section 2.4's category identification narrowing the
+    // search) instead of only boosting the ranking. A misdetection then
+    // excludes the true product from retrieval entirely.
+    bool use_category_filter = false;
+    // Admission control: maximum queries in flight (queued + executing) on
+    // this blender before new ones are shed; 0 disables the limit.
+    std::size_t max_in_flight = 0;
+    // Result cache (off by default: the paper's freshness requirement).
+    bool enable_result_cache = false;
+    QueryCacheConfig cache;
+    // Source of the index-version counter for strict cache invalidation;
+    // null falls back to TTL-only staleness bounding.
+    const std::atomic<std::uint64_t>* index_version = nullptr;
+  };
+
+  Blender(std::string name, const Config& config,
+          const SyntheticEmbedder& embedder, const CategoryDetector& detector,
+          std::vector<Broker*> brokers);
+
+  Blender(const Blender&) = delete;
+  Blender& operator=(const Blender&) = delete;
+
+  // Full query path on this blender's node; blocks until the response is
+  // ready (the front end's synchronous HTTP round trip).
+  QueryResponse Search(const QueryImage& query, const QueryOptions& options);
+  QueryResponse Search(const QueryImage& query) {
+    return Search(query, QueryOptions{.k = config_.default_k,
+                                      .nprobe = config_.nprobe});
+  }
+
+  std::future<QueryResponse> SearchAsync(const QueryImage& query,
+                                         const QueryOptions& options);
+
+  bool healthy() const { return !node_.failed(); }
+  Node& node() { return node_; }
+  const std::string& name() const { return node_.name(); }
+  std::uint64_t queries_served() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queries_shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  // Null when the result cache is disabled.
+  const QueryCache* result_cache() const { return cache_.get(); }
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  QueryResponse Execute(const QueryImage& query, const QueryOptions& options);
+
+  Config config_;
+  Node node_;
+  const SyntheticEmbedder& embedder_;
+  const CategoryDetector& detector_;
+  std::vector<Broker*> brokers_;
+  std::unique_ptr<QueryCache> cache_;
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+}  // namespace jdvs

@@ -1,0 +1,72 @@
+#include "search/broker.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace jdvs {
+
+Broker::Broker(std::string name, const Config& config)
+    : node_(std::move(name), config.threads, config.latency, config.seed) {}
+
+void Broker::AddPartition(std::vector<Searcher*> replicas) {
+  partitions_.push_back(std::move(replicas));
+}
+
+std::future<std::vector<SearchHit>> Broker::SearchAsync(
+    FeatureVector query, std::size_t k, std::size_t nprobe,
+    CategoryId category_filter) {
+  return node_.Invoke(
+      [this, query = std::move(query), k, nprobe, category_filter] {
+        return SearchFanOut(query, k, nprobe, category_filter);
+      });
+}
+
+std::vector<SearchHit> Broker::SearchFanOut(const FeatureVector& query,
+                                            std::size_t k, std::size_t nprobe,
+                                            CategoryId category_filter) {
+  // First wave: ask the preferred (first healthy) replica of every partition
+  // in parallel.
+  struct Pending {
+    std::size_t partition;
+    std::size_t replica;
+    std::future<std::vector<SearchHit>> future;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(partitions_.size());
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    if (partitions_[p].empty()) continue;
+    pending.push_back(Pending{
+        p, 0, partitions_[p][0]->SearchAsync(query, k, nprobe,
+                                             category_filter)});
+  }
+
+  std::vector<std::vector<SearchHit>> partials;
+  partials.reserve(pending.size());
+  // Collect; on failure walk the replica list ("multiple copies for
+  // availability"). Retries are sequential per failed partition — failure is
+  // the rare path.
+  for (auto& p : pending) {
+    for (;;) {
+      try {
+        partials.push_back(p.future.get());
+        break;
+      } catch (const std::exception& e) {
+        ++p.replica;
+        if (p.replica >= partitions_[p.partition].size()) {
+          partition_failures_.fetch_add(1, std::memory_order_relaxed);
+          JDVS_LOG(kWarning) << node_.name() << ": partition " << p.partition
+                             << " unavailable (" << e.what() << ")";
+          break;
+        }
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        p.future = partitions_[p.partition][p.replica]->SearchAsync(
+            query, k, nprobe, category_filter);
+      }
+    }
+  }
+  // "The broker then combines the results from its subset of searchers."
+  return MergeHits(std::move(partials), k);
+}
+
+}  // namespace jdvs

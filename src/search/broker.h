@@ -1,0 +1,69 @@
+// Broker: middle tier of Figure 10.
+//
+// "A broker forwards the query to all the searchers it connects to and
+// collects the partial search results from each searcher." Each partition a
+// broker owns can have several replica searchers ("Each partition can have
+// multiple copies for availability"); the broker queries one replica and
+// fails over to the next on error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/node.h"
+#include "search/searcher.h"
+#include "search/types.h"
+
+namespace jdvs {
+
+class Broker {
+ public:
+  struct Config {
+    std::size_t threads = 4;
+    LatencyModel latency;
+    std::uint64_t seed = 0;
+  };
+
+  Broker(std::string name, const Config& config);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // Registers one partition with its replica searchers (preference order).
+  void AddPartition(std::vector<Searcher*> replicas);
+
+  // Remote entry point: fan-out/merge runs on the broker's node.
+  std::future<std::vector<SearchHit>> SearchAsync(
+      FeatureVector query, std::size_t k, std::size_t nprobe = 0,
+      CategoryId category_filter = kNoCategoryFilter);
+
+  // The fan-out/merge itself (also used directly by flat-topology ablation).
+  std::vector<SearchHit> SearchFanOut(
+      const FeatureVector& query, std::size_t k, std::size_t nprobe,
+      CategoryId category_filter = kNoCategoryFilter);
+
+  Node& node() { return node_; }
+  const std::string& name() const { return node_.name(); }
+  std::size_t num_partitions() const { return partitions_.size(); }
+
+  // Number of replica failovers performed (availability metric).
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  // Partitions that returned no result at all (all replicas down).
+  std::uint64_t partition_failures() const {
+    return partition_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Node node_;
+  std::vector<std::vector<Searcher*>> partitions_;
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> partition_failures_{0};
+};
+
+}  // namespace jdvs

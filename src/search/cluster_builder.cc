@@ -1,0 +1,312 @@
+#include "search/cluster_builder.h"
+
+#include <algorithm>
+#include <sstream>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace jdvs {
+namespace {
+
+constexpr const char* kUpdateTopic = "product-updates";
+
+}  // namespace
+
+VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
+    : config_(config),
+      embedder_(config.embedder),
+      detector_(config.detector),
+      image_store_(config.image_store),
+      features_(embedder_, config.extraction, /*num_shards=*/64,
+                config.kv_lookup_micros),
+      partitioner_(config.num_partitions) {
+  // Searchers: one per (partition, replica).
+  const std::size_t replicas = std::max<std::size_t>(
+      config_.replicas_per_partition, 1);
+  config_.replicas_per_partition = replicas;
+  for (std::size_t p = 0; p < config_.num_partitions; ++p) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      Searcher::Config sc;
+      sc.threads = config_.searcher_threads;
+      sc.latency = config_.hop_latency;
+      sc.seed = config_.seed + p * 131 + r;
+      searchers_.push_back(std::make_unique<Searcher>(
+          "searcher-p" + std::to_string(p) + "-r" + std::to_string(r), sc,
+          features_, partitioner_.FilterFor(p)));
+    }
+  }
+
+  // Brokers: contiguous partition ranges ("each broker asks a subset of
+  // searchers").
+  const std::size_t num_brokers =
+      std::max<std::size_t>(std::min(config_.num_brokers,
+                                     config_.num_partitions), 1);
+  config_.num_brokers = num_brokers;
+  for (std::size_t b = 0; b < num_brokers; ++b) {
+    Broker::Config bc;
+    bc.threads = config_.broker_threads;
+    bc.latency = config_.hop_latency;
+    bc.seed = config_.seed ^ (0xB0B0ULL + b);
+    brokers_.push_back(
+        std::make_unique<Broker>("broker-" + std::to_string(b), bc));
+  }
+  for (std::size_t p = 0; p < config_.num_partitions; ++p) {
+    std::vector<Searcher*> partition_replicas;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      partition_replicas.push_back(
+          searchers_[p * replicas + r].get());
+    }
+    brokers_[p % num_brokers]->AddPartition(std::move(partition_replicas));
+  }
+
+  // Blenders: each connected to every broker.
+  std::vector<Broker*> all_brokers;
+  for (const auto& b : brokers_) all_brokers.push_back(b.get());
+  for (std::size_t i = 0; i < std::max<std::size_t>(config_.num_blenders, 1);
+       ++i) {
+    Blender::Config lc;
+    lc.threads = config_.blender_threads;
+    lc.latency = config_.hop_latency;
+    lc.seed = config_.seed ^ (0x1E4D ^ i);
+    lc.query_extraction_micros = config_.query_extraction_micros;
+    lc.ranking = config_.ranking;
+    lc.default_k = config_.default_k;
+    lc.nprobe = 0;
+    lc.max_in_flight = config_.blender_max_in_flight;
+    lc.enable_result_cache = config_.blender_result_cache;
+    lc.cache = config_.blender_cache;
+    lc.index_version = &updates_published_;
+    blenders_.push_back(std::make_unique<Blender>(
+        "blender-" + std::to_string(i), lc, embedder_, detector_,
+        all_brokers));
+  }
+
+  std::vector<Blender*> blender_ptrs;
+  for (const auto& b : blenders_) blender_ptrs.push_back(b.get());
+  front_end_ = std::make_unique<RoundRobinBalancer<Blender>>(
+      std::move(blender_ptrs),
+      [](const Blender& b) { return b.healthy(); });
+}
+
+VisualSearchCluster::~VisualSearchCluster() { Stop(); }
+
+void VisualSearchCluster::BuildAndInstall(
+    std::shared_ptr<const CoarseQuantizer> quantizer) {
+  // Builds run in parallel across searchers; every substrate they touch
+  // (catalog, image store, feature DB) is thread-safe, and each build only
+  // writes its own fresh IvfIndex.
+  ThreadPool builders(std::max<std::size_t>(config_.build_threads, 1),
+                      "index-build");
+  std::vector<std::future<void>> done;
+  done.reserve(searchers_.size());
+  for (const auto& searcher_ptr : searchers_) {
+    Searcher* searcher = searcher_ptr.get();
+    done.push_back(builders.SubmitWithResult([this, searcher, quantizer] {
+      FullIndexBuilderConfig fc;
+      fc.index_config = config_.ivf;
+      fc.training_sample = config_.training_sample;
+      fc.kmeans = config_.kmeans;
+      fc.seed = config_.seed;
+      FullIndexBuilder builder(catalog_, image_store_, features_, fc);
+      FullIndexReport report;
+      auto index =
+          builder.Build(quantizer, searcher->partition_filter(), &report,
+                        PoolCopyExecutor(searcher->node().pool()));
+      searcher->InstallIndex(std::move(index));
+      JDVS_LOG(kInfo) << searcher->name() << ": installed full index with "
+                      << report.images_indexed << " images ("
+                      << report.features_reused << " reused, "
+                      << report.features_extracted << " extracted)";
+    }));
+  }
+  for (auto& f : done) f.get();
+}
+
+void VisualSearchCluster::BuildAndInstallFullIndexes() {
+  FullIndexBuilderConfig fc;
+  fc.index_config = config_.ivf;
+  fc.training_sample = config_.training_sample;
+  fc.kmeans = config_.kmeans;
+  fc.seed = config_.seed;
+  FullIndexBuilder builder(catalog_, image_store_, features_, fc);
+  quantizer_ = builder.TrainQuantizer();
+  BuildAndInstall(quantizer_);
+}
+
+void VisualSearchCluster::Start() {
+  if (started_) return;
+  started_ = true;
+  if (!config_.realtime_enabled) return;
+  for (const auto& searcher : searchers_) {
+    searcher->StartConsuming(topic_.Subscribe(kUpdateTopic));
+  }
+}
+
+void VisualSearchCluster::Stop() {
+  if (!started_) return;
+  topic_.CloseTopic(kUpdateTopic);
+  for (const auto& searcher : searchers_) searcher->StopConsuming();
+  started_ = false;
+}
+
+QueryResponse VisualSearchCluster::Query(const QueryImage& query) {
+  return Query(query, QueryOptions{.k = config_.default_k, .nprobe = 0});
+}
+
+QueryResponse VisualSearchCluster::Query(const QueryImage& query,
+                                         const QueryOptions& options) {
+  return front_end_->Next().Search(query, options);
+}
+
+void VisualSearchCluster::ApplyToCatalog(const ProductUpdateMessage& message) {
+  switch (message.type) {
+    case UpdateType::kAttributeUpdate:
+      catalog_.UpdateAttributes(message.product_id, message.attributes,
+                                message.detail_url);
+      break;
+    case UpdateType::kAddProduct: {
+      if (catalog_.Contains(message.product_id)) {
+        catalog_.SetOnMarket(message.product_id, true);
+        catalog_.UpdateAttributes(message.product_id, message.attributes,
+                                  message.detail_url);
+      } else {
+        ProductRecord record;
+        record.id = message.product_id;
+        record.category = message.category_id;
+        record.attributes = message.attributes;
+        record.detail_url = message.detail_url;
+        record.image_urls = message.image_urls;
+        record.on_market = true;
+        catalog_.Upsert(std::move(record));
+      }
+      for (const std::string& url : message.image_urls) {
+        image_store_.Put(url, message.product_id, message.category_id);
+      }
+      break;
+    }
+    case UpdateType::kRemoveProduct:
+      catalog_.SetOnMarket(message.product_id, false);
+      break;
+  }
+}
+
+void VisualSearchCluster::PublishUpdate(ProductUpdateMessage message) {
+  ApplyToCatalog(message);
+  day_log_.Append(message);
+  updates_published_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.realtime_enabled && started_) {
+    topic_.Publish(kUpdateTopic, std::move(message));
+  }
+}
+
+void VisualSearchCluster::RunFullIndexingCycle() {
+  FullIndexBuilderConfig fc;
+  fc.index_config = config_.ivf;
+  fc.training_sample = config_.training_sample;
+  fc.kmeans = config_.kmeans;
+  fc.seed = config_.seed;
+  FullIndexBuilder builder(catalog_, image_store_, features_, fc);
+  // The day log was already applied to the catalog on publish; replaying it
+  // is idempotent and mirrors the paper's pipeline, after which the log is
+  // truncated for the next day.
+  builder.ApplyMessageLog(day_log_);
+  quantizer_ = builder.TrainQuantizer();
+  BuildAndInstall(quantizer_);
+}
+
+bool VisualSearchCluster::WaitForUpdatesDrained(Micros timeout_micros) {
+  if (!config_.realtime_enabled || !started_) return true;
+  const auto& clock = MonotonicClock::Instance();
+  const Micros deadline = clock.NowMicros() + timeout_micros;
+  const std::uint64_t published =
+      updates_published_.load(std::memory_order_relaxed);
+  for (;;) {
+    bool drained = true;
+    for (const auto& searcher : searchers_) {
+      if (searcher->messages_consumed() < published) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) return true;
+    if (clock.NowMicros() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+RealTimeIndexerCounters VisualSearchCluster::TotalUpdateCounters() const {
+  RealTimeIndexerCounters total;
+  for (const auto& searcher : searchers_) {
+    total.Add(searcher->update_counters());
+  }
+  return total;
+}
+
+void VisualSearchCluster::MergeUpdateLatencyInto(Histogram& out) const {
+  for (const auto& searcher : searchers_) {
+    searcher->MergeUpdateLatencyInto(out);
+  }
+}
+
+std::string VisualSearchCluster::StatusReport() const {
+  std::ostringstream os;
+  os << "VisualSearchCluster: " << config_.num_partitions << " partitions x "
+     << config_.replicas_per_partition << " replicas, "
+     << brokers_.size() << " brokers, " << blenders_.size() << " blenders, "
+     << "realtime=" << (config_.realtime_enabled ? "on" : "off") << "\n";
+
+  const IvfIndexStats index = AggregateIndexStats();
+  os << "index: " << index.total_images << " images (" << index.valid_images
+     << " valid), " << index.num_lists << " inverted lists, "
+     << index.list_expansions << " expansions, largest list "
+     << index.largest_list << "\n";
+
+  const RealTimeIndexerCounters updates = TotalUpdateCounters();
+  os << "updates: " << updates.TotalMessages() << " messages ("
+     << updates.attribute_updates << " update / " << updates.additions
+     << " add / " << updates.deletions << " delete), " << updates.images_added
+     << " images added, " << updates.images_revalidated << " revalidated, "
+     << updates.features_extracted << " extracted\n";
+
+  os << "day log: " << day_log_.size() << " buffered messages; feature DB: "
+     << features_.size() << " features\n";
+
+  for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    os << "  " << brokers_[b]->name() << ": "
+       << brokers_[b]->num_partitions() << " partitions, "
+       << brokers_[b]->failovers() << " failovers, "
+       << brokers_[b]->partition_failures() << " partition failures\n";
+  }
+  for (std::size_t i = 0; i < blenders_.size(); ++i) {
+    os << "  " << blenders_[i]->name() << ": "
+       << blenders_[i]->queries_served() << " queries, "
+       << blenders_[i]->queries_shed() << " shed, "
+       << (blenders_[i]->healthy() ? "healthy" : "FAILED") << "\n";
+  }
+  std::size_t down = 0;
+  for (const auto& searcher : searchers_) {
+    if (searcher->node().failed()) ++down;
+  }
+  os << "  searchers: " << searchers_.size() - down << "/"
+     << searchers_.size() << " healthy\n";
+  return os.str();
+}
+
+IvfIndexStats VisualSearchCluster::AggregateIndexStats() const {
+  IvfIndexStats total;
+  for (const auto& searcher : searchers_) {
+    const IvfIndexStats s = searcher->index_stats();
+    total.total_images += s.total_images;
+    total.valid_images += s.valid_images;
+    total.num_lists += s.num_lists;
+    total.largest_list = std::max(total.largest_list, s.largest_list);
+    total.list_expansions += s.list_expansions;
+    total.buffer_bytes += s.buffer_bytes;
+  }
+  return total;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,177 @@
+// VisualSearchCluster: the whole Figure 1 system wired together.
+//
+// Owns the data substrates (catalog, image store, feature DB, embedder), the
+// indexing pipelines (daily message log + real-time topic queue + weekly
+// full indexing), and the 3-level search topology (load balancer -> blenders
+// -> brokers -> searchers with replicated partitions). The paper's testbed —
+// 1 Nginx front end, 6 blender/broker servers, 20 searchers — is the default
+// topology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/quantizer.h"
+#include "embedding/category_detector.h"
+#include "embedding/extractor.h"
+#include "index/full_index_builder.h"
+#include "mq/message_log.h"
+#include "mq/topic_queue.h"
+#include "net/load_balancer.h"
+#include "net/partitioner.h"
+#include "search/blender.h"
+#include "search/broker.h"
+#include "search/searcher.h"
+#include "store/catalog.h"
+#include "store/feature_db.h"
+#include "store/image_store.h"
+
+namespace jdvs {
+
+struct ClusterConfig {
+  // Topology (defaults mirror the paper's evaluation testbed).
+  std::size_t num_partitions = 20;
+  std::size_t replicas_per_partition = 1;
+  std::size_t num_brokers = 3;
+  std::size_t num_blenders = 3;
+  std::size_t searcher_threads = 2;
+  std::size_t broker_threads = 4;
+  std::size_t blender_threads = 4;
+  LatencyModel hop_latency;
+
+  // Data / model substrates.
+  EmbedderConfig embedder;
+  CategoryDetectorConfig detector;
+  ExtractionCostModel extraction;             // indexing-side CNN cost
+  std::int64_t query_extraction_micros = 0;   // query-side CNN cost
+  std::int64_t kv_lookup_micros = 0;          // feature-DB round trip
+  ImageStoreConfig image_store;
+
+  // Index.
+  IvfIndexConfig ivf;
+  KMeansConfig kmeans;
+  std::size_t training_sample = 2048;
+
+  // Ranking / query defaults.
+  RankingConfig ranking;
+  std::size_t default_k = 10;
+  // Per-blender admission limit (0 = unlimited).
+  std::size_t blender_max_in_flight = 0;
+  // Per-blender result cache (off by default: freshness first). The cache's
+  // strict version check is wired to the cluster's update counter.
+  bool blender_result_cache = false;
+  QueryCacheConfig blender_cache;
+
+  // Real-time indexing on (the paper's system) or off (the Figure 12
+  // baseline, where updates wait for the next full indexing cycle).
+  bool realtime_enabled = true;
+
+  // Parallelism of full index builds.
+  std::size_t build_threads = 8;
+
+  std::uint64_t seed = 2018;
+};
+
+class VisualSearchCluster {
+ public:
+  explicit VisualSearchCluster(const ClusterConfig& config);
+  ~VisualSearchCluster();
+
+  VisualSearchCluster(const VisualSearchCluster&) = delete;
+  VisualSearchCluster& operator=(const VisualSearchCluster&) = delete;
+
+  // ---- Substrate access (populate the catalog before building indexes) ----
+  ProductCatalog& catalog() { return catalog_; }
+  ImageStore& image_store() { return image_store_; }
+  FeatureDb& features() { return features_; }
+  const SyntheticEmbedder& embedder() const { return embedder_; }
+  const UrlPartitioner& partitioner() const { return partitioner_; }
+  const ClusterConfig& config() const { return config_; }
+  MessageLog& day_log() { return day_log_; }
+
+  // ---- Lifecycle ----
+
+  // Trains the coarse quantizer and builds+installs one full index per
+  // searcher (parallel across searchers).
+  void BuildAndInstallFullIndexes();
+
+  // Subscribes every searcher to the update topic and starts their consumer
+  // loops (no-op when realtime is disabled).
+  void Start();
+
+  // Stops consumers. Idempotent; also run by the destructor.
+  void Stop();
+
+  // ---- Runtime operations ----
+
+  // User query through the front-end load balancer.
+  QueryResponse Query(const QueryImage& query);
+  QueryResponse Query(const QueryImage& query, const QueryOptions& options);
+
+  // Product update: applied to the product catalog and image store, buffered
+  // in the day log (Figure 2), and — when real-time indexing is enabled —
+  // published to the searcher update topic (Figure 4).
+  void PublishUpdate(ProductUpdateMessage message);
+
+  // End-of-day / periodic full indexing (Figure 2-3): replays the day log,
+  // retrains the quantizer, rebuilds every partition and hot-swaps the
+  // indexes under live traffic. This is also how the W/O-real-time baseline
+  // ever learns about updates.
+  void RunFullIndexingCycle();
+
+  // Blocks until every searcher has drained its update subscription (or the
+  // timeout elapses); returns true when drained.
+  bool WaitForUpdatesDrained(Micros timeout_micros = 30'000'000);
+
+  // ---- Introspection ----
+  std::size_t num_searchers() const { return searchers_.size(); }
+  Searcher& searcher(std::size_t partition, std::size_t replica = 0) {
+    return *searchers_[partition * config_.replicas_per_partition + replica];
+  }
+  Searcher& searcher_flat(std::size_t i) { return *searchers_[i]; }
+  Broker& broker(std::size_t i) { return *brokers_[i]; }
+  Blender& blender(std::size_t i) { return *blenders_[i]; }
+  std::size_t num_brokers() const { return brokers_.size(); }
+  std::size_t num_blenders() const { return blenders_.size(); }
+
+  std::uint64_t updates_published() const { return updates_published_; }
+
+  // Aggregates across all searchers.
+  RealTimeIndexerCounters TotalUpdateCounters() const;
+  void MergeUpdateLatencyInto(Histogram& out) const;
+  IvfIndexStats AggregateIndexStats() const;
+
+  // Human-readable operational summary of every tier (the ops dashboard in
+  // text form): topology, per-tier health, index sizes, update counters.
+  std::string StatusReport() const;
+
+ private:
+  void ApplyToCatalog(const ProductUpdateMessage& message);
+  void BuildAndInstall(std::shared_ptr<const CoarseQuantizer> quantizer);
+
+  ClusterConfig config_;
+  SyntheticEmbedder embedder_;
+  CategoryDetector detector_;
+  ProductCatalog catalog_;
+  ImageStore image_store_;
+  FeatureDb features_;
+  UrlPartitioner partitioner_;
+  MessageLog day_log_;
+  TopicQueue topic_;
+
+  std::shared_ptr<const CoarseQuantizer> quantizer_;
+
+  // Destruction order matters: blenders call brokers call searchers, so
+  // searchers_ is declared first (destroyed last).
+  std::vector<std::unique_ptr<Searcher>> searchers_;
+  std::vector<std::unique_ptr<Broker>> brokers_;
+  std::vector<std::unique_ptr<Blender>> blenders_;
+  std::unique_ptr<RoundRobinBalancer<Blender>> front_end_;
+
+  std::atomic<std::uint64_t> updates_published_{0};
+  bool started_ = false;
+};
+
+}  // namespace jdvs

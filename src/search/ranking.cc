@@ -1,0 +1,41 @@
+#include "search/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jdvs {
+
+double RankScore(const SearchHit& hit, CategoryId detected_category,
+                 const RankingConfig& config) {
+  // Distance -> similarity in (0, 1]; L2^2 of 0 maps to 1.
+  const double similarity = 1.0 / (1.0 + static_cast<double>(hit.distance));
+  double score = config.w_similarity * similarity;
+  score += config.w_sales * std::log1p(static_cast<double>(hit.attributes.sales));
+  score +=
+      config.w_praise * std::log1p(static_cast<double>(hit.attributes.praise));
+  score -= config.w_price *
+           std::log1p(static_cast<double>(hit.attributes.price_cents) / 100.0);
+  if (hit.category == detected_category) score += config.w_category_match;
+  return score;
+}
+
+std::vector<RankedResult> RankResults(std::vector<SearchHit> hits,
+                                      CategoryId detected_category,
+                                      const RankingConfig& config,
+                                      std::size_t k) {
+  std::vector<RankedResult> ranked;
+  ranked.reserve(hits.size());
+  for (auto& hit : hits) {
+    const double score = RankScore(hit, detected_category, config);
+    ranked.push_back(RankedResult{std::move(hit), score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.hit.image_id < b.hit.image_id;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace jdvs

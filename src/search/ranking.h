@@ -1,0 +1,37 @@
+// Result ranking.
+//
+// Section 2.4: "Finally, the similar products are ranked according to their
+// sales, praise, price and other attributes." The blender applies this
+// scoring over the merged top-k: visual similarity dominates, business
+// attributes (log-scaled so whales don't drown similarity) tip the balance
+// between visually comparable items, and a detected-category match gives a
+// small boost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "index/ivf_index.h"
+#include "search/types.h"
+
+namespace jdvs {
+
+struct RankingConfig {
+  double w_similarity = 1.0;
+  double w_sales = 0.02;
+  double w_praise = 0.01;
+  double w_price = 0.01;           // penalty weight on log price
+  double w_category_match = 0.05;  // boost when category == detected
+};
+
+// Score for one hit; larger is better.
+double RankScore(const SearchHit& hit, CategoryId detected_category,
+                 const RankingConfig& config);
+
+// Ranks hits by score (descending) and truncates to k.
+std::vector<RankedResult> RankResults(std::vector<SearchHit> hits,
+                                      CategoryId detected_category,
+                                      const RankingConfig& config,
+                                      std::size_t k);
+
+}  // namespace jdvs

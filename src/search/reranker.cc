@@ -1,0 +1,89 @@
+#include "search/reranker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace jdvs {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+RerankFeatures ExtractRerankFeatures(const SearchHit& hit,
+                                     CategoryId detected_category) {
+  RerankFeatures features;
+  features.similarity = 1.0 / (1.0 + static_cast<double>(hit.distance));
+  features.log_sales = std::log1p(static_cast<double>(hit.attributes.sales));
+  features.log_praise = std::log1p(static_cast<double>(hit.attributes.praise));
+  features.log_price =
+      std::log1p(static_cast<double>(hit.attributes.price_cents) / 100.0);
+  features.category_match = hit.category == detected_category ? 1.0 : 0.0;
+  return features;
+}
+
+LearnedReranker LearnedReranker::Train(const std::vector<Example>& dataset,
+                                       const TrainOptions& options) {
+  assert(!dataset.empty());
+  std::array<double, RerankFeatures::kCount> weights{};
+  double bias = 0.0;
+
+  // Shuffled index order per epoch, deterministic in the seed.
+  std::vector<std::size_t> order(dataset.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(options.seed);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    // 1/sqrt decay keeps early epochs fast and late epochs stable.
+    const double lr = options.learning_rate /
+                      std::sqrt(1.0 + static_cast<double>(epoch));
+    for (const std::size_t i : order) {
+      const Example& example = dataset[i];
+      const auto x = example.features.AsArray();
+      double z = bias;
+      for (std::size_t j = 0; j < x.size(); ++j) z += weights[j] * x[j];
+      const double gradient =
+          Sigmoid(z) - (example.clicked ? 1.0 : 0.0);
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        weights[j] -= lr * (gradient * x[j] + options.l2 * weights[j]);
+      }
+      bias -= lr * gradient;
+    }
+  }
+  return LearnedReranker(weights, bias);
+}
+
+double LearnedReranker::Score(const RerankFeatures& features) const {
+  const auto x = features.AsArray();
+  double z = bias_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return z;
+}
+
+double LearnedReranker::PredictClick(const RerankFeatures& features) const {
+  return Sigmoid(Score(features));
+}
+
+std::vector<RankedResult> LearnedReranker::Rerank(std::vector<SearchHit> hits,
+                                                  CategoryId detected_category,
+                                                  std::size_t k) const {
+  std::vector<RankedResult> ranked;
+  ranked.reserve(hits.size());
+  for (auto& hit : hits) {
+    const double score = Score(ExtractRerankFeatures(hit, detected_category));
+    ranked.push_back(RankedResult{std::move(hit), score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.hit.image_id < b.hit.image_id;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,85 @@
+// Learned re-ranking.
+//
+// The paper's conclusion: "We plan on integrating advanced search and
+// ranking algorithms into our visual search system in the future work." This
+// module implements that extension: a logistic-regression re-ranker trained
+// on (result features, click) examples, scoring the same attribute signals
+// the static ranker uses (similarity, sales, praise, price, detected-
+// category match) with learned weights instead of hand-tuned ones.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "index/ivf_index.h"
+#include "search/types.h"
+
+namespace jdvs {
+
+// Feature vector of one (query, result) pair.
+struct RerankFeatures {
+  static constexpr std::size_t kCount = 5;
+
+  double similarity = 0.0;      // 1 / (1 + L2^2)
+  double log_sales = 0.0;       // log1p(sales)
+  double log_praise = 0.0;      // log1p(praise)
+  double log_price = 0.0;       // log1p(price_yuan)
+  double category_match = 0.0;  // 1 if hit category == detected category
+
+  std::array<double, kCount> AsArray() const {
+    return {similarity, log_sales, log_praise, log_price, category_match};
+  }
+};
+
+RerankFeatures ExtractRerankFeatures(const SearchHit& hit,
+                                     CategoryId detected_category);
+
+class LearnedReranker {
+ public:
+  struct Example {
+    RerankFeatures features;
+    bool clicked = false;
+  };
+
+  struct TrainOptions {
+    std::size_t epochs = 50;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    std::uint64_t seed = 1;
+  };
+
+  LearnedReranker() = default;
+  LearnedReranker(const std::array<double, RerankFeatures::kCount>& weights,
+                  double bias)
+      : weights_(weights), bias_(bias) {}
+
+  // Trains by SGD on the logistic loss. Requires a non-empty dataset.
+  static LearnedReranker Train(const std::vector<Example>& dataset,
+                               const TrainOptions& options);
+  static LearnedReranker Train(const std::vector<Example>& dataset) {
+    return Train(dataset, TrainOptions{});
+  }
+
+  // Linear score (monotone in the click probability); larger is better.
+  double Score(const RerankFeatures& features) const;
+
+  // Predicted click probability.
+  double PredictClick(const RerankFeatures& features) const;
+
+  // Re-ranks hits by learned score, truncating to k.
+  std::vector<RankedResult> Rerank(std::vector<SearchHit> hits,
+                                   CategoryId detected_category,
+                                   std::size_t k) const;
+
+  const std::array<double, RerankFeatures::kCount>& weights() const {
+    return weights_;
+  }
+  double bias() const { return bias_; }
+
+ private:
+  std::array<double, RerankFeatures::kCount> weights_{};
+  double bias_ = 0.0;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,128 @@
+#include "search/searcher.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+#include "index/snapshot.h"
+
+namespace jdvs {
+
+Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
+                   PartitionFilter filter)
+    : node_(std::move(name), config.threads, config.latency, config.seed),
+      features_(features),
+      filter_(std::move(filter)),
+      seed_(config.seed) {}
+
+Searcher::~Searcher() { StopConsuming(); }
+
+void Searcher::InstallIndex(std::unique_ptr<IvfIndex> index) {
+  std::lock_guard lock(writer_mu_);
+  if (indexer_) {
+    retired_counters_.Add(indexer_->counters());
+    retired_latency_.Merge(indexer_->latency_micros());
+  }
+  std::shared_ptr<IvfIndex> shared = std::move(index);
+  indexer_ = std::make_unique<RealTimeIndexer>(*shared, features_, filter_,
+                                               seed_ ^ 0xAB5EULL);
+  // Swap is the last step: searches switch to the new index only once its
+  // writer is ready.
+  index_.store(std::move(shared), std::memory_order_release);
+}
+
+void Searcher::SaveIndexSnapshot(const std::string& path) const {
+  std::lock_guard lock(writer_mu_);  // consistent point-in-time image
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) throw std::runtime_error(node_.name() + ": no index to save");
+  jdvs::SaveIndexSnapshot(*index, path);
+}
+
+void Searcher::InstallFromSnapshot(const std::string& path) {
+  InstallIndex(
+      LoadIndexSnapshot(path, PoolCopyExecutor(node_.pool())));
+}
+
+std::future<std::vector<SearchHit>> Searcher::SearchAsync(
+    FeatureVector query, std::size_t k, std::size_t nprobe,
+    CategoryId category_filter) {
+  return node_.Invoke(
+      [this, query = std::move(query), k, nprobe, category_filter] {
+        return SearchLocal(query, k, nprobe, category_filter);
+      });
+}
+
+std::vector<SearchHit> Searcher::SearchLocal(
+    FeatureView query, std::size_t k, std::size_t nprobe,
+    CategoryId category_filter) const {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) throw std::runtime_error(node_.name() + ": no index installed");
+  return index->Search(query, k, nprobe, category_filter);
+}
+
+std::vector<SearchHit> Searcher::SearchExhaustiveLocal(FeatureView query,
+                                                       std::size_t k) const {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) throw std::runtime_error(node_.name() + ": no index installed");
+  return index->SearchExhaustive(query, k);
+}
+
+void Searcher::StartConsuming(std::shared_ptr<Subscription> subscription) {
+  StopConsuming();
+  subscription_ = std::move(subscription);
+  consumer_ = std::thread([this, sub = subscription_] { ConsumeLoop(sub); });
+}
+
+void Searcher::StopConsuming() {
+  if (subscription_) subscription_->Close();
+  if (consumer_.joinable()) consumer_.join();
+  subscription_.reset();
+}
+
+void Searcher::ConsumeLoop(std::shared_ptr<Subscription> subscription) {
+  while (auto message = subscription->Receive()) {
+    ApplyUpdate(*message);
+    messages_consumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Searcher::ApplyUpdate(const ProductUpdateMessage& message) {
+  std::lock_guard lock(writer_mu_);
+  if (!indexer_) {
+    JDVS_LOG(kWarning) << node_.name() << ": dropping update before index install";
+    return;
+  }
+  indexer_->Apply(message);
+}
+
+void Searcher::FinishPendingExpansions() {
+  std::lock_guard lock(writer_mu_);
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (index) index->FinishPendingExpansions();
+}
+
+RealTimeIndexerCounters Searcher::update_counters() const {
+  std::lock_guard lock(writer_mu_);
+  RealTimeIndexerCounters total = retired_counters_;
+  if (indexer_) total.Add(indexer_->counters());
+  return total;
+}
+
+void Searcher::MergeUpdateLatencyInto(Histogram& out) const {
+  std::lock_guard lock(writer_mu_);
+  out.Merge(retired_latency_);
+  if (indexer_) out.Merge(indexer_->latency_micros());
+}
+
+IvfIndexStats Searcher::index_stats() const {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) return IvfIndexStats{};
+  return index->Stats();
+}
+
+}  // namespace jdvs

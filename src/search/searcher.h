@@ -1,0 +1,122 @@
+// Searcher: one node of the bottom tier of Figure 10.
+//
+// "There is a searcher for each index data partition. A searcher is
+// responsible for searching and updating the corresponding index partition"
+// and "is also responsible for processing messages from the message queue
+// and performs real time indexing" (Section 2.4).
+//
+// Threading: searches execute on the searcher's node pool (many readers);
+// all index mutations — the message-queue consumer loop, directly injected
+// updates, and full-index installs — serialize on an internal writer mutex,
+// preserving the single-writer contract of IvfIndex. Searches never take
+// that mutex: they grab the current index through an atomic shared_ptr, so
+// a full-index install swaps the whole partition under live traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "index/ivf_index.h"
+#include "index/realtime_indexer.h"
+#include "mq/topic_queue.h"
+#include "net/node.h"
+#include "store/feature_db.h"
+
+namespace jdvs {
+
+class Searcher {
+ public:
+  struct Config {
+    std::size_t threads = 2;
+    LatencyModel latency;
+    std::uint64_t seed = 0;
+  };
+
+  Searcher(std::string name, const Config& config, FeatureDb& features,
+           PartitionFilter filter);
+  ~Searcher();
+
+  Searcher(const Searcher&) = delete;
+  Searcher& operator=(const Searcher&) = delete;
+
+  // Installs a (typically freshly full-built) index, atomically replacing
+  // the current one under live searches. Retired real-time stats are folded
+  // into the searcher totals.
+  void InstallIndex(std::unique_ptr<IvfIndex> index);
+
+  bool HasIndex() const { return index_.load(std::memory_order_acquire) != nullptr; }
+
+  // Persists the current index to a snapshot file (the weekly full-index
+  // distribution artifact). Serializes against writers so the snapshot is a
+  // consistent point-in-time image.
+  void SaveIndexSnapshot(const std::string& path) const;
+
+  // Loads a snapshot and installs it as the current index (how a searcher
+  // receives a freshly distributed full index without rebuilding locally).
+  void InstallFromSnapshot(const std::string& path);
+
+  // Remote search: runs on this searcher's node. Returns "the top k most
+  // similar images" of this partition, optionally scoped to one category.
+  std::future<std::vector<SearchHit>> SearchAsync(
+      FeatureVector query, std::size_t k, std::size_t nprobe = 0,
+      CategoryId category_filter = kNoCategoryFilter);
+
+  // In-process search (tests / exhaustive ground truth), bypassing the node.
+  std::vector<SearchHit> SearchLocal(
+      FeatureView query, std::size_t k, std::size_t nprobe = 0,
+      CategoryId category_filter = kNoCategoryFilter) const;
+  std::vector<SearchHit> SearchExhaustiveLocal(FeatureView query,
+                                               std::size_t k) const;
+
+  // Starts the message-queue consumer loop on a dedicated thread.
+  void StartConsuming(std::shared_ptr<Subscription> subscription);
+  // Stops the consumer (closes the subscription and joins the thread).
+  void StopConsuming();
+
+  // Applies one update synchronously (benches drive the update path without
+  // a queue). Thread-safe against other writers.
+  void ApplyUpdate(const ProductUpdateMessage& message);
+
+  // Writer housekeeping: finish any pending inverted-list expansions.
+  void FinishPendingExpansions();
+
+  Node& node() { return node_; }
+  const std::string& name() const { return node_.name(); }
+  const PartitionFilter& partition_filter() const { return filter_; }
+
+  // Cumulative real-time indexing stats (including retired indexes).
+  RealTimeIndexerCounters update_counters() const;
+  // Snapshot of cumulative update latency.
+  void MergeUpdateLatencyInto(Histogram& out) const;
+  IvfIndexStats index_stats() const;
+  std::uint64_t messages_consumed() const {
+    return messages_consumed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ConsumeLoop(std::shared_ptr<Subscription> subscription);
+
+  Node node_;
+  FeatureDb& features_;
+  PartitionFilter filter_;
+  std::uint64_t seed_;
+
+  std::atomic<std::shared_ptr<IvfIndex>> index_{nullptr};
+  mutable std::mutex writer_mu_;              // serializes all mutations
+  std::unique_ptr<RealTimeIndexer> indexer_;  // guarded by writer_mu_
+  RealTimeIndexerCounters retired_counters_;  // guarded by writer_mu_
+  Histogram retired_latency_;                 // guarded by writer_mu_
+
+  std::shared_ptr<Subscription> subscription_;
+  std::thread consumer_;
+  std::atomic<std::uint64_t> messages_consumed_{0};
+};
+
+}  // namespace jdvs

@@ -1,0 +1,58 @@
+// Query/response types flowing through the 3-level search architecture.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "index/ivf_index.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+// A user's query photo. Synthetic stand-in for uploaded pixels: the photo
+// depicts `subject_product` (ground truth for recall measurements) of
+// `true_category`; `query_seed` drives the photo-specific noise.
+struct QueryImage {
+  ProductId subject_product = 0;
+  CategoryId true_category = 0;
+  std::uint64_t query_seed = 0;
+};
+
+struct QueryOptions {
+  std::size_t k = 10;       // results returned to the user
+  std::size_t nprobe = 0;   // 0 = index default
+  // When set (!= kNoCategoryFilter), searchers only consider images of this
+  // category — the production use of the detector's output ("the product
+  // category of the item is identified", Section 2.4). A misdetection then
+  // excludes the true product, which is the accuracy/latency trade the
+  // category-filter ablation measures.
+  CategoryId category_filter = kNoCategoryFilter;
+};
+
+// One final ranked result ("the similar products are ranked according to
+// their sales, praise, price and other attributes", Section 2.4).
+struct RankedResult {
+  SearchHit hit;
+  double score = 0.0;  // larger is better
+};
+
+struct QueryResponse {
+  std::vector<RankedResult> results;
+  Micros total_micros = 0;     // end-to-end at the blender
+  std::size_t brokers_asked = 0;
+  std::size_t broker_failures = 0;
+  CategoryId detected_category = 0;
+  // True when served from the blender's result cache (staleness bounded by
+  // the cache TTL) instead of a live fan-out.
+  bool from_cache = false;
+};
+
+// Merges per-searcher / per-broker partial hit lists into a global top-k by
+// distance (each input list is already sorted ascending).
+std::vector<SearchHit> MergeHits(std::vector<std::vector<SearchHit>> partials,
+                                 std::size_t k);
+
+}  // namespace jdvs

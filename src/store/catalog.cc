@@ -1,0 +1,67 @@
+#include "store/catalog.h"
+
+#include <mutex>
+
+namespace jdvs {
+
+std::string MakeImageUrl(ProductId product_id, std::uint32_t k) {
+  return "jd://img/" + std::to_string(product_id) + "/" + std::to_string(k);
+}
+
+void ProductCatalog::Upsert(ProductRecord record) {
+  std::unique_lock lock(mu_);
+  products_.insert_or_assign(record.id, std::move(record));
+}
+
+std::optional<ProductRecord> ProductCatalog::Get(ProductId id) const {
+  std::shared_lock lock(mu_);
+  const auto it = products_.find(id);
+  if (it == products_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ProductCatalog::Contains(ProductId id) const {
+  std::shared_lock lock(mu_);
+  return products_.find(id) != products_.end();
+}
+
+bool ProductCatalog::UpdateAttributes(ProductId id,
+                                      const ProductAttributes& attributes,
+                                      const std::string& detail_url) {
+  std::unique_lock lock(mu_);
+  const auto it = products_.find(id);
+  if (it == products_.end()) return false;
+  it->second.attributes = attributes;
+  if (!detail_url.empty()) it->second.detail_url = detail_url;
+  return true;
+}
+
+bool ProductCatalog::SetOnMarket(ProductId id, bool on_market) {
+  std::unique_lock lock(mu_);
+  const auto it = products_.find(id);
+  if (it == products_.end()) return false;
+  it->second.on_market = on_market;
+  return true;
+}
+
+std::size_t ProductCatalog::size() const {
+  std::shared_lock lock(mu_);
+  return products_.size();
+}
+
+std::vector<ProductId> ProductCatalog::AllIds() const {
+  std::shared_lock lock(mu_);
+  std::vector<ProductId> ids;
+  ids.reserve(products_.size());
+  for (const auto& [id, record] : products_) ids.push_back(id);
+  return ids;
+}
+
+void ProductCatalog::ForEach(
+    const std::function<void(const ProductRecord&)>& visit) const {
+  for (const ProductId id : AllIds()) {
+    if (auto record = Get(id)) visit(*record);
+  }
+}
+
+}  // namespace jdvs

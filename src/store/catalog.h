@@ -1,0 +1,65 @@
+// Product catalog: the source-of-truth product database the indexing
+// pipeline reads from. In production this is JD's product service; here it
+// is an in-memory registry populated by the synthetic catalog generator and
+// mutated by the update trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mq/message.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+struct ProductRecord {
+  ProductId id = 0;
+  CategoryId category = 0;
+  ProductAttributes attributes;
+  std::string detail_url;
+  std::vector<std::string> image_urls;
+  bool on_market = true;
+};
+
+// Canonical image URL for image #k of a product.
+std::string MakeImageUrl(ProductId product_id, std::uint32_t k);
+
+class ProductCatalog {
+ public:
+  ProductCatalog() = default;
+  ProductCatalog(const ProductCatalog&) = delete;
+  ProductCatalog& operator=(const ProductCatalog&) = delete;
+
+  // Inserts or replaces a product record.
+  void Upsert(ProductRecord record);
+
+  std::optional<ProductRecord> Get(ProductId id) const;
+  bool Contains(ProductId id) const;
+
+  // Updates only the numeric attributes / detail URL of an existing product;
+  // returns false if absent.
+  bool UpdateAttributes(ProductId id, const ProductAttributes& attributes,
+                        const std::string& detail_url);
+
+  // Flips market availability; returns false if absent.
+  bool SetOnMarket(ProductId id, bool on_market);
+
+  std::size_t size() const;
+
+  std::vector<ProductId> AllIds() const;
+
+  // Visits every record (snapshot of ids, then per-id lookup, so the lock is
+  // never held across the callback).
+  void ForEach(const std::function<void(const ProductRecord&)>& visit) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<ProductId, ProductRecord> products_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,29 @@
+#include "store/feature_db.h"
+
+#include <chrono>
+#include <thread>
+
+namespace jdvs {
+
+std::pair<FeatureVector, bool> FeatureDb::GetOrExtract(
+    const ImageContent& content, Rng& rng) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (lookup_micros_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(lookup_micros_));
+  }
+  if (auto cached = store_.Get(content.url)) {
+    reused_.fetch_add(1, std::memory_order_relaxed);
+    return {*std::move(cached), true};
+  }
+  // Miss: run the (simulated) CNN.
+  const std::int64_t cost = cost_model_.SampleMicros(rng);
+  if (cost > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(cost));
+  }
+  FeatureVector feature = embedder_->Extract(content);
+  extracted_.fetch_add(1, std::memory_order_relaxed);
+  store_.Put(content.url, feature);
+  return {std::move(feature), false};
+}
+
+}  // namespace jdvs

@@ -1,0 +1,41 @@
+#include "store/image_store.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace jdvs {
+
+void ImageStore::Put(const std::string& url, ProductId product_id,
+                     CategoryId category_id) {
+  std::unique_lock lock(mu_);
+  blobs_.insert_or_assign(url, Blob{product_id, category_id});
+}
+
+std::optional<ImageContent> ImageStore::Fetch(std::string_view url) const {
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  Blob blob;  // copy out under the lock, sleep outside it
+  {
+    std::shared_lock lock(mu_);
+    const auto it = blobs_.find(std::string(url));
+    if (it == blobs_.end()) return std::nullopt;
+    blob = it->second;
+  }
+  if (config_.fetch_latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.fetch_latency_micros));
+  }
+  return ImageContent{std::string(url), blob.product_id, blob.category_id};
+}
+
+bool ImageStore::Contains(std::string_view url) const {
+  std::shared_lock lock(mu_);
+  return blobs_.find(std::string(url)) != blobs_.end();
+}
+
+std::size_t ImageStore::size() const {
+  std::shared_lock lock(mu_);
+  return blobs_.size();
+}
+
+}  // namespace jdvs

@@ -1,0 +1,57 @@
+// Image store: the blob store product images are pulled from during full
+// indexing ("the images of new added products ... are pulled from an image
+// store", Section 2.2). The synthetic store serves ImageContent records and
+// charges a configurable fetch latency so indexing cost models stay honest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "embedding/extractor.h"
+
+namespace jdvs {
+
+struct ImageStoreConfig {
+  // Simulated per-fetch latency; 0 disables sleeping.
+  std::int64_t fetch_latency_micros = 0;
+};
+
+class ImageStore {
+ public:
+  explicit ImageStore(const ImageStoreConfig& config = {}) : config_(config) {}
+
+  ImageStore(const ImageStore&) = delete;
+  ImageStore& operator=(const ImageStore&) = delete;
+
+  // Registers an image blob (done when a product is created/listed).
+  void Put(const std::string& url, ProductId product_id,
+           CategoryId category_id);
+
+  // Fetches an image; nullopt for unknown URLs. Sleeps for the configured
+  // fetch latency on every hit.
+  std::optional<ImageContent> Fetch(std::string_view url) const;
+
+  bool Contains(std::string_view url) const;
+  std::size_t size() const;
+  std::uint64_t fetch_count() const {
+    return fetches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Blob {
+    ProductId product_id;
+    CategoryId category_id;
+  };
+
+  ImageStoreConfig config_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Blob> blobs_;
+  mutable std::atomic<std::uint64_t> fetches_{0};
+};
+
+}  // namespace jdvs

@@ -1,0 +1,65 @@
+#include "vecmath/distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace jdvs {
+
+float L2SquaredDistance(FeatureView a, FeatureView b) noexcept {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  // Four accumulators: lets the compiler vectorize and hides FP latency.
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+float InnerProduct(FeatureView a, FeatureView b) noexcept {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float L2Norm(FeatureView a) noexcept {
+  return std::sqrt(InnerProduct(a, a));
+}
+
+void NormalizeL2(std::span<float> v) noexcept {
+  const float norm = L2Norm(FeatureView(v.data(), v.size()));
+  if (norm == 0.f) return;
+  const float inv = 1.f / norm;
+  for (float& x : v) x *= inv;
+}
+
+void L2SquaredBatch(FeatureView query, const float* base, std::size_t dim,
+                    std::size_t count, float* out) noexcept {
+  assert(query.size() == dim);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = L2SquaredDistance(query, FeatureView(base + i * dim, dim));
+  }
+}
+
+}  // namespace jdvs

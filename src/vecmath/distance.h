@@ -1,0 +1,28 @@
+// Distance kernels.
+#pragma once
+
+#include <cstddef>
+
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+// Squared Euclidean (L2^2) distance. The system ranks by relative distance,
+// so the square root is never needed on the hot path.
+float L2SquaredDistance(FeatureView a, FeatureView b) noexcept;
+
+// Inner product (for completeness / normalized-feature cosine search).
+float InnerProduct(FeatureView a, FeatureView b) noexcept;
+
+// Euclidean norm of a vector.
+float L2Norm(FeatureView a) noexcept;
+
+// Scales `v` in place to unit L2 norm; zero vectors are left unchanged.
+void NormalizeL2(std::span<float> v) noexcept;
+
+// Batch form: distances from `query` to `count` contiguous vectors of
+// dimension `dim` starting at `base`; writes into `out[0..count)`.
+void L2SquaredBatch(FeatureView query, const float* base, std::size_t dim,
+                    std::size_t count, float* out) noexcept;
+
+}  // namespace jdvs

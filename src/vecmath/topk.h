@@ -1,0 +1,51 @@
+// Bounded top-k selection.
+//
+// Searchers return the k most similar images to their broker; brokers and
+// blenders merge the partial top-k lists (Section 2.1 workflow). TopK keeps
+// the k smallest-distance candidates in a max-heap so insertion is O(log k)
+// and rejection of non-competitive candidates is O(1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+struct ScoredImage {
+  ImageId image_id = 0;
+  float distance = 0.f;  // smaller is more similar (L2^2)
+
+  friend bool operator==(const ScoredImage&, const ScoredImage&) = default;
+};
+
+class TopK {
+ public:
+  explicit TopK(std::size_t k);
+
+  // Offers a candidate; keeps it only if competitive.
+  void Offer(ImageId id, float distance);
+
+  // Current worst (largest) distance admitted, or +inf while not full.
+  float Threshold() const noexcept;
+
+  std::size_t size() const noexcept { return heap_.size(); }
+  std::size_t k() const noexcept { return k_; }
+  bool full() const noexcept { return heap_.size() == k_; }
+
+  // Extracts results sorted by ascending distance (best first). The TopK is
+  // left empty afterwards.
+  std::vector<ScoredImage> TakeSorted();
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredImage> heap_;  // max-heap on distance
+};
+
+// Merges several already-sorted partial result lists into a single sorted
+// top-k (the broker/blender combine step).
+std::vector<ScoredImage> MergeTopK(
+    const std::vector<std::vector<ScoredImage>>& partials, std::size_t k);
+
+}  // namespace jdvs

@@ -1,0 +1,39 @@
+// Feature vector primitives.
+//
+// The paper's searchers compute Euclidean distance between the query image's
+// high-dimensional feature and every image in the probed inverted lists
+// (Section 2.4). Features here are dense float32 vectors of a fixed,
+// per-index dimension.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jdvs {
+
+// Dense float feature vector. Plain owning type; hot paths operate on
+// std::span<const float> views to avoid copies.
+using FeatureVector = std::vector<float>;
+using FeatureView = std::span<const float>;
+
+// Global image identifier: unique across the whole catalog, assigned by the
+// catalog / indexing pipeline.
+using ImageId = std::uint64_t;
+
+// Local (per-partition) dense id: position in a searcher's forward index.
+using LocalId = std::uint32_t;
+
+// Product identifier.
+using ProductId = std::uint64_t;
+
+// Product category label (used by the detector and the synthetic embedder).
+using CategoryId = std::uint32_t;
+
+inline constexpr LocalId kInvalidLocalId = ~LocalId{0};
+
+// Sentinel "no category filter" value for category-scoped search.
+inline constexpr CategoryId kNoCategoryFilter = ~CategoryId{0};
+
+}  // namespace jdvs

@@ -1,0 +1,49 @@
+#include "vecmath/vector_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace jdvs {
+
+VectorSet::VectorSet(std::size_t dim, std::size_t chunk_vectors)
+    : dim_(dim), chunk_vectors_(std::max<std::size_t>(chunk_vectors, 1)) {
+  // Reserve enough chunk slots that chunks_ never reallocates in practice
+  // (2^20 chunks * 4096 vectors = 4G vectors). Readers only dereference
+  // chunk pointers covered by the published size, and Append is
+  // single-writer, so reservation is a belt-and-braces stability guarantee.
+  chunks_.reserve(1 << 20);
+}
+
+float* VectorSet::SlotFor(std::size_t index) noexcept {
+  return chunks_[index / chunk_vectors_].get() + (index % chunk_vectors_) * dim_;
+}
+
+const float* VectorSet::SlotFor(std::size_t index) const noexcept {
+  return chunks_[index / chunk_vectors_].get() + (index % chunk_vectors_) * dim_;
+}
+
+std::size_t VectorSet::Append(FeatureView v) {
+  assert(v.size() == dim_);
+  const std::size_t index = size_.load(std::memory_order_relaxed);
+  if (index / chunk_vectors_ == chunks_.size()) {
+    chunks_.push_back(std::make_unique<float[]>(chunk_vectors_ * dim_));
+  }
+  std::memcpy(SlotFor(index), v.data(), dim_ * sizeof(float));
+  // Release: the vector contents become visible before the new size.
+  size_.store(index + 1, std::memory_order_release);
+  return index;
+}
+
+void VectorSet::Overwrite(std::size_t index, FeatureView v) {
+  assert(v.size() == dim_);
+  assert(index < size());
+  std::memcpy(SlotFor(index), v.data(), dim_ * sizeof(float));
+}
+
+FeatureView VectorSet::At(std::size_t index) const noexcept {
+  assert(index < size());
+  return FeatureView(SlotFor(index), dim_);
+}
+
+}  // namespace jdvs

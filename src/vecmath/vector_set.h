@@ -1,0 +1,60 @@
+// Append-only, concurrently readable store of fixed-dimension vectors.
+//
+// Each searcher keeps the feature of every image in its partition so the
+// inverted-list scan can compute Euclidean distances (Section 2.4). Real-time
+// insertion appends a vector while searches are in flight, so the store is
+// chunked (no reallocation ever moves published data) and publishes growth
+// through an atomic size with release/acquire ordering — the same
+// single-writer / many-readers discipline as the inverted lists.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+class VectorSet {
+ public:
+  // `chunk_vectors` is the number of vectors per chunk (power of two not
+  // required). Dimension is fixed at construction.
+  explicit VectorSet(std::size_t dim, std::size_t chunk_vectors = 4096);
+
+  VectorSet(const VectorSet&) = delete;
+  VectorSet& operator=(const VectorSet&) = delete;
+
+  // Appends a vector (single writer). Returns its dense index.
+  // Precondition: v.size() == dim().
+  std::size_t Append(FeatureView v);
+
+  // Overwrites the vector at `index` in place (single writer). Readers racing
+  // a rewrite may observe a torn vector; callers that need stability must
+  // only rewrite ids that are invisible to search (invalid in the bitmap).
+  void Overwrite(std::size_t index, FeatureView v);
+
+  // View of vector `index`. Valid for the lifetime of the set; safe to call
+  // concurrently with Append for any index < size() observed beforehand.
+  FeatureView At(std::size_t index) const noexcept;
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+  std::size_t dim() const noexcept { return dim_; }
+
+ private:
+  float* SlotFor(std::size_t index) noexcept;
+  const float* SlotFor(std::size_t index) const noexcept;
+
+  const std::size_t dim_;
+  const std::size_t chunk_vectors_;
+  // Chunk pointers are only appended, never moved. The vector of chunk
+  // pointers itself is pre-reserved generously and guarded by the atomic
+  // size: readers never index a chunk that was not published.
+  std::vector<std::unique_ptr<float[]>> chunks_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace jdvs

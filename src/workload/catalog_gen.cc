@@ -1,0 +1,65 @@
+#include "workload/catalog_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace jdvs {
+namespace {
+
+ProductAttributes SampleAttributes(Rng& rng) {
+  ProductAttributes attributes;
+  // Heavy-tailed sales: most products sell little, a few sell a lot.
+  attributes.sales =
+      static_cast<std::uint64_t>(rng.NextExponential(/*mean=*/150.0));
+  // Lognormal prices around ~80 CNY.
+  attributes.price_cents = static_cast<std::uint64_t>(
+      std::max(100.0, 8000.0 * std::exp(0.8 * rng.NextGaussian())));
+  // Praise correlates with sales.
+  attributes.praise = static_cast<std::uint64_t>(
+      static_cast<double>(attributes.sales) * rng.NextDouble() * 0.8);
+  return attributes;
+}
+
+}  // namespace
+
+CatalogGenStats GenerateCatalog(const CatalogGenConfig& config,
+                                ProductCatalog& catalog, ImageStore& images,
+                                FeatureDb* features) {
+  Rng rng(config.seed);
+  CatalogGenStats stats;
+  for (std::size_t i = 0; i < config.num_products; ++i) {
+    ProductRecord record;
+    record.id = static_cast<ProductId>(i + 1);  // 0 reserved as "no product"
+    record.category =
+        static_cast<CategoryId>(rng.Below(config.num_categories));
+    record.attributes = SampleAttributes(rng);
+    record.detail_url = "jd://item/" + std::to_string(record.id);
+    const std::uint32_t num_images = static_cast<std::uint32_t>(
+        rng.Uniform(config.min_images_per_product,
+                    std::max(config.min_images_per_product,
+                             config.max_images_per_product)));
+    record.image_urls.reserve(num_images);
+    for (std::uint32_t k = 0; k < num_images; ++k) {
+      record.image_urls.push_back(MakeImageUrl(record.id, k));
+    }
+    record.on_market = !rng.NextBool(config.initial_off_market_fraction);
+
+    for (const std::string& url : record.image_urls) {
+      images.Put(url, record.id, record.category);
+      if (features != nullptr) {
+        const ImageContent content{url, record.id, record.category};
+        features->Preload(url, features->embedder().Extract(content));
+        ++stats.features_prewarmed;
+      }
+      ++stats.images;
+    }
+    if (record.on_market) ++stats.on_market_products;
+    ++stats.products;
+    catalog.Upsert(std::move(record));
+  }
+  return stats;
+}
+
+}  // namespace jdvs

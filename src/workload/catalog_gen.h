@@ -1,0 +1,45 @@
+// Synthetic product catalog generator.
+//
+// Builds the initial product universe the experiments run over: products
+// with categories, images, and business attributes (sales/price/praise)
+// drawn from heavy-tailed distributions typical of e-commerce catalogs. The
+// paper's performance testbed indexes 100,000 images; the default here (20k
+// products x ~5 images) matches that scale.
+#pragma once
+
+#include <cstdint>
+
+#include "store/catalog.h"
+#include "store/feature_db.h"
+#include "store/image_store.h"
+
+namespace jdvs {
+
+struct CatalogGenConfig {
+  std::size_t num_products = 20000;
+  std::uint32_t min_images_per_product = 3;
+  std::uint32_t max_images_per_product = 7;
+  std::uint32_t num_categories = 50;
+  // Fraction of products generated off-market (the re-listing pool: products
+  // "removed from the market and put back later", whose features were
+  // "extracted before" — Section 2.1 / Table 1).
+  double initial_off_market_fraction = 0.0;
+  std::uint64_t seed = 11;
+};
+
+struct CatalogGenStats {
+  std::uint64_t products = 0;
+  std::uint64_t on_market_products = 0;
+  std::uint64_t images = 0;
+  std::uint64_t features_prewarmed = 0;
+};
+
+// Populates catalog and image store. When `features` is non-null, every
+// image's feature is precomputed into the feature DB (production state:
+// anything ever listed has been extracted once), bypassing the extraction
+// cost model.
+CatalogGenStats GenerateCatalog(const CatalogGenConfig& config,
+                                ProductCatalog& catalog, ImageStore& images,
+                                FeatureDb* features = nullptr);
+
+}  // namespace jdvs

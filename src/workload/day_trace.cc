@@ -1,0 +1,180 @@
+#include "workload/day_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jdvs {
+namespace {
+
+ProductAttributes SampleAttributes(Rng& rng) {
+  ProductAttributes attributes;
+  attributes.sales =
+      static_cast<std::uint64_t>(rng.NextExponential(/*mean=*/150.0));
+  attributes.price_cents = static_cast<std::uint64_t>(
+      std::max(100.0, 8000.0 * std::exp(0.8 * rng.NextGaussian())));
+  attributes.praise = static_cast<std::uint64_t>(
+      static_cast<double>(attributes.sales) * rng.NextDouble() * 0.8);
+  return attributes;
+}
+
+constexpr std::int64_t kMicrosPerHour = 3'600'000'000LL;
+
+}  // namespace
+
+std::array<double, 24> DayTraceConfig::DefaultDiurnalWeights() {
+  // Shaped after Figure 11(a): quiet overnight, ramp from 8:00, peak at
+  // 11:00, afternoon plateau, evening tail-off.
+  return {1.0, 0.6, 0.4, 0.3, 0.3, 0.5,   // 0-5
+          1.0, 1.8, 3.0, 4.5, 5.5, 6.2,   // 6-11 (peak 11:00)
+          5.4, 4.8, 4.6, 4.4, 4.2, 3.8,   // 12-17
+          3.4, 3.2, 3.6, 3.4, 2.6, 1.6};  // 18-23
+}
+
+DayTraceGenerator::DayTraceGenerator(const DayTraceConfig& config,
+                                     const ProductCatalog& catalog)
+    : config_(config), rng_(config.seed) {
+  ProductId max_id = 0;
+  catalog.ForEach([&](const ProductRecord& record) {
+    const std::size_t index = products_.size();
+    products_.push_back(
+        KnownProduct{record.id, record.category, record.image_urls});
+    if (record.on_market) {
+      on_market_.push_back(index);
+    } else {
+      off_market_.push_back(index);
+    }
+    max_id = std::max(max_id, record.id);
+  });
+  next_new_id_ = max_id + 1;
+}
+
+bool DayTraceGenerator::PopRandom(std::vector<std::size_t>& pool,
+                                  std::size_t& out) {
+  if (pool.empty()) return false;
+  const std::size_t slot = rng_.Below(pool.size());
+  out = pool[slot];
+  pool[slot] = pool.back();
+  pool.pop_back();
+  return true;
+}
+
+const DayTraceGenerator::KnownProduct& DayTraceGenerator::RandomKnown() {
+  if (!on_market_.empty()) {
+    return products_[on_market_[rng_.Below(on_market_.size())]];
+  }
+  return products_[rng_.Below(products_.size())];
+}
+
+ProductUpdateMessage DayTraceGenerator::MakeAttributeUpdate(int hour) {
+  const KnownProduct& product = RandomKnown();
+  ProductUpdateMessage message;
+  message.type = UpdateType::kAttributeUpdate;
+  message.product_id = product.id;
+  message.category_id = product.category;
+  message.attributes = SampleAttributes(rng_);
+  message.timestamp_micros = base_time_micros_ + hour * kMicrosPerHour;
+  return message;
+}
+
+ProductUpdateMessage DayTraceGenerator::MakeAddition(int hour,
+                                                     DayTraceStats& stats) {
+  ProductUpdateMessage message;
+  message.type = UpdateType::kAddProduct;
+  message.timestamp_micros = base_time_micros_ + hour * kMicrosPerHour;
+  message.attributes = SampleAttributes(rng_);
+
+  std::size_t index;
+  if (rng_.NextBool(config_.relist_fraction) && PopRandom(off_market_, index)) {
+    // Re-listing: "products which were removed from the market and put back
+    // again. These images' features were extracted before." (Section 3.1)
+    const KnownProduct& product = products_[index];
+    message.product_id = product.id;
+    message.category_id = product.category;
+    message.image_urls = product.image_urls;
+    on_market_.push_back(index);
+    ++stats.relist_additions;
+    return message;
+  }
+
+  // Brand-new product: fresh images whose features must be extracted.
+  KnownProduct product;
+  product.id = next_new_id_++;
+  product.category = static_cast<CategoryId>(
+      rng_.Below(std::max<std::uint32_t>(config_.num_categories, 1)));
+  const std::uint32_t num_images = static_cast<std::uint32_t>(rng_.Uniform(
+      config_.min_images_per_new_product,
+      std::max(config_.min_images_per_new_product,
+               config_.max_images_per_new_product)));
+  for (std::uint32_t k = 0; k < num_images; ++k) {
+    product.image_urls.push_back(MakeImageUrl(product.id, k));
+  }
+  message.product_id = product.id;
+  message.category_id = product.category;
+  message.image_urls = product.image_urls;
+  message.detail_url = "jd://item/" + std::to_string(product.id);
+  on_market_.push_back(products_.size());
+  products_.push_back(std::move(product));
+  ++stats.new_product_additions;
+  return message;
+}
+
+ProductUpdateMessage DayTraceGenerator::MakeDeletion(int hour) {
+  std::size_t index;
+  if (!PopRandom(on_market_, index)) {
+    // Nothing left to remove (degenerate config); emit an update instead.
+    return MakeAttributeUpdate(hour);
+  }
+  off_market_.push_back(index);
+  const KnownProduct& product = products_[index];
+  ProductUpdateMessage message;
+  message.type = UpdateType::kRemoveProduct;
+  message.product_id = product.id;
+  message.category_id = product.category;
+  message.timestamp_micros = base_time_micros_ + hour * kMicrosPerHour;
+  return message;
+}
+
+DayTraceStats DayTraceGenerator::Generate(
+    const std::function<void(const TraceEvent&)>& sink) {
+  DayTraceStats stats;
+  double weight_sum = 0.0;
+  for (const double w : config_.hourly_weights) weight_sum += std::max(w, 0.0);
+  if (weight_sum <= 0.0) weight_sum = 1.0;
+
+  std::uint64_t emitted = 0;
+  for (int hour = 0; hour < 24; ++hour) {
+    std::uint64_t hour_count = static_cast<std::uint64_t>(
+        static_cast<double>(config_.total_messages) *
+        std::max(config_.hourly_weights[hour], 0.0) / weight_sum);
+    if (hour == 23) {
+      // Last hour absorbs rounding so totals match exactly.
+      hour_count = config_.total_messages - emitted;
+    }
+    for (std::uint64_t i = 0; i < hour_count; ++i) {
+      TraceEvent event;
+      event.hour = hour;
+      const double roll = rng_.NextDouble();
+      if (roll < config_.update_fraction) {
+        event.message = MakeAttributeUpdate(hour);
+        ++stats.attribute_updates;
+      } else if (roll < config_.update_fraction + config_.addition_fraction) {
+        event.message = MakeAddition(hour, stats);
+        ++stats.additions;
+      } else {
+        event.message = MakeDeletion(hour);
+        if (event.message.type == UpdateType::kAttributeUpdate) {
+          ++stats.attribute_updates;
+        } else {
+          ++stats.deletions;
+        }
+      }
+      ++stats.per_hour[hour];
+      ++stats.total;
+      sink(event);
+    }
+    emitted += hour_count;
+  }
+  return stats;
+}
+
+}  // namespace jdvs

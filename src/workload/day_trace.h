@@ -1,0 +1,99 @@
+// Diurnal product-update trace generator.
+//
+// Reproduces the shape of JD's production update stream (Section 3.1):
+// Table 1's type mix (32.2% attribute updates, 53.3% image additions, 14.4%
+// removals, with 98.5% of additions being re-listings of previously seen
+// products) and Figure 11(a)'s diurnal hourly rate with the peak around
+// 11:00. The generator maintains its own on-/off-market view so deletions
+// feed the re-listing pool, exactly the product lifecycle the paper
+// describes ("e-commerce sites often remove a product from the market and
+// put it back later").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "mq/message.h"
+#include "store/catalog.h"
+
+namespace jdvs {
+
+struct DayTraceConfig {
+  std::uint64_t total_messages = 100000;
+  // Table 1 mix: 315 / 521 / 141 of 977 million.
+  double update_fraction = 0.3224;
+  double addition_fraction = 0.5333;
+  // (deletion fraction is the remainder)
+
+  // Of additions, the fraction drawn from the off-market pool when possible
+  // (Table 1: 513/521 = 98.46% reused).
+  double relist_fraction = 0.9846;
+
+  // Images per brand-new product.
+  std::uint32_t min_images_per_new_product = 3;
+  std::uint32_t max_images_per_new_product = 7;
+  std::uint32_t num_categories = 50;
+
+  // Relative message volume per hour 0..23; zeros allowed. Defaults to a
+  // JD-like diurnal curve peaking at 11:00 (Figure 11(a)).
+  std::array<double, 24> hourly_weights = DefaultDiurnalWeights();
+
+  std::uint64_t seed = 31;
+
+  static std::array<double, 24> DefaultDiurnalWeights();
+};
+
+struct TraceEvent {
+  int hour = 0;  // 0..23
+  ProductUpdateMessage message;
+};
+
+struct DayTraceStats {
+  std::uint64_t total = 0;
+  std::uint64_t attribute_updates = 0;
+  std::uint64_t additions = 0;
+  std::uint64_t relist_additions = 0;
+  std::uint64_t new_product_additions = 0;
+  std::uint64_t deletions = 0;
+  std::array<std::uint64_t, 24> per_hour{};
+};
+
+class DayTraceGenerator {
+ public:
+  // Snapshots the catalog's current product population (ids, categories,
+  // market state) as the starting universe.
+  DayTraceGenerator(const DayTraceConfig& config,
+                    const ProductCatalog& catalog);
+
+  // Streams the whole day in hour order into `sink`; returns the stats.
+  DayTraceStats Generate(const std::function<void(const TraceEvent&)>& sink);
+
+ private:
+  ProductUpdateMessage MakeAttributeUpdate(int hour);
+  ProductUpdateMessage MakeAddition(int hour, DayTraceStats& stats);
+  ProductUpdateMessage MakeDeletion(int hour);
+
+  struct KnownProduct {
+    ProductId id;
+    CategoryId category;
+    std::vector<std::string> image_urls;
+  };
+
+  const KnownProduct& RandomKnown();
+  // Moves a random product between the pools; O(1) swap-remove.
+  bool PopRandom(std::vector<std::size_t>& pool, std::size_t& out);
+
+  DayTraceConfig config_;
+  Rng rng_;
+  std::vector<KnownProduct> products_;
+  std::vector<std::size_t> on_market_;   // indexes into products_
+  std::vector<std::size_t> off_market_;  // indexes into products_
+  ProductId next_new_id_;
+  std::int64_t base_time_micros_ = 0;
+};
+
+}  // namespace jdvs

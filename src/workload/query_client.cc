@@ -1,0 +1,109 @@
+#include "workload/query_client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace jdvs {
+
+QueryClient::QueryClient(VisualSearchCluster& cluster,
+                         const QueryWorkloadConfig& config)
+    : cluster_(cluster), config_(config) {
+  // Snapshot queryable products (with categories) once; query threads then
+  // sample without touching the catalog.
+  cluster_.catalog().ForEach([this](const ProductRecord& record) {
+    if (record.on_market) {
+      targets_.push_back(Target{record.id, record.category});
+    }
+  });
+  if (config_.zipf_exponent > 0.0 && !targets_.empty()) {
+    // Rank-r weight 1/r^s; the snapshot order is the popularity order.
+    zipf_cdf_.resize(targets_.size());
+    double total = 0.0;
+    for (std::size_t r = 0; r < targets_.size(); ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1),
+                              config_.zipf_exponent);
+      zipf_cdf_[r] = total;
+    }
+    for (double& c : zipf_cdf_) c /= total;
+  }
+}
+
+std::size_t QueryClient::PickTarget(Rng& rng) const {
+  if (zipf_cdf_.empty()) return rng.Below(targets_.size());
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::size_t>(it - zipf_cdf_.begin());
+}
+
+QueryWorkloadResult QueryClient::Run() {
+  QueryWorkloadResult result;
+  result.latency_micros = std::make_shared<Histogram>();
+  if (targets_.empty()) return result;
+
+  std::atomic<std::uint64_t> total_queries{0};
+  std::atomic<std::uint64_t> total_errors{0};
+  std::atomic<std::uint64_t> subject_hits{0};
+  const auto& clock = MonotonicClock::Instance();
+  const Micros start = clock.NowMicros();
+  const Micros deadline =
+      config_.duration_micros > 0 ? start + config_.duration_micros : 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.num_threads);
+  for (std::size_t t = 0; t < std::max<std::size_t>(config_.num_threads, 1);
+       ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(HashCombine(Mix64(config_.seed), Mix64(t)));
+      std::size_t issued = 0;
+      for (;;) {
+        if (deadline > 0) {
+          if (clock.NowMicros() >= deadline) break;
+        } else if (issued >= config_.queries_per_thread) {
+          break;
+        }
+        const Target& target = targets_[PickTarget(rng)];
+        QueryImage query;
+        query.subject_product = target.product;
+        query.true_category = target.category;
+        query.query_seed = rng.Next64();
+        const Micros q_start = clock.NowMicros();
+        try {
+          const QueryResponse response =
+              cluster_.Query(query, QueryOptions{.k = config_.k, .nprobe = 0});
+          result.latency_micros->Record(clock.NowMicros() - q_start);
+          const bool hit = std::any_of(
+              response.results.begin(), response.results.end(),
+              [&](const RankedResult& r) {
+                return r.hit.product_id == target.product;
+              });
+          if (hit) subject_hits.fetch_add(1, std::memory_order_relaxed);
+          total_queries.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          total_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++issued;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  result.elapsed_micros = clock.NowMicros() - start;
+  result.queries = total_queries.load();
+  result.errors = total_errors.load();
+  if (result.elapsed_micros > 0) {
+    result.qps = static_cast<double>(result.queries) /
+                 (static_cast<double>(result.elapsed_micros) * 1e-6);
+  }
+  if (result.queries > 0) {
+    result.subject_hit_rate = static_cast<double>(subject_hits.load()) /
+                              static_cast<double>(result.queries);
+  }
+  return result;
+}
+
+}  // namespace jdvs

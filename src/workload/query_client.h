@@ -1,0 +1,70 @@
+// Closed-loop query workload client.
+//
+// "The client machine emulates a different number of concurrent users by
+// sending image query requests to the visual search system" (Section 3.2).
+// Each thread issues a query, waits for the response, records the latency,
+// and immediately issues the next — the standard closed-loop client that
+// produces the QPS-vs-threads curves of Figures 12 and 13.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "search/cluster_builder.h"
+
+namespace jdvs {
+
+struct QueryWorkloadConfig {
+  std::size_t num_threads = 8;
+  // Run either a fixed count per thread or a fixed duration (duration wins
+  // when > 0).
+  std::size_t queries_per_thread = 100;
+  Micros duration_micros = 0;
+  std::size_t k = 10;
+  std::uint64_t seed = 5;
+  // Query-popularity skew: 0 = uniform over products; > 0 = Zipf exponent
+  // (production visual-search traffic concentrates on trending products —
+  // ~1.0 is a typical web skew).
+  double zipf_exponent = 0.0;
+};
+
+struct QueryWorkloadResult {
+  std::uint64_t queries = 0;
+  std::uint64_t errors = 0;
+  Micros elapsed_micros = 0;
+  double qps = 0.0;
+  std::shared_ptr<Histogram> latency_micros;  // per-query response times
+
+  // Fraction of queries whose top-k contained an image of the queried
+  // product (ground-truth hit rate; a retrieval sanity metric).
+  double subject_hit_rate = 0.0;
+};
+
+class QueryClient {
+ public:
+  QueryClient(VisualSearchCluster& cluster, const QueryWorkloadConfig& config);
+
+  // Runs the workload to completion (blocking) and returns merged results.
+  QueryWorkloadResult Run();
+
+ private:
+  struct Target {
+    ProductId product;
+    CategoryId category;
+  };
+
+  // Index into targets_ for one query, honoring the configured skew.
+  std::size_t PickTarget(Rng& rng) const;
+
+  VisualSearchCluster& cluster_;
+  QueryWorkloadConfig config_;
+  std::vector<Target> targets_;
+  // Cumulative Zipf weights over targets_ (empty when uniform).
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,145 @@
+#include "workload/trace_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace jdvs {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4A44565354524331ULL;  // "JDVSTRC1"
+constexpr std::uint32_t kVersion = 1;
+
+void WriteRaw(std::ostream& os, const void* data, std::size_t bytes) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(bytes));
+  if (!os) throw TraceIoError("trace write failed");
+}
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WriteRaw(os, &value, sizeof(T));
+}
+
+void WriteString(std::ostream& os, std::string_view s) {
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  WriteRaw(os, s.data(), s.size());
+}
+
+void ReadRaw(std::istream& is, void* data, std::size_t bytes) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (is.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw TraceIoError("trace truncated");
+  }
+}
+
+template <typename T>
+T ReadPod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  ReadRaw(is, &value, sizeof(T));
+  return value;
+}
+
+std::string ReadString(std::istream& is) {
+  const auto size = ReadPod<std::uint32_t>(is);
+  if (size > (1u << 24)) throw TraceIoError("trace string too large");
+  std::string s(size, '\0');
+  ReadRaw(is, s.data(), size);
+  return s;
+}
+
+}  // namespace
+
+struct TraceWriter::Impl {
+  std::ofstream os;
+  bool closed = false;
+};
+
+TraceWriter::TraceWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->os.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->os) throw TraceIoError("cannot open for writing: " + path);
+  WritePod(impl_->os, kMagic);
+  WritePod(impl_->os, kVersion);
+  // Placeholder event count, patched by Close().
+  WritePod<std::uint64_t>(impl_->os, 0);
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    Close();
+  } catch (...) {
+    // Destructors must not throw; a failed close surfaces on next read.
+  }
+}
+
+void TraceWriter::Write(const TraceEvent& event) {
+  std::ostream& os = impl_->os;
+  WritePod<std::int32_t>(os, event.hour);
+  const ProductUpdateMessage& m = event.message;
+  WritePod<std::uint8_t>(os, static_cast<std::uint8_t>(m.type));
+  WritePod<std::uint64_t>(os, m.product_id);
+  WritePod<std::uint32_t>(os, m.category_id);
+  WritePod<std::uint64_t>(os, m.attributes.sales);
+  WritePod<std::uint64_t>(os, m.attributes.price_cents);
+  WritePod<std::uint64_t>(os, m.attributes.praise);
+  WriteString(os, m.detail_url);
+  WritePod<std::int64_t>(os, m.timestamp_micros);
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(m.image_urls.size()));
+  for (const auto& url : m.image_urls) WriteString(os, url);
+  ++events_;
+}
+
+void TraceWriter::Close() {
+  if (impl_->closed) return;
+  impl_->closed = true;
+  impl_->os.seekp(sizeof(kMagic) + sizeof(kVersion));
+  WritePod<std::uint64_t>(impl_->os, events_);
+  impl_->os.flush();
+  if (!impl_->os) throw TraceIoError("trace close failed");
+  impl_->os.close();
+}
+
+std::uint64_t ReplayTraceFile(
+    const std::string& path,
+    const std::function<void(const TraceEvent&)>& visit) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw TraceIoError("cannot open for reading: " + path);
+  if (ReadPod<std::uint64_t>(is) != kMagic) {
+    throw TraceIoError("bad trace magic: " + path);
+  }
+  const auto version = ReadPod<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw TraceIoError("unsupported trace version " + std::to_string(version));
+  }
+  const auto count = ReadPod<std::uint64_t>(is);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    event.hour = ReadPod<std::int32_t>(is);
+    if (event.hour < 0 || event.hour >= 24) {
+      throw TraceIoError("trace hour out of range");
+    }
+    ProductUpdateMessage& m = event.message;
+    const auto type = ReadPod<std::uint8_t>(is);
+    if (type > 2) throw TraceIoError("trace message type out of range");
+    m.type = static_cast<UpdateType>(type);
+    m.product_id = ReadPod<std::uint64_t>(is);
+    m.category_id = ReadPod<std::uint32_t>(is);
+    m.attributes.sales = ReadPod<std::uint64_t>(is);
+    m.attributes.price_cents = ReadPod<std::uint64_t>(is);
+    m.attributes.praise = ReadPod<std::uint64_t>(is);
+    m.detail_url = ReadString(is);
+    m.timestamp_micros = ReadPod<std::int64_t>(is);
+    const auto num_urls = ReadPod<std::uint32_t>(is);
+    if (num_urls > (1u << 20)) throw TraceIoError("trace url count absurd");
+    m.image_urls.reserve(num_urls);
+    for (std::uint32_t u = 0; u < num_urls; ++u) {
+      m.image_urls.push_back(ReadString(is));
+    }
+    visit(event);
+  }
+  return count;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,50 @@
+// Trace file I/O: persist a generated day trace so different experiments
+// (and different system configurations under ablation) replay the *same*
+// update stream, byte for byte.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "workload/day_trace.h"
+
+namespace jdvs {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Writes trace events to `path` as they stream in. Usage:
+//   TraceWriter writer(path);
+//   generator.Generate([&](const TraceEvent& e) { writer.Write(e); });
+//   writer.Close();
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void Write(const TraceEvent& event);
+  // Finalizes the header (event count); called by the destructor if needed.
+  void Close();
+
+  std::uint64_t events_written() const { return events_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t events_ = 0;
+};
+
+// Streams every event of a trace file, in order, into `visit`. Returns the
+// number of events replayed. Throws TraceIoError on malformed files.
+std::uint64_t ReplayTraceFile(
+    const std::string& path,
+    const std::function<void(const TraceEvent&)>& visit);
+
+}  // namespace jdvs

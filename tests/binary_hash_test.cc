@@ -1,0 +1,151 @@
+// Tests for the binary hash-code baseline (paper references [22, 23, 29]).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/extractor.h"
+#include "hashing/binary_hash.h"
+#include "store/catalog.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+TEST(BinaryHashTest, SignatureIsDeterministicAndSized) {
+  BinaryHashIndex index(16, {.num_bits = 128});
+  Rng rng(1);
+  FeatureVector v(16);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  const auto a = index.Sign(v);
+  const auto b = index.Sign(v);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);  // 128 bits = 2 words
+  EXPECT_EQ(index.bytes_per_vector(), 16u);
+}
+
+TEST(BinaryHashTest, BitCountRoundsUpToWords) {
+  BinaryHashIndex index(8, {.num_bits = 70});
+  EXPECT_EQ(index.num_bits(), 128u);
+}
+
+TEST(BinaryHashTest, HammingDistanceBasics) {
+  const std::uint64_t a[2] = {0b1011, 0};
+  const std::uint64_t b[2] = {0b0010, 1ULL << 63};
+  EXPECT_EQ(BinaryHashIndex::HammingDistance(a, a, 2), 0u);
+  EXPECT_EQ(BinaryHashIndex::HammingDistance(a, b, 2), 3u);  // bits 0,3,127
+}
+
+TEST(BinaryHashTest, SimilarVectorsGetSimilarCodes) {
+  BinaryHashIndex index(32, {.num_bits = 128});
+  Rng rng(2);
+  FeatureVector base(32);
+  for (float& x : base) x = static_cast<float>(rng.NextGaussian()) * 4.f;
+  FeatureVector near = base;
+  for (float& x : near) x += static_cast<float>(rng.NextGaussian()) * 0.1f;
+  FeatureVector far(32);
+  for (float& x : far) x = static_cast<float>(rng.NextGaussian()) * 4.f;
+
+  const auto sig_base = index.Sign(base);
+  const auto sig_near = index.Sign(near);
+  const auto sig_far = index.Sign(far);
+  const auto d_near =
+      BinaryHashIndex::HammingDistance(sig_base.data(), sig_near.data(), 2);
+  const auto d_far =
+      BinaryHashIndex::HammingDistance(sig_base.data(), sig_far.data(), 2);
+  EXPECT_LT(d_near, d_far);
+}
+
+TEST(BinaryHashTest, FindsExactDuplicate) {
+  BinaryHashIndex index(16);
+  Rng rng(3);
+  FeatureVector target(16);
+  for (float& x : target) x = static_cast<float>(rng.NextGaussian());
+  index.Add(7, target);
+  for (int i = 0; i < 100; ++i) {
+    FeatureVector other(16);
+    for (float& x : other) x = static_cast<float>(rng.NextGaussian()) + 10.f;
+    index.Add(100 + i, other);
+  }
+  const auto results = index.Search(target, 1);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].image_id, 7u);
+}
+
+TEST(BinaryHashTest, RecallAgainstBruteForce) {
+  const SyntheticEmbedder embedder({.dim = 32, .num_categories = 10,
+                                    .seed = 4});
+  BinaryHashIndex index(32, {.num_bits = 128, .rerank_candidates = 64});
+  std::vector<std::pair<ImageId, FeatureVector>> all;
+  for (ProductId pid = 1; pid <= 500; ++pid) {
+    const auto f = embedder.Extract(
+        {MakeImageUrl(pid, 0), pid, static_cast<CategoryId>(pid % 10)});
+    index.Add(pid, f);
+    all.emplace_back(pid, f);
+  }
+  double recall_sum = 0.0;
+  constexpr int kQueries = 40;
+  for (int q = 0; q < kQueries; ++q) {
+    const ProductId pid = 1 + (q * 17) % 500;
+    const auto query =
+        embedder.ExtractQuery(pid, static_cast<CategoryId>(pid % 10), q);
+    TopK exact(10);
+    for (const auto& [id, v] : all) exact.Offer(id, L2SquaredDistance(query, v));
+    const auto truth = exact.TakeSorted();
+    const auto approx = index.Search(query, 10);
+    int found = 0;
+    for (const auto& t : truth) {
+      for (const auto& a : approx) {
+        if (a.image_id == t.image_id) {
+          ++found;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(found) / 10.0;
+  }
+  EXPECT_GT(recall_sum / kQueries, 0.6);
+}
+
+TEST(BinaryHashTest, MoreBitsImproveRecall) {
+  const SyntheticEmbedder embedder({.dim = 32, .num_categories = 10,
+                                    .seed = 5});
+  std::vector<std::pair<ImageId, FeatureVector>> all;
+  for (ProductId pid = 1; pid <= 400; ++pid) {
+    all.emplace_back(pid,
+                     embedder.Extract({MakeImageUrl(pid, 0), pid,
+                                       static_cast<CategoryId>(pid % 10)}));
+  }
+  const auto recall_with = [&](std::size_t bits) {
+    BinaryHashIndex index(32, {.num_bits = bits, .rerank_candidates = 20});
+    for (const auto& [id, v] : all) index.Add(id, v);
+    double sum = 0.0;
+    for (int q = 0; q < 30; ++q) {
+      const ProductId pid = 1 + (q * 13) % 400;
+      const auto query =
+          embedder.ExtractQuery(pid, static_cast<CategoryId>(pid % 10), q);
+      TopK exact(5);
+      for (const auto& [id, v] : all) exact.Offer(id, L2SquaredDistance(query, v));
+      const auto truth = exact.TakeSorted();
+      const auto approx = index.Search(query, 5);
+      int found = 0;
+      for (const auto& t : truth) {
+        for (const auto& a : approx) {
+          if (a.image_id == t.image_id) {
+            ++found;
+            break;
+          }
+        }
+      }
+      sum += static_cast<double>(found) / 5.0;
+    }
+    return sum / 30.0;
+  };
+  EXPECT_GE(recall_with(256) + 0.05, recall_with(64));  // allow tiny noise
+}
+
+TEST(BinaryHashTest, EmptyIndexReturnsNothing) {
+  BinaryHashIndex index(8);
+  EXPECT_TRUE(index.Search(FeatureVector(8, 0.f), 3).empty());
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,95 @@
+// Tests for the validity bitmap (deletion = O(1) bit flip, Section 2.3).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "index/bitmap.h"
+
+namespace jdvs {
+namespace {
+
+TEST(BitmapTest, OutOfRangeReadsInvalid) {
+  ValidityBitmap bitmap;
+  EXPECT_FALSE(bitmap.Get(0));
+  EXPECT_FALSE(bitmap.Get(1'000'000));
+}
+
+TEST(BitmapTest, SetAndGet) {
+  ValidityBitmap bitmap;
+  bitmap.Set(5, true);
+  EXPECT_TRUE(bitmap.Get(5));
+  EXPECT_FALSE(bitmap.Get(4));
+  EXPECT_FALSE(bitmap.Get(6));
+  bitmap.Set(5, false);
+  EXPECT_FALSE(bitmap.Get(5));
+}
+
+TEST(BitmapTest, GrowsAcrossChunkBoundaries) {
+  ValidityBitmap bitmap;
+  // One chunk is 64K bits; write beyond two chunks.
+  const std::size_t far = 3 * 64 * 1024 + 17;
+  bitmap.Set(far, true);
+  EXPECT_TRUE(bitmap.Get(far));
+  EXPECT_FALSE(bitmap.Get(far - 1));
+  EXPECT_GE(bitmap.size_bits(), far + 1);
+}
+
+TEST(BitmapTest, CountValid) {
+  ValidityBitmap bitmap;
+  for (std::size_t i = 0; i < 1000; i += 3) bitmap.Set(i, true);
+  EXPECT_EQ(bitmap.CountValid(), 334u);
+  bitmap.Set(0, false);
+  EXPECT_EQ(bitmap.CountValid(), 333u);
+}
+
+TEST(BitmapTest, WordBoundaryBits) {
+  ValidityBitmap bitmap;
+  for (const std::size_t i : {63u, 64u, 65u, 127u, 128u}) {
+    bitmap.Set(i, true);
+    EXPECT_TRUE(bitmap.Get(i));
+  }
+  bitmap.Set(64, false);
+  EXPECT_FALSE(bitmap.Get(64));
+  EXPECT_TRUE(bitmap.Get(63));
+  EXPECT_TRUE(bitmap.Get(65));
+}
+
+TEST(BitmapTest, ConcurrentSettersOnDisjointBits) {
+  ValidityBitmap bitmap(8 * 64 * 1024);
+  constexpr int kThreads = 8;
+  constexpr std::size_t kBitsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bitmap, t] {
+      for (std::size_t i = 0; i < kBitsPerThread; ++i) {
+        bitmap.Set(static_cast<std::size_t>(t) * kBitsPerThread + i, true);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bitmap.CountValid(), kThreads * kBitsPerThread);
+}
+
+TEST(BitmapTest, ReadersDuringWritesSeeOnlyValidTransitions) {
+  ValidityBitmap bitmap(1024);
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  // Bit 7 toggles; readers must only ever see true or false (trivially) and
+  // never crash; bit 9 stays set throughout.
+  bitmap.Set(9, true);
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)bitmap.Get(7);
+      if (!bitmap.Get(9)) anomalies.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 100000; ++i) bitmap.Set(7, i % 2 == 0);
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+}  // namespace
+}  // namespace jdvs

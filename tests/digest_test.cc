@@ -1,0 +1,120 @@
+// Tests for index content digests (replica convergence checking).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "index/digest.h"
+#include "index/realtime_indexer.h"
+#include "store/catalog.h"
+#include "store/feature_db.h"
+
+namespace jdvs {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : embedder({.dim = 16, .num_categories = 4, .seed = 3}),
+        features(embedder, ExtractionCostModel{.mean_micros = 0}),
+        quantizer(std::make_shared<CoarseQuantizer>(
+            std::vector<float>(16, 0.f), 16)) {}
+
+  std::unique_ptr<IvfIndex> MakeIndex() {
+    return std::make_unique<IvfIndex>(quantizer);
+  }
+
+  ProductUpdateMessage Add(ProductId id, std::size_t images) {
+    ProductUpdateMessage m;
+    m.type = UpdateType::kAddProduct;
+    m.product_id = id;
+    m.category_id = static_cast<CategoryId>(id % 4);
+    m.attributes = {.sales = id * 10, .price_cents = 100, .praise = id};
+    for (std::size_t k = 0; k < images; ++k) {
+      m.image_urls.push_back(MakeImageUrl(id, static_cast<std::uint32_t>(k)));
+    }
+    return m;
+  }
+
+  SyntheticEmbedder embedder;
+  FeatureDb features;
+  std::shared_ptr<const CoarseQuantizer> quantizer;
+};
+
+TEST(IndexDigestTest, EmptyIndexesMatch) {
+  Fixture fx;
+  const auto a = fx.MakeIndex();
+  const auto b = fx.MakeIndex();
+  EXPECT_EQ(ComputeIndexDigest(*a), ComputeIndexDigest(*b));
+  EXPECT_EQ(ComputeIndexDigest(*a).entries, 0u);
+}
+
+TEST(IndexDigestTest, ReplicasConvergeOnSameStream) {
+  Fixture fx;
+  auto a = fx.MakeIndex();
+  auto b = fx.MakeIndex();
+  RealTimeIndexer ia(*a, fx.features);
+  RealTimeIndexer ib(*b, fx.features);
+  for (ProductId id = 1; id <= 30; ++id) {
+    const auto msg = fx.Add(id, 3);
+    ia.Apply(msg);
+    ib.Apply(msg);
+  }
+  ProductUpdateMessage del;
+  del.type = UpdateType::kRemoveProduct;
+  del.product_id = 7;
+  ia.Apply(del);
+  ib.Apply(del);
+  const IndexDigest da = ComputeIndexDigest(*a);
+  const IndexDigest db = ComputeIndexDigest(*b);
+  EXPECT_EQ(da, db);
+  EXPECT_EQ(da.entries, 90u);
+  EXPECT_EQ(da.valid_entries, 87u);
+}
+
+TEST(IndexDigestTest, OrderInsensitiveAcrossProducts) {
+  Fixture fx;
+  auto a = fx.MakeIndex();
+  auto b = fx.MakeIndex();
+  RealTimeIndexer ia(*a, fx.features);
+  RealTimeIndexer ib(*b, fx.features);
+  // Same set of products, applied in opposite order.
+  for (ProductId id = 1; id <= 10; ++id) ia.Apply(fx.Add(id, 2));
+  for (ProductId id = 10; id >= 1; --id) ib.Apply(fx.Add(id, 2));
+  EXPECT_EQ(ComputeIndexDigest(*a).content_hash,
+            ComputeIndexDigest(*b).content_hash);
+}
+
+TEST(IndexDigestTest, DivergenceDetected) {
+  Fixture fx;
+  auto a = fx.MakeIndex();
+  auto b = fx.MakeIndex();
+  RealTimeIndexer ia(*a, fx.features);
+  RealTimeIndexer ib(*b, fx.features);
+  for (ProductId id = 1; id <= 10; ++id) {
+    const auto msg = fx.Add(id, 2);
+    ia.Apply(msg);
+    ib.Apply(msg);
+  }
+  // Replica b misses one attribute update.
+  ProductUpdateMessage upd;
+  upd.type = UpdateType::kAttributeUpdate;
+  upd.product_id = 5;
+  upd.attributes = {.sales = 99999, .price_cents = 1, .praise = 0};
+  ia.Apply(upd);
+  EXPECT_NE(ComputeIndexDigest(*a), ComputeIndexDigest(*b));
+}
+
+TEST(IndexDigestTest, ValidityChangesDigest) {
+  Fixture fx;
+  auto a = fx.MakeIndex();
+  RealTimeIndexer ia(*a, fx.features);
+  ia.Apply(fx.Add(1, 2));
+  const IndexDigest before = ComputeIndexDigest(*a);
+  a->SetProductValidity(1, false);
+  const IndexDigest after = ComputeIndexDigest(*a);
+  EXPECT_NE(before.content_hash, after.content_hash);
+  EXPECT_EQ(before.entries, after.entries);
+  EXPECT_NE(before.valid_entries, after.valid_entries);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,149 @@
+// Tests for the synthetic embedder and category detector: the properties the
+// systems evaluation relies on (determinism, cluster structure, cost model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "embedding/category_detector.h"
+#include "embedding/extractor.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+EmbedderConfig SmallConfig() {
+  EmbedderConfig config;
+  config.dim = 32;
+  config.num_categories = 10;
+  config.seed = 77;
+  return config;
+}
+
+TEST(EmbedderTest, DeterministicPerImage) {
+  const SyntheticEmbedder embedder(SmallConfig());
+  const ImageContent content{"jd://img/5/0", 5, 2};
+  EXPECT_EQ(embedder.Extract(content), embedder.Extract(content));
+}
+
+TEST(EmbedderTest, DifferentImagesDiffer) {
+  const SyntheticEmbedder embedder(SmallConfig());
+  const auto a = embedder.Extract({"jd://img/5/0", 5, 2});
+  const auto b = embedder.Extract({"jd://img/5/1", 5, 2});
+  EXPECT_NE(a, b);
+  // But they share the product point, so they are close.
+  EXPECT_LT(L2SquaredDistance(a, b), 32 * 4 * 0.25f * 0.25f * 4);
+}
+
+TEST(EmbedderTest, SameProductCloserThanSameCategory) {
+  const SyntheticEmbedder embedder(SmallConfig());
+  const auto a = embedder.Extract({"jd://img/5/0", 5, 2});
+  const auto same_product = embedder.Extract({"jd://img/5/1", 5, 2});
+  const auto same_category = embedder.Extract({"jd://img/6/0", 6, 2});
+  EXPECT_LT(L2SquaredDistance(a, same_product),
+            L2SquaredDistance(a, same_category));
+}
+
+TEST(EmbedderTest, SameCategoryCloserThanOtherCategory) {
+  const SyntheticEmbedder embedder(SmallConfig());
+  // Average over several products to smooth noise.
+  double same_sum = 0.0;
+  double other_sum = 0.0;
+  int trials = 0;
+  for (ProductId p = 1; p <= 10; ++p) {
+    const auto a =
+        embedder.Extract({"jd://img/a" + std::to_string(p), p, 3});
+    const auto same =
+        embedder.Extract({"jd://img/b" + std::to_string(p), p + 100, 3});
+    const auto other =
+        embedder.Extract({"jd://img/c" + std::to_string(p), p + 200, 7});
+    same_sum += L2SquaredDistance(a, same);
+    other_sum += L2SquaredDistance(a, other);
+    ++trials;
+  }
+  EXPECT_LT(same_sum / trials, other_sum / trials);
+}
+
+TEST(EmbedderTest, QueryFeatureNearestToOwnProductImages) {
+  const SyntheticEmbedder embedder(SmallConfig());
+  const auto query = embedder.ExtractQuery(5, 2, /*query_seed=*/123);
+  const auto own = embedder.Extract({"jd://img/5/0", 5, 2});
+  const auto foreign = embedder.Extract({"jd://img/9/0", 9, 2});
+  EXPECT_LT(L2SquaredDistance(query, own), L2SquaredDistance(query, foreign));
+}
+
+TEST(EmbedderTest, NormalizeOptionYieldsUnitVectors) {
+  EmbedderConfig config = SmallConfig();
+  config.normalize = true;
+  const SyntheticEmbedder embedder(config);
+  const auto v = embedder.Extract({"jd://img/1/0", 1, 0});
+  EXPECT_NEAR(L2Norm(v), 1.f, 1e-5);
+}
+
+TEST(EmbedderTest, DifferentSeedsProduceDifferentSpaces) {
+  EmbedderConfig a_config = SmallConfig();
+  EmbedderConfig b_config = SmallConfig();
+  b_config.seed = a_config.seed + 1;
+  const SyntheticEmbedder a(a_config);
+  const SyntheticEmbedder b(b_config);
+  EXPECT_NE(a.Extract({"jd://img/1/0", 1, 0}),
+            b.Extract({"jd://img/1/0", 1, 0}));
+}
+
+TEST(ExtractionCostModelTest, ZeroMeanDisablesCost) {
+  const ExtractionCostModel model{.mean_micros = 0};
+  Rng rng(1);
+  EXPECT_EQ(model.SampleMicros(rng), 0);
+}
+
+TEST(ExtractionCostModelTest, SampleMeanApproximatesConfiguredMean) {
+  const ExtractionCostModel model{.mean_micros = 20000, .sigma = 0.4};
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(model.SampleMicros(rng));
+  EXPECT_NEAR(sum / n, 20000.0, 600.0);
+}
+
+class DetectorAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorAccuracyTest, EmpiricalAccuracyMatchesConfig) {
+  const double accuracy = GetParam();
+  CategoryDetectorConfig config;
+  config.num_categories = 20;
+  config.top1_accuracy = accuracy;
+  const CategoryDetector detector(config);
+  int correct = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (detector.Detect(7, static_cast<std::uint64_t>(i)) == 7) ++correct;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, accuracy, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Accuracies, DetectorAccuracyTest,
+                         ::testing::Values(0.5, 0.8, 0.95, 1.0));
+
+TEST(DetectorTest, DeterministicPerQuerySeed) {
+  const CategoryDetector detector({.num_categories = 10, .top1_accuracy = 0.5});
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    EXPECT_EQ(detector.Detect(3, seed), detector.Detect(3, seed));
+  }
+}
+
+TEST(DetectorTest, WrongAnswersAreOtherCategories) {
+  const CategoryDetector detector({.num_categories = 5, .top1_accuracy = 0.0});
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const CategoryId detected = detector.Detect(2, seed);
+    EXPECT_NE(detected, 2u);
+    EXPECT_LT(detected, 5u);
+  }
+}
+
+TEST(DetectorTest, SingleCategoryAlwaysCorrect) {
+  const CategoryDetector detector({.num_categories = 1, .top1_accuracy = 0.0});
+  EXPECT_EQ(detector.Detect(0, 9), 0u);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,202 @@
+// Failure injection and malformed-input tests: the system must degrade
+// gracefully, never crash, and keep its counters honest.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/quantizer.h"
+#include "index/ivf_index.h"
+#include "index/realtime_indexer.h"
+#include "search/cluster_builder.h"
+#include "store/catalog.h"
+#include "store/feature_db.h"
+#include "workload/catalog_gen.h"
+#include "workload/query_client.h"
+
+namespace jdvs {
+namespace {
+
+struct IndexerFixture {
+  IndexerFixture()
+      : embedder({.dim = 8, .num_categories = 4, .seed = 1}),
+        features(embedder, ExtractionCostModel{.mean_micros = 0}),
+        quantizer(std::make_shared<CoarseQuantizer>(
+            std::vector<float>(8, 0.f), 8)),
+        index(quantizer),
+        indexer(index, features) {}
+
+  SyntheticEmbedder embedder;
+  FeatureDb features;
+  std::shared_ptr<const CoarseQuantizer> quantizer;
+  IvfIndex index;
+  RealTimeIndexer indexer;
+};
+
+TEST(MalformedMessageTest, AddWithNoImagesIsHarmless) {
+  IndexerFixture fx;
+  ProductUpdateMessage add;
+  add.type = UpdateType::kAddProduct;
+  add.product_id = 1;
+  // No image URLs at all.
+  fx.indexer.Apply(add);
+  EXPECT_EQ(fx.index.size(), 0u);
+  EXPECT_EQ(fx.indexer.counters().additions, 1u);
+  EXPECT_EQ(fx.indexer.counters().images_added, 0u);
+}
+
+TEST(MalformedMessageTest, DeleteUnknownProductIsNoop) {
+  IndexerFixture fx;
+  ProductUpdateMessage del;
+  del.type = UpdateType::kRemoveProduct;
+  del.product_id = 424242;
+  fx.indexer.Apply(del);
+  EXPECT_EQ(fx.indexer.counters().deletions, 1u);
+  EXPECT_EQ(fx.indexer.counters().images_invalidated, 0u);
+}
+
+TEST(MalformedMessageTest, DoubleDeleteIsIdempotent) {
+  IndexerFixture fx;
+  ProductUpdateMessage add;
+  add.type = UpdateType::kAddProduct;
+  add.product_id = 5;
+  add.category_id = 1;
+  add.image_urls = {MakeImageUrl(5, 0)};
+  fx.indexer.Apply(add);
+
+  ProductUpdateMessage del;
+  del.type = UpdateType::kRemoveProduct;
+  del.product_id = 5;
+  fx.indexer.Apply(del);
+  fx.indexer.Apply(del);
+  EXPECT_EQ(fx.index.Stats().valid_images, 0u);
+  // Re-list still works after double delete.
+  fx.indexer.Apply(add);
+  EXPECT_EQ(fx.index.Stats().valid_images, 1u);
+  EXPECT_EQ(fx.index.size(), 1u);
+}
+
+TEST(MalformedMessageTest, DuplicateImageUrlsWithinMessage) {
+  IndexerFixture fx;
+  ProductUpdateMessage add;
+  add.type = UpdateType::kAddProduct;
+  add.product_id = 9;
+  add.category_id = 2;
+  const std::string url = MakeImageUrl(9, 0);
+  add.image_urls = {url, url, url};  // duplicated
+  fx.indexer.Apply(add);
+  // First occurrence inserts, the rest revalidate: exactly one entry.
+  EXPECT_EQ(fx.index.size(), 1u);
+  EXPECT_EQ(fx.indexer.counters().images_added, 1u);
+  EXPECT_EQ(fx.indexer.counters().images_revalidated, 2u);
+}
+
+TEST(MalformedMessageTest, SameImageUrlOnTwoProductsKeepsFirstOwner) {
+  IndexerFixture fx;
+  ProductUpdateMessage a;
+  a.type = UpdateType::kAddProduct;
+  a.product_id = 1;
+  a.image_urls = {"shared-url"};
+  fx.indexer.Apply(a);
+  ProductUpdateMessage b = a;
+  b.product_id = 2;
+  fx.indexer.Apply(b);
+  // The URL is already indexed; the second product's message revalidates it
+  // rather than double-inserting.
+  EXPECT_EQ(fx.index.size(), 1u);
+  EXPECT_TRUE(fx.index.HasProduct(1));
+}
+
+TEST(LatencySpikeTest, ClusterSurvivesHeavyJitter) {
+  ClusterConfig config;
+  config.num_partitions = 2;
+  config.num_brokers = 1;
+  config.num_blenders = 1;
+  config.embedder = {.dim = 16, .num_categories = 4, .seed = 2};
+  config.detector = {.num_categories = 4, .top1_accuracy = 1.0};
+  config.kmeans.num_clusters = 4;
+  config.ivf.nprobe = 4;
+  // Violent tail: median 1ms jitter with sigma 2 => occasional ~50ms hops.
+  config.hop_latency = {.base_micros = 100, .jitter_median_micros = 1000,
+                        .sigma = 2.0};
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 50;
+  cg.num_categories = 4;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+  QueryWorkloadConfig qc;
+  qc.num_threads = 4;
+  qc.queries_per_thread = 10;
+  QueryClient client(cluster, qc);
+  const QueryWorkloadResult result = client.Run();
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.queries, 40u);
+  cluster.Stop();
+}
+
+TEST(FailureRecoveryTest, SearcherRecoversAfterRevival) {
+  ClusterConfig config;
+  config.num_partitions = 2;
+  config.num_brokers = 1;
+  config.num_blenders = 1;
+  config.embedder = {.dim = 16, .num_categories = 4, .seed = 3};
+  config.detector = {.num_categories = 4, .top1_accuracy = 1.0};
+  config.kmeans.num_clusters = 4;
+  config.ivf.nprobe = 4;
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 60;
+  cg.num_categories = 4;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  cluster.searcher(0).node().set_failed(true);
+  // Queries still answer (partial coverage, no exceptions).
+  const auto record = cluster.catalog().Get(10);
+  EXPECT_NO_THROW(
+      cluster.Query(QueryImage{10, record->category, 1}));
+
+  cluster.searcher(0).node().set_failed(false);
+  // After revival, full coverage returns: partition-0 products findable.
+  ProductId in_p0 = 0;
+  cluster.catalog().ForEach([&](const ProductRecord& r) {
+    if (in_p0 != 0) return;
+    for (const auto& url : r.image_urls) {
+      if (cluster.partitioner().PartitionOf(url) == 0) {
+        in_p0 = r.id;
+        return;
+      }
+    }
+  });
+  ASSERT_NE(in_p0, 0u);
+  const auto target = cluster.catalog().Get(in_p0);
+  const auto response =
+      cluster.Query(QueryImage{in_p0, target->category, 2});
+  bool found = false;
+  for (const auto& r : response.results) {
+    found |= (r.hit.product_id == in_p0);
+  }
+  EXPECT_TRUE(found);
+  cluster.Stop();
+}
+
+TEST(UpdateBeforeIndexInstallTest, DroppedGracefully) {
+  SyntheticEmbedder embedder({.dim = 8, .num_categories = 2, .seed = 4});
+  FeatureDb features(embedder, {.mean_micros = 0});
+  Searcher searcher("no-index", Searcher::Config{}, features,
+                    AcceptAllPartitionFilter());
+  ProductUpdateMessage add;
+  add.type = UpdateType::kAddProduct;
+  add.product_id = 1;
+  add.image_urls = {MakeImageUrl(1, 0)};
+  // No index installed yet: the update is logged and dropped, not a crash.
+  EXPECT_NO_THROW(searcher.ApplyUpdate(add));
+  EXPECT_EQ(searcher.update_counters().TotalMessages(), 0u);
+}
+
+}  // namespace
+}  // namespace jdvs

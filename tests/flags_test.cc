@@ -1,0 +1,84 @@
+// Tests for the command-line flags utility.
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace jdvs {
+namespace {
+
+Flags Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValue) {
+  const Flags flags = Parse({"--products=500", "--name=hello"});
+  EXPECT_EQ(flags.GetInt("products", 0), 500);
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags flags = Parse({});
+  EXPECT_EQ(flags.GetInt("products", 42), 42);
+  EXPECT_EQ(flags.GetString("name", "dflt"), "dflt");
+  EXPECT_EQ(flags.GetDouble("rate", 1.5), 1.5);
+  EXPECT_TRUE(flags.GetBool("on", true));
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const Flags flags = Parse({"--verbose"});
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, BoolVariants) {
+  const Flags flags =
+      Parse({"--a=true", "--b=FALSE", "--c=1", "--d=0", "--e=yes", "--f=no"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", false));
+  EXPECT_FALSE(flags.GetBool("f", true));
+}
+
+TEST(FlagsTest, Positional) {
+  const Flags flags = Parse({"input.txt", "--k=3", "output.txt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags flags = Parse({"--rate=2.75"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 2.75);
+}
+
+TEST(FlagsTest, NegativeAndLargeInts) {
+  const Flags flags = Parse({"--offset=-12", "--big=123456789012"});
+  EXPECT_EQ(flags.GetInt("offset", 0), -12);
+  EXPECT_EQ(flags.GetInt("big", 0), 123456789012LL);
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags flags = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.GetInt("k", 0), 2);
+}
+
+TEST(FlagsTest, EmptyValue) {
+  const Flags flags = Parse({"--name="});
+  EXPECT_EQ(flags.GetString("name", "x"), "");
+}
+
+TEST(FlagsTest, UnusedKeysReported) {
+  const Flags flags = Parse({"--used=1", "--typo=2"});
+  (void)flags.GetInt("used", 0);
+  const auto unused = flags.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace jdvs

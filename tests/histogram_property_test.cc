@@ -1,0 +1,132 @@
+// Property tests for the log-bucketed histogram: quantiles must track exact
+// order statistics within the bucket's relative error across distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace jdvs {
+namespace {
+
+enum class Distribution { kUniform, kExponential, kLognormal, kBimodal, kConstant };
+
+const char* Name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kExponential:
+      return "exponential";
+    case Distribution::kLognormal:
+      return "lognormal";
+    case Distribution::kBimodal:
+      return "bimodal";
+    case Distribution::kConstant:
+      return "constant";
+  }
+  return "?";
+}
+
+std::int64_t Sample(Distribution d, Rng& rng) {
+  switch (d) {
+    case Distribution::kUniform:
+      return static_cast<std::int64_t>(rng.Below(1'000'000));
+    case Distribution::kExponential:
+      return static_cast<std::int64_t>(rng.NextExponential(50'000.0));
+    case Distribution::kLognormal:
+      return static_cast<std::int64_t>(
+          std::exp(10.0 + 1.5 * rng.NextGaussian()));
+    case Distribution::kBimodal:
+      return rng.NextBool(0.9)
+                 ? static_cast<std::int64_t>(1000 + rng.Below(1000))
+                 : static_cast<std::int64_t>(800'000 + rng.Below(100'000));
+    case Distribution::kConstant:
+      return 12345;
+  }
+  return 0;
+}
+
+class HistogramDistributionTest
+    : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(HistogramDistributionTest, QuantilesTrackExactOrderStatistics) {
+  const Distribution dist = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dist) + 100);
+  Histogram h;
+  std::vector<std::int64_t> values;
+  constexpr int kN = 50000;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const std::int64_t v = Sample(dist, rng);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.Quantile(q);
+    // Bucket relative error is ~1/32 (5 mantissa bits); allow 2 buckets of
+    // slack plus small-value exactness.
+    const double tolerance =
+        std::max<double>(2.0, static_cast<double>(exact) * 2.0 / 32.0);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                tolerance)
+        << Name(dist) << " q=" << q;
+  }
+  EXPECT_EQ(h.Count(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(h.Min(), values.front());
+  // Max is bucket-rounded upward by at most one bucket width.
+  EXPECT_GE(h.Max(), values.back());
+  EXPECT_LE(static_cast<double>(h.Max()),
+            static_cast<double>(values.back()) * (1.0 + 2.0 / 32.0) + 2.0);
+}
+
+TEST_P(HistogramDistributionTest, MeanIsExact) {
+  const Distribution dist = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dist) + 200);
+  Histogram h;
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const std::int64_t v = Sample(dist, rng);
+    sum += static_cast<double>(v);
+    h.Record(v);
+  }
+  // The mean is tracked exactly (running sum), not bucketed.
+  EXPECT_NEAR(h.Mean(), sum / kN, 1e-6 * (1.0 + std::abs(sum / kN)));
+}
+
+TEST_P(HistogramDistributionTest, MergeEqualsUnion) {
+  const Distribution dist = GetParam();
+  Rng rng(static_cast<std::uint64_t>(dist) + 300);
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = Sample(dist, rng);
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_EQ(a.Min(), all.Min());
+  EXPECT_EQ(a.Max(), all.Max());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), all.Quantile(q)) << Name(dist) << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramDistributionTest,
+                         ::testing::Values(Distribution::kUniform,
+                                           Distribution::kExponential,
+                                           Distribution::kLognormal,
+                                           Distribution::kBimodal,
+                                           Distribution::kConstant),
+                         [](const auto& info) { return Name(info.param); });
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,142 @@
+// Tests for the Inverted Multi-Index baseline (paper reference [18]).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/extractor.h"
+#include "imi/multi_index.h"
+#include "store/catalog.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+std::vector<FeatureVector> RandomTraining(std::size_t count, std::size_t dim,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    FeatureVector v(dim);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian()) * 4.f;
+    points.push_back(std::move(v));
+  }
+  return points;
+}
+
+TEST(ImiTest, FindsExactDuplicate) {
+  const auto training = RandomTraining(300, 16, 1);
+  ImiConfig config;
+  config.centroids_per_half = 8;
+  InvertedMultiIndex index(16, training, config);
+  for (std::size_t i = 0; i < training.size(); ++i) {
+    index.Add(100 + i, training[i]);
+  }
+  const auto results = index.Search(training[42], 1);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].image_id, 142u);
+  EXPECT_NEAR(results[0].distance, 0.f, 1e-6);
+}
+
+TEST(ImiTest, GridShapeAndOccupancy) {
+  const auto training = RandomTraining(500, 8, 2);
+  ImiConfig config;
+  config.centroids_per_half = 16;
+  InvertedMultiIndex index(8, training, config);
+  EXPECT_EQ(index.num_cells(), 256u);
+  EXPECT_EQ(index.size(), 0u);
+  for (std::size_t i = 0; i < training.size(); ++i) {
+    index.Add(i, training[i]);
+  }
+  EXPECT_EQ(index.size(), 500u);
+  // The multi-index's point: many cells are used, so each is small.
+  EXPECT_GT(index.OccupiedCells(), 32u);
+}
+
+TEST(ImiTest, RecallAgainstBruteForce) {
+  const SyntheticEmbedder embedder({.dim = 32, .num_categories = 10,
+                                    .seed = 9});
+  std::vector<FeatureVector> training;
+  std::vector<std::pair<ImageId, FeatureVector>> all;
+  for (ProductId pid = 1; pid <= 500; ++pid) {
+    const auto f = embedder.Extract(
+        {MakeImageUrl(pid, 0), pid, static_cast<CategoryId>(pid % 10)});
+    if (training.size() < 400) training.push_back(f);
+    all.emplace_back(pid, f);
+  }
+  ImiConfig config;
+  config.centroids_per_half = 16;
+  config.min_candidates = 128;
+  InvertedMultiIndex index(32, training, config);
+  for (const auto& [id, v] : all) index.Add(id, v);
+
+  double recall_sum = 0.0;
+  constexpr int kQueries = 40;
+  for (int q = 0; q < kQueries; ++q) {
+    const ProductId pid = 1 + (q * 13) % 500;
+    const auto query =
+        embedder.ExtractQuery(pid, static_cast<CategoryId>(pid % 10), q);
+    TopK exact(10);
+    for (const auto& [id, v] : all) exact.Offer(id, L2SquaredDistance(query, v));
+    const auto truth = exact.TakeSorted();
+    const auto approx = index.Search(query, 10);
+    int found = 0;
+    for (const auto& t : truth) {
+      for (const auto& a : approx) {
+        if (a.image_id == t.image_id) {
+          ++found;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(found) / 10.0;
+  }
+  EXPECT_GT(recall_sum / kQueries, 0.7);
+}
+
+TEST(ImiTest, LargerBudgetNeverHurtsRecall) {
+  const auto training = RandomTraining(1000, 16, 4);
+  ImiConfig config;
+  config.centroids_per_half = 16;
+  InvertedMultiIndex index(16, training, config);
+  for (std::size_t i = 0; i < training.size(); ++i) index.Add(i, training[i]);
+  Rng rng(5);
+  const auto recall_at = [&](std::size_t budget) {
+    double sum = 0.0;
+    for (int q = 0; q < 30; ++q) {
+      FeatureVector query(16);
+      for (float& x : query) x = static_cast<float>(rng.NextGaussian()) * 4.f;
+      TopK exact(5);
+      for (std::size_t i = 0; i < training.size(); ++i) {
+        exact.Offer(i, L2SquaredDistance(query, training[i]));
+      }
+      const auto truth = exact.TakeSorted();
+      const auto approx = index.Search(query, 5, budget);
+      int found = 0;
+      for (const auto& t : truth) {
+        for (const auto& a : approx) {
+          if (a.image_id == t.image_id) {
+            ++found;
+            break;
+          }
+        }
+      }
+      sum += static_cast<double>(found) / 5.0;
+    }
+    return sum / 30.0;
+  };
+  Rng reset(5);  // identical query stream for both budgets
+  rng = reset;
+  const double small = recall_at(32);
+  rng = reset;
+  const double large = recall_at(1000);
+  EXPECT_GE(large, small);
+  EXPECT_GT(large, 0.9);  // near-exhaustive at a 1000-candidate budget
+}
+
+TEST(ImiTest, EmptyIndexReturnsNothing) {
+  const auto training = RandomTraining(50, 8, 6);
+  InvertedMultiIndex index(8, training, {});
+  EXPECT_TRUE(index.Search(training[0], 5).empty());
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,198 @@
+// Tests for the inverted lists and the Figure 9 lock-free expansion
+// protocol, including an explicitly-controlled background copier that lets
+// tests hold the system inside the expansion window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "index/inverted_index.h"
+
+namespace jdvs {
+namespace {
+
+// Collects copy tasks and runs them only when told to: freezes the system
+// inside the Figure 9 expansion window.
+class ManualCopier {
+ public:
+  CopyExecutor Executor() {
+    return [this](std::function<void()> task) {
+      tasks_.push_back(std::move(task));
+    };
+  }
+  std::size_t pending() const { return tasks_.size(); }
+  void RunAll() {
+    for (auto& t : tasks_) t();
+    tasks_.clear();
+  }
+
+ private:
+  std::vector<std::function<void()>> tasks_;
+};
+
+TEST(InvertedListTest, AppendAndScan) {
+  InvertedList list(8);
+  for (LocalId id = 0; id < 5; ++id) list.Append(id);
+  EXPECT_EQ(list.VisibleSize(), 5u);
+  EXPECT_EQ(list.TotalAppended(), 5u);
+  const auto ids = list.SnapshotIds();
+  EXPECT_EQ(ids, (std::vector<LocalId>{0, 1, 2, 3, 4}));
+}
+
+TEST(InvertedListTest, AuxiliaryPositionTracksLastElement) {
+  InvertedList list(16);
+  EXPECT_EQ(list.VisibleSize(), 0u);
+  list.Append(42);
+  EXPECT_EQ(list.VisibleSize(), 1u);  // "position of the last element"
+  list.Append(43);
+  EXPECT_EQ(list.VisibleSize(), 2u);
+}
+
+TEST(InvertedListTest, ExpansionDoublesCapacityAndKeepsAllIds) {
+  InvertedList list(4);  // inline copier: expansion completes immediately
+  for (LocalId id = 0; id < 100; ++id) list.Append(id);
+  list.MaybeFinishExpansion();
+  EXPECT_EQ(list.TotalAppended(), 100u);
+  EXPECT_EQ(list.VisibleSize(), 100u);
+  EXPECT_GE(list.VisibleCapacity(), 100u);
+  // Doubling from 4: capacities 4,8,16,32,64,128 -> 5 expansions.
+  EXPECT_EQ(list.expansions(), 5u);
+  const auto ids = list.SnapshotIds();
+  for (LocalId id = 0; id < 100; ++id) EXPECT_EQ(ids[id], id);
+}
+
+TEST(InvertedListTest, OldListServesReadsDuringExpansionWindow) {
+  ManualCopier copier;
+  InvertedList list(4, copier.Executor());
+  for (LocalId id = 0; id < 4; ++id) list.Append(id);
+  EXPECT_EQ(list.VisibleSize(), 4u);
+  EXPECT_FALSE(list.expanding());
+
+  // The 5th append triggers expansion; the copy is withheld.
+  list.Append(4);
+  EXPECT_TRUE(list.expanding());
+  EXPECT_EQ(copier.pending(), 1u);
+  // "The current inverted list continues to serve the requests": readers see
+  // the old (full) list only.
+  EXPECT_EQ(list.VisibleSize(), 4u);
+  EXPECT_EQ(list.SnapshotIds(), (std::vector<LocalId>{0, 1, 2, 3}));
+  EXPECT_EQ(list.TotalAppended(), 5u);
+
+  // More appends during the window accumulate in the new list.
+  list.Append(5);
+  list.Append(6);
+  EXPECT_EQ(list.VisibleSize(), 4u);
+
+  // Copy completes; the next writer action performs the swap.
+  copier.RunAll();
+  list.MaybeFinishExpansion();
+  EXPECT_FALSE(list.expanding());
+  EXPECT_EQ(list.VisibleSize(), 7u);
+  EXPECT_EQ(list.VisibleCapacity(), 8u);
+  EXPECT_EQ(list.SnapshotIds(), (std::vector<LocalId>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(InvertedListTest, SwapHappensOnNextAppendWithoutExplicitFinish) {
+  ManualCopier copier;
+  InvertedList list(2, copier.Executor());
+  list.Append(0);
+  list.Append(1);
+  list.Append(2);  // expansion starts
+  copier.RunAll();
+  list.Append(3);  // writer notices copy done, swaps, then appends
+  EXPECT_EQ(list.SnapshotIds(), (std::vector<LocalId>{0, 1, 2, 3}));
+}
+
+TEST(InvertedListTest, BurstFillingNewListBlocksUntilCopyDone) {
+  // Pathological: the doubled list fills before the copy lands. The writer
+  // must wait for the copy, swap, and re-expand without losing ids.
+  ThreadPool pool(1, "copier");
+  InvertedList list(2, PoolCopyExecutor(pool));
+  for (LocalId id = 0; id < 1000; ++id) list.Append(id);
+  list.MaybeFinishExpansion();
+  // Wait for any trailing copy, then finish.
+  for (int i = 0; i < 100 && list.expanding(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    list.MaybeFinishExpansion();
+  }
+  EXPECT_EQ(list.TotalAppended(), 1000u);
+  EXPECT_EQ(list.VisibleSize(), 1000u);
+  const auto ids = list.SnapshotIds();
+  for (LocalId id = 0; id < 1000; ++id) EXPECT_EQ(ids[id], id);
+}
+
+TEST(InvertedListTest, ReadersNeverSeePartialOrReorderedPrefix) {
+  // Single writer appends 0..N; concurrent readers must always observe a
+  // prefix of the sequence (lock-free publication correctness), across many
+  // expansions.
+  ThreadPool pool(2, "copier");
+  InvertedList list(8, PoolCopyExecutor(pool));
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        LocalId expected = 0;
+        bool ok = true;
+        list.Scan([&](LocalId id) {
+          if (id != expected) ok = false;
+          ++expected;
+        });
+        if (!ok) anomalies.fetch_add(1);
+      }
+    });
+  }
+  for (LocalId id = 0; id < 200000; ++id) list.Append(id);
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+TEST(InvertedListTest, ExpansionCountMatchesDoublings) {
+  InvertedList list(1);
+  list.Append(0);
+  EXPECT_EQ(list.expansions(), 0u);
+  list.Append(1);  // 1 -> 2
+  list.MaybeFinishExpansion();
+  EXPECT_EQ(list.expansions(), 1u);
+  list.Append(2);  // 2 -> 4
+  list.MaybeFinishExpansion();
+  EXPECT_EQ(list.expansions(), 2u);
+}
+
+TEST(LockedInvertedListTest, SameObservableBehaviour) {
+  LockedInvertedList list(4);
+  for (LocalId id = 0; id < 100; ++id) list.Append(id);
+  EXPECT_EQ(list.VisibleSize(), 100u);
+  const auto ids = list.SnapshotIds();
+  for (LocalId id = 0; id < 100; ++id) EXPECT_EQ(ids[id], id);
+  LocalId expected = 0;
+  list.Scan([&](LocalId id) { EXPECT_EQ(id, expected++); });
+}
+
+TEST(LockedInvertedListTest, ConcurrentAppendScan) {
+  LockedInvertedList list;
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      LocalId expected = 0;
+      list.Scan([&](LocalId id) {
+        if (id != expected++) anomalies.fetch_add(1);
+      });
+    }
+  });
+  for (LocalId id = 0; id < 50000; ++id) list.Append(id);
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+}  // namespace
+}  // namespace jdvs

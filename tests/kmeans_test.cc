@@ -1,0 +1,183 @@
+// Tests for k-means training and the coarse quantizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "cluster/quantizer.h"
+#include "common/rng.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+// Generates `per_cluster` points around each of `centers`.
+std::vector<FeatureVector> BlobData(const std::vector<FeatureVector>& centers,
+                                    std::size_t per_cluster, float noise,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> points;
+  for (const auto& center : centers) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      FeatureVector p = center;
+      for (float& x : p) x += static_cast<float>(rng.NextGaussian()) * noise;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  const std::vector<FeatureVector> centers = {
+      {0.f, 0.f}, {10.f, 10.f}, {-10.f, 10.f}, {10.f, -10.f}};
+  const auto points = BlobData(centers, 50, 0.3f, 1);
+  KMeansConfig config;
+  config.num_clusters = 4;
+  config.seed = 3;
+  const KMeansResult result = TrainKMeans(points, config);
+  ASSERT_EQ(result.num_clusters, 4u);
+  // Every true center must have a learned centroid nearby.
+  for (const auto& center : centers) {
+    float best = 1e30f;
+    for (std::size_t c = 0; c < 4; ++c) {
+      best = std::min(best, L2SquaredDistance(center, result.Centroid(c)));
+    }
+    EXPECT_LT(best, 1.0f);
+  }
+}
+
+TEST(KMeansTest, AssignmentsPointToNearestCentroid) {
+  Rng rng(4);
+  std::vector<FeatureVector> points;
+  for (int i = 0; i < 200; ++i) {
+    FeatureVector p(8);
+    for (float& x : p) x = static_cast<float>(rng.NextGaussian());
+    points.push_back(std::move(p));
+  }
+  KMeansConfig config;
+  config.num_clusters = 8;
+  const KMeansResult result = TrainKMeans(points, config);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const float assigned =
+        L2SquaredDistance(points[i], result.Centroid(result.assignments[i]));
+    for (std::size_t c = 0; c < result.num_clusters; ++c) {
+      EXPECT_LE(assigned,
+                L2SquaredDistance(points[i], result.Centroid(c)) + 1e-4f);
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaEqualsSumOfAssignedDistances) {
+  Rng rng(6);
+  std::vector<FeatureVector> points;
+  for (int i = 0; i < 100; ++i) {
+    FeatureVector p(4);
+    for (float& x : p) x = static_cast<float>(rng.NextGaussian());
+    points.push_back(std::move(p));
+  }
+  KMeansConfig config;
+  config.num_clusters = 5;
+  const KMeansResult result = TrainKMeans(points, config);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sum += L2SquaredDistance(points[i], result.Centroid(result.assignments[i]));
+  }
+  EXPECT_NEAR(result.inertia, sum, 1e-3 * (1.0 + sum));
+}
+
+TEST(KMeansTest, FewerPointsThanClustersReducesK) {
+  const std::vector<FeatureVector> points = {{1.f, 1.f}, {2.f, 2.f}};
+  KMeansConfig config;
+  config.num_clusters = 10;
+  const KMeansResult result = TrainKMeans(points, config);
+  EXPECT_EQ(result.num_clusters, 2u);
+}
+
+TEST(KMeansTest, SinglePoint) {
+  const std::vector<FeatureVector> points = {{3.f, 4.f}};
+  KMeansConfig config;
+  config.num_clusters = 3;
+  const KMeansResult result = TrainKMeans(points, config);
+  ASSERT_EQ(result.num_clusters, 1u);
+  EXPECT_FLOAT_EQ(result.Centroid(0)[0], 3.f);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSameSeed) {
+  const auto points =
+      BlobData({{0.f, 0.f}, {5.f, 5.f}}, 40, 0.5f, /*seed=*/2);
+  KMeansConfig config;
+  config.num_clusters = 2;
+  config.seed = 42;
+  const KMeansResult a = TrainKMeans(points, config);
+  const KMeansResult b = TrainKMeans(points, config);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+// Property sweep: more clusters never increases the optimal inertia found
+// (not strictly guaranteed for Lloyd's, but holds on well-behaved blob data).
+class KMeansKSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansKSweepTest, InertiaIsFiniteAndClustersNonEmptyOnBlobs) {
+  const std::size_t k = GetParam();
+  const auto points = BlobData(
+      {{0.f, 0.f}, {8.f, 0.f}, {0.f, 8.f}, {8.f, 8.f}}, 64, 0.5f, k);
+  KMeansConfig config;
+  config.num_clusters = k;
+  config.seed = k;
+  const KMeansResult result = TrainKMeans(points, config);
+  EXPECT_EQ(result.num_clusters, std::min(k, points.size()));
+  EXPECT_GE(result.inertia, 0.0);
+  // Every cluster id in range.
+  for (const auto a : result.assignments) EXPECT_LT(a, result.num_clusters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansKSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+TEST(QuantizerTest, NearestCentroidIsArgmin) {
+  const std::vector<float> centroids = {0.f, 0.f, 10.f, 0.f, 0.f, 10.f};
+  const CoarseQuantizer quantizer(centroids, 2);
+  EXPECT_EQ(quantizer.num_clusters(), 3u);
+  EXPECT_EQ(quantizer.NearestCentroid(FeatureVector{1.f, 1.f}), 0u);
+  EXPECT_EQ(quantizer.NearestCentroid(FeatureVector{9.f, 1.f}), 1u);
+  EXPECT_EQ(quantizer.NearestCentroid(FeatureVector{1.f, 9.f}), 2u);
+}
+
+TEST(QuantizerTest, NearestCentroidsOrderedBySimilarity) {
+  const std::vector<float> centroids = {0.f, 0.f, 10.f, 0.f, 0.f, 10.f};
+  const CoarseQuantizer quantizer(centroids, 2);
+  const auto probes =
+      quantizer.NearestCentroids(FeatureVector{6.f, 1.f}, 3);
+  ASSERT_EQ(probes.size(), 3u);
+  EXPECT_EQ(probes[0], 1u);
+  EXPECT_EQ(probes[1], 0u);
+  EXPECT_EQ(probes[2], 2u);
+}
+
+TEST(QuantizerTest, NprobeClampedToNumClusters) {
+  const std::vector<float> centroids = {0.f, 0.f, 1.f, 1.f};
+  const CoarseQuantizer quantizer(centroids, 2);
+  EXPECT_EQ(quantizer.NearestCentroids(FeatureVector{0.f, 0.f}, 100).size(),
+            2u);
+  EXPECT_EQ(quantizer.NearestCentroids(FeatureVector{0.f, 0.f}, 0).size(), 1u);
+}
+
+TEST(QuantizerTest, BuildsFromKMeansResult) {
+  const auto points = BlobData({{0.f, 0.f}, {9.f, 9.f}}, 30, 0.3f, 8);
+  KMeansConfig config;
+  config.num_clusters = 2;
+  const KMeansResult result = TrainKMeans(points, config);
+  const CoarseQuantizer quantizer(result);
+  EXPECT_EQ(quantizer.num_clusters(), 2u);
+  EXPECT_EQ(quantizer.dim(), 2u);
+  // Points from one blob quantize together.
+  const auto c1 = quantizer.NearestCentroid(FeatureVector{0.1f, -0.2f});
+  const auto c2 = quantizer.NearestCentroid(FeatureVector{9.2f, 8.8f});
+  EXPECT_NE(c1, c2);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,141 @@
+// Tests for the sharded KV store (the feature-dedup substrate).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvstore/kvstore.h"
+
+namespace jdvs {
+namespace {
+
+TEST(ShardIndexTest, StableAndInRange) {
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::size_t shard = ShardIndexFor(key, 16);
+    EXPECT_LT(shard, 16u);
+    EXPECT_EQ(shard, ShardIndexFor(key, 16));
+  }
+  EXPECT_EQ(ShardIndexFor("anything", 1), 0u);
+  EXPECT_EQ(ShardIndexFor("anything", 0), 0u);
+}
+
+TEST(ShardIndexTest, ReasonablyBalanced) {
+  constexpr std::size_t kShards = 8;
+  std::vector<int> counts(kShards, 0);
+  constexpr int kKeys = 80000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[ShardIndexFor("jd://img/" + std::to_string(i) + "/0", kShards)];
+  }
+  const int expected = kKeys / kShards;
+  for (const int c : counts) {
+    EXPECT_GT(c, expected / 2);
+    EXPECT_LT(c, expected * 2);
+  }
+}
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  ShardedKvStore<int> store(4);
+  store.Put("a", 1);
+  store.Put("b", 2);
+  EXPECT_EQ(store.Get("a").value(), 1);
+  EXPECT_EQ(store.Get("b").value(), 2);
+  EXPECT_FALSE(store.Get("c").has_value());
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(KvStoreTest, PutOverwrites) {
+  ShardedKvStore<int> store(4);
+  store.Put("a", 1);
+  store.Put("a", 9);
+  EXPECT_EQ(store.Get("a").value(), 9);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, PutIfAbsentKeepsFirst) {
+  ShardedKvStore<int> store(4);
+  EXPECT_TRUE(store.PutIfAbsent("a", 1));
+  EXPECT_FALSE(store.PutIfAbsent("a", 2));
+  EXPECT_EQ(store.Get("a").value(), 1);
+}
+
+TEST(KvStoreTest, EraseRemoves) {
+  ShardedKvStore<int> store(4);
+  store.Put("a", 1);
+  EXPECT_TRUE(store.Erase("a"));
+  EXPECT_FALSE(store.Erase("a"));
+  EXPECT_FALSE(store.Contains("a"));
+}
+
+TEST(KvStoreTest, GetOrComputeCachesResult) {
+  ShardedKvStore<int> store(4);
+  int calls = 0;
+  const auto compute = [&calls] {
+    ++calls;
+    return 42;
+  };
+  EXPECT_EQ(store.GetOrCompute("k", compute), 42);
+  EXPECT_EQ(store.GetOrCompute("k", compute), 42);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(KvStoreTest, StatsCountHitsAndMisses) {
+  ShardedKvStore<int> store(4);
+  store.Put("a", 1);
+  (void)store.Get("a");
+  (void)store.Get("a");
+  (void)store.Get("missing");
+  const KvStoreStats stats = store.stats();
+  EXPECT_EQ(stats.gets, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_NEAR(stats.HitRate(), 2.0 / 3.0, 1e-9);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().gets, 0u);
+}
+
+TEST(KvStoreTest, ConcurrentMixedOperations) {
+  ShardedKvStore<std::string> store(16);
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "-k" + std::to_string(i);
+        store.Put(key, key);
+        const auto value = store.Get(key);
+        ASSERT_TRUE(value.has_value());
+        EXPECT_EQ(*value, key);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.size(),
+            static_cast<std::size_t>(kThreads * kKeysPerThread));
+}
+
+TEST(KvStoreTest, ConcurrentGetOrComputeSingleValue) {
+  ShardedKvStore<int> store(8);
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      const int got = store.GetOrCompute("shared", [&] {
+        computes.fetch_add(1);
+        return 7;
+      });
+      if (got != 7) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(store.Get("shared").value(), 7);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,155 @@
+// Tests for the multi-probe LSH baseline index.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "embedding/extractor.h"
+#include "lsh/lsh_index.h"
+#include "store/catalog.h"
+#include "vecmath/distance.h"
+
+namespace jdvs {
+namespace {
+
+TEST(LshIndexTest, FindsExactDuplicate) {
+  LshIndex index(16);
+  Rng rng(1);
+  FeatureVector target(16);
+  for (float& x : target) x = static_cast<float>(rng.NextGaussian());
+  index.Add(42, target);
+  for (int i = 0; i < 50; ++i) {
+    FeatureVector other(16);
+    for (float& x : other) x = static_cast<float>(rng.NextGaussian()) + 20.f;
+    index.Add(100 + i, other);
+  }
+  const auto results = index.Search(target, 1);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].image_id, 42u);
+  EXPECT_NEAR(results[0].distance, 0.f, 1e-6);
+}
+
+TEST(LshIndexTest, SizeAndBuckets) {
+  LshIndexConfig config;
+  config.num_tables = 4;
+  LshIndex index(8, config);
+  EXPECT_EQ(index.size(), 0u);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    FeatureVector v(8);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian()) * 5.f;
+    index.Add(i, v);
+  }
+  EXPECT_EQ(index.size(), 100u);
+  EXPECT_GT(index.BucketCount(), 4u);
+}
+
+TEST(LshIndexTest, RecallAgainstBruteForce) {
+  const SyntheticEmbedder embedder({.dim = 32, .num_categories = 10,
+                                    .seed = 5});
+  LshIndexConfig config;
+  config.num_tables = 12;
+  config.hashes_per_table = 6;
+  config.bucket_width = 8.0f;
+  LshIndex index(32, config);
+
+  std::vector<std::pair<ImageId, FeatureVector>> all;
+  for (ProductId pid = 1; pid <= 300; ++pid) {
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      const std::string url = MakeImageUrl(pid, k);
+      auto f = embedder.Extract({url, pid, static_cast<CategoryId>(pid % 10)});
+      const ImageId id = pid * 10 + k;
+      index.Add(id, f);
+      all.emplace_back(id, std::move(f));
+    }
+  }
+
+  double recall_sum = 0.0;
+  constexpr int kQueries = 50;
+  for (int q = 0; q < kQueries; ++q) {
+    const ProductId pid = 1 + (q * 7) % 300;
+    const auto query =
+        embedder.ExtractQuery(pid, static_cast<CategoryId>(pid % 10), q);
+    // Brute-force ground truth.
+    TopK exact(10);
+    for (const auto& [id, v] : all) {
+      exact.Offer(id, L2SquaredDistance(query, v));
+    }
+    const auto truth = exact.TakeSorted();
+    const auto approx = index.Search(query, 10, /*extra_probes=*/6);
+    int found = 0;
+    for (const auto& t : truth) {
+      for (const auto& a : approx) {
+        if (a.image_id == t.image_id) {
+          ++found;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(found) / 10.0;
+  }
+  EXPECT_GT(recall_sum / kQueries, 0.5);
+}
+
+TEST(LshIndexTest, MultiProbeImprovesRecall) {
+  const SyntheticEmbedder embedder({.dim = 32, .num_categories = 10,
+                                    .seed = 6});
+  LshIndexConfig config;
+  config.num_tables = 4;
+  config.hashes_per_table = 8;
+  config.bucket_width = 4.0f;
+  LshIndex index(32, config);
+  std::vector<std::pair<ImageId, FeatureVector>> all;
+  for (ProductId pid = 1; pid <= 400; ++pid) {
+    const std::string url = MakeImageUrl(pid, 0);
+    auto f = embedder.Extract({url, pid, static_cast<CategoryId>(pid % 10)});
+    index.Add(pid, f);
+    all.emplace_back(pid, std::move(f));
+  }
+  const auto recall_at = [&](std::size_t probes) {
+    double sum = 0.0;
+    for (int q = 0; q < 40; ++q) {
+      const ProductId pid = 1 + (q * 11) % 400;
+      const auto query =
+          embedder.ExtractQuery(pid, static_cast<CategoryId>(pid % 10), q);
+      TopK exact(5);
+      for (const auto& [id, v] : all) exact.Offer(id, L2SquaredDistance(query, v));
+      const auto truth = exact.TakeSorted();
+      const auto approx = index.Search(query, 5, probes);
+      int found = 0;
+      for (const auto& t : truth) {
+        for (const auto& a : approx) {
+          if (a.image_id == t.image_id) {
+            ++found;
+            break;
+          }
+        }
+      }
+      sum += static_cast<double>(found) / 5.0;
+    }
+    return sum / 40.0;
+  };
+  EXPECT_GE(recall_at(10), recall_at(0));
+}
+
+TEST(LshIndexTest, DeterministicForSameSeed) {
+  Rng rng(9);
+  FeatureVector v(16);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  LshIndex a(16);
+  LshIndex b(16);
+  a.Add(1, v);
+  b.Add(1, v);
+  const auto ra = a.Search(v, 1);
+  const auto rb = b.Search(v, 1);
+  ASSERT_EQ(ra.size(), rb.size());
+  EXPECT_EQ(ra[0].image_id, rb[0].image_id);
+}
+
+TEST(LshIndexTest, EmptyIndexReturnsNothing) {
+  LshIndex index(8);
+  EXPECT_TRUE(index.Search(FeatureVector(8, 0.f), 5).empty());
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,114 @@
+// Tests for the metrics/reporting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/clock.h"
+#include "metrics/cdf.h"
+#include "metrics/latency_recorder.h"
+#include "metrics/qps_counter.h"
+#include "metrics/time_series.h"
+
+namespace jdvs {
+namespace {
+
+TEST(FormatMicrosTest, PicksUnits) {
+  EXPECT_EQ(FormatMicros(0), "0us");
+  EXPECT_EQ(FormatMicros(999), "999us");
+  EXPECT_EQ(FormatMicros(1500), "1.5ms");
+  EXPECT_EQ(FormatMicros(132000), "132.0ms");
+  EXPECT_EQ(FormatMicros(2'100'000), "2.10s");
+}
+
+TEST(SummarizeLatencyTest, ContainsAllFields) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(2000);
+  const std::string s = SummarizeLatency(h, "query");
+  EXPECT_NE(s.find("query:"), std::string::npos);
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(PrintLatencyTest, WritesLine) {
+  Histogram h;
+  h.Record(10);
+  std::ostringstream os;
+  PrintLatency(os, h, "x");
+  EXPECT_NE(os.str().find("x: n=1"), std::string::npos);
+  EXPECT_EQ(os.str().back(), '\n');
+}
+
+TEST(QpsCounterTest, CountsAndComputesRate) {
+  ManualClock clock(0);
+  QpsCounter counter(clock);
+  counter.Add(100);
+  clock.AdvanceMicros(2'000'000);
+  EXPECT_EQ(counter.count(), 100u);
+  EXPECT_NEAR(counter.Qps(), 50.0, 1e-9);
+  counter.Reset();
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(QpsCounterTest, ZeroElapsedIsZeroQps) {
+  ManualClock clock(5);
+  QpsCounter counter(clock);
+  counter.Add();
+  EXPECT_EQ(counter.Qps(), 0.0);
+}
+
+TEST(HourlySeriesTest, CountsByHourAndType) {
+  HourlyUpdateSeries series;
+  series.AddCount(11, UpdateType::kAddProduct, 3);
+  series.AddCount(11, UpdateType::kRemoveProduct);
+  series.AddCount(4, UpdateType::kAttributeUpdate);
+  EXPECT_EQ(series.CountAt(11, UpdateType::kAddProduct), 3u);
+  EXPECT_EQ(series.CountAt(11, UpdateType::kRemoveProduct), 1u);
+  EXPECT_EQ(series.CountAt(11, UpdateType::kAttributeUpdate), 0u);
+  EXPECT_EQ(series.TotalAt(11), 4u);
+  EXPECT_EQ(series.TotalAt(4), 1u);
+  EXPECT_EQ(series.TotalAt(0), 0u);
+}
+
+TEST(HourlySeriesTest, LatencyPerHour) {
+  HourlyUpdateSeries series;
+  series.AddLatency(3, 100);
+  series.AddLatency(3, 300);
+  EXPECT_EQ(series.LatencyAt(3).Count(), 2u);
+  EXPECT_EQ(series.LatencyAt(4).Count(), 0u);
+  EXPECT_NEAR(series.LatencyAt(3).Mean(), 200.0, 1.0);
+}
+
+TEST(CdfPrintTest, EmptyHistogram) {
+  Histogram h;
+  std::ostringstream os;
+  PrintCdfSeconds(os, h);
+  EXPECT_EQ(os.str(), "(empty)\n");
+}
+
+TEST(CdfPrintTest, MonotoneOutputEndsAtOne) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1000);
+  std::ostringstream os;
+  PrintCdfSeconds(os, h, 10);
+  std::istringstream is(os.str());
+  double last_v = -1.0;
+  double last_f = -1.0;
+  double v;
+  double f;
+  int rows = 0;
+  while (is >> v >> f) {
+    EXPECT_GT(v, last_v);
+    EXPECT_GT(f, last_f);
+    last_v = v;
+    last_f = f;
+    ++rows;
+  }
+  EXPECT_GT(rows, 2);
+  EXPECT_LE(rows, 15);  // downsampled
+  EXPECT_DOUBLE_EQ(last_f, 1.0);
+}
+
+}  // namespace
+}  // namespace jdvs

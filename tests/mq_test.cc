@@ -1,0 +1,179 @@
+// Tests for the message queue substrate: topic fan-out and the day log.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mq/message.h"
+#include "mq/message_log.h"
+#include "mq/topic_queue.h"
+
+namespace jdvs {
+namespace {
+
+ProductUpdateMessage MakeMessage(UpdateType type, ProductId id) {
+  ProductUpdateMessage m;
+  m.type = type;
+  m.product_id = id;
+  return m;
+}
+
+TEST(MessageTest, TypeNames) {
+  EXPECT_STREQ(UpdateTypeName(UpdateType::kAttributeUpdate),
+               "attribute_update");
+  EXPECT_STREQ(UpdateTypeName(UpdateType::kAddProduct), "add_product");
+  EXPECT_STREQ(UpdateTypeName(UpdateType::kRemoveProduct), "remove_product");
+}
+
+TEST(MessageTest, ToStringContainsFields) {
+  ProductUpdateMessage m = MakeMessage(UpdateType::kAddProduct, 42);
+  m.image_urls = {"u1", "u2"};
+  const std::string s = ToString(m);
+  EXPECT_NE(s.find("add_product"), std::string::npos);
+  EXPECT_NE(s.find("product=42"), std::string::npos);
+  EXPECT_NE(s.find("images=2"), std::string::npos);
+}
+
+TEST(TopicQueueTest, DeliversToSubscriber) {
+  TopicQueue queue;
+  auto sub = queue.Subscribe("t");
+  EXPECT_EQ(queue.Publish("t", MakeMessage(UpdateType::kAddProduct, 1)), 1u);
+  const auto received = sub->Receive();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->product_id, 1u);
+}
+
+TEST(TopicQueueTest, FanOutToAllSubscribers) {
+  TopicQueue queue;
+  auto a = queue.Subscribe("t");
+  auto b = queue.Subscribe("t");
+  auto c = queue.Subscribe("t");
+  EXPECT_EQ(queue.Publish("t", MakeMessage(UpdateType::kRemoveProduct, 5)),
+            3u);
+  for (auto& sub : {a, b, c}) {
+    EXPECT_EQ(sub->Receive()->product_id, 5u);
+  }
+}
+
+TEST(TopicQueueTest, PublishToUnknownTopicReachesNobody) {
+  TopicQueue queue;
+  EXPECT_EQ(queue.Publish("nope", MakeMessage(UpdateType::kAddProduct, 1)),
+            0u);
+}
+
+TEST(TopicQueueTest, TopicsAreIsolated) {
+  TopicQueue queue;
+  auto a = queue.Subscribe("a");
+  auto b = queue.Subscribe("b");
+  queue.Publish("a", MakeMessage(UpdateType::kAddProduct, 1));
+  EXPECT_EQ(a->pending(), 1u);
+  EXPECT_EQ(b->pending(), 0u);
+}
+
+TEST(TopicQueueTest, CloseTopicDrainsSubscribers) {
+  TopicQueue queue;
+  auto sub = queue.Subscribe("t");
+  queue.Publish("t", MakeMessage(UpdateType::kAddProduct, 1));
+  queue.CloseTopic("t");
+  EXPECT_TRUE(sub->Receive().has_value());   // drains buffered message
+  EXPECT_FALSE(sub->Receive().has_value());  // then end-of-stream
+  // Publishing after close is dropped.
+  EXPECT_EQ(queue.Publish("t", MakeMessage(UpdateType::kAddProduct, 2)), 0u);
+}
+
+TEST(TopicQueueTest, SubscribeAfterCloseSeesEndOfStream) {
+  TopicQueue queue;
+  queue.Subscribe("t");
+  queue.CloseTopic("t");
+  auto late = queue.Subscribe("t");
+  EXPECT_FALSE(late->Receive().has_value());
+}
+
+TEST(TopicQueueTest, ConcurrentPublishersAllDelivered) {
+  TopicQueue queue;
+  auto sub = queue.Subscribe("t");
+  constexpr int kPublishers = 4;
+  constexpr int kPerPublisher = 2000;
+  std::atomic<int> consumed{0};
+  std::thread consumer([&] {
+    while (sub->Receive()) consumed.fetch_add(1);
+  });
+  std::vector<std::thread> publishers;
+  for (int p = 0; p < kPublishers; ++p) {
+    publishers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerPublisher; ++i) {
+        queue.Publish("t", MakeMessage(UpdateType::kAddProduct,
+                                       static_cast<ProductId>(p * 10000 + i)));
+      }
+    });
+  }
+  for (auto& p : publishers) p.join();
+  queue.CloseAll();
+  consumer.join();
+  EXPECT_EQ(consumed.load(), kPublishers * kPerPublisher);
+}
+
+TEST(MessageLogTest, AppendAssignsMonotoneSequence) {
+  MessageLog log;
+  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 1)), 0u);
+  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 2)), 1u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(MessageLogTest, ReplayVisitsInOrder) {
+  MessageLog log;
+  for (ProductId i = 0; i < 100; ++i) {
+    log.Append(MakeMessage(UpdateType::kAttributeUpdate, i));
+  }
+  ProductId expected = 0;
+  log.Replay([&](const ProductUpdateMessage& m) {
+    EXPECT_EQ(m.product_id, expected);
+    EXPECT_EQ(m.sequence, expected);
+    ++expected;
+  });
+  EXPECT_EQ(expected, 100u);
+}
+
+TEST(MessageLogTest, ClearTruncates) {
+  MessageLog log;
+  log.Append(MakeMessage(UpdateType::kAddProduct, 1));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  int visited = 0;
+  log.Replay([&](const ProductUpdateMessage&) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(MessageLogTest, SequenceContinuesAfterClear) {
+  MessageLog log;
+  log.Append(MakeMessage(UpdateType::kAddProduct, 1));
+  log.Clear();
+  // A fresh day still gets globally increasing sequence numbers.
+  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 2)), 1u);
+}
+
+TEST(MessageLogTest, ConcurrentAppendsAllRecorded) {
+  MessageLog log;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append(MakeMessage(UpdateType::kAttributeUpdate, 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // Sequences are unique and dense.
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  log.Replay([&](const ProductUpdateMessage& m) {
+    ASSERT_LT(m.sequence, seen.size());
+    EXPECT_FALSE(seen[m.sequence]);
+    seen[m.sequence] = true;
+  });
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,163 @@
+// Tests for the simulated cluster fabric: partitioner, latency model, nodes,
+// load balancer, partial-result collection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "net/latency_model.h"
+#include "net/load_balancer.h"
+#include "net/node.h"
+#include "net/partitioner.h"
+#include "net/rpc.h"
+#include "store/catalog.h"
+
+namespace jdvs {
+namespace {
+
+TEST(PartitionerTest, StableAssignment) {
+  const UrlPartitioner partitioner(20);
+  for (int i = 0; i < 100; ++i) {
+    const std::string url = MakeImageUrl(i, 0);
+    EXPECT_EQ(partitioner.PartitionOf(url), partitioner.PartitionOf(url));
+    EXPECT_LT(partitioner.PartitionOf(url), 20u);
+  }
+}
+
+TEST(PartitionerTest, FiltersArePartition) {
+  const UrlPartitioner partitioner(8);
+  std::vector<PartitionFilter> filters;
+  for (std::size_t p = 0; p < 8; ++p) filters.push_back(partitioner.FilterFor(p));
+  for (int i = 0; i < 500; ++i) {
+    const std::string url = MakeImageUrl(i, i % 3);
+    int owners = 0;
+    for (std::size_t p = 0; p < 8; ++p) {
+      if (filters[p](url)) {
+        ++owners;
+        EXPECT_EQ(partitioner.PartitionOf(url), p);
+      }
+    }
+    EXPECT_EQ(owners, 1);  // exactly one partition owns each image
+  }
+}
+
+TEST(PartitionerTest, ReasonableBalance) {
+  const UrlPartitioner partitioner(10);
+  std::vector<int> counts(10, 0);
+  constexpr int kUrls = 50000;
+  for (int i = 0; i < kUrls; ++i) {
+    ++counts[partitioner.PartitionOf(MakeImageUrl(i, 0))];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, kUrls / 10 / 2);
+    EXPECT_LT(c, kUrls / 10 * 2);
+  }
+}
+
+TEST(PartitionerTest, ZeroPartitionsClampedToOne) {
+  const UrlPartitioner partitioner(0);
+  EXPECT_EQ(partitioner.num_partitions(), 1u);
+  EXPECT_EQ(partitioner.PartitionOf("anything"), 0u);
+}
+
+TEST(LatencyModelTest, ZeroModelSamplesZero) {
+  const LatencyModel model;
+  EXPECT_TRUE(model.IsZero());
+  Rng rng(1);
+  EXPECT_EQ(model.SampleMicros(rng), 0);
+}
+
+TEST(LatencyModelTest, BaseOnlyIsDeterministic) {
+  const LatencyModel model{.base_micros = 250};
+  Rng rng(1);
+  EXPECT_EQ(model.SampleMicros(rng), 250);
+}
+
+TEST(LatencyModelTest, JitterMedianApproximatelyRight) {
+  const LatencyModel model{
+      .base_micros = 0, .jitter_median_micros = 1000, .sigma = 0.5};
+  Rng rng(7);
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 10001; ++i) samples.push_back(model.SampleMicros(rng));
+  std::sort(samples.begin(), samples.end());
+  const double median = static_cast<double>(samples[samples.size() / 2]);
+  EXPECT_NEAR(median, 1000.0, 100.0);
+}
+
+TEST(NodeTest, InvokeRunsOnNodePool) {
+  Node node("test-node", 2);
+  auto f = node.Invoke([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(NodeTest, InvokeVoid) {
+  Node node("test-node", 1);
+  std::atomic<bool> ran{false};
+  node.Invoke([&ran] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(NodeTest, FailedNodeThrowsThroughFuture) {
+  Node node("flaky", 1);
+  node.set_failed(true);
+  auto f = node.Invoke([] { return 1; });
+  EXPECT_THROW(f.get(), NodeFailedError);
+  node.set_failed(false);
+  EXPECT_EQ(node.Invoke([] { return 2; }).get(), 2);
+}
+
+TEST(NodeTest, ParallelInvocationsAllComplete) {
+  Node node("par", 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(node.Invoke([i] { return i * 2; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * 2);
+}
+
+TEST(RoundRobinTest, CyclesThroughBackends) {
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  RoundRobinBalancer<int> balancer({&a, &b, &c});
+  std::multiset<int> seen;
+  for (int i = 0; i < 6; ++i) seen.insert(balancer.Next());
+  EXPECT_EQ(seen.count(1), 2u);
+  EXPECT_EQ(seen.count(2), 2u);
+  EXPECT_EQ(seen.count(3), 2u);
+}
+
+TEST(RoundRobinTest, SkipsUnhealthy) {
+  int a = 1;
+  int b = 2;
+  RoundRobinBalancer<int> balancer({&a, &b},
+                                   [](const int& v) { return v != 1; });
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(balancer.Next(), 2);
+}
+
+TEST(RoundRobinTest, ThrowsWhenAllDown) {
+  int a = 1;
+  RoundRobinBalancer<int> balancer({&a}, [](const int&) { return false; });
+  EXPECT_THROW(balancer.Next(), std::runtime_error);
+}
+
+TEST(RoundRobinTest, RejectsEmptyBackendList) {
+  EXPECT_THROW(RoundRobinBalancer<int>({}), std::invalid_argument);
+}
+
+TEST(CollectPartialTest, DropsFailedFutures) {
+  Node good("good", 1);
+  Node bad("bad", 1);
+  bad.set_failed(true);
+  std::vector<std::future<int>> futures;
+  futures.push_back(good.Invoke([] { return 1; }));
+  futures.push_back(bad.Invoke([] { return 2; }));
+  futures.push_back(good.Invoke([] { return 3; }));
+  std::size_t failures = 0;
+  const auto results = CollectPartial(futures, &failures);
+  EXPECT_EQ(results, (std::vector<int>{1, 3}));
+  EXPECT_EQ(failures, 1u);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,153 @@
+// Tests for the blender result cache and its freshness bounds.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "search/query_cache.h"
+
+namespace jdvs {
+namespace {
+
+FeatureVector RandomVector(Rng& rng, std::size_t dim) {
+  FeatureVector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian()) * 4.f;
+  return v;
+}
+
+QueryResponse MakeResponse(ImageId top) {
+  QueryResponse response;
+  RankedResult r;
+  r.hit.image_id = top;
+  r.score = 1.0;
+  response.results.push_back(std::move(r));
+  return response;
+}
+
+TEST(QueryCacheTest, MissThenHit) {
+  ManualClock clock;
+  QueryCache cache(16, {}, clock);
+  Rng rng(1);
+  const auto q = RandomVector(rng, 16);
+  const auto key = cache.KeyFor(q, 10, 0);
+  EXPECT_FALSE(cache.Lookup(key, 0).has_value());
+  cache.Insert(key, 0, MakeResponse(42));
+  const auto hit = cache.Lookup(key, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->results[0].hit.image_id, 42u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_NEAR(stats.HitRate(), 0.5, 1e-9);
+}
+
+TEST(QueryCacheTest, KeyIsStableAndSensitive) {
+  ManualClock clock;
+  QueryCache cache(16, {}, clock);
+  Rng rng(2);
+  const auto a = RandomVector(rng, 16);
+  const auto b = RandomVector(rng, 16);
+  EXPECT_EQ(cache.KeyFor(a, 10, 0), cache.KeyFor(a, 10, 0));
+  EXPECT_NE(cache.KeyFor(a, 10, 0), cache.KeyFor(b, 10, 0));
+  // k and nprobe are part of the key.
+  EXPECT_NE(cache.KeyFor(a, 10, 0), cache.KeyFor(a, 5, 0));
+  EXPECT_NE(cache.KeyFor(a, 10, 0), cache.KeyFor(a, 10, 4));
+}
+
+TEST(QueryCacheTest, NearDuplicateQueriesShareKey) {
+  ManualClock clock;
+  QueryCache cache(32, {.signature_bits = 64}, clock);
+  Rng rng(3);
+  const auto base = RandomVector(rng, 32);
+  FeatureVector near = base;
+  for (float& x : near) x += static_cast<float>(rng.NextGaussian()) * 0.001f;
+  EXPECT_EQ(cache.KeyFor(base, 10, 0), cache.KeyFor(near, 10, 0));
+}
+
+TEST(QueryCacheTest, TtlExpiresEntries) {
+  ManualClock clock;
+  QueryCache cache(8, {.ttl_micros = 1000}, clock);
+  Rng rng(4);
+  const auto q = RandomVector(rng, 8);
+  const auto key = cache.KeyFor(q, 10, 0);
+  cache.Insert(key, 0, MakeResponse(1));
+  clock.AdvanceMicros(999);
+  EXPECT_TRUE(cache.Lookup(key, 0).has_value());
+  clock.AdvanceMicros(2);
+  EXPECT_FALSE(cache.Lookup(key, 0).has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // expired entries are evicted
+}
+
+TEST(QueryCacheTest, StrictVersionCheckInvalidatesOnUpdate) {
+  ManualClock clock;
+  QueryCache cache(8, {.strict_version_check = true}, clock);
+  Rng rng(5);
+  const auto q = RandomVector(rng, 8);
+  const auto key = cache.KeyFor(q, 10, 0);
+  cache.Insert(key, /*version=*/7, MakeResponse(1));
+  EXPECT_TRUE(cache.Lookup(key, 7).has_value());
+  // One product update happened -> version moved -> strict miss.
+  EXPECT_FALSE(cache.Lookup(key, 8).has_value());
+  EXPECT_EQ(cache.stats().stale, 1u);
+}
+
+TEST(QueryCacheTest, NonStrictIgnoresVersion) {
+  ManualClock clock;
+  QueryCache cache(8, {}, clock);  // strict off (default)
+  Rng rng(6);
+  const auto q = RandomVector(rng, 8);
+  const auto key = cache.KeyFor(q, 10, 0);
+  cache.Insert(key, 7, MakeResponse(1));
+  EXPECT_TRUE(cache.Lookup(key, 999).has_value());
+}
+
+TEST(QueryCacheTest, LruEvictsOldest) {
+  ManualClock clock;
+  QueryCacheConfig config;
+  config.capacity = 3;
+  QueryCache cache(8, config, clock);
+  Rng rng(7);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 4; ++i) {
+    const auto q = RandomVector(rng, 8);
+    keys.push_back(cache.KeyFor(q, 10, 0));
+    cache.Insert(keys.back(), 0, MakeResponse(i));
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Lookup(keys[0], 0).has_value());  // oldest gone
+  EXPECT_TRUE(cache.Lookup(keys[3], 0).has_value());
+}
+
+TEST(QueryCacheTest, LookupTouchesRecency) {
+  ManualClock clock;
+  QueryCacheConfig config;
+  config.capacity = 2;
+  QueryCache cache(8, config, clock);
+  Rng rng(8);
+  const auto qa = RandomVector(rng, 8);
+  const auto qb = RandomVector(rng, 8);
+  const auto qc = RandomVector(rng, 8);
+  const auto ka = cache.KeyFor(qa, 10, 0);
+  const auto kb = cache.KeyFor(qb, 10, 0);
+  const auto kc = cache.KeyFor(qc, 10, 0);
+  cache.Insert(ka, 0, MakeResponse(1));
+  cache.Insert(kb, 0, MakeResponse(2));
+  cache.Lookup(ka, 0);                   // a becomes most recent
+  cache.Insert(kc, 0, MakeResponse(3));  // evicts b, not a
+  EXPECT_TRUE(cache.Lookup(ka, 0).has_value());
+  EXPECT_FALSE(cache.Lookup(kb, 0).has_value());
+}
+
+TEST(QueryCacheTest, ClearEmpties) {
+  ManualClock clock;
+  QueryCache cache(8, {}, clock);
+  Rng rng(9);
+  const auto q = RandomVector(rng, 8);
+  cache.Insert(cache.KeyFor(q, 10, 0), 0, MakeResponse(1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,125 @@
+// Tests for the learned re-ranker (the paper's future-work extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "search/reranker.h"
+
+namespace jdvs {
+namespace {
+
+SearchHit MakeHit(float distance, std::uint64_t sales, std::uint64_t praise,
+                  std::uint64_t price_cents, CategoryId category) {
+  SearchHit hit;
+  static ImageId next_id = 1;
+  hit.image_id = next_id++;
+  hit.distance = distance;
+  hit.attributes = {.sales = sales, .price_cents = price_cents,
+                    .praise = praise};
+  hit.category = category;
+  return hit;
+}
+
+TEST(RerankFeaturesTest, ExtractsExpectedValues) {
+  const SearchHit hit = MakeHit(3.f, 100, 50, 9900, 7);
+  const RerankFeatures f = ExtractRerankFeatures(hit, 7);
+  EXPECT_NEAR(f.similarity, 0.25, 1e-9);
+  EXPECT_NEAR(f.log_sales, std::log1p(100.0), 1e-9);
+  EXPECT_NEAR(f.log_praise, std::log1p(50.0), 1e-9);
+  EXPECT_NEAR(f.log_price, std::log1p(99.0), 1e-9);
+  EXPECT_EQ(f.category_match, 1.0);
+  EXPECT_EQ(ExtractRerankFeatures(hit, 3).category_match, 0.0);
+}
+
+// Generates clicks from a hidden linear utility; training must recover the
+// ordering induced by that utility.
+std::vector<LearnedReranker::Example> SyntheticClicks(std::size_t n,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  // Hidden preference: similarity matters most, cheap and popular preferred.
+  const std::array<double, RerankFeatures::kCount> hidden = {6.0, 0.4, 0.2,
+                                                             -0.3, 1.0};
+  std::vector<LearnedReranker::Example> dataset;
+  dataset.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RerankFeatures f;
+    f.similarity = rng.NextDouble();
+    f.log_sales = rng.NextDouble() * 8.0;
+    f.log_praise = rng.NextDouble() * 6.0;
+    f.log_price = rng.NextDouble() * 8.0;
+    f.category_match = rng.NextBool(0.7) ? 1.0 : 0.0;
+    const auto x = f.AsArray();
+    double z = -4.0;
+    for (std::size_t j = 0; j < x.size(); ++j) z += hidden[j] * x[j];
+    const double p = 1.0 / (1.0 + std::exp(-z));
+    dataset.push_back({f, rng.NextBool(p)});
+  }
+  return dataset;
+}
+
+TEST(LearnedRerankerTest, LearnsSignOfHiddenWeights) {
+  const auto dataset = SyntheticClicks(20000, 3);
+  const LearnedReranker model = LearnedReranker::Train(dataset);
+  const auto& w = model.weights();
+  EXPECT_GT(w[0], 0.0);  // similarity helps
+  EXPECT_GT(w[1], 0.0);  // sales help
+  EXPECT_LT(w[3], 0.0);  // price hurts
+  EXPECT_GT(w[4], 0.0);  // category match helps
+}
+
+TEST(LearnedRerankerTest, PredictsClicksAboveChance) {
+  const auto train = SyntheticClicks(20000, 4);
+  const auto test = SyntheticClicks(5000, 5);
+  const LearnedReranker model = LearnedReranker::Train(train);
+  // AUC-proxy: average predicted probability for clicked examples should
+  // clearly exceed that of unclicked ones.
+  double clicked_sum = 0.0;
+  double unclicked_sum = 0.0;
+  std::size_t clicked_n = 0;
+  std::size_t unclicked_n = 0;
+  for (const auto& example : test) {
+    const double p = model.PredictClick(example.features);
+    if (example.clicked) {
+      clicked_sum += p;
+      ++clicked_n;
+    } else {
+      unclicked_sum += p;
+      ++unclicked_n;
+    }
+  }
+  ASSERT_GT(clicked_n, 0u);
+  ASSERT_GT(unclicked_n, 0u);
+  EXPECT_GT(clicked_sum / clicked_n, unclicked_sum / unclicked_n + 0.1);
+}
+
+TEST(LearnedRerankerTest, RerankOrdersByScore) {
+  // A model that only cares about sales.
+  const LearnedReranker model({0.0, 1.0, 0.0, 0.0, 0.0}, 0.0);
+  std::vector<SearchHit> hits;
+  hits.push_back(MakeHit(1.f, 10, 0, 100, 0));
+  hits.push_back(MakeHit(1.f, 1000, 0, 100, 0));
+  hits.push_back(MakeHit(1.f, 100, 0, 100, 0));
+  const auto ranked = model.Rerank(std::move(hits), 0, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].hit.attributes.sales, 1000u);
+  EXPECT_EQ(ranked[1].hit.attributes.sales, 100u);
+  EXPECT_GE(ranked[0].score, ranked[1].score);
+}
+
+TEST(LearnedRerankerTest, TrainingIsDeterministic) {
+  const auto dataset = SyntheticClicks(2000, 6);
+  const LearnedReranker a = LearnedReranker::Train(dataset);
+  const LearnedReranker b = LearnedReranker::Train(dataset);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+TEST(LearnedRerankerTest, DefaultModelScoresZero) {
+  const LearnedReranker model;
+  EXPECT_EQ(model.Score(RerankFeatures{}), 0.0);
+  EXPECT_NEAR(model.PredictClick(RerankFeatures{}), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,449 @@
+// Tests for the search tier: hit merging, ranking, searcher, broker
+// failover, blender end-to-end on a hand-built mini-cluster.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/hash.h"
+#include "index/full_index_builder.h"
+#include "search/blender.h"
+#include "search/broker.h"
+#include "search/ranking.h"
+#include "search/searcher.h"
+#include "search/types.h"
+#include "workload/catalog_gen.h"
+
+namespace jdvs {
+namespace {
+
+SearchHit Hit(ImageId id, float distance, std::uint64_t sales = 0) {
+  SearchHit hit;
+  hit.image_id = id;
+  hit.distance = distance;
+  hit.attributes.sales = sales;
+  return hit;
+}
+
+TEST(MergeHitsTest, MergesAndTruncates) {
+  std::vector<std::vector<SearchHit>> partials = {
+      {Hit(1, 1.f), Hit(2, 4.f)},
+      {Hit(3, 2.f), Hit(4, 5.f)},
+      {Hit(5, 3.f)},
+  };
+  const auto merged = MergeHits(std::move(partials), 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].image_id, 1u);
+  EXPECT_EQ(merged[1].image_id, 3u);
+  EXPECT_EQ(merged[2].image_id, 5u);
+}
+
+TEST(MergeHitsTest, DeduplicatesSameImage) {
+  std::vector<std::vector<SearchHit>> partials = {
+      {Hit(1, 1.f), Hit(2, 2.f)},
+      {Hit(1, 1.f), Hit(3, 3.f)},  // replica returned the same image
+  };
+  const auto merged = MergeHits(std::move(partials), 4);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].image_id, 1u);
+}
+
+TEST(MergeHitsTest, EmptyInputs) {
+  EXPECT_TRUE(MergeHits({}, 5).empty());
+  EXPECT_TRUE(MergeHits({{}, {}}, 5).empty());
+}
+
+TEST(RankingTest, SimilarityDominates) {
+  const RankingConfig config;
+  const SearchHit close = Hit(1, 0.1f, /*sales=*/0);
+  const SearchHit far = Hit(2, 50.f, /*sales=*/100000);
+  EXPECT_GT(RankScore(close, 0, config), RankScore(far, 0, config));
+}
+
+TEST(RankingTest, AttributesBreakTies) {
+  const RankingConfig config;
+  SearchHit poor = Hit(1, 1.0f);
+  SearchHit popular = Hit(2, 1.0f);
+  popular.attributes.sales = 10000;
+  popular.attributes.praise = 5000;
+  EXPECT_GT(RankScore(popular, 0, config), RankScore(poor, 0, config));
+}
+
+TEST(RankingTest, PricePenalizes) {
+  const RankingConfig config;
+  SearchHit cheap = Hit(1, 1.0f);
+  cheap.attributes.price_cents = 100;
+  SearchHit expensive = Hit(2, 1.0f);
+  expensive.attributes.price_cents = 10'000'000;
+  EXPECT_GT(RankScore(cheap, 0, config), RankScore(expensive, 0, config));
+}
+
+TEST(RankingTest, CategoryMatchBoosts) {
+  const RankingConfig config;
+  SearchHit match = Hit(1, 1.0f);
+  match.category = 7;
+  SearchHit other = Hit(2, 1.0f);
+  other.category = 3;
+  EXPECT_GT(RankScore(match, 7, config), RankScore(other, 7, config));
+}
+
+TEST(RankingTest, RankResultsSortsDescendingAndTruncates) {
+  std::vector<SearchHit> hits = {Hit(1, 5.f), Hit(2, 0.1f), Hit(3, 1.f)};
+  const auto ranked = RankResults(std::move(hits), 0, RankingConfig{}, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].hit.image_id, 2u);
+  EXPECT_EQ(ranked[1].hit.image_id, 3u);
+  EXPECT_GE(ranked[0].score, ranked[1].score);
+}
+
+// ---- Mini-cluster fixture: 2 searchers (disjoint fake partitions), one
+// broker, one blender. ----
+struct MiniCluster {
+  MiniCluster()
+      : embedder({.dim = 16, .num_categories = 6, .seed = 3}),
+        detector({.num_categories = 6, .top1_accuracy = 1.0}),
+        features(embedder, ExtractionCostModel{.mean_micros = 0}) {
+    CatalogGenConfig cg;
+    cg.num_products = 60;
+    cg.num_categories = 6;
+    GenerateCatalog(cg, catalog, images);
+
+    FullIndexBuilderConfig fc;
+    fc.kmeans.num_clusters = 6;
+    fc.index_config.nprobe = 6;
+    FullIndexBuilder builder(catalog, images, features, fc);
+    quantizer = builder.TrainQuantizer();
+
+    const auto even = [](std::string_view url) {
+      return Fnv1a64(url) % 2 == 0;
+    };
+    const auto odd = [](std::string_view url) {
+      return Fnv1a64(url) % 2 == 1;
+    };
+    searcher_a = std::make_unique<Searcher>("s-a", Searcher::Config{},
+                                            features, even);
+    searcher_b = std::make_unique<Searcher>("s-b", Searcher::Config{},
+                                            features, odd);
+    searcher_a_backup = std::make_unique<Searcher>(
+        "s-a2", Searcher::Config{}, features, even);
+    searcher_a->InstallIndex(builder.Build(quantizer, even));
+    searcher_b->InstallIndex(builder.Build(quantizer, odd));
+    searcher_a_backup->InstallIndex(builder.Build(quantizer, even));
+
+    broker = std::make_unique<Broker>("b-0", Broker::Config{});
+    broker->AddPartition({searcher_a.get(), searcher_a_backup.get()});
+    broker->AddPartition({searcher_b.get()});
+
+    Blender::Config bc;
+    bc.default_k = 6;
+    blender = std::make_unique<Blender>("bl-0", bc, embedder, detector,
+                                        std::vector<Broker*>{broker.get()});
+  }
+
+  QueryImage QueryFor(ProductId id, std::uint64_t seed = 1) {
+    const auto record = catalog.Get(id);
+    return QueryImage{id, record->category, seed};
+  }
+
+  SyntheticEmbedder embedder;
+  CategoryDetector detector;
+  ProductCatalog catalog;
+  ImageStore images;
+  FeatureDb features;
+  std::shared_ptr<const CoarseQuantizer> quantizer;
+  std::unique_ptr<Searcher> searcher_a;
+  std::unique_ptr<Searcher> searcher_a_backup;
+  std::unique_ptr<Searcher> searcher_b;
+  std::unique_ptr<Broker> broker;
+  std::unique_ptr<Blender> blender;
+};
+
+TEST(SearcherTest, SearchBeforeInstallThrows) {
+  SyntheticEmbedder embedder({.dim = 8, .num_categories = 2, .seed = 1});
+  FeatureDb features(embedder, {.mean_micros = 0});
+  Searcher searcher("empty", Searcher::Config{}, features,
+                    AcceptAllPartitionFilter());
+  EXPECT_FALSE(searcher.HasIndex());
+  EXPECT_THROW(searcher.SearchLocal(FeatureVector(8, 0.f), 5),
+               std::runtime_error);
+}
+
+TEST(SearcherTest, SearchAsyncReturnsPartitionResults) {
+  MiniCluster mini;
+  const auto record = mini.catalog.Get(10);
+  const auto query =
+      mini.embedder.ExtractQuery(record->id, record->category, 1);
+  auto hits_a = mini.searcher_a->SearchAsync(query, 10).get();
+  auto hits_b = mini.searcher_b->SearchAsync(query, 10).get();
+  EXPECT_FALSE(hits_a.empty() && hits_b.empty());
+  // All of searcher A's results belong to its partition.
+  for (const auto& hit : hits_a) {
+    EXPECT_EQ(Fnv1a64(hit.image_url) % 2, 0u);
+  }
+  for (const auto& hit : hits_b) {
+    EXPECT_EQ(Fnv1a64(hit.image_url) % 2, 1u);
+  }
+}
+
+TEST(SearcherTest, ApplyUpdateMakesProductSearchable) {
+  MiniCluster mini;
+  ProductUpdateMessage add;
+  add.type = UpdateType::kAddProduct;
+  add.product_id = 5000;
+  add.category_id = 2;
+  add.attributes = {.sales = 1, .price_cents = 1, .praise = 1};
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    add.image_urls.push_back(MakeImageUrl(5000, k));
+  }
+  mini.searcher_a->ApplyUpdate(add);
+  mini.searcher_b->ApplyUpdate(add);
+  const auto query = mini.embedder.ExtractQuery(5000, 2, 9);
+  auto hits_a = mini.searcher_a->SearchLocal(query, 4);
+  auto hits_b = mini.searcher_b->SearchLocal(query, 4);
+  std::size_t found = 0;
+  for (const auto& h : hits_a) found += (h.product_id == 5000u);
+  for (const auto& h : hits_b) found += (h.product_id == 5000u);
+  EXPECT_GT(found, 0u);
+  // Partition split: the 4 images are spread over both searchers, total 4.
+  const auto counters_a = mini.searcher_a->update_counters();
+  const auto counters_b = mini.searcher_b->update_counters();
+  EXPECT_EQ(counters_a.images_added + counters_b.images_added, 4u);
+}
+
+TEST(SearcherTest, InstallIndexSwapsUnderSearches) {
+  MiniCluster mini;
+  // Rebuild searcher A's index and install; old searches still complete.
+  FullIndexBuilderConfig fc;
+  fc.kmeans.num_clusters = 6;
+  FullIndexBuilder builder(mini.catalog, mini.images, mini.features, fc);
+  const auto even = [](std::string_view url) { return Fnv1a64(url) % 2 == 0; };
+  auto new_index = builder.Build(mini.quantizer, even);
+  const std::size_t new_size = new_index->size();
+  mini.searcher_a->InstallIndex(std::move(new_index));
+  EXPECT_EQ(mini.searcher_a->index_stats().total_images, new_size);
+}
+
+TEST(BrokerTest, MergesAcrossPartitions) {
+  MiniCluster mini;
+  const auto record = mini.catalog.Get(20);
+  const auto query =
+      mini.embedder.ExtractQuery(record->id, record->category, 2);
+  const auto hits = mini.broker->SearchAsync(query, 10).get();
+  ASSERT_FALSE(hits.empty());
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].distance, hits[i].distance);
+  }
+  // Top hit should be an image of the queried product.
+  EXPECT_EQ(hits[0].product_id, record->id);
+}
+
+TEST(BrokerTest, FailsOverToReplica) {
+  MiniCluster mini;
+  mini.searcher_a->node().set_failed(true);
+  const auto record = mini.catalog.Get(20);
+  const auto query =
+      mini.embedder.ExtractQuery(record->id, record->category, 2);
+  const auto hits = mini.broker->SearchAsync(query, 10).get();
+  EXPECT_FALSE(hits.empty());
+  EXPECT_GE(mini.broker->failovers(), 1u);
+  EXPECT_EQ(mini.broker->partition_failures(), 0u);
+}
+
+TEST(BrokerTest, PartitionFailureWhenAllReplicasDown) {
+  MiniCluster mini;
+  mini.searcher_b->node().set_failed(true);  // partition B has no replica
+  const auto record = mini.catalog.Get(20);
+  const auto query =
+      mini.embedder.ExtractQuery(record->id, record->category, 2);
+  const auto hits = mini.broker->SearchAsync(query, 10).get();
+  // Partial results: partition A still answers.
+  EXPECT_GE(mini.broker->partition_failures(), 1u);
+  for (const auto& hit : hits) {
+    EXPECT_EQ(Fnv1a64(hit.image_url) % 2, 0u);
+  }
+}
+
+TEST(BlenderTest, EndToEndQueryFindsSubject) {
+  MiniCluster mini;
+  const auto response = mini.blender->Search(mini.QueryFor(33));
+  ASSERT_FALSE(response.results.empty());
+  EXPECT_LE(response.results.size(), 6u);
+  EXPECT_EQ(response.brokers_asked, 1u);
+  EXPECT_EQ(response.broker_failures, 0u);
+  EXPECT_GT(response.total_micros, 0);
+  bool found = false;
+  for (const auto& r : response.results) {
+    if (r.hit.product_id == 33u) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Scores are descending.
+  for (std::size_t i = 1; i < response.results.size(); ++i) {
+    EXPECT_GE(response.results[i - 1].score, response.results[i].score);
+  }
+}
+
+TEST(BlenderTest, DetectorOutputPropagates) {
+  MiniCluster mini;
+  const auto query = mini.QueryFor(12);
+  const auto response = mini.blender->Search(query);
+  EXPECT_EQ(response.detected_category, query.true_category);  // 100% detector
+}
+
+TEST(BlenderTest, AdmissionControlShedsExcessLoad) {
+  MiniCluster mini;
+  Blender::Config bc;
+  bc.threads = 1;
+  bc.default_k = 5;
+  bc.query_extraction_micros = 20'000;  // slow queries to pile up load
+  bc.max_in_flight = 2;
+  Blender limited("bl-limited", bc, mini.embedder, mini.detector,
+                  std::vector<Broker*>{mini.broker.get()});
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(
+        limited.SearchAsync(mini.QueryFor(1 + i), QueryOptions{.k = 5}));
+  }
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++ok;
+    } catch (const BlenderOverloadedError&) {
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + shed, 10u);
+  EXPECT_EQ(limited.queries_shed(), shed);
+  EXPECT_EQ(limited.in_flight(), 0u);
+}
+
+TEST(BlenderTest, NoAdmissionLimitByDefault) {
+  MiniCluster mini;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(
+        mini.blender->SearchAsync(mini.QueryFor(1 + i), QueryOptions{.k = 5}));
+  }
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  EXPECT_EQ(mini.blender->queries_shed(), 0u);
+}
+
+TEST(SearcherTest, SnapshotSaveAndInstallRoundTrip) {
+  MiniCluster mini;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("jdvs_searcher_snap_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+  const auto stats_before = mini.searcher_a->index_stats();
+  mini.searcher_a->SaveIndexSnapshot(path);
+
+  // A different searcher (same partition) installs from the snapshot.
+  Searcher restored("s-restored", Searcher::Config{}, mini.features,
+                    mini.searcher_a->partition_filter());
+  restored.InstallFromSnapshot(path);
+  EXPECT_EQ(restored.index_stats().total_images, stats_before.total_images);
+
+  const auto record = mini.catalog.Get(25);
+  const auto query =
+      mini.embedder.ExtractQuery(record->id, record->category, 4);
+  const auto original = mini.searcher_a->SearchLocal(query, 5);
+  const auto loaded = restored.SearchLocal(query, 5);
+  ASSERT_EQ(original.size(), loaded.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].image_id, loaded[i].image_id);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BlenderTest, CategoryFilterNarrowsResults) {
+  MiniCluster mini;
+  Blender::Config bc;
+  bc.default_k = 10;
+  bc.use_category_filter = true;  // detector output scopes the scan
+  Blender scoped("bl-scoped", bc, mini.embedder, mini.detector,
+                 std::vector<Broker*>{mini.broker.get()});
+  const QueryImage query = mini.QueryFor(14, 2);
+  const auto response = scoped.Search(query);
+  ASSERT_FALSE(response.results.empty());
+  for (const auto& r : response.results) {
+    EXPECT_EQ(r.hit.category, response.detected_category);
+  }
+  // The subject is still found (detector is 100% accurate in this fixture).
+  bool found = false;
+  for (const auto& r : response.results) {
+    found |= (r.hit.product_id == 14u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BlenderTest, ExplicitCategoryFilterInOptions) {
+  MiniCluster mini;
+  const auto record = mini.catalog.Get(14);
+  QueryOptions qo;
+  qo.k = 10;
+  // Filter to a *different* category: the subject must not appear.
+  qo.category_filter = (record->category + 1) % 6;
+  const auto response = mini.blender->Search(mini.QueryFor(14, 2), qo);
+  for (const auto& r : response.results) {
+    EXPECT_EQ(r.hit.category, qo.category_filter);
+    EXPECT_NE(r.hit.product_id, 14u);
+  }
+}
+
+TEST(BlenderTest, MisdetectionWithFilterExcludesSubject) {
+  MiniCluster mini;
+  // A detector that is always wrong.
+  CategoryDetector bad_detector({.num_categories = 6, .top1_accuracy = 0.0});
+  Blender::Config bc;
+  bc.default_k = 10;
+  bc.use_category_filter = true;
+  Blender scoped("bl-wrong", bc, mini.embedder, bad_detector,
+                 std::vector<Broker*>{mini.broker.get()});
+  const auto response = scoped.Search(mini.QueryFor(14, 2));
+  for (const auto& r : response.results) {
+    EXPECT_NE(r.hit.product_id, 14u);  // filtered out by the wrong category
+  }
+}
+
+TEST(BlenderTest, ResultCacheServesRepeatQueries) {
+  MiniCluster mini;
+  Blender::Config bc;
+  bc.default_k = 5;
+  bc.enable_result_cache = true;
+  bc.cache.ttl_micros = 60'000'000;
+  Blender cached("bl-cached", bc, mini.embedder, mini.detector,
+                 std::vector<Broker*>{mini.broker.get()});
+  const QueryImage query = mini.QueryFor(9, /*seed=*/4);
+  const auto first = cached.Search(query);
+  EXPECT_FALSE(first.from_cache);
+  const auto second = cached.Search(query);  // identical photo
+  EXPECT_TRUE(second.from_cache);
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].hit.image_id, second.results[i].hit.image_id);
+  }
+  ASSERT_NE(cached.result_cache(), nullptr);
+  EXPECT_EQ(cached.result_cache()->stats().hits, 1u);
+}
+
+TEST(BlenderTest, CacheDisabledByDefault) {
+  MiniCluster mini;
+  EXPECT_EQ(mini.blender->result_cache(), nullptr);
+  const QueryImage query = mini.QueryFor(9, 4);
+  EXPECT_FALSE(mini.blender->Search(query).from_cache);
+  EXPECT_FALSE(mini.blender->Search(query).from_cache);
+}
+
+TEST(BlenderTest, QueriesServedCounter) {
+  MiniCluster mini;
+  EXPECT_EQ(mini.blender->queries_served(), 0u);
+  mini.blender->Search(mini.QueryFor(1));
+  mini.blender->Search(mini.QueryFor(2));
+  EXPECT_EQ(mini.blender->queries_served(), 2u);
+}
+
+}  // namespace
+}  // namespace jdvs

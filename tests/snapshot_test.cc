@@ -1,0 +1,226 @@
+// Tests for index snapshot persistence: round trips, corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "index/full_index_builder.h"
+#include "index/snapshot.h"
+#include "pq/pq_snapshot.h"
+#include "workload/catalog_gen.h"
+
+namespace jdvs {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("jdvs_snapshot_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+struct Built {
+  Built() : features(embedder, ExtractionCostModel{.mean_micros = 0}) {
+    CatalogGenConfig cg;
+    cg.num_products = 80;
+    cg.num_categories = 8;
+    GenerateCatalog(cg, catalog, images);
+    FullIndexBuilderConfig fc;
+    fc.kmeans.num_clusters = 16;
+    fc.index_config.nprobe = 4;
+    FullIndexBuilder builder(catalog, images, features, fc);
+    index = builder.Build(builder.TrainQuantizer());
+  }
+  SyntheticEmbedder embedder{{.dim = 24, .num_categories = 8, .seed = 2}};
+  ProductCatalog catalog;
+  ImageStore images;
+  FeatureDb features;
+  std::unique_ptr<IvfIndex> index;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesSearchResults) {
+  Built built;
+  built.index->SetProductValidity(3, false);  // some invalid state too
+  const std::string path = PathFor("index.snap");
+  SaveIndexSnapshot(*built.index, path);
+  const auto loaded = LoadIndexSnapshot(path);
+
+  ASSERT_EQ(loaded->size(), built.index->size());
+  EXPECT_EQ(loaded->Stats().valid_images, built.index->Stats().valid_images);
+  EXPECT_EQ(loaded->Stats().num_lists, built.index->Stats().num_lists);
+
+  for (ProductId pid = 1; pid <= 20; ++pid) {
+    const auto record = built.catalog.Get(pid);
+    const auto query =
+        built.embedder.ExtractQuery(pid, record->category, pid);
+    const auto original = built.index->Search(query, 5);
+    const auto restored = loaded->Search(query, 5);
+    ASSERT_EQ(original.size(), restored.size()) << "pid " << pid;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].image_id, restored[i].image_id);
+      EXPECT_FLOAT_EQ(original[i].distance, restored[i].distance);
+      EXPECT_EQ(original[i].attributes, restored[i].attributes);
+      EXPECT_EQ(original[i].image_url, restored[i].image_url);
+      EXPECT_EQ(original[i].detail_url, restored[i].detail_url);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesConfig) {
+  Built built;
+  const std::string path = PathFor("index.snap");
+  SaveIndexSnapshot(*built.index, path);
+  const auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded->config().nprobe, built.index->config().nprobe);
+  EXPECT_EQ(loaded->config().initial_list_capacity,
+            built.index->config().initial_list_capacity);
+  EXPECT_EQ(loaded->dim(), built.index->dim());
+}
+
+TEST_F(SnapshotTest, LoadedIndexAcceptsNewWrites) {
+  Built built;
+  const std::string path = PathFor("index.snap");
+  SaveIndexSnapshot(*built.index, path);
+  auto loaded = LoadIndexSnapshot(path);
+  const auto feature = built.embedder.Extract({"new-image", 999, 3});
+  loaded->AddImage("new-image", 999, 3, {.sales = 1}, "", feature);
+  const auto hits = loaded->Search(feature, 1, /*nprobe=*/16);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].product_id, 999u);
+}
+
+TEST_F(SnapshotTest, MissingFileThrows) {
+  EXPECT_THROW(LoadIndexSnapshot(PathFor("nope.snap")), SnapshotError);
+}
+
+TEST_F(SnapshotTest, BadMagicThrows) {
+  const std::string path = PathFor("garbage.snap");
+  std::ofstream(path, std::ios::binary) << "this is not a snapshot at all";
+  EXPECT_THROW(LoadIndexSnapshot(path), SnapshotError);
+}
+
+TEST_F(SnapshotTest, TruncatedFileThrows) {
+  Built built;
+  const std::string path = PathFor("index.snap");
+  SaveIndexSnapshot(*built.index, path);
+  // Truncate to 60% of its size.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size * 6 / 10);
+  EXPECT_THROW(LoadIndexSnapshot(path), SnapshotError);
+}
+
+TEST_F(SnapshotTest, EmptyIndexRoundTrips) {
+  auto quantizer = std::make_shared<CoarseQuantizer>(
+      std::vector<float>(8, 0.f), 8);
+  IvfIndex empty(quantizer);
+  const std::string path = PathFor("empty.snap");
+  SaveIndexSnapshot(empty, path);
+  const auto loaded = LoadIndexSnapshot(path);
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+// ---- IVF-PQ snapshots ----
+
+struct PqBuilt {
+  PqBuilt(bool keep_raw = false) {
+    std::vector<FeatureVector> training;
+    for (ProductId pid = 1; pid <= 100; ++pid) {
+      training.push_back(embedder.Extract(
+          {MakeImageUrl(pid, 0), pid, static_cast<CategoryId>(pid % 8)}));
+    }
+    KMeansConfig kc;
+    kc.num_clusters = 8;
+    auto quantizer =
+        std::make_shared<CoarseQuantizer>(TrainKMeans(training, kc));
+    ProductQuantizerConfig pc;
+    pc.num_subspaces = 4;
+    pc.codebook_size = 32;
+    auto pq = std::make_shared<ProductQuantizer>(
+        ProductQuantizer::Train(training, pc));
+    IvfPqIndexConfig config;
+    config.nprobe = 8;
+    config.keep_raw_vectors = keep_raw;
+    config.rerank_candidates = keep_raw ? 20 : 0;
+    index = std::make_unique<IvfPqIndex>(quantizer, pq, config);
+    const ProductAttributes attrs{.sales = 4, .price_cents = 99, .praise = 2};
+    for (ProductId pid = 1; pid <= 60; ++pid) {
+      for (std::uint32_t k = 0; k < 2; ++k) {
+        const std::string url = MakeImageUrl(pid, k);
+        index->AddImage(url, pid, static_cast<CategoryId>(pid % 8), attrs, "",
+                        embedder.Extract(
+                            {url, pid, static_cast<CategoryId>(pid % 8)}));
+      }
+    }
+    index->SetProductValidity(9, false);
+  }
+  SyntheticEmbedder embedder{{.dim = 24, .num_categories = 8, .seed = 6}};
+  std::unique_ptr<IvfPqIndex> index;
+};
+
+TEST_F(SnapshotTest, PqRoundTripPreservesSearchResults) {
+  PqBuilt built;
+  const std::string path = PathFor("pq.snap");
+  SaveIvfPqSnapshot(*built.index, path);
+  const auto loaded = LoadIvfPqSnapshot(path);
+  ASSERT_EQ(loaded->size(), built.index->size());
+  EXPECT_EQ(loaded->Stats().valid_images, built.index->Stats().valid_images);
+  for (ProductId pid = 1; pid <= 30; ++pid) {
+    const auto query = built.embedder.ExtractQuery(
+        pid, static_cast<CategoryId>(pid % 8), pid);
+    const auto original = built.index->Search(query, 5);
+    const auto restored = loaded->Search(query, 5);
+    ASSERT_EQ(original.size(), restored.size()) << "pid " << pid;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].image_id, restored[i].image_id);
+      EXPECT_FLOAT_EQ(original[i].distance, restored[i].distance);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, PqRoundTripWithRefinementStore) {
+  PqBuilt built(/*keep_raw=*/true);
+  const std::string path = PathFor("pq_raw.snap");
+  SaveIvfPqSnapshot(*built.index, path);
+  const auto loaded = LoadIvfPqSnapshot(path);
+  EXPECT_GT(loaded->Stats().raw_memory_bytes, 0u);
+  for (ProductId pid = 1; pid <= 20; ++pid) {
+    const auto query = built.embedder.ExtractQuery(
+        pid, static_cast<CategoryId>(pid % 8), pid);
+    const auto original = built.index->Search(query, 5);
+    const auto restored = loaded->Search(query, 5);
+    ASSERT_EQ(original.size(), restored.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].image_id, restored[i].image_id);
+      EXPECT_FLOAT_EQ(original[i].distance, restored[i].distance);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, PqBadMagicThrows) {
+  const std::string path = PathFor("pq_garbage.snap");
+  std::ofstream(path, std::ios::binary) << "junk junk junk junk";
+  EXPECT_THROW(LoadIvfPqSnapshot(path), SnapshotError);
+}
+
+TEST_F(SnapshotTest, PqTruncatedThrows) {
+  PqBuilt built;
+  const std::string path = PathFor("pq.snap");
+  SaveIvfPqSnapshot(*built.index, path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(LoadIvfPqSnapshot(path), SnapshotError);
+}
+
+}  // namespace
+}  // namespace jdvs

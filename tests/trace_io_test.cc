@@ -1,0 +1,115 @@
+// Tests for trace file persistence and replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "workload/catalog_gen.h"
+#include "workload/trace_io.h"
+
+namespace jdvs {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("jdvs_trace_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+std::vector<TraceEvent> GenerateSample(std::uint64_t messages = 500) {
+  ProductCatalog catalog;
+  ImageStore images;
+  CatalogGenConfig cg;
+  cg.num_products = 200;
+  cg.initial_off_market_fraction = 0.2;
+  GenerateCatalog(cg, catalog, images);
+  DayTraceConfig tc;
+  tc.total_messages = messages;
+  std::vector<TraceEvent> events;
+  DayTraceGenerator(tc, catalog).Generate([&](const TraceEvent& e) {
+    events.push_back(e);
+  });
+  return events;
+}
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  const auto events = GenerateSample();
+  {
+    TraceWriter writer(path_);
+    for (const auto& e : events) writer.Write(e);
+    writer.Close();
+    EXPECT_EQ(writer.events_written(), events.size());
+  }
+  std::vector<TraceEvent> replayed;
+  const auto count = ReplayTraceFile(path_, [&](const TraceEvent& e) {
+    replayed.push_back(e);
+  });
+  ASSERT_EQ(count, events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(replayed[i].hour, events[i].hour);
+    const auto& a = events[i].message;
+    const auto& b = replayed[i].message;
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.product_id, b.product_id);
+    EXPECT_EQ(a.category_id, b.category_id);
+    EXPECT_EQ(a.attributes, b.attributes);
+    EXPECT_EQ(a.detail_url, b.detail_url);
+    EXPECT_EQ(a.timestamp_micros, b.timestamp_micros);
+    EXPECT_EQ(a.image_urls, b.image_urls);
+  }
+}
+
+TEST_F(TraceIoTest, DestructorFinalizesHeader) {
+  const auto events = GenerateSample(50);
+  {
+    TraceWriter writer(path_);
+    for (const auto& e : events) writer.Write(e);
+    // No explicit Close(): destructor must patch the count.
+  }
+  std::uint64_t count = 0;
+  ReplayTraceFile(path_, [&](const TraceEvent&) { ++count; });
+  EXPECT_EQ(count, 50u);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  {
+    TraceWriter writer(path_);
+    writer.Close();
+  }
+  EXPECT_EQ(ReplayTraceFile(path_, [](const TraceEvent&) {}), 0u);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(ReplayTraceFile("/nonexistent/trace.bin",
+                               [](const TraceEvent&) {}),
+               TraceIoError);
+}
+
+TEST_F(TraceIoTest, GarbageFileThrows) {
+  std::ofstream(path_, std::ios::binary) << "not a trace";
+  EXPECT_THROW(ReplayTraceFile(path_, [](const TraceEvent&) {}),
+               TraceIoError);
+}
+
+TEST_F(TraceIoTest, TruncatedFileThrows) {
+  const auto events = GenerateSample(100);
+  {
+    TraceWriter writer(path_);
+    for (const auto& e : events) writer.Write(e);
+    writer.Close();
+  }
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - size / 4);
+  EXPECT_THROW(ReplayTraceFile(path_, [](const TraceEvent&) {}),
+               TraceIoError);
+}
+
+}  // namespace
+}  // namespace jdvs

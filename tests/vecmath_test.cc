@@ -1,0 +1,227 @@
+// Unit + property tests for src/vecmath: distances, top-k, vector set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "vecmath/distance.h"
+#include "vecmath/topk.h"
+#include "vecmath/vector_set.h"
+
+namespace jdvs {
+namespace {
+
+FeatureVector RandomVector(Rng& rng, std::size_t dim) {
+  FeatureVector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+float NaiveL2Squared(FeatureView a, FeatureView b) {
+  float s = 0.f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+TEST(DistanceTest, ZeroDistanceToSelf) {
+  Rng rng(1);
+  const FeatureVector v = RandomVector(rng, 64);
+  EXPECT_EQ(L2SquaredDistance(v, v), 0.f);
+}
+
+TEST(DistanceTest, KnownValues) {
+  const FeatureVector a{1.f, 2.f, 3.f};
+  const FeatureVector b{4.f, 6.f, 3.f};
+  EXPECT_FLOAT_EQ(L2SquaredDistance(a, b), 9.f + 16.f);
+  EXPECT_FLOAT_EQ(InnerProduct(a, b), 4.f + 12.f + 9.f);
+  EXPECT_FLOAT_EQ(L2Norm(FeatureVector{3.f, 4.f}), 5.f);
+}
+
+// Property sweep: the unrolled kernels must match the naive loop across
+// dimensions including non-multiples of 4.
+class DistanceDimTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistanceDimTest, MatchesNaiveImplementation) {
+  const std::size_t dim = GetParam();
+  Rng rng(dim * 7 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FeatureVector a = RandomVector(rng, dim);
+    const FeatureVector b = RandomVector(rng, dim);
+    EXPECT_NEAR(L2SquaredDistance(a, b), NaiveL2Squared(a, b),
+                1e-3 * (1.0 + NaiveL2Squared(a, b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceDimTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 31,
+                                           33, 64, 100, 128, 257));
+
+TEST(DistanceTest, NormalizeL2MakesUnitNorm) {
+  Rng rng(5);
+  FeatureVector v = RandomVector(rng, 48);
+  NormalizeL2(v);
+  EXPECT_NEAR(L2Norm(v), 1.f, 1e-5);
+}
+
+TEST(DistanceTest, NormalizeZeroVectorIsNoop) {
+  FeatureVector v(16, 0.f);
+  NormalizeL2(v);
+  for (const float x : v) EXPECT_EQ(x, 0.f);
+}
+
+TEST(DistanceTest, BatchMatchesScalar) {
+  Rng rng(9);
+  const std::size_t dim = 32;
+  const std::size_t count = 50;
+  std::vector<float> base(dim * count);
+  for (float& x : base) x = static_cast<float>(rng.NextGaussian());
+  const FeatureVector q = RandomVector(rng, dim);
+  std::vector<float> out(count);
+  L2SquaredBatch(q, base.data(), dim, count, out.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_FLOAT_EQ(out[i],
+                    L2SquaredDistance(q, FeatureView(&base[i * dim], dim)));
+  }
+}
+
+TEST(TopKTest, KeepsSmallestDistances) {
+  TopK topk(3);
+  topk.Offer(1, 5.f);
+  topk.Offer(2, 1.f);
+  topk.Offer(3, 4.f);
+  topk.Offer(4, 2.f);
+  topk.Offer(5, 9.f);
+  const auto results = topk.TakeSorted();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].image_id, 2u);
+  EXPECT_EQ(results[1].image_id, 4u);
+  EXPECT_EQ(results[2].image_id, 3u);
+}
+
+TEST(TopKTest, ThresholdInfiniteUntilFull) {
+  TopK topk(2);
+  EXPECT_TRUE(std::isinf(topk.Threshold()));
+  topk.Offer(1, 3.f);
+  EXPECT_TRUE(std::isinf(topk.Threshold()));
+  topk.Offer(2, 7.f);
+  EXPECT_FLOAT_EQ(topk.Threshold(), 7.f);
+  topk.Offer(3, 1.f);  // evicts 7
+  EXPECT_FLOAT_EQ(topk.Threshold(), 3.f);
+}
+
+TEST(TopKTest, ZeroKTreatedAsOne) {
+  TopK topk(0);
+  topk.Offer(1, 2.f);
+  topk.Offer(2, 1.f);
+  const auto results = topk.TakeSorted();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].image_id, 2u);
+}
+
+// Property: TopK over random data == sort-then-truncate, for many (n, k).
+class TopKPropertyTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(TopKPropertyTest, MatchesSortTruncate) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 31 + k);
+  std::vector<ScoredImage> all;
+  TopK topk(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = static_cast<float>(rng.NextDouble() * 100.0);
+    all.push_back({i, d});
+    topk.Offer(i, d);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.image_id < b.image_id;
+  });
+  all.resize(std::min(n, k));
+  EXPECT_EQ(topk.TakeSorted(), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopKPropertyTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{0, 5},
+                      std::pair<std::size_t, std::size_t>{3, 5},
+                      std::pair<std::size_t, std::size_t>{5, 5},
+                      std::pair<std::size_t, std::size_t>{100, 1},
+                      std::pair<std::size_t, std::size_t>{100, 10},
+                      std::pair<std::size_t, std::size_t>{1000, 50},
+                      std::pair<std::size_t, std::size_t>{1000, 1000}));
+
+TEST(MergeTopKTest, MergesSortedPartials) {
+  std::vector<std::vector<ScoredImage>> partials = {
+      {{1, 1.f}, {2, 4.f}},
+      {{3, 2.f}, {4, 5.f}},
+      {{5, 3.f}},
+  };
+  const auto merged = MergeTopK(partials, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].image_id, 1u);
+  EXPECT_EQ(merged[1].image_id, 3u);
+  EXPECT_EQ(merged[2].image_id, 5u);
+}
+
+TEST(VectorSetTest, AppendAndReadBack) {
+  VectorSet set(8, /*chunk_vectors=*/4);
+  Rng rng(2);
+  std::vector<FeatureVector> originals;
+  for (int i = 0; i < 50; ++i) {  // crosses many chunk boundaries
+    originals.push_back(RandomVector(rng, 8));
+    EXPECT_EQ(set.Append(originals.back()), static_cast<std::size_t>(i));
+  }
+  EXPECT_EQ(set.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    const FeatureView v = set.At(i);
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(v[j], originals[i][j]);
+  }
+}
+
+TEST(VectorSetTest, OverwriteReplacesContents) {
+  VectorSet set(4);
+  set.Append(FeatureVector{1, 2, 3, 4});
+  set.Overwrite(0, FeatureVector{5, 6, 7, 8});
+  const FeatureView v = set.At(0);
+  EXPECT_EQ(v[0], 5.f);
+  EXPECT_EQ(v[3], 8.f);
+}
+
+TEST(VectorSetTest, ConcurrentReadersSeeStableData) {
+  VectorSet set(16, 32);
+  std::atomic<bool> stop{false};
+  // Readers verify every visible vector has the expected fingerprint:
+  // vector i is filled with value float(i).
+  std::vector<std::thread> readers;
+  std::atomic<int> violations{0};
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t n = set.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          const FeatureView v = set.At(i);
+          for (const float x : v) {
+            if (x != static_cast<float>(i)) violations.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::size_t i = 0; i < 5000; ++i) {
+    set.Append(FeatureVector(16, static_cast<float>(i)));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(set.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,253 @@
+// Tests for the workload generators: catalog, diurnal day trace, and the
+// closed-loop query client.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/catalog_gen.h"
+#include "workload/day_trace.h"
+#include "workload/query_client.h"
+
+namespace jdvs {
+namespace {
+
+TEST(CatalogGenTest, GeneratesRequestedShape) {
+  ProductCatalog catalog;
+  ImageStore images;
+  CatalogGenConfig config;
+  config.num_products = 500;
+  config.min_images_per_product = 2;
+  config.max_images_per_product = 4;
+  config.num_categories = 10;
+  const CatalogGenStats stats = GenerateCatalog(config, catalog, images);
+  EXPECT_EQ(stats.products, 500u);
+  EXPECT_EQ(catalog.size(), 500u);
+  EXPECT_EQ(images.size(), stats.images);
+  EXPECT_GE(stats.images, 2u * 500u);
+  EXPECT_LE(stats.images, 4u * 500u);
+  catalog.ForEach([&](const ProductRecord& r) {
+    EXPECT_GE(r.image_urls.size(), 2u);
+    EXPECT_LE(r.image_urls.size(), 4u);
+    EXPECT_LT(r.category, 10u);
+    EXPECT_GE(r.id, 1u);
+  });
+}
+
+TEST(CatalogGenTest, OffMarketFractionApproximatelyRespected) {
+  ProductCatalog catalog;
+  ImageStore images;
+  CatalogGenConfig config;
+  config.num_products = 2000;
+  config.initial_off_market_fraction = 0.3;
+  const CatalogGenStats stats = GenerateCatalog(config, catalog, images);
+  const double on_rate =
+      static_cast<double>(stats.on_market_products) / stats.products;
+  EXPECT_NEAR(on_rate, 0.7, 0.05);
+}
+
+TEST(CatalogGenTest, PrewarmFillsFeatureDb) {
+  ProductCatalog catalog;
+  ImageStore images;
+  SyntheticEmbedder embedder({.dim = 8, .num_categories = 4, .seed = 2});
+  FeatureDb features(embedder, {.mean_micros = 0});
+  CatalogGenConfig config;
+  config.num_products = 50;
+  const CatalogGenStats stats =
+      GenerateCatalog(config, catalog, images, &features);
+  EXPECT_EQ(stats.features_prewarmed, stats.images);
+  EXPECT_EQ(features.size(), stats.images);
+}
+
+TEST(CatalogGenTest, DeterministicForSameSeed) {
+  ProductCatalog a;
+  ProductCatalog b;
+  ImageStore ia;
+  ImageStore ib;
+  CatalogGenConfig config;
+  config.num_products = 100;
+  GenerateCatalog(config, a, ia);
+  GenerateCatalog(config, b, ib);
+  a.ForEach([&](const ProductRecord& ra) {
+    const auto rb = b.Get(ra.id);
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_EQ(ra.category, rb->category);
+    EXPECT_EQ(ra.attributes, rb->attributes);
+    EXPECT_EQ(ra.image_urls, rb->image_urls);
+  });
+}
+
+struct TraceFixture {
+  TraceFixture(double off_market = 0.3, std::size_t products = 1000) {
+    CatalogGenConfig config;
+    config.num_products = products;
+    config.initial_off_market_fraction = off_market;
+    GenerateCatalog(config, catalog, images);
+  }
+  ProductCatalog catalog;
+  ImageStore images;
+};
+
+TEST(DayTraceTest, TotalMessageCountExact) {
+  TraceFixture fx;
+  DayTraceConfig config;
+  config.total_messages = 12345;
+  DayTraceGenerator generator(config, fx.catalog);
+  std::uint64_t seen = 0;
+  const DayTraceStats stats =
+      generator.Generate([&](const TraceEvent&) { ++seen; });
+  EXPECT_EQ(seen, 12345u);
+  EXPECT_EQ(stats.total, 12345u);
+  EXPECT_EQ(stats.attribute_updates + stats.additions + stats.deletions,
+            stats.total);
+}
+
+TEST(DayTraceTest, TypeMixMatchesTable1) {
+  TraceFixture fx(/*off_market=*/0.4, /*products=*/5000);
+  DayTraceConfig config;
+  config.total_messages = 50000;
+  DayTraceGenerator generator(config, fx.catalog);
+  const DayTraceStats stats = generator.Generate([](const TraceEvent&) {});
+  // Table 1: 32.2% / 53.3% / 14.4%.
+  EXPECT_NEAR(static_cast<double>(stats.attribute_updates) / stats.total,
+              0.3224, 0.02);
+  EXPECT_NEAR(static_cast<double>(stats.additions) / stats.total, 0.5333,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(stats.deletions) / stats.total, 0.1443,
+              0.02);
+}
+
+TEST(DayTraceTest, RelistDominatesAdditionsWithWarmPool) {
+  TraceFixture fx(/*off_market=*/0.5, /*products=*/20000);
+  DayTraceConfig config;
+  config.total_messages = 20000;
+  DayTraceGenerator generator(config, fx.catalog);
+  const DayTraceStats stats = generator.Generate([](const TraceEvent&) {});
+  const double relist_rate =
+      static_cast<double>(stats.relist_additions) / stats.additions;
+  // Table 1: 513/521 = 98.5%; the pool is deep enough here to sustain it.
+  EXPECT_GT(relist_rate, 0.95);
+}
+
+TEST(DayTraceTest, HourlyShapePeaksAt11) {
+  TraceFixture fx;
+  DayTraceConfig config;
+  config.total_messages = 100000;
+  DayTraceGenerator generator(config, fx.catalog);
+  const DayTraceStats stats = generator.Generate([](const TraceEvent&) {});
+  std::uint64_t max_count = 0;
+  int max_hour = -1;
+  for (int h = 0; h < 24; ++h) {
+    if (stats.per_hour[h] > max_count) {
+      max_count = stats.per_hour[h];
+      max_hour = h;
+    }
+  }
+  EXPECT_EQ(max_hour, 11);                      // Figure 11(a) peak
+  EXPECT_GT(stats.per_hour[11], stats.per_hour[3] * 5);  // strong diurnality
+}
+
+TEST(DayTraceTest, EventsArriveInHourOrder) {
+  TraceFixture fx;
+  DayTraceConfig config;
+  config.total_messages = 5000;
+  DayTraceGenerator generator(config, fx.catalog);
+  int last_hour = 0;
+  generator.Generate([&](const TraceEvent& event) {
+    EXPECT_GE(event.hour, last_hour);
+    EXPECT_LT(event.hour, 24);
+    last_hour = event.hour;
+  });
+}
+
+TEST(DayTraceTest, DeletionsTargetOnMarketProducts) {
+  TraceFixture fx(/*off_market=*/0.0, /*products=*/200);
+  DayTraceConfig config;
+  config.total_messages = 2000;
+  DayTraceGenerator generator(config, fx.catalog);
+  // Track market state; a deletion of an off-market product would be a bug.
+  std::set<ProductId> off_market;
+  generator.Generate([&](const TraceEvent& event) {
+    const auto& m = event.message;
+    if (m.type == UpdateType::kRemoveProduct) {
+      EXPECT_EQ(off_market.count(m.product_id), 0u);
+      off_market.insert(m.product_id);
+    } else if (m.type == UpdateType::kAddProduct) {
+      off_market.erase(m.product_id);
+    }
+  });
+}
+
+TEST(DayTraceTest, NewProductsGetFreshIdsAndImages) {
+  TraceFixture fx(/*off_market=*/0.0, /*products=*/100);
+  DayTraceConfig config;
+  config.total_messages = 3000;
+  config.relist_fraction = 0.0;  // force new products
+  DayTraceGenerator generator(config, fx.catalog);
+  std::set<ProductId> new_ids;
+  generator.Generate([&](const TraceEvent& event) {
+    const auto& m = event.message;
+    if (m.type == UpdateType::kAddProduct && m.product_id > 100) {
+      EXPECT_EQ(new_ids.count(m.product_id), 0u);  // never re-added as "new"
+      new_ids.insert(m.product_id);
+      EXPECT_FALSE(m.image_urls.empty());
+    }
+  });
+  EXPECT_GT(new_ids.size(), 0u);
+}
+
+TEST(QueryClientTest, ZipfSkewConcentratesQueries) {
+  // Use a tiny cluster so the client can run; we only inspect the skew.
+  ClusterConfig config;
+  config.num_partitions = 1;
+  config.num_brokers = 1;
+  config.num_blenders = 1;
+  config.embedder = {.dim = 8, .num_categories = 2, .seed = 1};
+  config.detector = {.num_categories = 2, .top1_accuracy = 1.0};
+  config.kmeans.num_clusters = 2;
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 200;
+  cg.num_categories = 2;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  const auto run = [&](double zipf) {
+    QueryWorkloadConfig qc;
+    qc.num_threads = 2;
+    qc.queries_per_thread = 150;
+    qc.zipf_exponent = zipf;
+    QueryClient client(cluster, qc);
+    return client.Run();
+  };
+  // Both modes must execute cleanly; the skew itself is validated through
+  // the hit-rate staying intact (skew changes *which* products are queried,
+  // not correctness).
+  const auto uniform = run(0.0);
+  const auto skewed = run(1.2);
+  EXPECT_EQ(uniform.errors, 0u);
+  EXPECT_EQ(skewed.errors, 0u);
+  EXPECT_EQ(uniform.queries, 300u);
+  EXPECT_EQ(skewed.queries, 300u);
+  EXPECT_GT(skewed.subject_hit_rate, 0.9);
+  cluster.Stop();
+}
+
+TEST(DayTraceTest, DeterministicForSameSeed) {
+  TraceFixture fx;
+  DayTraceConfig config;
+  config.total_messages = 1000;
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  DayTraceGenerator(config, fx.catalog).Generate([&](const TraceEvent& e) {
+    first.push_back(ToString(e.message));
+  });
+  DayTraceGenerator(config, fx.catalog).Generate([&](const TraceEvent& e) {
+    second.push_back(ToString(e.message));
+  });
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace jdvs

@@ -1,0 +1,55 @@
+// jdvs_snapshot_inspect — load an index snapshot and print its contents
+// summary plus a content digest (replica verification).
+//
+//   jdvs_snapshot_inspect index.snap [--pq]
+#include <cstdio>
+
+#include "jdvs/jdvs.h"
+
+int main(int argc, char** argv) {
+  using namespace jdvs;
+  const Flags flags(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: jdvs_snapshot_inspect FILE [--pq]\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[0];
+
+  try {
+    if (flags.GetBool("pq", false)) {
+      const auto index = LoadIvfPqSnapshot(path);
+      const IvfPqStats stats = index->Stats();
+      std::printf("%s: IVF-PQ snapshot\n", path.c_str());
+      std::printf("  dim:            %zu\n", index->dim());
+      std::printf("  entries:        %zu (%zu valid)\n", stats.total_images,
+                  stats.valid_images);
+      std::printf("  inverted lists: %zu\n", stats.num_lists);
+      std::printf("  code bytes/vec: %zu (%.1f MB codes, %.1f MB raw)\n",
+                  stats.code_bytes_per_vector,
+                  static_cast<double>(stats.code_memory_bytes) / 1e6,
+                  static_cast<double>(stats.raw_memory_bytes) / 1e6);
+      std::printf("  PQ: M=%zu, Ks=%zu\n", index->pq().num_subspaces(),
+                  index->pq().codebook_size());
+    } else {
+      const auto index = LoadIndexSnapshot(path);
+      const IvfIndexStats stats = index->Stats();
+      const IndexDigest digest = ComputeIndexDigest(*index);
+      std::printf("%s: flat IVF snapshot\n", path.c_str());
+      std::printf("  dim:            %zu\n", index->dim());
+      std::printf("  entries:        %zu (%zu valid)\n", stats.total_images,
+                  stats.valid_images);
+      std::printf("  inverted lists: %zu (largest %zu)\n", stats.num_lists,
+                  stats.largest_list);
+      std::printf("  nprobe:         %zu\n", index->config().nprobe);
+      std::printf("  var buffer:     %.1f MB\n",
+                  static_cast<double>(stats.buffer_bytes) / 1e6);
+      std::printf("  content digest: %016llx over %llu entries\n",
+                  (unsigned long long)digest.content_hash,
+                  (unsigned long long)digest.entries);
+    }
+  } catch (const SnapshotError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

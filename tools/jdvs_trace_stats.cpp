@@ -1,0 +1,55 @@
+// jdvs_trace_stats — summarize a trace file (Table 1 / Figure 11(a) view).
+//
+//   jdvs_trace_stats day.trace
+#include <cstdio>
+
+#include "jdvs/jdvs.h"
+
+int main(int argc, char** argv) {
+  using namespace jdvs;
+  const Flags flags(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: jdvs_trace_stats FILE\n");
+    return 2;
+  }
+
+  HourlyUpdateSeries series;
+  std::uint64_t total = 0;
+  std::uint64_t by_type[3] = {0, 0, 0};
+  std::uint64_t images = 0;
+  try {
+    ReplayTraceFile(flags.positional()[0], [&](const TraceEvent& event) {
+      series.AddCount(event.hour, event.message.type);
+      ++by_type[static_cast<int>(event.message.type)];
+      images += event.message.image_urls.size();
+      ++total;
+    });
+  } catch (const TraceIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%s: %llu events, %llu image references\n",
+              flags.positional()[0].c_str(), (unsigned long long)total,
+              (unsigned long long)images);
+  for (int t = 0; t < 3; ++t) {
+    std::printf("  %-18s %10llu (%.1f%%)\n",
+                UpdateTypeName(static_cast<UpdateType>(t)),
+                (unsigned long long)by_type[t],
+                total == 0 ? 0.0 : 100.0 * by_type[t] / total);
+  }
+  std::printf("\n%5s %10s  %s\n", "hour", "events", "(bar)");
+  std::uint64_t max_total = 1;
+  for (int h = 0; h < 24; ++h) {
+    max_total = std::max(max_total, series.TotalAt(h));
+  }
+  for (int h = 0; h < 24; ++h) {
+    char bar[41] = {0};
+    const int len = static_cast<int>(40.0 * series.TotalAt(h) /
+                                     static_cast<double>(max_total));
+    for (int i = 0; i < len; ++i) bar[i] = '#';
+    std::printf("%4d: %10llu  %s\n", h,
+                (unsigned long long)series.TotalAt(h), bar);
+  }
+  return 0;
+}
