@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ivf.dir/bench_ablation_ivf.cpp.o"
+  "CMakeFiles/bench_ablation_ivf.dir/bench_ablation_ivf.cpp.o.d"
+  "bench_ablation_ivf"
+  "bench_ablation_ivf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ivf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

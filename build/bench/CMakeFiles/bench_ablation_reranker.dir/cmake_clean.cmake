@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reranker.dir/bench_ablation_reranker.cpp.o"
+  "CMakeFiles/bench_ablation_reranker.dir/bench_ablation_reranker.cpp.o.d"
+  "bench_ablation_reranker"
+  "bench_ablation_reranker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reranker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

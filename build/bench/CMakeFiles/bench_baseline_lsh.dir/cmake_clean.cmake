@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_lsh.dir/bench_baseline_lsh.cpp.o"
+  "CMakeFiles/bench_baseline_lsh.dir/bench_baseline_lsh.cpp.o.d"
+  "bench_baseline_lsh"
+  "bench_baseline_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

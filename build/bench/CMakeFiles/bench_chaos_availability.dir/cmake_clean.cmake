@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chaos_availability.dir/bench_chaos_availability.cpp.o"
+  "CMakeFiles/bench_chaos_availability.dir/bench_chaos_availability.cpp.o.d"
+  "bench_chaos_availability"
+  "bench_chaos_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chaos_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_update_mix.dir/bench_table1_update_mix.cpp.o"
+  "CMakeFiles/bench_table1_update_mix.dir/bench_table1_update_mix.cpp.o.d"
+  "bench_table1_update_mix"
+  "bench_table1_update_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_update_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_day.dir/ecommerce_day.cpp.o"
+  "CMakeFiles/ecommerce_day.dir/ecommerce_day.cpp.o.d"
+  "ecommerce_day"
+  "ecommerce_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

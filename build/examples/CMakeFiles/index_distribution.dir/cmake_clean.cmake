@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_distribution.dir/index_distribution.cpp.o"
+  "CMakeFiles/index_distribution.dir/index_distribution.cpp.o.d"
+  "index_distribution"
+  "index_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

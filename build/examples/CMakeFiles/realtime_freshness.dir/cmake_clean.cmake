@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_freshness.dir/realtime_freshness.cpp.o"
+  "CMakeFiles/realtime_freshness.dir/realtime_freshness.cpp.o.d"
+  "realtime_freshness"
+  "realtime_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

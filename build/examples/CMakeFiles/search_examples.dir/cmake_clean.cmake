@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_examples.dir/search_examples.cpp.o"
+  "CMakeFiles/search_examples.dir/search_examples.cpp.o.d"
+  "search_examples"
+  "search_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/jdvs.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/quantizer.cc" "src/CMakeFiles/jdvs.dir/cluster/quantizer.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/cluster/quantizer.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/jdvs.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/jdvs.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/jdvs.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/jdvs.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/jdvs.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/jdvs.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/embedding/category_detector.cc" "src/CMakeFiles/jdvs.dir/embedding/category_detector.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/embedding/category_detector.cc.o.d"
+  "/root/repo/src/embedding/extractor.cc" "src/CMakeFiles/jdvs.dir/embedding/extractor.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/embedding/extractor.cc.o.d"
+  "/root/repo/src/hashing/binary_hash.cc" "src/CMakeFiles/jdvs.dir/hashing/binary_hash.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/hashing/binary_hash.cc.o.d"
+  "/root/repo/src/imi/multi_index.cc" "src/CMakeFiles/jdvs.dir/imi/multi_index.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/imi/multi_index.cc.o.d"
+  "/root/repo/src/index/bitmap.cc" "src/CMakeFiles/jdvs.dir/index/bitmap.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/bitmap.cc.o.d"
+  "/root/repo/src/index/digest.cc" "src/CMakeFiles/jdvs.dir/index/digest.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/digest.cc.o.d"
+  "/root/repo/src/index/forward_index.cc" "src/CMakeFiles/jdvs.dir/index/forward_index.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/forward_index.cc.o.d"
+  "/root/repo/src/index/full_index_builder.cc" "src/CMakeFiles/jdvs.dir/index/full_index_builder.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/full_index_builder.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/jdvs.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "src/CMakeFiles/jdvs.dir/index/ivf_index.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/ivf_index.cc.o.d"
+  "/root/repo/src/index/realtime_indexer.cc" "src/CMakeFiles/jdvs.dir/index/realtime_indexer.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/realtime_indexer.cc.o.d"
+  "/root/repo/src/index/snapshot.cc" "src/CMakeFiles/jdvs.dir/index/snapshot.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/index/snapshot.cc.o.d"
+  "/root/repo/src/kvstore/kvstore.cc" "src/CMakeFiles/jdvs.dir/kvstore/kvstore.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/kvstore/kvstore.cc.o.d"
+  "/root/repo/src/lsh/lsh_index.cc" "src/CMakeFiles/jdvs.dir/lsh/lsh_index.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/lsh/lsh_index.cc.o.d"
+  "/root/repo/src/metrics/cdf.cc" "src/CMakeFiles/jdvs.dir/metrics/cdf.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/metrics/cdf.cc.o.d"
+  "/root/repo/src/metrics/latency_recorder.cc" "src/CMakeFiles/jdvs.dir/metrics/latency_recorder.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/metrics/latency_recorder.cc.o.d"
+  "/root/repo/src/metrics/qps_counter.cc" "src/CMakeFiles/jdvs.dir/metrics/qps_counter.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/metrics/qps_counter.cc.o.d"
+  "/root/repo/src/metrics/time_series.cc" "src/CMakeFiles/jdvs.dir/metrics/time_series.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/metrics/time_series.cc.o.d"
+  "/root/repo/src/mq/message.cc" "src/CMakeFiles/jdvs.dir/mq/message.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/mq/message.cc.o.d"
+  "/root/repo/src/mq/message_log.cc" "src/CMakeFiles/jdvs.dir/mq/message_log.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/mq/message_log.cc.o.d"
+  "/root/repo/src/mq/topic_queue.cc" "src/CMakeFiles/jdvs.dir/mq/topic_queue.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/mq/topic_queue.cc.o.d"
+  "/root/repo/src/net/latency_model.cc" "src/CMakeFiles/jdvs.dir/net/latency_model.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/net/latency_model.cc.o.d"
+  "/root/repo/src/net/load_balancer.cc" "src/CMakeFiles/jdvs.dir/net/load_balancer.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/net/load_balancer.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/CMakeFiles/jdvs.dir/net/node.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/net/node.cc.o.d"
+  "/root/repo/src/net/partitioner.cc" "src/CMakeFiles/jdvs.dir/net/partitioner.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/net/partitioner.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/CMakeFiles/jdvs.dir/net/rpc.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/net/rpc.cc.o.d"
+  "/root/repo/src/pq/codebook.cc" "src/CMakeFiles/jdvs.dir/pq/codebook.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/pq/codebook.cc.o.d"
+  "/root/repo/src/pq/ivfpq_index.cc" "src/CMakeFiles/jdvs.dir/pq/ivfpq_index.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/pq/ivfpq_index.cc.o.d"
+  "/root/repo/src/pq/pq_snapshot.cc" "src/CMakeFiles/jdvs.dir/pq/pq_snapshot.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/pq/pq_snapshot.cc.o.d"
+  "/root/repo/src/search/blender.cc" "src/CMakeFiles/jdvs.dir/search/blender.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/blender.cc.o.d"
+  "/root/repo/src/search/broker.cc" "src/CMakeFiles/jdvs.dir/search/broker.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/broker.cc.o.d"
+  "/root/repo/src/search/cluster_builder.cc" "src/CMakeFiles/jdvs.dir/search/cluster_builder.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/cluster_builder.cc.o.d"
+  "/root/repo/src/search/query_cache.cc" "src/CMakeFiles/jdvs.dir/search/query_cache.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/query_cache.cc.o.d"
+  "/root/repo/src/search/ranking.cc" "src/CMakeFiles/jdvs.dir/search/ranking.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/ranking.cc.o.d"
+  "/root/repo/src/search/reranker.cc" "src/CMakeFiles/jdvs.dir/search/reranker.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/reranker.cc.o.d"
+  "/root/repo/src/search/searcher.cc" "src/CMakeFiles/jdvs.dir/search/searcher.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/searcher.cc.o.d"
+  "/root/repo/src/search/types.cc" "src/CMakeFiles/jdvs.dir/search/types.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/search/types.cc.o.d"
+  "/root/repo/src/store/catalog.cc" "src/CMakeFiles/jdvs.dir/store/catalog.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/store/catalog.cc.o.d"
+  "/root/repo/src/store/feature_db.cc" "src/CMakeFiles/jdvs.dir/store/feature_db.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/store/feature_db.cc.o.d"
+  "/root/repo/src/store/image_store.cc" "src/CMakeFiles/jdvs.dir/store/image_store.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/store/image_store.cc.o.d"
+  "/root/repo/src/vecmath/distance.cc" "src/CMakeFiles/jdvs.dir/vecmath/distance.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/vecmath/distance.cc.o.d"
+  "/root/repo/src/vecmath/topk.cc" "src/CMakeFiles/jdvs.dir/vecmath/topk.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/vecmath/topk.cc.o.d"
+  "/root/repo/src/vecmath/vector_set.cc" "src/CMakeFiles/jdvs.dir/vecmath/vector_set.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/vecmath/vector_set.cc.o.d"
+  "/root/repo/src/workload/catalog_gen.cc" "src/CMakeFiles/jdvs.dir/workload/catalog_gen.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/workload/catalog_gen.cc.o.d"
+  "/root/repo/src/workload/day_trace.cc" "src/CMakeFiles/jdvs.dir/workload/day_trace.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/workload/day_trace.cc.o.d"
+  "/root/repo/src/workload/query_client.cc" "src/CMakeFiles/jdvs.dir/workload/query_client.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/workload/query_client.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/jdvs.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/jdvs.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_hash_test.dir/binary_hash_test.cc.o"
+  "CMakeFiles/binary_hash_test.dir/binary_hash_test.cc.o.d"
+  "binary_hash_test"
+  "binary_hash_test.pdb"
+  "binary_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_index_test.dir/full_index_test.cc.o"
+  "CMakeFiles/full_index_test.dir/full_index_test.cc.o.d"
+  "full_index_test"
+  "full_index_test.pdb"
+  "full_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imi_test.dir/imi_test.cc.o"
+  "CMakeFiles/imi_test.dir/imi_test.cc.o.d"
+  "imi_test"
+  "imi_test.pdb"
+  "imi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_indexer_test.dir/realtime_indexer_test.cc.o"
+  "CMakeFiles/realtime_indexer_test.dir/realtime_indexer_test.cc.o.d"
+  "realtime_indexer_test"
+  "realtime_indexer_test.pdb"
+  "realtime_indexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_indexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

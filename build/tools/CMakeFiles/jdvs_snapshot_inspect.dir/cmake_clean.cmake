@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jdvs_snapshot_inspect.dir/jdvs_snapshot_inspect.cpp.o"
+  "CMakeFiles/jdvs_snapshot_inspect.dir/jdvs_snapshot_inspect.cpp.o.d"
+  "jdvs_snapshot_inspect"
+  "jdvs_snapshot_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jdvs_snapshot_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

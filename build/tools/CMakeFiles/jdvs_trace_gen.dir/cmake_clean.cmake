@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jdvs_trace_gen.dir/jdvs_trace_gen.cpp.o"
+  "CMakeFiles/jdvs_trace_gen.dir/jdvs_trace_gen.cpp.o.d"
+  "jdvs_trace_gen"
+  "jdvs_trace_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jdvs_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jdvs_trace_stats.dir/jdvs_trace_stats.cpp.o"
+  "CMakeFiles/jdvs_trace_stats.dir/jdvs_trace_stats.cpp.o.d"
+  "jdvs_trace_stats"
+  "jdvs_trace_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jdvs_trace_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
