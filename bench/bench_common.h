@@ -28,6 +28,9 @@ struct TestbedOptions {
   std::int64_t blender_threads = 6;
   std::int64_t broker_threads = 6;
   double initial_off_market_fraction = 0.0;
+  // End-to-end tracing: sample 1 in N queries/updates (0 = off). Sampled
+  // traces feed the per-stage breakdown printed at the end of a run.
+  std::uint64_t trace_sample_every = 0;
   std::uint64_t seed = 2018;
 };
 
@@ -49,6 +52,7 @@ inline ClusterConfig MakeTestbedConfig(const TestbedOptions& options) {
   config.training_sample = 4096;
   config.ivf.nprobe = 8;
   config.realtime_enabled = options.realtime;
+  config.trace_sample_every = options.trace_sample_every;
   config.seed = options.seed;
   return config;
 }
@@ -79,6 +83,27 @@ inline void PrintHeader(const char* id, const char* paper_claim) {
   std::printf("%s\n", id);
   std::printf("paper: %s\n", paper_claim);
   std::printf("==============================================================\n");
+}
+
+// Per-stage latency breakdown from the cluster's metrics registry: every
+// stage histogram the pipeline records (jdvs_stage_micros{stage=...}),
+// blender to searcher to real-time apply. Stages with no samples (e.g.
+// rt_apply in a W/O-realtime run) are skipped.
+inline void PrintStageBreakdown(const obs::Registry& registry) {
+  static constexpr const char* kStages[] = {
+      "query_total", "extract", "broker_fanout", "searcher_scan", "rank",
+      "rt_apply"};
+  std::printf("\nper-stage latency breakdown (us):\n");
+  std::printf("  %-14s %10s %10s %10s %10s\n", "stage", "count", "mean",
+              "p90", "p99");
+  for (const char* stage : kStages) {
+    const Histogram* h = registry.FindHistogram(
+        obs::Labeled("jdvs_stage_micros", "stage", stage));
+    if (h == nullptr || h->Count() == 0) continue;
+    std::printf("  %-14s %10llu %10.0f %10lld %10lld\n", stage,
+                (unsigned long long)h->Count(), h->Mean(),
+                (long long)h->P90(), (long long)h->P99());
+  }
 }
 
 }  // namespace jdvs::bench

@@ -85,6 +85,7 @@ int main() {
 
   TestbedOptions with_rt;
   with_rt.realtime = true;
+  with_rt.trace_sample_every = 16;  // per-stage breakdown incl. rt_apply
   TestbedOptions without_rt = with_rt;
   without_rt.realtime = false;
 
@@ -155,6 +156,12 @@ int main() {
   const auto counters = cluster_rt->TotalUpdateCounters();
   std::printf("\nreal-time path processed %llu messages during the W/ runs\n",
               (unsigned long long)counters.TotalMessages());
+
+  // Each cluster owns a private registry, so the two breakdowns don't mix.
+  std::printf("\nW/ real-time:");
+  PrintStageBreakdown(cluster_rt->registry());
+  std::printf("\nW/O real-time:");
+  PrintStageBreakdown(cluster_base->registry());
   cluster_rt->Stop();
   cluster_base->Stop();
   return 0;

@@ -19,6 +19,7 @@ int main() {
               "p99 = 0.3s, max = 2.1s");
 
   TestbedOptions options;
+  options.trace_sample_every = 16;  // feed the per-stage breakdown below
   std::printf("building testbed (100k images, 20 searchers)...\n");
   auto cluster = BuildTestbed(options);
 
@@ -36,6 +37,16 @@ int main() {
 
   std::printf("\nCDF (response_time_seconds  cumulative_fraction):\n");
   PrintCdfSeconds(std::cout, *result.latency_micros, 30);
+
+  // Where the time goes: per-stage attribution from the metrics registry,
+  // plus the worst traced queries' full span trees.
+  PrintStageBreakdown(cluster->registry());
+  const auto slow = cluster->slow_log().Worst();
+  if (!slow.empty()) {
+    std::printf("\nslowest traced query (of %zu over %lld us):\n", slow.size(),
+                (long long)cluster->slow_log().threshold_micros());
+    std::printf("%s", slow.front().rendered.c_str());
+  }
   cluster->Stop();
   return 0;
 }

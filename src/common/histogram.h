@@ -27,6 +27,9 @@ class Histogram {
   std::int64_t Min() const noexcept;  // 0 when empty
   std::int64_t Max() const noexcept;  // 0 when empty
   double Mean() const noexcept;       // 0 when empty
+  std::int64_t Sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
 
   // q in [0, 1]. Returns an upper bound of the bucket containing quantile q.
   std::int64_t Quantile(double q) const noexcept;

@@ -8,12 +8,20 @@ PartitionFilter AcceptAllPartitionFilter() {
 
 RealTimeIndexer::RealTimeIndexer(ImageIndex& index, FeatureDb& features,
                                  PartitionFilter filter, std::uint64_t seed,
-                                 const Clock& clock)
+                                 const Clock& clock, obs::Registry* registry,
+                                 std::string_view owner)
     : index_(index),
       features_(features),
       filter_(std::move(filter)),
       rng_(seed),
-      clock_(&clock) {}
+      clock_(&clock) {
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Default();
+  updates_total_ = &reg.GetCounter(
+      obs::Labeled("jdvs_realtime_updates_total", "searcher", owner));
+  apply_stage_ = &reg.GetHistogram(
+      obs::Labeled("jdvs_stage_micros", "stage", "rt_apply"));
+}
 
 void RealTimeIndexer::Apply(const ProductUpdateMessage& message) {
   const Micros start = clock_->NowMicros();
@@ -28,7 +36,10 @@ void RealTimeIndexer::Apply(const ProductUpdateMessage& message) {
       ApplyDeletion(message);
       break;
   }
-  latency_.Record(clock_->NowMicros() - start);
+  const Micros elapsed = clock_->NowMicros() - start;
+  latency_.Record(elapsed);
+  apply_stage_->Record(elapsed);
+  updates_total_->Increment();
 }
 
 void RealTimeIndexer::ApplyAttributeUpdate(

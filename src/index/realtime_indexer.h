@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "index/image_index.h"
 #include "mq/message.h"
+#include "obs/registry.h"
 #include "store/feature_db.h"
 
 namespace jdvs {
@@ -68,10 +69,17 @@ struct RealTimeIndexerCounters {
 class RealTimeIndexer {
  public:
   // `index` may be any ImageIndex implementation (flat IVF or IVF-PQ).
+  // `registry` (null = process-global default) receives the cumulative
+  // update counter `jdvs_realtime_updates_total{searcher=<owner>}` and the
+  // apply-latency stage histogram; because instruments are looked up by
+  // name, a re-created indexer (full-index install) keeps counting into the
+  // same series.
   RealTimeIndexer(ImageIndex& index, FeatureDb& features,
                   PartitionFilter filter = AcceptAllPartitionFilter(),
                   std::uint64_t seed = 99,
-                  const Clock& clock = MonotonicClock::Instance());
+                  const Clock& clock = MonotonicClock::Instance(),
+                  obs::Registry* registry = nullptr,
+                  std::string_view owner = "default");
 
   RealTimeIndexer(const RealTimeIndexer&) = delete;
   RealTimeIndexer& operator=(const RealTimeIndexer&) = delete;
@@ -97,6 +105,8 @@ class RealTimeIndexer {
   const Clock* clock_;
   RealTimeIndexerCounters counters_;
   Histogram latency_;
+  obs::Counter* updates_total_;   // registry mirror of TotalMessages()
+  Histogram* apply_stage_;        // jdvs_stage_micros{stage="rt_apply"}
 };
 
 }  // namespace jdvs

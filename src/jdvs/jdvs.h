@@ -50,6 +50,12 @@
 #include "net/load_balancer.h"
 #include "net/node.h"
 #include "net/partitioner.h"
+#include "obs/counter.h"
+#include "obs/gauge.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "pq/codebook.h"
 #include "pq/ivfpq_index.h"
 #include "pq/pq_snapshot.h"

@@ -49,6 +49,12 @@ struct ProductUpdateMessage {
   std::int64_t timestamp_micros = 0;
   // Monotone per-producer sequence number; the message log replays in order.
   std::uint64_t sequence = 0;
+  // Trace propagation (obs::TraceContext flattened): when trace_id != 0 the
+  // publisher sampled this update, and each consumer's apply records a child
+  // span of parent_span_id — stitching the real-time path (publish → queue →
+  // per-partition index apply) into one trace tree.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 std::string ToString(const ProductUpdateMessage& message);

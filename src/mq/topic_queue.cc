@@ -4,6 +4,7 @@ namespace jdvs {
 
 std::shared_ptr<Subscription> TopicQueue::Subscribe(const std::string& topic) {
   auto subscription = std::make_shared<Subscription>(capacity_);
+  subscription->depth_ = depth_;
   std::lock_guard lock(mu_);
   Topic& t = topics_[topic];
   if (t.closed) {
@@ -34,6 +35,8 @@ std::size_t TopicQueue::Publish(const std::string& topic,
       delivered += targets[i]->queue_.Push(message) ? 1 : 0;
     }
   }
+  published_->Increment();
+  if (delivered > 0) depth_->Add(static_cast<std::int64_t>(delivered));
   return delivered;
 }
 

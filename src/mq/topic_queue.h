@@ -16,6 +16,8 @@
 
 #include "common/mpmc_queue.h"
 #include "mq/message.h"
+#include "obs/gauge.h"
+#include "obs/registry.h"
 
 namespace jdvs {
 
@@ -24,8 +26,16 @@ class Subscription {
   explicit Subscription(std::size_t capacity) : queue_(capacity) {}
 
   // Blocking pop; nullopt when the topic is closed and drained.
-  std::optional<ProductUpdateMessage> Receive() { return queue_.Pop(); }
-  std::optional<ProductUpdateMessage> TryReceive() { return queue_.TryPop(); }
+  std::optional<ProductUpdateMessage> Receive() {
+    auto message = queue_.Pop();
+    if (message && depth_ != nullptr) depth_->Decrement();
+    return message;
+  }
+  std::optional<ProductUpdateMessage> TryReceive() {
+    auto message = queue_.TryPop();
+    if (message && depth_ != nullptr) depth_->Decrement();
+    return message;
+  }
   std::size_t pending() const { return queue_.size(); }
 
   // Unblocks receivers; remaining messages drain, then Receive() returns
@@ -35,12 +45,17 @@ class Subscription {
  private:
   friend class TopicQueue;
   MpmcQueue<ProductUpdateMessage> queue_;
+  obs::Gauge* depth_ = nullptr;  // shared queue-depth gauge, set on Subscribe
 };
 
 class TopicQueue {
  public:
-  explicit TopicQueue(std::size_t per_subscription_capacity = 65536)
-      : capacity_(per_subscription_capacity) {}
+  explicit TopicQueue(std::size_t per_subscription_capacity = 65536,
+                      obs::Registry* registry = nullptr)
+      : capacity_(per_subscription_capacity),
+        registry_(registry != nullptr ? registry : &obs::Registry::Default()),
+        published_(&registry_->GetCounter("jdvs_mq_published_total")),
+        depth_(&registry_->GetGauge("jdvs_mq_queue_depth")) {}
 
   // Creates a new subscription on `topic`. Every message published to the
   // topic after this call is delivered to every live subscription (fan-out).
@@ -65,6 +80,9 @@ class TopicQueue {
   std::mutex mu_;
   std::unordered_map<std::string, Topic> topics_;
   std::size_t capacity_;
+  obs::Registry* registry_;
+  obs::Counter* published_;  // jdvs_mq_published_total
+  obs::Gauge* depth_;        // jdvs_mq_queue_depth: delivered, not yet popped
 };
 
 }  // namespace jdvs

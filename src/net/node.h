@@ -20,6 +20,8 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "net/latency_model.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 
 namespace jdvs {
 
@@ -65,6 +67,29 @@ class Node {
     std::future<R> result = task->get_future();
     pool_.Submit([task] { (*task)(); });
     return result;
+  }
+
+  // Span-aware Invoke: runs `fn(span)` on this node's pool under a span that
+  // is a child of `parent`, covering the callee-side execution (the gap
+  // between the parent span and this one is network + queue time). The span
+  // is a no-op when `parent` is unsampled or `sink` is null, so untraced
+  // requests pay nothing. An exception from `fn` marks the span failed and
+  // still propagates through the future.
+  template <typename F>
+  auto InvokeSpanned(obs::TraceSink* sink, const obs::TraceContext& parent,
+                     std::string span_name, F&& fn)
+      -> std::future<std::invoke_result_t<F, obs::Span&>> {
+    return Invoke([this, sink, parent, name = std::move(span_name),
+                   fn = std::forward<F>(fn)]() mutable {
+      obs::Span span(sink, MonotonicClock::Instance(), parent,
+                     std::move(name), name_);
+      try {
+        return fn(span);
+      } catch (const std::exception& e) {
+        span.SetError(e.what());
+        throw;
+      }
+    });
   }
 
   void set_failed(bool failed) {

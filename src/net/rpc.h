@@ -1,7 +1,9 @@
 // Small RPC helpers over Node::Invoke.
 #pragma once
 
+#include <exception>
 #include <future>
+#include <string>
 #include <vector>
 
 namespace jdvs {
@@ -9,18 +11,29 @@ namespace jdvs {
 // Collects the results of a vector of futures, dropping those that failed
 // with an exception (fan-out with partial results: a broker still answers
 // when one searcher replica call fails and the retry also fails). Returns
-// how many futures failed via `failures` when non-null.
+// how many futures failed via `failures` and the first failure's what() via
+// `first_error` when non-null — so the caller can tag the failure on a
+// trace span instead of silently counting it.
 template <typename R>
 std::vector<R> CollectPartial(std::vector<std::future<R>>& futures,
-                              std::size_t* failures = nullptr) {
+                              std::size_t* failures = nullptr,
+                              std::string* first_error = nullptr) {
   std::vector<R> results;
   results.reserve(futures.size());
   std::size_t failed = 0;
   for (auto& f : futures) {
     try {
       results.push_back(f.get());
+    } catch (const std::exception& e) {
+      ++failed;
+      if (first_error != nullptr && first_error->empty()) {
+        *first_error = e.what();
+      }
     } catch (...) {
       ++failed;
+      if (first_error != nullptr && first_error->empty()) {
+        *first_error = "unknown error";
+      }
     }
   }
   if (failures != nullptr) *failures = failed;

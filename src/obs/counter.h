@@ -1,0 +1,32 @@
+// Monotonic counter instrument.
+//
+// The smallest unit of the metrics registry: a named, process-lifetime,
+// atomically incremented 64-bit count (queries served, failovers, cache
+// hits). Wait-free on the hot path; readers use relaxed loads, which is
+// linearizable enough for exposition dumps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace jdvs::obs {
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace jdvs::obs

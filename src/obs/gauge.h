@@ -1,0 +1,33 @@
+// Gauge instrument: a value that can go up and down (queue depth, in-flight
+// queries, index size). Same wait-free discipline as Counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace jdvs::obs {
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() noexcept { Add(1); }
+  void Decrement() noexcept { Add(-1); }
+
+  std::int64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+}  // namespace jdvs::obs

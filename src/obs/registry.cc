@@ -1,0 +1,151 @@
+#include "obs/registry.h"
+
+#include <sstream>
+
+namespace jdvs::obs {
+namespace {
+
+// Splits "fam{labels}" into ("fam", "labels"); labels is empty without '{'.
+std::pair<std::string_view, std::string_view> SplitName(
+    std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {name.substr(0, brace), labels};
+}
+
+// "fam" + suffix + "{labels}" (labels optional, extra label appendable).
+std::string SeriesName(std::string_view family, std::string_view suffix,
+                       std::string_view labels,
+                       std::string_view extra_label = {}) {
+  std::string out;
+  out.reserve(family.size() + suffix.size() + labels.size() +
+              extra_label.size() + 4);
+  out.append(family).append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    if (!labels.empty() && !extra_label.empty()) out.push_back(',');
+    out.append(extra_label);
+    out.push_back('}');
+  }
+  return out;
+}
+
+template <typename Map, typename Emit>
+void EmitFamilies(const Map& map, std::ostream& os, const char* type,
+                  Emit&& emit) {
+  std::string_view last_family;
+  for (const auto& [name, instrument] : map) {
+    const auto [family, labels] = SplitName(name);
+    if (family != last_family) {
+      os << "# TYPE " << family << ' ' << type << '\n';
+      last_family = family;
+    }
+    emit(family, labels, *instrument);
+  }
+}
+
+}  // namespace
+
+std::string Labeled(std::string_view family, std::string_view key,
+                    std::string_view value) {
+  std::string out;
+  out.reserve(family.size() + key.size() + value.size() + 5);
+  out.append(family).push_back('{');
+  out.append(key).append("=\"").append(value).append("\"}");
+  return out;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+bool Registry::Has(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         histograms_.count(name) > 0;
+}
+
+const Counter* Registry::FindCounter(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::FindGauge(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void Registry::ExpositionText(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  EmitFamilies(counters_, os, "counter",
+               [&os](std::string_view family, std::string_view labels,
+                     const Counter& counter) {
+                 os << SeriesName(family, {}, labels) << ' ' << counter.Value()
+                    << '\n';
+               });
+  EmitFamilies(gauges_, os, "gauge",
+               [&os](std::string_view family, std::string_view labels,
+                     const Gauge& gauge) {
+                 os << SeriesName(family, {}, labels) << ' ' << gauge.Value()
+                    << '\n';
+               });
+  EmitFamilies(
+      histograms_, os, "summary",
+      [&os](std::string_view family, std::string_view labels,
+            const Histogram& histogram) {
+        os << SeriesName(family, "_count", labels) << ' ' << histogram.Count()
+           << '\n';
+        os << SeriesName(family, "_sum", labels) << ' ' << histogram.Sum()
+           << '\n';
+        static constexpr std::pair<const char*, double> kQuantiles[] = {
+            {"quantile=\"0.5\"", 0.50},
+            {"quantile=\"0.9\"", 0.90},
+            {"quantile=\"0.99\"", 0.99},
+        };
+        for (const auto& [label, q] : kQuantiles) {
+          os << SeriesName(family, {}, labels, label) << ' '
+             << histogram.Quantile(q) << '\n';
+        }
+      });
+}
+
+std::string Registry::ExpositionText() const {
+  std::ostringstream os;
+  ExpositionText(os);
+  return os.str();
+}
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry();  // leaked: process lifetime
+  return *instance;
+}
+
+}  // namespace jdvs::obs

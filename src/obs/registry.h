@@ -1,0 +1,73 @@
+// Unified metrics registry.
+//
+// A process-global (or per-cluster) named registry of counters, gauges and
+// histograms. Components obtain instruments once at construction and hit
+// only an atomic on the hot path; a single ExpositionText() call dumps the
+// whole system in Prometheus text format, which is what the benches print
+// for per-stage latency attribution and what an ops scrape would read.
+//
+// Instrument names follow Prometheus conventions and may carry a label set
+// inline: `jdvs_broker_failovers_total{broker="broker-0"}`. Series of one
+// family (the part before '{') are grouped under a single `# TYPE` line.
+// Instruments are never destroyed before the registry: references returned
+// by Get* stay valid for the registry's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "obs/counter.h"
+#include "obs/gauge.h"
+
+namespace jdvs::obs {
+
+// "family{key=\"value\"}" — the one-label common case.
+std::string Labeled(std::string_view family, std::string_view key,
+                    std::string_view value);
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-create by full series name (family + optional labels). The same
+  // name always returns the same instrument; names must not be reused
+  // across instrument kinds.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  // True when a series of that name already exists (any kind).
+  bool Has(const std::string& name) const;
+
+  // Read-only lookups that never create: nullptr when absent.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Prometheus text exposition: counters, then gauges, then histograms
+  // (rendered as summaries: _count, _sum and quantile series), each sorted
+  // by name with one `# TYPE` line per family.
+  void ExpositionText(std::ostream& os) const;
+  std::string ExpositionText() const;
+
+  // Process-global instance: the default for components constructed without
+  // an explicit registry, so existing call sites keep working.
+  static Registry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map for sorted exposition; unique_ptr for reference stability.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace jdvs::obs

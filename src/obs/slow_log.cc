@@ -1,0 +1,45 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace jdvs::obs {
+
+void SlowQueryLog::Offer(std::uint64_t trace_id, Micros duration_micros) {
+  if (duration_micros < config_.threshold_micros || config_.capacity == 0) {
+    return;
+  }
+  // Render outside the lock: Offer is rare (slow queries only) but the
+  // render walks the sink's stripes.
+  Entry entry{trace_id, duration_micros,
+              sink_ != nullptr ? sink_->Render(trace_id) : std::string()};
+  std::lock_guard lock(mu_);
+  ++offered_;
+  if (entries_.size() >= config_.capacity &&
+      duration_micros <= entries_.back().duration_micros) {
+    return;  // faster than everything retained
+  }
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), duration_micros,
+      [](Micros d, const Entry& e) { return d > e.duration_micros; });
+  entries_.insert(pos, std::move(entry));
+  if (entries_.size() > config_.capacity) entries_.pop_back();
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Worst() const {
+  std::lock_guard lock(mu_);
+  return entries_;
+}
+
+std::string SlowQueryLog::Render() const {
+  const std::vector<Entry> entries = Worst();
+  std::ostringstream os;
+  os << "slow query log (threshold " << config_.threshold_micros << " us, "
+     << entries.size() << " retained):\n";
+  for (const Entry& entry : entries) {
+    os << "-- " << entry.duration_micros << " us --\n" << entry.rendered;
+  }
+  return os.str();
+}
+
+}  // namespace jdvs::obs

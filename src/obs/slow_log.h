@@ -1,0 +1,66 @@
+// Slow-query log.
+//
+// Every traced query whose end-to-end duration exceeds a threshold gets its
+// full span tree rendered and retained in a bounded buffer of the worst N —
+// the first artifact an on-call engineer pulls when the p99 moves. Offer()
+// is called by the blender after the root span finishes, so the render sees
+// the complete tree.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/trace.h"
+
+namespace jdvs::obs {
+
+struct SlowLogConfig {
+  Micros threshold_micros = 500'000;  // queries slower than this are logged
+  std::size_t capacity = 8;           // worst N retained
+};
+
+class SlowQueryLog {
+ public:
+  SlowQueryLog(const SlowLogConfig& config, const TraceSink* sink)
+      : config_(config), sink_(sink) {}
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  struct Entry {
+    std::uint64_t trace_id = 0;
+    Micros duration_micros = 0;
+    std::string rendered;  // span tree captured at Offer() time
+  };
+
+  // Considers one finished query; retains it when it is slower than the
+  // threshold and among the worst `capacity` seen so far. Thread-safe.
+  void Offer(std::uint64_t trace_id, Micros duration_micros);
+
+  // Entries sorted slowest-first.
+  std::vector<Entry> Worst() const;
+  std::string Render() const;
+
+  // Queries seen over the threshold (retained or not) — the slow-query
+  // count an ops dashboard would alert on.
+  std::uint64_t offered() const {
+    std::lock_guard lock(mu_);
+    return offered_;
+  }
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return entries_.size();
+  }
+  Micros threshold_micros() const { return config_.threshold_micros; }
+
+ private:
+  SlowLogConfig config_;
+  const TraceSink* sink_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // sorted by duration descending
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace jdvs::obs

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace jdvs::obs {
+
+TraceSink::TraceSink(std::size_t stripes, std::size_t max_spans)
+    : num_stripes_(std::max<std::size_t>(stripes, 1)),
+      max_spans_(std::max<std::size_t>(max_spans, 1)),
+      stripes_(new Stripe[num_stripes_]) {}
+
+void TraceSink::Record(SpanRecord span) {
+  if (size_.load(std::memory_order_relaxed) >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t stripe =
+      next_stripe_.fetch_add(1, std::memory_order_relaxed) % num_stripes_;
+  {
+    std::lock_guard lock(stripes_[stripe].lock);
+    stripes_[stripe].spans.push_back(std::move(span));
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> TraceSink::Collect() const {
+  std::vector<SpanRecord> out;
+  out.reserve(size_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < num_stripes_; ++i) {
+    std::lock_guard lock(stripes_[i].lock);
+    out.insert(out.end(), stripes_[i].spans.begin(), stripes_[i].spans.end());
+  }
+  return out;
+}
+
+std::vector<SpanRecord> TraceSink::SpansFor(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (std::size_t i = 0; i < num_stripes_; ++i) {
+    std::lock_guard lock(stripes_[i].lock);
+    for (const SpanRecord& span : stripes_[i].spans) {
+      if (span.trace_id == trace_id) out.push_back(span);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_micros != b.start_micros
+                         ? a.start_micros < b.start_micros
+                         : a.span_id < b.span_id;
+            });
+  return out;
+}
+
+namespace {
+
+void RenderSpanLine(std::ostream& os, const SpanRecord& span,
+                    const std::string& prefix, bool last) {
+  os << prefix << (last ? "`- " : "|- ") << span.name;
+  if (!span.node.empty()) os << " @" << span.node;
+  os << ' ' << span.DurationMicros() << "us";
+  for (const auto& [key, value] : span.tags) {
+    os << ' ' << key << '=' << value;
+  }
+  if (!span.ok) os << " [ERROR: " << span.status << ']';
+  os << '\n';
+}
+
+void RenderSubtree(
+    std::ostream& os, const SpanRecord& span,
+    const std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>>&
+        children,
+    const std::string& prefix, bool last) {
+  RenderSpanLine(os, span, prefix, last);
+  const auto it = children.find(span.span_id);
+  if (it == children.end()) return;
+  const std::string child_prefix = prefix + (last ? "   " : "|  ");
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    RenderSubtree(os, *it->second[i], children, child_prefix,
+                  i + 1 == it->second.size());
+  }
+}
+
+}  // namespace
+
+std::string TraceSink::Render(std::uint64_t trace_id) const {
+  const std::vector<SpanRecord> spans = SpansFor(trace_id);
+  std::ostringstream os;
+  os << "trace " << std::hex << trace_id << std::dec;
+  if (spans.empty()) {
+    os << ": no spans\n";
+    return os.str();
+  }
+  Micros lo = spans.front().start_micros;
+  Micros hi = spans.front().end_micros;
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : spans) {
+    lo = std::min(lo, span.start_micros);
+    hi = std::max(hi, span.end_micros);
+    by_id.emplace(span.span_id, &span);
+  }
+  os << " (" << (hi - lo) << " us, " << spans.size() << " spans)\n";
+
+  // An orphan (parent dropped by the sink cap or still unfinished) renders
+  // as a root rather than disappearing.
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_span_id != 0 && by_id.count(span.parent_span_id)) {
+      children[span.parent_span_id].push_back(&span);
+    } else {
+      roots.push_back(&span);
+    }
+  }
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    RenderSubtree(os, *roots[i], children, "", i + 1 == roots.size());
+  }
+  return os.str();
+}
+
+void TraceSink::Clear() {
+  for (std::size_t i = 0; i < num_stripes_; ++i) {
+    std::lock_guard lock(stripes_[i].lock);
+    stripes_[i].spans.clear();
+  }
+  size_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceSink& TraceSink::Default() {
+  static TraceSink* instance = new TraceSink();  // leaked: process lifetime
+  return *instance;
+}
+
+Tracer::Tracer(TraceSink* sink, const TracerConfig& config, const Clock& clock)
+    : sink_(sink), config_(config), clock_(&clock) {}
+
+Span Tracer::StartTrace(std::string name, std::string node) {
+  if (config_.sample_every == 0 || sink_ == nullptr) return Span();
+  const std::uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+  if (call % config_.sample_every != 0) return Span();
+  const std::uint64_t seq = started_.fetch_add(1, std::memory_order_relaxed);
+  // Diffuse the seed before combining: raw `seed ^ seq` collides across
+  // tracers whose seeds differ only in low bits.
+  std::uint64_t trace_id =
+      Mix64(Mix64(config_.seed) ^ (seq + 0x9E3779B97F4A7C15ULL));
+  if (trace_id == 0) trace_id = 1;
+
+  Span span;
+  span.sink_ = sink_;
+  span.clock_ = clock_;
+  span.record_.trace_id = trace_id;
+  span.record_.span_id = NextSpanId();
+  span.record_.parent_span_id = 0;
+  span.record_.name = std::move(name);
+  span.record_.node = std::move(node);
+  span.record_.start_micros = clock_->NowMicros();
+  return span;
+}
+
+Tracer& Tracer::Default() {
+  // Sampling off: zero overhead for components built without a tracer.
+  static Tracer* instance =
+      new Tracer(&TraceSink::Default(), TracerConfig{.sample_every = 0});
+  return *instance;
+}
+
+}  // namespace jdvs::obs

@@ -1,0 +1,111 @@
+// Trace collection: the sink finished spans land in, and the tracer that
+// decides which queries get a trace at all.
+//
+// TraceSink is striped: finishing threads scatter across shards, each a
+// spinlocked vector, so dozens of searcher threads finishing scan spans
+// concurrently do not serialize on one lock. A soft capacity bounds memory
+// when tracing is left on for a whole bench run (excess spans are dropped
+// and counted).
+//
+// Tracer implements the sampling knob: StartTrace() returns a real root
+// span for 1-in-N calls (counter-based, hence deterministic for a fixed
+// call sequence) and a no-op span otherwise. sample_every == 0 disables
+// tracing entirely; 1 traces every query.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/spinlock.h"
+#include "obs/span.h"
+
+namespace jdvs::obs {
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t stripes = 16,
+                     std::size_t max_spans = 1 << 20);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Thread-safe; called by Span::Finish.
+  void Record(SpanRecord span);
+
+  // Snapshot of every retained span (unordered across stripes).
+  std::vector<SpanRecord> Collect() const;
+  // All spans of one trace, sorted by (start, span id).
+  std::vector<SpanRecord> SpansFor(std::uint64_t trace_id) const;
+
+  // Tree view of one query/update:
+  //   trace 000000000000002a (5123 us)
+  //   `- query @blender-0 5123us k=10 nprobe=8
+  //      |- extract @blender-0 1012us
+  //      `- broker.search @broker-0 3801us
+  //         `- searcher.scan @searcher-p0-r0 2200us hits=10
+  // Spans whose parent was dropped or never finished render at the root.
+  std::string Render(std::uint64_t trace_id) const;
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  // Process-global instance (default for components built without one).
+  static TraceSink& Default();
+
+ private:
+  struct Stripe {
+    mutable SpinLock lock;
+    std::vector<SpanRecord> spans;
+  };
+
+  const std::size_t num_stripes_;
+  const std::size_t max_spans_;
+  std::unique_ptr<Stripe[]> stripes_;
+  std::atomic<std::size_t> next_stripe_{0};
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct TracerConfig {
+  // Sample 1 trace per `sample_every` StartTrace calls; 0 = tracing off.
+  std::uint64_t sample_every = 1;
+  // Mixed into trace ids so concurrent clusters produce distinct traces.
+  std::uint64_t seed = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceSink* sink, const TracerConfig& config = {},
+                  const Clock& clock = MonotonicClock::Instance());
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Root span for a new trace, or a no-op span for unsampled calls.
+  Span StartTrace(std::string name, std::string node = {});
+
+  bool enabled() const { return config_.sample_every != 0; }
+  TraceSink* sink() const { return sink_; }
+  const Clock& clock() const { return *clock_; }
+  std::uint64_t traces_started() const {
+    return started_.load(std::memory_order_relaxed);
+  }
+
+  // Process-global instance with sampling off: components constructed
+  // without a tracer stay zero-overhead.
+  static Tracer& Default();
+
+ private:
+  TraceSink* sink_;
+  TracerConfig config_;
+  const Clock* clock_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> started_{0};
+};
+
+}  // namespace jdvs::obs

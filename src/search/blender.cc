@@ -14,9 +14,25 @@ Blender::Blender(std::string name, const Config& config,
       node_(std::move(name), config.threads, config.latency, config.seed),
       embedder_(embedder),
       detector_(detector),
-      brokers_(std::move(brokers)) {
+      brokers_(std::move(brokers)),
+      tracer_(config.tracer != nullptr ? config.tracer
+                                       : &obs::Tracer::Default()) {
+  obs::Registry& registry =
+      config_.registry != nullptr ? *config_.registry : obs::Registry::Default();
+  queries_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_blender_queries_total", "blender", node_.name()));
+  shed_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_blender_shed_total", "blender", node_.name()));
+  total_stage_ = &registry.GetHistogram(
+      obs::Labeled("jdvs_stage_micros", "stage", "query_total"));
+  extract_stage_ = &registry.GetHistogram(
+      obs::Labeled("jdvs_stage_micros", "stage", "extract"));
+  rank_stage_ = &registry.GetHistogram(
+      obs::Labeled("jdvs_stage_micros", "stage", "rank"));
   if (config_.enable_result_cache) {
-    cache_ = std::make_unique<QueryCache>(embedder_.dim(), config_.cache);
+    cache_ = std::make_unique<QueryCache>(
+        embedder_.dim(), config_.cache, MonotonicClock::Instance(),
+        config_.registry, node_.name());
   }
 }
 
@@ -35,6 +51,7 @@ std::future<QueryResponse> Blender::SearchAsync(const QueryImage& query,
     if (current >= config_.max_in_flight) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_total_->Increment();
       std::promise<QueryResponse> rejected;
       rejected.set_exception(std::make_exception_ptr(
           BlenderOverloadedError(node_.name())));
@@ -55,25 +72,42 @@ std::future<QueryResponse> Blender::SearchAsync(const QueryImage& query,
 QueryResponse Blender::Execute(const QueryImage& query,
                                const QueryOptions& options) {
   const Stopwatch watch(MonotonicClock::Instance());
+  // Sampled 1-in-N by the tracer; an unsampled root makes every child span
+  // below (extract, broker fan-out, searcher scans, rank) a no-op.
+  obs::Span root = tracer_->StartTrace("query", node_.name());
+  root.AddTag("k", static_cast<std::uint64_t>(options.k));
+  if (options.nprobe > 0) {
+    root.AddTag("nprobe", static_cast<std::uint64_t>(options.nprobe));
+  }
   QueryResponse response;
+  response.trace_id = root.context().trace_id;
 
   // 1. Detect the item and identify its category (Section 2.4).
-  response.detected_category =
-      detector_.Detect(query.true_category, query.query_seed);
   // 2. Extract the query photo's high-dimensional features, charging the
   //    simulated CNN cost.
-  if (config_.query_extraction_micros > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(config_.query_extraction_micros));
+  FeatureVector feature;
+  {
+    obs::Span extract = root.StartChild("extract", node_.name());
+    const Stopwatch extract_watch(MonotonicClock::Instance());
+    response.detected_category =
+        detector_.Detect(query.true_category, query.query_seed);
+    if (config_.query_extraction_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.query_extraction_micros));
+    }
+    feature = embedder_.ExtractQuery(query.subject_product,
+                                     query.true_category, query.query_seed);
+    extract_stage_->Record(extract_watch.ElapsedMicros());
   }
-  const FeatureVector feature = embedder_.ExtractQuery(
-      query.subject_product, query.true_category, query.query_seed);
 
   // The category scan filter comes from explicit query options first, then
   // the detector when configured to narrow the search (Section 2.4).
   CategoryId category_filter = options.category_filter;
   if (category_filter == kNoCategoryFilter && config_.use_category_filter) {
     category_filter = response.detected_category;
+  }
+  if (category_filter != kNoCategoryFilter) {
+    root.AddTag("category", static_cast<std::uint64_t>(category_filter));
   }
 
   // 2b. Result cache (when enabled): near-duplicate query photos of a hot
@@ -89,7 +123,15 @@ QueryResponse Blender::Execute(const QueryImage& query,
     if (auto cached = cache_->Lookup(cache_key, version)) {
       cached->from_cache = true;
       cached->total_micros = watch.ElapsedMicros();
+      cached->trace_id = response.trace_id;
       queries_.fetch_add(1, std::memory_order_relaxed);
+      queries_total_->Increment();
+      total_stage_->Record(cached->total_micros);
+      root.AddTag("cache", "hit");
+      root.Finish();
+      if (config_.slow_log != nullptr && response.trace_id != 0) {
+        config_.slow_log->Offer(response.trace_id, cached->total_micros);
+      }
       return *std::move(cached);
     }
   }
@@ -101,22 +143,40 @@ QueryResponse Blender::Execute(const QueryImage& query,
   futures.reserve(brokers_.size());
   for (Broker* broker : brokers_) {
     futures.push_back(broker->SearchAsync(feature, fetch_k, options.nprobe,
-                                          category_filter));
+                                          category_filter, root.context()));
   }
   response.brokers_asked = futures.size();
   std::size_t failures = 0;
+  std::string first_error;
   std::vector<std::vector<SearchHit>> partials =
-      CollectPartial(futures, &failures);
+      CollectPartial(futures, &failures, &first_error);
   response.broker_failures = failures;
+  if (failures > 0) {
+    root.AddTag("broker_failures", static_cast<std::uint64_t>(failures));
+    root.SetError(std::move(first_error));
+  }
 
   // 4. "combines and ranks the results": merge by distance, then rank by
   //    similarity + sales/praise/price attributes.
-  std::vector<SearchHit> merged = MergeHits(std::move(partials), fetch_k);
-  response.results = RankResults(std::move(merged), response.detected_category,
-                                 config_.ranking, options.k);
+  {
+    obs::Span rank = root.StartChild("rank", node_.name());
+    const Stopwatch rank_watch(MonotonicClock::Instance());
+    std::vector<SearchHit> merged = MergeHits(std::move(partials), fetch_k);
+    response.results = RankResults(std::move(merged),
+                                   response.detected_category, config_.ranking,
+                                   options.k);
+    rank_stage_->Record(rank_watch.ElapsedMicros());
+  }
   response.total_micros = watch.ElapsedMicros();
   if (cache_) cache_->Insert(cache_key, version, response);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_total_->Increment();
+  total_stage_->Record(response.total_micros);
+  // Finish before offering: the slow log renders the complete span tree.
+  root.Finish();
+  if (config_.slow_log != nullptr && response.trace_id != 0) {
+    config_.slow_log->Offer(response.trace_id, response.total_micros);
+  }
   return response;
 }
 

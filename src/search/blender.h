@@ -18,6 +18,9 @@
 #include "embedding/category_detector.h"
 #include "embedding/extractor.h"
 #include "net/node.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "search/broker.h"
 #include "search/query_cache.h"
 #include "search/ranking.h"
@@ -60,6 +63,13 @@ class Blender {
     // Source of the index-version counter for strict cache invalidation;
     // null falls back to TTL-only staleness bounding.
     const std::atomic<std::uint64_t>* index_version = nullptr;
+    // Observability (null = process-global defaults). The tracer decides
+    // which queries get a root span (its sample_every knob); the registry
+    // receives per-blender counters and the per-stage latency histograms;
+    // the slow log retains span trees of queries over its threshold.
+    obs::Registry* registry = nullptr;
+    obs::Tracer* tracer = nullptr;
+    obs::SlowQueryLog* slow_log = nullptr;
   };
 
   Blender(std::string name, const Config& config,
@@ -104,6 +114,12 @@ class Blender {
   const CategoryDetector& detector_;
   std::vector<Broker*> brokers_;
   std::unique_ptr<QueryCache> cache_;
+  obs::Tracer* tracer_;
+  obs::Counter* queries_total_;   // registry mirror of queries_
+  obs::Counter* shed_total_;      // registry mirror of shed_
+  Histogram* total_stage_;        // jdvs_stage_micros{stage="query_total"}
+  Histogram* extract_stage_;      // jdvs_stage_micros{stage="extract"}
+  Histogram* rank_stage_;         // jdvs_stage_micros{stage="rank"}
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::size_t> in_flight_{0};

@@ -7,7 +7,18 @@
 namespace jdvs {
 
 Broker::Broker(std::string name, const Config& config)
-    : node_(std::move(name), config.threads, config.latency, config.seed) {}
+    : node_(std::move(name), config.threads, config.latency, config.seed),
+      trace_sink_(config.trace_sink != nullptr ? config.trace_sink
+                                               : &obs::TraceSink::Default()) {
+  obs::Registry& registry =
+      config.registry != nullptr ? *config.registry : obs::Registry::Default();
+  fanout_stage_ = &registry.GetHistogram(
+      obs::Labeled("jdvs_stage_micros", "stage", "broker_fanout"));
+  failovers_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_broker_failovers_total", "broker", node_.name()));
+  partition_failures_total_ = &registry.GetCounter(obs::Labeled(
+      "jdvs_broker_partition_failures_total", "broker", node_.name()));
+}
 
 void Broker::AddPartition(std::vector<Searcher*> replicas) {
   partitions_.push_back(std::move(replicas));
@@ -15,16 +26,26 @@ void Broker::AddPartition(std::vector<Searcher*> replicas) {
 
 std::future<std::vector<SearchHit>> Broker::SearchAsync(
     FeatureVector query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter) {
-  return node_.Invoke(
-      [this, query = std::move(query), k, nprobe, category_filter] {
-        return SearchFanOut(query, k, nprobe, category_filter);
+    CategoryId category_filter, obs::TraceContext parent) {
+  return node_.InvokeSpanned(
+      trace_sink_, parent, "broker.search",
+      [this, query = std::move(query), k, nprobe,
+       category_filter](obs::Span& span) {
+        return SearchFanOut(query, k, nprobe, category_filter, &span);
       });
 }
 
 std::vector<SearchHit> Broker::SearchFanOut(const FeatureVector& query,
                                             std::size_t k, std::size_t nprobe,
-                                            CategoryId category_filter) {
+                                            CategoryId category_filter,
+                                            obs::Span* span) {
+  const Stopwatch watch(MonotonicClock::Instance());
+  const obs::TraceContext context =
+      span != nullptr ? span->context() : obs::TraceContext{};
+  if (span != nullptr) {
+    span->AddTag("partitions",
+                 static_cast<std::uint64_t>(partitions_.size()));
+  }
   // First wave: ask the preferred (first healthy) replica of every partition
   // in parallel.
   struct Pending {
@@ -38,9 +59,10 @@ std::vector<SearchHit> Broker::SearchFanOut(const FeatureVector& query,
     if (partitions_[p].empty()) continue;
     pending.push_back(Pending{
         p, 0, partitions_[p][0]->SearchAsync(query, k, nprobe,
-                                             category_filter)});
+                                             category_filter, context)});
   }
 
+  std::uint64_t failovers = 0;
   std::vector<std::vector<SearchHit>> partials;
   partials.reserve(pending.size());
   // Collect; on failure walk the replica list ("multiple copies for
@@ -55,18 +77,31 @@ std::vector<SearchHit> Broker::SearchFanOut(const FeatureVector& query,
         ++p.replica;
         if (p.replica >= partitions_[p.partition].size()) {
           partition_failures_.fetch_add(1, std::memory_order_relaxed);
+          partition_failures_total_->Increment();
+          if (span != nullptr) {
+            span->SetError(std::string("partition ") +
+                           std::to_string(p.partition) + " unavailable: " +
+                           e.what());
+          }
           JDVS_LOG(kWarning) << node_.name() << ": partition " << p.partition
                              << " unavailable (" << e.what() << ")";
           break;
         }
+        ++failovers;
         failovers_.fetch_add(1, std::memory_order_relaxed);
+        failovers_total_->Increment();
         p.future = partitions_[p.partition][p.replica]->SearchAsync(
-            query, k, nprobe, category_filter);
+            query, k, nprobe, category_filter, context);
       }
     }
   }
+  if (span != nullptr && failovers > 0) {
+    span->AddTag("failovers", failovers);
+  }
   // "The broker then combines the results from its subset of searchers."
-  return MergeHits(std::move(partials), k);
+  auto merged = MergeHits(std::move(partials), k);
+  fanout_stage_->Record(watch.ElapsedMicros());
+  return merged;
 }
 
 }  // namespace jdvs

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "net/node.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "search/searcher.h"
 #include "search/types.h"
 
@@ -26,6 +28,9 @@ class Broker {
     std::size_t threads = 4;
     LatencyModel latency;
     std::uint64_t seed = 0;
+    // Observability (null = process-global defaults).
+    obs::Registry* registry = nullptr;
+    obs::TraceSink* trace_sink = nullptr;
   };
 
   Broker(std::string name, const Config& config);
@@ -36,15 +41,22 @@ class Broker {
   // Registers one partition with its replica searchers (preference order).
   void AddPartition(std::vector<Searcher*> replicas);
 
-  // Remote entry point: fan-out/merge runs on the broker's node.
+  // Remote entry point: fan-out/merge runs on the broker's node. A sampled
+  // `parent` context yields a "broker.search" span with failover/failure
+  // tags, plus one "searcher.scan" child per probed partition.
   std::future<std::vector<SearchHit>> SearchAsync(
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
-      CategoryId category_filter = kNoCategoryFilter);
+      CategoryId category_filter = kNoCategoryFilter,
+      obs::TraceContext parent = {});
 
   // The fan-out/merge itself (also used directly by flat-topology ablation).
+  // `span`, when non-null, is the enclosing broker span: failovers and
+  // partition failures are tagged on it and searcher calls become its
+  // children.
   std::vector<SearchHit> SearchFanOut(
       const FeatureVector& query, std::size_t k, std::size_t nprobe,
-      CategoryId category_filter = kNoCategoryFilter);
+      CategoryId category_filter = kNoCategoryFilter,
+      obs::Span* span = nullptr);
 
   Node& node() { return node_; }
   const std::string& name() const { return node_.name(); }
@@ -62,8 +74,14 @@ class Broker {
  private:
   Node node_;
   std::vector<std::vector<Searcher*>> partitions_;
+  obs::TraceSink* trace_sink_;
+  Histogram* fanout_stage_;  // jdvs_stage_micros{stage="broker_fanout"}
+  // Per-instance atomics back the getters; the registry counters mirror
+  // them so one exposition dump reports every broker.
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> partition_failures_{0};
+  obs::Counter* failovers_total_;
+  obs::Counter* partition_failures_total_;
 };
 
 }  // namespace jdvs

@@ -17,12 +17,32 @@ constexpr const char* kUpdateTopic = "product-updates";
 
 VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     : config_(config),
+      owned_registry_(config.registry == nullptr
+                          ? std::make_unique<obs::Registry>()
+                          : nullptr),
+      owned_trace_sink_(config.trace_sink == nullptr
+                            ? std::make_unique<obs::TraceSink>()
+                            : nullptr),
+      registry_(config.registry != nullptr ? config.registry
+                                           : owned_registry_.get()),
+      trace_sink_(config.trace_sink != nullptr ? config.trace_sink
+                                               : owned_trace_sink_.get()),
+      tracer_(std::make_unique<obs::Tracer>(
+          trace_sink_,
+          obs::TracerConfig{.sample_every = config.trace_sample_every,
+                            .seed = config.seed})),
+      slow_log_(std::make_unique<obs::SlowQueryLog>(
+          obs::SlowLogConfig{
+              .threshold_micros = config.slow_query_threshold_micros,
+              .capacity = config.slow_log_capacity},
+          trace_sink_)),
       embedder_(config.embedder),
       detector_(config.detector),
       image_store_(config.image_store),
       features_(embedder_, config.extraction, /*num_shards=*/64,
                 config.kv_lookup_micros),
-      partitioner_(config.num_partitions) {
+      partitioner_(config.num_partitions),
+      topic_(/*per_subscription_capacity=*/65536, registry_) {
   // Searchers: one per (partition, replica).
   const std::size_t replicas = std::max<std::size_t>(
       config_.replicas_per_partition, 1);
@@ -33,6 +53,8 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
       sc.threads = config_.searcher_threads;
       sc.latency = config_.hop_latency;
       sc.seed = config_.seed + p * 131 + r;
+      sc.registry = registry_;
+      sc.trace_sink = trace_sink_;
       searchers_.push_back(std::make_unique<Searcher>(
           "searcher-p" + std::to_string(p) + "-r" + std::to_string(r), sc,
           features_, partitioner_.FilterFor(p)));
@@ -50,6 +72,8 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     bc.threads = config_.broker_threads;
     bc.latency = config_.hop_latency;
     bc.seed = config_.seed ^ (0xB0B0ULL + b);
+    bc.registry = registry_;
+    bc.trace_sink = trace_sink_;
     brokers_.push_back(
         std::make_unique<Broker>("broker-" + std::to_string(b), bc));
   }
@@ -79,6 +103,9 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     lc.enable_result_cache = config_.blender_result_cache;
     lc.cache = config_.blender_cache;
     lc.index_version = &updates_published_;
+    lc.registry = registry_;
+    lc.tracer = tracer_.get();
+    lc.slow_log = slow_log_.get();
     blenders_.push_back(std::make_unique<Blender>(
         "blender-" + std::to_string(i), lc, embedder_, detector_,
         all_brokers));
@@ -194,6 +221,15 @@ void VisualSearchCluster::ApplyToCatalog(const ProductUpdateMessage& message) {
 }
 
 void VisualSearchCluster::PublishUpdate(ProductUpdateMessage message) {
+  // Real-time traces: the publish is the root span; each searcher's apply
+  // becomes an "rt.apply" child via the context carried in the message.
+  obs::Span span = tracer_->StartTrace("update");
+  if (span.sampled()) {
+    span.AddTag("type", UpdateTypeName(message.type));
+    span.AddTag("product", static_cast<std::uint64_t>(message.product_id));
+    message.trace_id = span.context().trace_id;
+    message.parent_span_id = span.context().span_id;
+  }
   ApplyToCatalog(message);
   day_log_.Append(message);
   updates_published_.fetch_add(1, std::memory_order_relaxed);

@@ -21,6 +21,9 @@
 #include "mq/topic_queue.h"
 #include "net/load_balancer.h"
 #include "net/partitioner.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "search/blender.h"
 #include "search/broker.h"
 #include "search/searcher.h"
@@ -70,6 +73,20 @@ struct ClusterConfig {
 
   // Parallelism of full index builds.
   std::size_t build_threads = 8;
+
+  // Observability. Null registry/sink = cluster-private instances, so two
+  // clusters in one process (e.g. the Figure 12 W/ vs W/O testbeds) don't
+  // mix their metrics; pass explicit pointers to share or to use the
+  // process-global obs::Registry::Default()/obs::TraceSink::Default().
+  obs::Registry* registry = nullptr;
+  obs::TraceSink* trace_sink = nullptr;
+  // Trace 1-in-N queries and updates end to end; 0 = tracing off (default),
+  // 1 = every query. Sampling is counter-based, hence deterministic.
+  std::uint64_t trace_sample_every = 0;
+  // Traced queries slower than this keep their full span tree in the slow
+  // log (worst `slow_log_capacity` retained).
+  Micros slow_query_threshold_micros = 500'000;
+  std::size_t slow_log_capacity = 8;
 
   std::uint64_t seed = 2018;
 };
@@ -143,6 +160,16 @@ class VisualSearchCluster {
   void MergeUpdateLatencyInto(Histogram& out) const;
   IvfIndexStats AggregateIndexStats() const;
 
+  // ---- Observability ----
+  // The cluster's metrics registry (every tier's instruments in one dump).
+  obs::Registry& registry() { return *registry_; }
+  const obs::Registry& registry() const { return *registry_; }
+  // Finished spans of sampled traces; Render(trace_id) prints one query's
+  // blender → broker → searcher tree.
+  obs::TraceSink& trace_sink() { return *trace_sink_; }
+  obs::Tracer& tracer() { return *tracer_; }
+  obs::SlowQueryLog& slow_log() { return *slow_log_; }
+
   // Human-readable operational summary of every tier (the ops dashboard in
   // text form): topology, per-tier health, index sizes, update counters.
   std::string StatusReport() const;
@@ -152,6 +179,14 @@ class VisualSearchCluster {
   void BuildAndInstall(std::shared_ptr<const CoarseQuantizer> quantizer);
 
   ClusterConfig config_;
+  // Observability substrate first: the topic queue and every tier below
+  // register instruments against it.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  std::unique_ptr<obs::TraceSink> owned_trace_sink_;
+  obs::Registry* registry_;
+  obs::TraceSink* trace_sink_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
   SyntheticEmbedder embedder_;
   CategoryDetector detector_;
   ProductCatalog catalog_;

@@ -9,7 +9,8 @@
 namespace jdvs {
 
 QueryCache::QueryCache(std::size_t dim, const QueryCacheConfig& config,
-                       const Clock& clock)
+                       const Clock& clock, obs::Registry* registry,
+                       std::string_view owner)
     : dim_(dim), config_(config), clock_(&clock) {
   config_.signature_bits = (std::max<std::size_t>(config_.signature_bits, 1) +
                             63) / 64 * 64;
@@ -17,6 +18,15 @@ QueryCache::QueryCache(std::size_t dim, const QueryCacheConfig& config,
   Rng rng(config_.seed);
   hyperplanes_.resize(config_.signature_bits * dim_);
   for (float& x : hyperplanes_) x = static_cast<float>(rng.NextGaussian());
+
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Default();
+  lookups_total_ = &reg.GetCounter(
+      obs::Labeled("jdvs_cache_lookups_total", "owner", owner));
+  hits_total_ =
+      &reg.GetCounter(obs::Labeled("jdvs_cache_hits_total", "owner", owner));
+  misses_total_ =
+      &reg.GetCounter(obs::Labeled("jdvs_cache_misses_total", "owner", owner));
 }
 
 std::uint64_t QueryCache::KeyFor(FeatureView feature, std::size_t k,
@@ -43,17 +53,23 @@ std::optional<QueryResponse> QueryCache::Lookup(std::uint64_t key,
                                                 std::uint64_t version) {
   std::lock_guard lock(mu_);
   ++stats_.lookups;
+  lookups_total_->Increment();
   const auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
+  if (it == map_.end()) {
+    misses_total_->Increment();
+    return std::nullopt;
+  }
   Entry& entry = *it->second;
   if (clock_->NowMicros() - entry.inserted_at > config_.ttl_micros) {
     ++stats_.expired;
+    misses_total_->Increment();
     lru_.erase(it->second);
     map_.erase(it);
     return std::nullopt;
   }
   if (config_.strict_version_check && entry.version != version) {
     ++stats_.stale;
+    misses_total_->Increment();
     lru_.erase(it->second);
     map_.erase(it);
     return std::nullopt;
@@ -61,6 +77,7 @@ std::optional<QueryResponse> QueryCache::Lookup(std::uint64_t key,
   // Touch: move to the front of the LRU list.
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
+  hits_total_->Increment();
   return entry.response;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/registry.h"
 #include "search/types.h"
 #include "vecmath/vector.h"
 
@@ -56,8 +57,13 @@ struct QueryCacheStats {
 
 class QueryCache {
  public:
+  // `registry` (null = process-global default) receives mirror counters of
+  // the stats below, labeled with `owner` (the owning blender's name), so a
+  // single exposition dump reports every cache.
   QueryCache(std::size_t dim, const QueryCacheConfig& config = {},
-             const Clock& clock = MonotonicClock::Instance());
+             const Clock& clock = MonotonicClock::Instance(),
+             obs::Registry* registry = nullptr,
+             std::string_view owner = "default");
 
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
@@ -90,6 +96,11 @@ class QueryCache {
   QueryCacheConfig config_;
   const Clock* clock_;
   std::vector<float> hyperplanes_;  // signature_bits x dim
+
+  // Registry mirrors of stats_ (hit/miss attribution in one dump).
+  obs::Counter* lookups_total_;
+  obs::Counter* hits_total_;
+  obs::Counter* misses_total_;
 
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent

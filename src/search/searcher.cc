@@ -13,7 +13,18 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
     : node_(std::move(name), config.threads, config.latency, config.seed),
       features_(features),
       filter_(std::move(filter)),
-      seed_(config.seed) {}
+      seed_(config.seed),
+      registry_(config.registry != nullptr ? config.registry
+                                           : &obs::Registry::Default()),
+      trace_sink_(config.trace_sink != nullptr ? config.trace_sink
+                                               : &obs::TraceSink::Default()),
+      scan_micros_(&registry_->GetHistogram(obs::Labeled(
+          "jdvs_searcher_scan_micros", "searcher", node_.name()))),
+      scan_stage_(&registry_->GetHistogram(
+          obs::Labeled("jdvs_stage_micros", "stage", "searcher_scan"))),
+      consumed_total_(&registry_->GetCounter(obs::Labeled(
+          "jdvs_searcher_messages_consumed_total", "searcher",
+          node_.name()))) {}
 
 Searcher::~Searcher() { StopConsuming(); }
 
@@ -24,8 +35,9 @@ void Searcher::InstallIndex(std::unique_ptr<IvfIndex> index) {
     retired_latency_.Merge(indexer_->latency_micros());
   }
   std::shared_ptr<IvfIndex> shared = std::move(index);
-  indexer_ = std::make_unique<RealTimeIndexer>(*shared, features_, filter_,
-                                               seed_ ^ 0xAB5EULL);
+  indexer_ = std::make_unique<RealTimeIndexer>(
+      *shared, features_, filter_, seed_ ^ 0xAB5EULL,
+      MonotonicClock::Instance(), registry_, node_.name());
   // Swap is the last step: searches switch to the new index only once its
   // writer is ready.
   index_.store(std::move(shared), std::memory_order_release);
@@ -46,10 +58,26 @@ void Searcher::InstallFromSnapshot(const std::string& path) {
 
 std::future<std::vector<SearchHit>> Searcher::SearchAsync(
     FeatureVector query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter) {
-  return node_.Invoke(
-      [this, query = std::move(query), k, nprobe, category_filter] {
-        return SearchLocal(query, k, nprobe, category_filter);
+    CategoryId category_filter, obs::TraceContext parent) {
+  return node_.InvokeSpanned(
+      trace_sink_, parent, "searcher.scan",
+      [this, query = std::move(query), k, nprobe,
+       category_filter](obs::Span& span) {
+        span.AddTag("k", static_cast<std::uint64_t>(k));
+        if (nprobe > 0) {
+          span.AddTag("nprobe", static_cast<std::uint64_t>(nprobe));
+        }
+        if (category_filter != kNoCategoryFilter) {
+          span.AddTag("category",
+                      static_cast<std::uint64_t>(category_filter));
+        }
+        const Stopwatch watch(MonotonicClock::Instance());
+        auto hits = SearchLocal(query, k, nprobe, category_filter);
+        const Micros elapsed = watch.ElapsedMicros();
+        scan_micros_->Record(elapsed);
+        scan_stage_->Record(elapsed);
+        span.AddTag("hits", static_cast<std::uint64_t>(hits.size()));
+        return hits;
       });
 }
 
@@ -86,6 +114,7 @@ void Searcher::ConsumeLoop(std::shared_ptr<Subscription> subscription) {
   while (auto message = subscription->Receive()) {
     ApplyUpdate(*message);
     messages_consumed_.fetch_add(1, std::memory_order_relaxed);
+    consumed_total_->Increment();
   }
 }
 
@@ -95,6 +124,13 @@ void Searcher::ApplyUpdate(const ProductUpdateMessage& message) {
     JDVS_LOG(kWarning) << node_.name() << ": dropping update before index install";
     return;
   }
+  // Real-time leg of a sampled trace: publish → queue → this partition's
+  // apply, stitched together by the context carried in the message.
+  obs::Span span(trace_sink_, MonotonicClock::Instance(),
+                 obs::TraceContext{message.trace_id, message.parent_span_id},
+                 "rt.apply", node_.name());
+  span.AddTag("type", UpdateTypeName(message.type));
+  span.AddTag("product", static_cast<std::uint64_t>(message.product_id));
   indexer_->Apply(message);
 }
 

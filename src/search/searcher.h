@@ -27,6 +27,8 @@
 #include "index/realtime_indexer.h"
 #include "mq/topic_queue.h"
 #include "net/node.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "store/feature_db.h"
 
 namespace jdvs {
@@ -37,6 +39,12 @@ class Searcher {
     std::size_t threads = 2;
     LatencyModel latency;
     std::uint64_t seed = 0;
+    // Observability (null = process-global defaults). The registry receives
+    // the per-searcher scan histogram, message counter and real-time update
+    // counter; the sink receives "searcher.scan" / "rt.apply" spans of
+    // sampled traces.
+    obs::Registry* registry = nullptr;
+    obs::TraceSink* trace_sink = nullptr;
   };
 
   Searcher(std::string name, const Config& config, FeatureDb& features,
@@ -64,9 +72,12 @@ class Searcher {
 
   // Remote search: runs on this searcher's node. Returns "the top k most
   // similar images" of this partition, optionally scoped to one category.
+  // When `parent` is a sampled trace context, the scan records a
+  // "searcher.scan" child span.
   std::future<std::vector<SearchHit>> SearchAsync(
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
-      CategoryId category_filter = kNoCategoryFilter);
+      CategoryId category_filter = kNoCategoryFilter,
+      obs::TraceContext parent = {});
 
   // In-process search (tests / exhaustive ground truth), bypassing the node.
   std::vector<SearchHit> SearchLocal(
@@ -107,6 +118,11 @@ class Searcher {
   FeatureDb& features_;
   PartitionFilter filter_;
   std::uint64_t seed_;
+  obs::Registry* registry_;
+  obs::TraceSink* trace_sink_;
+  Histogram* scan_micros_;        // per-searcher scan latency
+  Histogram* scan_stage_;         // shared jdvs_stage_micros{stage="searcher_scan"}
+  obs::Counter* consumed_total_;  // mirrors messages_consumed_
 
   std::atomic<std::shared_ptr<IvfIndex>> index_{nullptr};
   mutable std::mutex writer_mu_;              // serializes all mutations

@@ -48,6 +48,9 @@ struct QueryResponse {
   // True when served from the blender's result cache (staleness bounded by
   // the cache TTL) instead of a live fan-out.
   bool from_cache = false;
+  // Trace id of this query when it was sampled by the blender's tracer
+  // (0 = untraced). Feed it to obs::TraceSink::Render for the span tree.
+  std::uint64_t trace_id = 0;
 };
 
 // Merges per-searcher / per-broker partial hit lists into a global top-k by

@@ -1,0 +1,281 @@
+// Tests for the observability subsystem: metrics registry semantics and
+// exposition format, span/trace nesting and rendering, sampling
+// determinism, the slow-query log, and multithreaded stress on the
+// registry + sink (run under TSan to validate the lock-free paths).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace jdvs::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndValue) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(5);
+  gauge.Decrement();
+  EXPECT_EQ(gauge.Value(), 14);
+  gauge.Add(-20);
+  EXPECT_EQ(gauge.Value(), -6);
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  Registry registry;
+  Counter& a = registry.GetCounter("jdvs_x_total");
+  Counter& b = registry.GetCounter("jdvs_x_total");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+  EXPECT_NE(&registry.GetCounter("jdvs_y_total"), &a);
+  EXPECT_EQ(&registry.GetHistogram("jdvs_h"), &registry.GetHistogram("jdvs_h"));
+}
+
+TEST(RegistryTest, LabeledBuildsPrometheusSeriesName) {
+  EXPECT_EQ(Labeled("jdvs_cache_hits_total", "owner", "bl-0"),
+            "jdvs_cache_hits_total{owner=\"bl-0\"}");
+}
+
+TEST(RegistryTest, HasAndFindNeverCreate) {
+  Registry registry;
+  EXPECT_FALSE(registry.Has("jdvs_x_total"));
+  EXPECT_EQ(registry.FindCounter("jdvs_x_total"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("jdvs_h"), nullptr);
+  registry.GetCounter("jdvs_x_total");
+  registry.GetHistogram("jdvs_h");
+  EXPECT_TRUE(registry.Has("jdvs_x_total"));
+  EXPECT_EQ(registry.FindCounter("jdvs_x_total"),
+            &registry.GetCounter("jdvs_x_total"));
+  EXPECT_EQ(registry.FindHistogram("jdvs_h"), &registry.GetHistogram("jdvs_h"));
+  EXPECT_EQ(registry.FindGauge("jdvs_g"), nullptr);
+}
+
+TEST(RegistryTest, ExpositionFormat) {
+  Registry registry;
+  registry.GetCounter(Labeled("jdvs_hits_total", "owner", "a")).Increment(3);
+  registry.GetCounter(Labeled("jdvs_hits_total", "owner", "b")).Increment(7);
+  registry.GetGauge("jdvs_depth").Set(5);
+  Histogram& h = registry.GetHistogram(Labeled("jdvs_lat", "stage", "scan"));
+  h.Record(100);
+  h.Record(300);
+
+  const std::string text = registry.ExpositionText();
+  // One TYPE line per family, series sorted under it.
+  EXPECT_NE(text.find("# TYPE jdvs_hits_total counter\n"
+                      "jdvs_hits_total{owner=\"a\"} 3\n"
+                      "jdvs_hits_total{owner=\"b\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE jdvs_depth gauge\njdvs_depth 5\n"),
+            std::string::npos);
+  // Histograms render as summaries: _count, _sum, and quantile series.
+  EXPECT_NE(text.find("# TYPE jdvs_lat summary\n"), std::string::npos);
+  EXPECT_NE(text.find("jdvs_lat_count{stage=\"scan\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("jdvs_lat_sum{stage=\"scan\"} 400\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("jdvs_lat{stage=\"scan\",quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST(SpanTest, ParentChildNesting) {
+  TraceSink sink;
+  ManualClock clock(1000);
+  Tracer tracer(&sink, {.sample_every = 1}, clock);
+
+  Span root = tracer.StartTrace("query", "blender-0");
+  ASSERT_TRUE(root.sampled());
+  const TraceContext root_ctx = root.context();
+  EXPECT_NE(root_ctx.trace_id, 0u);
+  clock.AdvanceMicros(50);
+  {
+    Span child = root.StartChild("broker.search", "broker-0");
+    EXPECT_EQ(child.context().trace_id, root_ctx.trace_id);
+    EXPECT_NE(child.context().span_id, root_ctx.span_id);
+    clock.AdvanceMicros(200);
+    child.AddTag("hits", std::uint64_t{7});
+  }  // child finishes via RAII
+  clock.AdvanceMicros(10);
+  root.Finish();
+
+  const auto spans = sink.SpansFor(root_ctx.trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: root first.
+  EXPECT_EQ(spans[0].name, "query");
+  EXPECT_EQ(spans[0].parent_span_id, 0u);
+  EXPECT_EQ(spans[0].DurationMicros(), 260);
+  EXPECT_EQ(spans[1].name, "broker.search");
+  EXPECT_EQ(spans[1].parent_span_id, spans[0].span_id);
+  EXPECT_EQ(spans[1].DurationMicros(), 200);
+
+  const std::string tree = sink.Render(root_ctx.trace_id);
+  EXPECT_NE(tree.find("query @blender-0 260us"), std::string::npos);
+  EXPECT_NE(tree.find("`- broker.search @broker-0 200us hits=7"),
+            std::string::npos);
+  // Child is indented under the root.
+  EXPECT_LT(tree.find("query"), tree.find("broker.search"));
+}
+
+TEST(SpanTest, ErrorStatusRendered) {
+  TraceSink sink;
+  ManualClock clock;
+  Tracer tracer(&sink, {.sample_every = 1}, clock);
+  Span root = tracer.StartTrace("query");
+  const std::uint64_t trace_id = root.context().trace_id;
+  root.SetError("partition 3 unavailable");
+  root.Finish();
+  const auto spans = sink.SpansFor(trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].ok);
+  EXPECT_NE(sink.Render(trace_id).find("[ERROR: partition 3 unavailable]"),
+            std::string::npos);
+}
+
+TEST(SpanTest, UnsampledSpansAreNoOps) {
+  TraceSink sink;
+  ManualClock clock;
+  Tracer off(&sink, {.sample_every = 0}, clock);
+  Span root = off.StartTrace("query");
+  EXPECT_FALSE(root.sampled());
+  EXPECT_FALSE(root.context().sampled());
+  Span child = root.StartChild("noop");
+  child.AddTag("k", std::uint64_t{10});
+  child.Finish();
+  root.Finish();
+  EXPECT_EQ(sink.size(), 0u);
+
+  // Children of an unsampled context are no-ops too.
+  Span orphan(&sink, clock, TraceContext{}, "dangling");
+  orphan.Finish();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TracerTest, SamplingIsDeterministicOneInN) {
+  TraceSink sink;
+  ManualClock clock;
+  Tracer tracer(&sink, {.sample_every = 3}, clock);
+  std::vector<bool> sampled;
+  for (int i = 0; i < 9; ++i) {
+    Span span = tracer.StartTrace("q");
+    sampled.push_back(span.sampled());
+  }
+  // Counter-based: exactly every third call, starting with the first.
+  EXPECT_EQ(sampled, std::vector<bool>({true, false, false, true, false,
+                                        false, true, false, false}));
+  EXPECT_EQ(tracer.traces_started(), 3u);
+  EXPECT_EQ(sink.size(), 3u);
+}
+
+TEST(TracerTest, DistinctSeedsYieldDistinctTraceIds) {
+  TraceSink sink;
+  ManualClock clock;
+  Tracer a(&sink, {.sample_every = 1, .seed = 1}, clock);
+  Tracer b(&sink, {.sample_every = 1, .seed = 2}, clock);
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.insert(a.StartTrace("q").context().trace_id);
+    ids.insert(b.StartTrace("q").context().trace_id);
+  }
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(ids.count(0), 0u);
+}
+
+TEST(TraceSinkTest, CapacityBoundsAndCountsDrops) {
+  TraceSink sink(/*stripes=*/2, /*max_spans=*/4);
+  ManualClock clock;
+  Tracer tracer(&sink, {.sample_every = 1}, clock);
+  for (int i = 0; i < 10; ++i) tracer.StartTrace("q").Finish();
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.Collect().size(), 0u);
+}
+
+TEST(SlowLogTest, KeepsWorstNOverThreshold) {
+  TraceSink sink;
+  ManualClock clock;
+  Tracer tracer(&sink, {.sample_every = 1}, clock);
+  SlowQueryLog log({.threshold_micros = 100, .capacity = 2}, &sink);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    Span root = tracer.StartTrace("query");
+    ids.push_back(root.context().trace_id);
+    clock.AdvanceMicros(50 * (i + 1));  // durations 50, 100, 150, 200
+    root.Finish();
+  }
+  log.Offer(ids[0], 50);    // under threshold: ignored
+  log.Offer(ids[1], 150);
+  log.Offer(ids[2], 120);
+  log.Offer(ids[3], 200);
+
+  const auto worst = log.Worst();
+  ASSERT_EQ(worst.size(), 2u);  // capacity 2: worst two retained
+  EXPECT_EQ(worst[0].trace_id, ids[3]);
+  EXPECT_EQ(worst[0].duration_micros, 200);
+  EXPECT_EQ(worst[1].trace_id, ids[1]);
+  EXPECT_EQ(log.offered(), 3u);  // only over-threshold offers count
+  // Rendered trees were captured at Offer() time.
+  EXPECT_NE(worst[0].rendered.find("query"), std::string::npos);
+  EXPECT_NE(log.Render().find("query"), std::string::npos);
+}
+
+// Stress: concurrent span finishes, counter increments, and reads. Run
+// under TSan to validate the striped sink and relaxed-atomic instruments.
+TEST(ObsStressTest, ConcurrentRecordAndRead) {
+  TraceSink sink(/*stripes=*/4);
+  Registry registry;
+  ManualClock clock;
+  Tracer tracer(&sink, {.sample_every = 1}, clock);
+  Counter& counter = registry.GetCounter("jdvs_stress_total");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span root = tracer.StartTrace("q", "node-" + std::to_string(t));
+        Span child = root.StartChild("scan");
+        child.AddTag("i", static_cast<std::uint64_t>(i));
+        child.Finish();
+        root.Finish();
+        counter.Increment();
+        registry.GetHistogram(Labeled("jdvs_stress_lat", "stage", "scan"))
+            .Record(i);
+        if (i % 100 == 0) {
+          (void)sink.Collect();
+          (void)registry.ExpositionText();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.Value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(sink.size(), 2u * kThreads * kPerThread);
+  EXPECT_EQ(registry
+                .GetHistogram(Labeled("jdvs_stress_lat", "stage", "scan"))
+                .Count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace jdvs::obs

@@ -7,8 +7,11 @@
 
 #include "common/hash.h"
 #include "index/full_index_builder.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "search/blender.h"
 #include "search/broker.h"
+#include "search/cluster_builder.h"
 #include "search/ranking.h"
 #include "search/searcher.h"
 #include "search/types.h"
@@ -443,6 +446,198 @@ TEST(BlenderTest, QueriesServedCounter) {
   mini.blender->Search(mini.QueryFor(1));
   mini.blender->Search(mini.QueryFor(2));
   EXPECT_EQ(mini.blender->queries_served(), 2u);
+}
+
+// ---- Observability through the full ClusterBuilder topology ----
+
+ClusterConfig SmallTracedClusterConfig() {
+  ClusterConfig config;
+  config.num_partitions = 4;
+  config.num_brokers = 2;
+  config.num_blenders = 1;
+  config.hop_latency = {.base_micros = 100};
+  config.embedder = {.dim = 16, .num_categories = 6, .seed = 11};
+  config.detector = {.num_categories = 6, .top1_accuracy = 1.0};
+  config.extraction = {.mean_micros = 0};
+  config.kmeans.num_clusters = 6;
+  config.ivf.nprobe = 6;
+  config.trace_sample_every = 1;
+  return config;
+}
+
+std::unique_ptr<VisualSearchCluster> BuildSmallCluster(
+    const ClusterConfig& config) {
+  auto cluster = std::make_unique<VisualSearchCluster>(config);
+  CatalogGenConfig cg;
+  cg.num_products = 120;
+  cg.num_categories = 6;
+  GenerateCatalog(cg, cluster->catalog(), cluster->image_store(),
+                  &cluster->features());
+  cluster->BuildAndInstallFullIndexes();
+  cluster->Start();
+  return cluster;
+}
+
+TEST(ClusterTracingTest, TracedQueryProducesFullSpanTree) {
+  const ClusterConfig config = SmallTracedClusterConfig();
+  auto cluster = BuildSmallCluster(config);
+  const auto record = cluster->catalog().Get(42);
+  const QueryResponse response =
+      cluster->Query(QueryImage{42, record->category, 1});
+  ASSERT_NE(response.trace_id, 0u);
+
+  const auto spans = cluster->trace_sink().SpansFor(response.trace_id);
+  std::size_t roots = 0, brokers = 0, scans = 0, extracts = 0, ranks = 0;
+  for (const auto& span : spans) {
+    if (span.name == "query") ++roots;
+    if (span.name == "broker.search") ++brokers;
+    if (span.name == "searcher.scan") ++scans;
+    if (span.name == "extract") ++extracts;
+    if (span.name == "rank") ++ranks;
+    EXPECT_GE(span.DurationMicros(), 0);
+    EXPECT_TRUE(span.ok) << span.name << ": " << span.status;
+  }
+  // Exactly one blender root, one broker span per broker, one searcher span
+  // per probed partition.
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(brokers, config.num_brokers);
+  EXPECT_EQ(scans, config.num_partitions);
+  EXPECT_EQ(extracts, 1u);
+  EXPECT_EQ(ranks, 1u);
+
+  // The root and broker spans cover real work (fan-out over >=100us hops).
+  for (const auto& span : spans) {
+    if (span.name == "query" || span.name == "broker.search") {
+      EXPECT_GT(span.DurationMicros(), 0) << span.name;
+    }
+    if (span.name != "query") {
+      EXPECT_NE(span.parent_span_id, 0u) << span.name;
+    }
+  }
+
+  const std::string tree = cluster->trace_sink().Render(response.trace_id);
+  EXPECT_NE(tree.find("query @blender-0"), std::string::npos);
+  EXPECT_NE(tree.find("broker.search @broker-"), std::string::npos);
+  EXPECT_NE(tree.find("searcher.scan @searcher-p"), std::string::npos);
+  cluster->Stop();
+}
+
+TEST(ClusterTracingTest, SamplingTracesEveryNthQuery) {
+  ClusterConfig config = SmallTracedClusterConfig();
+  config.trace_sample_every = 2;
+  auto cluster = BuildSmallCluster(config);
+  std::vector<bool> traced;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto record = cluster->catalog().Get(1 + i);
+    const auto response =
+        cluster->Query(QueryImage{1 + i, record->category, i});
+    traced.push_back(response.trace_id != 0);
+  }
+  EXPECT_EQ(traced, std::vector<bool>({true, false, true, false}));
+  cluster->Stop();
+}
+
+TEST(ClusterTracingTest, TracedUpdateReachesEveryPartition) {
+  const ClusterConfig config = SmallTracedClusterConfig();
+  auto cluster = BuildSmallCluster(config);
+
+  ProductUpdateMessage add;
+  add.type = UpdateType::kAddProduct;
+  add.product_id = 9001;
+  add.category_id = 3;
+  add.attributes = {.sales = 1, .price_cents = 999, .praise = 1};
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    add.image_urls.push_back(MakeImageUrl(9001, k));
+  }
+  cluster->PublishUpdate(add);
+  ASSERT_TRUE(cluster->WaitForUpdatesDrained());
+
+  // Find the update's root span and its rt.apply children: one per searcher
+  // (every partition consumes the topic).
+  std::uint64_t update_trace = 0;
+  for (const auto& span : cluster->trace_sink().Collect()) {
+    if (span.name == "update") update_trace = span.trace_id;
+  }
+  ASSERT_NE(update_trace, 0u);
+  std::size_t applies = 0;
+  for (const auto& span : cluster->trace_sink().SpansFor(update_trace)) {
+    if (span.name == "rt.apply") ++applies;
+  }
+  EXPECT_EQ(applies, cluster->num_searchers());
+  cluster->Stop();
+}
+
+TEST(ClusterObservabilityTest, RegistryMatchesComponentCounters) {
+  ClusterConfig config = SmallTracedClusterConfig();
+  config.trace_sample_every = 0;
+  config.replicas_per_partition = 2;
+  config.num_blenders = 1;
+  config.blender_result_cache = true;
+  config.blender_cache.ttl_micros = 60'000'000;
+  auto cluster = BuildSmallCluster(config);
+
+  // Provoke one failover (replica 0 of partition 0 down), one cache hit
+  // (identical query photo twice), and a few real-time updates.
+  cluster->searcher(0, 0).node().set_failed(true);
+  const auto record = cluster->catalog().Get(7);
+  const QueryImage query{7, record->category, 5};
+  cluster->Query(query);
+  cluster->Query(query);
+
+  for (int i = 0; i < 3; ++i) {
+    ProductUpdateMessage update;
+    update.type = UpdateType::kAttributeUpdate;
+    update.product_id = 10 + i;
+    update.attributes = {.sales = 100, .price_cents = 500, .praise = 10};
+    cluster->PublishUpdate(std::move(update));
+  }
+  ASSERT_TRUE(cluster->WaitForUpdatesDrained());
+
+  const obs::Registry& registry = cluster->registry();
+
+  // Broker failovers: registry series sum == component getter sum, >= 1.
+  std::uint64_t getter_failovers = 0, registry_failovers = 0;
+  for (std::size_t b = 0; b < cluster->num_brokers(); ++b) {
+    getter_failovers += cluster->broker(b).failovers();
+    const obs::Counter* counter = registry.FindCounter(obs::Labeled(
+        "jdvs_broker_failovers_total", "broker", cluster->broker(b).name()));
+    ASSERT_NE(counter, nullptr);
+    registry_failovers += counter->Value();
+  }
+  EXPECT_GE(getter_failovers, 1u);
+  EXPECT_EQ(registry_failovers, getter_failovers);
+
+  // Cache hits: registry mirror == QueryCache::stats().
+  ASSERT_NE(cluster->blender(0).result_cache(), nullptr);
+  const auto cache_stats = cluster->blender(0).result_cache()->stats();
+  EXPECT_EQ(cache_stats.hits, 1u);
+  const obs::Counter* hits = registry.FindCounter(
+      obs::Labeled("jdvs_cache_hits_total", "owner", "blender-0"));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->Value(), cache_stats.hits);
+
+  // Real-time updates: per-searcher registry series sum == aggregate getter.
+  std::uint64_t registry_updates = 0;
+  for (std::size_t i = 0; i < cluster->num_searchers(); ++i) {
+    const obs::Counter* counter = registry.FindCounter(
+        obs::Labeled("jdvs_realtime_updates_total", "searcher",
+                     cluster->searcher_flat(i).name()));
+    ASSERT_NE(counter, nullptr);
+    registry_updates += counter->Value();
+  }
+  EXPECT_EQ(registry_updates, cluster->TotalUpdateCounters().TotalMessages());
+  EXPECT_GT(registry_updates, 0u);
+
+  // And the exposition dump carries all three families.
+  const std::string text = registry.ExpositionText();
+  EXPECT_NE(text.find("# TYPE jdvs_broker_failovers_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("jdvs_cache_hits_total{owner=\"blender-0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE jdvs_realtime_updates_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE jdvs_stage_micros summary"), std::string::npos);
+  cluster->Stop();
 }
 
 }  // namespace

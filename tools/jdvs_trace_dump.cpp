@@ -1,0 +1,97 @@
+// jdvs_trace_dump — end-to-end observability demo on a small live cluster.
+//
+// Builds a miniature testbed with tracing on (every query and update
+// sampled), runs a handful of queries and product updates through it, then
+// dumps each query's rendered span tree (blender -> broker -> searcher),
+// the slow-query log, and the full Prometheus exposition of the cluster's
+// metrics registry.
+//
+//   jdvs_trace_dump [--queries=N] [--updates=N] [--partitions=N]
+//                   [--brokers=N] [--k=N] [--no-metrics] [--seed=N]
+#include <cstdio>
+
+#include "jdvs/jdvs.h"
+
+int main(int argc, char** argv) {
+  using namespace jdvs;
+  const Flags flags(argc, argv);
+  const std::size_t num_queries =
+      static_cast<std::size_t>(flags.GetInt("queries", 5));
+  const std::size_t num_updates =
+      static_cast<std::size_t>(flags.GetInt("updates", 3));
+  const bool print_metrics = !flags.GetBool("no-metrics", false);
+
+  ClusterConfig config;
+  config.num_partitions = static_cast<std::size_t>(flags.GetInt("partitions", 4));
+  config.num_brokers = static_cast<std::size_t>(flags.GetInt("brokers", 2));
+  config.num_blenders = 1;
+  config.hop_latency = {.base_micros = 150, .jitter_median_micros = 100,
+                        .sigma = 0.6};
+  config.embedder = {.dim = 32, .num_categories = 8,
+                     .seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7))};
+  config.detector = {.num_categories = 8, .top1_accuracy = 1.0};
+  config.extraction = {.mean_micros = 0};
+  config.kmeans.num_clusters = 8;
+  config.ivf.nprobe = 4;
+  config.trace_sample_every = 1;        // trace everything
+  config.slow_query_threshold_micros = 0;  // every trace lands in the slow log
+
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  }
+
+  std::printf("building %zu-partition / %zu-broker cluster...\n",
+              config.num_partitions, config.num_brokers);
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 400;
+  cg.num_categories = 8;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  std::printf("running %zu queries and %zu updates (all traced)...\n\n",
+              num_queries, num_updates);
+  const std::size_t k = static_cast<std::size_t>(flags.GetInt("k", 5));
+  std::vector<std::uint64_t> trace_ids;
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const ProductId product = 1 + static_cast<ProductId>(i * 37) % 400;
+    const auto record = cluster.catalog().Get(product);
+    const QueryResponse response =
+        cluster.Query(QueryImage{product, record->category, i + 1},
+                      QueryOptions{.k = k});
+    std::printf("query %zu: product %llu, %zu results, %lld us, trace %016llx\n",
+                i, (unsigned long long)product, response.results.size(),
+                (long long)response.total_micros,
+                (unsigned long long)response.trace_id);
+    trace_ids.push_back(response.trace_id);
+  }
+  for (std::size_t i = 0; i < num_updates; ++i) {
+    ProductUpdateMessage update;
+    update.type = UpdateType::kAddProduct;
+    update.product_id = 10'000 + i;
+    update.category_id = static_cast<CategoryId>(i % 8);
+    update.attributes = {.sales = 5, .price_cents = 1999, .praise = 3};
+    update.image_urls.push_back(MakeImageUrl(update.product_id, 0));
+    cluster.PublishUpdate(std::move(update));
+  }
+  cluster.WaitForUpdatesDrained();
+
+  std::printf("\n---- query span trees ----\n");
+  for (const std::uint64_t trace_id : trace_ids) {
+    std::printf("\n%s", cluster.trace_sink().Render(trace_id).c_str());
+  }
+
+  std::printf("\n---- slow-query log (worst %zu over %lld us) ----\n",
+              cluster.slow_log().size(),
+              (long long)cluster.slow_log().threshold_micros());
+  std::printf("%s", cluster.slow_log().Render().c_str());
+
+  if (print_metrics) {
+    std::printf("\n---- metrics exposition ----\n%s",
+                cluster.registry().ExpositionText().c_str());
+  }
+  cluster.Stop();
+  return 0;
+}
