@@ -106,4 +106,46 @@ inline void PrintStageBreakdown(const obs::Registry& registry) {
   }
 }
 
+// Pool-saturation table: busy workers and queue depth (current + peak) per
+// tier, from the jdvs_pool_* gauges. With the continuation-passing pipeline
+// peak busy stays near the work actually executing; a blocking pipeline
+// instead pins busy == threads while requests wait on lower tiers.
+inline void PrintPoolSaturation(VisualSearchCluster& cluster) {
+  cluster.SamplePoolGauges();
+  const obs::Registry& registry = cluster.registry();
+  std::printf("\npool saturation (threads busy / queued tasks):\n");
+  std::printf("  %-16s %8s %10s %10s %12s\n", "node", "busy", "busy_peak",
+              "queued", "queued_peak");
+  auto row = [&](const std::string& node) {
+    auto value = [&](const char* family) {
+      const obs::Gauge* g =
+          registry.FindGauge(obs::Labeled(family, "node", node));
+      return g == nullptr ? 0ll : (long long)g->Value();
+    };
+    std::printf("  %-16s %8lld %10lld %10lld %12lld\n", node.c_str(),
+                value("jdvs_pool_busy_threads"),
+                value("jdvs_pool_busy_threads_peak"),
+                value("jdvs_pool_queue_depth"),
+                value("jdvs_pool_queue_depth_peak"));
+  };
+  for (std::size_t i = 0; i < cluster.num_blenders(); ++i) {
+    row(cluster.blender(i).name());
+  }
+  for (std::size_t i = 0; i < cluster.num_brokers(); ++i) {
+    row(cluster.broker(i).name());
+  }
+  // One representative searcher row per partition would be noise at 20
+  // partitions; aggregate the tier instead.
+  long long busy = 0, busy_peak = 0, queued = 0, queued_peak = 0;
+  for (std::size_t i = 0; i < cluster.num_searchers(); ++i) {
+    const ThreadPool& pool = cluster.searcher_flat(i).node().pool();
+    busy += (long long)pool.busy_threads();
+    busy_peak += (long long)pool.peak_busy_threads();
+    queued += (long long)pool.queue_depth();
+    queued_peak += (long long)pool.peak_queue_depth();
+  }
+  std::printf("  %-16s %8lld %10lld %10lld %12lld\n", "searchers(sum)", busy,
+              busy_peak, queued, queued_peak);
+}
+
 }  // namespace jdvs::bench

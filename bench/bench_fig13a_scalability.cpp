@@ -40,6 +40,7 @@ int main() {
   std::printf("\npeak throughput: %.0f QPS = %.0fM searches/day "
               "(paper: ~1800 QPS = 155M/day)\n",
               max_qps, max_qps * 86400.0 / 1e6);
+  PrintPoolSaturation(*cluster);
   cluster->Stop();
   return 0;
 }

@@ -16,7 +16,26 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::string name,
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
+  // Peak depth is sampled *before* the push. Once the task lands, a worker
+  // may run it to completion and the task may release whatever keeps this
+  // pool's owner alive (e.g. fulfil the promise a caller is blocked on), so
+  // no member of the pool can be touched after Push returns.
+  UpdateMax(peak_queue_, queue_.size() + 1);
   return queue_.Push(std::move(task));
+}
+
+void ThreadPool::ResetPeakStats() {
+  peak_busy_.store(busy_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  peak_queue_.store(queue_.size(), std::memory_order_relaxed);
+}
+
+void ThreadPool::UpdateMax(std::atomic<std::size_t>& peak, std::size_t value) {
+  std::size_t current = peak.load(std::memory_order_relaxed);
+  while (current < value &&
+         !peak.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 void ThreadPool::Shutdown() {
@@ -29,7 +48,9 @@ void ThreadPool::Shutdown() {
 
 void ThreadPool::WorkerLoop() {
   while (auto task = queue_.Pop()) {
+    UpdateMax(peak_busy_, busy_.fetch_add(1, std::memory_order_relaxed) + 1);
     (*task)();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -5,6 +5,7 @@
 // background index-copy tasks (Figure 9) also run here.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -51,12 +52,33 @@ class ThreadPool {
   std::size_t num_threads() const { return threads_.size(); }
   std::size_t pending() const { return queue_.size(); }
 
+  // Saturation stats (exported as jdvs_pool_* gauges by the cluster):
+  // workers currently executing a task, tasks queued behind them, and the
+  // high-water marks of both since construction / the last ResetPeakStats().
+  // A pool whose threads park in blocking waits shows busy == num_threads
+  // with a growing queue; the continuation-passing pipeline keeps busy low.
+  std::size_t busy_threads() const {
+    return busy_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_busy_threads() const {
+    return peak_busy_.load(std::memory_order_relaxed);
+  }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t peak_queue_depth() const {
+    return peak_queue_.load(std::memory_order_relaxed);
+  }
+  void ResetPeakStats();
+
  private:
   void WorkerLoop();
+  static void UpdateMax(std::atomic<std::size_t>& peak, std::size_t value);
 
   MpmcQueue<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   std::string name_;
+  std::atomic<std::size_t> busy_{0};
+  std::atomic<std::size_t> peak_busy_{0};
+  std::atomic<std::size_t> peak_queue_{0};
 };
 
 }  // namespace jdvs

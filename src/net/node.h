@@ -7,6 +7,9 @@
 // network hop, and the result travels back through a future after a second
 // hop — so fan-out calls from one node to many execute genuinely in
 // parallel, and a saturated node queues requests exactly like a busy server.
+// InvokeAsync() is the continuation-passing variant the serving pipeline
+// uses: the result is delivered to a completion callback on the callee's
+// pool thread, so no caller thread ever parks waiting for a response.
 #pragma once
 
 #include <atomic>
@@ -20,6 +23,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "net/latency_model.h"
+#include "net/rpc.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -67,6 +71,63 @@ class Node {
     std::future<R> result = task->get_future();
     pool_.Submit([task] { (*task)(); });
     return result;
+  }
+
+  // Continuation-passing Invoke: schedules `fn` on this node's pool exactly
+  // like Invoke(), but delivers the outcome (value or std::exception_ptr,
+  // including the NodeFailedError thrown while failed() is set) to `on_done`
+  // as an AsyncResult<R> instead of a future. `on_done` runs on the callee's
+  // pool thread right after `fn`; no caller thread blocks. If the pool is
+  // already shut down the task runs inline so the callback always fires.
+  template <typename F, typename Done>
+  void InvokeAsync(F&& fn, Done&& on_done) {
+    using R = std::invoke_result_t<F>;
+    auto task = [this, fn = std::forward<F>(fn),
+                 done = std::forward<Done>(on_done)]() mutable {
+      AsyncResult<R> result;
+      try {
+        ChargeHop(latency_, seed_);  // request transit
+        if (failed_.load(std::memory_order_acquire)) {
+          throw NodeFailedError(name_);
+        }
+        if constexpr (std::is_void_v<R>) {
+          fn();
+        } else {
+          result.value.emplace(fn());
+        }
+        ChargeHop(latency_, seed_ ^ 1);  // response transit
+      } catch (...) {
+        result.error = std::current_exception();
+      }
+      done(std::move(result));
+    };
+    // shared_ptr wrapper: std::function requires copyable callables, and a
+    // failed Submit (pool shut down) must still be able to run the task.
+    auto shared = std::make_shared<decltype(task)>(std::move(task));
+    if (!pool_.Submit([shared] { (*shared)(); })) (*shared)();
+  }
+
+  // Span-aware InvokeAsync: `fn(span)` runs under a child span of `parent`
+  // covering the callee-side execution; an exception marks the span failed
+  // and reaches `on_done` as the AsyncResult error. The span finishes when
+  // `fn` returns — work that outlives `fn` (a continuation chain) should
+  // instead own a Span in its per-request state.
+  template <typename F, typename Done>
+  void InvokeSpannedAsync(obs::TraceSink* sink, const obs::TraceContext& parent,
+                          std::string span_name, F&& fn, Done&& on_done) {
+    InvokeAsync(
+        [this, sink, parent, name = std::move(span_name),
+         fn = std::forward<F>(fn)]() mutable {
+          obs::Span span(sink, MonotonicClock::Instance(), parent,
+                         std::move(name), name_);
+          try {
+            return fn(span);
+          } catch (const std::exception& e) {
+            span.SetError(e.what());
+            throw;
+          }
+        },
+        std::forward<Done>(on_done));
   }
 
   // Span-aware Invoke: runs `fn(span)` on this node's pool under a span that

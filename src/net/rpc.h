@@ -1,19 +1,131 @@
-// Small RPC helpers over Node::Invoke.
+// RPC helpers over Node::Invoke / Node::InvokeAsync.
+//
+// The continuation-passing request path (blender -> broker -> searcher)
+// moves results between tiers as AsyncResult<R> values delivered to
+// completion callbacks, and joins fan-outs with FanInCollector: an
+// atomic-countdown aggregator that owns the per-request partials on the
+// heap and fires a single continuation on whichever pool thread delivers
+// the last child. No thread ever parks in a future.get() between tiers.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <exception>
+#include <functional>
 #include <future>
+#include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace jdvs {
 
+// Outcome of one async invocation: exactly one of `value` (engaged) or
+// `error` (non-null) is set. The value travels by move through the
+// continuation chain.
+template <typename R>
+struct AsyncResult {
+  std::optional<R> value;
+  std::exception_ptr error;
+
+  bool ok() const { return error == nullptr; }
+
+  static AsyncResult Ok(R v) {
+    AsyncResult r;
+    r.value.emplace(std::move(v));
+    return r;
+  }
+  static AsyncResult Fail(std::exception_ptr e) {
+    AsyncResult r;
+    r.error = std::move(e);
+    return r;
+  }
+};
+
+template <>
+struct AsyncResult<void> {
+  std::exception_ptr error;
+
+  bool ok() const { return error == nullptr; }
+
+  static AsyncResult Ok() { return AsyncResult{}; }
+  static AsyncResult Fail(std::exception_ptr e) {
+    AsyncResult r;
+    r.error = std::move(e);
+    return r;
+  }
+};
+
+// what() of the exception inside `error`, for tagging trace spans.
+inline std::string DescribeException(const std::exception_ptr& error) {
+  if (error == nullptr) return "ok";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+// Countdown fan-in aggregator for one fan-out wave.
+//
+// Create() fixes the child count up front; each child chain calls
+// Complete(slot, result) exactly once when its outcome is final (a failed
+// replica that will be retried must NOT complete its slot — the retry is
+// dispatched from the child's completion callback and completes the slot
+// later). The thread that delivers the last slot invokes the continuation
+// with all slots; the continuation is released immediately after firing so
+// per-request state captured in it (and any cycle back to the collector)
+// is freed promptly. Zero children fire the continuation inside Create().
+template <typename R>
+class FanInCollector {
+ public:
+  using Continuation = std::function<void(std::vector<AsyncResult<R>>)>;
+
+  static std::shared_ptr<FanInCollector> Create(std::size_t children,
+                                                Continuation done) {
+    auto collector = std::shared_ptr<FanInCollector>(
+        new FanInCollector(children, std::move(done)));
+    if (children == 0) collector->Fire();
+    return collector;
+  }
+
+  FanInCollector(const FanInCollector&) = delete;
+  FanInCollector& operator=(const FanInCollector&) = delete;
+
+  // Thread-safe across slots; each slot must be completed exactly once.
+  // The release-decrement publishes the slot write to the acquiring thread
+  // that brings the count to zero and fires.
+  void Complete(std::size_t slot, AsyncResult<R> result) {
+    slots_[slot] = std::move(result);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) Fire();
+  }
+
+  std::size_t num_children() const { return slots_.size(); }
+
+ private:
+  FanInCollector(std::size_t children, Continuation done)
+      : remaining_(children), slots_(children), done_(std::move(done)) {}
+
+  void Fire() {
+    Continuation done = std::move(done_);
+    done_ = nullptr;  // break state <-> collector reference cycles
+    done(std::move(slots_));
+  }
+
+  std::atomic<std::size_t> remaining_;
+  std::vector<AsyncResult<R>> slots_;
+  Continuation done_;
+};
+
 // Collects the results of a vector of futures, dropping those that failed
-// with an exception (fan-out with partial results: a broker still answers
-// when one searcher replica call fails and the retry also fails). Returns
-// how many futures failed via `failures` and the first failure's what() via
-// `first_error` when non-null — so the caller can tag the failure on a
-// trace span instead of silently counting it.
+// with an exception (fan-out with partial results). Returns how many
+// futures failed via `failures` and the first failure's what() via
+// `first_error` when non-null. Only used off the hot path (tests, tools);
+// the serving pipeline joins fan-outs with FanInCollector instead.
 template <typename R>
 std::vector<R> CollectPartial(std::vector<std::future<R>>& futures,
                               std::size_t* failures = nullptr,

@@ -2,8 +2,7 @@
 
 #include <chrono>
 #include <thread>
-
-#include "net/rpc.h"
+#include <utility>
 
 namespace jdvs {
 
@@ -36,6 +35,45 @@ Blender::Blender(std::string name, const Config& config,
   }
 }
 
+struct Blender::RequestState {
+  explicit RequestState(Blender* blender)
+      : blender(blender), watch(MonotonicClock::Instance()) {}
+
+  // Backstop: if the chain is dropped (every continuation released without
+  // fulfilling), the future must still complete and the admission slot must
+  // still be released.
+  ~RequestState() {
+    Fail(std::make_exception_ptr(
+        std::runtime_error("query pipeline dropped before completion")));
+  }
+
+  // Exactly one of Fulfill/Fail wins; both release the in-flight slot
+  // *before* completing the promise, so in_flight() reads 0 as soon as the
+  // caller's future is ready.
+  void Fulfill(QueryResponse result) {
+    if (fulfilled.exchange(true, std::memory_order_acq_rel)) return;
+    blender->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    promise.set_value(std::move(result));
+  }
+  void Fail(std::exception_ptr error) {
+    if (fulfilled.exchange(true, std::memory_order_acq_rel)) return;
+    blender->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    promise.set_exception(std::move(error));
+  }
+
+  Blender* blender;
+  QueryOptions options;
+  Stopwatch watch;
+  obs::Span root;  // owned here so the trace spans every thread hop
+  QueryResponse response;
+  CategoryId category_filter = kNoCategoryFilter;
+  std::size_t fetch_k = 0;
+  std::uint64_t cache_key = 0;
+  std::uint64_t version = 0;
+  std::promise<QueryResponse> promise;
+  std::atomic<bool> fulfilled{false};
+};
+
 QueryResponse Blender::Search(const QueryImage& query,
                               const QueryOptions& options) {
   return SearchAsync(query, options).get();
@@ -60,27 +98,35 @@ std::future<QueryResponse> Blender::SearchAsync(const QueryImage& query,
   } else {
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
   }
-  return node_.Invoke([this, query, options] {
-    struct InFlightGuard {
-      std::atomic<std::size_t>* gauge;
-      ~InFlightGuard() { gauge->fetch_sub(1, std::memory_order_acq_rel); }
-    } guard{&in_flight_};
-    return Execute(query, options);
-  });
+  auto state = std::make_shared<RequestState>(this);
+  state->options = options;
+  std::future<QueryResponse> future = state->promise.get_future();
+  node_.InvokeAsync(
+      [this, state, query] { BeginQuery(state, query); },
+      [state](AsyncResult<void> begun) {
+        // An exception here means the chain never started (NodeFailedError
+        // while this blender is down, or a pre-dispatch stage threw after
+        // BeginQuery rethrew); the admission slot is released by Fail.
+        if (!begun.ok()) state->Fail(begun.error);
+      });
+  return future;
 }
 
-QueryResponse Blender::Execute(const QueryImage& query,
-                               const QueryOptions& options) {
-  const Stopwatch watch(MonotonicClock::Instance());
+// Inline stages on a blender pool thread: trace root, extract, cache
+// lookup, then the broker fan-out dispatch. Returns as soon as the last
+// broker call is dispatched; everything downstream is continuations.
+void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
+                         const QueryImage& query) {
+  state->watch.Restart();  // response time excludes queue/hop, as before
   // Sampled 1-in-N by the tracer; an unsampled root makes every child span
   // below (extract, broker fan-out, searcher scans, rank) a no-op.
-  obs::Span root = tracer_->StartTrace("query", node_.name());
-  root.AddTag("k", static_cast<std::uint64_t>(options.k));
-  if (options.nprobe > 0) {
-    root.AddTag("nprobe", static_cast<std::uint64_t>(options.nprobe));
+  state->root = tracer_->StartTrace("query", node_.name());
+  obs::Span& root = state->root;
+  root.AddTag("k", static_cast<std::uint64_t>(state->options.k));
+  if (state->options.nprobe > 0) {
+    root.AddTag("nprobe", static_cast<std::uint64_t>(state->options.nprobe));
   }
-  QueryResponse response;
-  response.trace_id = root.context().trace_id;
+  state->response.trace_id = root.context().trace_id;
 
   // 1. Detect the item and identify its category (Section 2.4).
   // 2. Extract the query photo's high-dimensional features, charging the
@@ -89,7 +135,7 @@ QueryResponse Blender::Execute(const QueryImage& query,
   {
     obs::Span extract = root.StartChild("extract", node_.name());
     const Stopwatch extract_watch(MonotonicClock::Instance());
-    response.detected_category =
+    state->response.detected_category =
         detector_.Detect(query.true_category, query.query_seed);
     if (config_.query_extraction_micros > 0) {
       std::this_thread::sleep_for(
@@ -102,82 +148,120 @@ QueryResponse Blender::Execute(const QueryImage& query,
 
   // The category scan filter comes from explicit query options first, then
   // the detector when configured to narrow the search (Section 2.4).
-  CategoryId category_filter = options.category_filter;
-  if (category_filter == kNoCategoryFilter && config_.use_category_filter) {
-    category_filter = response.detected_category;
+  state->category_filter = state->options.category_filter;
+  if (state->category_filter == kNoCategoryFilter &&
+      config_.use_category_filter) {
+    state->category_filter = state->response.detected_category;
   }
-  if (category_filter != kNoCategoryFilter) {
-    root.AddTag("category", static_cast<std::uint64_t>(category_filter));
+  if (state->category_filter != kNoCategoryFilter) {
+    root.AddTag("category",
+                static_cast<std::uint64_t>(state->category_filter));
   }
 
   // 2b. Result cache (when enabled): near-duplicate query photos of a hot
   //     product hit the same locality-sensitive key, skipping the fan-out.
-  const std::uint64_t version =
+  state->version =
       config_.index_version == nullptr
           ? 0
           : config_.index_version->load(std::memory_order_relaxed);
-  std::uint64_t cache_key = 0;
   if (cache_) {
-    cache_key =
-        cache_->KeyFor(feature, options.k, options.nprobe, category_filter);
-    if (auto cached = cache_->Lookup(cache_key, version)) {
+    state->cache_key = cache_->KeyFor(feature, state->options.k,
+                                      state->options.nprobe,
+                                      state->category_filter);
+    if (auto cached = cache_->Lookup(state->cache_key, state->version)) {
       cached->from_cache = true;
-      cached->total_micros = watch.ElapsedMicros();
-      cached->trace_id = response.trace_id;
+      cached->total_micros = state->watch.ElapsedMicros();
+      cached->trace_id = state->response.trace_id;
       queries_.fetch_add(1, std::memory_order_relaxed);
       queries_total_->Increment();
       total_stage_->Record(cached->total_micros);
       root.AddTag("cache", "hit");
       root.Finish();
-      if (config_.slow_log != nullptr && response.trace_id != 0) {
-        config_.slow_log->Offer(response.trace_id, cached->total_micros);
+      if (config_.slow_log != nullptr && cached->trace_id != 0) {
+        config_.slow_log->Offer(cached->trace_id, cached->total_micros);
       }
-      return *std::move(cached);
+      state->Fulfill(*std::move(cached));
+      return;
     }
   }
 
   // 3. "sends them to all the brokers" — parallel fan-out. Fetch more than k
-  //    from below so attribute re-ranking has candidates to work with.
-  const std::size_t fetch_k = options.k * 2;
-  std::vector<std::future<std::vector<SearchHit>>> futures;
-  futures.reserve(brokers_.size());
-  for (Broker* broker : brokers_) {
-    futures.push_back(broker->SearchAsync(feature, fetch_k, options.nprobe,
-                                          category_filter, root.context()));
+  //    from below so attribute re-ranking has candidates to work with. The
+  //    last broker completion re-posts the merge/rank leg to this blender's
+  //    pool (local continuation, not a network hop).
+  state->fetch_k = state->options.k * 2;
+  state->response.brokers_asked = brokers_.size();
+  auto collector = FanInCollector<std::vector<SearchHit>>::Create(
+      brokers_.size(),
+      [this, state](std::vector<AsyncResult<std::vector<SearchHit>>> slots) {
+        auto pending = std::make_shared<
+            std::vector<AsyncResult<std::vector<SearchHit>>>>(
+            std::move(slots));
+        auto finish = [this, state, pending] {
+          FinishQuery(state, std::move(*pending));
+        };
+        if (!node_.pool().Submit(finish)) finish();
+      });
+  for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    brokers_[b]->SearchAsync(
+        feature, state->fetch_k, state->options.nprobe, state->category_filter,
+        root.context(),
+        [collector, b](Broker::SearchResult result) {
+          collector->Complete(b, std::move(result));
+        });
   }
-  response.brokers_asked = futures.size();
+}
+
+// End of the chain, back on a blender pool thread: global merge, attribute
+// ranking, cache fill, span finish, promise fulfillment.
+void Blender::FinishQuery(
+    const std::shared_ptr<RequestState>& state,
+    std::vector<AsyncResult<std::vector<SearchHit>>> slots) {
   std::size_t failures = 0;
   std::string first_error;
-  std::vector<std::vector<SearchHit>> partials =
-      CollectPartial(futures, &failures, &first_error);
-  response.broker_failures = failures;
+  std::vector<std::vector<SearchHit>> partials;
+  partials.reserve(slots.size());
+  for (auto& slot : slots) {
+    if (slot.ok()) {
+      partials.push_back(*std::move(slot.value));
+    } else {
+      ++failures;
+      if (first_error.empty()) first_error = DescribeException(slot.error);
+    }
+  }
+  state->response.broker_failures = failures;
   if (failures > 0) {
-    root.AddTag("broker_failures", static_cast<std::uint64_t>(failures));
-    root.SetError(std::move(first_error));
+    state->root.AddTag("broker_failures",
+                       static_cast<std::uint64_t>(failures));
+    state->root.SetError(std::move(first_error));
   }
 
   // 4. "combines and ranks the results": merge by distance, then rank by
   //    similarity + sales/praise/price attributes.
   {
-    obs::Span rank = root.StartChild("rank", node_.name());
+    obs::Span rank = state->root.StartChild("rank", node_.name());
     const Stopwatch rank_watch(MonotonicClock::Instance());
-    std::vector<SearchHit> merged = MergeHits(std::move(partials), fetch_k);
-    response.results = RankResults(std::move(merged),
-                                   response.detected_category, config_.ranking,
-                                   options.k);
+    std::vector<SearchHit> merged =
+        MergeHits(std::move(partials), state->fetch_k);
+    state->response.results =
+        RankResults(std::move(merged), state->response.detected_category,
+                    config_.ranking, state->options.k);
     rank_stage_->Record(rank_watch.ElapsedMicros());
   }
-  response.total_micros = watch.ElapsedMicros();
-  if (cache_) cache_->Insert(cache_key, version, response);
+  state->response.total_micros = state->watch.ElapsedMicros();
+  if (cache_) {
+    cache_->Insert(state->cache_key, state->version, state->response);
+  }
   queries_.fetch_add(1, std::memory_order_relaxed);
   queries_total_->Increment();
-  total_stage_->Record(response.total_micros);
+  total_stage_->Record(state->response.total_micros);
   // Finish before offering: the slow log renders the complete span tree.
-  root.Finish();
-  if (config_.slow_log != nullptr && response.trace_id != 0) {
-    config_.slow_log->Offer(response.trace_id, response.total_micros);
+  state->root.Finish();
+  if (config_.slow_log != nullptr && state->response.trace_id != 0) {
+    config_.slow_log->Offer(state->response.trace_id,
+                            state->response.total_micros);
   }
-  return response;
+  state->Fulfill(std::move(state->response));
 }
 
 }  // namespace jdvs

@@ -5,6 +5,14 @@
 // results and returns to the user." Query-side feature extraction (detect
 // the item, identify its category, run the CNN) happens here, charged via a
 // configurable extraction cost.
+//
+// Execution model: extract + cache lookup run inline on a blender pool
+// thread, then the broker fan-out, global merge, attribute ranking, cache
+// fill and span finish are continuations — the blender thread frees itself
+// after dispatching, broker results count down a FanInCollector, and the
+// merge/rank leg is re-posted to the blender pool by the last broker
+// completion. The public SearchAsync future is fulfilled by a promise at
+// the end of the chain; only the blocking Search() facade ever waits.
 #pragma once
 
 #include <atomic>
@@ -18,6 +26,7 @@
 #include "embedding/category_detector.h"
 #include "embedding/extractor.h"
 #include "net/node.h"
+#include "net/rpc.h"
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
@@ -80,7 +89,8 @@ class Blender {
   Blender& operator=(const Blender&) = delete;
 
   // Full query path on this blender's node; blocks until the response is
-  // ready (the front end's synchronous HTTP round trip).
+  // ready (the front end's synchronous HTTP round trip). This facade is the
+  // only place the query path waits on a future.
   QueryResponse Search(const QueryImage& query, const QueryOptions& options);
   QueryResponse Search(const QueryImage& query) {
     return Search(query, QueryOptions{.k = config_.default_k,
@@ -106,7 +116,18 @@ class Blender {
   }
 
  private:
-  QueryResponse Execute(const QueryImage& query, const QueryOptions& options);
+  // Heap-owned per-request state shared by the continuation chain. Owns the
+  // root span (so the trace stitches across thread hops), the response
+  // under construction, and the promise fulfilled at the end of the chain.
+  // Fulfillment releases the in-flight admission slot on *every* path —
+  // success, broker failure, NodeFailedError before the chain starts — and
+  // the destructor backstops a dropped chain so the future never dangles.
+  struct RequestState;
+
+  void BeginQuery(const std::shared_ptr<RequestState>& state,
+                  const QueryImage& query);
+  void FinishQuery(const std::shared_ptr<RequestState>& state,
+                   std::vector<AsyncResult<std::vector<SearchHit>>> slots);
 
   Config config_;
   Node node_;

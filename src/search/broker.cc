@@ -24,84 +24,152 @@ void Broker::AddPartition(std::vector<Searcher*> replicas) {
   partitions_.push_back(std::move(replicas));
 }
 
-std::future<std::vector<SearchHit>> Broker::SearchAsync(
-    FeatureVector query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter, obs::TraceContext parent) {
-  return node_.InvokeSpanned(
-      trace_sink_, parent, "broker.search",
-      [this, query = std::move(query), k, nprobe,
-       category_filter](obs::Span& span) {
-        return SearchFanOut(query, k, nprobe, category_filter, &span);
+struct Broker::FanOutState {
+  FanOutState(FeatureVector q, std::size_t k, std::size_t nprobe,
+              CategoryId filter, SearchCallback done)
+      : query(std::move(q)),
+        k(k),
+        nprobe(nprobe),
+        filter(filter),
+        watch(MonotonicClock::Instance()),
+        on_done(std::move(done)) {}
+
+  FeatureVector query;
+  std::size_t k;
+  std::size_t nprobe;
+  CategoryId filter;
+  Stopwatch watch;
+  SearchCallback on_done;
+  obs::Span span;             // "broker.search": dispatch through merge
+  obs::TraceContext context;  // span.context(), passed to searcher calls
+  // slot i of the collector is partition slot_partition[i]; on failure the
+  // slot carries the last replica's error.
+  std::vector<std::size_t> slot_partition;
+  std::shared_ptr<FanInCollector<std::vector<SearchHit>>> collector;
+  std::atomic<std::uint64_t> failovers{0};
+};
+
+void Broker::SearchAsync(FeatureVector query, std::size_t k,
+                         std::size_t nprobe, CategoryId category_filter,
+                         obs::TraceContext parent, SearchCallback on_done) {
+  auto state = std::make_shared<FanOutState>(std::move(query), k, nprobe,
+                                             category_filter,
+                                             std::move(on_done));
+  node_.InvokeAsync(
+      [this, state, parent] {
+        state->span = obs::Span(trace_sink_, MonotonicClock::Instance(),
+                                parent, "broker.search", node_.name());
+        state->context = state->span.context();
+        StartFanOut(state);
+      },
+      [state](AsyncResult<void> dispatched) {
+        // Fires after the dispatch returns. Success means the fan-out owns
+        // the request now; failure (the broker node itself is down) is the
+        // caller's to fail over.
+        if (!dispatched.ok()) {
+          state->on_done(SearchResult::Fail(dispatched.error));
+        }
       });
 }
 
-std::vector<SearchHit> Broker::SearchFanOut(const FeatureVector& query,
-                                            std::size_t k, std::size_t nprobe,
-                                            CategoryId category_filter,
-                                            obs::Span* span) {
-  const Stopwatch watch(MonotonicClock::Instance());
-  const obs::TraceContext context =
-      span != nullptr ? span->context() : obs::TraceContext{};
-  if (span != nullptr) {
-    span->AddTag("partitions",
-                 static_cast<std::uint64_t>(partitions_.size()));
-  }
-  // First wave: ask the preferred (first healthy) replica of every partition
-  // in parallel.
-  struct Pending {
-    std::size_t partition;
-    std::size_t replica;
-    std::future<std::vector<SearchHit>> future;
-  };
-  std::vector<Pending> pending;
-  pending.reserve(partitions_.size());
-  for (std::size_t p = 0; p < partitions_.size(); ++p) {
-    if (partitions_[p].empty()) continue;
-    pending.push_back(Pending{
-        p, 0, partitions_[p][0]->SearchAsync(query, k, nprobe,
-                                             category_filter, context)});
-  }
+std::future<std::vector<SearchHit>> Broker::SearchAsync(
+    FeatureVector query, std::size_t k, std::size_t nprobe,
+    CategoryId category_filter, obs::TraceContext parent) {
+  auto promise = std::make_shared<std::promise<std::vector<SearchHit>>>();
+  std::future<std::vector<SearchHit>> future = promise->get_future();
+  SearchAsync(std::move(query), k, nprobe, category_filter, parent,
+              [promise](SearchResult result) {
+                if (result.ok()) {
+                  promise->set_value(*std::move(result.value));
+                } else {
+                  promise->set_exception(result.error);
+                }
+              });
+  return future;
+}
 
-  std::uint64_t failovers = 0;
-  std::vector<std::vector<SearchHit>> partials;
-  partials.reserve(pending.size());
-  // Collect; on failure walk the replica list ("multiple copies for
-  // availability"). Retries are sequential per failed partition — failure is
-  // the rare path.
-  for (auto& p : pending) {
-    for (;;) {
-      try {
-        partials.push_back(p.future.get());
-        break;
-      } catch (const std::exception& e) {
-        ++p.replica;
-        if (p.replica >= partitions_[p.partition].size()) {
-          partition_failures_.fetch_add(1, std::memory_order_relaxed);
-          partition_failures_total_->Increment();
-          if (span != nullptr) {
-            span->SetError(std::string("partition ") +
-                           std::to_string(p.partition) + " unavailable: " +
-                           e.what());
-          }
-          JDVS_LOG(kWarning) << node_.name() << ": partition " << p.partition
-                             << " unavailable (" << e.what() << ")";
-          break;
+// Runs on a broker pool thread; returns as soon as the first wave is
+// dispatched.
+void Broker::StartFanOut(std::shared_ptr<FanOutState> state) {
+  state->span.AddTag("partitions",
+                     static_cast<std::uint64_t>(partitions_.size()));
+  state->slot_partition.reserve(partitions_.size());
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    if (!partitions_[p].empty()) state->slot_partition.push_back(p);
+  }
+  const std::size_t current =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (peak < current &&
+         !peak_in_flight_.compare_exchange_weak(peak, current,
+                                                std::memory_order_relaxed)) {
+  }
+  state->collector = FanInCollector<std::vector<SearchHit>>::Create(
+      state->slot_partition.size(),
+      [this, state](std::vector<SearchResult> slots) {
+        FinishFanOut(state, std::move(slots));
+      });
+  for (std::size_t slot = 0; slot < state->slot_partition.size(); ++slot) {
+    DispatchReplica(state, slot, 0);
+  }
+}
+
+void Broker::DispatchReplica(std::shared_ptr<FanOutState> state,
+                             std::size_t slot, std::size_t replica) {
+  const std::size_t partition = state->slot_partition[slot];
+  partitions_[partition][replica]->SearchAsync(
+      state->query, state->k, state->nprobe, state->filter, state->context,
+      [this, state, slot, replica](SearchResult result) {
+        if (result.ok()) {
+          state->collector->Complete(slot, std::move(result));
+          return;
         }
-        ++failovers;
-        failovers_.fetch_add(1, std::memory_order_relaxed);
-        failovers_total_->Increment();
-        p.future = partitions_[p.partition][p.replica]->SearchAsync(
-            query, k, nprobe, category_filter, context);
-      }
+        // Replica failed: walk the replica list ("multiple copies for
+        // availability") by re-dispatching from this completion callback —
+        // no thread waits, and the other partitions keep collecting.
+        const std::size_t partition = state->slot_partition[slot];
+        const std::size_t next = replica + 1;
+        if (next < partitions_[partition].size()) {
+          state->failovers.fetch_add(1, std::memory_order_relaxed);
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+          failovers_total_->Increment();
+          DispatchReplica(std::move(state), slot, next);
+          return;
+        }
+        partition_failures_.fetch_add(1, std::memory_order_relaxed);
+        partition_failures_total_->Increment();
+        JDVS_LOG(kWarning) << node_.name() << ": partition " << partition
+                           << " unavailable ("
+                           << DescribeException(result.error) << ")";
+        state->collector->Complete(slot, std::move(result));
+      });
+}
+
+// Final continuation: runs on the pool thread of whichever searcher
+// delivered the last partition.
+void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
+                          std::vector<SearchResult> slots) {
+  std::vector<std::vector<SearchHit>> partials;
+  partials.reserve(slots.size());
+  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+    if (slots[slot].ok()) {
+      partials.push_back(*std::move(slots[slot].value));
+    } else {
+      state->span.SetError(
+          std::string("partition ") +
+          std::to_string(state->slot_partition[slot]) +
+          " unavailable: " + DescribeException(slots[slot].error));
     }
   }
-  if (span != nullptr && failovers > 0) {
-    span->AddTag("failovers", failovers);
-  }
+  const std::uint64_t failovers =
+      state->failovers.load(std::memory_order_relaxed);
+  if (failovers > 0) state->span.AddTag("failovers", failovers);
   // "The broker then combines the results from its subset of searchers."
-  auto merged = MergeHits(std::move(partials), k);
-  fanout_stage_->Record(watch.ElapsedMicros());
-  return merged;
+  auto merged = MergeHits(std::move(partials), state->k);
+  fanout_stage_->Record(state->watch.ElapsedMicros());
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  state->span.Finish();
+  state->on_done(SearchResult::Ok(std::move(merged)));
 }
 
 }  // namespace jdvs

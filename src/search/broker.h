@@ -5,16 +5,27 @@
 // broker owns can have several replica searchers ("Each partition can have
 // multiple copies for availability"); the broker queries one replica and
 // fails over to the next on error.
+//
+// The fan-out is continuation-passing: a broker pool thread only *dispatches*
+// the first wave, then frees itself. Each searcher response lands in a
+// FanInCollector from the searcher's own pool thread; a failed replica is
+// re-dispatched to the next copy from inside that completion callback (so
+// failover of one partition never delays collection of the others), and the
+// merge runs in the final continuation when the last partition arrives. No
+// broker thread ever blocks on an in-flight query, so a 1-thread broker
+// sustains arbitrarily many concurrent fan-outs.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "net/node.h"
+#include "net/rpc.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "search/searcher.h"
@@ -33,6 +44,9 @@ class Broker {
     obs::TraceSink* trace_sink = nullptr;
   };
 
+  using SearchResult = AsyncResult<std::vector<SearchHit>>;
+  using SearchCallback = std::function<void(SearchResult)>;
+
   Broker(std::string name, const Config& config);
 
   Broker(const Broker&) = delete;
@@ -41,22 +55,21 @@ class Broker {
   // Registers one partition with its replica searchers (preference order).
   void AddPartition(std::vector<Searcher*> replicas);
 
-  // Remote entry point: fan-out/merge runs on the broker's node. A sampled
-  // `parent` context yields a "broker.search" span with failover/failure
-  // tags, plus one "searcher.scan" child per probed partition.
+  // Remote entry point, continuation-passing: a broker pool thread runs the
+  // fan-out dispatch (one searcher call per partition), and `on_done`
+  // receives the merged top-k once the last partition lands — on whichever
+  // searcher pool thread delivered it. A sampled `parent` context yields a
+  // "broker.search" span covering dispatch through merge, with
+  // failover/failure tags, plus one "searcher.scan" child per partition.
+  void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
+                   CategoryId category_filter, obs::TraceContext parent,
+                   SearchCallback on_done);
+
+  // Future facade over the continuation path (tests / ablation harnesses).
   std::future<std::vector<SearchHit>> SearchAsync(
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
       CategoryId category_filter = kNoCategoryFilter,
       obs::TraceContext parent = {});
-
-  // The fan-out/merge itself (also used directly by flat-topology ablation).
-  // `span`, when non-null, is the enclosing broker span: failovers and
-  // partition failures are tagged on it and searcher calls become its
-  // children.
-  std::vector<SearchHit> SearchFanOut(
-      const FeatureVector& query, std::size_t k, std::size_t nprobe,
-      CategoryId category_filter = kNoCategoryFilter,
-      obs::Span* span = nullptr);
 
   Node& node() { return node_; }
   const std::string& name() const { return node_.name(); }
@@ -70,8 +83,28 @@ class Broker {
   std::uint64_t partition_failures() const {
     return partition_failures_.load(std::memory_order_relaxed);
   }
+  // Fan-outs currently between dispatch and final merge, and the high-water
+  // mark — the direct measure of pipeline concurrency the blocking design
+  // capped at `threads`.
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_in_flight() const {
+    return peak_in_flight_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Per-request fan-out state, heap-owned and shared by the child
+  // continuations; the span lives here so the trace covers the whole
+  // thread-hopping dispatch -> merge window.
+  struct FanOutState;
+
+  void StartFanOut(std::shared_ptr<FanOutState> state);
+  void DispatchReplica(std::shared_ptr<FanOutState> state, std::size_t slot,
+                       std::size_t replica);
+  void FinishFanOut(std::shared_ptr<FanOutState> state,
+                    std::vector<SearchResult> slots);
+
   Node node_;
   std::vector<std::vector<Searcher*>> partitions_;
   obs::TraceSink* trace_sink_;
@@ -80,6 +113,8 @@ class Broker {
   // them so one exposition dump reports every broker.
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> partition_failures_{0};
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> peak_in_flight_{0};
   obs::Counter* failovers_total_;
   obs::Counter* partition_failures_total_;
 };

@@ -51,7 +51,7 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     for (std::size_t r = 0; r < replicas; ++r) {
       Searcher::Config sc;
       sc.threads = config_.searcher_threads;
-      sc.latency = config_.hop_latency;
+      sc.latency = config_.searcher_latency.value_or(config_.hop_latency);
       sc.seed = config_.seed + p * 131 + r;
       sc.registry = registry_;
       sc.trace_sink = trace_sink_;
@@ -329,6 +329,29 @@ std::string VisualSearchCluster::StatusReport() const {
   os << "  searchers: " << searchers_.size() - down << "/"
      << searchers_.size() << " healthy\n";
   return os.str();
+}
+
+void VisualSearchCluster::SamplePoolGauges() {
+  auto sample = [this](Node& node) {
+    const ThreadPool& pool = node.pool();
+    registry_
+        ->GetGauge(obs::Labeled("jdvs_pool_busy_threads", "node", node.name()))
+        .Set(static_cast<std::int64_t>(pool.busy_threads()));
+    registry_
+        ->GetGauge(
+            obs::Labeled("jdvs_pool_busy_threads_peak", "node", node.name()))
+        .Set(static_cast<std::int64_t>(pool.peak_busy_threads()));
+    registry_
+        ->GetGauge(obs::Labeled("jdvs_pool_queue_depth", "node", node.name()))
+        .Set(static_cast<std::int64_t>(pool.queue_depth()));
+    registry_
+        ->GetGauge(
+            obs::Labeled("jdvs_pool_queue_depth_peak", "node", node.name()))
+        .Set(static_cast<std::int64_t>(pool.peak_queue_depth()));
+  };
+  for (const auto& blender : blenders_) sample(blender->node());
+  for (const auto& broker : brokers_) sample(broker->node());
+  for (const auto& searcher : searchers_) sample(searcher->node());
 }
 
 IvfIndexStats VisualSearchCluster::AggregateIndexStats() const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,9 @@ struct ClusterConfig {
   std::size_t broker_threads = 4;
   std::size_t blender_threads = 4;
   LatencyModel hop_latency;
+  // Overrides hop_latency for searcher nodes only (e.g. slow bottom tier
+  // under a thin broker tier, the shape the async pipeline must absorb).
+  std::optional<LatencyModel> searcher_latency;
 
   // Data / model substrates.
   EmbedderConfig embedder;
@@ -152,6 +156,9 @@ class VisualSearchCluster {
   Blender& blender(std::size_t i) { return *blenders_[i]; }
   std::size_t num_brokers() const { return brokers_.size(); }
   std::size_t num_blenders() const { return blenders_.size(); }
+  // The front-end balancer itself, for callers that retry on a different
+  // blender (workload::QueryClient's overload retry).
+  RoundRobinBalancer<Blender>& front_end() { return *front_end_; }
 
   std::uint64_t updates_published() const { return updates_published_; }
 
@@ -169,6 +176,11 @@ class VisualSearchCluster {
   obs::TraceSink& trace_sink() { return *trace_sink_; }
   obs::Tracer& tracer() { return *tracer_; }
   obs::SlowQueryLog& slow_log() { return *slow_log_; }
+
+  // Snapshots every node pool's saturation stats into the registry as
+  // jdvs_pool_busy_threads{node=...} / jdvs_pool_queue_depth{node=...}
+  // gauges (plus _peak variants). Call before dumping the registry.
+  void SamplePoolGauges();
 
   // Human-readable operational summary of every tier (the ops dashboard in
   // text form): topology, per-tier health, index sizes, update counters.

@@ -59,7 +59,25 @@ void Searcher::InstallFromSnapshot(const std::string& path) {
 std::future<std::vector<SearchHit>> Searcher::SearchAsync(
     FeatureVector query, std::size_t k, std::size_t nprobe,
     CategoryId category_filter, obs::TraceContext parent) {
-  return node_.InvokeSpanned(
+  // Future facade over the continuation path, for tests and tools that want
+  // a blocking join; the broker drives the callback overload directly.
+  auto promise = std::make_shared<std::promise<std::vector<SearchHit>>>();
+  std::future<std::vector<SearchHit>> future = promise->get_future();
+  SearchAsync(std::move(query), k, nprobe, category_filter, parent,
+              [promise](SearchResult result) {
+                if (result.ok()) {
+                  promise->set_value(*std::move(result.value));
+                } else {
+                  promise->set_exception(result.error);
+                }
+              });
+  return future;
+}
+
+void Searcher::SearchAsync(FeatureVector query, std::size_t k,
+                           std::size_t nprobe, CategoryId category_filter,
+                           obs::TraceContext parent, SearchCallback on_done) {
+  node_.InvokeSpannedAsync(
       trace_sink_, parent, "searcher.scan",
       [this, query = std::move(query), k, nprobe,
        category_filter](obs::Span& span) {
@@ -78,7 +96,8 @@ std::future<std::vector<SearchHit>> Searcher::SearchAsync(
         scan_stage_->Record(elapsed);
         span.AddTag("hits", static_cast<std::uint64_t>(hits.size()));
         return hits;
-      });
+      },
+      std::move(on_done));
 }
 
 std::vector<SearchHit> Searcher::SearchLocal(

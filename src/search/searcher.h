@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,7 @@
 #include "index/realtime_indexer.h"
 #include "mq/topic_queue.h"
 #include "net/node.h"
+#include "net/rpc.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "store/feature_db.h"
@@ -78,6 +80,16 @@ class Searcher {
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
       CategoryId category_filter = kNoCategoryFilter,
       obs::TraceContext parent = {});
+
+  // Continuation-passing variant the broker drives: the partial result (or
+  // the failure, e.g. NodeFailedError while this node is down) is delivered
+  // to `on_done` on this searcher's pool thread. The caller's thread only
+  // dispatches — it never blocks on the scan.
+  using SearchResult = AsyncResult<std::vector<SearchHit>>;
+  using SearchCallback = std::function<void(SearchResult)>;
+  void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
+                   CategoryId category_filter, obs::TraceContext parent,
+                   SearchCallback on_done);
 
   // In-process search (tests / exhaustive ground truth), bypassing the node.
   std::vector<SearchHit> SearchLocal(

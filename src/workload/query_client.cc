@@ -47,7 +47,10 @@ QueryWorkloadResult QueryClient::Run() {
 
   std::atomic<std::uint64_t> total_queries{0};
   std::atomic<std::uint64_t> total_errors{0};
+  std::atomic<std::uint64_t> total_retries{0};
   std::atomic<std::uint64_t> subject_hits{0};
+  obs::Counter& retries_counter =
+      cluster_.registry().GetCounter("jdvs_client_query_retries_total");
   const auto& clock = MonotonicClock::Instance();
   const Micros start = clock.NowMicros();
   const Micros deadline =
@@ -73,8 +76,20 @@ QueryWorkloadResult QueryClient::Run() {
         query.query_seed = rng.Next64();
         const Micros q_start = clock.NowMicros();
         try {
-          const QueryResponse response =
-              cluster_.Query(query, QueryOptions{.k = config_.k, .nprobe = 0});
+          // A shed query costs the client one round trip; the front end's
+          // rotation lands the retry on a different blender instance.
+          QueryResponse response;
+          for (std::size_t attempt = 0;; ++attempt) {
+            try {
+              response = cluster_.front_end().Next().Search(
+                  query, QueryOptions{.k = config_.k, .nprobe = 0});
+              break;
+            } catch (const BlenderOverloadedError&) {
+              if (attempt >= config_.max_retries) throw;
+              total_retries.fetch_add(1, std::memory_order_relaxed);
+              retries_counter.Increment();
+            }
+          }
           result.latency_micros->Record(clock.NowMicros() - q_start);
           const bool hit = std::any_of(
               response.results.begin(), response.results.end(),
@@ -95,6 +110,7 @@ QueryWorkloadResult QueryClient::Run() {
   result.elapsed_micros = clock.NowMicros() - start;
   result.queries = total_queries.load();
   result.errors = total_errors.load();
+  result.retries = total_retries.load();
   if (result.elapsed_micros > 0) {
     result.qps = static_cast<double>(result.queries) /
                  (static_cast<double>(result.elapsed_micros) * 1e-6);

@@ -30,11 +30,17 @@ struct QueryWorkloadConfig {
   // (production visual-search traffic concentrates on trending products —
   // ~1.0 is a typical web skew).
   double zipf_exponent = 0.0;
+  // A shed query (BlenderOverloadedError) is re-sent to the next blender the
+  // front-end balancer offers, up to this many extra attempts; only then is
+  // it counted as an error. 0 = fail on the first shed.
+  std::size_t max_retries = 2;
 };
 
 struct QueryWorkloadResult {
   std::uint64_t queries = 0;
   std::uint64_t errors = 0;
+  // Overload retries performed (each is one extra blender round trip).
+  std::uint64_t retries = 0;
   Micros elapsed_micros = 0;
   double qps = 0.0;
   std::shared_ptr<Histogram> latency_micros;  // per-query response times

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "net/latency_model.h"
 #include "net/load_balancer.h"
@@ -143,6 +144,146 @@ TEST(RoundRobinTest, ThrowsWhenAllDown) {
 
 TEST(RoundRobinTest, RejectsEmptyBackendList) {
   EXPECT_THROW(RoundRobinBalancer<int>({}), std::invalid_argument);
+}
+
+TEST(NodeTest, InvokeAsyncDeliversValueToCallback) {
+  Node node("async", 2);
+  std::promise<AsyncResult<int>> delivered;
+  node.InvokeAsync([] { return 41 + 1; },
+                   [&delivered](AsyncResult<int> result) {
+                     delivered.set_value(std::move(result));
+                   });
+  const AsyncResult<int> result = delivered.get_future().get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value, 42);
+}
+
+TEST(NodeTest, InvokeAsyncVoid) {
+  Node node("async-void", 1);
+  std::promise<bool> done;
+  node.InvokeAsync([] {}, [&done](AsyncResult<void> result) {
+    done.set_value(result.ok());
+  });
+  EXPECT_TRUE(done.get_future().get());
+}
+
+TEST(NodeTest, InvokeAsyncFailedNodeDeliversError) {
+  Node node("flaky-async", 1);
+  node.set_failed(true);
+  std::promise<AsyncResult<int>> delivered;
+  node.InvokeAsync([] { return 1; }, [&delivered](AsyncResult<int> result) {
+    delivered.set_value(std::move(result));
+  });
+  const AsyncResult<int> result = delivered.get_future().get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_THROW(std::rethrow_exception(result.error), NodeFailedError);
+  EXPECT_NE(DescribeException(result.error).find("flaky-async"),
+            std::string::npos);
+}
+
+TEST(NodeTest, InvokeAsyncFnExceptionReachesCallback) {
+  Node node("thrower", 1);
+  std::promise<AsyncResult<int>> delivered;
+  node.InvokeAsync(
+      []() -> int { throw std::runtime_error("scan exploded"); },
+      [&delivered](AsyncResult<int> result) {
+        delivered.set_value(std::move(result));
+      });
+  const AsyncResult<int> result = delivered.get_future().get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(DescribeException(result.error), "scan exploded");
+}
+
+TEST(FanInCollectorTest, ZeroChildrenFiresImmediately) {
+  bool fired = false;
+  auto collector = FanInCollector<int>::Create(
+      0, [&fired](std::vector<AsyncResult<int>> slots) {
+        fired = true;
+        EXPECT_TRUE(slots.empty());
+      });
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(collector->num_children(), 0u);
+}
+
+TEST(FanInCollectorTest, FiresOnceAfterLastChild) {
+  std::atomic<int> fires{0};
+  std::vector<AsyncResult<int>> received;
+  auto collector = FanInCollector<int>::Create(
+      3, [&](std::vector<AsyncResult<int>> slots) {
+        fires.fetch_add(1);
+        received = std::move(slots);
+      });
+  collector->Complete(1, AsyncResult<int>::Ok(10));
+  EXPECT_EQ(fires.load(), 0);
+  collector->Complete(0, AsyncResult<int>::Ok(20));
+  EXPECT_EQ(fires.load(), 0);
+  collector->Complete(2, AsyncResult<int>::Ok(30));
+  EXPECT_EQ(fires.load(), 1);
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(*received[0].value, 20);
+  EXPECT_EQ(*received[1].value, 10);
+  EXPECT_EQ(*received[2].value, 30);
+}
+
+TEST(FanInCollectorTest, AllChildrenFailedStillFires) {
+  bool fired = false;
+  auto collector = FanInCollector<int>::Create(
+      2, [&fired](std::vector<AsyncResult<int>> slots) {
+        fired = true;
+        for (const auto& slot : slots) {
+          EXPECT_FALSE(slot.ok());
+          EXPECT_EQ(DescribeException(slot.error), "down");
+        }
+      });
+  for (std::size_t slot = 0; slot < 2; ++slot) {
+    collector->Complete(slot, AsyncResult<int>::Fail(std::make_exception_ptr(
+                                  std::runtime_error("down"))));
+  }
+  EXPECT_TRUE(fired);
+}
+
+// Hammered under TSan by CI: concurrent Complete() calls from many threads
+// must publish every slot to the firing thread and fire exactly once.
+TEST(FanInCollectorTest, ConcurrentCompletionsFireExactlyOnce) {
+  constexpr std::size_t kChildren = 32;
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> fires{0};
+    std::promise<std::vector<AsyncResult<int>>> delivered;
+    auto collector = FanInCollector<int>::Create(
+        kChildren, [&](std::vector<AsyncResult<int>> slots) {
+          fires.fetch_add(1);
+          delivered.set_value(std::move(slots));
+        });
+    std::vector<std::thread> threads;
+    threads.reserve(kChildren);
+    for (std::size_t slot = 0; slot < kChildren; ++slot) {
+      threads.emplace_back([&collector, slot] {
+        collector->Complete(slot,
+                            AsyncResult<int>::Ok(static_cast<int>(slot) * 3));
+      });
+    }
+    const std::vector<AsyncResult<int>> slots = delivered.get_future().get();
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(fires.load(), 1);
+    ASSERT_EQ(slots.size(), kChildren);
+    for (std::size_t slot = 0; slot < kChildren; ++slot) {
+      ASSERT_TRUE(slots[slot].ok());
+      EXPECT_EQ(*slots[slot].value, static_cast<int>(slot) * 3);
+    }
+  }
+}
+
+// The continuation must be released right after firing, so per-request
+// state captured in it (which often points back at the collector) is freed
+// without waiting for the last external collector reference to drop.
+TEST(FanInCollectorTest, ContinuationReleasedAfterFire) {
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = sentinel;
+  auto collector = FanInCollector<int>::Create(
+      1, [keep = std::move(sentinel)](std::vector<AsyncResult<int>>) {});
+  EXPECT_FALSE(watch.expired());
+  collector->Complete(0, AsyncResult<int>::Ok(1));
+  EXPECT_TRUE(watch.expired());  // collector still alive, capture is not
 }
 
 TEST(CollectPartialTest, DropsFailedFutures) {

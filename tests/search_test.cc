@@ -323,6 +323,32 @@ TEST(BlenderTest, AdmissionControlShedsExcessLoad) {
   EXPECT_EQ(limited.in_flight(), 0u);
 }
 
+// Regression: a query failing before the fan-out (blender node marked
+// failed) must still release its admission slot. The old thread-per-tier
+// path threw NodeFailedError before the in-flight guard existed, leaking a
+// slot per failure until a recovered blender shed everything forever.
+TEST(BlenderTest, FailedNodeReleasesAdmissionSlots) {
+  MiniCluster mini;
+  Blender::Config bc;
+  bc.default_k = 5;
+  bc.max_in_flight = 1;
+  Blender limited("bl-failing", bc, mini.embedder, mini.detector,
+                  std::vector<Broker*>{mini.broker.get()});
+  limited.node().set_failed(true);
+  // Sequential, so each failure must release its slot before the next query
+  // is admitted: any leak turns the NodeFailedError into an overload shed.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_THROW(limited.Search(mini.QueryFor(1 + i)), NodeFailedError);
+  }
+  EXPECT_EQ(limited.in_flight(), 0u);
+  EXPECT_EQ(limited.queries_shed(), 0u);
+  limited.node().set_failed(false);
+  // Recovered: with max_in_flight = 1, a single leaked slot would shed this.
+  const auto response = limited.Search(mini.QueryFor(7));
+  EXPECT_FALSE(response.results.empty());
+  EXPECT_EQ(limited.queries_shed(), 0u);
+}
+
 TEST(BlenderTest, NoAdmissionLimitByDefault) {
   MiniCluster mini;
   std::vector<std::future<QueryResponse>> futures;

@@ -234,6 +234,44 @@ TEST(QueryClientTest, ZipfSkewConcentratesQueries) {
   cluster.Stop();
 }
 
+TEST(QueryClientTest, RetriesShedQueriesOnAnotherBlender) {
+  // 2 blenders each admitting 1 query, 8 concurrent closed-loop threads,
+  // 200ms of extraction per query: overload is certain, and a shed query
+  // must be retried against the next blender instead of erroring outright.
+  ClusterConfig config;
+  config.num_partitions = 1;
+  config.num_brokers = 1;
+  config.num_blenders = 2;
+  config.blender_max_in_flight = 1;
+  config.query_extraction_micros = 200'000;
+  config.embedder = {.dim = 8, .num_categories = 2, .seed = 1};
+  config.detector = {.num_categories = 2, .top1_accuracy = 1.0};
+  config.kmeans.num_clusters = 2;
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 50;
+  cg.num_categories = 2;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  QueryWorkloadConfig qc;
+  qc.num_threads = 8;
+  qc.queries_per_thread = 1;
+  qc.max_retries = 2;
+  QueryClient client(cluster, qc);
+  const QueryWorkloadResult result = client.Run();
+  EXPECT_EQ(result.queries + result.errors, 8u);
+  EXPECT_GT(result.queries, 0u);
+  EXPECT_GT(result.retries, 0u);
+  const obs::Counter* retries =
+      cluster.registry().FindCounter("jdvs_client_query_retries_total");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_EQ(retries->Value(), result.retries);
+  cluster.Stop();
+}
+
 TEST(DayTraceTest, DeterministicForSameSeed) {
   TraceFixture fx;
   DayTraceConfig config;
