@@ -4,12 +4,27 @@
 // and brokers/blenders have "multiple identical instances for load balancing
 // and fault tolerance."
 //
-// Harness: a sustained closed-loop query load while searcher nodes are
-// killed and revived mid-run. With one replica per partition, killing a
-// searcher loses that partition's results (partial answers, subject-hit rate
-// drops); with two replicas, brokers fail over and quality holds.
+// Harness, three escalating modes under a sustained closed-loop query load:
+//
+//   replicas=1            searchers killed/revived by the chaos thread; every
+//                         query issued during an outage silently loses that
+//                         partition's candidates.
+//   replicas=2            same chaos; brokers fail over to the sibling
+//                         replica, coverage holds.
+//   replicas=2 + ctrl     chaos *crashes* searchers (index and high-water
+//                         mark wiped, never revived by hand); the control
+//                         plane detects the outage over heartbeats, restores
+//                         the index from the partition's base snapshot,
+//                         replays the day-log backlog, and re-admits the
+//                         replica — recoveries and mean MTTR are reported.
+//
+// A final section runs a rolling full-index deployment (DeployFullIndex)
+// under the same live load: every replica swaps to a freshly built index one
+// at a time, and the >=1-serving-replica invariant keeps the partial-answer
+// counter flat.
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "bench_common.h"
@@ -19,19 +34,41 @@ namespace {
 using namespace jdvs;
 using namespace jdvs::bench;
 
+constexpr std::size_t kPartitions = 8;
+
 struct ChaosResult {
   double qps;
   double hit_rate;
   std::uint64_t errors;
   std::uint64_t failovers;
   std::uint64_t partition_failures;
+  std::uint64_t degraded;
+  std::uint64_t recoveries;
+  double mttr_ms;
 };
 
-ChaosResult Run(std::size_t replicas) {
+TestbedOptions ChaosOptions() {
   TestbedOptions options;
   options.num_products = 5000;
-  options.num_partitions = 8;
+  options.num_partitions = kPartitions;
   options.query_extraction_micros = 2000;
+  return options;
+}
+
+std::uint64_t SumDegraded(VisualSearchCluster& cluster) {
+  std::uint64_t degraded = 0;
+  for (std::size_t b = 0; b < cluster.num_blenders(); ++b) {
+    const obs::Counter* c = cluster.registry().FindCounter(
+        obs::Labeled("jdvs_blender_degraded_total", "blender",
+                     cluster.blender(b).node().name()));
+    if (c != nullptr) degraded += c->Value();
+  }
+  return degraded;
+}
+
+ChaosResult Run(std::size_t replicas, bool control_plane,
+                const std::string& snapshot_dir) {
+  const TestbedOptions options = ChaosOptions();
   auto cluster = std::make_unique<VisualSearchCluster>([&] {
     ClusterConfig config = MakeTestbedConfig(options);
     config.replicas_per_partition = replicas;
@@ -45,20 +82,48 @@ ChaosResult Run(std::size_t replicas) {
   cluster->BuildAndInstallFullIndexes();
   cluster->Start();
 
-  // Chaos thread: every cycle, kill the primary searchers of two random
-  // partitions for 400ms, then revive them.
+  std::unique_ptr<ctrl::ClusterController> controller;
+  if (control_plane) {
+    ctrl::ControllerConfig cc;
+    // Detection budget ~60ms: on the single-core bench host the probe shares
+    // the searcher pool with 16 threads of scans, so a tighter budget reads
+    // scheduler noise as outages and recovers healthy replicas.
+    cc.detector.heartbeat_period_micros = 10'000;
+    cc.detector.suspect_after_misses = 2;
+    cc.detector.down_after_misses = 6;
+    cc.recovery_poll_micros = 2'000;
+    cc.snapshot_dir = snapshot_dir;
+    controller = std::make_unique<ctrl::ClusterController>(*cluster, cc);
+    controller->SnapshotAllPartitions();  // warm base images for recovery
+    controller->Start();
+  }
+
   std::atomic<bool> stop{false};
   std::thread chaos([&] {
     Rng rng(99);
     while (!stop.load(std::memory_order_acquire)) {
-      Searcher& a = cluster->searcher(rng.Below(8), 0);
-      Searcher& b = cluster->searcher(rng.Below(8), 0);
-      a.node().set_failed(true);
-      b.node().set_failed(true);
-      std::this_thread::sleep_for(std::chrono::milliseconds(400));
-      a.node().set_failed(false);
-      b.node().set_failed(false);
-      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      if (control_plane) {
+        // Hard crash, no manual revive: only the controller brings the
+        // replica back. Crash only an UP replica so we never yank one the
+        // controller is mid-way through restoring.
+        const std::size_t p = rng.Below(kPartitions);
+        if (cluster->replica_states().Get(cluster->replica_slot(p, 0)) ==
+            ctrl::ReplicaState::kUp) {
+          cluster->searcher(p, 0).Crash();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(800));
+      } else {
+        // Kill/revive by hand (the pre-control-plane harness): two random
+        // primary searchers down 400ms out of every 800ms.
+        Searcher& a = cluster->searcher(rng.Below(kPartitions), 0);
+        Searcher& b = cluster->searcher(rng.Below(kPartitions), 0);
+        a.node().set_failed(true);
+        b.node().set_failed(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        a.node().set_failed(false);
+        b.node().set_failed(false);
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      }
     }
   });
 
@@ -76,38 +141,153 @@ ChaosResult Run(std::size_t replicas) {
     failovers += cluster->broker(b).failovers();
     partition_failures += cluster->broker(b).partition_failures();
   }
+  ChaosResult out{result.qps,
+                  result.subject_hit_rate,
+                  result.errors,
+                  failovers,
+                  partition_failures,
+                  SumDegraded(*cluster),
+                  0,
+                  0.0};
+  if (controller) {
+    out.recoveries = controller->recoveries();
+    out.mttr_ms = controller->MeanRecoveryMicros() / 1000.0;
+    controller->Stop();
+  }
   cluster->Stop();
-  return ChaosResult{result.qps, result.subject_hit_rate, result.errors,
-                     failovers, partition_failures};
+  return out;
+}
+
+void RunRollingDeployment(const std::string& snapshot_dir) {
+  std::printf("\nRolling full-index deployment under live load "
+              "(2 replicas/partition):\n");
+  const TestbedOptions options = ChaosOptions();
+  auto cluster = std::make_unique<VisualSearchCluster>([&] {
+    ClusterConfig config = MakeTestbedConfig(options);
+    config.replicas_per_partition = 2;
+    return config;
+  }());
+  CatalogGenConfig cg;
+  cg.num_products = options.num_products;
+  cg.num_categories = 50;
+  GenerateCatalog(cg, cluster->catalog(), cluster->image_store(),
+                  &cluster->features());
+  cluster->BuildAndInstallFullIndexes();
+  cluster->Start();
+
+  ctrl::ControllerConfig cc;
+  cc.snapshot_dir = snapshot_dir;
+  ctrl::ClusterController controller(*cluster, cc);
+  controller.Start();
+
+  std::uint64_t failures_before = 0;
+  for (std::size_t b = 0; b < cluster->num_brokers(); ++b) {
+    failures_before += cluster->broker(b).partition_failures();
+  }
+
+  // Query load for the whole rollout, plus a trickle of real-time updates
+  // the swapped replicas must catch up over before rejoining. The rollout
+  // runs in the background while the closed-loop client hammers the front
+  // end for a fixed window sized to cover it.
+  std::atomic<bool> stop{false};
+  std::thread updates([&] {
+    std::uint64_t next_id = 900'000;
+    Rng rng(7);
+    while (!stop.load(std::memory_order_acquire)) {
+      ProductUpdateMessage add;
+      add.type = UpdateType::kAddProduct;
+      add.product_id = next_id;
+      add.category_id = static_cast<CategoryId>(rng.Below(50));
+      add.attributes = {.sales = 5, .price_cents = 1000, .praise = 2};
+      add.image_urls.push_back(MakeImageUrl(next_id, 0));
+      ++next_id;
+      cluster->PublishUpdate(std::move(add));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  ctrl::RolloutReport report;
+  std::thread rollout([&] { report = controller.DeployFullIndex(); });
+
+  QueryWorkloadConfig qc;
+  qc.num_threads = 16;
+  qc.duration_micros = 8'000'000;
+  QueryClient client(*cluster, qc);
+  const QueryWorkloadResult load = client.Run();
+
+  rollout.join();
+  stop.store(true, std::memory_order_release);
+  updates.join();
+  controller.Stop();
+
+  std::uint64_t failures_after = 0;
+  for (std::size_t b = 0; b < cluster->num_brokers(); ++b) {
+    failures_after += cluster->broker(b).partition_failures();
+  }
+  std::printf("  load during rollout:    %.0f QPS, hit rate %.2f, %llu "
+              "errors\n",
+              load.qps, load.subject_hit_rate,
+              (unsigned long long)load.errors);
+  std::printf("  replicas swapped:       %zu (%zu skipped) across %zu "
+              "partitions\n",
+              report.replicas_updated, report.replicas_skipped,
+              report.partitions);
+  std::printf("  rollout elapsed:        %.2f s\n",
+              static_cast<double>(report.elapsed_micros) / 1e6);
+  std::printf("  base sequence:          %llu (delta replayed: %zu "
+              "messages)\n",
+              (unsigned long long)report.base_sequence,
+              report.catchup_replayed);
+  std::printf("  invariant waits:        %zu\n", report.invariant_waits);
+  std::printf("  partial answers during: %llu (the >=1-serving-replica "
+              "invariant held)\n",
+              (unsigned long long)(failures_after - failures_before));
+  cluster->Stop();
 }
 
 }  // namespace
 
 int main() {
-  // Broker failover warnings are the expected condition here; keep the
-  // report readable.
+  // Broker failover / recovery warnings are the expected condition here;
+  // keep the report readable.
   SetLogLevel(LogLevel::kError);
   PrintHeader("Chaos: availability with searcher replicas under failures",
               "'Each partition can have multiple copies for availability'");
 
-  std::printf("8 partitions, two random primary searchers down 50%% of the "
-              "time, 16 client threads for 6s:\n\n");
-  std::printf("%10s %10s %10s %9s %11s %20s\n", "replicas", "QPS",
-              "hit rate", "errors", "failovers", "partial answers");
-  for (const std::size_t replicas : {1u, 2u}) {
-    const ChaosResult result = Run(replicas);
-    std::printf("%10zu %10.0f %10.2f %9llu %11llu %20llu\n", replicas,
-                result.qps, result.hit_rate,
-                (unsigned long long)result.errors,
+  const std::filesystem::path snapshot_dir =
+      std::filesystem::temp_directory_path() / "jdvs_chaos_snapshots";
+  std::filesystem::create_directories(snapshot_dir);
+
+  std::printf("8 partitions, chaos thread killing primary searchers, 16 "
+              "client threads for 6s per row:\n\n");
+  std::printf("%10s %6s %8s %9s %7s %10s %9s %9s %11s %9s\n", "replicas",
+              "ctrl", "QPS", "hit rate", "errors", "failovers", "partial",
+              "degraded", "recoveries", "MTTR ms");
+  struct Row {
+    std::size_t replicas;
+    bool control_plane;
+  };
+  for (const Row row : {Row{1, false}, Row{2, false}, Row{2, true}}) {
+    const ChaosResult result =
+        Run(row.replicas, row.control_plane, snapshot_dir.string());
+    std::printf("%10zu %6s %8.0f %9.2f %7llu %10llu %9llu %9llu %11llu "
+                "%9.1f\n",
+                row.replicas, row.control_plane ? "on" : "off", result.qps,
+                result.hit_rate, (unsigned long long)result.errors,
                 (unsigned long long)result.failovers,
-                (unsigned long long)result.partition_failures);
+                (unsigned long long)result.partition_failures,
+                (unsigned long long)result.degraded,
+                (unsigned long long)result.recoveries, result.mttr_ms);
   }
-  std::printf("\n(the availability win is coverage: with one replica, every "
-              "query issued while a searcher is down silently loses that "
-              "partition's candidates — 'partial answers' counts those; with "
-              "two replicas the broker fails over and coverage stays "
-              "complete. The subject-hit rate stays high either way because "
-              "a product's images hash across several partitions — exactly "
-              "the graceful degradation the partitioning scheme buys.)\n");
+  std::printf("\n(replicas=1: every query issued while a searcher is down "
+              "loses that partition's candidates — 'partial' counts those "
+              "and 'degraded' the queries that answered from reduced "
+              "coverage. replicas=2: the broker fails over and coverage "
+              "holds. With the control plane, crashed searchers — index and "
+              "catch-up state wiped, never revived by hand — come back "
+              "automatically: heartbeat detection, snapshot restore, day-log "
+              "catch-up, re-admission; MTTR is the mean DOWN-to-UP time.)\n");
+
+  RunRollingDeployment(snapshot_dir.string());
+  std::filesystem::remove_all(snapshot_dir);
   return 0;
 }

@@ -25,24 +25,27 @@ class MpmcQueue {
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
   // Blocks while full. Returns false if the queue was closed.
+  //
+  // All notifies below happen while holding mu_. Signaling after unlock
+  // would let a consumer observe the element, finish, and have the owner
+  // destroy the queue while this thread is still inside notify on the freed
+  // condition variable (a lifetime race, e.g. the last work item of a pool
+  // fulfilling the promise its owner is joined on).
   bool Push(T value) {
     std::unique_lock lock(mu_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(value));
-    lock.unlock();
     not_empty_.notify_one();
     return true;
   }
 
   // Non-blocking push; false if full or closed.
   bool TryPush(T value) {
-    {
-      std::lock_guard lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(value));
-    }
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
     not_empty_.notify_one();
     return true;
   }
@@ -54,29 +57,23 @@ class MpmcQueue {
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
     not_full_.notify_one();
     return value;
   }
 
   // Non-blocking pop.
   std::optional<T> TryPop() {
-    std::optional<T> value;
-    {
-      std::lock_guard lock(mu_);
-      if (items_.empty()) return std::nullopt;
-      value = std::move(items_.front());
-      items_.pop_front();
-    }
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> value = std::move(items_.front());
+    items_.pop_front();
     not_full_.notify_one();
     return value;
   }
 
   void Close() {
-    {
-      std::lock_guard lock(mu_);
-      closed_ = true;
-    }
+    std::lock_guard lock(mu_);
+    closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }

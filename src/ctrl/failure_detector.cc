@@ -1,0 +1,111 @@
+#include "ctrl/failure_detector.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace jdvs::ctrl {
+
+FailureDetector::FailureDetector(std::vector<Target> targets,
+                                 ReplicaStateTable& table,
+                                 const FailureDetectorConfig& config,
+                                 obs::Registry* registry)
+    : targets_(std::move(targets)), table_(table), config_(config) {
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Default();
+  heartbeats_total_ = &reg.GetCounter("jdvs_ctrl_heartbeats_total");
+  misses_total_ = &reg.GetCounter("jdvs_ctrl_heartbeat_misses_total");
+  probes_.reserve(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    probes_.push_back(std::make_shared<Probe>());
+  }
+}
+
+FailureDetector::~FailureDetector() { Stop(); }
+
+void FailureDetector::Start() {
+  if (loop_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  loop_ = std::thread([this] { RunLoop(); });
+}
+
+void FailureDetector::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (loop_.joinable()) loop_.join();
+}
+
+void FailureDetector::RunLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    ProbeRound();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.heartbeat_period_micros));
+  }
+}
+
+void FailureDetector::ProbeRound() {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const Target& target = targets_[i];
+    Probe& probe = *probes_[i];
+    if (table_.Get(target.slot) == ReplicaState::kRecovering) {
+      // Recovery owns this replica; reset accounting so it re-enters the
+      // detector with a clean slate once it is UP again.
+      probe.consecutive_misses = 0;
+      probe.acked.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    // Harvest the previous round's outcome first.
+    if (probe.acked.exchange(false, std::memory_order_acq_rel)) {
+      probe.consecutive_misses = 0;
+      const ReplicaState state = table_.Get(target.slot);
+      if (state == ReplicaState::kSuspect ||
+          (state == ReplicaState::kDown && config_.reinstate_on_ack)) {
+        table_.Set(target.slot, ReplicaState::kUp);
+      }
+    } else if (probe.in_flight.load(std::memory_order_acquire)) {
+      // Still unanswered after a full period: a slow node is a suspect node.
+      ++probe.consecutive_misses;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_total_->Increment();
+    } else if (probe.dispatched) {
+      // The previous probe completed with an error (NodeFailedError while
+      // the fail switch is set): the fabric answered "dead".
+      ++probe.consecutive_misses;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_total_->Increment();
+    }
+
+    const ReplicaState state = table_.Get(target.slot);
+    if (state != ReplicaState::kDown) {
+      if (probe.consecutive_misses >= config_.down_after_misses) {
+        JDVS_LOG(kWarning) << "ctrl: " << target.node->name() << " DOWN after "
+                           << probe.consecutive_misses << " missed heartbeats";
+        table_.Set(target.slot, ReplicaState::kDown);
+      } else if (probe.consecutive_misses >= config_.suspect_after_misses &&
+                 state == ReplicaState::kUp) {
+        table_.Set(target.slot, ReplicaState::kSuspect);
+      }
+    }
+
+    // Dispatch this round's probe unless the previous one is still stuck in
+    // the node's queue (one outstanding probe per replica, like a heartbeat
+    // connection).
+    if (!probe.in_flight.exchange(true, std::memory_order_acq_rel)) {
+      probe.dispatched = true;
+      heartbeats_.fetch_add(1, std::memory_order_relaxed);
+      heartbeats_total_->Increment();
+      const std::shared_ptr<Probe> p = probes_[i];
+      target.node->InvokeAsync([] {},
+                               [p](AsyncResult<void> result) {
+                                 if (result.ok()) {
+                                   p->acked.store(true,
+                                                  std::memory_order_release);
+                                 }
+                                 p->in_flight.store(false,
+                                                    std::memory_order_release);
+                               });
+    }
+  }
+}
+
+}  // namespace jdvs::ctrl

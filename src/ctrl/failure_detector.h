@@ -1,0 +1,106 @@
+// Heartbeat failure detector.
+//
+// Probes every watched replica over the simulated net fabric: each round
+// dispatches a no-op Invoke onto the replica's node, so a probe experiences
+// exactly what a query would — network hops, queueing behind real work on a
+// saturated pool, and NodeFailedError while the node's fail switch is set.
+// The detector never reads Node::failed() directly; it only believes what
+// the fabric tells it.
+//
+// Per-replica miss accounting drives the state machine in the shared
+// ReplicaStateTable:
+//
+//   consecutive misses >= suspect_after  =>  UP -> SUSPECT
+//   consecutive misses >= down_after     =>  SUSPECT -> DOWN
+//   ack                                  =>  SUSPECT -> UP
+//                                            DOWN -> UP (reinstate_on_ack,
+//                                            the no-auto-recovery mode where
+//                                            an operator revived the node)
+//
+// A probe that has not answered by the next round counts as a miss (slow
+// node == suspect node); an explicit NodeFailedError also counts as a miss
+// rather than an instant DOWN, so one transient blip cannot evict a
+// replica. RECOVERING replicas belong to the recovery machinery and are not
+// probed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "ctrl/replica_state.h"
+#include "net/node.h"
+#include "obs/registry.h"
+
+namespace jdvs::ctrl {
+
+struct FailureDetectorConfig {
+  Micros heartbeat_period_micros = 15'000;
+  // Consecutive missed heartbeats before UP -> SUSPECT / -> DOWN.
+  int suspect_after_misses = 1;
+  int down_after_misses = 3;
+  // When true (the mode without automatic recovery), a heartbeat ack from a
+  // DOWN replica reinstates it to UP directly. With auto-recovery the
+  // controller owns the DOWN -> RECOVERING -> UP leg instead.
+  bool reinstate_on_ack = true;
+};
+
+class FailureDetector {
+ public:
+  struct Target {
+    Node* node;
+    std::size_t slot;  // this replica's slot in the state table
+  };
+
+  FailureDetector(std::vector<Target> targets, ReplicaStateTable& table,
+                  const FailureDetectorConfig& config = {},
+                  obs::Registry* registry = nullptr);
+  ~FailureDetector();
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  void Start();
+  void Stop();
+
+  std::uint64_t heartbeats_sent() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Probe outcome written by the node's pool thread, read by the detector
+  // loop one round later.
+  struct Probe {
+    std::atomic<bool> in_flight{false};
+    std::atomic<bool> acked{false};
+    // Detector-thread private.
+    int consecutive_misses = 0;
+    bool dispatched = false;  // a probe has ever been sent to this replica
+  };
+
+  void RunLoop();
+  void ProbeRound();
+
+  std::vector<Target> targets_;
+  ReplicaStateTable& table_;
+  FailureDetectorConfig config_;
+  // shared_ptr, not unique_ptr: the probe continuation runs on the target
+  // node's pool and may still be queued there (e.g. behind a failed node's
+  // backlog) when the detector is destroyed; the capture keeps the probe
+  // alive until the last continuation finishes.
+  std::vector<std::shared_ptr<Probe>> probes_;
+  std::atomic<bool> stop_{false};
+  std::thread loop_;
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  obs::Counter* heartbeats_total_;
+  obs::Counter* misses_total_;
+};
+
+}  // namespace jdvs::ctrl

@@ -1,0 +1,88 @@
+#include "ctrl/replica_state.h"
+
+namespace jdvs::ctrl {
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kUp:
+      return "up";
+    case ReplicaState::kSuspect:
+      return "suspect";
+    case ReplicaState::kDown:
+      return "down";
+    case ReplicaState::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+ReplicaStateTable::ReplicaStateTable(obs::Registry* registry,
+                                     const Clock& clock)
+    : clock_(&clock),
+      registry_(registry != nullptr ? registry : &obs::Registry::Default()),
+      to_suspect_total_(&registry_->GetCounter(
+          obs::Labeled("jdvs_ctrl_transitions_total", "to", "suspect"))),
+      to_down_total_(&registry_->GetCounter(
+          obs::Labeled("jdvs_ctrl_transitions_total", "to", "down"))),
+      to_recovering_total_(&registry_->GetCounter(
+          obs::Labeled("jdvs_ctrl_transitions_total", "to", "recovering"))),
+      to_up_total_(&registry_->GetCounter(
+          obs::Labeled("jdvs_ctrl_transitions_total", "to", "up"))) {}
+
+std::size_t ReplicaStateTable::Register(const std::string& node_name) {
+  // Registration happens while the cluster is wired up, before any reader
+  // runs; only Set/Get are thread-safe afterwards.
+  Entry& entry = entries_.emplace_back();
+  entry.name = node_name;
+  entry.gauge = &registry_->GetGauge(
+      obs::Labeled("jdvs_ctrl_replica_state", "replica", node_name));
+  entry.gauge->Set(static_cast<std::int64_t>(ReplicaState::kUp));
+  return entries_.size() - 1;
+}
+
+void ReplicaStateTable::Set(std::size_t slot, ReplicaState state) {
+  Entry& entry = entries_[slot];
+  const auto previous = static_cast<ReplicaState>(
+      entry.state.exchange(static_cast<int>(state), std::memory_order_relaxed));
+  if (previous == state) return;
+  entry.gauge->Set(static_cast<std::int64_t>(state));
+  switch (state) {
+    case ReplicaState::kSuspect:
+      to_suspect_total_->Increment();
+      break;
+    case ReplicaState::kDown:
+      entry.down_since_micros.store(clock_->NowMicros(),
+                                    std::memory_order_relaxed);
+      to_down_total_->Increment();
+      break;
+    case ReplicaState::kRecovering:
+      to_recovering_total_->Increment();
+      break;
+    case ReplicaState::kUp:
+      to_up_total_->Increment();
+      break;
+  }
+}
+
+ReplicaStateCounts ReplicaStateTable::Counts() const {
+  ReplicaStateCounts counts;
+  for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+    switch (Get(slot)) {
+      case ReplicaState::kUp:
+        ++counts.up;
+        break;
+      case ReplicaState::kSuspect:
+        ++counts.suspect;
+        break;
+      case ReplicaState::kDown:
+        ++counts.down;
+        break;
+      case ReplicaState::kRecovering:
+        ++counts.recovering;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace jdvs::ctrl

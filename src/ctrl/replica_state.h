@@ -1,0 +1,104 @@
+// Per-replica health state, shared between the control plane and the
+// serving path.
+//
+// Every searcher replica moves through the control-plane state machine
+//
+//   UP -> SUSPECT -> DOWN -> RECOVERING -> UP
+//
+// driven by the heartbeat failure detector (UP/SUSPECT/DOWN) and the
+// recovery/rollout machinery (DOWN -> RECOVERING -> UP). Brokers consult the
+// table when choosing which replica of a partition to dispatch to, so a
+// replica the detector has already declared dead is never offered live
+// queries — availability decisions move off the query path and onto the
+// control plane. SUSPECT replicas keep serving (a missed heartbeat is a
+// hint, not a verdict).
+//
+// The table is the one piece of ctrl state the hot path reads, so reads are
+// a single relaxed atomic load per replica; all bookkeeping (gauges,
+// transition counters, down timestamps) happens on the writer side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/registry.h"
+
+namespace jdvs::ctrl {
+
+enum class ReplicaState : int {
+  kUp = 0,
+  kSuspect = 1,
+  kDown = 2,
+  kRecovering = 3,
+};
+
+const char* ReplicaStateName(ReplicaState state);
+
+struct ReplicaStateCounts {
+  std::size_t up = 0;
+  std::size_t suspect = 0;
+  std::size_t down = 0;
+  std::size_t recovering = 0;
+};
+
+class ReplicaStateTable {
+ public:
+  // `registry` (null = process-global default) receives one
+  // jdvs_ctrl_replica_state{replica=<name>} gauge per registered replica
+  // (value = the ReplicaState enum) and jdvs_ctrl_transitions_total{to=...}
+  // counters.
+  explicit ReplicaStateTable(obs::Registry* registry = nullptr,
+                             const Clock& clock = MonotonicClock::Instance());
+
+  ReplicaStateTable(const ReplicaStateTable&) = delete;
+  ReplicaStateTable& operator=(const ReplicaStateTable&) = delete;
+
+  // Registers a replica (initial state UP) and returns its slot id. Slot
+  // ids are dense and assigned in registration order.
+  std::size_t Register(const std::string& node_name);
+
+  void Set(std::size_t slot, ReplicaState state);
+  ReplicaState Get(std::size_t slot) const {
+    return static_cast<ReplicaState>(
+        entries_[slot].state.load(std::memory_order_relaxed));
+  }
+  // True when the replica may be offered live queries (UP or SUSPECT).
+  bool Serving(std::size_t slot) const {
+    const ReplicaState s = Get(slot);
+    return s == ReplicaState::kUp || s == ReplicaState::kSuspect;
+  }
+
+  const std::string& name(std::size_t slot) const {
+    return entries_[slot].name;
+  }
+  // Time the replica entered DOWN (0 when it never was); the recovery
+  // machinery reads it to compute MTTR.
+  Micros down_since_micros(std::size_t slot) const {
+    return entries_[slot].down_since_micros.load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  ReplicaStateCounts Counts() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::atomic<int> state{static_cast<int>(ReplicaState::kUp)};
+    std::atomic<std::int64_t> down_since_micros{0};
+    obs::Gauge* gauge = nullptr;
+  };
+
+  const Clock* clock_;
+  obs::Registry* registry_;
+  std::deque<Entry> entries_;  // deque: stable addresses for the atomics
+  obs::Counter* to_suspect_total_;
+  obs::Counter* to_down_total_;
+  obs::Counter* to_recovering_total_;
+  obs::Counter* to_up_total_;
+};
+
+}  // namespace jdvs::ctrl

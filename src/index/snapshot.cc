@@ -8,7 +8,9 @@ namespace jdvs {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4A44565349445831ULL;  // "JDVSIDX1"
-constexpr std::uint32_t kVersion = 1;
+// Version 2 adds the update high-water mark right after the version field;
+// version-1 snapshots still load (hwm = 0, "replay everything").
+constexpr std::uint32_t kVersion = 2;
 
 void WriteRaw(std::ostream& os, const void* data, std::size_t bytes) {
   os.write(static_cast<const char*>(data),
@@ -52,12 +54,14 @@ std::string ReadString(std::istream& is) {
 
 }  // namespace
 
-void SaveIndexSnapshot(const IvfIndex& index, const std::string& path) {
+void SaveIndexSnapshot(const IvfIndex& index, const std::string& path,
+                       std::uint64_t update_hwm) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw SnapshotError("cannot open for writing: " + path);
 
   WritePod(os, kMagic);
   WritePod(os, kVersion);
+  WritePod<std::uint64_t>(os, update_hwm);
 
   // Index configuration.
   const IvfIndexConfig& config = index.config();
@@ -93,7 +97,8 @@ void SaveIndexSnapshot(const IvfIndex& index, const std::string& path) {
 }
 
 std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
-                                            CopyExecutor copy_executor) {
+                                            CopyExecutor copy_executor,
+                                            std::uint64_t* update_hwm) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw SnapshotError("cannot open for reading: " + path);
 
@@ -101,10 +106,12 @@ std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
     throw SnapshotError("bad snapshot magic: " + path);
   }
   const auto version = ReadPod<std::uint32_t>(is);
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     throw SnapshotError("unsupported snapshot version " +
                         std::to_string(version));
   }
+  const std::uint64_t hwm = version >= 2 ? ReadPod<std::uint64_t>(is) : 0;
+  if (update_hwm != nullptr) *update_hwm = hwm;
 
   IvfIndexConfig config;
   config.nprobe = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));

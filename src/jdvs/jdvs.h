@@ -25,6 +25,9 @@
 #include "common/histogram.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "ctrl/controller.h"
+#include "ctrl/failure_detector.h"
+#include "ctrl/replica_state.h"
 #include "embedding/category_detector.h"
 #include "embedding/extractor.h"
 #include "index/bitmap.h"

@@ -47,7 +47,11 @@ struct ProductUpdateMessage {
   std::string detail_url;
   // Event time in microseconds (producer clock).
   std::int64_t timestamp_micros = 0;
-  // Monotone per-producer sequence number; the message log replays in order.
+  // Monotone 1-based log sequence number, assigned by MessageLog::Append and
+  // stamped onto the copy published to the update topic; searchers track the
+  // highest applied sequence as their recovery high-water mark and skip
+  // duplicates during catch-up replay. 0 = unsequenced (direct injection),
+  // always applied.
   std::uint64_t sequence = 0;
   // Trace propagation (obs::TraceContext flattened): when trace_id != 0 the
   // publisher sampled this update, and each consumer's apply records a child

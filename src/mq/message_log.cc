@@ -4,9 +4,14 @@ namespace jdvs {
 
 std::uint64_t MessageLog::Append(ProductUpdateMessage message) {
   std::lock_guard lock(mu_);
-  message.sequence = next_sequence_++;
+  message.sequence = ++next_sequence_;
   entries_.push_back(std::move(message));
   return entries_.back().sequence;
+}
+
+std::uint64_t MessageLog::last_sequence() const {
+  std::lock_guard lock(mu_);
+  return next_sequence_;
 }
 
 void MessageLog::Replay(
@@ -30,6 +35,13 @@ std::size_t MessageLog::size() const {
 void MessageLog::Clear() {
   std::lock_guard lock(mu_);
   entries_.clear();
+}
+
+void MessageLog::TruncateThrough(std::uint64_t sequence) {
+  std::lock_guard lock(mu_);
+  while (!entries_.empty() && entries_.front().sequence <= sequence) {
+    entries_.pop_front();
+  }
 }
 
 }  // namespace jdvs

@@ -25,7 +25,12 @@ class MessageLog {
   MessageLog& operator=(const MessageLog&) = delete;
 
   // Appends a message; assigns and returns its log sequence number.
+  // Sequences are 1-based and globally monotone, so 0 always means "no
+  // update" — the natural zero of a snapshot high-water mark.
   std::uint64_t Append(ProductUpdateMessage message);
+
+  // Highest sequence number assigned so far (0 before the first append).
+  std::uint64_t last_sequence() const;
 
   // Invokes `visit` on every logged message in append order. The log is
   // snapshot-consistent: messages appended during replay are not visited.
@@ -38,6 +43,12 @@ class MessageLog {
 
   // Truncates the log (start of a new day).
   void Clear();
+
+  // Drops entries with sequence <= `sequence` (a prefix: the log is in
+  // sequence order). Called after a rolling deployment re-based every
+  // replica on a snapshot whose high-water mark covers that prefix, so the
+  // backlog before it can never be needed for catch-up replay again.
+  void TruncateThrough(std::uint64_t sequence);
 
  private:
   mutable std::mutex mu_;

@@ -27,12 +27,32 @@ std::size_t TopicQueue::Publish(const std::string& topic,
     targets = it->second.subscriptions;
   }
   std::size_t delivered = 0;
+  std::vector<Subscription*> dead;
   for (std::size_t i = 0; i < targets.size(); ++i) {
     // The last target can take the message by move.
-    if (i + 1 == targets.size()) {
-      delivered += targets[i]->queue_.Push(std::move(message)) ? 1 : 0;
+    const bool pushed =
+        i + 1 == targets.size() ? targets[i]->queue_.Push(std::move(message))
+                                : targets[i]->queue_.Push(message);
+    if (pushed) {
+      ++delivered;
     } else {
-      delivered += targets[i]->queue_.Push(message) ? 1 : 0;
+      // Push fails only on a closed queue: the subscriber shut down on its
+      // own (e.g. a crashed searcher whose recovery re-subscribes). Prune it
+      // so abandoned subscriptions don't accumulate across recoveries.
+      dead.push_back(targets[i].get());
+    }
+  }
+  if (!dead.empty()) {
+    std::lock_guard lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it != topics_.end()) {
+      auto& subs = it->second.subscriptions;
+      std::erase_if(subs, [&dead](const std::shared_ptr<Subscription>& s) {
+        for (Subscription* d : dead) {
+          if (s.get() == d) return true;
+        }
+        return false;
+      });
     }
   }
   published_->Increment();

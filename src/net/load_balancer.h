@@ -13,6 +13,14 @@
 
 namespace jdvs {
 
+// Thrown by RoundRobinBalancer::Next when the health predicate rejects every
+// backend. Typed so callers can degrade gracefully (serve a partial result,
+// shed the request) instead of treating total-outage like a generic error.
+class NoHealthyBackendError : public std::runtime_error {
+ public:
+  NoHealthyBackendError() : std::runtime_error("no healthy backend available") {}
+};
+
 template <typename Backend>
 class RoundRobinBalancer {
  public:
@@ -27,7 +35,8 @@ class RoundRobinBalancer {
     }
   }
 
-  // Next healthy backend, round robin. Throws when every backend is down.
+  // Next healthy backend, round robin. Throws NoHealthyBackendError when
+  // every backend is down.
   Backend& Next() {
     const std::size_t n = backends_.size();
     const std::size_t start = cursor_.fetch_add(1, std::memory_order_relaxed);
@@ -35,7 +44,7 @@ class RoundRobinBalancer {
       Backend* candidate = backends_[(start + i) % n];
       if (healthy_(*candidate)) return *candidate;
     }
-    throw std::runtime_error("no healthy backend available");
+    throw NoHealthyBackendError();
   }
 
   std::size_t num_backends() const { return backends_.size(); }

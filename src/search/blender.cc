@@ -22,6 +22,8 @@ Blender::Blender(std::string name, const Config& config,
       obs::Labeled("jdvs_blender_queries_total", "blender", node_.name()));
   shed_total_ = &registry.GetCounter(
       obs::Labeled("jdvs_blender_shed_total", "blender", node_.name()));
+  degraded_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_blender_degraded_total", "blender", node_.name()));
   total_stage_ = &registry.GetHistogram(
       obs::Labeled("jdvs_stage_micros", "stage", "query_total"));
   extract_stage_ = &registry.GetHistogram(
@@ -191,12 +193,12 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
   //    pool (local continuation, not a network hop).
   state->fetch_k = state->options.k * 2;
   state->response.brokers_asked = brokers_.size();
-  auto collector = FanInCollector<std::vector<SearchHit>>::Create(
+  auto collector = FanInCollector<Broker::Reply>::Create(
       brokers_.size(),
-      [this, state](std::vector<AsyncResult<std::vector<SearchHit>>> slots) {
-        auto pending = std::make_shared<
-            std::vector<AsyncResult<std::vector<SearchHit>>>>(
-            std::move(slots));
+      [this, state](std::vector<AsyncResult<Broker::Reply>> slots) {
+        auto pending =
+            std::make_shared<std::vector<AsyncResult<Broker::Reply>>>(
+                std::move(slots));
         auto finish = [this, state, pending] {
           FinishQuery(state, std::move(*pending));
         };
@@ -214,26 +216,38 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
 
 // End of the chain, back on a blender pool thread: global merge, attribute
 // ranking, cache fill, span finish, promise fulfillment.
-void Blender::FinishQuery(
-    const std::shared_ptr<RequestState>& state,
-    std::vector<AsyncResult<std::vector<SearchHit>>> slots) {
+void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
+                          std::vector<AsyncResult<Broker::Reply>> slots) {
   std::size_t failures = 0;
+  std::size_t partitions_failed = 0;
   std::string first_error;
   std::vector<std::vector<SearchHit>> partials;
   partials.reserve(slots.size());
   for (auto& slot : slots) {
     if (slot.ok()) {
-      partials.push_back(*std::move(slot.value));
+      partitions_failed += slot.value->partitions_failed;
+      partials.push_back(std::move(slot.value->hits));
     } else {
       ++failures;
       if (first_error.empty()) first_error = DescribeException(slot.error);
     }
   }
   state->response.broker_failures = failures;
-  if (failures > 0) {
-    state->root.AddTag("broker_failures",
-                       static_cast<std::uint64_t>(failures));
-    state->root.SetError(std::move(first_error));
+  if (failures > 0 || partitions_failed > 0) {
+    // Graceful degradation: answer from whatever coverage survived — a dead
+    // broker or an unreachable partition behind a live broker — rather than
+    // failing the query (availability over completeness).
+    state->response.degraded = true;
+    degraded_total_->Increment();
+    if (failures > 0) {
+      state->root.AddTag("broker_failures",
+                         static_cast<std::uint64_t>(failures));
+      state->root.SetError(std::move(first_error));
+    }
+    if (partitions_failed > 0) {
+      state->root.AddTag("partitions_failed",
+                         static_cast<std::uint64_t>(partitions_failed));
+    }
   }
 
   // 4. "combines and ranks the results": merge by distance, then rank by

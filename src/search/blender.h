@@ -127,7 +127,7 @@ class Blender {
   void BeginQuery(const std::shared_ptr<RequestState>& state,
                   const QueryImage& query);
   void FinishQuery(const std::shared_ptr<RequestState>& state,
-                   std::vector<AsyncResult<std::vector<SearchHit>>> slots);
+                   std::vector<AsyncResult<Broker::Reply>> slots);
 
   Config config_;
   Node node_;
@@ -138,6 +138,7 @@ class Blender {
   obs::Tracer* tracer_;
   obs::Counter* queries_total_;   // registry mirror of queries_
   obs::Counter* shed_total_;      // registry mirror of shed_
+  obs::Counter* degraded_total_;  // queries answered with partial coverage
   Histogram* total_stage_;        // jdvs_stage_micros{stage="query_total"}
   Histogram* extract_stage_;      // jdvs_stage_micros{stage="extract"}
   Histogram* rank_stage_;         // jdvs_stage_micros{stage="rank"}

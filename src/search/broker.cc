@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "net/load_balancer.h"
 
 namespace jdvs {
 
@@ -18,10 +19,15 @@ Broker::Broker(std::string name, const Config& config)
       obs::Labeled("jdvs_broker_failovers_total", "broker", node_.name()));
   partition_failures_total_ = &registry.GetCounter(obs::Labeled(
       "jdvs_broker_partition_failures_total", "broker", node_.name()));
+  state_skips_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_broker_state_skips_total", "broker", node_.name()));
 }
 
-void Broker::AddPartition(std::vector<Searcher*> replicas) {
+void Broker::AddPartition(std::vector<Searcher*> replicas,
+                          std::vector<std::size_t> state_slots) {
   partitions_.push_back(std::move(replicas));
+  partition_state_slots_.push_back(std::move(state_slots));
+  replica_cursors_.emplace_back(0);
 }
 
 struct Broker::FanOutState {
@@ -45,6 +51,9 @@ struct Broker::FanOutState {
   // slot i of the collector is partition slot_partition[i]; on failure the
   // slot carries the last replica's error.
   std::vector<std::size_t> slot_partition;
+  // Per slot: replica indices to try, in rotation order with non-serving
+  // replicas already filtered out. Attempt n dispatches slot_candidates[n].
+  std::vector<std::vector<std::size_t>> slot_candidates;
   std::shared_ptr<FanInCollector<std::vector<SearchHit>>> collector;
   std::atomic<std::uint64_t> failovers{0};
 };
@@ -80,7 +89,7 @@ std::future<std::vector<SearchHit>> Broker::SearchAsync(
   SearchAsync(std::move(query), k, nprobe, category_filter, parent,
               [promise](SearchResult result) {
                 if (result.ok()) {
-                  promise->set_value(*std::move(result.value));
+                  promise->set_value(std::move(result.value->hits));
                 } else {
                   promise->set_exception(result.error);
                 }
@@ -106,30 +115,69 @@ void Broker::StartFanOut(std::shared_ptr<FanOutState> state) {
   }
   state->collector = FanInCollector<std::vector<SearchHit>>::Create(
       state->slot_partition.size(),
-      [this, state](std::vector<SearchResult> slots) {
+      [this, state](std::vector<Searcher::SearchResult> slots) {
         FinishFanOut(state, std::move(slots));
       });
+  // Build each slot's candidate list: rotate the starting replica for load
+  // spread, and — when the control plane's state table is wired — drop
+  // replicas the failure detector marked non-serving, so a known-down node
+  // costs nothing at query time.
+  state->slot_candidates.resize(state->slot_partition.size());
   for (std::size_t slot = 0; slot < state->slot_partition.size(); ++slot) {
+    const std::size_t partition = state->slot_partition[slot];
+    const std::vector<Searcher*>& replicas = partitions_[partition];
+    const std::vector<std::size_t>& slots = partition_state_slots_[partition];
+    const bool consult_state =
+        replica_states_ != nullptr && slots.size() == replicas.size();
+    const std::size_t start =
+        replica_cursors_[partition].fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::size_t>& candidates = state->slot_candidates[slot];
+    candidates.reserve(replicas.size());
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      const std::size_t replica = (start + i) % replicas.size();
+      if (consult_state && !replica_states_->Serving(slots[replica])) {
+        state_skips_.fetch_add(1, std::memory_order_relaxed);
+        state_skips_total_->Increment();
+        continue;
+      }
+      candidates.push_back(replica);
+    }
+  }
+  for (std::size_t slot = 0; slot < state->slot_partition.size(); ++slot) {
+    if (state->slot_candidates[slot].empty()) {
+      // Every replica is marked down: fail the slot immediately instead of
+      // burning a doomed call — the blender degrades to a partial answer.
+      partition_failures_.fetch_add(1, std::memory_order_relaxed);
+      partition_failures_total_->Increment();
+      JDVS_LOG(kWarning) << node_.name() << ": partition "
+                         << state->slot_partition[slot]
+                         << " has no serving replica";
+      state->collector->Complete(
+          slot, Searcher::SearchResult::Fail(
+                    std::make_exception_ptr(NoHealthyBackendError())));
+      continue;
+    }
     DispatchReplica(state, slot, 0);
   }
 }
 
 void Broker::DispatchReplica(std::shared_ptr<FanOutState> state,
-                             std::size_t slot, std::size_t replica) {
+                             std::size_t slot, std::size_t attempt) {
   const std::size_t partition = state->slot_partition[slot];
+  const std::size_t replica = state->slot_candidates[slot][attempt];
   partitions_[partition][replica]->SearchAsync(
       state->query, state->k, state->nprobe, state->filter, state->context,
-      [this, state, slot, replica](SearchResult result) {
+      [this, state, slot, attempt](Searcher::SearchResult result) {
         if (result.ok()) {
           state->collector->Complete(slot, std::move(result));
           return;
         }
-        // Replica failed: walk the replica list ("multiple copies for
+        // Replica failed: walk the candidate list ("multiple copies for
         // availability") by re-dispatching from this completion callback —
         // no thread waits, and the other partitions keep collecting.
         const std::size_t partition = state->slot_partition[slot];
-        const std::size_t next = replica + 1;
-        if (next < partitions_[partition].size()) {
+        const std::size_t next = attempt + 1;
+        if (next < state->slot_candidates[slot].size()) {
           state->failovers.fetch_add(1, std::memory_order_relaxed);
           failovers_.fetch_add(1, std::memory_order_relaxed);
           failovers_total_->Increment();
@@ -148,13 +196,15 @@ void Broker::DispatchReplica(std::shared_ptr<FanOutState> state,
 // Final continuation: runs on the pool thread of whichever searcher
 // delivered the last partition.
 void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
-                          std::vector<SearchResult> slots) {
+                          std::vector<Searcher::SearchResult> slots) {
+  Reply reply;
   std::vector<std::vector<SearchHit>> partials;
   partials.reserve(slots.size());
   for (std::size_t slot = 0; slot < slots.size(); ++slot) {
     if (slots[slot].ok()) {
       partials.push_back(*std::move(slots[slot].value));
     } else {
+      ++reply.partitions_failed;
       state->span.SetError(
           std::string("partition ") +
           std::to_string(state->slot_partition[slot]) +
@@ -165,11 +215,11 @@ void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
       state->failovers.load(std::memory_order_relaxed);
   if (failovers > 0) state->span.AddTag("failovers", failovers);
   // "The broker then combines the results from its subset of searchers."
-  auto merged = MergeHits(std::move(partials), state->k);
+  reply.hits = MergeHits(std::move(partials), state->k);
   fanout_stage_->Record(state->watch.ElapsedMicros());
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   state->span.Finish();
-  state->on_done(SearchResult::Ok(std::move(merged)));
+  state->on_done(SearchResult::Ok(std::move(reply)));
 }
 
 }  // namespace jdvs

@@ -18,12 +18,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "ctrl/replica_state.h"
 #include "net/node.h"
 #include "net/rpc.h"
 #include "obs/registry.h"
@@ -44,7 +46,14 @@ class Broker {
     obs::TraceSink* trace_sink = nullptr;
   };
 
-  using SearchResult = AsyncResult<std::vector<SearchHit>>;
+  // One broker's merged answer: the top-k across its partitions plus how
+  // many partitions contributed nothing (every replica down) — the partial
+  // coverage signal the blender turns into a degraded response.
+  struct Reply {
+    std::vector<SearchHit> hits;
+    std::size_t partitions_failed = 0;
+  };
+  using SearchResult = AsyncResult<Reply>;
   using SearchCallback = std::function<void(SearchResult)>;
 
   Broker(std::string name, const Config& config);
@@ -52,8 +61,20 @@ class Broker {
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
 
-  // Registers one partition with its replica searchers (preference order).
-  void AddPartition(std::vector<Searcher*> replicas);
+  // Registers one partition with its replica searchers. `state_slots`, when
+  // given, maps each replica to its slot in the control plane's replica
+  // state table (parallel to `replicas`); with a table wired via
+  // SetReplicaStates the broker rotates across *serving* replicas and skips
+  // ones the failure detector marked down, instead of discovering outages
+  // one timed-out dispatch at a time.
+  void AddPartition(std::vector<Searcher*> replicas,
+                    std::vector<std::size_t> state_slots = {});
+
+  // Wires the control plane's replica state table (null = query-time
+  // failover only, the pre-control-plane behavior).
+  void SetReplicaStates(const ctrl::ReplicaStateTable* table) {
+    replica_states_ = table;
+  }
 
   // Remote entry point, continuation-passing: a broker pool thread runs the
   // fan-out dispatch (one searcher call per partition), and `on_done`
@@ -83,6 +104,11 @@ class Broker {
   std::uint64_t partition_failures() const {
     return partition_failures_.load(std::memory_order_relaxed);
   }
+  // Replicas skipped at dispatch because the state table marked them
+  // non-serving (outage avoided without burning a failed call).
+  std::uint64_t state_skips() const {
+    return state_skips_.load(std::memory_order_relaxed);
+  }
   // Fan-outs currently between dispatch and final merge, and the high-water
   // mark — the direct measure of pipeline concurrency the blocking design
   // capped at `threads`.
@@ -101,22 +127,28 @@ class Broker {
 
   void StartFanOut(std::shared_ptr<FanOutState> state);
   void DispatchReplica(std::shared_ptr<FanOutState> state, std::size_t slot,
-                       std::size_t replica);
+                       std::size_t attempt);
   void FinishFanOut(std::shared_ptr<FanOutState> state,
-                    std::vector<SearchResult> slots);
+                    std::vector<Searcher::SearchResult> slots);
 
   Node node_;
   std::vector<std::vector<Searcher*>> partitions_;
+  std::vector<std::vector<std::size_t>> partition_state_slots_;
+  const ctrl::ReplicaStateTable* replica_states_ = nullptr;
+  // Per-partition replica rotation cursor (deque: atomics can't move).
+  std::deque<std::atomic<std::size_t>> replica_cursors_;
   obs::TraceSink* trace_sink_;
   Histogram* fanout_stage_;  // jdvs_stage_micros{stage="broker_fanout"}
   // Per-instance atomics back the getters; the registry counters mirror
   // them so one exposition dump reports every broker.
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> partition_failures_{0};
+  std::atomic<std::uint64_t> state_skips_{0};
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<std::size_t> peak_in_flight_{0};
   obs::Counter* failovers_total_;
   obs::Counter* partition_failures_total_;
+  obs::Counter* state_skips_total_;
 };
 
 }  // namespace jdvs

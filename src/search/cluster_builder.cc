@@ -43,7 +43,9 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
                 config.kv_lookup_micros),
       partitioner_(config.num_partitions),
       topic_(/*per_subscription_capacity=*/65536, registry_) {
-  // Searchers: one per (partition, replica).
+  // Searchers: one per (partition, replica). Each registers in the replica
+  // state table in flat construction order, so slot == flat index.
+  replica_states_ = std::make_unique<ctrl::ReplicaStateTable>(registry_);
   const std::size_t replicas = std::max<std::size_t>(
       config_.replicas_per_partition, 1);
   config_.replicas_per_partition = replicas;
@@ -58,6 +60,7 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
       searchers_.push_back(std::make_unique<Searcher>(
           "searcher-p" + std::to_string(p) + "-r" + std::to_string(r), sc,
           features_, partitioner_.FilterFor(p)));
+      replica_states_->Register(searchers_.back()->name());
     }
   }
 
@@ -77,13 +80,17 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     brokers_.push_back(
         std::make_unique<Broker>("broker-" + std::to_string(b), bc));
   }
+  for (const auto& b : brokers_) b->SetReplicaStates(replica_states_.get());
   for (std::size_t p = 0; p < config_.num_partitions; ++p) {
     std::vector<Searcher*> partition_replicas;
+    std::vector<std::size_t> state_slots;
     for (std::size_t r = 0; r < replicas; ++r) {
       partition_replicas.push_back(
           searchers_[p * replicas + r].get());
+      state_slots.push_back(replica_slot(p, r));
     }
-    brokers_[p % num_brokers]->AddPartition(std::move(partition_replicas));
+    brokers_[p % num_brokers]->AddPartition(std::move(partition_replicas),
+                                            std::move(state_slots));
   }
 
   // Blenders: each connected to every broker.
@@ -125,13 +132,21 @@ void VisualSearchCluster::BuildAndInstall(
   // Builds run in parallel across searchers; every substrate they touch
   // (catalog, image store, feature DB) is thread-safe, and each build only
   // writes its own fresh IvfIndex.
+  //
+  // The install resets each searcher's high-water mark to the day log's
+  // last sequence at build start: the catalog already holds everything
+  // published up to that point, so the built index covers it. Updates
+  // racing the build get re-applied on top — applies are idempotent
+  // (absolute attribute values, add = revalidate).
+  const std::uint64_t hwm = day_log_.last_sequence();
   ThreadPool builders(std::max<std::size_t>(config_.build_threads, 1),
                       "index-build");
   std::vector<std::future<void>> done;
   done.reserve(searchers_.size());
   for (const auto& searcher_ptr : searchers_) {
     Searcher* searcher = searcher_ptr.get();
-    done.push_back(builders.SubmitWithResult([this, searcher, quantizer] {
+    done.push_back(builders.SubmitWithResult([this, searcher, quantizer,
+                                              hwm] {
       FullIndexBuilderConfig fc;
       fc.index_config = config_.ivf;
       fc.training_sample = config_.training_sample;
@@ -142,7 +157,7 @@ void VisualSearchCluster::BuildAndInstall(
       auto index =
           builder.Build(quantizer, searcher->partition_filter(), &report,
                         PoolCopyExecutor(searcher->node().pool()));
-      searcher->InstallIndex(std::move(index));
+      searcher->InstallIndex(std::move(index), hwm);
       JDVS_LOG(kInfo) << searcher->name() << ": installed full index with "
                       << report.images_indexed << " images ("
                       << report.features_reused << " reused, "
@@ -231,11 +246,40 @@ void VisualSearchCluster::PublishUpdate(ProductUpdateMessage message) {
     message.parent_span_id = span.context().span_id;
   }
   ApplyToCatalog(message);
-  day_log_.Append(message);
+  // The day log assigns the sequence; stamp it onto the published copy so
+  // searchers track their high-water mark against the log.
+  message.sequence = day_log_.Append(message);
   updates_published_.fetch_add(1, std::memory_order_relaxed);
   if (config_.realtime_enabled && started_) {
     topic_.Publish(kUpdateTopic, std::move(message));
   }
+}
+
+std::shared_ptr<Subscription> VisualSearchCluster::SubscribeUpdates() {
+  return topic_.Subscribe(kUpdateTopic);
+}
+
+std::shared_ptr<const CoarseQuantizer> VisualSearchCluster::TrainQuantizer() {
+  FullIndexBuilderConfig fc;
+  fc.index_config = config_.ivf;
+  fc.training_sample = config_.training_sample;
+  fc.kmeans = config_.kmeans;
+  fc.seed = config_.seed;
+  FullIndexBuilder builder(catalog_, image_store_, features_, fc);
+  quantizer_ = builder.TrainQuantizer();
+  return quantizer_;
+}
+
+std::unique_ptr<IvfIndex> VisualSearchCluster::BuildPartitionIndex(
+    std::size_t partition, FullIndexReport* report) {
+  if (!quantizer_) TrainQuantizer();
+  FullIndexBuilderConfig fc;
+  fc.index_config = config_.ivf;
+  fc.training_sample = config_.training_sample;
+  fc.kmeans = config_.kmeans;
+  fc.seed = config_.seed;
+  FullIndexBuilder builder(catalog_, image_store_, features_, fc);
+  return builder.Build(quantizer_, partitioner_.FilterFor(partition), report);
 }
 
 void VisualSearchCluster::RunFullIndexingCycle() {
@@ -328,6 +372,10 @@ std::string VisualSearchCluster::StatusReport() const {
   }
   os << "  searchers: " << searchers_.size() - down << "/"
      << searchers_.size() << " healthy\n";
+  const ctrl::ReplicaStateCounts states = replica_states_->Counts();
+  os << "  replica states: " << states.up << " up / " << states.suspect
+     << " suspect / " << states.down << " down / " << states.recovering
+     << " recovering\n";
   return os.str();
 }
 

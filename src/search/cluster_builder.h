@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/quantizer.h"
+#include "ctrl/replica_state.h"
 #include "embedding/category_detector.h"
 #include "embedding/extractor.h"
 #include "index/full_index_builder.h"
@@ -146,6 +147,39 @@ class VisualSearchCluster {
   // timeout elapses); returns true when drained.
   bool WaitForUpdatesDrained(Micros timeout_micros = 30'000'000);
 
+  // ---- Control-plane hooks (used by ctrl::ClusterController) ----
+
+  // Fresh subscription to the update topic (what a recovering searcher's
+  // consumer loop reads). Pre-closed when the topic was already shut down.
+  std::shared_ptr<Subscription> SubscribeUpdates();
+  // True while the update topic is live (realtime on and Start() ran).
+  bool realtime_running() const {
+    return started_ && config_.realtime_enabled;
+  }
+  // (Re)trains the coarse quantizer from the current catalog and retains it
+  // as the cluster quantizer.
+  std::shared_ptr<const CoarseQuantizer> TrainQuantizer();
+  // Builds one partition's full index against the retained quantizer (train
+  // first). The caller owns distribution: snapshot it, install it, etc.
+  std::unique_ptr<IvfIndex> BuildPartitionIndex(std::size_t partition,
+                                                FullIndexReport* report =
+                                                    nullptr);
+  // Highest update sequence the day log has assigned (0 = none yet).
+  std::uint64_t last_update_sequence() const {
+    return day_log_.last_sequence();
+  }
+  // Replica health table: brokers read it on dispatch, the control plane
+  // writes it.
+  ctrl::ReplicaStateTable& replica_states() { return *replica_states_; }
+  const ctrl::ReplicaStateTable& replica_states() const {
+    return *replica_states_;
+  }
+  // State-table slot of (partition, replica) — searchers register in flat
+  // construction order, so the slot is the flat searcher index.
+  std::size_t replica_slot(std::size_t partition, std::size_t replica) const {
+    return partition * config_.replicas_per_partition + replica;
+  }
+
   // ---- Introspection ----
   std::size_t num_searchers() const { return searchers_.size(); }
   Searcher& searcher(std::size_t partition, std::size_t replica = 0) {
@@ -210,8 +244,10 @@ class VisualSearchCluster {
 
   std::shared_ptr<const CoarseQuantizer> quantizer_;
 
-  // Destruction order matters: blenders call brokers call searchers, so
-  // searchers_ is declared first (destroyed last).
+  // Destruction order matters: blenders call brokers call searchers, and
+  // brokers read the replica state table, so searchers_ / the table are
+  // declared first (destroyed last).
+  std::unique_ptr<ctrl::ReplicaStateTable> replica_states_;
   std::vector<std::unique_ptr<Searcher>> searchers_;
   std::vector<std::unique_ptr<Broker>> brokers_;
   std::vector<std::unique_ptr<Blender>> blenders_;

@@ -24,11 +24,20 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
           obs::Labeled("jdvs_stage_micros", "stage", "searcher_scan"))),
       consumed_total_(&registry_->GetCounter(obs::Labeled(
           "jdvs_searcher_messages_consumed_total", "searcher",
+          node_.name()))),
+      deduped_total_(&registry_->GetCounter(obs::Labeled(
+          "jdvs_searcher_updates_deduped_total", "searcher",
           node_.name()))) {}
 
 Searcher::~Searcher() { StopConsuming(); }
 
 void Searcher::InstallIndex(std::unique_ptr<IvfIndex> index) {
+  InstallIndex(std::move(index),
+               applied_sequence_.load(std::memory_order_relaxed));
+}
+
+void Searcher::InstallIndex(std::unique_ptr<IvfIndex> index,
+                            std::uint64_t update_hwm) {
   std::lock_guard lock(writer_mu_);
   if (indexer_) {
     retired_counters_.Add(indexer_->counters());
@@ -38,6 +47,7 @@ void Searcher::InstallIndex(std::unique_ptr<IvfIndex> index) {
   indexer_ = std::make_unique<RealTimeIndexer>(
       *shared, features_, filter_, seed_ ^ 0xAB5EULL,
       MonotonicClock::Instance(), registry_, node_.name());
+  applied_sequence_.store(update_hwm, std::memory_order_relaxed);
   // Swap is the last step: searches switch to the new index only once its
   // writer is ready.
   index_.store(std::move(shared), std::memory_order_release);
@@ -48,12 +58,45 @@ void Searcher::SaveIndexSnapshot(const std::string& path) const {
   const std::shared_ptr<IvfIndex> index =
       index_.load(std::memory_order_acquire);
   if (!index) throw std::runtime_error(node_.name() + ": no index to save");
-  jdvs::SaveIndexSnapshot(*index, path);
+  jdvs::SaveIndexSnapshot(*index, path,
+                          applied_sequence_.load(std::memory_order_relaxed));
 }
 
 void Searcher::InstallFromSnapshot(const std::string& path) {
-  InstallIndex(
-      LoadIndexSnapshot(path, PoolCopyExecutor(node_.pool())));
+  std::uint64_t hwm = 0;
+  auto index = LoadIndexSnapshot(path, PoolCopyExecutor(node_.pool()), &hwm);
+  InstallIndex(std::move(index), hwm);
+}
+
+void Searcher::Crash() {
+  // Fail the node first so in-flight and new searches observe the outage,
+  // then tear down mutable state as a process restart would.
+  node_.set_failed(true);
+  StopConsuming();
+  std::lock_guard lock(writer_mu_);
+  if (indexer_) {
+    retired_counters_.Add(indexer_->counters());
+    retired_latency_.Merge(indexer_->latency_micros());
+    indexer_.reset();
+  }
+  applied_sequence_.store(0, std::memory_order_relaxed);
+  index_.store(nullptr, std::memory_order_release);
+}
+
+std::size_t Searcher::CatchUpFromLog(const MessageLog& log) {
+  // Snapshot outside the writer mutex; ApplyUpdate takes it per message and
+  // skips anything at or below the high-water mark.
+  std::size_t replayed = 0;
+  for (const ProductUpdateMessage& message : log.Snapshot()) {
+    // Every visited message counts as consumed (same as ConsumeLoop: dedup
+    // is an apply decision, not a consumption one), so drain accounting
+    // stays monotone across a recovery.
+    const bool applied = ApplyUpdate(message);
+    messages_consumed_.fetch_add(1, std::memory_order_relaxed);
+    consumed_total_->Increment();
+    if (applied) ++replayed;
+  }
+  return replayed;
 }
 
 std::future<std::vector<SearchHit>> Searcher::SearchAsync(
@@ -118,12 +161,18 @@ std::vector<SearchHit> Searcher::SearchExhaustiveLocal(FeatureView query,
 }
 
 void Searcher::StartConsuming(std::shared_ptr<Subscription> subscription) {
-  StopConsuming();
+  std::lock_guard lock(consumer_mu_);
+  StopConsumingLocked();
   subscription_ = std::move(subscription);
   consumer_ = std::thread([this, sub = subscription_] { ConsumeLoop(sub); });
 }
 
 void Searcher::StopConsuming() {
+  std::lock_guard lock(consumer_mu_);
+  StopConsumingLocked();
+}
+
+void Searcher::StopConsumingLocked() {
   if (subscription_) subscription_->Close();
   if (consumer_.joinable()) consumer_.join();
   subscription_.reset();
@@ -137,11 +186,19 @@ void Searcher::ConsumeLoop(std::shared_ptr<Subscription> subscription) {
   }
 }
 
-void Searcher::ApplyUpdate(const ProductUpdateMessage& message) {
+bool Searcher::ApplyUpdate(const ProductUpdateMessage& message) {
   std::lock_guard lock(writer_mu_);
   if (!indexer_) {
     JDVS_LOG(kWarning) << node_.name() << ": dropping update before index install";
-    return;
+    return false;
+  }
+  if (message.sequence != 0 &&
+      message.sequence <= applied_sequence_.load(std::memory_order_relaxed)) {
+    // Duplicate of an already-applied update (catch-up replay overlaps the
+    // fresh subscription's buffered backlog); applying twice would be wrong
+    // for attribute deltas, so skip by sequence.
+    deduped_total_->Increment();
+    return false;
   }
   // Real-time leg of a sampled trace: publish → queue → this partition's
   // apply, stitched together by the context carried in the message.
@@ -151,6 +208,10 @@ void Searcher::ApplyUpdate(const ProductUpdateMessage& message) {
   span.AddTag("type", UpdateTypeName(message.type));
   span.AddTag("product", static_cast<std::uint64_t>(message.product_id));
   indexer_->Apply(message);
+  if (message.sequence != 0) {
+    applied_sequence_.store(message.sequence, std::memory_order_relaxed);
+  }
+  return true;
 }
 
 void Searcher::FinishPendingExpansions() {

@@ -26,6 +26,7 @@
 #include "common/histogram.h"
 #include "index/ivf_index.h"
 #include "index/realtime_indexer.h"
+#include "mq/message_log.h"
 #include "mq/topic_queue.h"
 #include "net/node.h"
 #include "net/rpc.h"
@@ -58,19 +59,38 @@ class Searcher {
 
   // Installs a (typically freshly full-built) index, atomically replacing
   // the current one under live searches. Retired real-time stats are folded
-  // into the searcher totals.
+  // into the searcher totals. The two-argument form also resets the update
+  // high-water mark to `update_hwm` (the last update sequence folded into
+  // the new index); the one-argument form preserves the current mark.
   void InstallIndex(std::unique_ptr<IvfIndex> index);
+  void InstallIndex(std::unique_ptr<IvfIndex> index, std::uint64_t update_hwm);
 
   bool HasIndex() const { return index_.load(std::memory_order_acquire) != nullptr; }
 
   // Persists the current index to a snapshot file (the weekly full-index
-  // distribution artifact). Serializes against writers so the snapshot is a
-  // consistent point-in-time image.
+  // distribution artifact), stamping this searcher's update high-water mark
+  // into the header. Serializes against writers so the snapshot plus mark
+  // are a consistent point-in-time image.
   void SaveIndexSnapshot(const std::string& path) const;
 
   // Loads a snapshot and installs it as the current index (how a searcher
   // receives a freshly distributed full index without rebuilding locally).
+  // Adopts the snapshot's high-water mark, so a subsequent CatchUpFromLog
+  // replays exactly the missing suffix.
   void InstallFromSnapshot(const std::string& path);
+
+  // Simulated hard failure: flips the node's fail switch, stops the
+  // consumer and discards the in-memory index and high-water mark — the
+  // state a freshly restarted process would be in. Recovery is
+  // InstallFromSnapshot + CatchUpFromLog + StartConsuming, driven by the
+  // control plane.
+  void Crash();
+
+  // Replays the day log's suffix past the current high-water mark (already
+  // applied messages are skipped by sequence). Returns the number of
+  // messages replayed. The recovery catch-up step: bring a snapshot-restored
+  // index up to date with everything published while the replica was down.
+  std::size_t CatchUpFromLog(const MessageLog& log);
 
   // Remote search: runs on this searcher's node. Returns "the top k most
   // similar images" of this partition, optionally scoped to one category.
@@ -104,8 +124,11 @@ class Searcher {
   void StopConsuming();
 
   // Applies one update synchronously (benches drive the update path without
-  // a queue). Thread-safe against other writers.
-  void ApplyUpdate(const ProductUpdateMessage& message);
+  // a queue). Thread-safe against other writers. Returns false when the
+  // message was skipped — either no index is installed yet, or its sequence
+  // is at or below the high-water mark (a duplicate of an already-applied
+  // update, e.g. buffered by a fresh subscription during catch-up replay).
+  bool ApplyUpdate(const ProductUpdateMessage& message);
 
   // Writer housekeeping: finish any pending inverted-list expansions.
   void FinishPendingExpansions();
@@ -122,9 +145,17 @@ class Searcher {
   std::uint64_t messages_consumed() const {
     return messages_consumed_.load(std::memory_order_relaxed);
   }
+  // Highest applied update sequence (the recovery high-water mark); 0 means
+  // no sequenced update has been applied since the last install/crash.
+  std::uint64_t applied_sequence() const {
+    return applied_sequence_.load(std::memory_order_relaxed);
+  }
 
  private:
   void ConsumeLoop(std::shared_ptr<Subscription> subscription);
+  // Teardown body shared by StopConsuming/StartConsuming; caller must hold
+  // consumer_mu_.
+  void StopConsumingLocked();
 
   Node node_;
   FeatureDb& features_;
@@ -135,6 +166,7 @@ class Searcher {
   Histogram* scan_micros_;        // per-searcher scan latency
   Histogram* scan_stage_;         // shared jdvs_stage_micros{stage="searcher_scan"}
   obs::Counter* consumed_total_;  // mirrors messages_consumed_
+  obs::Counter* deduped_total_;   // duplicate updates skipped by sequence
 
   std::atomic<std::shared_ptr<IvfIndex>> index_{nullptr};
   mutable std::mutex writer_mu_;              // serializes all mutations
@@ -142,9 +174,16 @@ class Searcher {
   RealTimeIndexerCounters retired_counters_;  // guarded by writer_mu_
   Histogram retired_latency_;                 // guarded by writer_mu_
 
-  std::shared_ptr<Subscription> subscription_;
-  std::thread consumer_;
+  // Consumer lifecycle is multi-caller since the control plane: an external
+  // Crash() can race the controller's recovery thread, so start/stop
+  // serialize here. ConsumeLoop itself never takes this mutex (it only uses
+  // writer_mu_ via ApplyUpdate), so joining the thread under it is safe.
+  std::mutex consumer_mu_;
+  std::shared_ptr<Subscription> subscription_;  // guarded by consumer_mu_
+  std::thread consumer_;                        // guarded by consumer_mu_
   std::atomic<std::uint64_t> messages_consumed_{0};
+  // Advanced under writer_mu_; read lock-free by the control plane.
+  std::atomic<std::uint64_t> applied_sequence_{0};
 };
 
 }  // namespace jdvs

@@ -45,6 +45,10 @@ struct QueryResponse {
   std::size_t brokers_asked = 0;
   std::size_t broker_failures = 0;
   CategoryId detected_category = 0;
+  // True when at least one broker slot failed (e.g. NoHealthyBackendError
+  // for a fully-down partition): the results cover only the reachable part
+  // of the corpus — graceful degradation, not a query error.
+  bool degraded = false;
   // True when served from the blender's result cache (staleness bounded by
   // the cache TTL) instead of a live fan-out.
   bool from_cache = false;

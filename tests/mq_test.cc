@@ -115,9 +115,11 @@ TEST(TopicQueueTest, ConcurrentPublishersAllDelivered) {
 
 TEST(MessageLogTest, AppendAssignsMonotoneSequence) {
   MessageLog log;
-  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 1)), 0u);
-  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 2)), 1u);
+  EXPECT_EQ(log.last_sequence(), 0u);  // 0 = nothing appended yet
+  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 1)), 1u);
+  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 2)), 2u);
   EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.last_sequence(), 2u);
 }
 
 TEST(MessageLogTest, ReplayVisitsInOrder) {
@@ -128,7 +130,7 @@ TEST(MessageLogTest, ReplayVisitsInOrder) {
   ProductId expected = 0;
   log.Replay([&](const ProductUpdateMessage& m) {
     EXPECT_EQ(m.product_id, expected);
-    EXPECT_EQ(m.sequence, expected);
+    EXPECT_EQ(m.sequence, expected + 1);
     ++expected;
   });
   EXPECT_EQ(expected, 100u);
@@ -149,7 +151,27 @@ TEST(MessageLogTest, SequenceContinuesAfterClear) {
   log.Append(MakeMessage(UpdateType::kAddProduct, 1));
   log.Clear();
   // A fresh day still gets globally increasing sequence numbers.
-  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 2)), 1u);
+  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 2)), 2u);
+}
+
+TEST(MessageLogTest, TruncateThroughDropsCoveredPrefix) {
+  MessageLog log;
+  for (ProductId i = 0; i < 10; ++i) {
+    log.Append(MakeMessage(UpdateType::kAttributeUpdate, i));
+  }
+  log.TruncateThrough(4);
+  EXPECT_EQ(log.size(), 6u);
+  std::uint64_t first = 0;
+  log.Replay([&](const ProductUpdateMessage& m) {
+    if (first == 0) first = m.sequence;
+  });
+  EXPECT_EQ(first, 5u);
+  // Sequences keep counting from where they were.
+  EXPECT_EQ(log.Append(MakeMessage(UpdateType::kAddProduct, 99)), 11u);
+  // Truncating past the end empties the log without disturbing the counter.
+  log.TruncateThrough(1000);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.last_sequence(), 11u);
 }
 
 TEST(MessageLogTest, ConcurrentAppendsAllRecorded) {
@@ -169,9 +191,10 @@ TEST(MessageLogTest, ConcurrentAppendsAllRecorded) {
   // Sequences are unique and dense.
   std::vector<bool> seen(kThreads * kPerThread, false);
   log.Replay([&](const ProductUpdateMessage& m) {
-    ASSERT_LT(m.sequence, seen.size());
-    EXPECT_FALSE(seen[m.sequence]);
-    seen[m.sequence] = true;
+    ASSERT_GE(m.sequence, 1u);
+    ASSERT_LE(m.sequence, seen.size());
+    EXPECT_FALSE(seen[m.sequence - 1]);
+    seen[m.sequence - 1] = true;
   });
 }
 

@@ -139,6 +139,9 @@ TEST(RoundRobinTest, SkipsUnhealthy) {
 TEST(RoundRobinTest, ThrowsWhenAllDown) {
   int a = 1;
   RoundRobinBalancer<int> balancer({&a}, [](const int&) { return false; });
+  // Typed, so callers can branch on total-outage...
+  EXPECT_THROW(balancer.Next(), NoHealthyBackendError);
+  // ...while pre-existing catch(runtime_error) sites still work.
   EXPECT_THROW(balancer.Next(), std::runtime_error);
 }
 

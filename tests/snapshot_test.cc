@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "index/full_index_builder.h"
 #include "index/snapshot.h"
 #include "pq/pq_snapshot.h"
+#include "search/searcher.h"
 #include "workload/catalog_gen.h"
 
 namespace jdvs {
@@ -118,6 +120,63 @@ TEST_F(SnapshotTest, TruncatedFileThrows) {
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size * 6 / 10);
   EXPECT_THROW(LoadIndexSnapshot(path), SnapshotError);
+}
+
+TEST_F(SnapshotTest, HighWaterMarkRoundTrips) {
+  Built built;
+  const std::string path = PathFor("hwm.snap");
+  SaveIndexSnapshot(*built.index, path, /*update_hwm=*/42);
+  std::uint64_t hwm = 0;
+  const auto loaded = LoadIndexSnapshot(path, InlineCopyExecutor(), &hwm);
+  EXPECT_EQ(hwm, 42u);
+  EXPECT_EQ(loaded->size(), built.index->size());
+  // Omitting the out-param still loads.
+  EXPECT_EQ(LoadIndexSnapshot(path)->size(), built.index->size());
+}
+
+TEST_F(SnapshotTest, SearcherSnapshotDuringConcurrentUpdates) {
+  // A snapshot save racing a real-time update batch must capture a
+  // consistent (index, high-water mark) cut: every product with sequence
+  // <= hwm present, everything past it absent. The searcher's writer mutex
+  // is the contract under test.
+  SyntheticEmbedder embedder({.dim = 16, .num_categories = 4, .seed = 7});
+  FeatureDb features(embedder, ExtractionCostModel{.mean_micros = 0});
+  Searcher searcher("snap-race", Searcher::Config{}, features,
+                    AcceptAllPartitionFilter());
+  auto quantizer =
+      std::make_shared<CoarseQuantizer>(std::vector<float>(16, 0.f), 16);
+  searcher.InstallIndex(std::make_unique<IvfIndex>(quantizer), 0);
+
+  constexpr std::uint64_t kMessages = 200;
+  std::thread writer([&searcher] {
+    for (std::uint64_t seq = 1; seq <= kMessages; ++seq) {
+      ProductUpdateMessage add;
+      add.type = UpdateType::kAddProduct;
+      add.product_id = 1000 + seq;
+      add.category_id = 1;
+      add.image_urls = {MakeImageUrl(1000 + seq, 0)};
+      add.sequence = seq;
+      searcher.ApplyUpdate(add);
+    }
+  });
+  const std::string path = PathFor("race.snap");
+  searcher.SaveIndexSnapshot(path);
+  writer.join();
+
+  std::uint64_t hwm = 0;
+  const auto loaded = LoadIndexSnapshot(path, InlineCopyExecutor(), &hwm);
+  EXPECT_LE(hwm, kMessages);
+  for (std::uint64_t seq = 1; seq <= kMessages; ++seq) {
+    EXPECT_EQ(loaded->HasProduct(1000 + seq), seq <= hwm) << "seq " << seq;
+  }
+  EXPECT_EQ(searcher.applied_sequence(), kMessages);
+  // Duplicates at or below the mark are skipped, not re-applied.
+  ProductUpdateMessage dup;
+  dup.type = UpdateType::kAddProduct;
+  dup.product_id = 1001;
+  dup.image_urls = {MakeImageUrl(1001, 0)};
+  dup.sequence = 1;
+  EXPECT_FALSE(searcher.ApplyUpdate(dup));
 }
 
 TEST_F(SnapshotTest, EmptyIndexRoundTrips) {

@@ -31,10 +31,15 @@ int main(int argc, char** argv) {
       std::printf("  PQ: M=%zu, Ks=%zu\n", index->pq().num_subspaces(),
                   index->pq().codebook_size());
     } else {
-      const auto index = LoadIndexSnapshot(path);
+      std::uint64_t update_hwm = 0;
+      const auto index =
+          LoadIndexSnapshot(path, InlineCopyExecutor(), &update_hwm);
       const IvfIndexStats stats = index->Stats();
       const IndexDigest digest = ComputeIndexDigest(*index);
       std::printf("%s: flat IVF snapshot\n", path.c_str());
+      std::printf("  update hwm:     %llu%s\n",
+                  (unsigned long long)update_hwm,
+                  update_hwm == 0 ? " (none / v1 snapshot)" : "");
       std::printf("  dim:            %zu\n", index->dim());
       std::printf("  entries:        %zu (%zu valid)\n", stats.total_images,
                   stats.valid_images);
