@@ -158,7 +158,19 @@ ChaosResult Run(std::size_t replicas, bool control_plane,
   return out;
 }
 
-void RunRollingDeployment(const std::string& snapshot_dir) {
+struct RollingDeployResult {
+  double qps;
+  std::uint64_t errors;
+  std::size_t replicas_updated;
+  std::size_t replicas_skipped;
+  std::size_t partitions;
+  double elapsed_seconds;
+  std::size_t catchup_replayed;
+  std::size_t invariant_waits;
+  std::uint64_t partial_during;
+};
+
+RollingDeployResult RunRollingDeployment(const std::string& snapshot_dir) {
   std::printf("\nRolling full-index deployment under live load "
               "(2 replicas/partition):\n");
   const TestbedOptions options = ChaosOptions();
@@ -242,11 +254,20 @@ void RunRollingDeployment(const std::string& snapshot_dir) {
               "invariant held)\n",
               (unsigned long long)(failures_after - failures_before));
   cluster->Stop();
+  return RollingDeployResult{load.qps,
+                             load.errors,
+                             report.replicas_updated,
+                             report.replicas_skipped,
+                             report.partitions,
+                             static_cast<double>(report.elapsed_micros) / 1e6,
+                             report.catchup_replayed,
+                             report.invariant_waits,
+                             failures_after - failures_before};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // Broker failover / recovery warnings are the expected condition here;
   // keep the report readable.
   SetLogLevel(LogLevel::kError);
@@ -266,6 +287,7 @@ int main() {
     std::size_t replicas;
     bool control_plane;
   };
+  Json chaos_rows = Json::Array();
   for (const Row row : {Row{1, false}, Row{2, false}, Row{2, true}}) {
     const ChaosResult result =
         Run(row.replicas, row.control_plane, snapshot_dir.string());
@@ -277,6 +299,18 @@ int main() {
                 (unsigned long long)result.partition_failures,
                 (unsigned long long)result.degraded,
                 (unsigned long long)result.recoveries, result.mttr_ms);
+    Json json_row = Json::Object();
+    json_row.Set("replicas", row.replicas);
+    json_row.Set("control_plane", row.control_plane);
+    json_row.Set("qps", result.qps);
+    json_row.Set("hit_rate", result.hit_rate);
+    json_row.Set("errors", result.errors);
+    json_row.Set("failovers", result.failovers);
+    json_row.Set("partition_failures", result.partition_failures);
+    json_row.Set("degraded", result.degraded);
+    json_row.Set("recoveries", result.recoveries);
+    json_row.Set("mttr_ms", result.mttr_ms);
+    chaos_rows.Push(std::move(json_row));
   }
   std::printf("\n(replicas=1: every query issued while a searcher is down "
               "loses that partition's candidates — 'partial' counts those "
@@ -287,7 +321,25 @@ int main() {
               "automatically: heartbeat detection, snapshot restore, day-log "
               "catch-up, re-admission; MTTR is the mean DOWN-to-UP time.)\n");
 
-  RunRollingDeployment(snapshot_dir.string());
+  const RollingDeployResult rollout =
+      RunRollingDeployment(snapshot_dir.string());
+  if (WantJson(argc, argv)) {
+    Json root = Json::Object();
+    root.Set("bench", "chaos_availability");
+    root.Set("rows", std::move(chaos_rows));
+    Json rollout_json = Json::Object();
+    rollout_json.Set("qps", rollout.qps);
+    rollout_json.Set("errors", rollout.errors);
+    rollout_json.Set("replicas_updated", rollout.replicas_updated);
+    rollout_json.Set("replicas_skipped", rollout.replicas_skipped);
+    rollout_json.Set("partitions", rollout.partitions);
+    rollout_json.Set("elapsed_seconds", rollout.elapsed_seconds);
+    rollout_json.Set("catchup_replayed", rollout.catchup_replayed);
+    rollout_json.Set("invariant_waits", rollout.invariant_waits);
+    rollout_json.Set("partial_during", rollout.partial_during);
+    root.Set("rolling_deployment", std::move(rollout_json));
+    WriteBenchJson("chaos_availability", root);
+  }
   std::filesystem::remove_all(snapshot_dir);
   return 0;
 }

@@ -7,11 +7,172 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "jdvs/jdvs.h"
 
 namespace jdvs::bench {
+
+// Minimal JSON value tree for the benches' --json output. Insertion order is
+// preserved so the emitted files diff cleanly run to run. Only what the
+// harnesses need: objects, arrays, numbers, strings, bools.
+class Json {
+ public:
+  Json() = default;
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(long v) : kind_(Kind::kInt), int_(v) {}
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned v) : kind_(Kind::kInt), int_(static_cast<long long>(v)) {}
+  Json(unsigned long v) : kind_(Kind::kInt), int_(static_cast<long long>(v)) {}
+  Json(unsigned long long v)
+      : kind_(Kind::kInt), int_(static_cast<long long>(v)) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Json& Set(std::string key, Json value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Json& Push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string Dump(int indent = 0) const {
+    std::ostringstream os;
+    Write(os, indent);
+    return os.str();
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kObject, kArray };
+
+  static void WriteString(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os << buf;
+          } else {
+            os << c;
+          }
+      }
+    }
+    os << '"';
+  }
+
+  void Write(std::ostream& os, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNull: os << "null"; break;
+      case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+      case Kind::kInt: os << int_; break;
+      case Kind::kDouble: {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", double_);
+        os << buf;
+        break;
+      }
+      case Kind::kString: WriteString(os, string_); break;
+      case Kind::kObject: {
+        if (members_.empty()) {
+          os << "{}";
+          break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          os << inner;
+          WriteString(os, members_[i].first);
+          os << ": ";
+          members_[i].second.Write(os, indent + 1);
+          if (i + 1 < members_.size()) os << ",";
+          os << "\n";
+        }
+        os << pad << "}";
+        break;
+      }
+      case Kind::kArray: {
+        if (items_.empty()) {
+          os << "[]";
+          break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          os << inner;
+          items_[i].Write(os, indent + 1);
+          if (i + 1 < items_.size()) os << ",";
+          os << "\n";
+        }
+        os << pad << "]";
+        break;
+      }
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+};
+
+// True when --json was passed: the bench then also writes its result rows to
+// BENCH_<name>.json via WriteBenchJson.
+inline bool WantJson(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+inline void WriteBenchJson(const std::string& bench_name, const Json& root) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path);
+  out << root.Dump() << "\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+// Histogram summary as a JSON object (microsecond units, like the text
+// reports).
+inline Json LatencyJson(const Histogram& h) {
+  Json j = Json::Object();
+  j.Set("count", h.Count());
+  j.Set("mean_us", h.Mean());
+  j.Set("p50_us", h.P50());
+  j.Set("p90_us", h.P90());
+  j.Set("p99_us", h.P99());
+  j.Set("max_us", h.Max());
+  return j;
+}
 
 // The paper's performance testbed (Section 3.2): 100,000 images over 20
 // searchers, 6 blender/broker servers. ~20k products x ~5 images = 100k.

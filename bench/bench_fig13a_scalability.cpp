@@ -11,7 +11,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jdvs;
   using namespace jdvs::bench;
 
@@ -22,6 +22,7 @@ int main() {
   std::printf("building testbed (100k images, 20 searchers)...\n\n");
   auto cluster = BuildTestbed(options);
 
+  Json rows = Json::Array();
   std::printf("%10s %10s  %s\n", "threads", "QPS", "(bar)");
   double max_qps = 0.0;
   for (std::size_t threads = 1; threads <= 35; threads += 2) {
@@ -36,11 +37,23 @@ int main() {
         static_cast<int>(std::min(50.0, result.qps / 40.0));
     for (int i = 0; i < len; ++i) bar[i] = '#';
     std::printf("%10zu %10.0f  %s\n", threads, result.qps, bar);
+    Json row = Json::Object();
+    row.Set("threads", threads);
+    row.Set("qps", result.qps);
+    row.Set("latency", LatencyJson(*result.latency_micros));
+    rows.Push(std::move(row));
   }
   std::printf("\npeak throughput: %.0f QPS = %.0fM searches/day "
               "(paper: ~1800 QPS = 155M/day)\n",
               max_qps, max_qps * 86400.0 / 1e6);
   PrintPoolSaturation(*cluster);
+  if (WantJson(argc, argv)) {
+    Json root = Json::Object();
+    root.Set("bench", "fig13a_scalability");
+    root.Set("peak_qps", max_qps);
+    root.Set("rows", std::move(rows));
+    WriteBenchJson("fig13a_scalability", root);
+  }
   cluster->Stop();
   return 0;
 }

@@ -11,7 +11,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jdvs;
   using namespace jdvs::bench;
 
@@ -46,6 +46,24 @@ int main() {
     std::printf("\nslowest traced query (of %zu over %lld us):\n", slow.size(),
                 (long long)cluster->slow_log().threshold_micros());
     std::printf("%s", slow.front().rendered.c_str());
+  }
+  if (WantJson(argc, argv)) {
+    Json root = Json::Object();
+    root.Set("bench", "fig13b_latency_cdf");
+    root.Set("threads", qc.num_threads);
+    root.Set("qps", result.qps);
+    root.Set("queries", result.queries);
+    root.Set("latency", LatencyJson(*result.latency_micros));
+    Json cdf = Json::Array();
+    for (const auto& [upper_us, fraction] :
+         result.latency_micros->CdfPoints()) {
+      Json point = Json::Object();
+      point.Set("upper_us", upper_us);
+      point.Set("fraction", fraction);
+      cdf.Push(std::move(point));
+    }
+    root.Set("cdf", std::move(cdf));
+    WriteBenchJson("fig13b_latency_cdf", root);
   }
   cluster->Stop();
   return 0;

@@ -35,6 +35,8 @@ ClusterController::ClusterController(VisualSearchCluster& cluster,
   recoveries_total_ = &registry.GetCounter("jdvs_ctrl_recoveries_total");
   catchup_total_ = &registry.GetCounter("jdvs_ctrl_catchup_replayed_total");
   rollouts_total_ = &registry.GetCounter("jdvs_ctrl_rollouts_total");
+  qos_backoff_total_ =
+      &registry.GetCounter("jdvs_qos_recovery_backoff_micros_total");
   rollout_done_gauge_ = &registry.GetGauge("jdvs_ctrl_rollout_replicas_done");
   recovery_micros_ = &registry.GetHistogram("jdvs_ctrl_recovery_micros");
 }
@@ -125,7 +127,12 @@ void ClusterController::RecoverReplica(std::size_t partition,
     if (cluster_.realtime_running()) {
       subscription = cluster_.SubscribeUpdates();
     }
-    const std::size_t replayed = RestoreIndex(partition, searcher);
+    // Recovery catch-up is background work: the pacer yields between replay
+    // batches while the cluster is degraded, so reviving a replica never
+    // deepens the overload it is reviving into.
+    Micros backoff = 0;
+    const std::size_t replayed = RestoreIndex(
+        partition, searcher, [this, &backoff] { backoff += BackoffWhileDegraded(); });
     if (subscription) searcher.StartConsuming(std::move(subscription));
     table_.Set(slot, ReplicaState::kUp);
     recoveries_.fetch_add(1, std::memory_order_relaxed);
@@ -139,6 +146,9 @@ void ClusterController::RecoverReplica(std::size_t partition,
     if (mttr > 0) recovery_micros_->Record(mttr);
     span.AddTag("replayed", static_cast<std::uint64_t>(replayed));
     span.AddTag("mttr_micros", static_cast<std::uint64_t>(mttr));
+    if (backoff > 0) {
+      span.AddTag("qos_backoff_micros", static_cast<std::uint64_t>(backoff));
+    }
     JDVS_LOG(kInfo) << "ctrl: recovered " << table_.name(slot) << " ("
                     << replayed << " messages replayed, mttr " << mttr
                     << "us)";
@@ -151,8 +161,29 @@ void ClusterController::RecoverReplica(std::size_t partition,
   }
 }
 
+Micros ClusterController::BackoffWhileDegraded() {
+  qos::LoadController* load = cluster_.load_controller();
+  if (load == nullptr || config_.qos_backoff_at_level <= 0) return 0;
+  Micros waited = 0;
+  while (!stop_.load(std::memory_order_relaxed) &&
+         waited < config_.qos_max_backoff_micros &&
+         load->level() >= config_.qos_backoff_at_level) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.qos_backoff_slice_micros));
+    waited += config_.qos_backoff_slice_micros;
+    // If admission collapsed completely no query completions rotate the
+    // controller's window; Poll() lets the level step down anyway.
+    load->Poll();
+  }
+  if (waited > 0) {
+    qos_backoff_total_->Increment(static_cast<std::uint64_t>(waited));
+  }
+  return waited;
+}
+
 std::size_t ClusterController::RestoreIndex(std::size_t partition,
-                                            Searcher& searcher) {
+                                            Searcher& searcher,
+                                            const Searcher::CatchUpPacer& pacer) {
   // Best available image first: the partition base snapshot, else a
   // snapshot taken from a serving sibling right now, else a full rebuild
   // from the catalog.
@@ -185,7 +216,7 @@ std::size_t ClusterController::RestoreIndex(std::size_t partition,
     searcher.InstallIndex(cluster_.BuildPartitionIndex(partition), hwm);
   }
   if (!cluster_.realtime_running()) return 0;
-  return searcher.CatchUpFromLog(cluster_.day_log());
+  return searcher.CatchUpFromLog(cluster_.day_log(), pacer);
 }
 
 bool ClusterController::WaitForServingSibling(std::size_t partition,

@@ -57,6 +57,16 @@ struct ControllerConfig {
   // DeployFullIndex: how long to wait for a sibling replica to come back to
   // serving before swapping the next one anyway (invariant wait timeout).
   Micros rollout_drain_wait_micros = 120'000'000;
+  // QoS: while the cluster's degradation level (see
+  // VisualSearchCluster::load_controller) is at or above this, recovery
+  // catch-up replay pauses between batches — background work yields to
+  // foreground queries. 0 disables the backoff; it is also inert when the
+  // cluster has no load controller.
+  int qos_backoff_at_level = 1;
+  // Backoff sleep granularity, and the hard bound per pacer call so a
+  // permanently-degraded cluster still finishes recovering.
+  Micros qos_backoff_slice_micros = 5'000;
+  Micros qos_max_backoff_micros = 500'000;
 };
 
 // Result of one DeployFullIndex run.
@@ -116,8 +126,13 @@ class ClusterController {
   void RecoverReplica(std::size_t partition, std::size_t replica,
                       std::size_t slot);
   // Installs the best available index on a recovering searcher and returns
-  // the catch-up replay count.
-  std::size_t RestoreIndex(std::size_t partition, Searcher& searcher);
+  // the catch-up replay count; `pacer` (may be empty) is handed to the
+  // catch-up replay so it can yield while the cluster is degraded.
+  std::size_t RestoreIndex(std::size_t partition, Searcher& searcher,
+                           const Searcher::CatchUpPacer& pacer = {});
+  // Sleeps in bounded slices while the cluster's degradation level is at or
+  // above qos_backoff_at_level; returns the time spent backing off.
+  Micros BackoffWhileDegraded();
   std::string SnapshotPath(std::size_t partition) const;
   bool HasBaseSnapshot(std::size_t partition) const;
   // Blocks until some *other* replica of `partition` is serving (or the
@@ -145,6 +160,7 @@ class ClusterController {
   obs::Counter* recoveries_total_;
   obs::Counter* catchup_total_;
   obs::Counter* rollouts_total_;
+  obs::Counter* qos_backoff_total_;  // jdvs_qos_recovery_backoff_micros_total
   obs::Gauge* rollout_done_gauge_;
   Histogram* recovery_micros_;  // MTTR: DOWN -> back to UP
 };

@@ -62,6 +62,9 @@
 #include "pq/codebook.h"
 #include "pq/ivfpq_index.h"
 #include "pq/pq_snapshot.h"
+#include "qos/admission.h"
+#include "qos/deadline.h"
+#include "qos/load_controller.h"
 #include "search/blender.h"
 #include "search/broker.h"
 #include "search/cluster_builder.h"

@@ -26,6 +26,7 @@
 #include "net/rpc.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "qos/deadline.h"
 
 namespace jdvs {
 
@@ -120,6 +121,40 @@ class Node {
          fn = std::forward<F>(fn)]() mutable {
           obs::Span span(sink, MonotonicClock::Instance(), parent,
                          std::move(name), name_);
+          try {
+            return fn(span);
+          } catch (const std::exception& e) {
+            span.SetError(e.what());
+            throw;
+          }
+        },
+        std::forward<Done>(on_done));
+  }
+
+  // Deadline-aware InvokeSpannedAsync: identical, except the deadline is
+  // re-checked on the callee's pool thread after the request hop — i.e.
+  // after the time the call spent in the network and the pool queue — and
+  // an expired budget fails the call with DeadlineExceededError *before*
+  // `fn` runs, so a saturated node sheds queued work it could no longer
+  // answer in time instead of scanning for a caller that already gave up.
+  // The span still records, tagged deadline_exceeded, so traces show where
+  // budgets die. An unlimited deadline costs one integer compare.
+  template <typename F, typename Done>
+  void InvokeSpannedAsyncWithDeadline(obs::TraceSink* sink,
+                                      const obs::TraceContext& parent,
+                                      std::string span_name,
+                                      qos::Deadline deadline, F&& fn,
+                                      Done&& on_done) {
+    InvokeAsync(
+        [this, sink, parent, name = std::move(span_name), deadline,
+         fn = std::forward<F>(fn)]() mutable {
+          obs::Span span(sink, MonotonicClock::Instance(), parent,
+                         std::move(name), name_);
+          if (deadline.Expired(MonotonicClock::Instance())) {
+            span.AddTag("deadline_exceeded", std::uint64_t{1});
+            span.SetError("deadline exceeded");
+            throw qos::DeadlineExceededError(name_);
+          }
           try {
             return fn(span);
           } catch (const std::exception& e) {

@@ -1,0 +1,92 @@
+#include "qos/admission.h"
+
+#include <algorithm>
+
+namespace jdvs::qos {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         const Clock& clock,
+                                         obs::Registry* registry)
+    : config_(config), clock_(&clock) {
+  if (config_.tokens_per_sec > 0.0) {
+    if (config_.token_burst <= 0.0) {
+      config_.token_burst = config_.tokens_per_sec;
+    }
+    tokens_ = config_.token_burst;  // start full: no cold-start shedding
+    last_refill_ = clock_->NowMicros();
+  }
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Default();
+  for (const Priority priority :
+       {Priority::kInteractive, Priority::kBackground}) {
+    const std::size_t i = Index(priority);
+    admitted_total_[i] = &reg.GetCounter(obs::Labeled(
+        "jdvs_qos_admitted_total", "class", PriorityName(priority)));
+    shed_total_[i] = &reg.GetCounter(
+        obs::Labeled("jdvs_qos_shed_total", "class", PriorityName(priority)));
+    in_flight_gauge_[i] = &reg.GetGauge(obs::Labeled(
+        "jdvs_qos_in_flight", "class", PriorityName(priority)));
+  }
+}
+
+std::optional<AdmissionController::Ticket> AdmissionController::TryAdmit(
+    Priority priority) {
+  const std::size_t i = Index(priority);
+  // Slot check first (cheap, lock-free); same optimistic fetch_add/back-out
+  // discipline as the counter it replaced: `before < max` admits, so
+  // max_in_flight = N allows exactly N concurrent queries.
+  const std::size_t total_before =
+      total_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (config_.max_in_flight > 0 && total_before >= config_.max_in_flight) {
+    total_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_[i].fetch_add(1, std::memory_order_relaxed);
+    shed_total_[i]->Increment();
+    return std::nullopt;
+  }
+  const std::size_t class_before =
+      in_flight_[i].fetch_add(1, std::memory_order_acq_rel);
+  if (priority == Priority::kBackground &&
+      config_.max_background_in_flight > 0 &&
+      class_before >= config_.max_background_in_flight) {
+    in_flight_[i].fetch_sub(1, std::memory_order_acq_rel);
+    total_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_[i].fetch_add(1, std::memory_order_relaxed);
+    shed_total_[i]->Increment();
+    return std::nullopt;
+  }
+  if (!TakeToken()) {
+    in_flight_[i].fetch_sub(1, std::memory_order_acq_rel);
+    total_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_[i].fetch_add(1, std::memory_order_relaxed);
+    shed_total_[i]->Increment();
+    return std::nullopt;
+  }
+  admitted_[i].fetch_add(1, std::memory_order_relaxed);
+  admitted_total_[i]->Increment();
+  in_flight_gauge_[i]->Increment();
+  return Ticket(this, priority);
+}
+
+bool AdmissionController::TakeToken() {
+  if (config_.tokens_per_sec <= 0.0) return true;
+  std::lock_guard lock(bucket_mu_);
+  const Micros now = clock_->NowMicros();
+  if (now > last_refill_) {
+    tokens_ = std::min(config_.token_burst,
+                       tokens_ + static_cast<double>(now - last_refill_) *
+                                     1e-6 * config_.tokens_per_sec);
+    last_refill_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void AdmissionController::Release(Priority priority) noexcept {
+  const std::size_t i = Index(priority);
+  in_flight_[i].fetch_sub(1, std::memory_order_acq_rel);
+  total_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  in_flight_gauge_[i]->Decrement();
+}
+
+}  // namespace jdvs::qos

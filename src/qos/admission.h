@@ -1,0 +1,141 @@
+// Priority-aware admission controller.
+//
+// Replaces the blender's bare in-flight counter with a two-class admission
+// policy: a shared in-flight budget (queue-depth control), a separate cap
+// on the background class so recovery catch-up and probe traffic can never
+// occupy more than its share of slots, and an optional token bucket that
+// bounds the *rate* of admissions independently of their concurrency (a
+// burst of cheap queries can exhaust slots slowly but still melt the
+// extraction stage).
+//
+// Admission returns a movable RAII Ticket; releasing the ticket (or letting
+// it die) frees the slot, so every completion path — success, broker
+// failure, dropped continuation chain — gives the slot back exactly once.
+// The slot check is lock-free (the same fetch_add/fetch_sub discipline the
+// blender used); only the token bucket takes a mutex, and only when a rate
+// is configured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+#include "common/clock.h"
+#include "obs/registry.h"
+#include "qos/deadline.h"
+
+namespace jdvs::qos {
+
+struct AdmissionConfig {
+  // Total queries in flight (queued + executing) before new ones are shed;
+  // 0 = unlimited. Interactive traffic may use every slot.
+  std::size_t max_in_flight = 0;
+  // Cap on background-class in-flight queries (applies on top of the shared
+  // limit); 0 = no extra cap. Size it well below max_in_flight so recovery
+  // traffic cannot starve users.
+  std::size_t max_background_in_flight = 0;
+  // Token bucket on admissions per second across both classes; 0 = off.
+  double tokens_per_sec = 0.0;
+  // Bucket depth; 0 = one second of tokens.
+  double token_burst = 0.0;
+};
+
+class AdmissionController {
+ public:
+  // RAII admission slot. Default-constructed = not held.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : owner_(other.owner_), priority_(other.priority_) {
+      other.owner_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        priority_ = other.priority_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool held() const { return owner_ != nullptr; }
+    // Frees the slot; idempotent.
+    void Release() noexcept {
+      if (owner_ != nullptr) {
+        owner_->Release(priority_);
+        owner_ = nullptr;
+      }
+    }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* owner, Priority priority)
+        : owner_(owner), priority_(priority) {}
+
+    AdmissionController* owner_ = nullptr;
+    Priority priority_ = Priority::kInteractive;
+  };
+
+  // `registry` (null = process-global default) receives the shared
+  // jdvs_qos_admitted_total / jdvs_qos_shed_total counters and in-flight
+  // gauges, labeled by class.
+  explicit AdmissionController(const AdmissionConfig& config,
+                               const Clock& clock = MonotonicClock::Instance(),
+                               obs::Registry* registry = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // One admission decision: a Ticket when the query may proceed, nullopt
+  // when it must be shed (slots exhausted, background share exhausted, or
+  // token bucket empty).
+  std::optional<Ticket> TryAdmit(Priority priority);
+
+  std::size_t total_in_flight() const {
+    return total_in_flight_.load(std::memory_order_relaxed);
+  }
+  std::size_t in_flight(Priority priority) const {
+    return in_flight_[Index(priority)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t admitted(Priority priority) const {
+    return admitted_[Index(priority)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed(Priority priority) const {
+    return shed_[Index(priority)].load(std::memory_order_relaxed);
+  }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  static constexpr std::size_t Index(Priority priority) {
+    return static_cast<std::size_t>(priority);
+  }
+
+  void Release(Priority priority) noexcept;
+  bool TakeToken();
+
+  AdmissionConfig config_;
+  const Clock* clock_;
+
+  std::atomic<std::size_t> total_in_flight_{0};
+  std::atomic<std::size_t> in_flight_[2] = {};
+  std::atomic<std::uint64_t> admitted_[2] = {};
+  std::atomic<std::uint64_t> shed_[2] = {};
+
+  // Token bucket (only touched when tokens_per_sec > 0).
+  std::mutex bucket_mu_;
+  double tokens_ = 0.0;       // guarded by bucket_mu_
+  Micros last_refill_ = 0;    // guarded by bucket_mu_
+
+  obs::Counter* admitted_total_[2];
+  obs::Counter* shed_total_[2];
+  obs::Gauge* in_flight_gauge_[2];
+};
+
+}  // namespace jdvs::qos

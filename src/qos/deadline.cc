@@ -1,0 +1,16 @@
+#include "qos/deadline.h"
+
+namespace jdvs::qos {
+
+bool IsDeadlineExceeded(const std::exception_ptr& error) {
+  if (!error) return false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const DeadlineExceededError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace jdvs::qos

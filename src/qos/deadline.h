@@ -1,0 +1,87 @@
+// QoS vocabulary types: latency budgets and priority classes.
+//
+// A Deadline is an absolute point on the monotonic clock, stamped once by
+// the blender when a query is admitted (budget -> now + budget) and carried
+// through the broker and searcher continuations. Every tier calls Expired()
+// before doing work and fails fast with DeadlineExceededError instead of
+// computing an answer nobody will read — the staged-degradation discipline
+// of "Web-Scale Responsive Visual Search at Bing" applied to the paper's
+// 3-level architecture. The default-constructed Deadline is unlimited, so
+// pre-QoS call paths cost one integer compare.
+//
+// Priority separates interactive user traffic from background work (ctrl
+// recovery catch-up, probes, analytics) at admission, so a recovering
+// cluster cannot starve the users it is recovering for.
+#pragma once
+
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/clock.h"
+
+namespace jdvs::qos {
+
+// Admission priority class. Interactive queries may use every admission
+// slot; background work is additionally capped so it can never crowd users
+// out (see AdmissionConfig::max_background_in_flight).
+enum class Priority { kInteractive = 0, kBackground = 1 };
+
+constexpr const char* PriorityName(Priority priority) {
+  return priority == Priority::kInteractive ? "interactive" : "background";
+}
+
+// Thrown by a tier that finds the query's budget already spent; `where`
+// names the node that gave up. Brokers do NOT fail over on it (a sibling
+// replica would just burn another scan past the same deadline), and the
+// front end does not retry it.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& where)
+      : std::runtime_error("deadline exceeded at " + where) {}
+};
+
+class Deadline {
+ public:
+  // Sentinel for "no deadline": comparisons against it never expire.
+  static constexpr Micros kNone = std::numeric_limits<Micros>::max();
+
+  // Unlimited.
+  constexpr Deadline() = default;
+
+  // Absolute deadline at `at_micros` on `clock`'s timeline.
+  static constexpr Deadline At(Micros at_micros) { return Deadline(at_micros); }
+
+  // now + budget. A zero budget is already expired — the admission-time
+  // fast-fail for callers that have no time left.
+  static Deadline FromBudget(const Clock& clock, Micros budget_micros) {
+    return Deadline(clock.NowMicros() + budget_micros);
+  }
+
+  constexpr bool unlimited() const { return at_ == kNone; }
+  constexpr Micros at_micros() const { return at_; }
+
+  bool Expired(const Clock& clock) const {
+    return at_ != kNone && clock.NowMicros() >= at_;
+  }
+  constexpr bool ExpiredAt(Micros now_micros) const {
+    return at_ != kNone && now_micros >= at_;
+  }
+
+  // Budget left (<= 0 when expired); kNone when unlimited.
+  Micros RemainingMicros(const Clock& clock) const {
+    return at_ == kNone ? kNone : at_ - clock.NowMicros();
+  }
+
+ private:
+  constexpr explicit Deadline(Micros at) : at_(at) {}
+
+  Micros at_ = kNone;
+};
+
+// True when `error` holds a DeadlineExceededError (the no-failover /
+// no-retry classification used by broker and workload client).
+bool IsDeadlineExceeded(const std::exception_ptr& error);
+
+}  // namespace jdvs::qos

@@ -1,0 +1,95 @@
+#include "qos/load_controller.h"
+
+#include <algorithm>
+
+namespace jdvs::qos {
+
+LoadController::LoadController(const LoadControlConfig& config,
+                               const Clock& clock, obs::Registry* registry)
+    : config_(config), clock_(&clock) {
+  config_.window_micros = std::max<Micros>(config_.window_micros, 1);
+  config_.max_level = std::max(config_.max_level, 0);
+  config_.upgrade_after_windows = std::max(config_.upgrade_after_windows, 1);
+  config_.downgrade_after_windows =
+      std::max(config_.downgrade_after_windows, 1);
+  window_end_.store(clock_->NowMicros() + config_.window_micros,
+                    std::memory_order_relaxed);
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Default();
+  level_gauge_ = &reg.GetGauge("jdvs_qos_degradation_level");
+  steps_up_total_ = &reg.GetCounter("jdvs_qos_degradation_steps_up_total");
+  steps_down_total_ = &reg.GetCounter("jdvs_qos_degradation_steps_down_total");
+}
+
+void LoadController::Observe(Micros latency_micros, std::size_t in_flight) {
+  window_.Record(latency_micros);
+  std::size_t peak = window_peak_in_flight_.load(std::memory_order_relaxed);
+  while (peak < in_flight &&
+         !window_peak_in_flight_.compare_exchange_weak(
+             peak, in_flight, std::memory_order_relaxed)) {
+  }
+  const Micros now = clock_->NowMicros();
+  if (now >= window_end_.load(std::memory_order_relaxed)) MaybeRotate(now);
+}
+
+void LoadController::Poll() {
+  const Micros now = clock_->NowMicros();
+  if (now >= window_end_.load(std::memory_order_relaxed)) MaybeRotate(now);
+}
+
+void LoadController::MaybeRotate(Micros now) {
+  std::lock_guard lock(rotate_mu_);
+  if (now < window_end_.load(std::memory_order_relaxed)) return;  // raced
+
+  const std::uint64_t samples = window_.Count();
+  const Micros p99 = samples >= config_.min_window_samples ? window_.P99() : 0;
+  const std::size_t peak =
+      window_peak_in_flight_.exchange(0, std::memory_order_relaxed);
+  window_.Reset();
+  window_end_.store(now + config_.window_micros, std::memory_order_relaxed);
+
+  const bool p99_enabled =
+      config_.p99_degrade_micros > 0 && samples >= config_.min_window_samples;
+  const bool depth_enabled = config_.queue_degrade_depth > 0;
+  const bool overloaded =
+      (p99_enabled && p99 >= config_.p99_degrade_micros) ||
+      (depth_enabled && peak >= config_.queue_degrade_depth);
+  // Calm requires clear air *below* the thresholds (calm_fraction); the band
+  // between calm and overloaded holds the current level.
+  const bool calm =
+      (!p99_enabled ||
+       static_cast<double>(p99) <
+           config_.calm_fraction *
+               static_cast<double>(config_.p99_degrade_micros)) &&
+      (!depth_enabled ||
+       static_cast<double>(peak) <
+           config_.calm_fraction *
+               static_cast<double>(config_.queue_degrade_depth));
+
+  int level = level_.load(std::memory_order_relaxed);
+  if (overloaded) {
+    calm_streak_ = 0;
+    if (++overloaded_streak_ >= config_.upgrade_after_windows &&
+        level < config_.max_level) {
+      level_.store(++level, std::memory_order_relaxed);
+      level_gauge_->Set(level);
+      steps_up_.fetch_add(1, std::memory_order_relaxed);
+      steps_up_total_->Increment();
+      overloaded_streak_ = 0;  // a further step needs a fresh streak
+    }
+  } else if (calm) {
+    overloaded_streak_ = 0;
+    if (++calm_streak_ >= config_.downgrade_after_windows && level > 0) {
+      level_.store(--level, std::memory_order_relaxed);
+      level_gauge_->Set(level);
+      steps_down_.fetch_add(1, std::memory_order_relaxed);
+      steps_down_total_->Increment();
+      calm_streak_ = 0;
+    }
+  } else {
+    overloaded_streak_ = 0;
+    calm_streak_ = 0;
+  }
+}
+
+}  // namespace jdvs::qos

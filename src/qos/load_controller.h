@@ -1,0 +1,105 @@
+// Adaptive degradation controller.
+//
+// Watches the cluster's recent health — p99 of completed-query latency and
+// peak in-flight depth over a short rolling window — and exposes a small
+// integer *degradation level* the blenders consult per query:
+//
+//   level 0   full effort
+//   level 1   shrink nprobe to the configured degraded value (the IVF
+//             recall knob: fewer inverted lists scanned per searcher)
+//   level 2   additionally skip attribute re-ranking (distance order only)
+//
+// Stepping up is eager (one overloaded window per step by default);
+// stepping down requires several consecutive calm windows *below a fraction
+// of the trigger thresholds* — hysteresis in both streak length and
+// threshold, so the level doesn't flap at the boundary. The current level is
+// a relaxed atomic read on the query path; window rotation runs under a
+// mutex on whichever completion thread crosses the window boundary first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "obs/registry.h"
+
+namespace jdvs::qos {
+
+struct LoadControlConfig {
+  // Step-up triggers; either crossing marks the window overloaded. 0
+  // disables that trigger.
+  Micros p99_degrade_micros = 0;
+  std::size_t queue_degrade_depth = 0;
+  // Rolling evaluation window.
+  Micros window_micros = 250'000;
+  // Top of the degradation ladder (2 = nprobe shrink + rerank skip).
+  int max_level = 2;
+  // Consecutive overloaded windows per step up / calm windows per step down.
+  int upgrade_after_windows = 1;
+  int downgrade_after_windows = 4;
+  // A window is calm only when p99 and depth sit below this fraction of
+  // their trigger thresholds (the hysteresis band; in between, hold level).
+  double calm_fraction = 0.7;
+  // Windows with fewer latency samples than this don't evaluate the p99
+  // trigger (a lone straggler isn't an overload signal).
+  std::uint64_t min_window_samples = 8;
+};
+
+class LoadController {
+ public:
+  explicit LoadController(const LoadControlConfig& config,
+                          const Clock& clock = MonotonicClock::Instance(),
+                          obs::Registry* registry = nullptr);
+
+  LoadController(const LoadController&) = delete;
+  LoadController& operator=(const LoadController&) = delete;
+
+  // Current degradation level; the per-query read.
+  int level() const { return level_.load(std::memory_order_relaxed); }
+
+  // Feed one completed query: its end-to-end latency and the admission
+  // in-flight depth observed at completion. Rotates/evaluates the window
+  // when its end has passed.
+  void Observe(Micros latency_micros, std::size_t in_flight);
+
+  // Rotate/evaluate if the window elapsed without traffic — so a level
+  // stuck high by a vanished load steps down for readers (e.g. the ctrl
+  // recovery backoff loop) even while no queries complete.
+  void Poll();
+
+  std::uint64_t steps_up() const {
+    return steps_up_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steps_down() const {
+    return steps_down_.load(std::memory_order_relaxed);
+  }
+  const LoadControlConfig& config() const { return config_; }
+
+ private:
+  void MaybeRotate(Micros now);
+
+  LoadControlConfig config_;
+  const Clock* clock_;
+
+  // Current window: lock-free recording, reset at rotation. A Record racing
+  // a Reset can lose a sample — acceptable for a control signal.
+  Histogram window_;
+  std::atomic<std::size_t> window_peak_in_flight_{0};
+  std::atomic<Micros> window_end_;
+
+  std::atomic<int> level_{0};
+  std::atomic<std::uint64_t> steps_up_{0};
+  std::atomic<std::uint64_t> steps_down_{0};
+
+  std::mutex rotate_mu_;
+  int overloaded_streak_ = 0;  // guarded by rotate_mu_
+  int calm_streak_ = 0;        // guarded by rotate_mu_
+
+  obs::Gauge* level_gauge_;
+  obs::Counter* steps_up_total_;
+  obs::Counter* steps_down_total_;
+};
+
+}  // namespace jdvs::qos

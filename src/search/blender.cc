@@ -1,5 +1,6 @@
 #include "search/blender.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -15,7 +16,15 @@ Blender::Blender(std::string name, const Config& config,
       detector_(detector),
       brokers_(std::move(brokers)),
       tracer_(config.tracer != nullptr ? config.tracer
-                                       : &obs::Tracer::Default()) {
+                                       : &obs::Tracer::Default()),
+      admission_(
+          qos::AdmissionConfig{
+              .max_in_flight = config.max_in_flight,
+              .max_background_in_flight = config.max_background_in_flight,
+              .tokens_per_sec = config.admission_tokens_per_sec,
+              .token_burst = config.admission_token_burst,
+          },
+          MonotonicClock::Instance(), config.registry) {
   obs::Registry& registry =
       config_.registry != nullptr ? *config_.registry : obs::Registry::Default();
   queries_total_ = &registry.GetCounter(
@@ -24,6 +33,12 @@ Blender::Blender(std::string name, const Config& config,
       obs::Labeled("jdvs_blender_shed_total", "blender", node_.name()));
   degraded_total_ = &registry.GetCounter(
       obs::Labeled("jdvs_blender_degraded_total", "blender", node_.name()));
+  deadline_exceeded_ = &registry.GetCounter(
+      obs::Labeled("jdvs_qos_deadline_exceeded_total", "tier", "blender"));
+  degraded_level_[0] = &registry.GetCounter(
+      obs::Labeled("jdvs_qos_degraded_queries_total", "level", "1"));
+  degraded_level_[1] = &registry.GetCounter(
+      obs::Labeled("jdvs_qos_degraded_queries_total", "level", "2"));
   total_stage_ = &registry.GetHistogram(
       obs::Labeled("jdvs_stage_micros", "stage", "query_total"));
   extract_stage_ = &registry.GetHistogram(
@@ -38,41 +53,46 @@ Blender::Blender(std::string name, const Config& config,
 }
 
 struct Blender::RequestState {
-  explicit RequestState(Blender* blender)
-      : blender(blender), watch(MonotonicClock::Instance()) {}
+  RequestState(Blender* blender, SearchCallback done)
+      : blender(blender),
+        watch(MonotonicClock::Instance()),
+        on_done(std::move(done)) {}
 
   // Backstop: if the chain is dropped (every continuation released without
-  // fulfilling), the future must still complete and the admission slot must
+  // fulfilling), the callback must still fire and the admission ticket must
   // still be released.
   ~RequestState() {
     Fail(std::make_exception_ptr(
         std::runtime_error("query pipeline dropped before completion")));
   }
 
-  // Exactly one of Fulfill/Fail wins; both release the in-flight slot
-  // *before* completing the promise, so in_flight() reads 0 as soon as the
-  // caller's future is ready.
+  // Exactly one of Fulfill/Fail wins; both release the admission ticket
+  // *before* delivering the outcome, so in_flight() reads 0 as soon as the
+  // caller observes completion.
   void Fulfill(QueryResponse result) {
     if (fulfilled.exchange(true, std::memory_order_acq_rel)) return;
-    blender->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    promise.set_value(std::move(result));
+    ticket.Release();
+    on_done(AsyncResult<QueryResponse>::Ok(std::move(result)));
   }
   void Fail(std::exception_ptr error) {
     if (fulfilled.exchange(true, std::memory_order_acq_rel)) return;
-    blender->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    promise.set_exception(std::move(error));
+    ticket.Release();
+    on_done(AsyncResult<QueryResponse>::Fail(std::move(error)));
   }
 
   Blender* blender;
+  qos::AdmissionController::Ticket ticket;
   QueryOptions options;
+  qos::Deadline deadline;
   Stopwatch watch;
   obs::Span root;  // owned here so the trace spans every thread hop
   QueryResponse response;
   CategoryId category_filter = kNoCategoryFilter;
   std::size_t fetch_k = 0;
+  bool skip_rerank = false;  // degradation level >= 2
   std::uint64_t cache_key = 0;
   std::uint64_t version = 0;
-  std::promise<QueryResponse> promise;
+  SearchCallback on_done;
   std::atomic<bool> fulfilled{false};
 };
 
@@ -83,35 +103,69 @@ QueryResponse Blender::Search(const QueryImage& query,
 
 std::future<QueryResponse> Blender::SearchAsync(const QueryImage& query,
                                                 const QueryOptions& options) {
-  // Admission control: count the query against the in-flight budget at
-  // submission so queued work counts too; shed if the budget is exhausted.
-  if (config_.max_in_flight > 0) {
-    const std::size_t current =
-        in_flight_.fetch_add(1, std::memory_order_acq_rel);
-    if (current >= config_.max_in_flight) {
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      shed_total_->Increment();
-      std::promise<QueryResponse> rejected;
-      rejected.set_exception(std::make_exception_ptr(
-          BlenderOverloadedError(node_.name())));
-      return rejected.get_future();
-    }
-  } else {
-    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  // Future facade over the continuation path; only the blocking Search()
+  // facade ever waits on it.
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  SearchAsync(query, options,
+              [promise](AsyncResult<QueryResponse> result) {
+                if (result.ok()) {
+                  promise->set_value(*std::move(result.value));
+                } else {
+                  promise->set_exception(result.error);
+                }
+              });
+  return future;
+}
+
+qos::Deadline Blender::ResolveDeadline(const QueryOptions& options) const {
+  Micros budget = options.budget_micros;
+  if (budget == QueryOptions::kNoBudget) {
+    if (config_.default_budget_micros <= 0) return qos::Deadline();  // unlimited
+    budget = config_.default_budget_micros;
   }
-  auto state = std::make_shared<RequestState>(this);
+  if (budget < 0) return qos::Deadline();
+  return qos::Deadline::FromBudget(MonotonicClock::Instance(), budget);
+}
+
+void Blender::SearchAsync(const QueryImage& query, const QueryOptions& options,
+                          SearchCallback on_done) {
+  // Deadline check before admission: a query with no time left is shed
+  // immediately — no pool submission, no admission token burned.
+  const qos::Deadline deadline = ResolveDeadline(options);
+  if (deadline.Expired(MonotonicClock::Instance())) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_total_->Increment();
+    deadline_exceeded_->Increment();
+    on_done(AsyncResult<QueryResponse>::Fail(
+        std::make_exception_ptr(qos::DeadlineExceededError(node_.name()))));
+    return;
+  }
+  // Admission control: the query counts against the in-flight budget at
+  // submission, so queued work counts too; shed when the budget (or the
+  // background share, or the token bucket) is exhausted. The front end
+  // treats an overloaded blender like a failed one and retries elsewhere.
+  std::optional<qos::AdmissionController::Ticket> ticket =
+      admission_.TryAdmit(options.priority);
+  if (!ticket) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_total_->Increment();
+    on_done(AsyncResult<QueryResponse>::Fail(
+        std::make_exception_ptr(BlenderOverloadedError(node_.name()))));
+    return;
+  }
+  auto state = std::make_shared<RequestState>(this, std::move(on_done));
+  state->ticket = *std::move(ticket);
   state->options = options;
-  std::future<QueryResponse> future = state->promise.get_future();
+  state->deadline = deadline;
   node_.InvokeAsync(
       [this, state, query] { BeginQuery(state, query); },
       [state](AsyncResult<void> begun) {
         // An exception here means the chain never started (NodeFailedError
         // while this blender is down, or a pre-dispatch stage threw after
-        // BeginQuery rethrew); the admission slot is released by Fail.
+        // BeginQuery rethrew); the admission ticket is released by Fail.
         if (!begun.ok()) state->Fail(begun.error);
       });
-  return future;
 }
 
 // Inline stages on a blender pool thread: trace root, extract, cache
@@ -127,6 +181,13 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
   root.AddTag("k", static_cast<std::uint64_t>(state->options.k));
   if (state->options.nprobe > 0) {
     root.AddTag("nprobe", static_cast<std::uint64_t>(state->options.nprobe));
+  }
+  if (!state->deadline.unlimited()) {
+    root.AddTag("deadline_at",
+                static_cast<std::uint64_t>(state->deadline.at_micros()));
+  }
+  if (state->options.priority == qos::Priority::kBackground) {
+    root.AddTag("priority", "background");
   }
   state->response.trace_id = root.context().trace_id;
 
@@ -148,6 +209,18 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
     extract_stage_->Record(extract_watch.ElapsedMicros());
   }
 
+  // Extraction (plus the queue time before it) may have eaten the whole
+  // budget: give up before the expensive fan-out.
+  if (state->deadline.Expired(MonotonicClock::Instance())) {
+    deadline_exceeded_->Increment();
+    root.AddTag("deadline_exceeded", std::uint64_t{1});
+    root.SetError("deadline exceeded");
+    root.Finish();
+    state->Fail(
+        std::make_exception_ptr(qos::DeadlineExceededError(node_.name())));
+    return;
+  }
+
   // The category scan filter comes from explicit query options first, then
   // the detector when configured to narrow the search (Section 2.4).
   state->category_filter = state->options.category_filter;
@@ -162,6 +235,8 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
 
   // 2b. Result cache (when enabled): near-duplicate query photos of a hot
   //     product hit the same locality-sensitive key, skipping the fan-out.
+  //     Only full-effort responses are ever inserted, so a hit under
+  //     overload returns a full answer for free.
   state->version =
       config_.index_version == nullptr
           ? 0
@@ -187,11 +262,30 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
     }
   }
 
+  // 2c. Adaptive degradation: consult the shared load controller and trade
+  //     recall for latency while the cluster is hot. Level 1 shrinks nprobe
+  //     (each searcher scans fewer inverted lists); level 2 additionally
+  //     skips attribute re-ranking and the over-fetch that feeds it.
+  std::size_t effective_nprobe = state->options.nprobe;
+  int level = config_.load_controller != nullptr
+                  ? config_.load_controller->level()
+                  : 0;
+  level = std::min(level, 2);
+  state->response.degradation_level = level;
+  if (level >= 1) {
+    effective_nprobe =
+        config_.degraded_nprobe > 0 ? config_.degraded_nprobe : 1;
+    state->skip_rerank = level >= 2;
+    degraded_level_[level - 1]->Increment();
+    root.AddTag("degradation_level", static_cast<std::uint64_t>(level));
+  }
+
   // 3. "sends them to all the brokers" — parallel fan-out. Fetch more than k
-  //    from below so attribute re-ranking has candidates to work with. The
-  //    last broker completion re-posts the merge/rank leg to this blender's
-  //    pool (local continuation, not a network hop).
-  state->fetch_k = state->options.k * 2;
+  //    from below so attribute re-ranking has candidates to work with
+  //    (unless re-ranking is degraded away). The last broker completion
+  //    re-posts the merge/rank leg to this blender's pool (local
+  //    continuation, not a network hop).
+  state->fetch_k = state->skip_rerank ? state->options.k : state->options.k * 2;
   state->response.brokers_asked = brokers_.size();
   auto collector = FanInCollector<Broker::Reply>::Create(
       brokers_.size(),
@@ -206,8 +300,8 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
       });
   for (std::size_t b = 0; b < brokers_.size(); ++b) {
     brokers_[b]->SearchAsync(
-        feature, state->fetch_k, state->options.nprobe, state->category_filter,
-        root.context(),
+        feature, state->fetch_k, effective_nprobe, state->category_filter,
+        state->deadline, root.context(),
         [collector, b](Broker::SearchResult result) {
           collector->Complete(b, std::move(result));
         });
@@ -215,9 +309,27 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
 }
 
 // End of the chain, back on a blender pool thread: global merge, attribute
-// ranking, cache fill, span finish, promise fulfillment.
+// ranking, cache fill, span finish, callback delivery.
 void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
                           std::vector<AsyncResult<Broker::Reply>> slots) {
+  // The budget died somewhere below (broker queues, searcher scans, or the
+  // hops between): the answer is late by definition, so fail it typed
+  // instead of merging partial results nobody will wait for. Completions
+  // still feed the load controller — a deadline death is the strongest
+  // overload signal there is.
+  if (state->deadline.Expired(MonotonicClock::Instance())) {
+    const Micros elapsed = state->watch.ElapsedMicros();
+    deadline_exceeded_->Increment();
+    state->root.AddTag("deadline_exceeded", std::uint64_t{1});
+    state->root.SetError("deadline exceeded");
+    state->root.Finish();
+    if (config_.load_controller != nullptr) {
+      config_.load_controller->Observe(elapsed, admission_.total_in_flight());
+    }
+    state->Fail(
+        std::make_exception_ptr(qos::DeadlineExceededError(node_.name())));
+    return;
+  }
   std::size_t failures = 0;
   std::size_t partitions_failed = 0;
   std::string first_error;
@@ -251,24 +363,43 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
   }
 
   // 4. "combines and ranks the results": merge by distance, then rank by
-  //    similarity + sales/praise/price attributes.
+  //    similarity + sales/praise/price attributes — unless ranking was
+  //    degraded away (level 2), in which case distance order stands.
   {
     obs::Span rank = state->root.StartChild("rank", node_.name());
     const Stopwatch rank_watch(MonotonicClock::Instance());
     std::vector<SearchHit> merged =
         MergeHits(std::move(partials), state->fetch_k);
-    state->response.results =
-        RankResults(std::move(merged), state->response.detected_category,
-                    config_.ranking, state->options.k);
+    if (state->skip_rerank) {
+      rank.AddTag("skipped", std::uint64_t{1});
+      state->response.results.reserve(
+          std::min(merged.size(), state->options.k));
+      for (std::size_t i = 0;
+           i < merged.size() && i < state->options.k; ++i) {
+        // Score = negated distance so larger-is-better still holds.
+        state->response.results.push_back(
+            RankedResult{merged[i], -merged[i].distance});
+      }
+    } else {
+      state->response.results =
+          RankResults(std::move(merged), state->response.detected_category,
+                      config_.ranking, state->options.k);
+    }
     rank_stage_->Record(rank_watch.ElapsedMicros());
   }
   state->response.total_micros = state->watch.ElapsedMicros();
   if (cache_) {
+    // Insert() itself refuses degraded/partial responses, so an overloaded
+    // window can never poison the cache with low-effort answers.
     cache_->Insert(state->cache_key, state->version, state->response);
   }
   queries_.fetch_add(1, std::memory_order_relaxed);
   queries_total_->Increment();
   total_stage_->Record(state->response.total_micros);
+  if (config_.load_controller != nullptr) {
+    config_.load_controller->Observe(state->response.total_micros,
+                                     admission_.total_in_flight());
+  }
   // Finish before offering: the slow log renders the complete span tree.
   state->root.Finish();
   if (config_.slow_log != nullptr && state->response.trace_id != 0) {

@@ -30,6 +30,9 @@
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
+#include "qos/admission.h"
+#include "qos/deadline.h"
+#include "qos/load_controller.h"
 #include "search/broker.h"
 #include "search/query_cache.h"
 #include "search/ranking.h"
@@ -66,6 +69,23 @@ class Blender {
     // Admission control: maximum queries in flight (queued + executing) on
     // this blender before new ones are shed; 0 disables the limit.
     std::size_t max_in_flight = 0;
+    // QoS knobs (all default to the pre-QoS behavior):
+    // Extra cap on background-class queries (recovery catch-up, probes) so
+    // they can never occupy more than this share of slots; 0 = no extra cap.
+    std::size_t max_background_in_flight = 0;
+    // Token bucket on admissions per second across both classes; 0 = off.
+    double admission_tokens_per_sec = 0.0;
+    double admission_token_burst = 0.0;  // 0 = one second of tokens
+    // Latency budget stamped on queries that don't carry one
+    // (QueryOptions::kNoBudget); 0 = unlimited.
+    Micros default_budget_micros = 0;
+    // Shared degradation controller (typically owned by the cluster, fed by
+    // every blender); null = never degrade.
+    qos::LoadController* load_controller = nullptr;
+    // nprobe used while degraded (level >= 1); 0 falls back to 1, the most
+    // aggressive shrink — the cluster builder normally sets this to a
+    // fraction of the index's configured nprobe.
+    std::size_t degraded_nprobe = 0;
     // Result cache (off by default: the paper's freshness requirement).
     bool enable_result_cache = false;
     QueryCacheConfig cache;
@@ -100,6 +120,16 @@ class Blender {
   std::future<QueryResponse> SearchAsync(const QueryImage& query,
                                          const QueryOptions& options);
 
+  // Continuation-passing entry point: the outcome (response, or the typed
+  // admission/deadline error) is delivered to `on_done` on whichever pool
+  // thread finishes the chain — or inline, synchronously, when the query is
+  // shed at admission (overload or a zero budget) without touching the
+  // pool. Open-loop load generators drive this overload: dispatch never
+  // blocks on completion, so offered load is independent of service rate.
+  using SearchCallback = std::function<void(AsyncResult<QueryResponse>)>;
+  void SearchAsync(const QueryImage& query, const QueryOptions& options,
+                   SearchCallback on_done);
+
   bool healthy() const { return !node_.failed(); }
   Node& node() { return node_; }
   const std::string& name() const { return node_.name(); }
@@ -111,9 +141,10 @@ class Blender {
   }
   // Null when the result cache is disabled.
   const QueryCache* result_cache() const { return cache_.get(); }
-  std::size_t in_flight() const {
-    return in_flight_.load(std::memory_order_relaxed);
-  }
+  std::size_t in_flight() const { return admission_.total_in_flight(); }
+  // The priority-aware admission controller gating this blender (per-class
+  // admitted/shed counts for harnesses and tests).
+  const qos::AdmissionController& admission() const { return admission_; }
 
  private:
   // Heap-owned per-request state shared by the continuation chain. Owns the
@@ -129,6 +160,10 @@ class Blender {
   void FinishQuery(const std::shared_ptr<RequestState>& state,
                    std::vector<AsyncResult<Broker::Reply>> slots);
 
+  // Resolves the query's latency budget (explicit, configured default, or
+  // unlimited) into an absolute deadline.
+  qos::Deadline ResolveDeadline(const QueryOptions& options) const;
+
   Config config_;
   Node node_;
   const SyntheticEmbedder& embedder_;
@@ -136,15 +171,17 @@ class Blender {
   std::vector<Broker*> brokers_;
   std::unique_ptr<QueryCache> cache_;
   obs::Tracer* tracer_;
+  qos::AdmissionController admission_;
   obs::Counter* queries_total_;   // registry mirror of queries_
   obs::Counter* shed_total_;      // registry mirror of shed_
   obs::Counter* degraded_total_;  // queries answered with partial coverage
+  obs::Counter* deadline_exceeded_;   // jdvs_qos_deadline_exceeded_total{tier=blender}
+  obs::Counter* degraded_level_[2];   // jdvs_qos_degraded_queries_total{level=1|2}
   Histogram* total_stage_;        // jdvs_stage_micros{stage="query_total"}
   Histogram* extract_stage_;      // jdvs_stage_micros{stage="extract"}
   Histogram* rank_stage_;         // jdvs_stage_micros{stage="rank"}
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::size_t> in_flight_{0};
 };
 
 }  // namespace jdvs

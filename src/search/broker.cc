@@ -21,6 +21,8 @@ Broker::Broker(std::string name, const Config& config)
       "jdvs_broker_partition_failures_total", "broker", node_.name()));
   state_skips_total_ = &registry.GetCounter(
       obs::Labeled("jdvs_broker_state_skips_total", "broker", node_.name()));
+  deadline_exceeded_ = &registry.GetCounter(
+      obs::Labeled("jdvs_qos_deadline_exceeded_total", "tier", "broker"));
 }
 
 void Broker::AddPartition(std::vector<Searcher*> replicas,
@@ -32,11 +34,12 @@ void Broker::AddPartition(std::vector<Searcher*> replicas,
 
 struct Broker::FanOutState {
   FanOutState(FeatureVector q, std::size_t k, std::size_t nprobe,
-              CategoryId filter, SearchCallback done)
+              CategoryId filter, qos::Deadline deadline, SearchCallback done)
       : query(std::move(q)),
         k(k),
         nprobe(nprobe),
         filter(filter),
+        deadline(deadline),
         watch(MonotonicClock::Instance()),
         on_done(std::move(done)) {}
 
@@ -44,6 +47,7 @@ struct Broker::FanOutState {
   std::size_t k;
   std::size_t nprobe;
   CategoryId filter;
+  qos::Deadline deadline;
   Stopwatch watch;
   SearchCallback on_done;
   obs::Span span;             // "broker.search": dispatch through merge
@@ -60,9 +64,10 @@ struct Broker::FanOutState {
 
 void Broker::SearchAsync(FeatureVector query, std::size_t k,
                          std::size_t nprobe, CategoryId category_filter,
-                         obs::TraceContext parent, SearchCallback on_done) {
+                         qos::Deadline deadline, obs::TraceContext parent,
+                         SearchCallback on_done) {
   auto state = std::make_shared<FanOutState>(std::move(query), k, nprobe,
-                                             category_filter,
+                                             category_filter, deadline,
                                              std::move(on_done));
   node_.InvokeAsync(
       [this, state, parent] {
@@ -83,10 +88,11 @@ void Broker::SearchAsync(FeatureVector query, std::size_t k,
 
 std::future<std::vector<SearchHit>> Broker::SearchAsync(
     FeatureVector query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter, obs::TraceContext parent) {
+    CategoryId category_filter, qos::Deadline deadline,
+    obs::TraceContext parent) {
   auto promise = std::make_shared<std::promise<std::vector<SearchHit>>>();
   std::future<std::vector<SearchHit>> future = promise->get_future();
-  SearchAsync(std::move(query), k, nprobe, category_filter, parent,
+  SearchAsync(std::move(query), k, nprobe, category_filter, deadline, parent,
               [promise](SearchResult result) {
                 if (result.ok()) {
                   promise->set_value(std::move(result.value->hits));
@@ -100,6 +106,19 @@ std::future<std::vector<SearchHit>> Broker::SearchAsync(
 // Runs on a broker pool thread; returns as soon as the first wave is
 // dispatched.
 void Broker::StartFanOut(std::shared_ptr<FanOutState> state) {
+  // Budget already dead (spent in the blender->broker hop or this broker's
+  // queue): fail before dispatching a single searcher call. The fan-out is
+  // the expensive part — shedding here is the whole point of propagating
+  // the deadline down the tiers.
+  if (state->deadline.Expired(MonotonicClock::Instance())) {
+    deadline_exceeded_->Increment();
+    state->span.AddTag("deadline_exceeded", std::uint64_t{1});
+    state->span.SetError("deadline exceeded");
+    state->span.Finish();
+    state->on_done(SearchResult::Fail(
+        std::make_exception_ptr(qos::DeadlineExceededError(node_.name()))));
+    return;
+  }
   state->span.AddTag("partitions",
                      static_cast<std::uint64_t>(partitions_.size()));
   state->slot_partition.reserve(partitions_.size());
@@ -166,9 +185,18 @@ void Broker::DispatchReplica(std::shared_ptr<FanOutState> state,
   const std::size_t partition = state->slot_partition[slot];
   const std::size_t replica = state->slot_candidates[slot][attempt];
   partitions_[partition][replica]->SearchAsync(
-      state->query, state->k, state->nprobe, state->filter, state->context,
+      state->query, state->k, state->nprobe, state->filter, state->deadline,
+      state->context,
       [this, state, slot, attempt](Searcher::SearchResult result) {
         if (result.ok()) {
+          state->collector->Complete(slot, std::move(result));
+          return;
+        }
+        // Deadline death is not a replica fault: the budget is just as dead
+        // on the sibling, and retrying timed-out work under overload only
+        // amplifies it. Complete the slot with the error (no failover, no
+        // partition_failures — the partition is healthy, the query is late).
+        if (qos::IsDeadlineExceeded(result.error)) {
           state->collector->Complete(slot, std::move(result));
           return;
         }
@@ -197,6 +225,19 @@ void Broker::DispatchReplica(std::shared_ptr<FanOutState> state,
 // delivered the last partition.
 void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
                           std::vector<Searcher::SearchResult> slots) {
+  // Too late to be useful: the blender would discard the answer anyway, so
+  // skip the merge and report the deadline death from this tier.
+  if (state->deadline.Expired(MonotonicClock::Instance())) {
+    deadline_exceeded_->Increment();
+    state->span.AddTag("deadline_exceeded", std::uint64_t{1});
+    state->span.SetError("deadline exceeded");
+    fanout_stage_->Record(state->watch.ElapsedMicros());
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    state->span.Finish();
+    state->on_done(SearchResult::Fail(
+        std::make_exception_ptr(qos::DeadlineExceededError(node_.name()))));
+    return;
+  }
   Reply reply;
   std::vector<std::vector<SearchHit>> partials;
   partials.reserve(slots.size());

@@ -30,6 +30,7 @@
 #include "net/rpc.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "qos/deadline.h"
 #include "search/searcher.h"
 #include "search/types.h"
 
@@ -82,15 +83,21 @@ class Broker {
   // searcher pool thread delivered it. A sampled `parent` context yields a
   // "broker.search" span covering dispatch through merge, with
   // failover/failure tags, plus one "searcher.scan" child per partition.
+  //
+  // The deadline is enforced at the tier boundaries: before the fan-out is
+  // dispatched (an already-dead budget never reaches a searcher), inside
+  // each searcher (queue time counts), and again before the merge. A
+  // replica that failed *because the deadline expired* is never failed over
+  // — retrying a timed-out call on a sibling only amplifies the overload.
   void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
-                   CategoryId category_filter, obs::TraceContext parent,
-                   SearchCallback on_done);
+                   CategoryId category_filter, qos::Deadline deadline,
+                   obs::TraceContext parent, SearchCallback on_done);
 
   // Future facade over the continuation path (tests / ablation harnesses).
   std::future<std::vector<SearchHit>> SearchAsync(
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
       CategoryId category_filter = kNoCategoryFilter,
-      obs::TraceContext parent = {});
+      qos::Deadline deadline = {}, obs::TraceContext parent = {});
 
   Node& node() { return node_; }
   const std::string& name() const { return node_.name(); }
@@ -149,6 +156,7 @@ class Broker {
   obs::Counter* failovers_total_;
   obs::Counter* partition_failures_total_;
   obs::Counter* state_skips_total_;
+  obs::Counter* deadline_exceeded_;  // jdvs_qos_deadline_exceeded_total{tier=broker}
 };
 
 }  // namespace jdvs

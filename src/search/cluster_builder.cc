@@ -63,6 +63,24 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
       replica_states_->Register(searchers_.back()->name());
     }
   }
+  // Drain waiters park on drain_cv_ and consumers notify per message; the
+  // empty lock_guard orders the notify after a waiter's predicate check, so
+  // no wakeup is ever missed (messages_consumed_ is bumped before this
+  // listener runs).
+  for (const auto& searcher : searchers_) {
+    searcher->SetProgressListener([this] {
+      { std::lock_guard lock(drain_mu_); }
+      drain_cv_.notify_all();
+    });
+  }
+
+  // Shared degradation controller (only when a trigger is configured, so
+  // pre-QoS clusters pay nothing on the query path).
+  if (config_.load_control.p99_degrade_micros > 0 ||
+      config_.load_control.queue_degrade_depth > 0) {
+    load_controller_ = std::make_unique<qos::LoadController>(
+        config_.load_control, MonotonicClock::Instance(), registry_);
+  }
 
   // Brokers: contiguous partition ranges ("each broker asks a subset of
   // searchers").
@@ -107,6 +125,14 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     lc.default_k = config_.default_k;
     lc.nprobe = 0;
     lc.max_in_flight = config_.blender_max_in_flight;
+    lc.max_background_in_flight = config_.blender_max_background_in_flight;
+    lc.admission_tokens_per_sec = config_.blender_admission_tokens_per_sec;
+    lc.default_budget_micros = config_.default_query_budget_micros;
+    lc.load_controller = load_controller_.get();
+    lc.degraded_nprobe =
+        config_.degraded_nprobe > 0
+            ? config_.degraded_nprobe
+            : std::max<std::size_t>(config_.ivf.nprobe / 4, 1);
     lc.enable_result_cache = config_.blender_result_cache;
     lc.cache = config_.blender_cache;
     lc.index_version = &updates_published_;
@@ -299,22 +325,19 @@ void VisualSearchCluster::RunFullIndexingCycle() {
 
 bool VisualSearchCluster::WaitForUpdatesDrained(Micros timeout_micros) {
   if (!config_.realtime_enabled || !started_) return true;
-  const auto& clock = MonotonicClock::Instance();
-  const Micros deadline = clock.NowMicros() + timeout_micros;
   const std::uint64_t published =
       updates_published_.load(std::memory_order_relaxed);
-  for (;;) {
-    bool drained = true;
-    for (const auto& searcher : searchers_) {
-      if (searcher->messages_consumed() < published) {
-        drained = false;
-        break;
-      }
-    }
-    if (drained) return true;
-    if (clock.NowMicros() > deadline) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  // Event-driven: consumers notify drain_cv_ per message (see the progress
+  // listeners wired in the constructor), so the waiter parks instead of
+  // burning a 1ms poll loop — and wakes the moment the last message lands.
+  std::unique_lock lock(drain_mu_);
+  return drain_cv_.wait_for(
+      lock, std::chrono::microseconds(timeout_micros), [&] {
+        for (const auto& searcher : searchers_) {
+          if (searcher->messages_consumed() < published) return false;
+        }
+        return true;
+      });
 }
 
 RealTimeIndexerCounters VisualSearchCluster::TotalUpdateCounters() const {
@@ -376,6 +399,11 @@ std::string VisualSearchCluster::StatusReport() const {
   os << "  replica states: " << states.up << " up / " << states.suspect
      << " suspect / " << states.down << " down / " << states.recovering
      << " recovering\n";
+  if (load_controller_) {
+    os << "  qos: degradation level " << load_controller_->level() << " ("
+       << load_controller_->steps_up() << " steps up, "
+       << load_controller_->steps_down() << " down)\n";
+  }
   return os.str();
 }
 

@@ -8,8 +8,10 @@
 // topology.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
+#include "qos/load_controller.h"
 #include "search/blender.h"
 #include "search/broker.h"
 #include "search/searcher.h"
@@ -67,6 +70,20 @@ struct ClusterConfig {
   std::size_t default_k = 10;
   // Per-blender admission limit (0 = unlimited).
   std::size_t blender_max_in_flight = 0;
+  // QoS / overload control (src/qos; all defaults = pre-QoS behavior).
+  // Extra per-blender cap on background-class queries (recovery catch-up,
+  // probes); 0 = no extra cap.
+  std::size_t blender_max_background_in_flight = 0;
+  // Per-blender token bucket on admissions per second; 0 = off.
+  double blender_admission_tokens_per_sec = 0.0;
+  // Latency budget stamped on queries that don't carry their own
+  // (QueryOptions::kNoBudget); 0 = unlimited.
+  Micros default_query_budget_micros = 0;
+  // Adaptive degradation thresholds; both triggers 0 = degradation off (no
+  // controller is created). The controller is shared by every blender.
+  qos::LoadControlConfig load_control;
+  // nprobe served while degraded; 0 = max(1, ivf.nprobe / 4).
+  std::size_t degraded_nprobe = 0;
   // Per-blender result cache (off by default: freshness first). The cache's
   // strict version check is wired to the cluster's update counter.
   bool blender_result_cache = false;
@@ -193,6 +210,9 @@ class VisualSearchCluster {
   // The front-end balancer itself, for callers that retry on a different
   // blender (workload::QueryClient's overload retry).
   RoundRobinBalancer<Blender>& front_end() { return *front_end_; }
+  // Shared degradation controller; null when degradation is off (no
+  // load_control trigger configured).
+  qos::LoadController* load_controller() { return load_controller_.get(); }
 
   std::uint64_t updates_published() const { return updates_published_; }
 
@@ -246,7 +266,11 @@ class VisualSearchCluster {
 
   // Destruction order matters: blenders call brokers call searchers, and
   // brokers read the replica state table, so searchers_ / the table are
-  // declared first (destroyed last).
+  // declared first (destroyed last). The drain cv and load controller are
+  // referenced from searcher/blender callbacks, so they outlive both tiers.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::unique_ptr<qos::LoadController> load_controller_;
   std::unique_ptr<ctrl::ReplicaStateTable> replica_states_;
   std::vector<std::unique_ptr<Searcher>> searchers_;
   std::vector<std::unique_ptr<Broker>> brokers_;

@@ -27,6 +27,8 @@ QueryCache::QueryCache(std::size_t dim, const QueryCacheConfig& config,
       &reg.GetCounter(obs::Labeled("jdvs_cache_hits_total", "owner", owner));
   misses_total_ =
       &reg.GetCounter(obs::Labeled("jdvs_cache_misses_total", "owner", owner));
+  rejected_degraded_total_ = &reg.GetCounter(
+      obs::Labeled("jdvs_cache_rejected_degraded_total", "owner", owner));
 }
 
 std::uint64_t QueryCache::KeyFor(FeatureView feature, std::size_t k,
@@ -83,6 +85,12 @@ std::optional<QueryResponse> QueryCache::Lookup(std::uint64_t key,
 
 void QueryCache::Insert(std::uint64_t key, std::uint64_t version,
                         const QueryResponse& response) {
+  if (response.degraded || response.degradation_level > 0) {
+    std::lock_guard lock(mu_);
+    ++stats_.rejected_degraded;
+    rejected_degraded_total_->Increment();
+    return;
+  }
   std::lock_guard lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {

@@ -49,6 +49,10 @@ struct QueryCacheStats {
   std::uint64_t stale = 0;     // version-check misses
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  // Inserts refused because the response was degraded (partial coverage or
+  // a nonzero QoS degradation level) — low-effort answers must not outlive
+  // the overload that produced them.
+  std::uint64_t rejected_degraded = 0;
 
   double HitRate() const {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
@@ -77,6 +81,10 @@ class QueryCache {
   std::optional<QueryResponse> Lookup(std::uint64_t key,
                                       std::uint64_t version);
 
+  // Inserts a response. Degraded responses — partial coverage (`degraded`)
+  // or answered at a nonzero degradation level — are refused: serving them
+  // from cache would extend a transient overload's quality loss past the
+  // overload itself (and past the failed partition's recovery).
   void Insert(std::uint64_t key, std::uint64_t version,
               const QueryResponse& response);
 
@@ -101,6 +109,7 @@ class QueryCache {
   obs::Counter* lookups_total_;
   obs::Counter* hits_total_;
   obs::Counter* misses_total_;
+  obs::Counter* rejected_degraded_total_;
 
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent

@@ -27,7 +27,9 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
           node_.name()))),
       deduped_total_(&registry_->GetCounter(obs::Labeled(
           "jdvs_searcher_updates_deduped_total", "searcher",
-          node_.name()))) {}
+          node_.name()))),
+      deadline_exceeded_(&registry_->GetCounter(obs::Labeled(
+          "jdvs_qos_deadline_exceeded_total", "tier", "searcher"))) {}
 
 Searcher::~Searcher() { StopConsuming(); }
 
@@ -83,10 +85,12 @@ void Searcher::Crash() {
   index_.store(nullptr, std::memory_order_release);
 }
 
-std::size_t Searcher::CatchUpFromLog(const MessageLog& log) {
+std::size_t Searcher::CatchUpFromLog(const MessageLog& log,
+                                     const CatchUpPacer& pacer) {
   // Snapshot outside the writer mutex; ApplyUpdate takes it per message and
   // skips anything at or below the high-water mark.
   std::size_t replayed = 0;
+  std::size_t visited = 0;
   for (const ProductUpdateMessage& message : log.Snapshot()) {
     // Every visited message counts as consumed (same as ConsumeLoop: dedup
     // is an apply decision, not a consumption one), so drain accounting
@@ -94,19 +98,24 @@ std::size_t Searcher::CatchUpFromLog(const MessageLog& log) {
     const bool applied = ApplyUpdate(message);
     messages_consumed_.fetch_add(1, std::memory_order_relaxed);
     consumed_total_->Increment();
+    if (progress_listener_) progress_listener_();
     if (applied) ++replayed;
+    // Yield to the pacer between batches, not per message: catch-up should
+    // stay fast when the cluster is healthy and only throttle under load.
+    if (pacer && (++visited % 64) == 0) pacer();
   }
   return replayed;
 }
 
 std::future<std::vector<SearchHit>> Searcher::SearchAsync(
     FeatureVector query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter, obs::TraceContext parent) {
+    CategoryId category_filter, qos::Deadline deadline,
+    obs::TraceContext parent) {
   // Future facade over the continuation path, for tests and tools that want
   // a blocking join; the broker drives the callback overload directly.
   auto promise = std::make_shared<std::promise<std::vector<SearchHit>>>();
   std::future<std::vector<SearchHit>> future = promise->get_future();
-  SearchAsync(std::move(query), k, nprobe, category_filter, parent,
+  SearchAsync(std::move(query), k, nprobe, category_filter, deadline, parent,
               [promise](SearchResult result) {
                 if (result.ok()) {
                   promise->set_value(*std::move(result.value));
@@ -119,9 +128,10 @@ std::future<std::vector<SearchHit>> Searcher::SearchAsync(
 
 void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                            std::size_t nprobe, CategoryId category_filter,
-                           obs::TraceContext parent, SearchCallback on_done) {
-  node_.InvokeSpannedAsync(
-      trace_sink_, parent, "searcher.scan",
+                           qos::Deadline deadline, obs::TraceContext parent,
+                           SearchCallback on_done) {
+  node_.InvokeSpannedAsyncWithDeadline(
+      trace_sink_, parent, "searcher.scan", deadline,
       [this, query = std::move(query), k, nprobe,
        category_filter](obs::Span& span) {
         span.AddTag("k", static_cast<std::uint64_t>(k));
@@ -140,7 +150,14 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
         span.AddTag("hits", static_cast<std::uint64_t>(hits.size()));
         return hits;
       },
-      std::move(on_done));
+      [this, done = std::move(on_done)](SearchResult result) {
+        // This is the bottom tier, so a DeadlineExceededError here was
+        // raised here: the budget died in this searcher's queue.
+        if (!result.ok() && qos::IsDeadlineExceeded(result.error)) {
+          deadline_exceeded_->Increment();
+        }
+        done(std::move(result));
+      });
 }
 
 std::vector<SearchHit> Searcher::SearchLocal(
@@ -183,6 +200,7 @@ void Searcher::ConsumeLoop(std::shared_ptr<Subscription> subscription) {
     ApplyUpdate(*message);
     messages_consumed_.fetch_add(1, std::memory_order_relaxed);
     consumed_total_->Increment();
+    if (progress_listener_) progress_listener_();
   }
 }
 

@@ -32,6 +32,7 @@
 #include "net/rpc.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "qos/deadline.h"
 #include "store/feature_db.h"
 
 namespace jdvs {
@@ -90,7 +91,11 @@ class Searcher {
   // applied messages are skipped by sequence). Returns the number of
   // messages replayed. The recovery catch-up step: bring a snapshot-restored
   // index up to date with everything published while the replica was down.
-  std::size_t CatchUpFromLog(const MessageLog& log);
+  // When `pacer` is set it is invoked every few dozen messages so the caller
+  // can yield to foreground traffic (QoS: recovery is background work).
+  using CatchUpPacer = std::function<void()>;
+  std::size_t CatchUpFromLog(const MessageLog& log,
+                             const CatchUpPacer& pacer = {});
 
   // Remote search: runs on this searcher's node. Returns "the top k most
   // similar images" of this partition, optionally scoped to one category.
@@ -99,17 +104,20 @@ class Searcher {
   std::future<std::vector<SearchHit>> SearchAsync(
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
       CategoryId category_filter = kNoCategoryFilter,
-      obs::TraceContext parent = {});
+      qos::Deadline deadline = {}, obs::TraceContext parent = {});
 
   // Continuation-passing variant the broker drives: the partial result (or
   // the failure, e.g. NodeFailedError while this node is down) is delivered
   // to `on_done` on this searcher's pool thread. The caller's thread only
-  // dispatches — it never blocks on the scan.
+  // dispatches — it never blocks on the scan. The deadline is re-checked on
+  // this searcher's pool thread before the scan runs: work still queued when
+  // the budget dies fails fast with DeadlineExceededError instead of
+  // scanning for a caller that already gave up.
   using SearchResult = AsyncResult<std::vector<SearchHit>>;
   using SearchCallback = std::function<void(SearchResult)>;
   void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
-                   CategoryId category_filter, obs::TraceContext parent,
-                   SearchCallback on_done);
+                   CategoryId category_filter, qos::Deadline deadline,
+                   obs::TraceContext parent, SearchCallback on_done);
 
   // In-process search (tests / exhaustive ground truth), bypassing the node.
   std::vector<SearchHit> SearchLocal(
@@ -132,6 +140,16 @@ class Searcher {
 
   // Writer housekeeping: finish any pending inverted-list expansions.
   void FinishPendingExpansions();
+
+  // Notification hook fired (outside all locks) after every consumed
+  // message, from both the consumer loop and catch-up replay — so a drain
+  // waiter can park on a condition variable instead of sleep-polling
+  // messages_consumed(). Set once during cluster wiring, before the first
+  // StartConsuming; may be empty.
+  using ProgressListener = std::function<void()>;
+  void SetProgressListener(ProgressListener listener) {
+    progress_listener_ = std::move(listener);
+  }
 
   Node& node() { return node_; }
   const std::string& name() const { return node_.name(); }
@@ -167,6 +185,7 @@ class Searcher {
   Histogram* scan_stage_;         // shared jdvs_stage_micros{stage="searcher_scan"}
   obs::Counter* consumed_total_;  // mirrors messages_consumed_
   obs::Counter* deduped_total_;   // duplicate updates skipped by sequence
+  obs::Counter* deadline_exceeded_;  // jdvs_qos_deadline_exceeded_total{tier=searcher}
 
   std::atomic<std::shared_ptr<IvfIndex>> index_{nullptr};
   mutable std::mutex writer_mu_;              // serializes all mutations
@@ -184,6 +203,8 @@ class Searcher {
   std::atomic<std::uint64_t> messages_consumed_{0};
   // Advanced under writer_mu_; read lock-free by the control plane.
   std::atomic<std::uint64_t> applied_sequence_{0};
+  // Set before the first StartConsuming, then only read (no lock).
+  ProgressListener progress_listener_;
 };
 
 }  // namespace jdvs

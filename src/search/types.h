@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "index/ivf_index.h"
+#include "qos/deadline.h"
 #include "vecmath/vector.h"
 
 namespace jdvs {
@@ -30,6 +31,17 @@ struct QueryOptions {
   // excludes the true product, which is the accuracy/latency trade the
   // category-filter ablation measures.
   CategoryId category_filter = kNoCategoryFilter;
+
+  // Latency budget (QoS): the blender stamps budget -> absolute deadline at
+  // admission and every tier below fails fast once it expires. kNoBudget
+  // (the default) falls back to the blender's configured default budget, or
+  // unlimited when none is configured. 0 means "no time left": the query is
+  // shed at admission without touching the pool.
+  static constexpr Micros kNoBudget = -1;
+  Micros budget_micros = kNoBudget;
+  // Admission class: background work (recovery catch-up, probes, analytics
+  // replays) is capped separately so it cannot starve interactive users.
+  qos::Priority priority = qos::Priority::kInteractive;
 };
 
 // One final ranked result ("the similar products are ranked according to
@@ -49,6 +61,10 @@ struct QueryResponse {
   // for a fully-down partition): the results cover only the reachable part
   // of the corpus — graceful degradation, not a query error.
   bool degraded = false;
+  // Adaptive-degradation effort level this query was answered at: 0 = full
+  // effort, 1 = shrunk nprobe, 2 = additionally skipped attribute
+  // re-ranking. Nonzero responses are never cached.
+  int degradation_level = 0;
   // True when served from the blender's result cache (staleness bounded by
   // the cache TTL) instead of a live fan-out.
   bool from_cache = false;

@@ -1,10 +1,17 @@
-// Closed-loop query workload client.
+// Query workload clients: closed-loop and open-loop.
 //
 // "The client machine emulates a different number of concurrent users by
 // sending image query requests to the visual search system" (Section 3.2).
-// Each thread issues a query, waits for the response, records the latency,
-// and immediately issues the next — the standard closed-loop client that
-// produces the QPS-vs-threads curves of Figures 12 and 13.
+// Run(): each thread issues a query, waits for the response, records the
+// latency, and immediately issues the next — the standard closed-loop client
+// that produces the QPS-vs-threads curves of Figures 12 and 13. A
+// closed-loop client self-throttles (a slow system slows its users), so it
+// can never push the system past saturation.
+//
+// RunOpenLoop(): queries arrive on a Poisson process at a configured offered
+// rate regardless of completions — the arrival model that *can* overload the
+// cluster, which is what the QoS admission/degradation machinery exists for.
+// Overload benches sweep arrival_qps past saturation and read goodput.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "qos/deadline.h"
 #include "search/cluster_builder.h"
 
 namespace jdvs {
@@ -34,6 +42,26 @@ struct QueryWorkloadConfig {
   // front-end balancer offers, up to this many extra attempts; only then is
   // it counted as an error. 0 = fail on the first shed.
   std::size_t max_retries = 2;
+  // Backoff before each overload retry: attempt n waits an exponentially
+  // grown multiple of this base, capped at retry_backoff_max_micros, with
+  // jitter (uniform over the upper half) so synchronized clients don't
+  // re-stampede an overloaded blender in lockstep. 0 = retry immediately
+  // (the pre-QoS behavior).
+  Micros retry_backoff_micros = 0;
+  Micros retry_backoff_max_micros = 100'000;
+  // Latency budget stamped on every query (QueryOptions::budget_micros);
+  // default = no budget (blender default applies).
+  Micros budget_micros = QueryOptions::kNoBudget;
+  // Admission class of the issued queries.
+  qos::Priority priority = qos::Priority::kInteractive;
+
+  // ---- Open-loop mode (RunOpenLoop only) ----
+  // Poisson arrival rate of offered queries; must be > 0 for RunOpenLoop.
+  double arrival_qps = 0.0;
+  // Latency SLO used for goodput accounting (0 = every completion counts).
+  Micros slo_micros = 0;
+  // How long to wait after the arrival window for in-flight queries.
+  Micros drain_timeout_micros = 10'000'000;
 };
 
 struct QueryWorkloadResult {
@@ -41,6 +69,8 @@ struct QueryWorkloadResult {
   std::uint64_t errors = 0;
   // Overload retries performed (each is one extra blender round trip).
   std::uint64_t retries = 0;
+  // Total time threads spent sleeping in retry backoff.
+  std::uint64_t retry_backoff_micros = 0;
   Micros elapsed_micros = 0;
   double qps = 0.0;
   std::shared_ptr<Histogram> latency_micros;  // per-query response times
@@ -50,12 +80,41 @@ struct QueryWorkloadResult {
   double subject_hit_rate = 0.0;
 };
 
+// One open-loop run. Rates are over the arrival window; latencies cover
+// completed queries only. Offered = completed + the error counts +
+// timed_out_in_flight.
+struct OpenLoopResult {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t overload_errors = 0;  // shed at blender admission
+  std::uint64_t deadline_errors = 0;  // typed DeadlineExceededError
+  std::uint64_t other_errors = 0;
+  std::uint64_t degraded = 0;         // completed at degradation level >= 1
+  std::uint64_t slo_ok = 0;           // completed within slo_micros
+  std::uint64_t timed_out_in_flight = 0;  // never completed before drain cut
+  Micros elapsed_micros = 0;          // arrival window + drain tail
+  double offered_qps = 0.0;
+  double completed_qps = 0.0;
+  double goodput_qps = 0.0;           // slo_ok per second of arrival window
+  std::shared_ptr<Histogram> latency_micros;
+};
+
 class QueryClient {
  public:
   QueryClient(VisualSearchCluster& cluster, const QueryWorkloadConfig& config);
 
-  // Runs the workload to completion (blocking) and returns merged results.
+  // Runs the closed-loop workload to completion (blocking) and returns
+  // merged results.
   QueryWorkloadResult Run();
+
+  // Runs the open-loop workload: a dispatcher thread fires queries on a
+  // Poisson process at config.arrival_qps for config.duration_micros,
+  // through the blenders' continuation-passing SearchAsync — dispatch never
+  // waits on a completion, so offered load is independent of service rate
+  // and can exceed cluster capacity. No retries: under overload a shed
+  // query is lost demand, and re-offering it would inflate the arrival rate
+  // past the configured one.
+  OpenLoopResult RunOpenLoop();
 
  private:
   struct Target {
