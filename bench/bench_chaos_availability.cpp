@@ -22,12 +22,35 @@
 // under the same live load: every replica swaps to a freshly built index one
 // at a time, and the >=1-serving-replica invariant keeps the partial-answer
 // counter flat.
+//
+// Gray-failure section (network faults the heartbeat detector cannot see):
+//
+//   limping replica       replica 0 of every partition answers with 50x hop
+//                         latency but stays alive and acking. Undefended,
+//                         half of each partition's dispatches land on the
+//                         limper and the latency distribution collapses;
+//                         defended (latency-aware selection + adaptive
+//                         hedging + per-RPC timeouts), the broker routes
+//                         around it and hedges the exploration traffic, so
+//                         p99 stays within 2x the fault-free baseline.
+//   lossy network         every searcher link silently drops a few percent
+//                         of requests/replies. Undefended a dropped message
+//                         hangs its query forever (open-loop: counted as
+//                         timed_out_in_flight); defended the per-RPC timeout
+//                         fires and the slot fails over, so success rate
+//                         returns to ~100%.
+//
+// Flags: --seed=N (fault schedule + workload seed), --quick (short windows
+// for CI smoke), --json (write BENCH_chaos_availability.json).
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <string_view>
 #include <thread>
 
 #include "bench_common.h"
+#include "net/fault_injector.h"
 
 namespace {
 
@@ -265,12 +288,216 @@ RollingDeployResult RunRollingDeployment(const std::string& snapshot_dir) {
                              failures_after - failures_before};
 }
 
+// ---- Gray failures: limping replica and lossy network ----
+
+// Defense bundle the "defended" rows turn on; everything defaults off so the
+// undefended rows reproduce the pre-defense behavior exactly.
+void EnableGrayDefenses(ClusterConfig& config) {
+  config.searcher_rpc_timeout_micros = 60'000;
+  config.broker_rpc_timeout_micros = 250'000;
+  config.enable_hedging = true;  // hedge_delay 0 = adaptive (3x best EWMA)
+  config.latency_aware_selection = true;
+}
+
+struct LimpingRow {
+  const char* label;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t errors = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t ejections = 0;  // latency outliers marked SUSPECT by ctrl
+};
+
+// Closed-loop load against a cluster where replica 0 of every partition is
+// 50x slow on the wire (heartbeats still ack — a pure gray failure).
+LimpingRow RunLimping(const char* label, std::uint64_t seed, Micros window,
+                      bool inject, bool defended) {
+  FaultInjector injector(seed);
+  TestbedOptions options = ChaosOptions();
+  options.seed = seed;
+  auto cluster = std::make_unique<VisualSearchCluster>([&] {
+    ClusterConfig config = MakeTestbedConfig(options);
+    config.replicas_per_partition = 2;
+    if (inject) config.fault_injector = &injector;
+    if (defended) EnableGrayDefenses(config);
+    return config;
+  }());
+  CatalogGenConfig cg;
+  cg.num_products = options.num_products;
+  cg.num_categories = 50;
+  cg.seed = seed ^ 0x11;
+  GenerateCatalog(cg, cluster->catalog(), cluster->image_store(),
+                  &cluster->features());
+  cluster->BuildAndInstallFullIndexes();
+  cluster->Start();
+  // Defended also runs the failure detector with latency-outlier ejection:
+  // the limpers' EWMAs (fed by the brokers through the shared replica state
+  // table) blow past 3x the healthy median and get marked SUSPECT even
+  // though every heartbeat acks — the gray-failure gap the heartbeat-only
+  // detector can't close.
+  std::unique_ptr<ctrl::ClusterController> controller;
+  if (defended) {
+    ctrl::ControllerConfig cc;
+    cc.detector.heartbeat_period_micros = 10'000;
+    cc.detector.suspect_after_misses = 2;
+    cc.detector.down_after_misses = 6;
+    cc.detector.latency_outlier_factor = 3.0;
+    cc.detector.latency_outlier_min_micros = 5'000;
+    controller = std::make_unique<ctrl::ClusterController>(*cluster, cc);
+    controller->Start();
+  }
+  if (inject) {
+    for (std::size_t b = 0; b < cluster->num_brokers(); ++b) {
+      for (std::size_t p = 0; p < kPartitions; ++p) {
+        injector.SetLink(cluster->broker(b).name(),
+                         cluster->searcher(p, 0).name(),
+                         LinkFaults{.latency_multiplier = 50.0});
+      }
+    }
+  }
+
+  QueryWorkloadConfig qc;
+  qc.num_threads = 16;
+  qc.duration_micros = window;
+  qc.seed = seed;
+  QueryClient client(*cluster, qc);
+  const QueryWorkloadResult result = client.Run();
+
+  LimpingRow row{label};
+  row.qps = result.qps;
+  row.p50_ms = result.latency_micros->P50() / 1000.0;
+  row.p99_ms = result.latency_micros->P99() / 1000.0;
+  row.errors = result.errors;
+  for (std::size_t b = 0; b < cluster->num_brokers(); ++b) {
+    row.hedges += cluster->broker(b).hedges();
+    row.hedge_wins += cluster->broker(b).hedge_wins();
+    row.rpc_timeouts += cluster->broker(b).rpc_timeouts();
+  }
+  if (const obs::Counter* c = cluster->registry().FindCounter(
+          "jdvs_ctrl_latency_ejections_total")) {
+    row.ejections = c->Value();
+  }
+  if (controller) controller->Stop();
+  cluster->Stop();
+  return row;
+}
+
+struct LossyRow {
+  const char* label;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  double success_rate = 0.0;
+  std::uint64_t timeout_errors = 0;
+  std::uint64_t hung = 0;  // timed_out_in_flight: never answered at all
+  std::uint64_t degraded = 0;
+  double p99_ms = 0.0;
+};
+
+// Open-loop load (arrivals don't wait on completions — a hung query can't
+// throttle the client into hiding the outage) against a fabric that
+// silently drops a few percent of searcher-bound messages.
+LossyRow RunLossy(const char* label, std::uint64_t seed, Micros window,
+                  double arrival_qps, bool inject, bool defended) {
+  FaultInjector injector(seed ^ 0x5a5a);
+  TestbedOptions options = ChaosOptions();
+  options.seed = seed;
+  auto cluster = std::make_unique<VisualSearchCluster>([&] {
+    ClusterConfig config = MakeTestbedConfig(options);
+    config.replicas_per_partition = 2;
+    if (inject) config.fault_injector = &injector;
+    if (defended) EnableGrayDefenses(config);
+    return config;
+  }());
+  CatalogGenConfig cg;
+  cg.num_products = options.num_products;
+  cg.num_categories = 50;
+  cg.seed = seed ^ 0x11;
+  GenerateCatalog(cg, cluster->catalog(), cluster->image_store(),
+                  &cluster->features());
+  cluster->BuildAndInstallFullIndexes();
+  cluster->Start();
+  if (inject) {
+    // Wildcard rule per searcher node: every link into it is lossy, both
+    // request and reply directions.
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      for (std::size_t r = 0; r < 2; ++r) {
+        injector.SetNode(cluster->searcher(p, r).name(),
+                         LinkFaults{.drop_probability = 0.02,
+                                    .reply_drop_probability = 0.01});
+      }
+    }
+  }
+
+  QueryWorkloadConfig qc;
+  qc.duration_micros = window;
+  qc.seed = seed;
+  qc.arrival_qps = arrival_qps;
+  qc.drain_timeout_micros = 3'000'000;
+  QueryClient client(*cluster, qc);
+  const OpenLoopResult result = client.RunOpenLoop();
+
+  LossyRow row{label};
+  row.offered = result.offered;
+  row.completed = result.completed;
+  row.success_rate =
+      result.offered > 0
+          ? static_cast<double>(result.completed) /
+                static_cast<double>(result.offered)
+          : 0.0;
+  row.timeout_errors = result.timeout_errors;
+  row.hung = result.timed_out_in_flight;
+  row.degraded = result.degraded;
+  row.p99_ms = result.latency_micros->P99() / 1000.0;
+  cluster->Stop();
+  return row;
+}
+
+Json LimpingJson(const LimpingRow& row) {
+  Json j = Json::Object();
+  j.Set("label", std::string(row.label));
+  j.Set("qps", row.qps);
+  j.Set("p50_ms", row.p50_ms);
+  j.Set("p99_ms", row.p99_ms);
+  j.Set("errors", row.errors);
+  j.Set("hedges", row.hedges);
+  j.Set("hedge_wins", row.hedge_wins);
+  j.Set("rpc_timeouts", row.rpc_timeouts);
+  j.Set("latency_ejections", row.ejections);
+  return j;
+}
+
+Json LossyJson(const LossyRow& row) {
+  Json j = Json::Object();
+  j.Set("label", std::string(row.label));
+  j.Set("offered", row.offered);
+  j.Set("completed", row.completed);
+  j.Set("success_rate", row.success_rate);
+  j.Set("timeout_errors", row.timeout_errors);
+  j.Set("timed_out_in_flight", row.hung);
+  j.Set("degraded", row.degraded);
+  j.Set("p99_ms", row.p99_ms);
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Broker failover / recovery warnings are the expected condition here;
   // keep the report readable.
   SetLogLevel(LogLevel::kError);
+  std::uint64_t seed = 2018;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.data() + 7, nullptr, 10);
+    } else if (arg == "--quick") {
+      quick = true;
+    }
+  }
   PrintHeader("Chaos: availability with searcher replicas under failures",
               "'Each partition can have multiple copies for availability'");
 
@@ -321,12 +548,84 @@ int main(int argc, char** argv) {
               "automatically: heartbeat detection, snapshot restore, day-log "
               "catch-up, re-admission; MTTR is the mean DOWN-to-UP time.)\n");
 
+  // ---- Gray failures the heartbeat detector cannot see ----
+  const Micros gray_window = quick ? 1'500'000 : 5'000'000;
+  std::printf("\nGray failure: replica 0 of every partition limping at 50x "
+              "hop latency,\nheartbeats healthy (closed loop, %llu ms per "
+              "row, seed %llu):\n\n",
+              (unsigned long long)(gray_window / 1000),
+              (unsigned long long)seed);
+  std::printf("%12s %8s %9s %9s %7s %8s %10s %9s %10s\n", "mode", "QPS",
+              "p50 ms", "p99 ms", "errors", "hedges", "hedge wins",
+              "timeouts", "ejections");
+  LimpingRow limping_rows[3];
+  limping_rows[0] = RunLimping("fault-free", seed, gray_window,
+                               /*inject=*/false, /*defended=*/false);
+  limping_rows[1] = RunLimping("undefended", seed, gray_window,
+                               /*inject=*/true, /*defended=*/false);
+  limping_rows[2] = RunLimping("defended", seed, gray_window,
+                               /*inject=*/true, /*defended=*/true);
+  for (const LimpingRow& row : limping_rows) {
+    std::printf("%12s %8.0f %9.2f %9.2f %7llu %8llu %10llu %9llu %10llu\n",
+                row.label, row.qps, row.p50_ms, row.p99_ms,
+                (unsigned long long)row.errors,
+                (unsigned long long)row.hedges,
+                (unsigned long long)row.hedge_wins,
+                (unsigned long long)row.rpc_timeouts,
+                (unsigned long long)row.ejections);
+  }
+  std::printf("\n(defended = latency-aware replica selection + adaptive "
+              "hedging + per-RPC timeouts + latency-outlier ejection; the "
+              "broker's latency EWMA routes primaries around the limper, a "
+              "hedge covers the exploration traffic that still samples it, "
+              "and the control plane marks the limpers SUSPECT even though "
+              "their heartbeats stay healthy.)\n");
+
+  const double lossy_qps = quick ? 150.0 : 300.0;
+  std::printf("\nGray failure: every searcher link dropping 2%% of requests "
+              "+ 1%% of replies\n(open loop at %.0f QPS, %llu ms window, 3 s "
+              "drain):\n\n",
+              lossy_qps, (unsigned long long)(gray_window / 1000));
+  std::printf("%12s %8s %10s %9s %9s %6s %9s %9s\n", "mode", "offered",
+              "completed", "success", "timeouts", "hung", "degraded",
+              "p99 ms");
+  LossyRow lossy_rows[3];
+  lossy_rows[0] = RunLossy("fault-free", seed, gray_window, lossy_qps,
+                           /*inject=*/false, /*defended=*/false);
+  lossy_rows[1] = RunLossy("undefended", seed, gray_window, lossy_qps,
+                           /*inject=*/true, /*defended=*/false);
+  lossy_rows[2] = RunLossy("defended", seed, gray_window, lossy_qps,
+                           /*inject=*/true, /*defended=*/true);
+  for (const LossyRow& row : lossy_rows) {
+    std::printf("%12s %8llu %10llu %8.1f%% %9llu %6llu %9llu %9.2f\n",
+                row.label, (unsigned long long)row.offered,
+                (unsigned long long)row.completed, row.success_rate * 100.0,
+                (unsigned long long)row.timeout_errors,
+                (unsigned long long)row.hung,
+                (unsigned long long)row.degraded, row.p99_ms);
+  }
+  std::printf("\n(undefended, a silently dropped message hangs its query "
+              "forever — 'hung' counts arrivals that never answered. "
+              "Defended, the per-RPC timeout turns the drop into a typed "
+              "error and the slot fails over to the sibling replica.)\n");
+
   const RollingDeployResult rollout =
       RunRollingDeployment(snapshot_dir.string());
   if (WantJson(argc, argv)) {
     Json root = Json::Object();
     root.Set("bench", "chaos_availability");
+    root.Set("seed", seed);
     root.Set("rows", std::move(chaos_rows));
+    Json limping_json = Json::Array();
+    for (const LimpingRow& row : limping_rows) {
+      limping_json.Push(LimpingJson(row));
+    }
+    Json lossy_json = Json::Array();
+    for (const LossyRow& row : lossy_rows) lossy_json.Push(LossyJson(row));
+    Json gray = Json::Object();
+    gray.Set("limping_replica", std::move(limping_json));
+    gray.Set("lossy_network", std::move(lossy_json));
+    root.Set("gray_failure", std::move(gray));
     Json rollout_json = Json::Object();
     rollout_json.Set("qps", rollout.qps);
     rollout_json.Set("errors", rollout.errors);

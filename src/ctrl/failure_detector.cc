@@ -1,6 +1,8 @@
 #include "ctrl/failure_detector.h"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -15,6 +17,8 @@ FailureDetector::FailureDetector(std::vector<Target> targets,
       registry != nullptr ? *registry : obs::Registry::Default();
   heartbeats_total_ = &reg.GetCounter("jdvs_ctrl_heartbeats_total");
   misses_total_ = &reg.GetCounter("jdvs_ctrl_heartbeat_misses_total");
+  latency_ejections_total_ =
+      &reg.GetCounter("jdvs_ctrl_latency_ejections_total");
   probes_.reserve(targets_.size());
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     probes_.push_back(std::make_shared<Probe>());
@@ -42,7 +46,65 @@ void FailureDetector::RunLoop() {
   }
 }
 
+void FailureDetector::EjectLatencyOutliers() {
+  if (config_.latency_outlier_factor <= 0.0) return;
+  std::vector<Micros> ewmas;
+  ewmas.reserve(targets_.size());
+  for (const Target& target : targets_) {
+    const ReplicaState state = table_.Get(target.slot);
+    if (state != ReplicaState::kUp && state != ReplicaState::kSuspect) continue;
+    const Micros ewma = table_.latency_ewma_micros(target.slot);
+    if (ewma > 0) ewmas.push_back(ewma);
+  }
+  // A median over fewer than 3 samples is just another replica's latency;
+  // wait until enough of the tier has been measured.
+  if (ewmas.size() < 3) return;
+  auto mid = ewmas.begin() + static_cast<std::ptrdiff_t>(ewmas.size() / 2);
+  std::nth_element(ewmas.begin(), mid, ewmas.end());
+  const double threshold =
+      std::max(static_cast<double>(config_.latency_outlier_min_micros),
+               config_.latency_outlier_factor * static_cast<double>(*mid));
+  const double reenter = threshold * config_.latency_reenter_fraction;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const Target& target = targets_[i];
+    Probe& probe = *probes_[i];
+    const ReplicaState state = table_.Get(target.slot);
+    if (state != ReplicaState::kUp && state != ReplicaState::kSuspect) {
+      // DOWN/RECOVERING belongs to the miss machinery / controller; the
+      // latency verdict is stale by the time it comes back.
+      probe.latency_suspected = false;
+      continue;
+    }
+    const auto ewma = static_cast<double>(table_.latency_ewma_micros(target.slot));
+    if (!probe.latency_suspected && ewma > threshold) {
+      probe.latency_suspected = true;
+      if (state == ReplicaState::kUp) {
+        // The gray-failure transition: heartbeats are fine, answers are
+        // not. SUSPECT keeps it serving but deprioritized in the broker's
+        // candidate order.
+        latency_ejections_.fetch_add(1, std::memory_order_relaxed);
+        latency_ejections_total_->Increment();
+        JDVS_LOG(kWarning) << "ctrl: " << target.node->name()
+                           << " SUSPECT as latency outlier (ewma "
+                           << static_cast<Micros>(ewma) << "us > "
+                           << static_cast<Micros>(threshold) << "us)";
+        table_.Set(target.slot, ReplicaState::kSuspect);
+      }
+    } else if (probe.latency_suspected && ewma < reenter) {
+      // Recovered below the hysteresis band; the next ack reinstates UP.
+      probe.latency_suspected = false;
+    }
+  }
+}
+
 void FailureDetector::ProbeRound() {
+  // Probes carry the control plane's identity on fault-injection links, so
+  // chaos scenarios can fault (or exempt) the heartbeat path explicitly.
+  RpcSourceScope source("ctrl");
+  const Micros probe_timeout = config_.probe_timeout_micros > 0
+                                   ? config_.probe_timeout_micros
+                                   : 2 * config_.heartbeat_period_micros;
+  EjectLatencyOutliers();
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     const Target& target = targets_[i];
     Probe& probe = *probes_[i];
@@ -58,7 +120,10 @@ void FailureDetector::ProbeRound() {
     if (probe.acked.exchange(false, std::memory_order_acq_rel)) {
       probe.consecutive_misses = 0;
       const ReplicaState state = table_.Get(target.slot);
-      if (state == ReplicaState::kSuspect ||
+      // An ack clears heartbeat suspicion, but not a latency ejection: the
+      // whole point of the gray-failure defense is that this replica acks
+      // fine and answers slow. Reinstatement waits for the EWMA to recover.
+      if ((state == ReplicaState::kSuspect && !probe.latency_suspected) ||
           (state == ReplicaState::kDown && config_.reinstate_on_ack)) {
         table_.Set(target.slot, ReplicaState::kUp);
       }
@@ -95,15 +160,17 @@ void FailureDetector::ProbeRound() {
       heartbeats_.fetch_add(1, std::memory_order_relaxed);
       heartbeats_total_->Increment();
       const std::shared_ptr<Probe> p = probes_[i];
-      target.node->InvokeAsync([] {},
-                               [p](AsyncResult<void> result) {
-                                 if (result.ok()) {
-                                   p->acked.store(true,
-                                                  std::memory_order_release);
-                                 }
-                                 p->in_flight.store(false,
-                                                    std::memory_order_release);
-                               });
+      // The timeout guarantees in_flight always clears: a probe whose
+      // message the fabric drops comes back as RpcTimeoutError (a miss)
+      // instead of wedging this replica's probing forever.
+      target.node->InvokeAsyncWithTimeout(
+          probe_timeout, [] {},
+          [p](AsyncResult<void> result) {
+            if (result.ok()) {
+              p->acked.store(true, std::memory_order_release);
+            }
+            p->in_flight.store(false, std::memory_order_release);
+          });
     }
   }
 }

@@ -46,6 +46,24 @@ struct FailureDetectorConfig {
   // DOWN replica reinstates it to UP directly. With auto-recovery the
   // controller owns the DOWN -> RECOVERING -> UP leg instead.
   bool reinstate_on_ack = true;
+  // Per-probe RPC timeout; 0 = 2x the heartbeat period. Without it a probe
+  // whose message the fabric drops would stay in flight forever and this
+  // replica would never be probed again (the one-outstanding-probe rule),
+  // wedging detection right when the network is at its worst.
+  Micros probe_timeout_micros = 0;
+  // Latency-outlier ejection (the gray-failure defense): a replica whose
+  // response-time EWMA (ReplicaStateTable::RecordLatency, fed by brokers)
+  // exceeds factor x the median EWMA of its serving peers is marked SUSPECT
+  // even though its heartbeats keep acking — heartbeats measure liveness,
+  // not usefulness. 0 = off. SUSPECT still serves; the broker's candidate
+  // ordering just stops preferring it.
+  double latency_outlier_factor = 0.0;
+  // Floor on the ejection threshold so quiet clusters (median ~ tens of
+  // microseconds) don't eject on noise.
+  Micros latency_outlier_min_micros = 1'000;
+  // An ejected replica re-enters when its EWMA drops below this fraction of
+  // the ejection threshold (hysteresis against flapping at the boundary).
+  double latency_reenter_fraction = 0.7;
 };
 
 class FailureDetector {
@@ -72,6 +90,10 @@ class FailureDetector {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Replicas marked SUSPECT for latency (heartbeats passing) so far.
+  std::uint64_t latency_ejections() const {
+    return latency_ejections_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Probe outcome written by the node's pool thread, read by the detector
@@ -82,10 +104,15 @@ class FailureDetector {
     // Detector-thread private.
     int consecutive_misses = 0;
     bool dispatched = false;  // a probe has ever been sent to this replica
+    // Currently ejected for latency; acks alone do not reinstate while set.
+    bool latency_suspected = false;
   };
 
   void RunLoop();
   void ProbeRound();
+  // Marks latency outliers SUSPECT / clears recovered ones, from the
+  // replicas' EWMAs in the state table. Runs once per probe round.
+  void EjectLatencyOutliers();
 
   std::vector<Target> targets_;
   ReplicaStateTable& table_;
@@ -99,8 +126,10 @@ class FailureDetector {
   std::thread loop_;
   std::atomic<std::uint64_t> heartbeats_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> latency_ejections_{0};
   obs::Counter* heartbeats_total_;
   obs::Counter* misses_total_;
+  obs::Counter* latency_ejections_total_;
 };
 
 }  // namespace jdvs::ctrl

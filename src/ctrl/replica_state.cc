@@ -37,7 +37,25 @@ std::size_t ReplicaStateTable::Register(const std::string& node_name) {
   entry.gauge = &registry_->GetGauge(
       obs::Labeled("jdvs_ctrl_replica_state", "replica", node_name));
   entry.gauge->Set(static_cast<std::int64_t>(ReplicaState::kUp));
+  entry.latency_gauge = &registry_->GetGauge(obs::Labeled(
+      "jdvs_ctrl_replica_latency_ewma_micros", "replica", node_name));
   return entries_.size() - 1;
+}
+
+void ReplicaStateTable::RecordLatency(std::size_t slot, Micros sample_micros) {
+  if (sample_micros < 0) sample_micros = 0;
+  Entry& entry = entries_[slot];
+  std::int64_t current =
+      entry.latency_ewma_micros.load(std::memory_order_relaxed);
+  std::int64_t next = 0;
+  do {
+    // First sample seeds the average; after that, alpha = 1/8.
+    next = current == 0 ? sample_micros
+                        : current + (sample_micros - current) / 8;
+    if (next == current) break;  // converged; nothing to publish
+  } while (!entry.latency_ewma_micros.compare_exchange_weak(
+      current, next, std::memory_order_relaxed));
+  entry.latency_gauge->Set(next);
 }
 
 void ReplicaStateTable::Set(std::size_t slot, ReplicaState state) {

@@ -72,6 +72,17 @@ class ReplicaStateTable {
     return s == ReplicaState::kUp || s == ReplicaState::kSuspect;
   }
 
+  // Folds one observed response time into the replica's latency EWMA
+  // (alpha = 1/8). Brokers record every reply (and every per-RPC timeout,
+  // at the timeout value — the caller-visible cost of asking); the broker's
+  // candidate ordering and the failure detector's latency-outlier ejection
+  // both read the result. Lock-free CAS so the hot path never serializes.
+  void RecordLatency(std::size_t slot, Micros sample_micros);
+  // Current EWMA (0 = no sample recorded since registration).
+  Micros latency_ewma_micros(std::size_t slot) const {
+    return entries_[slot].latency_ewma_micros.load(std::memory_order_relaxed);
+  }
+
   const std::string& name(std::size_t slot) const {
     return entries_[slot].name;
   }
@@ -89,7 +100,9 @@ class ReplicaStateTable {
     std::string name;
     std::atomic<int> state{static_cast<int>(ReplicaState::kUp)};
     std::atomic<std::int64_t> down_since_micros{0};
+    std::atomic<std::int64_t> latency_ewma_micros{0};
     obs::Gauge* gauge = nullptr;
+    obs::Gauge* latency_gauge = nullptr;
   };
 
   const Clock* clock_;

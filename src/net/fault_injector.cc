@@ -1,0 +1,116 @@
+#include "net/fault_injector.h"
+
+#include "common/hash.h"
+
+namespace jdvs {
+namespace {
+
+// Uniform double in [0, 1) from a mixed hash: 53 mantissa bits.
+double ToUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+thread_local std::string current_rpc_source;
+
+}  // namespace
+
+void FaultInjector::Install(LinkKey key, const LinkFaults& faults) {
+  Rule rule;
+  rule.faults = faults;
+  rule.key_hash = HashCombine(
+      Mix64(seed_),
+      HashCombine(Fnv1a64(key.first), Mix64(Fnv1a64(key.second))));
+  rule.ordinal = std::make_shared<std::atomic<std::uint64_t>>(0);
+  std::lock_guard lock(mu_);
+  rules_[std::move(key)] = std::move(rule);
+}
+
+void FaultInjector::SetLink(const std::string& from, const std::string& to,
+                            const LinkFaults& faults) {
+  Install({from, to}, faults);
+}
+
+void FaultInjector::SetNode(const std::string& to, const LinkFaults& faults) {
+  Install({"*", to}, faults);
+}
+
+void FaultInjector::Partition(const std::string& from, const std::string& to) {
+  Install({from, to}, LinkFaults{.partitioned = true});
+}
+
+void FaultInjector::Heal(const std::string& from, const std::string& to) {
+  std::lock_guard lock(mu_);
+  rules_.erase({from, to});
+}
+
+void FaultInjector::HealNode(const std::string& to) {
+  std::lock_guard lock(mu_);
+  rules_.erase({"*", to});
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard lock(mu_);
+  rules_.clear();
+}
+
+FaultInjector::Decision FaultInjector::Decide(const std::string& from,
+                                              const std::string& to) {
+  LinkFaults faults;
+  std::uint64_t key_hash = 0;
+  std::shared_ptr<std::atomic<std::uint64_t>> ordinal;
+  {
+    std::lock_guard lock(mu_);
+    auto found = rules_.find({from, to});
+    if (found == rules_.end()) found = rules_.find({std::string("*"), to});
+    if (found == rules_.end()) return Decision{};
+    faults = found->second.faults;
+    key_hash = found->second.key_hash;
+    ordinal = found->second.ordinal;
+  }
+  Decision decision;
+  decision.latency_multiplier = faults.latency_multiplier;
+  decision.added_latency_micros = faults.added_latency_micros;
+  if (faults.partitioned) {
+    decision.drop_request = true;
+    requests_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  // The n-th message on this link draws independent uniforms by hashing
+  // (key, n, draw#): deterministic in the seed, independent of which thread
+  // dispatches and in what order the links interleave.
+  const std::uint64_t n = ordinal->fetch_add(1, std::memory_order_relaxed);
+  auto draw = [&](std::uint64_t stream) {
+    return ToUnit(Mix64(HashCombine(key_hash, HashCombine(Mix64(n), stream))));
+  };
+  if (faults.drop_probability > 0.0 && draw(1) < faults.drop_probability) {
+    decision.drop_request = true;
+    requests_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  if (faults.reply_drop_probability > 0.0 &&
+      draw(2) < faults.reply_drop_probability) {
+    // Counted by the delivery path (OnReplyDropped) once the work actually
+    // ran — a request that also failed upstream never had a reply to drop.
+    decision.drop_reply = true;
+    return decision;
+  }
+  if (faults.duplicate_probability > 0.0 &&
+      draw(3) < faults.duplicate_probability) {
+    decision.duplicate_reply = true;
+    replies_duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+const std::string& CurrentRpcSource() { return current_rpc_source; }
+
+RpcSourceScope::RpcSourceScope(std::string source)
+    : previous_(std::move(current_rpc_source)) {
+  current_rpc_source = std::move(source);
+}
+
+RpcSourceScope::~RpcSourceScope() {
+  current_rpc_source = std::move(previous_);
+}
+
+}  // namespace jdvs

@@ -1,0 +1,168 @@
+// Deterministic, seeded network fault injection for the simulated RPC
+// fabric.
+//
+// The only failure the fabric used to model was a binary crash switch on
+// Node. Production gray failures look nothing like that: messages get lost,
+// replies get duplicated, links partition in one direction, and a "limping"
+// node answers every heartbeat while serving queries 50x slow. A
+// FaultInjector attached to a Node (Node::set_fault_injector) intercepts
+// every Invoke/InvokeAsync and decides, per message, whether to drop the
+// request, drop or duplicate the reply, or stretch the hop latency — per
+// directed link (from caller to callee), controllable at runtime from
+// benches and tests.
+//
+// Decisions are deterministic in (seed, link rule, message ordinal): the
+// n-th message on a link draws its fate by hashing, not from a shared RNG,
+// so the same seed replays the same drop/duplication schedule regardless of
+// thread interleaving. That is what makes chaos benches reproducible
+// (--seed) and fault tests debuggable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace jdvs {
+
+// Fault profile of one directed link (or one callee, with the wildcard
+// source "*"). Defaults are a clean link.
+struct LinkFaults {
+  // Probability the request is lost in transit: the callee never runs it,
+  // the caller hears nothing (only a timeout can break the silence).
+  double drop_probability = 0.0;
+  // Probability the work runs but the reply is lost on the way back —
+  // indistinguishable from a dropped request to the caller, but the callee
+  // did the work (and applied its side effects).
+  double reply_drop_probability = 0.0;
+  // Probability the reply is delivered twice (retransmission artifact);
+  // callers must suppress the duplicate or double-complete their fan-in.
+  double duplicate_probability = 0.0;
+  // Gray failure: scales the sampled hop latency (50.0 = limping node that
+  // still answers everything, just 50x late).
+  double latency_multiplier = 1.0;
+  // Flat extra delay per hop, for links whose latency model is zero.
+  Micros added_latency_micros = 0;
+  // Directed partition: every message from `from` to `to` is dropped.
+  bool partitioned = false;
+
+  bool IsClean() const {
+    return drop_probability <= 0.0 && reply_drop_probability <= 0.0 &&
+           duplicate_probability <= 0.0 && latency_multiplier == 1.0 &&
+           added_latency_micros <= 0 && !partitioned;
+  }
+};
+
+class FaultInjector {
+ public:
+  // The fate of one message, computed at dispatch on the caller's side.
+  struct Decision {
+    bool drop_request = false;
+    bool drop_reply = false;
+    bool duplicate_reply = false;
+    double latency_multiplier = 1.0;
+    Micros added_latency_micros = 0;
+
+    bool IsClean() const {
+      return !drop_request && !drop_reply && !duplicate_reply &&
+             latency_multiplier == 1.0 && added_latency_micros <= 0;
+    }
+  };
+
+  explicit FaultInjector(std::uint64_t seed = 0) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs the fault profile of the directed link `from` -> `to`. An
+  // exact (from, to) rule overrides a wildcard one; use SetNode for "every
+  // caller of `to`". Replacing a rule resets its message ordinal, so the
+  // schedule restarts from message 0.
+  void SetLink(const std::string& from, const std::string& to,
+               const LinkFaults& faults);
+  // Faults every message into `to` regardless of caller (wildcard source).
+  void SetNode(const std::string& to, const LinkFaults& faults);
+  // Directed partition helpers: from -/-> to (replies included — the whole
+  // message is dropped).
+  void Partition(const std::string& from, const std::string& to);
+  // Removes the (from, to) rule; HealNode removes the wildcard rule for
+  // `to`. Exact rules installed separately must be healed separately.
+  void Heal(const std::string& from, const std::string& to);
+  void HealNode(const std::string& to);
+  void Clear();
+
+  // Decides the n-th message's fate on the matching link. Clean (and cheap:
+  // one map lookup) when no rule matches.
+  Decision Decide(const std::string& from, const std::string& to);
+
+  // ---- Counters (what the chaos actually did, for bench reports) ----
+  std::uint64_t requests_dropped() const {
+    return requests_dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replies_dropped() const {
+    return replies_dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replies_duplicated() const {
+    return replies_duplicated_.load(std::memory_order_relaxed);
+  }
+  // Duplicate deliveries a caller-side OnceCallback guard swallowed —
+  // proof the suppression worked (bumped by the delivery path in Node).
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_.load(std::memory_order_relaxed);
+  }
+  void OnDuplicateSuppressed() {
+    duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnReplyDropped() {
+    replies_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Rule {
+    LinkFaults faults;
+    std::uint64_t key_hash = 0;  // folds the seed and the link key
+    // Message ordinal on this link; shared_ptr so Decide can draw outside
+    // the rules lock and a concurrent Heal cannot invalidate it.
+    std::shared_ptr<std::atomic<std::uint64_t>> ordinal;
+  };
+
+  using LinkKey = std::pair<std::string, std::string>;
+
+  void Install(LinkKey key, const LinkFaults& faults);
+
+  const std::uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<LinkKey, Rule> rules_;
+  std::atomic<std::uint64_t> requests_dropped_{0};
+  std::atomic<std::uint64_t> replies_dropped_{0};
+  std::atomic<std::uint64_t> replies_duplicated_{0};
+  std::atomic<std::uint64_t> duplicates_suppressed_{0};
+};
+
+// Identity of the node (or external actor) issuing RPCs from the current
+// thread, used as the `from` side of fault-injection link lookups. Empty
+// when unset (an anonymous caller, e.g. a test harness thread) — wildcard
+// rules still apply. Node sets it to the callee's name while running a
+// task, so nested RPCs (broker -> searcher) carry the right source; actors
+// that dispatch from their own threads (the failure detector, benches)
+// scope it explicitly.
+const std::string& CurrentRpcSource();
+
+class RpcSourceScope {
+ public:
+  explicit RpcSourceScope(std::string source);
+  ~RpcSourceScope();
+
+  RpcSourceScope(const RpcSourceScope&) = delete;
+  RpcSourceScope& operator=(const RpcSourceScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace jdvs

@@ -32,4 +32,11 @@ struct LatencyModel {
 // `stream_seed` (per-thread streams keep sampling lock-free).
 void ChargeHop(const LatencyModel& model, std::uint64_t stream_seed);
 
+// ChargeHop with fault-injection scaling: the sampled delay is multiplied
+// by `multiplier` and extended by `added_micros` (a limping link per
+// net/fault_injector.h). A nonzero `added_micros` charges even when the
+// model itself is zero.
+void ChargeHop(const LatencyModel& model, std::uint64_t stream_seed,
+               double multiplier, std::int64_t added_micros);
+
 }  // namespace jdvs

@@ -10,6 +10,14 @@
 // InvokeAsync() is the continuation-passing variant the serving pipeline
 // uses: the result is delivered to a completion callback on the callee's
 // pool thread, so no caller thread ever parks waiting for a response.
+//
+// Fault model: an attached FaultInjector (set_fault_injector) gives every
+// message a per-link fate — dropped request, dropped or duplicated reply,
+// stretched latency, directed partition. A dropped message is *silent*: the
+// continuation never fires unless the caller armed a per-RPC timeout
+// (InvokeAsyncWithTimeout), in which case the shared TimeoutScheduler
+// delivers a typed RpcTimeoutError instead, and a late or duplicated reply
+// is swallowed by the per-call first-completion-wins guard.
 #pragma once
 
 #include <atomic>
@@ -18,12 +26,15 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "net/fault_injector.h"
 #include "net/latency_model.h"
 #include "net/rpc.h"
+#include "net/timeout.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "qos/deadline.h"
@@ -50,28 +61,24 @@ class Node {
 
   // Schedules `fn` on this node's pool, charging one inbound network hop
   // before it runs and one outbound hop before the future is fulfilled.
-  // Throws NodeFailedError through the future while failed() is set.
+  // Throws NodeFailedError through the future while failed() is set. With a
+  // fault injector attached, a dropped message breaks the promise (the
+  // future throws std::future_error) rather than hanging the caller.
   template <typename F>
   auto Invoke(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(
-        [this, fn = std::forward<F>(fn)]() mutable -> R {
-          ChargeHop(latency_, seed_);  // request transit
-          if (failed_.load(std::memory_order_acquire)) {
-            throw NodeFailedError(name_);
-          }
-          if constexpr (std::is_void_v<R>) {
-            fn();
-            ChargeHop(latency_, seed_ ^ 1);  // response transit
-          } else {
-            R result = fn();
-            ChargeHop(latency_, seed_ ^ 1);
-            return result;
-          }
-        });
-    std::future<R> result = task->get_future();
-    pool_.Submit([task] { (*task)(); });
-    return result;
+    auto promise = std::make_shared<std::promise<R>>();
+    std::future<R> future = promise->get_future();
+    InvokeAsync(std::forward<F>(fn), [promise](AsyncResult<R> result) {
+      if (!result.ok()) {
+        promise->set_exception(result.error);
+      } else if constexpr (std::is_void_v<R>) {
+        promise->set_value();
+      } else {
+        promise->set_value(std::move(*result.value));
+      }
+    });
+    return future;
   }
 
   // Continuation-passing Invoke: schedules `fn` on this node's pool exactly
@@ -82,12 +89,76 @@ class Node {
   // already shut down the task runs inline so the callback always fires.
   template <typename F, typename Done>
   void InvokeAsync(F&& fn, Done&& on_done) {
+    InvokeAsyncWithTimeout(0, std::forward<F>(fn), std::forward<Done>(on_done));
+  }
+
+  // InvokeAsync with a per-RPC timeout: when `timeout_micros` > 0 and no
+  // reply reached `on_done` by then, the shared TimeoutScheduler delivers
+  // AsyncResult<R>::Fail(RpcTimeoutError) on its timer thread. Exactly one
+  // delivery ever reaches `on_done` — reply, duplicated reply or timeout —
+  // whichever wins the per-call OnceCallback guard; the rest are swallowed
+  // (and a swallowed injected duplicate is counted by the injector).
+  template <typename F, typename Done>
+  void InvokeAsyncWithTimeout(Micros timeout_micros, F&& fn, Done&& on_done) {
     using R = std::invoke_result_t<F>;
-    auto task = [this, fn = std::forward<F>(fn),
-                 done = std::forward<Done>(on_done)]() mutable {
+    FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
+    if (injector == nullptr && timeout_micros <= 0) {
+      // Clean fabric, no deadline to arm: skip the guard entirely. This is
+      // the steady-state hot path.
+      auto task = [this, fn = std::forward<F>(fn),
+                   done = std::forward<Done>(on_done)]() mutable {
+        RpcSourceScope source(name_);
+        AsyncResult<R> result;
+        try {
+          ChargeHop(latency_, seed_);  // request transit
+          if (failed_.load(std::memory_order_acquire)) {
+            throw NodeFailedError(name_);
+          }
+          if constexpr (std::is_void_v<R>) {
+            fn();
+          } else {
+            result.value.emplace(fn());
+          }
+          ChargeHop(latency_, seed_ ^ 1);  // response transit
+        } catch (...) {
+          result.error = std::current_exception();
+        }
+        done(std::move(result));
+      };
+      // shared_ptr wrapper: std::function requires copyable callables, and a
+      // failed Submit (pool shut down) must still be able to run the task.
+      auto shared = std::make_shared<decltype(task)>(std::move(task));
+      if (!pool_.Submit([shared] { (*shared)(); })) (*shared)();
+      return;
+    }
+
+    // Guarded path: the message gets a fate from the injector and the
+    // continuation gets a first-completion-wins guard shared with the
+    // timeout timer.
+    FaultInjector::Decision decision;
+    if (injector != nullptr) decision = injector->Decide(CurrentRpcSource(), name_);
+    auto guard =
+        std::make_shared<OnceCallback<R>>(std::forward<Done>(on_done));
+    if (timeout_micros > 0) {
+      const TimeoutScheduler::TimerId id = TimeoutScheduler::Default().Schedule(
+          timeout_micros, [guard, callee = name_, timeout_micros] {
+            guard->Deliver(AsyncResult<R>::Fail(std::make_exception_ptr(
+                RpcTimeoutError(callee, timeout_micros))));
+          });
+      guard->timer_id.store(id, std::memory_order_release);
+    }
+    if (decision.drop_request) {
+      // Lost in transit: the callee never sees it. Only the timer (if any)
+      // can answer the caller — exactly the hang the timeout exists for.
+      return;
+    }
+    auto task = [this, injector, decision, guard,
+                 fn = std::forward<F>(fn)]() mutable {
+      RpcSourceScope source(name_);
       AsyncResult<R> result;
       try {
-        ChargeHop(latency_, seed_);  // request transit
+        ChargeHop(latency_, seed_, decision.latency_multiplier,
+                  decision.added_latency_micros);  // request transit
         if (failed_.load(std::memory_order_acquire)) {
           throw NodeFailedError(name_);
         }
@@ -96,14 +167,28 @@ class Node {
         } else {
           result.value.emplace(fn());
         }
-        ChargeHop(latency_, seed_ ^ 1);  // response transit
+        ChargeHop(latency_, seed_ ^ 1, decision.latency_multiplier,
+                  decision.added_latency_micros);  // response transit
       } catch (...) {
         result.error = std::current_exception();
       }
-      done(std::move(result));
+      if (decision.drop_reply) {
+        // The work ran (side effects applied) but the caller hears nothing.
+        if (injector != nullptr) injector->OnReplyDropped();
+        return;
+      }
+      if (decision.duplicate_reply) {
+        if constexpr (std::is_void_v<R> || std::is_copy_constructible_v<R>) {
+          AsyncResult<R> duplicate = result;
+          DeliverAndCancelTimer(*guard, std::move(result));
+          if (!guard->Deliver(std::move(duplicate)) && injector != nullptr) {
+            injector->OnDuplicateSuppressed();
+          }
+          return;
+        }
+      }
+      DeliverAndCancelTimer(*guard, std::move(result));
     };
-    // shared_ptr wrapper: std::function requires copyable callables, and a
-    // failed Submit (pool shut down) must still be able to run the task.
     auto shared = std::make_shared<decltype(task)>(std::move(task));
     if (!pool_.Submit([shared] { (*shared)(); })) (*shared)();
   }
@@ -139,13 +224,17 @@ class Node {
   // answer in time instead of scanning for a caller that already gave up.
   // The span still records, tagged deadline_exceeded, so traces show where
   // budgets die. An unlimited deadline costs one integer compare.
+  // `timeout_micros` > 0 additionally arms a per-RPC timeout (see
+  // InvokeAsyncWithTimeout) so a dropped message cannot hang the caller.
   template <typename F, typename Done>
   void InvokeSpannedAsyncWithDeadline(obs::TraceSink* sink,
                                       const obs::TraceContext& parent,
                                       std::string span_name,
-                                      qos::Deadline deadline, F&& fn,
+                                      qos::Deadline deadline,
+                                      Micros timeout_micros, F&& fn,
                                       Done&& on_done) {
-    InvokeAsync(
+    InvokeAsyncWithTimeout(
+        timeout_micros,
         [this, sink, parent, name = std::move(span_name), deadline,
          fn = std::forward<F>(fn)]() mutable {
           obs::Span span(sink, MonotonicClock::Instance(), parent,
@@ -163,6 +252,18 @@ class Node {
           }
         },
         std::forward<Done>(on_done));
+  }
+
+  template <typename F, typename Done>
+  void InvokeSpannedAsyncWithDeadline(obs::TraceSink* sink,
+                                      const obs::TraceContext& parent,
+                                      std::string span_name,
+                                      qos::Deadline deadline, F&& fn,
+                                      Done&& on_done) {
+    InvokeSpannedAsyncWithDeadline(sink, parent, std::move(span_name),
+                                   deadline, /*timeout_micros=*/0,
+                                   std::forward<F>(fn),
+                                   std::forward<Done>(on_done));
   }
 
   // Span-aware Invoke: runs `fn(span)` on this node's pool under a span that
@@ -193,6 +294,16 @@ class Node {
   }
   bool failed() const { return failed_.load(std::memory_order_acquire); }
 
+  // Attaches (or detaches, with null) the fault injector consulted for
+  // every message into this node. The injector must outlive the node's
+  // in-flight work; benches install it at cluster wiring time.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
   const std::string& name() const { return name_; }
   ThreadPool& pool() { return pool_; }
   const LatencyModel& latency() const { return latency_; }
@@ -202,6 +313,7 @@ class Node {
   LatencyModel latency_;
   std::uint64_t seed_;
   std::atomic<bool> failed_{false};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
   ThreadPool pool_;
 };
 

@@ -70,6 +70,49 @@ inline std::string DescribeException(const std::exception_ptr& error) {
   }
 }
 
+// First-completion-wins delivery guard for one RPC.
+//
+// With timeouts, hedged requests and a fabric that can duplicate replies,
+// several deliveries race for the same continuation: the real reply, an
+// injected duplicate, the timeout timer, a hedge's reply. Exactly one may
+// win — a FanInCollector slot completed twice corrupts the fan-in. The
+// guard is the arbitration point: Deliver() runs the wrapped callback for
+// the first caller and tells every later one it lost.
+template <typename R>
+class OnceCallback {
+ public:
+  using Done = std::function<void(AsyncResult<R>)>;
+
+  explicit OnceCallback(Done done) : done_(std::move(done)) {}
+
+  OnceCallback(const OnceCallback&) = delete;
+  OnceCallback& operator=(const OnceCallback&) = delete;
+
+  // Runs the callback with `result` iff no delivery won yet; returns
+  // whether this one did. The acq_rel exchange makes the winner's read of
+  // done_ safe against the losers.
+  bool Deliver(AsyncResult<R> result) {
+    if (delivered_.exchange(true, std::memory_order_acq_rel)) return false;
+    Done done = std::move(done_);
+    done_ = nullptr;  // release captures promptly; the guard may outlive us
+    done(std::move(result));
+    return true;
+  }
+
+  bool delivered() const {
+    return delivered_.load(std::memory_order_acquire);
+  }
+
+  // Cooperating one-shot timer (TimeoutScheduler id; 0 = none): armed by
+  // the caller next to the RPC, disarmed by whichever delivery wins (see
+  // DeliverAndCancelTimer in net/timeout.h).
+  std::atomic<std::uint64_t> timer_id{0};
+
+ private:
+  std::atomic<bool> delivered_{false};
+  Done done_;
+};
+
 // Countdown fan-in aggregator for one fan-out wave.
 //
 // Create() fixes the child count up front; each child chain calls

@@ -1,0 +1,86 @@
+#include "net/timeout.h"
+
+#include <chrono>
+#include <utility>
+
+namespace jdvs {
+
+TimeoutScheduler::TimeoutScheduler(const Clock& clock) : clock_(&clock) {
+  worker_ = std::thread([this] { RunLoop(); });
+}
+
+TimeoutScheduler::~TimeoutScheduler() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    // Pending timers are dropped, not fired: at teardown the continuations
+    // they would complete are being destroyed too.
+    queue_.clear();
+    by_id_.clear();
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+TimeoutScheduler& TimeoutScheduler::Default() {
+  static TimeoutScheduler instance;
+  return instance;
+}
+
+TimeoutScheduler::TimerId TimeoutScheduler::Schedule(
+    Micros delay_micros, std::function<void()> fire) {
+  const Micros due = clock_->NowMicros() + (delay_micros > 0 ? delay_micros : 0);
+  bool is_next = false;
+  TimerId id = 0;
+  {
+    std::lock_guard lock(mu_);
+    id = next_id_++;
+    auto it = queue_.emplace(due, PendingTimer{id, std::move(fire)});
+    by_id_.emplace(id, it);
+    is_next = it == queue_.begin();
+  }
+  // Only a new earliest deadline changes what the worker should be
+  // sleeping until.
+  if (is_next) cv_.notify_one();
+  return id;
+}
+
+bool TimeoutScheduler::Cancel(TimerId id) {
+  std::lock_guard lock(mu_);
+  auto found = by_id_.find(id);
+  if (found == by_id_.end()) return false;
+  queue_.erase(found->second);
+  by_id_.erase(found);
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t TimeoutScheduler::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void TimeoutScheduler::RunLoop() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    const Micros now = clock_->NowMicros();
+    auto first = queue_.begin();
+    if (first->first > now) {
+      cv_.wait_for(lock, std::chrono::microseconds(first->first - now));
+      continue;
+    }
+    std::function<void()> fire = std::move(first->second.fire);
+    by_id_.erase(first->second.id);
+    queue_.erase(first);
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();  // callbacks may Schedule()/Cancel()
+    fire();
+    lock.lock();
+  }
+}
+
+}  // namespace jdvs

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "net/timeout.h"
+
 namespace jdvs {
 
 Blender::Blender(std::string name, const Config& config,
@@ -50,6 +52,15 @@ Blender::Blender(std::string name, const Config& config,
         embedder_.dim(), config_.cache, MonotonicClock::Instance(),
         config_.registry, node_.name());
   }
+}
+
+Blender::~Blender() {
+  // Quiesce the pool before member teardown: members declared after node_
+  // (cache_, admission_, ...) are destroyed before node_'s destructor would
+  // join the workers, so a straggler continuation still running on the pool
+  // must be joined here first. Blenders are torn down before brokers and
+  // searchers, so in-flight work can still complete downstream safely.
+  node_.pool().Shutdown();
 }
 
 struct Blender::RequestState {
@@ -299,11 +310,29 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
         if (!node_.pool().Submit(finish)) finish();
       });
   for (std::size_t b = 0; b < brokers_.size(); ++b) {
+    // First-completion-wins guard per broker slot: the real reply and the
+    // (optional) RPC timeout race, whichever arrives first feeds the
+    // collector and the loser is suppressed — a FanInCollector slot must
+    // complete exactly once.
+    auto guard = std::make_shared<OnceCallback<Broker::Reply>>(
+        [collector, b](Broker::SearchResult result) {
+          collector->Complete(b, std::move(result));
+        });
+    if (config_.broker_rpc_timeout_micros > 0) {
+      const TimeoutScheduler::TimerId id = TimeoutScheduler::Default().Schedule(
+          config_.broker_rpc_timeout_micros,
+          [guard, callee = brokers_[b]->name(),
+           timeout = config_.broker_rpc_timeout_micros] {
+            guard->Deliver(Broker::SearchResult::Fail(
+                std::make_exception_ptr(RpcTimeoutError(callee, timeout))));
+          });
+      guard->timer_id.store(id, std::memory_order_release);
+    }
     brokers_[b]->SearchAsync(
         feature, state->fetch_k, effective_nprobe, state->category_filter,
         state->deadline, root.context(),
-        [collector, b](Broker::SearchResult result) {
-          collector->Complete(b, std::move(result));
+        [guard](Broker::SearchResult result) {
+          DeliverAndCancelTimer(*guard, std::move(result));
         });
   }
 }

@@ -86,6 +86,11 @@ class Blender {
     // aggressive shrink — the cluster builder normally sets this to a
     // fraction of the index's configured nprobe.
     std::size_t degraded_nprobe = 0;
+    // Per-call blender->broker RPC timeout; 0 = none. A broker whose reply
+    // the fabric swallowed then costs one timeout instead of hanging the
+    // whole fan-in: the slot fails typed (RpcTimeoutError), the blender
+    // degrades to the surviving brokers' coverage, and the query completes.
+    Micros broker_rpc_timeout_micros = 0;
     // Result cache (off by default: the paper's freshness requirement).
     bool enable_result_cache = false;
     QueryCacheConfig cache;
@@ -104,6 +109,8 @@ class Blender {
   Blender(std::string name, const Config& config,
           const SyntheticEmbedder& embedder, const CategoryDetector& detector,
           std::vector<Broker*> brokers);
+  // Joins in-flight pool tasks before member teardown (see definition).
+  ~Blender();
 
   Blender(const Blender&) = delete;
   Blender& operator=(const Blender&) = delete;

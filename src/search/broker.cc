@@ -1,14 +1,36 @@
 #include "search/broker.h"
 
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
 #include "net/load_balancer.h"
+#include "net/timeout.h"
 
 namespace jdvs {
+namespace {
+
+// Lock-free EWMA fold, alpha = 1/8 (same shape as
+// ctrl::ReplicaStateTable::RecordLatency, for the table-less fallback).
+void UpdateEwma(std::atomic<std::int64_t>& ewma, std::int64_t sample) {
+  if (sample < 0) sample = 0;
+  std::int64_t current = ewma.load(std::memory_order_relaxed);
+  std::int64_t next = 0;
+  do {
+    next = current == 0 ? sample : current + (sample - current) / 8;
+    if (next == current) return;
+  } while (!ewma.compare_exchange_weak(current, next,
+                                       std::memory_order_relaxed));
+}
+
+}  // namespace
 
 Broker::Broker(std::string name, const Config& config)
     : node_(std::move(name), config.threads, config.latency, config.seed),
+      config_(config),
       trace_sink_(config.trace_sink != nullptr ? config.trace_sink
                                                : &obs::TraceSink::Default()) {
   obs::Registry& registry =
@@ -21,16 +43,94 @@ Broker::Broker(std::string name, const Config& config)
       "jdvs_broker_partition_failures_total", "broker", node_.name()));
   state_skips_total_ = &registry.GetCounter(
       obs::Labeled("jdvs_broker_state_skips_total", "broker", node_.name()));
+  hedges_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_broker_hedges_total", "broker", node_.name()));
+  hedge_wins_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_broker_hedge_wins_total", "broker", node_.name()));
+  rpc_timeouts_total_ = &registry.GetCounter(
+      obs::Labeled("jdvs_broker_rpc_timeouts_total", "broker", node_.name()));
   deadline_exceeded_ = &registry.GetCounter(
       obs::Labeled("jdvs_qos_deadline_exceeded_total", "tier", "broker"));
 }
 
+Broker::~Broker() {
+  // A hedge win or per-attempt timeout completes the caller while the
+  // straggler attempt is still in flight on a searcher pool (or armed on
+  // the timer wheel); its continuation re-enters this broker when it lands.
+  // Every such continuation holds a token, so waiting for the count to
+  // drain makes "caller done" safe to follow immediately with teardown.
+  // Tokens are released even when a callback is dropped undelivered (the
+  // token rides the callback's captures), so this terminates whenever every
+  // dispatched attempt resolves or is discarded.
+  while (pending_callbacks_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // Then join the pool itself while every member the remaining (non-broker-
+  // touching) tasks could reach is still alive — members declared after
+  // node_ are destroyed before node_'s own destructor would join.
+  node_.pool().Shutdown();
+}
+
+std::shared_ptr<void> Broker::AcquireCallbackToken() {
+  pending_callbacks_.fetch_add(1, std::memory_order_acq_rel);
+  return std::shared_ptr<void>(nullptr, [this](void*) {
+    pending_callbacks_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
 void Broker::AddPartition(std::vector<Searcher*> replicas,
                           std::vector<std::size_t> state_slots) {
+  auto& ewmas = local_latency_.emplace_back();
+  for (std::size_t i = 0; i < replicas.size(); ++i) ewmas.emplace_back(0);
   partitions_.push_back(std::move(replicas));
   partition_state_slots_.push_back(std::move(state_slots));
   replica_cursors_.emplace_back(0);
 }
+
+void Broker::RecordReplicaLatency(std::size_t partition, std::size_t replica,
+                                  Micros sample_micros) {
+  const std::vector<std::size_t>& slots = partition_state_slots_[partition];
+  if (replica_states_ != nullptr &&
+      slots.size() == partitions_[partition].size()) {
+    replica_states_->RecordLatency(slots[replica], sample_micros);
+  } else {
+    UpdateEwma(local_latency_[partition][replica], sample_micros);
+  }
+}
+
+Micros Broker::replica_latency_ewma(std::size_t partition,
+                                    std::size_t replica) const {
+  const std::vector<std::size_t>& slots = partition_state_slots_[partition];
+  if (replica_states_ != nullptr &&
+      slots.size() == partitions_[partition].size()) {
+    return replica_states_->latency_ewma_micros(slots[replica]);
+  }
+  return local_latency_[partition][replica].load(std::memory_order_relaxed);
+}
+
+// One collector slot's dispatch state: the candidate list plus the
+// arbitration between its racing attempts (primary, failovers, a hedge).
+// `completed` is the slot-level first-completion-wins flag — the node-level
+// OnceCallback already guarantees each *attempt* reports once, this one
+// guarantees the *slot* completes the collector once.
+struct Broker::Slot {
+  std::vector<std::size_t> candidates;
+  std::atomic<bool> completed{false};
+  // Next candidates[] index to try; fetch_add hands each attempt a distinct
+  // replica even when a failover and the hedge timer race.
+  std::atomic<std::size_t> next_candidate{0};
+  // Attempts dispatched and not yet reported. The attempt that drops it to
+  // zero with the candidate list exhausted fails the slot.
+  std::atomic<std::size_t> outstanding{0};
+  std::atomic<std::uint64_t> hedge_timer{0};  // pending TimerId (0 = none)
+  std::mutex error_mu;
+  std::exception_ptr last_error;  // guarded by error_mu
+
+  void CancelHedgeTimer() {
+    const std::uint64_t id = hedge_timer.exchange(0, std::memory_order_acq_rel);
+    if (id != 0) TimeoutScheduler::Default().Cancel(id);
+  }
+};
 
 struct Broker::FanOutState {
   FanOutState(FeatureVector q, std::size_t k, std::size_t nprobe,
@@ -55,11 +155,10 @@ struct Broker::FanOutState {
   // slot i of the collector is partition slot_partition[i]; on failure the
   // slot carries the last replica's error.
   std::vector<std::size_t> slot_partition;
-  // Per slot: replica indices to try, in rotation order with non-serving
-  // replicas already filtered out. Attempt n dispatches slot_candidates[n].
-  std::vector<std::vector<std::size_t>> slot_candidates;
+  std::deque<Slot> slots;  // deque: Slot holds atomics + a mutex
   std::shared_ptr<FanInCollector<std::vector<SearchHit>>> collector;
   std::atomic<std::uint64_t> failovers{0};
+  std::atomic<std::uint64_t> hedge_wins{0};
 };
 
 void Broker::SearchAsync(FeatureVector query, std::size_t k,
@@ -70,7 +169,10 @@ void Broker::SearchAsync(FeatureVector query, std::size_t k,
                                              category_filter, deadline,
                                              std::move(on_done));
   node_.InvokeAsync(
-      [this, state, parent] {
+      // The token covers the tail of the entry task: an attempt can answer
+      // the caller while this task is still sweeping hedge timers, and the
+      // destructor must not tear the broker down under it.
+      [this, state, parent, token = AcquireCallbackToken()] {
         state->span = obs::Span(trace_sink_, MonotonicClock::Instance(),
                                 parent, "broker.search", node_.name());
         state->context = state->span.context();
@@ -141,16 +243,17 @@ void Broker::StartFanOut(std::shared_ptr<FanOutState> state) {
   // spread, and — when the control plane's state table is wired — drop
   // replicas the failure detector marked non-serving, so a known-down node
   // costs nothing at query time.
-  state->slot_candidates.resize(state->slot_partition.size());
-  for (std::size_t slot = 0; slot < state->slot_partition.size(); ++slot) {
-    const std::size_t partition = state->slot_partition[slot];
+  for (std::size_t slot_idx = 0; slot_idx < state->slot_partition.size();
+       ++slot_idx) {
+    const std::size_t partition = state->slot_partition[slot_idx];
     const std::vector<Searcher*>& replicas = partitions_[partition];
     const std::vector<std::size_t>& slots = partition_state_slots_[partition];
     const bool consult_state =
         replica_states_ != nullptr && slots.size() == replicas.size();
     const std::size_t start =
         replica_cursors_[partition].fetch_add(1, std::memory_order_relaxed);
-    std::vector<std::size_t>& candidates = state->slot_candidates[slot];
+    Slot& slot = state->slots.emplace_back();
+    std::vector<std::size_t>& candidates = slot.candidates;
     candidates.reserve(replicas.size());
     for (std::size_t i = 0; i < replicas.size(); ++i) {
       const std::size_t replica = (start + i) % replicas.size();
@@ -161,64 +264,228 @@ void Broker::StartFanOut(std::shared_ptr<FanOutState> state) {
       }
       candidates.push_back(replica);
     }
+    // Latency-aware ordering: UP before SUSPECT (a latency-ejected replica
+    // is SUSPECT), then by response-time EWMA ascending — unmeasured
+    // replicas (EWMA 0) sort first so they get measured. Every 8th fan-out
+    // per partition keeps the plain rotation: without that exploration a
+    // recovered replica's stale EWMA would pin it last forever. The
+    // partition index is mixed in so the cursors — which advance in
+    // lockstep when every query fans out to every partition — don't make
+    // one query in 8 explore (and eat the slow primary) on *all* its
+    // partitions at once.
+    if (config_.latency_aware_selection && candidates.size() > 1 &&
+        (start + partition) % 8 != 7) {
+      std::stable_sort(
+          candidates.begin(), candidates.end(),
+          [&](std::size_t a, std::size_t b) {
+            const int suspect_a =
+                consult_state &&
+                replica_states_->Get(slots[a]) == ctrl::ReplicaState::kSuspect;
+            const int suspect_b =
+                consult_state &&
+                replica_states_->Get(slots[b]) == ctrl::ReplicaState::kSuspect;
+            if (suspect_a != suspect_b) return suspect_a < suspect_b;
+            return replica_latency_ewma(partition, a) <
+                   replica_latency_ewma(partition, b);
+          });
+    }
   }
-  for (std::size_t slot = 0; slot < state->slot_partition.size(); ++slot) {
-    if (state->slot_candidates[slot].empty()) {
+  for (std::size_t slot_idx = 0; slot_idx < state->slot_partition.size();
+       ++slot_idx) {
+    Slot& slot = state->slots[slot_idx];
+    if (slot.candidates.empty()) {
       // Every replica is marked down: fail the slot immediately instead of
       // burning a doomed call — the blender degrades to a partial answer.
       partition_failures_.fetch_add(1, std::memory_order_relaxed);
       partition_failures_total_->Increment();
       JDVS_LOG(kWarning) << node_.name() << ": partition "
-                         << state->slot_partition[slot]
+                         << state->slot_partition[slot_idx]
                          << " has no serving replica";
       state->collector->Complete(
-          slot, Searcher::SearchResult::Fail(
-                    std::make_exception_ptr(NoHealthyBackendError())));
+          slot_idx, Searcher::SearchResult::Fail(
+                        std::make_exception_ptr(NoHealthyBackendError())));
       continue;
     }
-    DispatchReplica(state, slot, 0);
+    TryDispatchNext(state, slot_idx, /*is_hedge=*/false);
+    // Arm the hedge alongside the primary. The timer checks the deadline
+    // and the rate cap when it fires; a slot that completes first cancels
+    // it. No point hedging a single-replica slot — there is no sibling.
+    const Micros delay = config_.enable_hedging && slot.candidates.size() > 1
+                             ? ComputeHedgeDelay(*state, slot_idx)
+                             : 0;
+    if (delay > 0) {
+      const TimeoutScheduler::TimerId id = TimeoutScheduler::Default().Schedule(
+          delay, [this, state, slot_idx, token = AcquireCallbackToken()] {
+            MaybeHedge(state, slot_idx);
+          });
+      slot.hedge_timer.store(id, std::memory_order_release);
+      // The slot may have completed while we armed the timer; sweep so the
+      // timer cannot outlive the request silently.
+      if (slot.completed.load(std::memory_order_acquire)) {
+        slot.CancelHedgeTimer();
+      }
+    }
   }
 }
 
-void Broker::DispatchReplica(std::shared_ptr<FanOutState> state,
-                             std::size_t slot, std::size_t attempt) {
-  const std::size_t partition = state->slot_partition[slot];
-  const std::size_t replica = state->slot_candidates[slot][attempt];
+Micros Broker::ComputeHedgeDelay(const FanOutState& state,
+                                 std::size_t slot_idx) {
+  if (config_.hedge_delay_micros > 0) return config_.hedge_delay_micros;
+  // Adaptive: keyed to the *fastest* candidate's EWMA, not the primary's —
+  // when the primary is the limping replica, "3x the limp" would fire long
+  // after the query died; "3x what a healthy copy takes" is the moment the
+  // sibling becomes the better bet.
+  const std::size_t partition = state.slot_partition[slot_idx];
+  Micros best = 0;
+  for (const std::size_t replica : state.slots[slot_idx].candidates) {
+    const Micros ewma = replica_latency_ewma(partition, replica);
+    if (ewma > 0 && (best == 0 || ewma < best)) best = ewma;
+  }
+  // No latency data yet: don't hedge (return 0 = don't arm). Arming at the
+  // floor while every EWMA is cold fires a hedge on virtually every slot of
+  // the first wave, burning the whole rate budget on requests that were
+  // never slow — and the budget is then gone when a real limper shows up.
+  if (best == 0) return 0;
+  const auto adaptive = static_cast<Micros>(
+      config_.hedge_delay_multiplier * static_cast<double>(best));
+  return std::max(config_.hedge_delay_min_micros, adaptive);
+}
+
+bool Broker::HedgeBudgetAllows() const {
+  if (config_.hedge_rate_cap <= 0.0) return true;
+  const auto hedged = static_cast<double>(hedges_.load(std::memory_order_relaxed));
+  const auto primaries =
+      static_cast<double>(primary_dispatches_.load(std::memory_order_relaxed));
+  return hedged < config_.hedge_rate_cap * primaries;
+}
+
+bool Broker::TryDispatchNext(const std::shared_ptr<FanOutState>& state,
+                             std::size_t slot_idx, bool is_hedge) {
+  Slot& slot = state->slots[slot_idx];
+  const std::size_t idx =
+      slot.next_candidate.fetch_add(1, std::memory_order_acq_rel);
+  if (idx >= slot.candidates.size()) return false;
+  const std::size_t partition = state->slot_partition[slot_idx];
+  const std::size_t replica = slot.candidates[idx];
+  slot.outstanding.fetch_add(1, std::memory_order_acq_rel);
+  if (!is_hedge) {
+    primary_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const Micros dispatched_at = MonotonicClock::Instance().NowMicros();
+  // Hedge/failover dispatches can come from a timer or a searcher thread;
+  // scope the RPC source so fault-injection links stay (broker -> searcher).
+  RpcSourceScope rpc_source(node_.name());
   partitions_[partition][replica]->SearchAsync(
       state->query, state->k, state->nprobe, state->filter, state->deadline,
       state->context,
-      [this, state, slot, attempt](Searcher::SearchResult result) {
-        if (result.ok()) {
-          state->collector->Complete(slot, std::move(result));
-          return;
-        }
-        // Deadline death is not a replica fault: the budget is just as dead
-        // on the sibling, and retrying timed-out work under overload only
-        // amplifies it. Complete the slot with the error (no failover, no
-        // partition_failures — the partition is healthy, the query is late).
-        if (qos::IsDeadlineExceeded(result.error)) {
-          state->collector->Complete(slot, std::move(result));
-          return;
-        }
-        // Replica failed: walk the candidate list ("multiple copies for
-        // availability") by re-dispatching from this completion callback —
-        // no thread waits, and the other partitions keep collecting.
-        const std::size_t partition = state->slot_partition[slot];
-        const std::size_t next = attempt + 1;
-        if (next < state->slot_candidates[slot].size()) {
-          state->failovers.fetch_add(1, std::memory_order_relaxed);
-          failovers_.fetch_add(1, std::memory_order_relaxed);
-          failovers_total_->Increment();
-          DispatchReplica(std::move(state), slot, next);
-          return;
-        }
-        partition_failures_.fetch_add(1, std::memory_order_relaxed);
-        partition_failures_total_->Increment();
-        JDVS_LOG(kWarning) << node_.name() << ": partition " << partition
-                           << " unavailable ("
-                           << DescribeException(result.error) << ")";
-        state->collector->Complete(slot, std::move(result));
-      });
+      [this, state, slot_idx, replica, is_hedge, dispatched_at,
+       token = AcquireCallbackToken()](Searcher::SearchResult result) {
+        OnAttemptResult(state, slot_idx, replica, is_hedge, dispatched_at,
+                        std::move(result));
+      },
+      config_.rpc_timeout_micros);
+  return true;
+}
+
+void Broker::MaybeHedge(const std::shared_ptr<FanOutState>& state,
+                        std::size_t slot_idx) {
+  Slot& slot = state->slots[slot_idx];
+  slot.hedge_timer.store(0, std::memory_order_release);  // timer consumed
+  if (slot.completed.load(std::memory_order_acquire)) return;
+  // Composes with the QoS layer: a hedge is new work charged to the same
+  // budget, and an expired budget is just as dead on the sibling.
+  if (state->deadline.Expired(MonotonicClock::Instance())) return;
+  if (!HedgeBudgetAllows()) {
+    hedges_capped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (TryDispatchNext(state, slot_idx, /*is_hedge=*/true)) {
+    hedges_.fetch_add(1, std::memory_order_relaxed);
+    hedges_total_->Increment();
+  }
+}
+
+void Broker::OnAttemptResult(const std::shared_ptr<FanOutState>& state,
+                             std::size_t slot_idx, std::size_t replica,
+                             bool is_hedge, Micros dispatched_at,
+                             Searcher::SearchResult result) {
+  Slot& slot = state->slots[slot_idx];
+  const std::size_t partition = state->slot_partition[slot_idx];
+  const bool is_timeout = !result.ok() && IsRpcTimeout(result.error);
+  // Every answered attempt feeds the EWMA; a timeout feeds it too, at the
+  // full timeout value — that *is* the observed cost of asking, and it is
+  // what pushes a silently-dropping replica's EWMA up where the outlier
+  // ejection can see it.
+  if (result.ok() || is_timeout) {
+    RecordReplicaLatency(
+        partition, replica,
+        MonotonicClock::Instance().NowMicros() - dispatched_at);
+  }
+  if (result.ok()) {
+    if (!slot.completed.exchange(true, std::memory_order_acq_rel)) {
+      slot.CancelHedgeTimer();
+      if (is_hedge) {
+        hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+        hedge_wins_total_->Increment();
+        state->hedge_wins.fetch_add(1, std::memory_order_relaxed);
+      }
+      state->collector->Complete(slot_idx, std::move(result));
+    }
+    // A losing reply (slot already answered by the hedge or a racing
+    // sibling) is dropped here; its latency sample was still recorded.
+    slot.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  if (qos::IsDeadlineExceeded(result.error)) {
+    // Deadline death is not a replica fault: the budget is just as dead on
+    // the sibling, and retrying timed-out work under overload only
+    // amplifies it. Complete the slot with the error (no failover, no
+    // partition_failures — the partition is healthy, the query is late).
+    if (!slot.completed.exchange(true, std::memory_order_acq_rel)) {
+      slot.CancelHedgeTimer();
+      state->collector->Complete(slot_idx, std::move(result));
+    }
+    slot.outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  // Replica fault (NodeFailedError, RpcTimeoutError, scan failure): walk
+  // the candidate list ("multiple copies for availability") by
+  // re-dispatching from this completion callback — no thread waits, and the
+  // other partitions keep collecting.
+  if (is_timeout) {
+    rpc_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    rpc_timeouts_total_->Increment();
+  }
+  {
+    std::lock_guard lock(slot.error_mu);
+    slot.last_error = result.error;
+  }
+  if (!slot.completed.load(std::memory_order_acquire) &&
+      TryDispatchNext(state, slot_idx, /*is_hedge=*/false)) {
+    state->failovers.fetch_add(1, std::memory_order_relaxed);
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    failovers_total_->Increment();
+  }
+  // Ordering matters: the failover dispatch (if any) bumped `outstanding`
+  // before this decrement, so dropping to zero really means no attempt is
+  // in flight and none can start — the candidate list is exhausted.
+  if (slot.outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      slot.next_candidate.load(std::memory_order_acquire) >=
+          slot.candidates.size() &&
+      !slot.completed.exchange(true, std::memory_order_acq_rel)) {
+    slot.CancelHedgeTimer();
+    partition_failures_.fetch_add(1, std::memory_order_relaxed);
+    partition_failures_total_->Increment();
+    std::exception_ptr error;
+    {
+      std::lock_guard lock(slot.error_mu);
+      error = slot.last_error;
+    }
+    JDVS_LOG(kWarning) << node_.name() << ": partition " << partition
+                       << " unavailable (" << DescribeException(error) << ")";
+    state->collector->Complete(slot_idx,
+                               Searcher::SearchResult::Fail(std::move(error)));
+  }
 }
 
 // Final continuation: runs on the pool thread of whichever searcher
@@ -255,6 +522,9 @@ void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
   const std::uint64_t failovers =
       state->failovers.load(std::memory_order_relaxed);
   if (failovers > 0) state->span.AddTag("failovers", failovers);
+  const std::uint64_t hedge_wins =
+      state->hedge_wins.load(std::memory_order_relaxed);
+  if (hedge_wins > 0) state->span.AddTag("hedge_wins", hedge_wins);
   // "The broker then combines the results from its subset of searchers."
   reply.hits = MergeHits(std::move(partials), state->k);
   fanout_stage_->Record(state->watch.ElapsedMicros());

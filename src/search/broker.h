@@ -45,6 +45,33 @@ class Broker {
     // Observability (null = process-global defaults).
     obs::Registry* registry = nullptr;
     obs::TraceSink* trace_sink = nullptr;
+
+    // ---- Gray-failure defenses (all defaults = pre-fault-layer behavior) --
+    // Per-attempt broker->searcher RPC timeout; 0 = none. With a fabric
+    // that can drop messages this is what turns a silent hang into a typed
+    // RpcTimeoutError the failover path can act on.
+    Micros rpc_timeout_micros = 0;
+    // Hedged requests: when a slot's primary attempt has not answered after
+    // the hedge delay, dispatch the same work to the next serving replica
+    // and let the first response win. Never past the query deadline.
+    bool enable_hedging = false;
+    // Fixed hedge delay; 0 = adaptive, multiplier x the best replica
+    // latency EWMA among the slot's candidates ("if the fastest copy would
+    // have answered by now, something is wrong"), floored at the min. With
+    // no EWMA data yet the adaptive mode does not hedge at all — a cold
+    // start must not spend the rate budget on slots that were never slow.
+    Micros hedge_delay_micros = 0;
+    double hedge_delay_multiplier = 3.0;
+    Micros hedge_delay_min_micros = 500;
+    // Cap on hedges as a fraction of primary dispatches (<= 0 = uncapped):
+    // hedging trades bounded extra load for tail latency, and the cap is
+    // the bound.
+    double hedge_rate_cap = 0.1;
+    // Order each slot's candidates by (state, latency EWMA) instead of pure
+    // rotation, so a limping or SUSPECT replica stops being picked first.
+    // Every 8th fan-out per partition keeps rotation order as exploration,
+    // so a recovered replica's EWMA gets refreshed with primary traffic.
+    bool latency_aware_selection = false;
   };
 
   // One broker's merged answer: the top-k across its partitions plus how
@@ -58,6 +85,11 @@ class Broker {
   using SearchCallback = std::function<void(SearchResult)>;
 
   Broker(std::string name, const Config& config);
+  // Blocks until every outstanding attempt continuation (stragglers a hedge
+  // or timeout already outraced) has landed or been discarded; only then is
+  // it safe to free the broker a completed caller might otherwise still be
+  // re-entered through.
+  ~Broker();
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -72,8 +104,10 @@ class Broker {
                     std::vector<std::size_t> state_slots = {});
 
   // Wires the control plane's replica state table (null = query-time
-  // failover only, the pre-control-plane behavior).
-  void SetReplicaStates(const ctrl::ReplicaStateTable* table) {
+  // failover only, the pre-control-plane behavior). Non-const: the broker
+  // also *feeds* the table, recording every reply's response time into the
+  // per-replica latency EWMA the failure detector ejects outliers by.
+  void SetReplicaStates(ctrl::ReplicaStateTable* table) {
     replica_states_ = table;
   }
 
@@ -116,6 +150,24 @@ class Broker {
   std::uint64_t state_skips() const {
     return state_skips_.load(std::memory_order_relaxed);
   }
+  // Hedged dispatches issued / hedges whose reply won the slot / hedges
+  // suppressed by the rate cap / per-attempt RPC timeouts observed.
+  std::uint64_t hedges() const {
+    return hedges_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t hedge_wins() const {
+    return hedge_wins_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t hedges_capped() const {
+    return hedges_capped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rpc_timeouts() const {
+    return rpc_timeouts_.load(std::memory_order_relaxed);
+  }
+  // Latency EWMA the broker holds for one replica (reads the state table
+  // when wired, else broker-local), for tests and benches.
+  Micros replica_latency_ewma(std::size_t partition,
+                              std::size_t replica) const;
   // Fan-outs currently between dispatch and final merge, and the high-water
   // mark — the direct measure of pipeline concurrency the blocking design
   // capped at `threads`.
@@ -131,19 +183,41 @@ class Broker {
   // continuations; the span lives here so the trace covers the whole
   // thread-hopping dispatch -> merge window.
   struct FanOutState;
+  struct Slot;
 
   void StartFanOut(std::shared_ptr<FanOutState> state);
-  void DispatchReplica(std::shared_ptr<FanOutState> state, std::size_t slot,
-                       std::size_t attempt);
+  // Dispatches the slot's next untried candidate (primary, failover or
+  // hedge — they all drain the same list). False when none remain.
+  bool TryDispatchNext(const std::shared_ptr<FanOutState>& state,
+                       std::size_t slot_idx, bool is_hedge);
+  void OnAttemptResult(const std::shared_ptr<FanOutState>& state,
+                       std::size_t slot_idx, std::size_t replica,
+                       bool is_hedge, Micros dispatched_at,
+                       Searcher::SearchResult result);
+  // Hedge-timer continuation: re-dispatch the slot if it is still unanswered
+  // and the deadline + rate cap allow it.
+  void MaybeHedge(const std::shared_ptr<FanOutState>& state,
+                  std::size_t slot_idx);
   void FinishFanOut(std::shared_ptr<FanOutState> state,
                     std::vector<Searcher::SearchResult> slots);
+  Micros ComputeHedgeDelay(const FanOutState& state, std::size_t slot_idx);
+  bool HedgeBudgetAllows() const;
+  void RecordReplicaLatency(std::size_t partition, std::size_t replica,
+                            Micros sample_micros);
+  // Counted handle carried by every continuation that re-enters this broker
+  // (attempt callbacks, hedge timers); the destructor drains the count.
+  std::shared_ptr<void> AcquireCallbackToken();
 
   Node node_;
+  Config config_;
   std::vector<std::vector<Searcher*>> partitions_;
   std::vector<std::vector<std::size_t>> partition_state_slots_;
-  const ctrl::ReplicaStateTable* replica_states_ = nullptr;
+  ctrl::ReplicaStateTable* replica_states_ = nullptr;
   // Per-partition replica rotation cursor (deque: atomics can't move).
   std::deque<std::atomic<std::size_t>> replica_cursors_;
+  // Broker-local latency EWMAs, used when no state table is wired (deque of
+  // deques: stable addresses for the atomics). [partition][replica].
+  std::deque<std::deque<std::atomic<std::int64_t>>> local_latency_;
   obs::TraceSink* trace_sink_;
   Histogram* fanout_stage_;  // jdvs_stage_micros{stage="broker_fanout"}
   // Per-instance atomics back the getters; the registry counters mirror
@@ -151,11 +225,20 @@ class Broker {
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> partition_failures_{0};
   std::atomic<std::uint64_t> state_skips_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
+  std::atomic<std::uint64_t> hedges_capped_{0};
+  std::atomic<std::uint64_t> rpc_timeouts_{0};
+  std::atomic<std::uint64_t> primary_dispatches_{0};
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<std::size_t> peak_in_flight_{0};
+  std::atomic<std::size_t> pending_callbacks_{0};
   obs::Counter* failovers_total_;
   obs::Counter* partition_failures_total_;
   obs::Counter* state_skips_total_;
+  obs::Counter* hedges_total_;       // jdvs_broker_hedges_total
+  obs::Counter* hedge_wins_total_;   // jdvs_broker_hedge_wins_total
+  obs::Counter* rpc_timeouts_total_; // jdvs_broker_rpc_timeouts_total
   obs::Counter* deadline_exceeded_;  // jdvs_qos_deadline_exceeded_total{tier=broker}
 };
 

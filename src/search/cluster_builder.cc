@@ -95,6 +95,13 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     bc.seed = config_.seed ^ (0xB0B0ULL + b);
     bc.registry = registry_;
     bc.trace_sink = trace_sink_;
+    bc.rpc_timeout_micros = config_.searcher_rpc_timeout_micros;
+    bc.enable_hedging = config_.enable_hedging;
+    bc.hedge_delay_micros = config_.hedge_delay_micros;
+    bc.hedge_delay_multiplier = config_.hedge_delay_multiplier;
+    bc.hedge_delay_min_micros = config_.hedge_delay_min_micros;
+    bc.hedge_rate_cap = config_.hedge_rate_cap;
+    bc.latency_aware_selection = config_.latency_aware_selection;
     brokers_.push_back(
         std::make_unique<Broker>("broker-" + std::to_string(b), bc));
   }
@@ -133,6 +140,7 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
         config_.degraded_nprobe > 0
             ? config_.degraded_nprobe
             : std::max<std::size_t>(config_.ivf.nprobe / 4, 1);
+    lc.broker_rpc_timeout_micros = config_.broker_rpc_timeout_micros;
     lc.enable_result_cache = config_.blender_result_cache;
     lc.cache = config_.blender_cache;
     lc.index_version = &updates_published_;
@@ -149,6 +157,21 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
   front_end_ = std::make_unique<RoundRobinBalancer<Blender>>(
       std::move(blender_ptrs),
       [](const Blender& b) { return b.healthy(); });
+
+  // Chaos fabric: one injector governs every tier's links, so a harness can
+  // fault blender->broker, broker->searcher and ctrl->searcher edges
+  // independently (decisions are keyed on (source, destination) names).
+  if (config_.fault_injector != nullptr) {
+    for (const auto& s : searchers_) {
+      s->node().set_fault_injector(config_.fault_injector);
+    }
+    for (const auto& b : brokers_) {
+      b->node().set_fault_injector(config_.fault_injector);
+    }
+    for (const auto& b : blenders_) {
+      b->node().set_fault_injector(config_.fault_injector);
+    }
+  }
 }
 
 VisualSearchCluster::~VisualSearchCluster() { Stop(); }

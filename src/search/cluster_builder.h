@@ -23,6 +23,7 @@
 #include "index/full_index_builder.h"
 #include "mq/message_log.h"
 #include "mq/topic_queue.h"
+#include "net/fault_injector.h"
 #include "net/load_balancer.h"
 #include "net/partitioner.h"
 #include "obs/registry.h"
@@ -88,6 +89,26 @@ struct ClusterConfig {
   // strict version check is wired to the cluster's update counter.
   bool blender_result_cache = false;
   QueryCacheConfig blender_cache;
+
+  // ---- Gray-failure tolerance (src/net fault layer; defaults = off) ----
+  // Fault injector attached to every tier's node (null = clean fabric).
+  // Chaos harnesses own the injector and flip link faults at runtime.
+  FaultInjector* fault_injector = nullptr;
+  // Per-attempt broker->searcher RPC timeout; 0 = none. Required for
+  // bounded-time queries on a lossy fabric: a dropped message becomes a
+  // typed RpcTimeoutError the broker fails over on.
+  Micros searcher_rpc_timeout_micros = 0;
+  // Per-call blender->broker RPC timeout; 0 = none.
+  Micros broker_rpc_timeout_micros = 0;
+  // Hedged broker->searcher requests (tail-latency defense); knobs mirror
+  // Broker::Config.
+  bool enable_hedging = false;
+  Micros hedge_delay_micros = 0;  // 0 = adaptive from replica EWMAs
+  double hedge_delay_multiplier = 3.0;
+  Micros hedge_delay_min_micros = 500;
+  double hedge_rate_cap = 0.1;
+  // Order replica candidates by (state, latency EWMA) instead of rotation.
+  bool latency_aware_selection = false;
 
   // Real-time indexing on (the paper's system) or off (the Figure 12
   // baseline, where updates wait for the next full indexing cycle).

@@ -31,7 +31,18 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
       deadline_exceeded_(&registry_->GetCounter(obs::Labeled(
           "jdvs_qos_deadline_exceeded_total", "tier", "searcher"))) {}
 
-Searcher::~Searcher() { StopConsuming(); }
+Searcher::~Searcher() {
+  // Quiesce the scan pool before any member teardown. With per-RPC timeouts
+  // and hedging a caller can be answered — and cluster teardown reached —
+  // while a slow scan is still running on this node's pool (its delivery
+  // already consumed by the timeout's once-only guard). Members are
+  // destroyed in reverse declaration order, so index_ would die before
+  // node_'s destructor joins the workers; join them here instead, while the
+  // index the scan reads is still alive. The straggler's late delivery is
+  // suppressed by its guard, so no completed caller is touched.
+  node_.pool().Shutdown();
+  StopConsuming();
+}
 
 void Searcher::InstallIndex(std::unique_ptr<IvfIndex> index) {
   InstallIndex(std::move(index),
@@ -129,9 +140,9 @@ std::future<std::vector<SearchHit>> Searcher::SearchAsync(
 void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                            std::size_t nprobe, CategoryId category_filter,
                            qos::Deadline deadline, obs::TraceContext parent,
-                           SearchCallback on_done) {
+                           SearchCallback on_done, Micros rpc_timeout_micros) {
   node_.InvokeSpannedAsyncWithDeadline(
-      trace_sink_, parent, "searcher.scan", deadline,
+      trace_sink_, parent, "searcher.scan", deadline, rpc_timeout_micros,
       [this, query = std::move(query), k, nprobe,
        category_filter](obs::Span& span) {
         span.AddTag("k", static_cast<std::uint64_t>(k));

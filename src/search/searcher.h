@@ -113,11 +113,17 @@ class Searcher {
   // this searcher's pool thread before the scan runs: work still queued when
   // the budget dies fails fast with DeadlineExceededError instead of
   // scanning for a caller that already gave up.
+  //
+  // `rpc_timeout_micros` (> 0) bounds this one call at the RPC layer: if no
+  // reply lands in time — the fabric dropped a message, or the scan is stuck
+  // behind a backlog — `on_done` fires with RpcTimeoutError instead of
+  // never. A late real reply is then suppressed, not double-delivered.
   using SearchResult = AsyncResult<std::vector<SearchHit>>;
   using SearchCallback = std::function<void(SearchResult)>;
   void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
                    CategoryId category_filter, qos::Deadline deadline,
-                   obs::TraceContext parent, SearchCallback on_done);
+                   obs::TraceContext parent, SearchCallback on_done,
+                   Micros rpc_timeout_micros = 0);
 
   // In-process search (tests / exhaustive ground truth), bypassing the node.
   std::vector<SearchHit> SearchLocal(

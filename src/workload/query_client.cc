@@ -10,6 +10,7 @@
 
 #include "common/hash.h"
 #include "common/rng.h"
+#include "net/timeout.h"
 
 namespace jdvs {
 
@@ -50,11 +51,15 @@ QueryWorkloadResult QueryClient::Run() {
 
   std::atomic<std::uint64_t> total_queries{0};
   std::atomic<std::uint64_t> total_errors{0};
+  std::atomic<std::uint64_t> total_timeouts{0};
+  std::atomic<std::uint64_t> total_deadline{0};
   std::atomic<std::uint64_t> total_retries{0};
   std::atomic<std::uint64_t> total_backoff{0};
   std::atomic<std::uint64_t> subject_hits{0};
   obs::Counter& retries_counter =
       cluster_.registry().GetCounter("jdvs_client_query_retries_total");
+  obs::Counter& timeouts_counter =
+      cluster_.registry().GetCounter("jdvs_client_timeouts_total");
   const auto& clock = MonotonicClock::Instance();
   const Micros start = clock.NowMicros();
   const Micros deadline =
@@ -120,6 +125,13 @@ QueryWorkloadResult QueryClient::Run() {
               });
           if (hit) subject_hits.fetch_add(1, std::memory_order_relaxed);
           total_queries.fetch_add(1, std::memory_order_relaxed);
+        } catch (const RpcTimeoutError&) {
+          total_timeouts.fetch_add(1, std::memory_order_relaxed);
+          timeouts_counter.Increment();
+          total_errors.fetch_add(1, std::memory_order_relaxed);
+        } catch (const qos::DeadlineExceededError&) {
+          total_deadline.fetch_add(1, std::memory_order_relaxed);
+          total_errors.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
           total_errors.fetch_add(1, std::memory_order_relaxed);
         }
@@ -132,6 +144,8 @@ QueryWorkloadResult QueryClient::Run() {
   result.elapsed_micros = clock.NowMicros() - start;
   result.queries = total_queries.load();
   result.errors = total_errors.load();
+  result.timeouts = total_timeouts.load();
+  result.deadline_errors = total_deadline.load();
   result.retries = total_retries.load();
   result.retry_backoff_micros = total_backoff.load();
   if (result.elapsed_micros > 0) {
@@ -159,7 +173,9 @@ OpenLoopResult QueryClient::RunOpenLoop() {
     std::atomic<std::uint64_t> completed{0};
     std::atomic<std::uint64_t> overload{0};
     std::atomic<std::uint64_t> deadline{0};
+    std::atomic<std::uint64_t> timeouts{0};
     std::atomic<std::uint64_t> other{0};
+    obs::Counter* timeouts_total = nullptr;
     std::atomic<std::uint64_t> degraded{0};
     std::atomic<std::uint64_t> slo_ok{0};
     std::atomic<std::uint64_t> outstanding{0};
@@ -169,6 +185,8 @@ OpenLoopResult QueryClient::RunOpenLoop() {
   auto shared = std::make_shared<Shared>();
   shared->latency = result.latency_micros;
   shared->slo = config_.slo_micros;
+  shared->timeouts_total =
+      &cluster_.registry().GetCounter("jdvs_client_timeouts_total");
 
   const auto& clock = MonotonicClock::Instance();
   const Micros start = clock.NowMicros();
@@ -227,6 +245,9 @@ OpenLoopResult QueryClient::RunOpenLoop() {
               shared->overload.fetch_add(1, std::memory_order_relaxed);
             } catch (const qos::DeadlineExceededError&) {
               shared->deadline.fetch_add(1, std::memory_order_relaxed);
+            } catch (const RpcTimeoutError&) {
+              shared->timeouts.fetch_add(1, std::memory_order_relaxed);
+              shared->timeouts_total->Increment();
             } catch (...) {
               shared->other.fetch_add(1, std::memory_order_relaxed);
             }
@@ -256,6 +277,7 @@ OpenLoopResult QueryClient::RunOpenLoop() {
   result.completed = shared->completed.load();
   result.overload_errors = shared->overload.load();
   result.deadline_errors = shared->deadline.load();
+  result.timeout_errors = shared->timeouts.load();
   result.other_errors = shared->other.load();
   result.degraded = shared->degraded.load();
   result.slo_ok = shared->slo_ok.load();

@@ -67,6 +67,14 @@ struct QueryWorkloadConfig {
 struct QueryWorkloadResult {
   std::uint64_t queries = 0;
   std::uint64_t errors = 0;
+  // Breakdown of `errors` by SLO-relevant cause (both are included in
+  // `errors`): per-RPC timeouts surfaced as RpcTimeoutError — the fabric
+  // lost the exchange and every failover/hedge lost too — versus typed
+  // DeadlineExceededError, where the cluster answered "too late" on
+  // purpose. An availability report that lumps them together can't tell a
+  // lossy network from an overloaded one.
+  std::uint64_t timeouts = 0;         // jdvs_client_timeouts_total
+  std::uint64_t deadline_errors = 0;
   // Overload retries performed (each is one extra blender round trip).
   std::uint64_t retries = 0;
   // Total time threads spent sleeping in retry backoff.
@@ -88,6 +96,7 @@ struct OpenLoopResult {
   std::uint64_t completed = 0;
   std::uint64_t overload_errors = 0;  // shed at blender admission
   std::uint64_t deadline_errors = 0;  // typed DeadlineExceededError
+  std::uint64_t timeout_errors = 0;   // typed RpcTimeoutError (lost RPCs)
   std::uint64_t other_errors = 0;
   std::uint64_t degraded = 0;         // completed at degradation level >= 1
   std::uint64_t slo_ok = 0;           // completed within slo_micros

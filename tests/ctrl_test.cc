@@ -12,6 +12,7 @@
 #include "ctrl/controller.h"
 #include "ctrl/failure_detector.h"
 #include "ctrl/replica_state.h"
+#include "net/fault_injector.h"
 #include "search/cluster_builder.h"
 #include "workload/catalog_gen.h"
 #include "workload/query_client.h"
@@ -109,6 +110,95 @@ TEST(FailureDetectorTest, MarksDownAndReinstatesOnAck) {
   EXPECT_GT(registry.GetCounter("jdvs_ctrl_heartbeats_total").Value(), 0u);
   EXPECT_GT(registry.GetCounter("jdvs_ctrl_heartbeat_misses_total").Value(),
             0u);
+}
+
+TEST(FailureDetectorTest, ProbeTimeoutSurvivesTotalProbeLoss) {
+  // The fabric eats every probe: without a per-probe timeout the
+  // one-outstanding-probe rule would wedge this replica's probing forever
+  // (in_flight never clears) and the outage would go unnoticed. With the
+  // timeout, dropped probes come back as misses and DOWN follows.
+  obs::Registry registry;
+  ctrl::ReplicaStateTable table(&registry);
+  FaultInjector injector(11);
+  Node node("hb-blackhole", 1);
+  node.set_fault_injector(&injector);
+  injector.SetLink("ctrl", node.name(),
+                   LinkFaults{.drop_probability = 1.0});
+  const std::size_t slot = table.Register(node.name());
+
+  ctrl::FailureDetectorConfig fc;
+  fc.heartbeat_period_micros = 2'000;
+  fc.probe_timeout_micros = 3'000;
+  fc.suspect_after_misses = 1;
+  fc.down_after_misses = 2;
+  fc.reinstate_on_ack = true;
+  ctrl::FailureDetector detector({{&node, slot}}, table, fc, &registry);
+  detector.Start();
+  ASSERT_TRUE(
+      WaitUntil([&] { return table.Get(slot) == ReplicaState::kDown; }));
+  EXPECT_GT(detector.misses(), 0u);
+  // More than one probe was dispatched — the timeout kept clearing
+  // in_flight (without it, the one-outstanding-probe rule would have
+  // stopped after the first dropped probe).
+  EXPECT_GE(detector.heartbeats_sent(), 2u);
+
+  // Network heals: acks flow again and the replica is reinstated.
+  injector.Heal("ctrl", node.name());
+  ASSERT_TRUE(WaitUntil([&] { return table.Get(slot) == ReplicaState::kUp; }));
+  detector.Stop();
+}
+
+TEST(FailureDetectorTest, LatencyOutlierEjectedDespiteHealthyHeartbeats) {
+  // The gray-failure case: a replica acks every probe but answers queries
+  // 50x slow. Heartbeat detection alone never touches it; the latency
+  // EWMA comparison marks it SUSPECT, and it re-enters once its EWMA
+  // recovers below the hysteresis band.
+  obs::Registry registry;
+  ctrl::ReplicaStateTable table(&registry);
+  Node a("ewma-a", 1);
+  Node b("ewma-b", 1);
+  Node limper("ewma-limper", 1);
+  const std::size_t slot_a = table.Register(a.name());
+  const std::size_t slot_b = table.Register(b.name());
+  const std::size_t slot_l = table.Register(limper.name());
+
+  ctrl::FailureDetectorConfig fc;
+  fc.heartbeat_period_micros = 2'000;
+  fc.suspect_after_misses = 2;
+  fc.down_after_misses = 10;
+  fc.latency_outlier_factor = 3.0;
+  fc.latency_outlier_min_micros = 500;
+  fc.latency_reenter_fraction = 0.7;
+  ctrl::FailureDetector detector(
+      {{&a, slot_a}, {&b, slot_b}, {&limper, slot_l}}, table, fc, &registry);
+
+  // Healthy peers around 400us, the limper at 20ms (50x): threshold is
+  // max(500, 3 x 400) = 1200us, so the limper is way outside.
+  for (int i = 0; i < 16; ++i) {
+    table.RecordLatency(slot_a, 400);
+    table.RecordLatency(slot_b, 400);
+    table.RecordLatency(slot_l, 20'000);
+  }
+  detector.Start();
+  ASSERT_TRUE(
+      WaitUntil([&] { return table.Get(slot_l) == ReplicaState::kSuspect; }));
+  EXPECT_GE(detector.latency_ejections(), 1u);
+  EXPECT_GE(registry.GetCounter("jdvs_ctrl_latency_ejections_total").Value(),
+            1u);
+  // Healthy peers stay UP, and the limper keeps acking (it is SUSPECT for
+  // latency, not for liveness) — acks alone must NOT reinstate it.
+  EXPECT_EQ(table.Get(slot_a), ReplicaState::kUp);
+  EXPECT_EQ(table.Get(slot_b), ReplicaState::kUp);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(table.Get(slot_l), ReplicaState::kSuspect);
+
+  // The limper recovers: feed fast samples until its EWMA drops below the
+  // re-enter band; the next ack then reinstates UP.
+  ASSERT_TRUE(WaitUntil([&] {
+    table.RecordLatency(slot_l, 400);
+    return table.Get(slot_l) == ReplicaState::kUp;
+  }));
+  detector.Stop();
 }
 
 // ---- Full-cluster fixtures ----

@@ -7,6 +7,7 @@
 #include "cluster/quantizer.h"
 #include "index/ivf_index.h"
 #include "index/realtime_indexer.h"
+#include "net/fault_injector.h"
 #include "search/cluster_builder.h"
 #include "store/catalog.h"
 #include "store/feature_db.h"
@@ -133,6 +134,62 @@ TEST(LatencySpikeTest, ClusterSurvivesHeavyJitter) {
   const QueryWorkloadResult result = client.Run();
   EXPECT_EQ(result.errors, 0u);
   EXPECT_EQ(result.queries, 40u);
+  cluster.Stop();
+}
+
+// The issue's acceptance bar: with 100% request loss toward one replica of
+// a replicated partition, no query may block indefinitely — the per-attempt
+// RPC timeout fires, the broker fails the slot over to the sibling replica,
+// and every query completes. Without `searcher_rpc_timeout_micros` a query
+// whose primary is the blackholed replica would hang forever (a dropped
+// message is silent).
+TEST(GrayFailureTest, BlackholedReplicaCannotHangQueries) {
+  FaultInjector injector(17);
+  ClusterConfig config;
+  config.num_partitions = 2;
+  config.replicas_per_partition = 2;
+  config.num_brokers = 1;
+  config.num_blenders = 1;
+  config.embedder = {.dim = 16, .num_categories = 4, .seed = 9};
+  config.detector = {.num_categories = 4, .top1_accuracy = 1.0};
+  config.kmeans.num_clusters = 4;
+  config.ivf.nprobe = 4;
+  config.fault_injector = &injector;
+  config.searcher_rpc_timeout_micros = 10'000;
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 50;
+  cg.num_categories = 4;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  // Blackhole the broker -> replica-0-of-partition-0 link only: heartbeats
+  // and the sibling replica are untouched, so this is a gray failure the
+  // query path must survive on its own.
+  injector.SetLink(cluster.broker(0).name(), cluster.searcher(0, 0).name(),
+                   LinkFaults{.drop_probability = 1.0});
+
+  QueryWorkloadConfig qc;
+  qc.num_threads = 2;
+  qc.queries_per_thread = 10;
+  QueryClient client(cluster, qc);
+  const auto& clock = MonotonicClock::Instance();
+  const Micros start = clock.NowMicros();
+  const QueryWorkloadResult result = client.Run();
+  const Micros elapsed = clock.NowMicros() - start;
+
+  // Every query completed — none hung, none failed (the sibling answered).
+  EXPECT_EQ(result.queries, 20u);
+  EXPECT_EQ(result.errors, 0u);
+  // Bounded: worst case every query eats one 10ms timeout before failover.
+  EXPECT_LT(elapsed, 8'000'000);
+  // The defense actually engaged (rotation parks half the primaries on the
+  // blackholed replica).
+  EXPECT_GE(cluster.broker(0).rpc_timeouts(), 1u);
+  EXPECT_GE(cluster.broker(0).failovers(), 1u);
+  EXPECT_GT(injector.requests_dropped(), 0u);
   cluster.Stop();
 }
 

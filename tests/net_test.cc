@@ -1,16 +1,21 @@
 // Tests for the simulated cluster fabric: partitioner, latency model, nodes,
-// load balancer, partial-result collection.
+// load balancer, partial-result collection, fault injection and per-RPC
+// timeouts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <thread>
+#include <vector>
 
+#include "net/fault_injector.h"
 #include "net/latency_model.h"
 #include "net/load_balancer.h"
 #include "net/node.h"
 #include "net/partitioner.h"
 #include "net/rpc.h"
+#include "net/timeout.h"
 #include "store/catalog.h"
 
 namespace jdvs {
@@ -301,6 +306,219 @@ TEST(CollectPartialTest, DropsFailedFutures) {
   const auto results = CollectPartial(futures, &failures);
   EXPECT_EQ(results, (std::vector<int>{1, 3}));
   EXPECT_EQ(failures, 1u);
+}
+
+// ---- Fault injection ----
+
+TEST(FaultInjectorTest, SameSeedReplaysSameSchedule) {
+  // Decisions hash (seed, link rule, message ordinal), so two injectors with
+  // the same seed produce identical drop schedules message for message —
+  // the property that makes chaos runs reproducible under --seed.
+  const LinkFaults faults{.drop_probability = 0.4};
+  FaultInjector a(42);
+  FaultInjector b(42);
+  a.SetLink("broker", "searcher", faults);
+  b.SetLink("broker", "searcher", faults);
+  std::vector<bool> schedule_a;
+  std::vector<bool> schedule_b;
+  for (int i = 0; i < 200; ++i) {
+    schedule_a.push_back(a.Decide("broker", "searcher").drop_request);
+    schedule_b.push_back(b.Decide("broker", "searcher").drop_request);
+  }
+  EXPECT_EQ(schedule_a, schedule_b);
+  // And the probability is roughly honored (very loose bounds).
+  const auto drops = std::count(schedule_a.begin(), schedule_a.end(), true);
+  EXPECT_GT(drops, 40);
+  EXPECT_LT(drops, 160);
+
+  // A different seed yields a different schedule (with overwhelming
+  // probability over 200 draws at p=0.4).
+  FaultInjector c(43);
+  c.SetLink("broker", "searcher", faults);
+  std::vector<bool> schedule_c;
+  for (int i = 0; i < 200; ++i) {
+    schedule_c.push_back(c.Decide("broker", "searcher").drop_request);
+  }
+  EXPECT_NE(schedule_a, schedule_c);
+}
+
+TEST(FaultInjectorTest, ExactLinkRuleOverridesWildcard) {
+  FaultInjector injector(1);
+  injector.SetNode("searcher", LinkFaults{.partitioned = true});
+  injector.SetLink("ctrl", "searcher", LinkFaults{});  // clean exception
+  // The control plane's probes get through; everyone else is partitioned.
+  EXPECT_FALSE(injector.Decide("ctrl", "searcher").drop_request);
+  EXPECT_TRUE(injector.Decide("broker", "searcher").drop_request);
+  EXPECT_TRUE(injector.Decide("", "searcher").drop_request);
+  // No rule at all: clean.
+  EXPECT_TRUE(injector.Decide("broker", "other").IsClean());
+}
+
+TEST(FaultInjectorTest, PartitionAndHealAreRuntimeControllable) {
+  FaultInjector injector(2);
+  injector.Partition("blender", "broker");
+  EXPECT_TRUE(injector.Decide("blender", "broker").drop_request);
+  EXPECT_GT(injector.requests_dropped(), 0u);
+  injector.Heal("blender", "broker");
+  EXPECT_TRUE(injector.Decide("blender", "broker").IsClean());
+  injector.SetNode("broker", LinkFaults{.drop_probability = 1.0});
+  EXPECT_TRUE(injector.Decide("anyone", "broker").drop_request);
+  injector.Clear();
+  EXPECT_TRUE(injector.Decide("anyone", "broker").IsClean());
+}
+
+TEST(FaultInjectorTest, LatencyFaultsPassThroughDecision) {
+  FaultInjector injector(3);
+  injector.SetLink(
+      "a", "b",
+      LinkFaults{.latency_multiplier = 50.0, .added_latency_micros = 123});
+  const FaultInjector::Decision decision = injector.Decide("a", "b");
+  EXPECT_FALSE(decision.drop_request);
+  EXPECT_DOUBLE_EQ(decision.latency_multiplier, 50.0);
+  EXPECT_EQ(decision.added_latency_micros, 123);
+}
+
+TEST(OnceCallbackTest, FirstCompletionWins) {
+  int deliveries = 0;
+  int value = 0;
+  OnceCallback<int> guard([&](AsyncResult<int> result) {
+    ++deliveries;
+    value = *result.value;
+  });
+  EXPECT_FALSE(guard.delivered());
+  EXPECT_TRUE(guard.Deliver(AsyncResult<int>::Ok(7)));
+  EXPECT_FALSE(guard.Deliver(AsyncResult<int>::Ok(9)));  // suppressed
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(value, 7);
+  EXPECT_TRUE(guard.delivered());
+}
+
+TEST(TimeoutSchedulerTest, FiresAndCancels) {
+  TimeoutScheduler scheduler;
+  std::promise<void> fired;
+  const auto id =
+      scheduler.Schedule(2'000, [&fired] { fired.set_value(); });
+  EXPECT_NE(id, 0u);
+  fired.get_future().get();  // fires on the worker thread
+  EXPECT_EQ(scheduler.fired_total(), 1u);
+  EXPECT_FALSE(scheduler.Cancel(id));  // already fired
+
+  std::atomic<bool> must_not_fire{false};
+  const auto id2 = scheduler.Schedule(
+      60'000'000, [&must_not_fire] { must_not_fire.store(true); });
+  EXPECT_TRUE(scheduler.Cancel(id2));
+  EXPECT_EQ(scheduler.cancelled_total(), 1u);
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_FALSE(must_not_fire.load());
+}
+
+TEST(NodeFaultTest, TimeoutBreaksTotalRequestLoss) {
+  // 100% request loss: without a timeout the continuation would never fire.
+  FaultInjector injector(5);
+  injector.SetNode("lossy", LinkFaults{.drop_probability = 1.0});
+  Node node("lossy", 1);
+  node.set_fault_injector(&injector);
+  std::promise<AsyncResult<int>> delivered;
+  node.InvokeAsyncWithTimeout(
+      5'000, [] { return 1; },
+      [&delivered](AsyncResult<int> result) {
+        delivered.set_value(std::move(result));
+      });
+  const AsyncResult<int> result = delivered.get_future().get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsRpcTimeout(result.error));
+  EXPECT_GT(injector.requests_dropped(), 0u);
+}
+
+TEST(NodeFaultTest, ReplyBeatsTimeoutOnCleanLink) {
+  FaultInjector injector(6);  // attached but no rules: clean fabric
+  Node node("clean", 1);
+  node.set_fault_injector(&injector);
+  std::promise<AsyncResult<int>> delivered;
+  node.InvokeAsyncWithTimeout(
+      10'000'000, [] { return 27; },
+      [&delivered](AsyncResult<int> result) {
+        delivered.set_value(std::move(result));
+      });
+  const AsyncResult<int> result = delivered.get_future().get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value, 27);
+  // The winning reply disarms its own timer right after delivering; poll
+  // briefly since the cancel runs after the promise is fulfilled.
+  const Micros poll_deadline =
+      MonotonicClock::Instance().NowMicros() + 2'000'000;
+  while (TimeoutScheduler::Default().pending() > 0 &&
+         MonotonicClock::Instance().NowMicros() < poll_deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(TimeoutScheduler::Default().pending(), 0u);
+}
+
+TEST(NodeFaultTest, DuplicateReplyDeliveredExactlyOnce) {
+  FaultInjector injector(7);
+  injector.SetNode("dup", LinkFaults{.duplicate_probability = 1.0});
+  Node node("dup", 1);
+  node.set_fault_injector(&injector);
+  std::atomic<int> deliveries{0};
+  std::promise<void> first;
+  node.InvokeAsync([] { return 3; }, [&](AsyncResult<int> result) {
+    ASSERT_TRUE(result.ok());
+    if (deliveries.fetch_add(1) == 0) first.set_value();
+  });
+  first.get_future().get();
+  EXPECT_GT(injector.replies_duplicated(), 0u);
+  // The duplicate is delivered (and swallowed) right after the original on
+  // the same pool thread; give that second Deliver a moment to land.
+  const Micros poll_deadline = MonotonicClock::Instance().NowMicros() + 2'000'000;
+  while (injector.duplicates_suppressed() < injector.replies_duplicated() &&
+         MonotonicClock::Instance().NowMicros() < poll_deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(injector.duplicates_suppressed(), injector.replies_duplicated());
+  EXPECT_EQ(deliveries.load(), 1);
+}
+
+TEST(NodeFaultTest, DroppedReplyStillRanTheWork) {
+  // Reply loss: the side effect happened, the caller only hears the timeout
+  // — the asymmetry that makes reply loss nastier than request loss.
+  FaultInjector injector(8);
+  injector.SetNode("ack-lost", LinkFaults{.reply_drop_probability = 1.0});
+  Node node("ack-lost", 1);
+  node.set_fault_injector(&injector);
+  std::atomic<bool> ran{false};
+  std::promise<AsyncResult<void>> delivered;
+  node.InvokeAsyncWithTimeout(
+      5'000, [&ran] { ran.store(true); },
+      [&delivered](AsyncResult<void> result) {
+        delivered.set_value(std::move(result));
+      });
+  const AsyncResult<void> result = delivered.get_future().get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsRpcTimeout(result.error));
+  EXPECT_TRUE(ran.load());
+  EXPECT_GT(injector.replies_dropped(), 0u);
+}
+
+TEST(NodeFaultTest, AddedLatencyStretchesTheHop) {
+  FaultInjector injector(9);
+  injector.SetNode("limpy", LinkFaults{.added_latency_micros = 30'000});
+  Node node("limpy", 1);
+  node.set_fault_injector(&injector);
+  const Micros start = MonotonicClock::Instance().NowMicros();
+  node.Invoke([] { return 0; }).get();
+  // Two hops (request + reply), each stretched by 30ms.
+  EXPECT_GE(MonotonicClock::Instance().NowMicros() - start, 50'000);
+}
+
+TEST(NodeFaultTest, InvokeFutureBreaksInsteadOfHanging) {
+  // The blocking facade cannot wait forever either: a dropped message with
+  // no timeout breaks the promise, surfacing as std::future_error.
+  FaultInjector injector(10);
+  injector.SetNode("void", LinkFaults{.drop_probability = 1.0});
+  Node node("void", 1);
+  node.set_fault_injector(&injector);
+  auto future = node.Invoke([] { return 1; });
+  EXPECT_THROW(future.get(), std::future_error);
 }
 
 }  // namespace
