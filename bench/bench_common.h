@@ -267,6 +267,26 @@ inline void PrintStageBreakdown(const obs::Registry& registry) {
   }
 }
 
+// Queue-wait table: the jdvs_pool_queue_wait_micros{tier=...} histograms —
+// how long submitted work sat in each tier's pool queue before a worker
+// picked it up. Unlike the depth gauges (point samples), this integrates
+// the whole run, so it shows saturation the gauges can miss between
+// samples. Tiers with no samples are skipped.
+inline void PrintQueueWait(const obs::Registry& registry) {
+  static constexpr const char* kTiers[] = {"blender", "broker", "searcher"};
+  std::printf("\npool queue wait (us):\n");
+  std::printf("  %-10s %10s %10s %10s %10s\n", "tier", "count", "mean",
+              "p90", "p99");
+  for (const char* tier : kTiers) {
+    const Histogram* h = registry.FindHistogram(
+        obs::Labeled("jdvs_pool_queue_wait_micros", "tier", tier));
+    if (h == nullptr || h->Count() == 0) continue;
+    std::printf("  %-10s %10llu %10.0f %10lld %10lld\n", tier,
+                (unsigned long long)h->Count(), h->Mean(),
+                (long long)h->P90(), (long long)h->P99());
+  }
+}
+
 // Pool-saturation table: busy workers and queue depth (current + peak) per
 // tier, from the jdvs_pool_* gauges. With the continuation-passing pipeline
 // peak busy stays near the work actually executing; a blocking pipeline

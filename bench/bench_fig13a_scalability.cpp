@@ -47,10 +47,37 @@ int main(int argc, char** argv) {
               "(paper: ~1800 QPS = 155M/day)\n",
               max_qps, max_qps * 86400.0 / 1e6);
   PrintPoolSaturation(*cluster);
+  PrintQueueWait(cluster->registry());
+
+  // Flight-recorder overhead: the diagnosis layer is always on, so its
+  // fault-free cost must be noise. Same fixed load with the recorder off,
+  // then on; the QPS delta is the recorder's price (<2% target — one
+  // striped spinlock + a ~100-byte struct copy per query).
+  double qps_off = 0.0, qps_on = 0.0;
+  if (cluster->flight_recorder() != nullptr) {
+    auto measure = [&](bool enabled) {
+      cluster->flight_recorder()->set_enabled(enabled);
+      QueryWorkloadConfig qc;
+      qc.num_threads = 16;
+      qc.duration_micros = 2'000'000;
+      QueryClient client(*cluster, qc);
+      return client.Run().qps;
+    };
+    measure(true);  // warmup so run order doesn't skew the comparison
+    qps_off = measure(false);
+    qps_on = measure(true);
+    const double overhead =
+        qps_off <= 0.0 ? 0.0 : 100.0 * (qps_off - qps_on) / qps_off;
+    std::printf("\nflight recorder overhead @16 threads: "
+                "%.0f QPS off vs %.0f QPS on (%+.1f%%, target < 2%%)\n",
+                qps_off, qps_on, overhead);
+  }
   if (WantJson(argc, argv)) {
     Json root = Json::Object();
     root.Set("bench", "fig13a_scalability");
     root.Set("peak_qps", max_qps);
+    root.Set("recorder_off_qps", qps_off);
+    root.Set("recorder_on_qps", qps_on);
     root.Set("rows", std::move(rows));
     WriteBenchJson("fig13a_scalability", root);
   }

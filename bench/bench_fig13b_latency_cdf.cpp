@@ -41,6 +41,12 @@ int main(int argc, char** argv) {
   // Where the time goes: per-stage attribution from the metrics registry,
   // plus the worst traced queries' full span trees.
   PrintStageBreakdown(cluster->registry());
+
+  // Critical-path attribution: unlike the raw stage histograms (which
+  // overlap — the fan-out runs scans concurrently), these only count time a
+  // stage actually gated end-to-end latency, so the shares sum to ~100%.
+  std::printf("\ncritical-path attribution (sampled queries):\n%s",
+              obs::RenderCriticalPathTable(cluster->registry()).c_str());
   const auto slow = cluster->slow_log().Worst();
   if (!slow.empty()) {
     std::printf("\nslowest traced query (of %zu over %lld us):\n", slow.size(),

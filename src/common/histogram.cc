@@ -2,11 +2,81 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <limits>
 
 namespace jdvs {
 
 Histogram::Histogram() { Reset(); }
+
+Histogram::~Histogram() {
+  delete exemplars_.load(std::memory_order_acquire);
+}
+
+void Histogram::EnableExemplars() {
+  if (exemplars_.load(std::memory_order_acquire) != nullptr) return;
+  auto* store = new ExemplarStore();
+  ExemplarStore* expected = nullptr;
+  if (!exemplars_.compare_exchange_strong(expected, store,
+                                          std::memory_order_acq_rel)) {
+    delete store;  // lost the install race; the winner's store is live
+  }
+}
+
+void Histogram::RecordWithExemplar(std::int64_t value, std::uint64_t trace_id,
+                                   std::uint64_t ref) noexcept {
+  Record(value);
+  if (trace_id == 0 && ref == 0) return;
+  ExemplarStore* store = exemplars_.load(std::memory_order_acquire);
+  if (store == nullptr) return;
+  const std::int64_t clamped = std::clamp<std::int64_t>(value, 0, kMaxValue);
+  ExemplarSlot& slot = store->slots[ExemplarSlotFor(clamped)];
+  if (!slot.lock.try_lock()) return;  // contended: drop, never block
+  slot.set = true;
+  slot.exemplar = HistogramExemplar{clamped, trace_id, ref};
+  slot.lock.unlock();
+}
+
+std::vector<HistogramExemplar> Histogram::Exemplars() const {
+  std::vector<HistogramExemplar> out;
+  const ExemplarStore* store = exemplars_.load(std::memory_order_acquire);
+  if (store == nullptr) return out;
+  for (const ExemplarSlot& slot : store->slots) {
+    slot.lock.lock();
+    if (slot.set) out.push_back(slot.exemplar);
+    slot.lock.unlock();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramExemplar& a, const HistogramExemplar& b) {
+              return a.value < b.value;
+            });
+  return out;
+}
+
+std::optional<HistogramExemplar> Histogram::ExemplarNear(
+    std::int64_t value) const {
+  const ExemplarStore* store = exemplars_.load(std::memory_order_acquire);
+  if (store == nullptr) return std::nullopt;
+  const auto want = static_cast<std::int64_t>(
+      ExemplarSlotFor(std::clamp<std::int64_t>(value, 0, kMaxValue)));
+  std::optional<HistogramExemplar> best;
+  std::int64_t best_distance = 0;
+  for (std::size_t i = 0; i < kExemplarSlots; ++i) {
+    const ExemplarSlot& slot = store->slots[i];
+    slot.lock.lock();
+    const bool set = slot.set;
+    const HistogramExemplar exemplar = slot.exemplar;
+    slot.lock.unlock();
+    if (!set) continue;
+    const std::int64_t distance =
+        std::abs(static_cast<std::int64_t>(i) - want);
+    if (!best.has_value() || distance < best_distance) {
+      best = exemplar;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
 
 void Histogram::Reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
@@ -134,6 +204,19 @@ std::vector<std::pair<std::int64_t, double>> Histogram::CdfPoints() const {
                         static_cast<double>(seen) / static_cast<double>(total));
   }
   return points;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+Histogram::CumulativeBuckets() const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const auto c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    seen += c;
+    out.emplace_back(BucketUpperBound(i), seen);
+  }
+  return out;
 }
 
 }  // namespace jdvs

@@ -10,17 +10,51 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/spinlock.h"
+
 namespace jdvs {
+
+// A recent observation attached to a histogram bucket range, linking an
+// aggregate (e.g. a p99 spike) back to a concrete query. `trace_id` is the
+// sampled-trace id (0 when the query was not trace-sampled) and `ref` is a
+// secondary correlation id -- the flight-recorder ordinal in the query path
+// -- so even unsampled observations stay findable.
+struct HistogramExemplar {
+  std::int64_t value = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t ref = 0;
+};
 
 class Histogram {
  public:
   Histogram();
+  ~Histogram();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   // Thread-safe, wait-free. Values are clamped to [0, kMaxValue].
   void Record(std::int64_t value) noexcept;
   void RecordN(std::int64_t value, std::uint64_t count) noexcept;
+
+  // Like Record, but also remembers (value, trace_id, ref) as the exemplar
+  // for the value's magnitude class when exemplars are enabled. The exemplar
+  // write uses try_lock and may be skipped under contention; the count is
+  // always recorded. A call with trace_id == 0 && ref == 0 degrades to
+  // Record().
+  void RecordWithExemplar(std::int64_t value, std::uint64_t trace_id,
+                          std::uint64_t ref = 0) noexcept;
+
+  // Allocates the exemplar side-table (one slot per power-of-two magnitude
+  // class, ~2 KiB). Idempotent and safe to race with recorders; exemplars
+  // recorded before the first Enable call are dropped.
+  void EnableExemplars();
+  bool exemplars_enabled() const noexcept {
+    return exemplars_.load(std::memory_order_acquire) != nullptr;
+  }
 
   // Accessors are linearizable enough for reporting (relaxed reads).
   std::uint64_t Count() const noexcept;
@@ -46,22 +80,56 @@ class Histogram {
   // input to CDF plots (Figure 13(b)).
   std::vector<std::pair<std::int64_t, double>> CdfPoints() const;
 
+  // (upper_bound, cumulative_count) pairs over non-empty buckets; the input
+  // to Prometheus `_bucket{le="..."}` exposition.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> CumulativeBuckets() const;
+
+  // Snapshot of current exemplars, sorted by value ascending. Empty when
+  // exemplars are disabled or none were recorded.
+  std::vector<HistogramExemplar> Exemplars() const;
+
+  // The exemplar whose magnitude class is closest to `value` (the exact
+  // class, else the nearest recorded one). Use with Quantile() to jump from
+  // "p99 is X" to a concrete trace/flight-record id.
+  std::optional<HistogramExemplar> ExemplarNear(std::int64_t value) const;
+
   static constexpr std::int64_t kMaxValue = 1LL << 40;  // ~12.7 days in us
 
- private:
   // Bucket layout: 64 value bits split into (exponent, 5-bit mantissa)
-  // sub-buckets => at most 64*32 buckets; values < 32 map exactly.
+  // sub-buckets => at most 64*32 buckets; values < 32 map exactly. The two
+  // mapping functions are exposed so exposition consumers and tests can
+  // compute `le` bounds without hardcoding the layout.
   static constexpr int kSubBucketBits = 5;
   static constexpr std::size_t kNumBuckets = 64 << kSubBucketBits;
 
   static std::size_t BucketFor(std::int64_t value) noexcept;
   static std::int64_t BucketUpperBound(std::size_t bucket) noexcept;
 
+ private:
+
+  // One exemplar slot per exponent class (BucketFor(value) >> kSubBucketBits,
+  // i.e. at most 64 classes). Writers take the slot lock with try_lock so the
+  // record path never blocks; readers take it briefly to copy 24 bytes.
+  static constexpr std::size_t kExemplarSlots = 64;
+  struct ExemplarSlot {
+    mutable SpinLock lock;
+    bool set = false;
+    HistogramExemplar exemplar;
+  };
+  struct ExemplarStore {
+    std::array<ExemplarSlot, kExemplarSlots> slots;
+  };
+
+  static std::size_t ExemplarSlotFor(std::int64_t value) noexcept {
+    return BucketFor(value) >> kSubBucketBits;
+  }
+
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_;
   std::atomic<std::uint64_t> count_;
   std::atomic<std::int64_t> sum_;
   std::atomic<std::int64_t> min_;
   std::atomic<std::int64_t> max_;
+  std::atomic<ExemplarStore*> exemplars_{nullptr};
 };
 
 }  // namespace jdvs

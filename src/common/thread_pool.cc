@@ -21,7 +21,11 @@ bool ThreadPool::Submit(std::function<void()> task) {
   // pool's owner alive (e.g. fulfil the promise a caller is blocked on), so
   // no member of the pool can be touched after Push returns.
   UpdateMax(peak_queue_, queue_.size() + 1);
-  return queue_.Push(std::move(task));
+  Item item{std::move(task), 0};
+  if (queue_wait_.load(std::memory_order_acquire) != nullptr) {
+    item.enqueued_micros = MonotonicClock::Instance().NowMicros();
+  }
+  return queue_.Push(std::move(item));
 }
 
 void ThreadPool::ResetPeakStats() {
@@ -47,9 +51,15 @@ void ThreadPool::Shutdown() {
 }
 
 void ThreadPool::WorkerLoop() {
-  while (auto task = queue_.Pop()) {
+  while (auto item = queue_.Pop()) {
+    if (item->enqueued_micros != 0) {
+      if (Histogram* h = queue_wait_.load(std::memory_order_acquire)) {
+        h->Record(MonotonicClock::Instance().NowMicros() -
+                  item->enqueued_micros);
+      }
+    }
     UpdateMax(peak_busy_, busy_.fetch_add(1, std::memory_order_relaxed) + 1);
-    (*task)();
+    (item->fn)();
     busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }

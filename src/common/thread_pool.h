@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/histogram.h"
 #include "common/mpmc_queue.h"
 
 namespace jdvs {
@@ -69,16 +71,31 @@ class ThreadPool {
   }
   void ResetPeakStats();
 
+  // Attaches a histogram that receives each task's queue-wait time
+  // (Submit -> dequeue, in microseconds; `jdvs_pool_queue_wait_micros` in
+  // the cluster). The histogram must outlive the pool. Tasks submitted
+  // while no histogram is attached are not timestamped, so the fully
+  // detached pool pays nothing. Pass nullptr to detach.
+  void set_queue_wait_histogram(Histogram* histogram) {
+    queue_wait_.store(histogram, std::memory_order_release);
+  }
+
  private:
+  struct Item {
+    std::function<void()> fn;
+    Micros enqueued_micros = 0;  // 0 = not timestamped
+  };
+
   void WorkerLoop();
   static void UpdateMax(std::atomic<std::size_t>& peak, std::size_t value);
 
-  MpmcQueue<std::function<void()>> queue_;
+  MpmcQueue<Item> queue_;
   std::vector<std::thread> threads_;
   std::string name_;
   std::atomic<std::size_t> busy_{0};
   std::atomic<std::size_t> peak_busy_{0};
   std::atomic<std::size_t> peak_queue_{0};
+  std::atomic<Histogram*> queue_wait_{nullptr};
 };
 
 }  // namespace jdvs

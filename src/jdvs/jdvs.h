@@ -54,7 +54,10 @@
 #include "net/node.h"
 #include "net/partitioner.h"
 #include "obs/counter.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 #include "obs/gauge.h"
+#include "obs/introspection.h"
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/span.h"

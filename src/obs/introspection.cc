@@ -1,0 +1,134 @@
+#include "obs/introspection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+
+namespace jdvs::obs {
+namespace {
+
+void SectionHeader(std::ostream& os, const std::string& title) {
+  os << "---- " << title << " ----\n";
+}
+
+void RenderFlightRecord(std::ostream& os, const FlightRecord& record) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(record.trace_id));
+  os << "  #" << record.ordinal << " trace=" << buf
+     << " total=" << record.total_micros << "us";
+  if (record.cache_hit) os << " [cache]";
+  if (record.error) os << " [error]";
+  if (record.degraded) {
+    os << " [degraded L" << static_cast<int>(record.degradation_level) << ']';
+  }
+  const std::string summary = CriticalPathFromFlightRecord(record).Summary();
+  if (!summary.empty()) os << " | " << summary;
+  os << '\n';
+}
+
+}  // namespace
+
+void Introspection::AddStatusSection(std::string title,
+                                     SectionRenderer renderer) {
+  std::lock_guard lock(sections_mu_);
+  sections_.emplace_back(std::move(title), std::move(renderer));
+}
+
+std::string Introspection::StatusZ() const {
+  std::ostringstream os;
+  os << "==== statusz ====\n";
+  std::vector<std::pair<std::string, SectionRenderer>> sections;
+  {
+    std::lock_guard lock(sections_mu_);
+    sections = sections_;
+  }
+  for (const auto& [title, renderer] : sections) {
+    SectionHeader(os, title);
+    renderer(os);
+  }
+  if (flight_recorder_ != nullptr) {
+    SectionHeader(os, "flight recorder");
+    os << "  enabled=" << (flight_recorder_->enabled() ? "yes" : "no")
+       << " armed=" << (flight_recorder_->armed() ? "yes" : "no")
+       << " recorded=" << flight_recorder_->recorded()
+       << " anomalies=" << flight_recorder_->anomalies()
+       << " dumps=" << flight_recorder_->dumps_taken()
+       << " slo=" << flight_recorder_->config().slo_micros << "us\n";
+  }
+  return os.str();
+}
+
+std::string Introspection::TraceZ(std::size_t max_traces,
+                                  std::size_t max_records) const {
+  std::ostringstream os;
+  os << "==== tracez ====\n";
+  if (trace_sink_ != nullptr) {
+    SectionHeader(os, "recent sampled traces");
+    // Latest root spans (finish-time descending), rendered as full trees
+    // with their critical path.
+    std::vector<SpanRecord> roots;
+    for (SpanRecord& span : trace_sink_->Collect()) {
+      if (span.parent_span_id == 0) roots.push_back(std::move(span));
+    }
+    std::sort(roots.begin(), roots.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.end_micros > b.end_micros;
+              });
+    if (roots.empty()) os << "  (none)\n";
+    for (std::size_t i = 0; i < roots.size() && i < max_traces; ++i) {
+      os << trace_sink_->Render(roots[i].trace_id);
+      const std::string summary =
+          ComputeCriticalPath(trace_sink_->SpansFor(roots[i].trace_id))
+              .Summary();
+      if (!summary.empty()) os << "   critical path: " << summary << '\n';
+    }
+  }
+  if (slow_log_ != nullptr) {
+    SectionHeader(os, "slow queries");
+    os << slow_log_->Render();
+  }
+  if (flight_recorder_ != nullptr) {
+    SectionHeader(os, "flight recorder (latest records)");
+    std::vector<FlightRecord> records = flight_recorder_->Snapshot();
+    const std::size_t begin =
+        records.size() > max_records ? records.size() - max_records : 0;
+    if (records.empty()) os << "  (none)\n";
+    for (std::size_t i = begin; i < records.size(); ++i) {
+      RenderFlightRecord(os, records[i]);
+    }
+    SectionHeader(os, "anomaly dumps");
+    const auto dumps = flight_recorder_->dumps();
+    if (dumps.empty()) os << "  (none)\n";
+    for (const FlightRecorder::Dump& dump : dumps) {
+      os << "  dump @" << dump.at_micros << "us: " << dump.reason << " ("
+         << dump.records.size() << " records)\n";
+      // The worst record in the dump is almost always the page's culprit.
+      const auto worst = std::max_element(
+          dump.records.begin(), dump.records.end(),
+          [](const FlightRecord& a, const FlightRecord& b) {
+            return a.total_micros < b.total_micros;
+          });
+      if (worst != dump.records.end()) {
+        os << "  worst:\n";
+        RenderFlightRecord(os, *worst);
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string Introspection::MetricZ() const {
+  std::ostringstream os;
+  os << "==== metricz ====\n";
+  if (registry_ != nullptr) registry_->ExpositionText(os);
+  return os.str();
+}
+
+}  // namespace jdvs::obs

@@ -1,0 +1,70 @@
+// In-process introspection pages: statusz / tracez / metricz.
+//
+// The text-page triad every production service grows: `statusz` (what is
+// this process, what state is it in), `tracez` (recent traces, slow
+// queries, the flight recorder's ring and anomaly dumps), `metricz` (the
+// Prometheus exposition). Rendering pulls live state at call time; nothing
+// is precomputed.
+//
+// Dependency direction: obs stays at the bottom of the stack, so cluster
+// state (replica tables, admission controllers, pools) is contributed as
+// named *sections* -- closures registered by the owner via
+// AddStatusSection -- rather than by obs depending on ctrl/ or qos/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jdvs::obs {
+
+class Registry;
+class TraceSink;
+class SlowQueryLog;
+class FlightRecorder;
+
+class Introspection {
+ public:
+  using SectionRenderer = std::function<void(std::ostream&)>;
+
+  Introspection() = default;
+  Introspection(const Introspection&) = delete;
+  Introspection& operator=(const Introspection&) = delete;
+
+  // All sources are optional; unset ones are skipped in the pages.
+  void SetRegistry(const Registry* registry) { registry_ = registry; }
+  void SetTraceSink(const TraceSink* sink) { trace_sink_ = sink; }
+  void SetSlowLog(const SlowQueryLog* slow_log) { slow_log_ = slow_log; }
+  void SetFlightRecorder(const FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
+  // Registers a statusz section, rendered in registration order. The
+  // renderer is invoked on every StatusZ() call and must be thread-safe.
+  void AddStatusSection(std::string title, SectionRenderer renderer);
+
+  // Service state: registered sections + flight-recorder health.
+  std::string StatusZ() const;
+  // Recent sampled traces, the slow-query log (with critical-path lines),
+  // the flight recorder's latest records and retained anomaly dumps --
+  // each record annotated with its computed critical-path summary.
+  std::string TraceZ(std::size_t max_traces = 5,
+                     std::size_t max_records = 10) const;
+  // Prometheus exposition (incl. exemplar annotations).
+  std::string MetricZ() const;
+
+ private:
+  const Registry* registry_ = nullptr;
+  const TraceSink* trace_sink_ = nullptr;
+  const SlowQueryLog* slow_log_ = nullptr;
+  const FlightRecorder* flight_recorder_ = nullptr;
+
+  mutable std::mutex sections_mu_;
+  std::vector<std::pair<std::string, SectionRenderer>> sections_;
+};
+
+}  // namespace jdvs::obs

@@ -1,5 +1,6 @@
 #include "obs/registry.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace jdvs::obs {
@@ -31,6 +32,14 @@ std::string SeriesName(std::string_view family, std::string_view suffix,
     out.push_back('}');
   }
   return out;
+}
+
+// `trace_id="<16 hex digits>"` -- matches the tree renderer's trace ids.
+std::string TraceIdLabel(std::uint64_t trace_id) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "trace_id=\"%016llx\"",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
 }
 
 template <typename Map, typename Emit>
@@ -118,22 +127,49 @@ void Registry::ExpositionText(std::ostream& os) const {
                     << '\n';
                });
   EmitFamilies(
-      histograms_, os, "summary",
+      histograms_, os, "histogram",
       [&os](std::string_view family, std::string_view labels,
             const Histogram& histogram) {
-        os << SeriesName(family, "_count", labels) << ' ' << histogram.Count()
-           << '\n';
+        // Cumulative `_bucket{le="..."}` series over non-empty buckets plus
+        // the mandatory +Inf bucket, so scrapers can compute any quantile.
+        // When an exemplar falls inside a bucket's range it is appended as
+        // an OpenMetrics-style annotation: `... # {trace_id="...",
+        // flight="N"} value`.
+        const auto buckets = histogram.CumulativeBuckets();
+        const auto exemplars = histogram.Exemplars();  // sorted by value
+        std::size_t next_exemplar = 0;
+        std::int64_t prev_upper = -1;
+        const auto emit_bucket = [&](std::string_view le_label,
+                                     std::int64_t upper, std::uint64_t cum) {
+          os << SeriesName(family, "_bucket", labels, le_label) << ' ' << cum;
+          while (next_exemplar < exemplars.size() &&
+                 exemplars[next_exemplar].value <= prev_upper) {
+            ++next_exemplar;
+          }
+          if (next_exemplar < exemplars.size() &&
+              exemplars[next_exemplar].value <= upper) {
+            const HistogramExemplar& exemplar = exemplars[next_exemplar];
+            os << " # {" << TraceIdLabel(exemplar.trace_id);
+            if (exemplar.ref != 0) {
+              os << ",flight=\"" << exemplar.ref << '"';
+            }
+            os << "} " << exemplar.value;
+            ++next_exemplar;
+          }
+          os << '\n';
+          prev_upper = upper;
+        };
+        std::string le_label;
+        for (const auto& [upper, cum] : buckets) {
+          le_label.assign("le=\"");
+          le_label.append(std::to_string(upper)).push_back('"');
+          emit_bucket(le_label, upper, cum);
+        }
+        emit_bucket("le=\"+Inf\"", Histogram::kMaxValue, histogram.Count());
         os << SeriesName(family, "_sum", labels) << ' ' << histogram.Sum()
            << '\n';
-        static constexpr std::pair<const char*, double> kQuantiles[] = {
-            {"quantile=\"0.5\"", 0.50},
-            {"quantile=\"0.9\"", 0.90},
-            {"quantile=\"0.99\"", 0.99},
-        };
-        for (const auto& [label, q] : kQuantiles) {
-          os << SeriesName(family, {}, labels, label) << ' '
-             << histogram.Quantile(q) << '\n';
-        }
+        os << SeriesName(family, "_count", labels) << ' ' << histogram.Count()
+           << '\n';
       });
 }
 

@@ -53,8 +53,9 @@ class Registry {
   const Histogram* FindHistogram(const std::string& name) const;
 
   // Prometheus text exposition: counters, then gauges, then histograms
-  // (rendered as summaries: _count, _sum and quantile series), each sorted
-  // by name with one `# TYPE` line per family.
+  // (rendered as real histograms: cumulative `_bucket{le="..."}` series
+  // incl. +Inf, then _sum and _count, with exemplar annotations on buckets
+  // that have one), each sorted by name with one `# TYPE` line per family.
   void ExpositionText(std::ostream& os) const;
   std::string ExpositionText() const;
 

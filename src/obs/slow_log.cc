@@ -3,16 +3,21 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/critical_path.h"
+
 namespace jdvs::obs {
 
 void SlowQueryLog::Offer(std::uint64_t trace_id, Micros duration_micros) {
   if (duration_micros < config_.threshold_micros || config_.capacity == 0) {
     return;
   }
-  // Render outside the lock: Offer is rare (slow queries only) but the
-  // render walks the sink's stripes.
+  // Render + critical path outside the lock: Offer is rare (slow queries
+  // only) but both walk the sink's stripes.
   Entry entry{trace_id, duration_micros,
-              sink_ != nullptr ? sink_->Render(trace_id) : std::string()};
+              sink_ != nullptr ? sink_->Render(trace_id) : std::string(),
+              sink_ != nullptr
+                  ? ComputeCriticalPath(sink_->SpansFor(trace_id)).Summary()
+                  : std::string()};
   std::lock_guard lock(mu_);
   ++offered_;
   if (entries_.size() >= config_.capacity &&
@@ -38,6 +43,9 @@ std::string SlowQueryLog::Render() const {
      << entries.size() << " retained):\n";
   for (const Entry& entry : entries) {
     os << "-- " << entry.duration_micros << " us --\n" << entry.rendered;
+    if (!entry.critical_path.empty()) {
+      os << "   critical path: " << entry.critical_path << '\n';
+    }
   }
   return os.str();
 }

@@ -32,7 +32,8 @@ class SlowQueryLog {
   struct Entry {
     std::uint64_t trace_id = 0;
     Micros duration_micros = 0;
-    std::string rendered;  // span tree captured at Offer() time
+    std::string rendered;       // span tree captured at Offer() time
+    std::string critical_path;  // top-2 critical-path stages, one line
   };
 
   // Considers one finished query; retains it when it is slower than the

@@ -68,18 +68,26 @@ void RenderSpanLine(std::ostream& os, const SpanRecord& span,
   os << '\n';
 }
 
+// Depth cap: malformed data (duplicate span ids acting as their own
+// ancestors, parent cycles) must render truncated, not recurse forever.
+constexpr int kMaxRenderDepth = 64;
+
 void RenderSubtree(
     std::ostream& os, const SpanRecord& span,
     const std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>>&
         children,
-    const std::string& prefix, bool last) {
+    const std::string& prefix, bool last, int depth) {
   RenderSpanLine(os, span, prefix, last);
   const auto it = children.find(span.span_id);
   if (it == children.end()) return;
   const std::string child_prefix = prefix + (last ? "   " : "|  ");
+  if (depth >= kMaxRenderDepth) {
+    os << child_prefix << "`- ... (depth cap)\n";
+    return;
+  }
   for (std::size_t i = 0; i < it->second.size(); ++i) {
     RenderSubtree(os, *it->second[i], children, child_prefix,
-                  i + 1 == it->second.size());
+                  i + 1 == it->second.size(), depth + 1);
   }
 }
 
@@ -104,18 +112,25 @@ std::string TraceSink::Render(std::uint64_t trace_id) const {
   os << " (" << (hi - lo) << " us, " << spans.size() << " spans)\n";
 
   // An orphan (parent dropped by the sink cap or still unfinished) renders
-  // as a root rather than disappearing.
+  // as a root rather than disappearing; a self-parent span counts as an
+  // orphan too so it cannot become its own subtree.
   std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> children;
   std::vector<const SpanRecord*> roots;
   for (const SpanRecord& span : spans) {
-    if (span.parent_span_id != 0 && by_id.count(span.parent_span_id)) {
+    if (span.parent_span_id != 0 && span.parent_span_id != span.span_id &&
+        by_id.count(span.parent_span_id)) {
       children[span.parent_span_id].push_back(&span);
     } else {
       roots.push_back(&span);
     }
   }
+  if (roots.empty()) {
+    // Parent cycle (every parent id resolves): render the earliest span as
+    // root so the trace still shows up; the depth cap stops the loop.
+    roots.push_back(&spans.front());
+  }
   for (std::size_t i = 0; i < roots.size(); ++i) {
-    RenderSubtree(os, *roots[i], children, "", i + 1 == roots.size());
+    RenderSubtree(os, *roots[i], children, "", i + 1 == roots.size(), 0);
   }
   return os.str();
 }

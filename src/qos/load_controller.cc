@@ -76,6 +76,7 @@ void LoadController::MaybeRotate(Micros now) {
       steps_up_.fetch_add(1, std::memory_order_relaxed);
       steps_up_total_->Increment();
       overloaded_streak_ = 0;  // a further step needs a fresh streak
+      if (step_up_listener_) step_up_listener_(level);
     }
   } else if (calm) {
     overloaded_streak_ = 0;

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 
 #include "common/clock.h"
@@ -69,6 +70,16 @@ class LoadController {
   // recovery backoff loop) even while no queries complete.
   void Poll();
 
+  // Called (with the new level) after every step *up* the ladder — the
+  // "cluster just degraded itself" anomaly hook the flight recorder dumps
+  // on. Invoked under the rotation mutex from whichever completion thread
+  // crossed the window boundary, so the listener must be cheap and must not
+  // re-enter this controller.
+  void SetStepUpListener(std::function<void(int)> listener) {
+    std::lock_guard lock(rotate_mu_);
+    step_up_listener_ = std::move(listener);
+  }
+
   std::uint64_t steps_up() const {
     return steps_up_.load(std::memory_order_relaxed);
   }
@@ -96,6 +107,7 @@ class LoadController {
   std::mutex rotate_mu_;
   int overloaded_streak_ = 0;  // guarded by rotate_mu_
   int calm_streak_ = 0;        // guarded by rotate_mu_
+  std::function<void(int)> step_up_listener_;  // guarded by rotate_mu_
 
   obs::Gauge* level_gauge_;
   obs::Counter* steps_up_total_;

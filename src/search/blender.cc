@@ -43,6 +43,9 @@ Blender::Blender(std::string name, const Config& config,
       obs::Labeled("jdvs_qos_degraded_queries_total", "level", "2"));
   total_stage_ = &registry.GetHistogram(
       obs::Labeled("jdvs_stage_micros", "stage", "query_total"));
+  // End-to-end latency carries exemplars: a p99 bucket links straight to a
+  // concrete trace id / flight-record ordinal.
+  total_stage_->EnableExemplars();
   extract_stage_ = &registry.GetHistogram(
       obs::Labeled("jdvs_stage_micros", "stage", "extract"));
   rank_stage_ = &registry.GetHistogram(
@@ -96,6 +99,13 @@ struct Blender::RequestState {
   QueryOptions options;
   qos::Deadline deadline;
   Stopwatch watch;
+  // Flight-recorder stage decomposition, filled in as the chain advances.
+  // `submitted_micros` is stamped at SearchAsync so the queue-wait stage
+  // covers admission + pool queue + hop (watch.Restart() excludes them
+  // from the response time on purpose).
+  Micros submitted_micros = 0;
+  Micros fanout_dispatched_micros = 0;
+  obs::FlightRecord flight;
   obs::Span root;  // owned here so the trace spans every thread hop
   QueryResponse response;
   CategoryId category_filter = kNoCategoryFilter;
@@ -169,6 +179,8 @@ void Blender::SearchAsync(const QueryImage& query, const QueryOptions& options,
   state->ticket = *std::move(ticket);
   state->options = options;
   state->deadline = deadline;
+  state->submitted_micros = MonotonicClock::Instance().NowMicros();
+  state->flight.start_micros = state->submitted_micros;
   node_.InvokeAsync(
       [this, state, query] { BeginQuery(state, query); },
       [state](AsyncResult<void> begun) {
@@ -185,6 +197,9 @@ void Blender::SearchAsync(const QueryImage& query, const QueryOptions& options,
 void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
                          const QueryImage& query) {
   state->watch.Restart();  // response time excludes queue/hop, as before
+  state->flight.set_stage(
+      obs::FlightStage::kQueueWait,
+      MonotonicClock::Instance().NowMicros() - state->submitted_micros);
   // Sampled 1-in-N by the tracer; an unsampled root makes every child span
   // below (extract, broker fan-out, searcher scans, rank) a no-op.
   state->root = tracer_->StartTrace("query", node_.name());
@@ -217,7 +232,9 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
     }
     feature = embedder_.ExtractQuery(query.subject_product,
                                      query.true_category, query.query_seed);
-    extract_stage_->Record(extract_watch.ElapsedMicros());
+    const Micros extract_micros = extract_watch.ElapsedMicros();
+    extract_stage_->Record(extract_micros);
+    state->flight.set_stage(obs::FlightStage::kExtract, extract_micros);
   }
 
   // Extraction (plus the queue time before it) may have eaten the whole
@@ -227,6 +244,8 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
     root.AddTag("deadline_exceeded", std::uint64_t{1});
     root.SetError("deadline exceeded");
     root.Finish();
+    RecordFlight(*state, state->watch.ElapsedMicros(), /*error=*/true,
+                 /*cache_hit=*/false);
     state->Fail(
         std::make_exception_ptr(qos::DeadlineExceededError(node_.name())));
     return;
@@ -262,7 +281,10 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
       cached->trace_id = state->response.trace_id;
       queries_.fetch_add(1, std::memory_order_relaxed);
       queries_total_->Increment();
-      total_stage_->Record(cached->total_micros);
+      const std::uint64_t flight_ordinal = RecordFlight(
+          *state, cached->total_micros, /*error=*/false, /*cache_hit=*/true);
+      total_stage_->RecordWithExemplar(cached->total_micros,
+                                       cached->trace_id, flight_ordinal);
       root.AddTag("cache", "hit");
       root.Finish();
       if (config_.slow_log != nullptr && cached->trace_id != 0) {
@@ -298,6 +320,7 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
   //    continuation, not a network hop).
   state->fetch_k = state->skip_rerank ? state->options.k : state->options.k * 2;
   state->response.brokers_asked = brokers_.size();
+  state->fanout_dispatched_micros = MonotonicClock::Instance().NowMicros();
   auto collector = FanInCollector<Broker::Reply>::Create(
       brokers_.size(),
       [this, state](std::vector<AsyncResult<Broker::Reply>> slots) {
@@ -341,6 +364,23 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
 // ranking, cache fill, span finish, callback delivery.
 void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
                           std::vector<AsyncResult<Broker::Reply>> slots) {
+  // The fan-out wall closes here (last broker completion + the re-post to
+  // this pool); its scan/hedge/fan-in decomposition comes from the replies.
+  const Micros fanout_wall = MonotonicClock::Instance().NowMicros() -
+                             state->fanout_dispatched_micros;
+  state->flight.set_stage(obs::FlightStage::kFanOut, fanout_wall);
+  Micros scan_micros = 0;
+  Micros hedge_wait_micros = 0;
+  for (const auto& slot : slots) {
+    if (!slot.ok()) continue;
+    scan_micros = std::max(scan_micros, slot.value->slowest_attempt_micros);
+    hedge_wait_micros =
+        std::max(hedge_wait_micros, slot.value->hedge_wait_micros);
+  }
+  state->flight.set_stage(obs::FlightStage::kScan, scan_micros);
+  state->flight.set_stage(obs::FlightStage::kHedgeWait, hedge_wait_micros);
+  state->flight.set_stage(obs::FlightStage::kFanIn,
+                          fanout_wall - scan_micros - hedge_wait_micros);
   // The budget died somewhere below (broker queues, searcher scans, or the
   // hops between): the answer is late by definition, so fail it typed
   // instead of merging partial results nobody will wait for. Completions
@@ -352,6 +392,7 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
     state->root.AddTag("deadline_exceeded", std::uint64_t{1});
     state->root.SetError("deadline exceeded");
     state->root.Finish();
+    RecordFlight(*state, elapsed, /*error=*/true, /*cache_hit=*/false);
     if (config_.load_controller != nullptr) {
       config_.load_controller->Observe(elapsed, admission_.total_in_flight());
     }
@@ -414,7 +455,9 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
           RankResults(std::move(merged), state->response.detected_category,
                       config_.ranking, state->options.k);
     }
-    rank_stage_->Record(rank_watch.ElapsedMicros());
+    const Micros rank_micros = rank_watch.ElapsedMicros();
+    rank_stage_->Record(rank_micros);
+    state->flight.set_stage(obs::FlightStage::kRank, rank_micros);
   }
   state->response.total_micros = state->watch.ElapsedMicros();
   if (cache_) {
@@ -424,7 +467,11 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
   }
   queries_.fetch_add(1, std::memory_order_relaxed);
   queries_total_->Increment();
-  total_stage_->Record(state->response.total_micros);
+  const std::uint64_t flight_ordinal =
+      RecordFlight(*state, state->response.total_micros, /*error=*/false,
+                   /*cache_hit=*/false);
+  total_stage_->RecordWithExemplar(state->response.total_micros,
+                                   state->response.trace_id, flight_ordinal);
   if (config_.load_controller != nullptr) {
     config_.load_controller->Observe(state->response.total_micros,
                                      admission_.total_in_flight());
@@ -435,7 +482,25 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
     config_.slow_log->Offer(state->response.trace_id,
                             state->response.total_micros);
   }
+  if (config_.critical_paths != nullptr && state->response.trace_id != 0) {
+    // Sampled query: fold its critical path into the per-stage histograms
+    // (the spans are complete now that the root finished).
+    config_.critical_paths->Observe(state->response.trace_id);
+  }
   state->Fulfill(std::move(state->response));
+}
+
+std::uint64_t Blender::RecordFlight(RequestState& state, Micros total_micros,
+                                    bool error, bool cache_hit) {
+  if (config_.flight_recorder == nullptr) return 0;
+  state.flight.trace_id = state.response.trace_id;
+  state.flight.total_micros = total_micros;
+  state.flight.degradation_level =
+      static_cast<std::int8_t>(state.response.degradation_level);
+  state.flight.degraded = state.response.degraded;
+  state.flight.cache_hit = cache_hit;
+  state.flight.error = error;
+  return config_.flight_recorder->Record(state.flight);
 }
 
 }  // namespace jdvs

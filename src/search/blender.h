@@ -27,6 +27,8 @@
 #include "embedding/extractor.h"
 #include "net/node.h"
 #include "net/rpc.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
@@ -104,6 +106,12 @@ class Blender {
     obs::Registry* registry = nullptr;
     obs::Tracer* tracer = nullptr;
     obs::SlowQueryLog* slow_log = nullptr;
+    // Performance diagnosis (null = off). The flight recorder receives a
+    // stage-timing record for *every* completed query (sampled or not); the
+    // aggregator folds each sampled query's critical path into registry
+    // histograms after the root span finishes.
+    obs::FlightRecorder* flight_recorder = nullptr;
+    obs::CriticalPathAggregator* critical_paths = nullptr;
   };
 
   Blender(std::string name, const Config& config,
@@ -166,6 +174,14 @@ class Blender {
                   const QueryImage& query);
   void FinishQuery(const std::shared_ptr<RequestState>& state,
                    std::vector<AsyncResult<Broker::Reply>> slots);
+
+  // Files the request's stage timings with the flight recorder (every
+  // completion path: success, cache hit, deadline death). Returns the
+  // record's ordinal (0 when no recorder is wired), used as the exemplar
+  // ref on the query_total histogram so even unsampled queries stay
+  // findable from a latency bucket.
+  std::uint64_t RecordFlight(RequestState& state, Micros total_micros,
+                             bool error, bool cache_hit);
 
   // Resolves the query's latency budget (explicit, configured default, or
   // unlimited) into an absolute deadline.

@@ -108,6 +108,18 @@ Micros Broker::replica_latency_ewma(std::size_t partition,
   return local_latency_[partition][replica].load(std::memory_order_relaxed);
 }
 
+namespace {
+
+void FoldMax(std::atomic<Micros>& target, Micros value) {
+  Micros current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 // One collector slot's dispatch state: the candidate list plus the
 // arbitration between its racing attempts (primary, failovers, a hedge).
 // `completed` is the slot-level first-completion-wins flag — the node-level
@@ -123,6 +135,8 @@ struct Broker::Slot {
   // zero with the candidate list exhausted fails the slot.
   std::atomic<std::size_t> outstanding{0};
   std::atomic<std::uint64_t> hedge_timer{0};  // pending TimerId (0 = none)
+  // First (primary) dispatch time; a hedge win's wait is measured from it.
+  std::atomic<Micros> first_dispatched_at{0};
   std::mutex error_mu;
   std::exception_ptr last_error;  // guarded by error_mu
 
@@ -159,6 +173,10 @@ struct Broker::FanOutState {
   std::shared_ptr<FanInCollector<std::vector<SearchHit>>> collector;
   std::atomic<std::uint64_t> failovers{0};
   std::atomic<std::uint64_t> hedge_wins{0};
+  // Diagnosis fold for Reply: the winning attempt of the slowest slot (the
+  // scan that gated this broker) and the worst hedge-win dispatch gap.
+  std::atomic<Micros> slowest_attempt{0};
+  std::atomic<Micros> max_hedge_wait{0};
 };
 
 void Broker::SearchAsync(FeatureVector query, std::size_t k,
@@ -372,6 +390,10 @@ bool Broker::TryDispatchNext(const std::shared_ptr<FanOutState>& state,
     primary_dispatches_.fetch_add(1, std::memory_order_relaxed);
   }
   const Micros dispatched_at = MonotonicClock::Instance().NowMicros();
+  Micros expected_first = 0;
+  slot.first_dispatched_at.compare_exchange_strong(expected_first,
+                                                   dispatched_at,
+                                                   std::memory_order_relaxed);
   // Hedge/failover dispatches can come from a timer or a searcher thread;
   // scope the RPC source so fault-injection links stay (broker -> searcher).
   RpcSourceScope rpc_source(node_.name());
@@ -424,10 +446,17 @@ void Broker::OnAttemptResult(const std::shared_ptr<FanOutState>& state,
   if (result.ok()) {
     if (!slot.completed.exchange(true, std::memory_order_acq_rel)) {
       slot.CancelHedgeTimer();
+      // The winning attempt's wall time is this slot's contribution to the
+      // fan-out's scan stage; the slowest such slot gated the merge.
+      FoldMax(state->slowest_attempt,
+              MonotonicClock::Instance().NowMicros() - dispatched_at);
       if (is_hedge) {
         hedge_wins_.fetch_add(1, std::memory_order_relaxed);
         hedge_wins_total_->Increment();
         state->hedge_wins.fetch_add(1, std::memory_order_relaxed);
+        FoldMax(state->max_hedge_wait,
+                dispatched_at -
+                    slot.first_dispatched_at.load(std::memory_order_relaxed));
       }
       state->collector->Complete(slot_idx, std::move(result));
     }
@@ -527,7 +556,12 @@ void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
   if (hedge_wins > 0) state->span.AddTag("hedge_wins", hedge_wins);
   // "The broker then combines the results from its subset of searchers."
   reply.hits = MergeHits(std::move(partials), state->k);
-  fanout_stage_->Record(state->watch.ElapsedMicros());
+  reply.slowest_attempt_micros =
+      state->slowest_attempt.load(std::memory_order_relaxed);
+  reply.hedge_wait_micros =
+      state->max_hedge_wait.load(std::memory_order_relaxed);
+  reply.fanout_micros = state->watch.ElapsedMicros();
+  fanout_stage_->Record(reply.fanout_micros);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   state->span.Finish();
   state->on_done(SearchResult::Ok(std::move(reply)));

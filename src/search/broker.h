@@ -80,6 +80,13 @@ class Broker {
   struct Reply {
     std::vector<SearchHit> hits;
     std::size_t partitions_failed = 0;
+    // Diagnosis breakdown for the blender's flight record: the winning
+    // attempt of the slowest-contributing slot (the scan that gated this
+    // broker), the worst primary->hedge dispatch gap among hedge wins, and
+    // the whole dispatch->merge wall at this broker.
+    Micros slowest_attempt_micros = 0;
+    Micros hedge_wait_micros = 0;
+    Micros fanout_micros = 0;
   };
   using SearchResult = AsyncResult<Reply>;
   using SearchCallback = std::function<void(SearchResult)>;

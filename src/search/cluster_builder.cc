@@ -74,12 +74,41 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     });
   }
 
+  // Performance-diagnosis layer: always-on flight recorder (every query,
+  // sampled or not) + critical-path aggregator over sampled span trees.
+  if (config_.enable_flight_recorder) {
+    obs::FlightRecorder::Config frc;
+    frc.stripes = std::max<std::size_t>(config_.flight_recorder_stripes, 1);
+    frc.capacity_per_stripe = std::max<std::size_t>(
+        config_.flight_recorder_capacity / frc.stripes, 1);
+    frc.slo_micros = config_.flight_slo_micros > 0
+                         ? config_.flight_slo_micros
+                         : config_.slow_query_threshold_micros;
+    flight_recorder_ = std::make_unique<obs::FlightRecorder>(
+        frc, MonotonicClock::Instance(), registry_);
+  }
+  if (config_.trace_sample_every > 0) {
+    critical_paths_ =
+        std::make_unique<obs::CriticalPathAggregator>(trace_sink_, registry_);
+  }
+
   // Shared degradation controller (only when a trigger is configured, so
   // pre-QoS clusters pay nothing on the query path).
   if (config_.load_control.p99_degrade_micros > 0 ||
       config_.load_control.queue_degrade_depth > 0) {
     load_controller_ = std::make_unique<qos::LoadController>(
         config_.load_control, MonotonicClock::Instance(), registry_);
+    if (flight_recorder_ != nullptr) {
+      // A degradation step-up is an anomaly worth the queries around it:
+      // freeze the ring so the overload's onset is inspectable after the
+      // fact. The recorder only takes its own locks, so calling it from
+      // under the controller's rotation mutex is safe.
+      obs::FlightRecorder* recorder = flight_recorder_.get();
+      load_controller_->SetStepUpListener([recorder](int level) {
+        recorder->DumpOnAnomaly("qos degradation stepped up to level " +
+                                std::to_string(level));
+      });
+    }
   }
 
   // Brokers: contiguous partition ranges ("each broker asks a subset of
@@ -147,6 +176,8 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
     lc.registry = registry_;
     lc.tracer = tracer_.get();
     lc.slow_log = slow_log_.get();
+    lc.flight_recorder = flight_recorder_.get();
+    lc.critical_paths = critical_paths_.get();
     blenders_.push_back(std::make_unique<Blender>(
         "blender-" + std::to_string(i), lc, embedder_, detector_,
         all_brokers));
@@ -172,6 +203,49 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
       b->node().set_fault_injector(config_.fault_injector);
     }
   }
+
+  // Per-tier pool queue-wait histograms: how long submitted work sat in a
+  // node pool's queue before a worker picked it up — the saturation signal
+  // the depth gauges only show as a point sample.
+  auto attach_queue_wait = [this](Node& node, const char* tier) {
+    node.pool().set_queue_wait_histogram(&registry_->GetHistogram(
+        obs::Labeled("jdvs_pool_queue_wait_micros", "tier", tier)));
+  };
+  for (const auto& b : blenders_) attach_queue_wait(b->node(), "blender");
+  for (const auto& b : brokers_) attach_queue_wait(b->node(), "broker");
+  for (const auto& s : searchers_) attach_queue_wait(s->node(), "searcher");
+
+  // Introspection pages. Cluster state reaches statusz through sections, so
+  // obs keeps no dependency on search/ctrl/qos.
+  introspection_ = std::make_unique<obs::Introspection>();
+  introspection_->SetRegistry(registry_);
+  introspection_->SetTraceSink(trace_sink_);
+  introspection_->SetSlowLog(slow_log_.get());
+  introspection_->SetFlightRecorder(flight_recorder_.get());
+  introspection_->AddStatusSection(
+      "cluster", [this](std::ostream& os) { os << StatusReport(); });
+  introspection_->AddStatusSection("admission", [this](std::ostream& os) {
+    for (const auto& b : blenders_) {
+      const qos::AdmissionController& a = b->admission();
+      os << b->name() << ": in_flight=" << a.total_in_flight()
+         << " admitted=" << a.admitted(qos::Priority::kInteractive) << "/"
+         << a.admitted(qos::Priority::kBackground)
+         << " shed=" << a.shed(qos::Priority::kInteractive) << "/"
+         << a.shed(qos::Priority::kBackground)
+         << " (interactive/background)\n";
+    }
+  });
+  introspection_->AddStatusSection("pools", [this](std::ostream& os) {
+    auto row = [&os](Node& node) {
+      const ThreadPool& pool = node.pool();
+      os << node.name() << ": busy=" << pool.busy_threads() << "/"
+         << pool.num_threads() << " (peak " << pool.peak_busy_threads()
+         << ") queue=" << pool.queue_depth() << " (peak "
+         << pool.peak_queue_depth() << ")\n";
+    };
+    for (const auto& b : blenders_) row(b->node());
+    for (const auto& b : brokers_) row(b->node());
+  });
 }
 
 VisualSearchCluster::~VisualSearchCluster() { Stop(); }

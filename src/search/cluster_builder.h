@@ -26,6 +26,9 @@
 #include "net/fault_injector.h"
 #include "net/load_balancer.h"
 #include "net/partitioner.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspection.h"
 #include "obs/registry.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
@@ -130,6 +133,15 @@ struct ClusterConfig {
   // log (worst `slow_log_capacity` retained).
   Micros slow_query_threshold_micros = 500'000;
   std::size_t slow_log_capacity = 8;
+  // Performance diagnosis: the always-on flight recorder files a stage
+  // record for every query (sampled or not). Disable only to measure its
+  // own overhead; the fault-free cost is one striped spinlock per query.
+  bool enable_flight_recorder = true;
+  std::size_t flight_recorder_stripes = 8;
+  std::size_t flight_recorder_capacity = 4096;  // total ring, across stripes
+  // SLO breach threshold for DumpOnAnomaly; 0 = use
+  // slow_query_threshold_micros (the same "this query was too slow" line).
+  Micros flight_slo_micros = 0;
 
   std::uint64_t seed = 2018;
 };
@@ -251,6 +263,15 @@ class VisualSearchCluster {
   obs::TraceSink& trace_sink() { return *trace_sink_; }
   obs::Tracer& tracer() { return *tracer_; }
   obs::SlowQueryLog& slow_log() { return *slow_log_; }
+  // Null when enable_flight_recorder is false.
+  obs::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+  // Per-stage critical-path aggregator (null when tracing is off — with no
+  // sampled span trees there is nothing to attribute).
+  obs::CriticalPathAggregator* critical_paths() {
+    return critical_paths_.get();
+  }
+  // statusz / tracez / metricz pages over this cluster's live state.
+  obs::Introspection& introspection() { return *introspection_; }
 
   // Snapshots every node pool's saturation stats into the registry as
   // jdvs_pool_busy_threads{node=...} / jdvs_pool_queue_depth{node=...}
@@ -291,6 +312,13 @@ class VisualSearchCluster {
   // referenced from searcher/blender callbacks, so they outlive both tiers.
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
+  // Diagnosis layer precedes the tiers for the same reason as the load
+  // controller: blender completion callbacks write flight records and fold
+  // critical paths during teardown, so the recorder/aggregator must outlive
+  // the blenders (declared earlier = destroyed later).
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
+  std::unique_ptr<obs::CriticalPathAggregator> critical_paths_;
+  std::unique_ptr<obs::Introspection> introspection_;
   std::unique_ptr<qos::LoadController> load_controller_;
   std::unique_ptr<ctrl::ReplicaStateTable> replica_states_;
   std::vector<std::unique_ptr<Searcher>> searchers_;

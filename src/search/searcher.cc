@@ -29,7 +29,11 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
           "jdvs_searcher_updates_deduped_total", "searcher",
           node_.name()))),
       deadline_exceeded_(&registry_->GetCounter(obs::Labeled(
-          "jdvs_qos_deadline_exceeded_total", "tier", "searcher"))) {}
+          "jdvs_qos_deadline_exceeded_total", "tier", "searcher"))) {
+  // Scan latency carries exemplars: a slow bucket links to the trace that
+  // produced it (sampled queries only -- unsampled scans have no trace id).
+  scan_stage_->EnableExemplars();
+}
 
 Searcher::~Searcher() {
   // Quiesce the scan pool before any member teardown. With per-RPC timeouts
@@ -157,7 +161,7 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
         auto hits = SearchLocal(query, k, nprobe, category_filter);
         const Micros elapsed = watch.ElapsedMicros();
         scan_micros_->Record(elapsed);
-        scan_stage_->Record(elapsed);
+        scan_stage_->RecordWithExemplar(elapsed, span.context().trace_id);
         span.AddTag("hits", static_cast<std::uint64_t>(hits.size()));
         return hits;
       },

@@ -8,6 +8,7 @@
 #include "metrics/latency_recorder.h"
 #include "metrics/qps_counter.h"
 #include "metrics/time_series.h"
+#include "obs/registry.h"
 
 namespace jdvs {
 namespace {
@@ -108,6 +109,61 @@ TEST(CdfPrintTest, MonotoneOutputEndsAtOne) {
   EXPECT_GT(rows, 2);
   EXPECT_LE(rows, 15);  // downsampled
   EXPECT_DOUBLE_EQ(last_f, 1.0);
+}
+
+// Regression test for the Prometheus histogram exposition: `_bucket` series
+// must be cumulative, ascending in `le`, end with `le="+Inf"` equal to the
+// count, and agree with _sum/_count. (An earlier rendering emitted summary
+// quantiles instead, which scrapers cannot aggregate across instances.)
+TEST(HistogramExpositionTest, CumulativeBucketsParseCorrectly) {
+  obs::Registry registry;
+  Histogram& h =
+      registry.GetHistogram(obs::Labeled("jdvs_resp_micros", "tier", "web"));
+  const std::int64_t values[] = {3, 40, 40, 512, 9000, 70000, 70001};
+  std::int64_t expected_sum = 0;
+  for (const std::int64_t v : values) {
+    h.Record(v);
+    expected_sum += v;
+  }
+
+  const std::string text = registry.ExpositionText();
+  std::istringstream is(text);
+  std::string line;
+  std::int64_t last_upper = -1;
+  std::uint64_t last_cum = 0;
+  std::uint64_t inf_cum = 0;
+  int buckets = 0;
+  bool saw_inf = false;
+  while (std::getline(is, line)) {
+    const std::string prefix = "jdvs_resp_micros_bucket{tier=\"web\",le=\"";
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t le_end = line.find('"', prefix.size());
+    ASSERT_NE(le_end, std::string::npos);
+    const std::string le = line.substr(prefix.size(), le_end - prefix.size());
+    const std::uint64_t cum =
+        std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(cum, last_cum) << "buckets must be cumulative: " << line;
+    last_cum = cum;
+    if (le == "+Inf") {
+      saw_inf = true;
+      inf_cum = cum;
+      continue;
+    }
+    EXPECT_FALSE(saw_inf) << "+Inf must be the last bucket";
+    const std::int64_t upper = std::stoll(le);
+    EXPECT_GT(upper, last_upper) << "le bounds must ascend: " << line;
+    last_upper = upper;
+    ++buckets;
+  }
+  EXPECT_GE(buckets, 4);  // 7 values spread over >= 4 distinct buckets
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf_cum, 7u);  // +Inf == observation count
+
+  EXPECT_NE(text.find("jdvs_resp_micros_count{tier=\"web\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("jdvs_resp_micros_sum{tier=\"web\"} " +
+                      std::to_string(expected_sum) + "\n"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -662,7 +662,8 @@ TEST(ClusterObservabilityTest, RegistryMatchesComponentCounters) {
             std::string::npos);
   EXPECT_NE(text.find("# TYPE jdvs_realtime_updates_total counter"),
             std::string::npos);
-  EXPECT_NE(text.find("# TYPE jdvs_stage_micros summary"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jdvs_stage_micros histogram"), std::string::npos);
+  EXPECT_NE(text.find("jdvs_stage_micros_bucket{"), std::string::npos);
   cluster->Stop();
 }
 

@@ -1,9 +1,15 @@
-// Tests for trace file persistence and replay.
+// Tests for trace file persistence and replay, plus span-tree edge cases:
+// the tooling that renders or analyzes span trees (TraceSink::Render,
+// ComputeCriticalPath) must degrade gracefully on malformed input — orphan
+// spans, out-of-order finishes, duplicate span ids, cycles — because a
+// lossy fabric and capacity-bounded sink can produce all of them.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
 
+#include "obs/critical_path.h"
+#include "obs/trace.h"
 #include "workload/catalog_gen.h"
 #include "workload/trace_io.h"
 
@@ -109,6 +115,88 @@ TEST_F(TraceIoTest, TruncatedFileThrows) {
   std::filesystem::resize_file(path_, size - size / 4);
   EXPECT_THROW(ReplayTraceFile(path_, [](const TraceEvent&) {}),
                TraceIoError);
+}
+
+// ---- Span-tree edge cases ----
+
+obs::SpanRecord MakeSpan(std::uint64_t span_id, std::uint64_t parent,
+                         const char* name, Micros start, Micros end) {
+  obs::SpanRecord span;
+  span.trace_id = 0x42;
+  span.span_id = span_id;
+  span.parent_span_id = parent;
+  span.name = name;
+  span.start_micros = start;
+  span.end_micros = end;
+  return span;
+}
+
+TEST(SpanTreeEdgeCaseTest, OrphanSpanRendersAtRoot) {
+  obs::TraceSink sink;
+  sink.Record(MakeSpan(1, 0, "query", 0, 1000));
+  // Parent 99 was dropped by the capacity bound: render at the root.
+  sink.Record(MakeSpan(2, 99, "searcher.scan", 100, 400));
+  const std::string tree = sink.Render(0x42);
+  EXPECT_NE(tree.find("query"), std::string::npos);
+  EXPECT_NE(tree.find("searcher.scan"), std::string::npos);
+
+  const auto report =
+      obs::ComputeCriticalPath(sink.SpansFor(0x42));
+  EXPECT_FALSE(report.empty());
+  EXPECT_GT(report.total_micros, 0);
+}
+
+TEST(SpanTreeEdgeCaseTest, OutOfOrderFinishTimes) {
+  obs::TraceSink sink;
+  // Child finishes *after* its parent (hedge straggler whose reply lost).
+  sink.Record(MakeSpan(1, 0, "query", 0, 500));
+  sink.Record(MakeSpan(2, 1, "searcher.scan", 100, 900));
+  EXPECT_NE(sink.Render(0x42).find("searcher.scan"), std::string::npos);
+  const auto report = obs::ComputeCriticalPath(sink.SpansFor(0x42));
+  Micros total = 0;
+  for (const auto& segment : report.segments) {
+    EXPECT_GE(segment.micros, 0);
+    total += segment.micros;
+  }
+  EXPECT_EQ(total, 500);  // clamped to the root's window
+}
+
+TEST(SpanTreeEdgeCaseTest, DuplicateSpanIds) {
+  obs::TraceSink sink;
+  sink.Record(MakeSpan(1, 0, "query", 0, 1000));
+  // Two children with the same span id (id collision across tiers).
+  sink.Record(MakeSpan(2, 1, "scan-a", 100, 400));
+  sink.Record(MakeSpan(2, 1, "scan-b", 100, 600));
+  const std::string tree = sink.Render(0x42);
+  EXPECT_NE(tree.find("query"), std::string::npos);
+  EXPECT_FALSE(obs::ComputeCriticalPath(sink.SpansFor(0x42)).empty());
+}
+
+TEST(SpanTreeEdgeCaseTest, SelfParentAndCycles) {
+  obs::TraceSink sink;
+  sink.Record(MakeSpan(1, 1, "self", 0, 100));  // self-parent
+  EXPECT_FALSE(sink.Render(0x42).empty());
+
+  obs::TraceSink cycle_sink;
+  cycle_sink.Record(MakeSpan(1, 2, "a", 0, 100));  // 2-cycle
+  cycle_sink.Record(MakeSpan(2, 1, "b", 10, 90));
+  const std::string tree = cycle_sink.Render(0x42);
+  EXPECT_FALSE(tree.empty());
+  EXPECT_NE(tree.find("a"), std::string::npos);
+  EXPECT_FALSE(
+      obs::ComputeCriticalPath(cycle_sink.SpansFor(0x42)).empty());
+}
+
+TEST(SpanTreeEdgeCaseTest, DeepChainHitsDepthCap) {
+  obs::TraceSink sink;
+  // 200-deep parent chain: rendering must cap, not overflow the stack.
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    sink.Record(MakeSpan(i, i - 1, "hop", static_cast<Micros>(i),
+                         static_cast<Micros>(1000 - i)));
+  }
+  const std::string tree = sink.Render(0x42);
+  EXPECT_NE(tree.find("(depth cap)"), std::string::npos);
+  EXPECT_FALSE(obs::ComputeCriticalPath(sink.SpansFor(0x42)).empty());
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+// jdvs_statusz — render the introspection triad over a small live cluster.
+//
+// Builds a miniature testbed with the full diagnosis layer on (tracing,
+// flight recorder, critical-path aggregation), drives some traffic, then
+// prints the statusz / tracez / metricz pages. With --limp, one searcher
+// replica gets injected latency above the SLO so the pages show the layer
+// catching a real anomaly: the flight recorder dumps, the critical path
+// points at the slow scan, and the latency histogram carries an exemplar
+// into the offending trace.
+//
+//   jdvs_statusz [--queries=N] [--partitions=N] [--brokers=N] [--limp]
+//                [--limp-micros=N] [--slo-micros=N] [--no-metrics]
+//                [--seed=N]
+#include <cstdio>
+
+#include "jdvs/jdvs.h"
+
+int main(int argc, char** argv) {
+  using namespace jdvs;
+  const Flags flags(argc, argv);
+  const std::size_t num_queries =
+      static_cast<std::size_t>(flags.GetInt("queries", 20));
+  const bool limp = flags.GetBool("limp", false);
+  const Micros limp_micros = flags.GetInt("limp-micros", 40'000);
+  const bool print_metrics = !flags.GetBool("no-metrics", false);
+
+  FaultInjector injector;
+  ClusterConfig config;
+  config.num_partitions =
+      static_cast<std::size_t>(flags.GetInt("partitions", 4));
+  config.num_brokers = static_cast<std::size_t>(flags.GetInt("brokers", 2));
+  config.num_blenders = 1;
+  config.hop_latency = {.base_micros = 150, .jitter_median_micros = 100,
+                        .sigma = 0.6};
+  config.embedder = {.dim = 32, .num_categories = 8,
+                     .seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7))};
+  config.detector = {.num_categories = 8, .top1_accuracy = 1.0};
+  config.extraction = {.mean_micros = 0};
+  config.kmeans.num_clusters = 8;
+  config.ivf.nprobe = 4;
+  config.trace_sample_every = 1;  // trace everything, so tracez has trees
+  config.slow_query_threshold_micros = 25'000;
+  config.flight_slo_micros = flags.GetInt("slo-micros", 20'000);
+  config.fault_injector = &injector;
+
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+  }
+
+  std::printf("building %zu-partition / %zu-broker cluster...\n",
+              config.num_partitions, config.num_brokers);
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 400;
+  cg.num_categories = 8;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  if (limp) {
+    // Gray failure: partition 0's replica answers, just slowly — and slower
+    // than the flight SLO, so the recorder should freeze a dump.
+    injector.SetNode("searcher-p0-r0",
+                     LinkFaults{.added_latency_micros = limp_micros});
+    std::printf("injected +%lldus latency into searcher-p0-r0\n",
+                (long long)limp_micros);
+  }
+
+  std::printf("running %zu queries...\n\n", num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const ProductId product = 1 + static_cast<ProductId>(i * 37) % 400;
+    const auto record = cluster.catalog().Get(product);
+    cluster.Query(QueryImage{product, record->category, i + 1},
+                  QueryOptions{.k = 5});
+  }
+  cluster.SamplePoolGauges();
+
+  obs::Introspection& pages = cluster.introspection();
+  std::printf("%s\n", pages.StatusZ().c_str());
+  std::printf("%s\n", pages.TraceZ().c_str());
+  if (cluster.critical_paths() != nullptr) {
+    std::printf("---- critical path (aggregated) ----\n%s\n",
+                obs::RenderCriticalPathTable(cluster.registry()).c_str());
+  }
+  if (print_metrics) std::printf("%s", pages.MetricZ().c_str());
+  cluster.Stop();
+  return 0;
+}

@@ -1,15 +1,90 @@
-// jdvs_trace_stats — summarize a trace file (Table 1 / Figure 11(a) view).
+// jdvs_trace_stats — summarize a trace file (Table 1 / Figure 11(a) view),
+// or, with --critical-path, attribute query latency to pipeline stages on a
+// small live cluster: every query is traced, each span tree's critical path
+// is folded into jdvs_critical_path_micros{stage=...}, and the per-stage
+// table answers "where does the wall time actually go".
 //
-//   jdvs_trace_stats day.trace
+//   jdvs_trace_stats FILE
+//   jdvs_trace_stats --critical-path [--queries=N] [--partitions=N]
+//                    [--brokers=N] [--seed=N]
 #include <cstdio>
 
 #include "jdvs/jdvs.h"
 
+namespace {
+
+int RunCriticalPath(const jdvs::Flags& flags) {
+  using namespace jdvs;
+  const std::size_t num_queries =
+      static_cast<std::size_t>(flags.GetInt("queries", 50));
+
+  ClusterConfig config;
+  config.num_partitions =
+      static_cast<std::size_t>(flags.GetInt("partitions", 4));
+  config.num_brokers = static_cast<std::size_t>(flags.GetInt("brokers", 2));
+  config.num_blenders = 1;
+  config.hop_latency = {.base_micros = 150, .jitter_median_micros = 100,
+                        .sigma = 0.6};
+  config.embedder = {.dim = 32, .num_categories = 8,
+                     .seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7))};
+  config.detector = {.num_categories = 8, .top1_accuracy = 1.0};
+  config.extraction = {.mean_micros = 0};
+  config.kmeans.num_clusters = 8;
+  config.ivf.nprobe = 4;
+  config.trace_sample_every = 1;  // every query contributes a span tree
+
+  std::printf("building %zu-partition / %zu-broker cluster...\n",
+              config.num_partitions, config.num_brokers);
+  VisualSearchCluster cluster(config);
+  CatalogGenConfig cg;
+  cg.num_products = 400;
+  cg.num_categories = 8;
+  GenerateCatalog(cg, cluster.catalog(), cluster.image_store(),
+                  &cluster.features());
+  cluster.BuildAndInstallFullIndexes();
+  cluster.Start();
+
+  std::printf("running %zu queries (all traced)...\n\n", num_queries);
+  std::uint64_t last_trace = 0;
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const ProductId product = 1 + static_cast<ProductId>(i * 37) % 400;
+    const auto record = cluster.catalog().Get(product);
+    const QueryResponse response =
+        cluster.Query(QueryImage{product, record->category, i + 1},
+                      QueryOptions{.k = 5});
+    if (response.trace_id != 0) last_trace = response.trace_id;
+  }
+
+  std::printf("---- per-stage critical path over %zu queries ----\n%s\n",
+              num_queries,
+              obs::RenderCriticalPathTable(cluster.registry()).c_str());
+
+  if (last_trace != 0) {
+    const obs::CriticalPathReport report =
+        obs::ComputeCriticalPath(cluster.trace_sink().SpansFor(last_trace));
+    std::printf("last query (trace %016llx): %s\n",
+                (unsigned long long)last_trace, report.Summary(3).c_str());
+  }
+  cluster.Stop();
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace jdvs;
   const Flags flags(argc, argv);
+  if (flags.GetBool("critical-path", false)) {
+    const int rc = RunCriticalPath(flags);
+    for (const std::string& key : flags.UnusedKeys()) {
+      std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+    }
+    return rc;
+  }
   if (flags.positional().size() != 1) {
-    std::fprintf(stderr, "usage: jdvs_trace_stats FILE\n");
+    std::fprintf(stderr,
+                 "usage: jdvs_trace_stats FILE\n"
+                 "       jdvs_trace_stats --critical-path [--queries=N]\n");
     return 2;
   }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Lint jdvs_* metric families for kind conflicts.
+
+The registry keys instruments by (family, labels), but the *kind* (counter /
+gauge / histogram) is fixed per family in the Prometheus exposition: one
+`# TYPE fam kind` line covers every series of `fam`. Registering the same
+family name through two different Get/Find kinds therefore silently splits a
+family across types and corrupts the exposition. This lint scans the sources
+for `GetCounter("jdvs_...")` / `GetGauge(...)` / `GetHistogram(...)` (and
+the Find* variants) call sites, maps each jdvs_* family to the set of kinds
+it is used with, and fails when any family is claimed by more than one kind.
+
+Usage: python3 tools/lint_metric_names.py [repo_root]
+Exit status: 0 clean, 1 on conflict.
+"""
+
+import os
+import re
+import sys
+from collections import defaultdict
+
+# A call site is "<Get|Find><Kind>(" followed, within the same statement, by
+# a "jdvs_..." string literal — the lazy [^;]{0,200}? hop skips wrappers like
+# obs::Labeled("jdvs_...", ...) without crossing into the next statement.
+CALL_RE = re.compile(
+    r'\b(?:Get|Find)(Counter|Gauge|Histogram)\s*\('
+    r'[^;]{0,200}?"(jdvs_[a-zA-Z0-9_]*)"'
+)
+
+SCAN_DIRS = ("src", "tools", "bench", "tests")
+EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+
+def scan(root):
+    families = defaultdict(lambda: defaultdict(list))  # family -> kind -> sites
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for filename in filenames:
+                if not filename.endswith(EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    text = f.read()
+                for match in CALL_RE.finditer(text):
+                    kind, family = match.group(1), match.group(2)
+                    line = text.count("\n", 0, match.start()) + 1
+                    rel = os.path.relpath(path, root)
+                    families[family][kind.lower()].append(f"{rel}:{line}")
+    return families
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    families = scan(root)
+    if not families:
+        print("lint_metric_names: no jdvs_* call sites found", file=sys.stderr)
+        return 1
+    conflicts = {f: kinds for f, kinds in families.items() if len(kinds) > 1}
+    for family in sorted(conflicts):
+        kinds = conflicts[family]
+        print(f"CONFLICT: {family} registered as "
+              f"{' and '.join(sorted(kinds))}:")
+        for kind in sorted(kinds):
+            for site in kinds[kind]:
+                print(f"  {kind:<9} {site}")
+    total = len(families)
+    if conflicts:
+        print(f"\n{len(conflicts)} conflicting famil"
+              f"{'y' if len(conflicts) == 1 else 'ies'} out of {total}")
+        return 1
+    print(f"lint_metric_names: {total} jdvs_* families, no kind conflicts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
