@@ -2,32 +2,54 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
 
-#include "vecmath/distance.h"
+#include "vecmath/kernels.h"
 
 namespace jdvs {
 
 CoarseQuantizer::CoarseQuantizer(std::vector<float> centroids, std::size_t dim)
     : centroids_(std::move(centroids)),
       dim_(dim),
-      num_clusters_(dim == 0 ? 0 : centroids_.size() / dim) {
+      num_clusters_(dim == 0 ? 0 : centroids_.size() / dim),
+      padded_dim_(PaddedDim(dim)) {
   assert(dim_ > 0);
   assert(centroids_.size() % dim_ == 0);
   assert(num_clusters_ > 0);
+  // Padded, 64-byte-aligned mirror of the centroid table so assignment runs
+  // through the batch scan kernel (padding lanes are zero and contribute 0).
+  padded_centroids_ = AllocateAligned<float>(num_clusters_ * padded_dim_);
+  for (std::size_t c = 0; c < num_clusters_; ++c) {
+    std::memcpy(padded_centroids_.get() + c * padded_dim_,
+                centroids_.data() + c * dim_, dim_ * sizeof(float));
+  }
 }
 
 CoarseQuantizer::CoarseQuantizer(const KMeansResult& kmeans)
     : CoarseQuantizer(kmeans.centroids, kmeans.dim) {}
 
-std::uint32_t CoarseQuantizer::NearestCentroid(FeatureView v) const {
+void CoarseQuantizer::ScoreAll(FeatureView v, float* dists) const {
   assert(v.size() == dim_);
+  const DistanceKernels& kernels = Kernels();
+  // Zero-padded query row; reused scratch keeps the sweep allocation-free
+  // after the first call on a thread.
+  thread_local std::vector<float> padded_query;
+  padded_query.assign(padded_dim_, 0.f);
+  std::memcpy(padded_query.data(), v.data(), dim_ * sizeof(float));
+  kernels.l2sq_scan(padded_query.data(), padded_centroids_.get(), padded_dim_,
+                    padded_dim_, num_clusters_, dists);
+}
+
+std::uint32_t CoarseQuantizer::NearestCentroid(FeatureView v) const {
+  thread_local std::vector<float> dists;
+  dists.resize(num_clusters_);
+  ScoreAll(v, dists.data());
   float best = std::numeric_limits<float>::infinity();
   std::uint32_t best_c = 0;
   for (std::size_t c = 0; c < num_clusters_; ++c) {
-    const float d = L2SquaredDistance(v, Centroid(c));
-    if (d < best) {
-      best = d;
+    if (dists[c] < best) {
+      best = dists[c];
       best_c = static_cast<std::uint32_t>(c);
     }
   }
@@ -36,17 +58,36 @@ std::uint32_t CoarseQuantizer::NearestCentroid(FeatureView v) const {
 
 std::vector<std::uint32_t> CoarseQuantizer::NearestCentroids(
     FeatureView v, std::size_t nprobe) const {
-  assert(v.size() == dim_);
   nprobe = std::clamp<std::size_t>(nprobe, 1, num_clusters_);
-  std::vector<std::pair<float, std::uint32_t>> scored;
+  thread_local std::vector<float> dists;
+  dists.resize(num_clusters_);
+  ScoreAll(v, dists.data());
+  thread_local std::vector<std::pair<float, std::uint32_t>> scored;
+  scored.clear();
   scored.reserve(num_clusters_);
   for (std::size_t c = 0; c < num_clusters_; ++c) {
-    scored.emplace_back(L2SquaredDistance(v, Centroid(c)),
-                        static_cast<std::uint32_t>(c));
+    scored.emplace_back(dists[c], static_cast<std::uint32_t>(c));
   }
   std::partial_sort(scored.begin(), scored.begin() + nprobe, scored.end());
   std::vector<std::uint32_t> result(nprobe);
   for (std::size_t i = 0; i < nprobe; ++i) result[i] = scored[i].second;
+  return result;
+}
+
+std::vector<std::vector<std::uint32_t>> CoarseQuantizer::NearestCentroidsBatch(
+    std::span<const FeatureView> queries,
+    std::span<const std::size_t> nprobes) const {
+  assert(queries.size() == nprobes.size());
+  const std::size_t n = queries.size();
+  // Per-query ScoreAll, identical to the solo path — distances (and
+  // therefore probe order, including tie-breaks) match exactly, so batched
+  // and solo searches probe identical lists. The padded centroid table is
+  // one contiguous aligned block, so the sweep no longer needs the
+  // centroid-major loop order the old pointer-per-centroid layout wanted.
+  std::vector<std::vector<std::uint32_t>> result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result[i] = NearestCentroids(queries[i], nprobes[i]);
+  }
   return result;
 }
 

@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "vecmath/aligned.h"
 #include "vecmath/vector.h"
 
 namespace jdvs {
@@ -31,6 +33,14 @@ class CoarseQuantizer {
   std::vector<std::uint32_t> NearestCentroids(FeatureView v,
                                               std::size_t nprobe) const;
 
+  // Batched multi-probe assignment: result[i] is exactly
+  // NearestCentroids(queries[i], nprobes[i]), but the centroid table is
+  // walked once for the whole batch (centroid-major), so each centroid row
+  // is fetched from memory once regardless of batch size.
+  std::vector<std::vector<std::uint32_t>> NearestCentroidsBatch(
+      std::span<const FeatureView> queries,
+      std::span<const std::size_t> nprobes) const;
+
   FeatureView Centroid(std::size_t c) const {
     return FeatureView(centroids_.data() + c * dim_, dim_);
   }
@@ -38,9 +48,17 @@ class CoarseQuantizer {
   std::size_t dim() const { return dim_; }
 
  private:
+  // Squared distances from `v` to every centroid, via the batch scan kernel
+  // over the padded table. `dists` must hold num_clusters() floats.
+  void ScoreAll(FeatureView v, float* dists) const;
+
   std::vector<float> centroids_;
   std::size_t dim_;
   std::size_t num_clusters_;
+  std::size_t padded_dim_;
+  // Centroids re-laid-out at PaddedDim(dim) stride, 64-byte aligned, padding
+  // lanes zero — the layout the vecmath batch kernels scan fastest.
+  AlignedArray<float> padded_centroids_;
 };
 
 }  // namespace jdvs

@@ -2,21 +2,45 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <utility>
 
 #include "common/hash.h"
-#include "vecmath/distance.h"
+#include "vecmath/kernels.h"
 
 namespace jdvs {
+
+namespace {
+// Entries per contiguous scan run. Bounds the stack survivor buffers in
+// ScanListPadded; 256 rows of a 960-d (padded) feature are ~1 MB, well past
+// the L2 prefetch horizon, so longer runs buy nothing.
+constexpr std::size_t kScanRunEntries = 256;
+
+// Squared L2 norm with a float64 accumulator: appended once per row and
+// reused by every query, so spend the extra precision here rather than in
+// the hot kernel.
+float SquaredNorm(const float* v, std::size_t n) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(v[i]) * static_cast<double>(v[i]);
+  }
+  return static_cast<float>(s);
+}
+}  // namespace
 
 IvfIndex::IvfIndex(std::shared_ptr<const CoarseQuantizer> quantizer,
                    const IvfIndexConfig& config, CopyExecutor copy_executor)
     : quantizer_(std::move(quantizer)),
       config_(config),
-      features_(quantizer_->dim()) {
+      padded_dim_(PaddedDim(quantizer_->dim())),
+      pad_scratch_(AllocateAligned<float>(PaddedDim(quantizer_->dim()))) {
   lists_.reserve(quantizer_->num_clusters());
+  blocks_.reserve(quantizer_->num_clusters());
   for (std::size_t c = 0; c < quantizer_->num_clusters(); ++c) {
     lists_.push_back(std::make_unique<InvertedList>(
         config_.initial_list_capacity, copy_executor));
+    blocks_.push_back(std::make_unique<ScanBlock>(
+        padded_dim_ * sizeof(float), kScanRunEntries));
   }
 }
 
@@ -31,16 +55,21 @@ LocalId IvfIndex::AddImage(std::string_view image_url, ProductId product_id,
   const ImageId image_id = Fnv1a64(image_url);
   const LocalId local = forward_.Append(image_id, product_id, category,
                                         attributes, image_url, detail_url);
-  // 2. Feature stored so inverted-list scans can compute distances.
-  const std::size_t slot = features_.Append(feature);
-  (void)slot;
-  assert(slot == local);
-  // 3. "the inverted index list that the image belongs to is calculated
+  // 2. "the inverted index list that the image belongs to is calculated
   //    based on its high-dimensional features. The image ID is then added to
   //    the end of the inverted list and the last element position ... is
   //    updated in the auxiliary array."
   const std::uint32_t list = quantizer_->NearestCentroid(feature);
   lists_[list]->Append(local);
+  // 3. Feature row into the list's scan block (padding lanes stay zero: the
+  //    scratch row was zero-allocated and only dim() floats are rewritten).
+  std::memcpy(pad_scratch_.get(), feature.data(),
+              dim() * sizeof(float));
+  ScanBlock& block = *blocks_[list];
+  block.Append(local, pad_scratch_.get(),
+               SquaredNorm(pad_scratch_.get(), dim()));
+  local_feature_.push_back(
+      reinterpret_cast<const float*>(block.PayloadAt(block.size() - 1)));
   // 4. Valid and searchable from this moment (data freshness).
   valid_.Set(local, true);
   // Writer-side lookup state.
@@ -92,19 +121,66 @@ void IvfIndex::FinishPendingExpansions() {
   for (const auto& list : lists_) list->MaybeFinishExpansion();
 }
 
-void IvfIndex::ScanList(std::size_t list, FeatureView query,
-                        CategoryId category_filter, TopK& topk) const {
-  lists_[list]->Scan([&](LocalId local) {
-    // "Only the valid images are used" — the bitmap check costs one atomic
-    // load and skips the O(dim) distance for removed products.
-    if (config_.filter_invalid_during_scan && !valid_.Get(local)) return;
-    // Category scoping: the entry's category is immutable after append.
-    if (category_filter != kNoCategoryFilter &&
-        forward_.CategoryOf(local) != category_filter) {
-      return;
+const float* IvfIndex::PadQuery(FeatureView query, float* stack_buf,
+                                AlignedArray<float>& heap_buf) const {
+  float* dst;
+  if (padded_dim_ <= kMaxStackQueryFloats) {
+    dst = stack_buf;
+    std::memset(dst + dim(), 0, (padded_dim_ - dim()) * sizeof(float));
+  } else {
+    heap_buf = AllocateAligned<float>(padded_dim_);  // zero-initialized
+    dst = heap_buf.get();
+  }
+  std::memcpy(dst, query.data(), dim() * sizeof(float));
+  return dst;
+}
+
+void IvfIndex::ScanListPadded(std::size_t list, const float* padded_query,
+                              float query_norm, CategoryId category_filter,
+                              TopK& topk) const {
+  const DistanceKernels& kernels = Kernels();
+  const std::size_t stride = padded_dim_;
+  blocks_[list]->ForEachRun([&](const LocalId* ids,
+                                const std::uint8_t* payload,
+                                const float* norms, std::size_t count) {
+    const float* rows = reinterpret_cast<const float*>(payload);
+    // Fused distance + admission: the kernel computes every distance in the
+    // dot form against the block's precomputed row norms and compacts the
+    // candidates at or under the top-k threshold (<=, because a distance
+    // tie can still displace a larger id inside the heap) in one sweep —
+    // no per-run distance buffer, no second pass. Distances for invalid /
+    // off-category entries are computed and then discarded — on this layout
+    // a branchless linear sweep beats the seed's per-candidate skip, and
+    // removed products are rare.
+    //
+    // Sub-blocks of kFilterBlock entries refresh the threshold between
+    // kernel calls: on the first probed list the top-k starts empty
+    // (threshold +inf, everything "survives"), and the refresh caps that
+    // flood at one sub-block instead of the whole run. The threshold only
+    // tightens while offering, so a sub-block's survivors are a superset;
+    // each is re-checked against the freshest threshold before its Offer.
+    constexpr std::size_t kFilterBlock = 64;
+    std::uint32_t keep[kFilterBlock];
+    float keep_dist[kFilterBlock];
+    for (std::size_t b = 0; b < count; b += kFilterBlock) {
+      const std::size_t block = std::min(kFilterBlock, count - b);
+      float threshold = topk.Threshold();
+      const std::size_t kept = kernels.l2sq_scan_filter(
+          padded_query, query_norm, rows + b * stride, norms + b, stride,
+          stride, block, threshold, keep, keep_dist);
+      for (std::size_t s = 0; s < kept; ++s) {
+        const float dist = keep_dist[s];
+        if (dist > threshold) continue;
+        const LocalId local = ids[b + keep[s]];
+        if (config_.filter_invalid_during_scan && !valid_.Get(local)) continue;
+        if (category_filter != kNoCategoryFilter &&
+            forward_.CategoryOf(local) != category_filter) {
+          continue;
+        }
+        topk.Offer(local, dist);
+        threshold = topk.Threshold();
+      }
     }
-    const float d = L2SquaredDistance(query, features_.At(local));
-    topk.Offer(local, d);
   });
 }
 
@@ -122,6 +198,35 @@ SearchHit IvfIndex::MaterializeHit(const ScoredImage& scored) const {
   return hit;
 }
 
+std::vector<SearchHit> IvfIndex::MaterializeRanked(
+    std::span<const ScoredImage> ranked) const {
+  std::vector<SearchHit> hits;
+  hits.reserve(ranked.size());
+  for (const ScoredImage& scored : ranked) {
+    if (!config_.filter_invalid_during_scan &&
+        !valid_.Get(static_cast<LocalId>(scored.image_id))) {
+      continue;  // late filtering (ablation baseline)
+    }
+    hits.push_back(MaterializeHit(scored));
+  }
+  return hits;
+}
+
+std::vector<ScoredImage> IvfIndex::ScanProbes(
+    FeatureView query, std::size_t k, std::span<const std::uint32_t> probes,
+    CategoryId category_filter) const {
+  assert(query.size() == dim());
+  alignas(kCacheLineBytes) float stack_query[kMaxStackQueryFloats];
+  AlignedArray<float> heap_query;
+  const float* padded = PadQuery(query, stack_query, heap_query);
+  const float query_norm = SquaredNorm(padded, dim());
+  TopK topk(k);
+  for (const std::uint32_t list : probes) {
+    ScanListPadded(list, padded, query_norm, category_filter, topk);
+  }
+  return topk.TakeSorted();
+}
+
 std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
                                         std::size_t nprobe_override,
                                         CategoryId category_filter) const {
@@ -133,31 +238,81 @@ std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
   // standard multi-probe recall knob.
   const std::vector<std::uint32_t> probes =
       quantizer_->NearestCentroids(query, nprobe);
-  TopK topk(k);
-  for (const std::uint32_t list : probes) {
-    ScanList(list, query, category_filter, topk);
-  }
+  std::vector<ScoredImage> ranked =
+      ScanProbes(query, k, probes, category_filter);
+  return MaterializeRanked(ranked);
+}
 
-  std::vector<SearchHit> hits;
-  for (const ScoredImage& scored : topk.TakeSorted()) {
-    if (!config_.filter_invalid_during_scan &&
-        !valid_.Get(static_cast<LocalId>(scored.image_id))) {
-      continue;  // late filtering (ablation baseline)
-    }
-    hits.push_back(MaterializeHit(scored));
+std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
+    std::span<const IvfBatchQuery> queries) const {
+  const std::size_t n = queries.size();
+  std::vector<std::vector<SearchHit>> out(n);
+  if (n == 0) return out;
+  // Coarse assignment: one centroid-major sweep for the whole batch.
+  std::vector<FeatureView> views;
+  std::vector<std::size_t> nprobes;
+  views.reserve(n);
+  nprobes.reserve(n);
+  for (const IvfBatchQuery& bq : queries) {
+    assert(bq.query.size() == dim());
+    views.push_back(bq.query);
+    nprobes.push_back(bq.nprobe == 0 ? config_.nprobe : bq.nprobe);
   }
-  return hits;
+  const std::vector<std::vector<std::uint32_t>> probes =
+      quantizer_->NearestCentroidsBatch(views, nprobes);
+  // All padded queries in one aligned block, with their norms.
+  AlignedArray<float> padded = AllocateAligned<float>(n * padded_dim_);
+  std::vector<float> query_norms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(padded.get() + i * padded_dim_, queries[i].query.data(),
+                dim() * sizeof(float));
+    query_norms[i] = SquaredNorm(padded.get() + i * padded_dim_, dim());
+  }
+  // Scan in list order so a list probed by several queries is swept
+  // back-to-back while its rows are still in cache.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> plan;  // (list, query)
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::uint32_t list : probes[i]) {
+      plan.emplace_back(list, static_cast<std::uint32_t>(i));
+    }
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TopK> topks;
+  topks.reserve(n);
+  for (const IvfBatchQuery& bq : queries) topks.emplace_back(bq.k);
+  for (const auto& [list, qi] : plan) {
+    ScanListPadded(list, padded.get() + qi * padded_dim_, query_norms[qi],
+                   queries[qi].category_filter, topks[qi]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = MaterializeRanked(topks[i].TakeSorted());
+  }
+  return out;
 }
 
 std::vector<SearchHit> IvfIndex::SearchExhaustive(FeatureView query,
                                                   std::size_t k) const {
   assert(query.size() == dim());
+  alignas(kCacheLineBytes) float stack_query[kMaxStackQueryFloats];
+  AlignedArray<float> heap_query;
+  const float* padded = PadQuery(query, stack_query, heap_query);
+  const DistanceKernels& kernels = Kernels();
+  const std::size_t stride = padded_dim_;
   TopK topk(k);
-  const std::size_t n = features_.size();
-  for (std::size_t local = 0; local < n; ++local) {
-    if (!valid_.Get(local)) continue;
-    topk.Offer(static_cast<ImageId>(local),
-               L2SquaredDistance(query, features_.At(local)));
+  // Every list's block, whole-run distances, validity always applied (ground
+  // truth ignores the scan-filter ablation flag, as the seed did).
+  for (const auto& block : blocks_) {
+    block->ForEachRun([&](const LocalId* ids, const std::uint8_t* payload,
+                          const float* /*norms*/, std::size_t count) {
+      const float* rows = reinterpret_cast<const float*>(payload);
+      float dists[kScanRunEntries];
+      kernels.l2sq_scan(padded, rows, stride, stride, count, dists);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (!valid_.Get(ids[j])) continue;
+        topk.Offer(static_cast<ImageId>(ids[j]), dists[j]);
+      }
+    });
   }
   std::vector<SearchHit> hits;
   for (const ScoredImage& scored : topk.TakeSorted()) {
@@ -172,8 +327,16 @@ void IvfIndex::ForEachEntry(
   const std::size_t n = forward_.size();
   for (std::size_t local = 0; local < n; ++local) {
     const auto id = static_cast<LocalId>(local);
-    visit(id, forward_.Get(id), features_.At(local), valid_.Get(local));
+    visit(id, forward_.Get(id), FeatureView(local_feature_[local], dim()),
+          valid_.Get(local));
   }
+}
+
+bool IvfIndex::feature_storage_aligned() const noexcept {
+  for (const auto& block : blocks_) {
+    if (!block->storage_aligned()) return false;
+  }
+  return true;
 }
 
 IvfIndexStats IvfIndex::Stats() const {

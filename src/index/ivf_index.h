@@ -6,6 +6,14 @@
 // (needed to compute Euclidean distances during the inverted-list scan), and
 // the validity bitmap.
 //
+// Scan layout: each inverted list owns a ScanBlock holding its members'
+// features contiguously in append order — 64-byte-aligned rows of
+// padded_dim() floats with zeroed padding — so the hot loop is a linear,
+// prefetch-friendly sweep through the runtime-dispatched batch kernels
+// (vecmath/kernels.h) instead of a per-candidate pointer chase. The
+// InvertedList remains the id-ordering authority (expansion protocol,
+// stats); the ScanBlock is the distance-computation layout.
+//
 // Concurrency contract (matching the paper's architecture): exactly one
 // writer — the searcher applies every index mutation, both real-time updates
 // and re-additions — and any number of concurrent reader threads executing
@@ -18,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -28,10 +37,11 @@
 #include "index/forward_index.h"
 #include "index/image_index.h"
 #include "index/inverted_index.h"
+#include "index/scan_block.h"
 #include "mq/message.h"
+#include "vecmath/aligned.h"
 #include "vecmath/topk.h"
 #include "vecmath/vector.h"
-#include "vecmath/vector_set.h"
 
 namespace jdvs {
 
@@ -53,6 +63,16 @@ struct IvfIndexStats {
   std::size_t largest_list = 0;
   std::uint64_t list_expansions = 0;
   std::size_t buffer_bytes = 0;
+};
+
+// One query of an in-searcher micro-batch: the per-query knobs of Search()
+// as a value, so concurrently admitted queries can share a coarse-probe pass
+// and back-to-back list scans (see Searcher micro-batching).
+struct IvfBatchQuery {
+  FeatureView query;
+  std::size_t k = 10;
+  std::size_t nprobe = 0;  // 0 = configured default
+  CategoryId category_filter = kNoCategoryFilter;
 };
 
 class IvfIndex final : public ImageIndex {
@@ -107,14 +127,32 @@ class IvfIndex final : public ImageIndex {
                                 std::size_t nprobe_override,
                                 CategoryId category_filter) const override;
 
+  // Answers a group of concurrently admitted queries in one pass:
+  // coarse assignment is a single centroid-major sweep for the whole batch,
+  // and inverted lists probed by several queries are scanned back-to-back so
+  // their feature rows are read from cache instead of memory. Results are
+  // identical to calling Search() per query. out[i] answers queries[i].
+  std::vector<std::vector<SearchHit>> SearchBatch(
+      std::span<const IvfBatchQuery> queries) const;
+
+  // Scan stage alone: top-k (local id, distance) pairs over an
+  // already-chosen probe set, without forward-index materialization. The
+  // building block Search() composes (probe -> ScanProbes -> materialize);
+  // exposed for callers that schedule coarse probing themselves and for
+  // stage-level benchmarking.
+  std::vector<ScoredImage> ScanProbes(
+      FeatureView query, std::size_t k,
+      std::span<const std::uint32_t> probes,
+      CategoryId category_filter = kNoCategoryFilter) const;
+
   // Brute-force scan over all valid images (ground truth for recall tests).
   std::vector<SearchHit> SearchExhaustive(FeatureView query,
                                           std::size_t k) const;
 
   // Visits every entry in local-id order with its attributes, feature and
   // validity — the iteration snapshotting and replication tooling builds on.
-  // Safe concurrently with searches; must not race the writer if an exact
-  // point-in-time snapshot is required.
+  // Safe concurrently with searches; must not race the writer (the per-local
+  // feature pointers are writer-owned state).
   void ForEachEntry(
       const std::function<void(LocalId, const AttributeSnapshot&, FeatureView,
                                bool valid)>& visit) const;
@@ -122,21 +160,51 @@ class IvfIndex final : public ImageIndex {
   IvfIndexStats Stats() const;
   std::size_t size() const override { return forward_.size(); }
   std::size_t dim() const override { return quantizer_->dim(); }
+  // Per-row scan stride in floats (dim rounded up to whole cache lines).
+  std::size_t padded_dim() const noexcept { return padded_dim_; }
   const CoarseQuantizer& quantizer() const { return *quantizer_; }
   const IvfIndexConfig& config() const { return config_; }
 
+  // True when every published feature row sits on a 64-byte boundary — the
+  // layout invariant snapshot load re-checks before SIMD scans run on the
+  // restored storage.
+  bool feature_storage_aligned() const noexcept;
+
  private:
   SearchHit MaterializeHit(const ScoredImage& scored) const;
-  void ScanList(std::size_t list, FeatureView query,
-                CategoryId category_filter, TopK& topk) const;
+  // Materializes ranked scan results, applying the late validity filter when
+  // the ablation flag disabled filtering during the scan.
+  std::vector<SearchHit> MaterializeRanked(
+      std::span<const ScoredImage> ranked) const;
+  // Scans one list given a query padded to padded_dim() (zeroed tail,
+  // 64-byte-aligned base) and its squared L2 norm (the fused scan kernel
+  // computes distances in the dot-product form against per-row norms stored
+  // in the scan block).
+  void ScanListPadded(std::size_t list, const float* padded_query,
+                      float query_norm, CategoryId category_filter,
+                      TopK& topk) const;
+  // Copies `query` into a padded row: `stack_buf` (kMaxStackQueryFloats
+  // capacity) when it fits, else a fresh aligned heap block kept alive by
+  // `heap_buf`.
+  const float* PadQuery(FeatureView query, float* stack_buf,
+                        AlignedArray<float>& heap_buf) const;
+
+  static constexpr std::size_t kMaxStackQueryFloats = 1024;
 
   std::shared_ptr<const CoarseQuantizer> quantizer_;
   IvfIndexConfig config_;
+  const std::size_t padded_dim_;
   ForwardIndex forward_;
-  VectorSet features_;
   ValidityBitmap valid_;
   std::vector<std::unique_ptr<InvertedList>> lists_;
+  // Per-list contiguous feature rows in list order (the scan layout).
+  std::vector<std::unique_ptr<ScanBlock>> blocks_;
+  // Writer-owned scratch row for padding incoming features.
+  AlignedArray<float> pad_scratch_;
   // Writer-owned lookup state (never touched by Search).
+  // local id -> its feature row inside a ScanBlock (pointers are stable:
+  // chunks never move once allocated).
+  std::vector<const float*> local_feature_;
   std::unordered_map<std::string, LocalId> url_to_local_;
   std::unordered_map<ProductId, std::vector<LocalId>> product_to_locals_;
 };

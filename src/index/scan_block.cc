@@ -1,0 +1,93 @@
+#include "index/scan_block.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace jdvs {
+namespace {
+
+// First chunk size; every subsequent chunk doubles. 64 doublings cover any
+// addressable list, so the chunk vector can be reserved once up front and
+// its elements never move under a concurrent reader.
+constexpr std::size_t kFirstChunkEntries = 16;
+constexpr std::size_t kMaxChunks = 64;
+
+}  // namespace
+
+ScanBlock::ScanBlock(std::size_t payload_stride_bytes,
+                     std::size_t max_run_entries)
+    : stride_(payload_stride_bytes),
+      max_run_entries_(std::max<std::size_t>(max_run_entries, 1)) {
+  assert(stride_ > 0);
+  chunks_.reserve(kMaxChunks);
+}
+
+void ScanBlock::Append(LocalId id, const void* payload, float aux) {
+  const std::size_t index = size_.load(std::memory_order_relaxed);
+  if (chunks_.empty() ||
+      index == chunks_.back().begin + chunks_.back().capacity) {
+    assert(chunks_.size() < kMaxChunks);
+    Chunk c;
+    c.begin = index;
+    c.capacity = chunks_.empty() ? kFirstChunkEntries
+                                 : chunks_.back().capacity * 2;
+    c.payload = AllocateAligned<std::uint8_t>(c.capacity * stride_);
+    c.ids = AllocateAligned<LocalId>(c.capacity);
+    c.aux = AllocateAligned<float>(c.capacity);
+    allocated_bytes_.fetch_add(
+        c.capacity * (stride_ + sizeof(LocalId) + sizeof(float)),
+        std::memory_order_relaxed);
+    chunks_.push_back(std::move(c));
+    // Publish the new chunk's pointers before any entry in it can become
+    // visible through size_.
+    chunk_count_.store(chunks_.size(), std::memory_order_release);
+  }
+  Chunk& chunk = chunks_.back();
+  const std::size_t offset = index - chunk.begin;
+  std::memcpy(chunk.payload.get() + offset * stride_, payload, stride_);
+  chunk.ids.get()[offset] = id;
+  chunk.aux.get()[offset] = aux;
+  size_.store(index + 1, std::memory_order_release);
+}
+
+const ScanBlock::Chunk* ScanBlock::FindChunk(
+    std::size_t index) const noexcept {
+  // Backwards from the newest chunk: random access clusters on recently
+  // appended entries (e.g. PayloadAt(size()-1) right after Append), and the
+  // chunk count is O(log size) anyway.
+  const std::size_t chunks = chunk_count_.load(std::memory_order_acquire);
+  for (std::size_t c = chunks; c-- > 0;) {
+    if (chunks_[c].begin <= index) return &chunks_[c];
+  }
+  return nullptr;
+}
+
+const std::uint8_t* ScanBlock::PayloadAt(std::size_t index) const noexcept {
+  assert(index < size());
+  const Chunk* chunk = FindChunk(index);
+  return chunk->payload.get() + (index - chunk->begin) * stride_;
+}
+
+std::uint8_t* ScanBlock::MutablePayloadAt(std::size_t index) noexcept {
+  assert(index < size());
+  const Chunk* chunk = FindChunk(index);
+  return const_cast<std::uint8_t*>(chunk->payload.get()) +
+         (index - chunk->begin) * stride_;
+}
+
+LocalId ScanBlock::IdAt(std::size_t index) const noexcept {
+  assert(index < size());
+  const Chunk* chunk = FindChunk(index);
+  return chunk->ids.get()[index - chunk->begin];
+}
+
+bool ScanBlock::storage_aligned() const noexcept {
+  const std::size_t chunks = chunk_count_.load(std::memory_order_acquire);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (!IsCacheAligned(chunks_[c].payload.get())) return false;
+  }
+  return true;
+}
+
+}  // namespace jdvs

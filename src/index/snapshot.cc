@@ -156,6 +156,13 @@ std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
     index->SetImageValidity(url, valid);
   }
   index->FinishPendingExpansions();
+  // Layout invariant before the restored index takes SIMD traffic: every
+  // feature row the scan kernels will touch must sit on a cache-line
+  // boundary. Cannot fail with the current allocator; a snapshot load is the
+  // one place a foreign build/libc combination would surface it.
+  if (!index->feature_storage_aligned()) {
+    throw SnapshotError("restored feature storage is not 64-byte aligned");
+  }
   return index;
 }
 

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/hash.h"
 #include "vecmath/distance.h"
+#include "vecmath/kernels.h"
 
 namespace jdvs {
+
+namespace {
+// Codes per contiguous scan run; bounds the stack distance buffer in
+// ScanListAdc (4 KB of floats).
+constexpr std::size_t kCodeRunEntries = 1024;
+}  // namespace
 
 IvfPqIndex::IvfPqIndex(std::shared_ptr<const CoarseQuantizer> quantizer,
                        std::shared_ptr<const ProductQuantizer> pq,
@@ -24,9 +32,12 @@ IvfPqIndex::IvfPqIndex(std::shared_ptr<const CoarseQuantizer> quantizer,
     config_.rerank_candidates = 0;
   }
   lists_.reserve(quantizer_->num_clusters());
+  code_blocks_.reserve(quantizer_->num_clusters());
   for (std::size_t c = 0; c < quantizer_->num_clusters(); ++c) {
     lists_.push_back(std::make_unique<InvertedList>(
         config_.initial_list_capacity, copy_executor));
+    code_blocks_.push_back(
+        std::make_unique<ScanBlock>(pq_->code_bytes(), kCodeRunEntries));
   }
 }
 
@@ -38,12 +49,14 @@ LocalId IvfPqIndex::AddImage(std::string_view image_url, ProductId product_id,
   const ImageId image_id = Fnv1a64(image_url);
   const LocalId local = forward_.Append(image_id, product_id, category,
                                         attributes, image_url, detail_url);
-  const std::size_t slot = codes_.Append(pq_->Encode(feature));
+  const PqCode code = pq_->Encode(feature);
+  const std::size_t slot = codes_.Append(code);
   (void)slot;
   assert(slot == local);
   if (raw_) raw_->Append(feature);
   const std::uint32_t list = quantizer_->NearestCentroid(feature);
   lists_[list]->Append(local);
+  code_blocks_[list]->Append(local, code.data());
   local_to_list_.push_back(list);
   valid_.Set(local, true);
   url_to_local_.emplace(std::string(image_url), local);
@@ -103,29 +116,51 @@ SearchHit IvfPqIndex::MaterializeHit(const ScoredImage& scored) const {
   return hit;
 }
 
-std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
-                                          std::size_t nprobe_override,
-                                          CategoryId category_filter) const {
-  assert(query.size() == dim());
-  const std::size_t nprobe =
-      nprobe_override == 0 ? config_.nprobe : nprobe_override;
-  const std::vector<float> table = pq_->BuildDistanceTable(query);
-
-  const std::size_t adc_k =
-      config_.rerank_candidates > 0 ? std::max(config_.rerank_candidates, k)
-                                    : k;
-  TopK adc_topk(adc_k);
-  for (const std::uint32_t list : quantizer_->NearestCentroids(query, nprobe)) {
-    lists_[list]->Scan([&](LocalId local) {
-      if (!valid_.Get(local)) return;
-      if (category_filter != kNoCategoryFilter &&
-          forward_.CategoryOf(local) != category_filter) {
-        return;
+void IvfPqIndex::ScanListAdc(std::size_t list, const float* table,
+                             CategoryId category_filter,
+                             TopK& adc_topk) const {
+  const DistanceKernels& kernels = Kernels();
+  const std::size_t m = pq_->num_subspaces();
+  const std::size_t ks = pq_->codebook_size();
+  code_blocks_[list]->ForEachRun([&](const LocalId* ids,
+                                     const std::uint8_t* codes,
+                                     const float* /*aux*/,
+                                     std::size_t count) {
+    // True ADC: the whole run of packed codes through one kernel call —
+    // per candidate that is m table lookups, gathered 8/16-wide on the SIMD
+    // tiers. Summation order per candidate matches DistanceWithTable, so
+    // distances are bit-identical to the per-candidate path.
+    float dists[kCodeRunEntries];
+    kernels.pq_adc_scan(table, ks, codes, m, count, dists);
+    // SIMD admission filter, then per-survivor validity/category/Offer —
+    // same structure (sub-block threshold refresh, tie reasoning) as the
+    // IVF scan's filter pass.
+    constexpr std::size_t kFilterBlock = 64;
+    std::uint32_t keep[kFilterBlock];
+    for (std::size_t b = 0; b < count; b += kFilterBlock) {
+      const std::size_t block = std::min(kFilterBlock, count - b);
+      float threshold = adc_topk.Threshold();
+      const std::size_t kept =
+          kernels.filter_le(dists + b, block, threshold, keep);
+      for (std::size_t s = 0; s < kept; ++s) {
+        const std::size_t j = b + keep[s];
+        if (dists[j] > threshold) continue;
+        const LocalId local = ids[j];
+        if (!valid_.Get(local)) continue;
+        if (category_filter != kNoCategoryFilter &&
+            forward_.CategoryOf(local) != category_filter) {
+          continue;
+        }
+        adc_topk.Offer(local, dists[j]);
+        threshold = adc_topk.Threshold();
       }
-      adc_topk.Offer(local, pq_->DistanceWithTable(table, codes_.At(local)));
-    });
-  }
+    }
+  });
+}
 
+std::vector<SearchHit> IvfPqIndex::RankAndMaterialize(FeatureView query,
+                                                      std::size_t k,
+                                                      TopK& adc_topk) const {
   std::vector<ScoredImage> ranked = adc_topk.TakeSorted();
   if (config_.rerank_candidates > 0) {
     // Exact re-ranking against the refinement store (IVFADC+R).
@@ -144,6 +179,74 @@ std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
   hits.reserve(ranked.size());
   for (const ScoredImage& scored : ranked) hits.push_back(MaterializeHit(scored));
   return hits;
+}
+
+std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
+                                          std::size_t nprobe_override,
+                                          CategoryId category_filter) const {
+  assert(query.size() == dim());
+  const std::size_t nprobe =
+      nprobe_override == 0 ? config_.nprobe : nprobe_override;
+  // Per-query ADC table, built exactly once: num_subspaces x codebook_size
+  // partial squared distances.
+  const std::vector<float> table = pq_->BuildDistanceTable(query);
+
+  const std::size_t adc_k =
+      config_.rerank_candidates > 0 ? std::max(config_.rerank_candidates, k)
+                                    : k;
+  TopK adc_topk(adc_k);
+  for (const std::uint32_t list : quantizer_->NearestCentroids(query, nprobe)) {
+    ScanListAdc(list, table.data(), category_filter, adc_topk);
+  }
+  return RankAndMaterialize(query, k, adc_topk);
+}
+
+std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
+    std::span<const IvfBatchQuery> queries) const {
+  const std::size_t n = queries.size();
+  std::vector<std::vector<SearchHit>> out(n);
+  if (n == 0) return out;
+  std::vector<FeatureView> views;
+  std::vector<std::size_t> nprobes;
+  views.reserve(n);
+  nprobes.reserve(n);
+  for (const IvfBatchQuery& bq : queries) {
+    assert(bq.query.size() == dim());
+    views.push_back(bq.query);
+    nprobes.push_back(bq.nprobe == 0 ? config_.nprobe : bq.nprobe);
+  }
+  const std::vector<std::vector<std::uint32_t>> probes =
+      quantizer_->NearestCentroidsBatch(views, nprobes);
+  // One ADC table per query for the batch's whole scan.
+  std::vector<std::vector<float>> tables;
+  tables.reserve(n);
+  for (const IvfBatchQuery& bq : queries) {
+    tables.push_back(pq_->BuildDistanceTable(bq.query));
+  }
+  std::vector<TopK> topks;
+  topks.reserve(n);
+  for (const IvfBatchQuery& bq : queries) {
+    topks.emplace_back(config_.rerank_candidates > 0
+                           ? std::max(config_.rerank_candidates, bq.k)
+                           : bq.k);
+  }
+  // List-major scan order: a list probed by several queries stays in cache.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> plan;  // (list, query)
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::uint32_t list : probes[i]) {
+      plan.emplace_back(list, static_cast<std::uint32_t>(i));
+    }
+  }
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [list, qi] : plan) {
+    ScanListAdc(list, tables[qi].data(), queries[qi].category_filter,
+                topks[qi]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = RankAndMaterialize(queries[i].query, queries[i].k, topks[i]);
+  }
+  return out;
 }
 
 void IvfPqIndex::ForEachEntry(
@@ -178,11 +281,19 @@ LocalId IvfPqIndex::AddEncoded(std::string_view image_url,
     }
   }
   lists_[list]->Append(local);
+  code_blocks_[list]->Append(local, code.data());
   local_to_list_.push_back(list);
   valid_.Set(local, true);
   url_to_local_.emplace(std::string(image_url), local);
   product_to_locals_[product_id].push_back(local);
   return local;
+}
+
+bool IvfPqIndex::code_storage_aligned() const noexcept {
+  for (const auto& block : code_blocks_) {
+    if (!block->storage_aligned()) return false;
+  }
+  return true;
 }
 
 IvfPqStats IvfPqIndex::Stats() const {

@@ -11,6 +11,12 @@
 // selects that many candidates by ADC distance, then re-scores them against
 // raw vectors kept in a (larger) refinement store — the standard IVFADC+R
 // recipe.
+//
+// Scan layout: each inverted list owns a ScanBlock of packed PQ codes in
+// append order, so the ADC scan is one pq_adc_scan kernel call per
+// contiguous run (8-16 candidates per gather on SIMD tiers) instead of a
+// per-candidate pointer chase through the chunked CodeSet. The CodeSet
+// remains the per-local-id authority for snapshotting/iteration.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +31,7 @@
 #include "index/forward_index.h"
 #include "index/inverted_index.h"
 #include "index/ivf_index.h"
+#include "index/scan_block.h"
 #include "pq/codebook.h"
 #include "vecmath/topk.h"
 #include "vecmath/vector_set.h"
@@ -79,6 +86,12 @@ class IvfPqIndex final : public ImageIndex {
                                 std::size_t nprobe_override,
                                 CategoryId category_filter) const override;
 
+  // Micro-batched variant: one centroid-major coarse pass for the whole
+  // batch, per-query ADC tables built once, and lists probed by several
+  // queries scanned back-to-back. out[i] is identical to Search(queries[i]).
+  std::vector<std::vector<SearchHit>> SearchBatch(
+      std::span<const IvfBatchQuery> queries) const;
+
   // Visits every entry with its attributes, PQ code (code_bytes() bytes),
   // inverted-list assignment, optional raw feature (empty view when the
   // refinement store is disabled) and validity. Snapshotting hook.
@@ -104,8 +117,20 @@ class IvfPqIndex final : public ImageIndex {
                      std::string_view detail_url, const PqCode& code,
                      std::uint32_t list, FeatureView raw_or_empty);
 
+  // True when every published code run sits on a 64-byte boundary (layout
+  // invariant re-checked after snapshot restore).
+  bool code_storage_aligned() const noexcept;
+
  private:
   SearchHit MaterializeHit(const ScoredImage& scored) const;
+  // ADC scan of one list: one pq_adc_scan kernel call per contiguous run,
+  // then validity/category filtering on the way into the heap.
+  void ScanListAdc(std::size_t list, const float* table,
+                   CategoryId category_filter, TopK& adc_topk) const;
+  // Post-scan finish shared by Search and SearchBatch: optional exact
+  // re-ranking (IVFADC+R), trim to k, materialize.
+  std::vector<SearchHit> RankAndMaterialize(FeatureView query, std::size_t k,
+                                            TopK& adc_topk) const;
 
   std::shared_ptr<const CoarseQuantizer> quantizer_;
   std::shared_ptr<const ProductQuantizer> pq_;
@@ -115,6 +140,8 @@ class IvfPqIndex final : public ImageIndex {
   std::unique_ptr<VectorSet> raw_;  // only when keep_raw_vectors
   ValidityBitmap valid_;
   std::vector<std::unique_ptr<InvertedList>> lists_;
+  // Per-list packed codes in list order (the ADC scan layout).
+  std::vector<std::unique_ptr<ScanBlock>> code_blocks_;
   std::unordered_map<std::string, LocalId> url_to_local_;
   std::unordered_map<ProductId, std::vector<LocalId>> product_to_locals_;
   std::vector<std::uint32_t> local_to_list_;  // writer-owned

@@ -183,6 +183,11 @@ std::unique_ptr<IvfPqIndex> LoadIvfPqSnapshot(const std::string& path,
   }
   for (const auto& url : invalid_urls) index->SetImageValidity(url, false);
   index->FinishPendingExpansions();
+  // Same layout invariant as the flat-index snapshot load: ADC gathers
+  // assume cache-line-aligned code runs.
+  if (!index->code_storage_aligned()) {
+    throw SnapshotError("restored code storage is not 64-byte aligned");
+  }
   return index;
 }
 

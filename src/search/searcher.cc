@@ -1,10 +1,12 @@
 #include "search/searcher.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "common/logging.h"
 #include "index/snapshot.h"
+#include "vecmath/kernels.h"
 
 namespace jdvs {
 
@@ -14,6 +16,8 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
       features_(features),
       filter_(std::move(filter)),
       seed_(config.seed),
+      max_batch_queries_(config.max_batch_queries),
+      batch_window_micros_(config.batch_window_micros),
       registry_(config.registry != nullptr ? config.registry
                                            : &obs::Registry::Default()),
       trace_sink_(config.trace_sink != nullptr ? config.trace_sink
@@ -22,6 +26,8 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
           "jdvs_searcher_scan_micros", "searcher", node_.name()))),
       scan_stage_(&registry_->GetHistogram(
           obs::Labeled("jdvs_stage_micros", "stage", "searcher_scan"))),
+      batch_size_(&registry_->GetHistogram(obs::Labeled(
+          "jdvs_searcher_batch_size", "searcher", node_.name()))),
       consumed_total_(&registry_->GetCounter(obs::Labeled(
           "jdvs_searcher_messages_consumed_total", "searcher",
           node_.name()))),
@@ -33,6 +39,10 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
   // Scan latency carries exemplars: a slow bucket links to the trace that
   // produced it (sampled queries only -- unsampled scans have no trace id).
   scan_stage_->EnableExemplars();
+  // Which SIMD tier the distance kernels resolved to (process-wide; exported
+  // here so every cluster's registry — and the statusz page — shows it).
+  registry_->GetGauge("jdvs_kernel_dispatch_tier")
+      .Set(static_cast<std::int64_t>(ActiveKernelTier()));
 }
 
 Searcher::~Searcher() {
@@ -145,10 +155,13 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                            std::size_t nprobe, CategoryId category_filter,
                            qos::Deadline deadline, obs::TraceContext parent,
                            SearchCallback on_done, Micros rpc_timeout_micros) {
+  // Counted from dispatch (not scan start) so a query queued behind a
+  // running scan already reads as concurrent and opts into batching.
+  scans_in_flight_.fetch_add(1, std::memory_order_relaxed);
   node_.InvokeSpannedAsyncWithDeadline(
       trace_sink_, parent, "searcher.scan", deadline, rpc_timeout_micros,
-      [this, query = std::move(query), k, nprobe,
-       category_filter](obs::Span& span) {
+      [this, query = std::move(query), k, nprobe, category_filter,
+       deadline](obs::Span& span) {
         span.AddTag("k", static_cast<std::uint64_t>(k));
         if (nprobe > 0) {
           span.AddTag("nprobe", static_cast<std::uint64_t>(nprobe));
@@ -158,7 +171,7 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                       static_cast<std::uint64_t>(category_filter));
         }
         const Stopwatch watch(MonotonicClock::Instance());
-        auto hits = SearchLocal(query, k, nprobe, category_filter);
+        auto hits = SearchBatched(query, k, nprobe, category_filter, deadline);
         const Micros elapsed = watch.ElapsedMicros();
         scan_micros_->Record(elapsed);
         scan_stage_->RecordWithExemplar(elapsed, span.context().trace_id);
@@ -166,6 +179,7 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
         return hits;
       },
       [this, done = std::move(on_done)](SearchResult result) {
+        scans_in_flight_.fetch_sub(1, std::memory_order_relaxed);
         // This is the bottom tier, so a DeadlineExceededError here was
         // raised here: the budget died in this searcher's queue.
         if (!result.ok() && qos::IsDeadlineExceeded(result.error)) {
@@ -173,6 +187,91 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
         }
         done(std::move(result));
       });
+}
+
+std::vector<SearchHit> Searcher::SearchBatched(FeatureView query,
+                                               std::size_t k,
+                                               std::size_t nprobe,
+                                               CategoryId category_filter,
+                                               qos::Deadline deadline) const {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) throw std::runtime_error(node_.name() + ": no index installed");
+  // Solo fast path: batching disabled, nobody else in flight, or a budget
+  // too tight to spend any of it waiting (the window plus the batch's own
+  // scan must both fit).
+  Micros window = batch_window_micros_;
+  if (!deadline.unlimited()) {
+    const Micros remaining =
+        deadline.RemainingMicros(MonotonicClock::Instance());
+    if (remaining < 2 * batch_window_micros_) {
+      window = 0;
+    } else {
+      window = std::min<Micros>(window, remaining / 2);
+    }
+  }
+  if (max_batch_queries_ < 2 || window == 0 ||
+      scans_in_flight_.load(std::memory_order_relaxed) <= 1) {
+    batch_size_->Record(1);
+    return index->Search(query, k, nprobe, category_filter);
+  }
+
+  PendingScan me;
+  me.query = IvfBatchQuery{query, k, nprobe, category_filter};
+
+  std::unique_lock lock(batch_mu_);
+  if (forming_ && forming_->open &&
+      forming_->waiters.size() < max_batch_queries_) {
+    // Follower: join the forming batch and park until the leader delivers.
+    // The wait is bounded — the leader's window is capped and the batch scan
+    // itself is admitted work either way.
+    const std::shared_ptr<FormingBatch> batch = forming_;
+    batch->waiters.push_back(&me);
+    if (batch->waiters.size() >= max_batch_queries_) {
+      batch->open = false;  // full: wake the leader early
+      batch_cv_.notify_all();
+    }
+    batch_cv_.wait(lock, [&] { return me.done; });
+    if (me.error) std::rethrow_exception(me.error);
+    return std::move(me.hits);
+  }
+
+  // Leader: open a batch, wait out the window (followers may close it early
+  // by filling the batch), then run the whole group through SearchBatch.
+  const auto batch = std::make_shared<FormingBatch>();
+  batch->waiters.push_back(&me);
+  forming_ = batch;
+  const auto wait_until = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(window);
+  while (batch->open &&
+         batch_cv_.wait_until(lock, wait_until) != std::cv_status::timeout) {
+  }
+  batch->open = false;
+  if (forming_ == batch) forming_.reset();
+  const std::vector<PendingScan*> group = batch->waiters;
+  lock.unlock();
+
+  batch_size_->Record(static_cast<std::int64_t>(group.size()));
+  try {
+    std::vector<IvfBatchQuery> queries;
+    queries.reserve(group.size());
+    for (const PendingScan* waiter : group) queries.push_back(waiter->query);
+    std::vector<std::vector<SearchHit>> results = index->SearchBatch(queries);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i]->hits = std::move(results[i]);
+    }
+  } catch (...) {
+    // Every waiter sees the failure; none can be left parked.
+    const std::exception_ptr error = std::current_exception();
+    for (PendingScan* waiter : group) waiter->error = error;
+  }
+
+  lock.lock();
+  for (PendingScan* waiter : group) waiter->done = true;
+  batch_cv_.notify_all();
+  lock.unlock();
+  if (me.error) std::rethrow_exception(me.error);
+  return std::move(me.hits);
 }
 
 std::vector<SearchHit> Searcher::SearchLocal(

@@ -3,62 +3,62 @@
 #include <cassert>
 #include <cmath>
 
+#include "vecmath/kernels.h"
+
 namespace jdvs {
+
+// The pairwise entry points are thin wrappers over the runtime-dispatched
+// kernel table (vecmath/kernels.h): every existing call site — ivf_index,
+// ivfpq_index, imi, lsh, kmeans, quantizer, query_cache, codebook, hashing —
+// picks up the SIMD tier resolved at startup without any semantic change.
 
 float L2SquaredDistance(FeatureView a, FeatureView b) noexcept {
   assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  // Four accumulators: lets the compiler vectorize and hides FP latency.
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const float d0 = a[i] - b[i];
-    const float d1 = a[i + 1] - b[i + 1];
-    const float d2 = a[i + 2] - b[i + 2];
-    const float d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; i < n; ++i) {
-    const float d = a[i] - b[i];
-    s0 += d * d;
-  }
-  return (s0 + s1) + (s2 + s3);
+  return Kernels().l2sq(a.data(), b.data(), a.size());
 }
 
 float InnerProduct(FeatureView a, FeatureView b) noexcept {
   assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  float s0 = 0.f, s1 = 0.f, s2 = 0.f, s3 = 0.f;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
+  return Kernels().ip(a.data(), b.data(), a.size());
 }
 
 float L2Norm(FeatureView a) noexcept {
-  return std::sqrt(InnerProduct(a, a));
+  // Deliberately NOT sqrt(InnerProduct(a, a)): the fp32 accumulator loses
+  // precision over long vectors and overflows to +inf around |x| ~ 1e19
+  // (x*x near FLT_MAX) — real embedding pipelines hand us unnormalized
+  // vectors exactly here, before NormalizeL2. Accumulate in float64; norms
+  // up to ~1e154 stay finite and the rounding error is one ulp-ish.
+  double acc = 0.0;
+  for (const float x : a) {
+    const double d = static_cast<double>(x);
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
 }
 
 void NormalizeL2(std::span<float> v) noexcept {
-  const float norm = L2Norm(FeatureView(v.data(), v.size()));
-  if (norm == 0.f) return;
-  const float inv = 1.f / norm;
-  for (float& x : v) x *= inv;
+  // Same float64 discipline as L2Norm so huge-magnitude vectors normalize
+  // instead of collapsing to 0/NaN through an intermediate +inf.
+  double acc = 0.0;
+  for (const float x : v) {
+    const double d = static_cast<double>(x);
+    acc += d * d;
+  }
+  if (acc == 0.0) return;
+  const double inv = 1.0 / std::sqrt(acc);
+  for (float& x : v) x = static_cast<float>(static_cast<double>(x) * inv);
 }
 
 void L2SquaredBatch(FeatureView query, const float* base, std::size_t dim,
                     std::size_t count, float* out) noexcept {
   assert(query.size() == dim);
-  for (std::size_t i = 0; i < count; ++i) {
-    out[i] = L2SquaredDistance(query, FeatureView(base + i * dim, dim));
+  const DistanceKernels& kernels = Kernels();
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    kernels.l2sq_batch4(query.data(), base + i * dim, dim, dim, out + i);
+  }
+  for (; i < count; ++i) {
+    out[i] = kernels.l2sq(query.data(), base + i * dim, dim);
   }
 }
 

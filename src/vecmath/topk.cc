@@ -1,44 +1,6 @@
 #include "vecmath/topk.h"
 
-#include <algorithm>
-#include <limits>
-
 namespace jdvs {
-namespace {
-
-struct DistanceLess {
-  bool operator()(const ScoredImage& a, const ScoredImage& b) const noexcept {
-    // Ties broken by id for determinism across runs and shard layouts.
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.image_id < b.image_id;
-  }
-};
-
-}  // namespace
-
-TopK::TopK(std::size_t k) : k_(k == 0 ? 1 : k) { heap_.reserve(k_); }
-
-void TopK::Offer(ImageId id, float distance) {
-  if (heap_.size() < k_) {
-    heap_.push_back({id, distance});
-    std::push_heap(heap_.begin(), heap_.end(), DistanceLess{});
-    return;
-  }
-  if (!DistanceLess{}({id, distance}, heap_.front())) return;
-  std::pop_heap(heap_.begin(), heap_.end(), DistanceLess{});
-  heap_.back() = {id, distance};
-  std::push_heap(heap_.begin(), heap_.end(), DistanceLess{});
-}
-
-float TopK::Threshold() const noexcept {
-  if (heap_.size() < k_) return std::numeric_limits<float>::infinity();
-  return heap_.front().distance;
-}
-
-std::vector<ScoredImage> TopK::TakeSorted() {
-  std::sort_heap(heap_.begin(), heap_.end(), DistanceLess{});
-  return std::move(heap_);
-}
 
 std::vector<ScoredImage> MergeTopK(
     const std::vector<std::vector<ScoredImage>>& partials, std::size_t k) {

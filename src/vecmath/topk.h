@@ -2,11 +2,26 @@
 //
 // Searchers return the k most similar images to their broker; brokers and
 // blenders merge the partial top-k lists (Section 2.1 workflow). TopK keeps
-// the k smallest-distance candidates in a max-heap so insertion is O(log k)
-// and rejection of non-competitive candidates is O(1).
+// the k smallest-distance candidates seen so far and rejects non-competitive
+// candidates in O(1). Two storage strategies behind one interface:
+//
+//  * small k (scan-side: the per-query top-k a searcher builds) — an
+//    unsorted array with the worst element's index cached. An eviction is
+//    one store plus a branch-predictable linear rescan, which on k <= 32
+//    beats the pointer-hopping, mispredict-heavy sift of a binary heap;
+//  * large k (broker/blender merges) — a classic max-heap, O(log k) per
+//    eviction.
+//
+// Both strategies admit and evict exactly the same multiset of candidates
+// (same DistanceLess order, same tie-breaks), so results never depend on k.
+// Offer and Threshold are header-inline: they sit inside every scan's
+// survivor loop, where an out-of-line call would cost as much as the
+// admission test itself.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "vecmath/vector.h"
@@ -22,25 +37,73 @@ struct ScoredImage {
 
 class TopK {
  public:
-  explicit TopK(std::size_t k);
+  explicit TopK(std::size_t k)
+      : k_(k == 0 ? 1 : k), linear_(k_ <= kLinearMaxK) {
+    elems_.reserve(k_);
+  }
 
   // Offers a candidate; keeps it only if competitive.
-  void Offer(ImageId id, float distance);
+  void Offer(ImageId id, float distance) {
+    if (elems_.size() < k_) {
+      // Fill phase, shared by both strategies: plain appends while tracking
+      // the worst element. The heap is established once, when full.
+      if (elems_.empty() || DistanceLess{}(elems_[worst_], {id, distance})) {
+        worst_ = elems_.size();
+      }
+      elems_.push_back({id, distance});
+      if (!linear_ && elems_.size() == k_) {
+        std::make_heap(elems_.begin(), elems_.end(), DistanceLess{});
+      }
+      return;
+    }
+    if (linear_) {
+      if (!DistanceLess{}({id, distance}, elems_[worst_])) return;
+      elems_[worst_] = {id, distance};
+      std::size_t w = 0;
+      for (std::size_t i = 1; i < elems_.size(); ++i) {
+        if (DistanceLess{}(elems_[w], elems_[i])) w = i;
+      }
+      worst_ = w;
+      return;
+    }
+    if (!DistanceLess{}({id, distance}, elems_.front())) return;
+    std::pop_heap(elems_.begin(), elems_.end(), DistanceLess{});
+    elems_.back() = {id, distance};
+    std::push_heap(elems_.begin(), elems_.end(), DistanceLess{});
+  }
 
   // Current worst (largest) distance admitted, or +inf while not full.
-  float Threshold() const noexcept;
+  float Threshold() const noexcept {
+    if (elems_.size() < k_) return std::numeric_limits<float>::infinity();
+    return linear_ ? elems_[worst_].distance : elems_.front().distance;
+  }
 
-  std::size_t size() const noexcept { return heap_.size(); }
+  std::size_t size() const noexcept { return elems_.size(); }
   std::size_t k() const noexcept { return k_; }
-  bool full() const noexcept { return heap_.size() == k_; }
+  bool full() const noexcept { return elems_.size() == k_; }
 
   // Extracts results sorted by ascending distance (best first). The TopK is
   // left empty afterwards.
-  std::vector<ScoredImage> TakeSorted();
+  std::vector<ScoredImage> TakeSorted() {
+    std::sort(elems_.begin(), elems_.end(), DistanceLess{});
+    return std::move(elems_);
+  }
 
  private:
+  static constexpr std::size_t kLinearMaxK = 32;
+
+  struct DistanceLess {
+    bool operator()(const ScoredImage& a, const ScoredImage& b) const noexcept {
+      // Ties broken by id for determinism across runs and shard layouts.
+      if (a.distance != b.distance) return a.distance < b.distance;
+      return a.image_id < b.image_id;
+    }
+  };
+
   std::size_t k_;
-  std::vector<ScoredImage> heap_;  // max-heap on distance
+  bool linear_;
+  std::size_t worst_ = 0;  // index of the max element (linear strategy)
+  std::vector<ScoredImage> elems_;  // unsorted (linear) or max-heap (large k)
 };
 
 // Merges several already-sorted partial result lists into a single sorted

@@ -7,7 +7,9 @@
 namespace jdvs {
 
 VectorSet::VectorSet(std::size_t dim, std::size_t chunk_vectors)
-    : dim_(dim), chunk_vectors_(std::max<std::size_t>(chunk_vectors, 1)) {
+    : dim_(dim),
+      padded_dim_(PaddedDim(dim)),
+      chunk_vectors_(std::max<std::size_t>(chunk_vectors, 1)) {
   // Reserve enough chunk slots that chunks_ never reallocates in practice
   // (2^20 chunks * 4096 vectors = 4G vectors). Readers only dereference
   // chunk pointers covered by the published size, and Append is
@@ -16,18 +18,22 @@ VectorSet::VectorSet(std::size_t dim, std::size_t chunk_vectors)
 }
 
 float* VectorSet::SlotFor(std::size_t index) noexcept {
-  return chunks_[index / chunk_vectors_].get() + (index % chunk_vectors_) * dim_;
+  return chunks_[index / chunk_vectors_].get() +
+         (index % chunk_vectors_) * padded_dim_;
 }
 
 const float* VectorSet::SlotFor(std::size_t index) const noexcept {
-  return chunks_[index / chunk_vectors_].get() + (index % chunk_vectors_) * dim_;
+  return chunks_[index / chunk_vectors_].get() +
+         (index % chunk_vectors_) * padded_dim_;
 }
 
 std::size_t VectorSet::Append(FeatureView v) {
   assert(v.size() == dim_);
   const std::size_t index = size_.load(std::memory_order_relaxed);
   if (index / chunk_vectors_ == chunks_.size()) {
-    chunks_.push_back(std::make_unique<float[]>(chunk_vectors_ * dim_));
+    // Aligned and zero-initialized: the padding lanes of every slot stay 0
+    // for the lifetime of the chunk (Overwrite only touches dim_ floats).
+    chunks_.push_back(AllocateAligned<float>(chunk_vectors_ * padded_dim_));
   }
   std::memcpy(SlotFor(index), v.data(), dim_ * sizeof(float));
   // Release: the vector contents become visible before the new size.
@@ -44,6 +50,17 @@ void VectorSet::Overwrite(std::size_t index, FeatureView v) {
 FeatureView VectorSet::At(std::size_t index) const noexcept {
   assert(index < size());
   return FeatureView(SlotFor(index), dim_);
+}
+
+bool VectorSet::storage_aligned() const noexcept {
+  const std::size_t published = size();
+  const std::size_t chunk_count =
+      (published + chunk_vectors_ - 1) / chunk_vectors_;
+  static_assert(kCacheLineBytes % alignof(float) == 0);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    if (!IsCacheAligned(chunks_[c].get())) return false;
+  }
+  return true;
 }
 
 }  // namespace jdvs

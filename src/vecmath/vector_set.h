@@ -6,6 +6,13 @@
 // chunked (no reallocation ever moves published data) and publishes growth
 // through an atomic size with release/acquire ordering — the same
 // single-writer / many-readers discipline as the inverted lists.
+//
+// Layout contract for the SIMD kernel layer (vecmath/kernels.h): every
+// vector slot starts on a 64-byte boundary. The per-vector stride is dim
+// rounded up to a whole number of cache lines (padded_dim()), and the
+// padding floats are always zero, so batch kernels may scan padded_dim()
+// lanes with aligned loads and no remainder handling — the zero lanes
+// contribute exactly 0 to L2^2 and inner-product accumulators.
 #pragma once
 
 #include <atomic>
@@ -13,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "vecmath/aligned.h"
 #include "vecmath/vector.h"
 
 namespace jdvs {
@@ -35,7 +43,8 @@ class VectorSet {
   // only rewrite ids that are invisible to search (invalid in the bitmap).
   void Overwrite(std::size_t index, FeatureView v);
 
-  // View of vector `index`. Valid for the lifetime of the set; safe to call
+  // View of vector `index` (dim() floats; the padding lanes beyond are
+  // readable zeros). Valid for the lifetime of the set; safe to call
   // concurrently with Append for any index < size() observed beforehand.
   FeatureView At(std::size_t index) const noexcept;
 
@@ -43,17 +52,24 @@ class VectorSet {
     return size_.load(std::memory_order_acquire);
   }
   std::size_t dim() const noexcept { return dim_; }
+  // Per-vector stride in floats: dim() rounded up to whole cache lines.
+  std::size_t padded_dim() const noexcept { return padded_dim_; }
+
+  // True when every published chunk base sits on a 64-byte boundary — the
+  // invariant snapshot load re-checks before handing storage to SIMD scans.
+  bool storage_aligned() const noexcept;
 
  private:
   float* SlotFor(std::size_t index) noexcept;
   const float* SlotFor(std::size_t index) const noexcept;
 
   const std::size_t dim_;
+  const std::size_t padded_dim_;
   const std::size_t chunk_vectors_;
   // Chunk pointers are only appended, never moved. The vector of chunk
   // pointers itself is pre-reserved generously and guarded by the atomic
   // size: readers never index a chunk that was not published.
-  std::vector<std::unique_ptr<float[]>> chunks_;
+  std::vector<AlignedArray<float>> chunks_;
   std::atomic<std::size_t> size_{0};
 };
 

@@ -1,0 +1,424 @@
+// Property tests for the runtime-dispatched kernel layer: every SIMD tier
+// must agree with scalar within tolerance on every kernel and dimension
+// (including remainder lanes), the ADC scan must match per-candidate table
+// lookups, the aligned scan-block storage must uphold its layout contract,
+// and the float64-accumulated norms must survive large-magnitude inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/scan_block.h"
+#include "vecmath/aligned.h"
+#include "vecmath/distance.h"
+#include "vecmath/kernels.h"
+
+namespace jdvs {
+namespace {
+
+// The dimension sweep from the kernel contract: scalar-only sizes, exact
+// lane-group sizes (8/16), one-past sizes that exercise remainder handling,
+// and the paper's 960-d VGG feature.
+const std::size_t kDims[] = {1, 3, 8, 15, 16, 17, 64, 128, 960};
+
+constexpr double kRelTol = 1e-4;
+
+FeatureVector RandomVector(Rng& rng, std::size_t dim) {
+  FeatureVector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+void ExpectClose(float actual, float expected) {
+  EXPECT_NEAR(actual, expected,
+              kRelTol * (1.0 + std::abs(static_cast<double>(expected))));
+}
+
+class KernelTierTest : public ::testing::TestWithParam<KernelTier> {
+ protected:
+  // nullptr when this machine cannot run the tier; tests skip.
+  const DistanceKernels* tier_ = KernelsForTier(GetParam());
+  const DistanceKernels* scalar_ = KernelsForTier(KernelTier::kScalar);
+};
+
+TEST_P(KernelTierTest, PairwiseMatchesScalar) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  ASSERT_NE(scalar_, nullptr);
+  for (const std::size_t dim : kDims) {
+    Rng rng(dim * 13 + 1);
+    for (int trial = 0; trial < 10; ++trial) {
+      const FeatureVector a = RandomVector(rng, dim);
+      const FeatureVector b = RandomVector(rng, dim);
+      ExpectClose(tier_->l2sq(a.data(), b.data(), dim),
+                  scalar_->l2sq(a.data(), b.data(), dim));
+      ExpectClose(tier_->ip(a.data(), b.data(), dim),
+                  scalar_->ip(a.data(), b.data(), dim));
+    }
+  }
+}
+
+TEST_P(KernelTierTest, Batch4MatchesScalarPairwise) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  for (const std::size_t dim : kDims) {
+    Rng rng(dim * 17 + 5);
+    const FeatureVector q = RandomVector(rng, dim);
+    // Tight stride (= dim) and padded stride with zeroed tail: both must
+    // produce the pairwise distances.
+    for (const std::size_t stride : {dim, PaddedDim(dim)}) {
+      AlignedArray<float> base = AllocateAligned<float>(4 * stride);
+      std::vector<FeatureVector> rows;
+      for (int r = 0; r < 4; ++r) {
+        rows.push_back(RandomVector(rng, dim));
+        std::memcpy(base.get() + r * stride, rows.back().data(),
+                    dim * sizeof(float));
+      }
+      // Scanning `stride` lanes over zero padding must equal scanning `dim`.
+      const std::size_t n = stride;
+      FeatureVector padded_q(stride, 0.f);
+      std::memcpy(padded_q.data(), q.data(), dim * sizeof(float));
+      float out[4];
+      tier_->l2sq_batch4(padded_q.data(), base.get(), stride, n, out);
+      for (int r = 0; r < 4; ++r) {
+        ExpectClose(out[r], scalar_->l2sq(q.data(), rows[r].data(), dim));
+      }
+    }
+  }
+}
+
+TEST_P(KernelTierTest, ScanMatchesScalarPairwise) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  // Row counts cover the batch4 groups and the 1-3 row remainder tail.
+  for (const std::size_t rows : {1u, 3u, 4u, 5u, 8u, 11u}) {
+    for (const std::size_t dim : {3u, 16u, 64u, 960u}) {
+      Rng rng(rows * 31 + dim);
+      const FeatureVector q = RandomVector(rng, dim);
+      const std::size_t stride = PaddedDim(dim);
+      AlignedArray<float> base = AllocateAligned<float>(rows * stride);
+      std::vector<FeatureVector> stored;
+      for (std::size_t r = 0; r < rows; ++r) {
+        stored.push_back(RandomVector(rng, dim));
+        std::memcpy(base.get() + r * stride, stored.back().data(),
+                    dim * sizeof(float));
+      }
+      std::vector<float> out(rows, -1.f);
+      tier_->l2sq_scan(q.data(), base.get(), stride, dim, rows, out.data());
+      for (std::size_t r = 0; r < rows; ++r) {
+        ExpectClose(out[r], scalar_->l2sq(q.data(), stored[r].data(), dim));
+      }
+    }
+  }
+}
+
+namespace {
+float SquaredNormF64(const float* v, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += static_cast<double>(v[i]) * static_cast<double>(v[i]);
+  }
+  return static_cast<float>(s);
+}
+}  // namespace
+
+TEST_P(KernelTierTest, ScanFilterMatchesSubtractFormWithinCancellationTol) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  // threshold = +inf: every row survives, in ascending order, and each
+  // distance must match the subtract-form scalar kernel within the dot
+  // form's documented cancellation bound ~1e-5 * (||q||^2 + ||v||^2).
+  for (const std::size_t rows : {1u, 3u, 4u, 5u, 8u, 11u}) {
+    for (const std::size_t dim : {3u, 16u, 64u, 960u}) {
+      Rng rng(rows * 37 + dim);
+      const FeatureVector q = RandomVector(rng, dim);
+      const std::size_t stride = PaddedDim(dim);
+      AlignedArray<float> base = AllocateAligned<float>(rows * stride);
+      std::vector<FeatureVector> stored;
+      std::vector<float> norms(rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        stored.push_back(RandomVector(rng, dim));
+        std::memcpy(base.get() + r * stride, stored.back().data(),
+                    dim * sizeof(float));
+        norms[r] = SquaredNormF64(stored.back().data(), dim);
+      }
+      FeatureVector padded_q(stride, 0.f);
+      std::memcpy(padded_q.data(), q.data(), dim * sizeof(float));
+      const float q_norm = SquaredNormF64(q.data(), dim);
+      std::vector<std::uint32_t> idx(rows, 0xdeadbeef);
+      std::vector<float> dist(rows, -1.f);
+      const std::size_t kept = tier_->l2sq_scan_filter(
+          padded_q.data(), q_norm, base.get(), norms.data(), stride, stride,
+          rows, std::numeric_limits<float>::infinity(), idx.data(),
+          dist.data());
+      ASSERT_EQ(kept, rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(idx[r], static_cast<std::uint32_t>(r));
+        const float expected =
+            scalar_->l2sq(q.data(), stored[r].data(), dim);
+        EXPECT_NEAR(dist[r], expected,
+                    1e-4 * (1.0 + q_norm + norms[r]))
+            << "rows=" << rows << " dim=" << dim << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(KernelTierTest, ScanFilterAgreesWithScalarSurvivors) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  // Real thresholds: tiers must keep exactly the scalar fused kernel's
+  // survivor set whenever no distance sits within lane-reduction rounding
+  // of the threshold (the threshold is picked mid-gap to guarantee that).
+  for (const std::size_t rows : {8u, 32u, 100u}) {
+    const std::size_t dim = 64;
+    Rng rng(rows * 41 + 7);
+    const FeatureVector q = RandomVector(rng, dim);
+    const std::size_t stride = PaddedDim(dim);
+    AlignedArray<float> base = AllocateAligned<float>(rows * stride);
+    std::vector<float> norms(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const FeatureVector v = RandomVector(rng, dim);
+      std::memcpy(base.get() + r * stride, v.data(), dim * sizeof(float));
+      norms[r] = SquaredNormF64(v.data(), dim);
+    }
+    const float q_norm = SquaredNormF64(q.data(), dim);
+    std::vector<std::uint32_t> sidx(rows);
+    std::vector<float> sdist(rows);
+    const std::size_t all = scalar_->l2sq_scan_filter(
+        q.data(), q_norm, base.get(), norms.data(), stride, stride, rows,
+        std::numeric_limits<float>::infinity(), sidx.data(), sdist.data());
+    ASSERT_EQ(all, rows);
+    std::vector<float> sorted = sdist;
+    std::sort(sorted.begin(), sorted.end());
+    // Mid-gap thresholds at a few depths; skip degenerate (too-tight) gaps.
+    for (const std::size_t depth : {rows / 4, rows / 2, rows - 1}) {
+      const float lo = sorted[depth];
+      const float hi = depth + 1 < rows ? sorted[depth + 1]
+                                        : sorted[depth] + 1.f;
+      if (hi - lo < 1e-2f) continue;
+      const float threshold = (lo + hi) * 0.5f;
+      std::vector<std::uint32_t> expect_idx;
+      std::vector<float> expect_dist;
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (sdist[r] <= threshold) {
+          expect_idx.push_back(static_cast<std::uint32_t>(r));
+          expect_dist.push_back(sdist[r]);
+        }
+      }
+      std::vector<std::uint32_t> idx(rows, 0xdeadbeef);
+      std::vector<float> dist(rows, -1.f);
+      const std::size_t kept = tier_->l2sq_scan_filter(
+          q.data(), q_norm, base.get(), norms.data(), stride, stride, rows,
+          threshold, idx.data(), dist.data());
+      ASSERT_EQ(kept, expect_idx.size())
+          << "rows=" << rows << " depth=" << depth;
+      for (std::size_t s = 0; s < kept; ++s) {
+        EXPECT_EQ(idx[s], expect_idx[s]);
+        ExpectClose(dist[s], expect_dist[s]);
+      }
+    }
+  }
+}
+
+TEST_P(KernelTierTest, ScanFilterClampsIdenticalVectorToZero) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  // q scanned against itself: cancellation could produce a tiny negative in
+  // the dot form; the kernel must clamp to a non-negative distance within
+  // the cancellation bound of zero.
+  const std::size_t dim = 64;
+  Rng rng(4242);
+  const FeatureVector q = RandomVector(rng, dim);
+  const std::size_t stride = PaddedDim(dim);
+  AlignedArray<float> base = AllocateAligned<float>(4 * stride);
+  std::vector<float> norms(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::memcpy(base.get() + r * stride, q.data(), dim * sizeof(float));
+    norms[r] = SquaredNormF64(q.data(), dim);
+  }
+  const float q_norm = SquaredNormF64(q.data(), dim);
+  std::uint32_t idx[4];
+  float dist[4];
+  const std::size_t kept =
+      tier_->l2sq_scan_filter(q.data(), q_norm, base.get(), norms.data(),
+                              stride, stride, 4, 1e-3f, idx, dist);
+  ASSERT_EQ(kept, 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_GE(dist[r], 0.f);
+    EXPECT_LE(dist[r], 1e-3f);
+  }
+}
+
+TEST_P(KernelTierTest, PqAdcScanMatchesPerCandidateLookups) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  Rng rng(99);
+  for (const std::size_t m : {1u, 4u, 8u, 16u}) {
+    const std::size_t ks = 256;
+    std::vector<float> table(m * ks);
+    for (float& x : table) x = static_cast<float>(rng.NextDouble());
+    for (const std::size_t count : {1u, 3u, 7u, 8u, 15u, 16u, 17u, 100u}) {
+      std::vector<std::uint8_t> codes(count * m);
+      for (std::uint8_t& c : codes) {
+        c = static_cast<std::uint8_t>(rng.Below(ks));
+      }
+      std::vector<float> out(count, -1.f);
+      tier_->pq_adc_scan(table.data(), ks, codes.data(), m, count, out.data());
+      for (std::size_t c = 0; c < count; ++c) {
+        float expected = 0.f;
+        for (std::size_t s = 0; s < m; ++s) {
+          expected += table[s * ks + codes[c * m + s]];
+        }
+        ExpectClose(out[c], expected);
+      }
+    }
+  }
+}
+
+TEST_P(KernelTierTest, FilterLeMatchesScalarExactly) {
+  if (tier_ == nullptr) GTEST_SKIP() << "tier unsupported on this CPU";
+  Rng rng(1234);
+  for (const std::size_t count :
+       {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 100u, 256u}) {
+    std::vector<float> dists(count);
+    for (float& d : dists) {
+      // Coarse quantization of the values manufactures exact ties with the
+      // thresholds below.
+      d = static_cast<float>(rng.Below(16)) * 0.25f;
+    }
+    for (const float threshold :
+         {-1.f, 0.f, 0.5f, 1.75f, 4.f,
+          std::numeric_limits<float>::infinity()}) {
+      std::vector<std::uint32_t> expected;
+      for (std::size_t j = 0; j < count; ++j) {
+        if (dists[j] <= threshold) {
+          expected.push_back(static_cast<std::uint32_t>(j));
+        }
+      }
+      std::vector<std::uint32_t> got(count + 1, 0xdeadbeef);
+      const std::size_t n =
+          tier_->filter_le(dists.data(), count, threshold, got.data());
+      ASSERT_EQ(n, expected.size())
+          << "count=" << count << " threshold=" << threshold;
+      got.resize(n);
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, KernelTierTest,
+                         ::testing::Values(KernelTier::kScalar,
+                                           KernelTier::kAvx2,
+                                           KernelTier::kAvx512),
+                         [](const auto& info) {
+                           return KernelTierName(info.param);
+                         });
+
+TEST(KernelDispatchTest, ActiveTierIsSupportedAndForcible) {
+  const KernelTier active = ActiveKernelTier();
+  EXPECT_NE(KernelsForTier(active), nullptr);
+  EXPECT_EQ(Kernels().tier, active);
+  // Scalar is always forcible; restore the resolved tier afterwards.
+  EXPECT_TRUE(ForceKernelTier(KernelTier::kScalar));
+  EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
+  EXPECT_TRUE(ForceKernelTier(active));
+  EXPECT_EQ(ActiveKernelTier(), active);
+}
+
+TEST(KernelDispatchTest, TierNamesAreStable) {
+  EXPECT_STREQ(KernelTierName(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(KernelTierName(KernelTier::kAvx2), "avx2");
+  EXPECT_STREQ(KernelTierName(KernelTier::kAvx512), "avx512");
+}
+
+// ---- float64 accumulation (the L2Norm overflow fix) ----
+
+TEST(NormPrecisionTest, LargeMagnitudeNormDoesNotOverflow) {
+  // x*x for |x| ~ 1e19+ exceeds FLT_MAX (~3.4e38): an fp32 accumulator
+  // returns +inf. The float64 path returns the exact 3-4-5 answer.
+  const FeatureVector v{3e19f, 4e19f};
+  const float norm = L2Norm(v);
+  EXPECT_TRUE(std::isfinite(norm));
+  EXPECT_NEAR(norm / 5e19f, 1.f, 1e-5);
+}
+
+TEST(NormPrecisionTest, LargeMagnitudeNormalizeYieldsUnitVector) {
+  FeatureVector v(64, 2e19f);
+  NormalizeL2(v);
+  EXPECT_NEAR(L2Norm(v), 1.f, 1e-5);
+  for (const float x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+// ---- aligned allocation + padded layout helpers ----
+
+TEST(AlignedTest, PaddedDimRoundsToCacheLines) {
+  EXPECT_EQ(PaddedDim(1), kFloatsPerCacheLine);
+  EXPECT_EQ(PaddedDim(16), 16u);
+  EXPECT_EQ(PaddedDim(17), 32u);
+  EXPECT_EQ(PaddedDim(960), 960u);  // the paper's dim is already whole lines
+}
+
+TEST(AlignedTest, AllocationsAreAlignedAndZeroed) {
+  for (const std::size_t count : {1u, 7u, 16u, 1000u}) {
+    AlignedArray<float> block = AllocateAligned<float>(count);
+    EXPECT_TRUE(IsCacheAligned(block.get()));
+    for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(block.get()[i], 0.f);
+  }
+}
+
+// ---- ScanBlock: the contiguous posting-list payload store ----
+
+TEST(ScanBlockTest, RoundTripsEntriesAcrossChunks) {
+  // 40 entries span the 16-entry first chunk and part of the 32-entry
+  // second, so random access crosses a chunk boundary.
+  constexpr std::size_t kStride = 12;
+  constexpr std::size_t kEntries = 40;
+  ScanBlock block(kStride, /*max_run_entries=*/8);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (std::uint32_t i = 0; i < kEntries; ++i) {
+    std::vector<std::uint8_t> payload(kStride,
+                                      static_cast<std::uint8_t>(i + 1));
+    block.Append(/*id=*/i * 10, payload.data(), /*aux=*/i * 0.5f);
+    payloads.push_back(std::move(payload));
+  }
+  ASSERT_EQ(block.size(), kEntries);
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    EXPECT_EQ(block.IdAt(i), i * 10);
+    EXPECT_EQ(std::memcmp(block.PayloadAt(i), payloads[i].data(), kStride), 0);
+  }
+  EXPECT_TRUE(block.storage_aligned());
+  // Geometric growth: 16 + 32 entries allocated for 40 stored.
+  EXPECT_EQ(block.memory_bytes(),
+            48 * (kStride + sizeof(LocalId) + sizeof(float)));
+}
+
+TEST(ScanBlockTest, ForEachRunVisitsAllEntriesInOrderWithAlignedRuns) {
+  // Run bases are 64-byte aligned when max_run_entries * stride is a
+  // cache-line multiple: 8 * 8 = 64 here.
+  ScanBlock block(/*payload_stride_bytes=*/8, /*max_run_entries=*/8);
+  constexpr std::uint32_t kEntries = 20;
+  for (std::uint32_t i = 0; i < kEntries; ++i) {
+    std::uint64_t payload = i;
+    block.Append(i, &payload, /*aux=*/i * 2.0f);
+  }
+  std::vector<std::size_t> run_sizes;
+  std::vector<LocalId> seen;
+  block.ForEachRun([&](const LocalId* ids, const std::uint8_t* payload,
+                       const float* aux, std::size_t count) {
+    EXPECT_TRUE(IsCacheAligned(payload));
+    run_sizes.push_back(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      seen.push_back(ids[j]);
+      std::uint64_t value;
+      std::memcpy(&value, payload + j * 8, 8);
+      EXPECT_EQ(value, ids[j]);
+      EXPECT_EQ(aux[j], static_cast<float>(ids[j]) * 2.0f);
+    }
+  });
+  // 16-entry chunk split into two 8-entry runs, then 4 entries of the
+  // 32-entry second chunk.
+  EXPECT_EQ(run_sizes, (std::vector<std::size_t>{8, 8, 4}));
+  ASSERT_EQ(seen.size(), kEntries);
+  for (std::size_t i = 0; i < kEntries; ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace jdvs
