@@ -252,8 +252,8 @@ inline void PrintHeader(const char* id, const char* paper_claim) {
 // rt_apply in a W/O-realtime run) are skipped.
 inline void PrintStageBreakdown(const obs::Registry& registry) {
   static constexpr const char* kStages[] = {
-      "query_total", "extract", "broker_fanout", "searcher_scan", "rank",
-      "rt_apply"};
+      "query_total", "extract", "broker_fanout", "searcher_filter",
+      "searcher_scan", "rank", "rt_apply"};
   std::printf("\nper-stage latency breakdown (us):\n");
   std::printf("  %-14s %10s %10s %10s %10s\n", "stage", "count", "mean",
               "p90", "p99");

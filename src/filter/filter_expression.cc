@@ -1,0 +1,180 @@
+#include "filter/filter_expression.h"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace jdvs {
+namespace {
+
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kMaxField = static_cast<std::uint8_t>(FilterField::kPraise);
+// A conjunction over 4 fields never usefully needs more than a handful of
+// predicates; the cap bounds what a malformed wire blob can make us allocate.
+constexpr std::size_t kMaxPredicates = 64;
+
+std::uint64_t ReadU64Le(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void AppendU64Le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t FieldValue(FilterField field, CategoryId category,
+                         const ProductAttributes& attributes) noexcept {
+  switch (field) {
+    case FilterField::kCategory:
+      return category;
+    case FilterField::kSales:
+      return attributes.sales;
+    case FilterField::kPriceCents:
+      return attributes.price_cents;
+    case FilterField::kPraise:
+      return attributes.praise;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* FilterFieldName(FilterField field) noexcept {
+  switch (field) {
+    case FilterField::kCategory:
+      return "category";
+    case FilterField::kSales:
+      return "sales";
+    case FilterField::kPriceCents:
+      return "price_cents";
+    case FilterField::kPraise:
+      return "praise";
+  }
+  return "unknown";
+}
+
+FilterExpression& FilterExpression::WithCategory(CategoryId category) {
+  return WithRange(FilterField::kCategory, category, category);
+}
+
+FilterExpression& FilterExpression::WithCategoryRange(CategoryId min,
+                                                      CategoryId max) {
+  return WithRange(FilterField::kCategory, min, max);
+}
+
+FilterExpression& FilterExpression::WithRange(FilterField field,
+                                              std::uint64_t min,
+                                              std::uint64_t max) {
+  if (min > max) {
+    throw std::invalid_argument("FilterExpression: min > max for field " +
+                                std::string(FilterFieldName(field)));
+  }
+  predicates_.push_back(FilterPredicate{field, min, max});
+  return *this;
+}
+
+FilterExpression& FilterExpression::WithMin(FilterField field,
+                                            std::uint64_t min) {
+  return WithRange(field, min, std::numeric_limits<std::uint64_t>::max());
+}
+
+FilterExpression& FilterExpression::WithMax(FilterField field,
+                                            std::uint64_t max) {
+  return WithRange(field, 0, max);
+}
+
+bool FilterExpression::Matches(
+    CategoryId category, const ProductAttributes& attributes) const noexcept {
+  for (const FilterPredicate& p : predicates_) {
+    const std::uint64_t value = FieldValue(p.field, category, attributes);
+    if (value < p.min || value > p.max) return false;
+  }
+  return true;
+}
+
+std::uint64_t FilterExpression::Hash() const noexcept {
+  std::uint64_t key = Fnv1a64("jdvs.filter_expression");
+  for (const FilterPredicate& p : predicates_) {
+    key = HashCombine(key, Mix64(static_cast<std::uint64_t>(p.field) + 1));
+    key = HashCombine(key, Mix64(p.min));
+    key = HashCombine(key, Mix64(p.max));
+  }
+  return key;
+}
+
+std::string FilterExpression::Serialize() const {
+  std::string out;
+  out.reserve(3 + predicates_.size() * 17);
+  out.push_back(static_cast<char>(kWireVersion));
+  const std::size_t count = predicates_.size();
+  out.push_back(static_cast<char>(count & 0xff));
+  out.push_back(static_cast<char>((count >> 8) & 0xff));
+  for (const FilterPredicate& p : predicates_) {
+    out.push_back(static_cast<char>(p.field));
+    AppendU64Le(out, p.min);
+    AppendU64Le(out, p.max);
+  }
+  return out;
+}
+
+FilterExpression FilterExpression::Deserialize(std::string_view bytes) {
+  if (bytes.size() < 3) {
+    throw std::invalid_argument("FilterExpression: truncated header");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (p[0] != kWireVersion) {
+    throw std::invalid_argument("FilterExpression: unknown wire version");
+  }
+  const std::size_t count = std::size_t{p[1]} | (std::size_t{p[2]} << 8);
+  if (count > kMaxPredicates) {
+    throw std::invalid_argument("FilterExpression: predicate count too large");
+  }
+  if (bytes.size() != 3 + count * 17) {
+    throw std::invalid_argument("FilterExpression: length mismatch");
+  }
+  FilterExpression expr;
+  expr.predicates_.reserve(count);
+  const unsigned char* cursor = p + 3;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cursor[0] > kMaxField) {
+      throw std::invalid_argument("FilterExpression: unknown field");
+    }
+    FilterPredicate pred;
+    pred.field = static_cast<FilterField>(cursor[0]);
+    pred.min = ReadU64Le(cursor + 1);
+    pred.max = ReadU64Le(cursor + 9);
+    if (pred.min > pred.max) {
+      throw std::invalid_argument("FilterExpression: min > max");
+    }
+    expr.predicates_.push_back(pred);
+    cursor += 17;
+  }
+  return expr;
+}
+
+std::string FilterExpression::ToString() const {
+  if (predicates_.empty()) return "(no filter)";
+  std::string out;
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    const FilterPredicate& p = predicates_[i];
+    if (i > 0) out += " AND ";
+    out += FilterFieldName(p.field);
+    if (p.min == p.max) {
+      out += "=" + std::to_string(p.min);
+    } else {
+      out += " in [" + std::to_string(p.min) + ",";
+      out += p.max == std::numeric_limits<std::uint64_t>::max()
+                 ? "inf"
+                 : std::to_string(p.max);
+      out += "]";
+    }
+  }
+  return out;
+}
+
+}  // namespace jdvs

@@ -1,0 +1,95 @@
+// Structured attribute predicates for hybrid (visual + attribute) search.
+//
+// Real queries are "looks like this AND price < 5000 AND category=shoes";
+// Mu et al. (PAPERS.md, "Towards Practical Visual Search Engine within
+// Elasticsearch") build their whole engine around combining structured
+// predicates with visual KNN. A FilterExpression is the query-side half of
+// that: a conjunction of predicates over the structured attributes the
+// forward index already stores (src/mq/message.h ProductAttributes plus the
+// CategoryId tag), carried in QueryOptions and serialized across the
+// Blender -> Broker -> Searcher hops. The index-side half — bitmaps and
+// numeric columns the expression is evaluated against — lives in
+// filter/attribute_filter_index.h.
+//
+// Only conjunctions are modeled (every predicate must hold). Category
+// predicates are tag tests (equality, or a closed range over category ids);
+// numeric predicates are closed ranges [min, max] over the wait-free
+// per-image counters sales / price_cents / praise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mq/message.h"
+#include "vecmath/vector.h"
+
+namespace jdvs {
+
+enum class FilterField : std::uint8_t {
+  kCategory = 0,    // tag equality/range over CategoryId
+  kSales = 1,       // ProductAttributes::sales
+  kPriceCents = 2,  // ProductAttributes::price_cents
+  kPraise = 3,      // ProductAttributes::praise
+};
+
+const char* FilterFieldName(FilterField field) noexcept;
+
+// One conjunct: field value must lie in the closed range [min, max].
+// Tag equality is the degenerate range min == max.
+struct FilterPredicate {
+  FilterField field = FilterField::kSales;
+  std::uint64_t min = 0;
+  std::uint64_t max = ~std::uint64_t{0};
+
+  bool operator==(const FilterPredicate&) const = default;
+};
+
+class FilterExpression {
+ public:
+  FilterExpression() = default;
+
+  // Fluent builders (return *this so predicates chain).
+  FilterExpression& WithCategory(CategoryId category);
+  FilterExpression& WithCategoryRange(CategoryId min, CategoryId max);
+  FilterExpression& WithRange(FilterField field, std::uint64_t min,
+                              std::uint64_t max);
+  FilterExpression& WithMin(FilterField field, std::uint64_t min);
+  FilterExpression& WithMax(FilterField field, std::uint64_t max);
+
+  bool empty() const noexcept { return predicates_.empty(); }
+  std::size_t size() const noexcept { return predicates_.size(); }
+  const std::vector<FilterPredicate>& predicates() const noexcept {
+    return predicates_;
+  }
+
+  // True when every predicate holds for (category, attributes). Wait-free;
+  // callable from scan hot paths.
+  bool Matches(CategoryId category,
+               const ProductAttributes& attributes) const noexcept;
+
+  // Order-sensitive structural hash (Mix64/HashCombine chain). The empty
+  // expression hashes to a fixed seed, so cache keys that never carried a
+  // filter keep hashing the same stream of inputs.
+  std::uint64_t Hash() const noexcept;
+
+  // Compact byte encoding for the RPC fabric: version byte, u16 predicate
+  // count, then (field u8, min u64 LE, max u64 LE) per predicate.
+  std::string Serialize() const;
+  // Throws std::invalid_argument on truncated bytes, an unknown version or
+  // field, or min > max.
+  static FilterExpression Deserialize(std::string_view bytes);
+
+  // Human-readable form for spans/logs, e.g.
+  // "category=7 AND sales in [100,inf] AND price_cents in [0,5000]".
+  std::string ToString() const;
+
+  bool operator==(const FilterExpression&) const = default;
+
+ private:
+  std::vector<FilterPredicate> predicates_;
+};
+
+}  // namespace jdvs

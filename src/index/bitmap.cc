@@ -49,6 +49,12 @@ bool ValidityBitmap::Get(std::size_t index) const noexcept {
   return (WordFor(index)->load(std::memory_order_acquire) & mask) != 0;
 }
 
+std::uint64_t ValidityBitmap::WordAt(std::size_t w) const noexcept {
+  if (w >= num_words_.load(std::memory_order_acquire)) return 0;
+  return chunks_[w / kWordsPerChunk][w % kWordsPerChunk].load(
+      std::memory_order_acquire);
+}
+
 std::size_t ValidityBitmap::CountValid() const noexcept {
   const std::size_t words = num_words_.load(std::memory_order_acquire);
   std::size_t valid = 0;

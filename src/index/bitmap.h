@@ -22,6 +22,8 @@ namespace jdvs {
 
 class ValidityBitmap {
  public:
+  static constexpr std::size_t kBitsPerWord = 64;
+
   explicit ValidityBitmap(std::size_t initial_bits = 0);
 
   ValidityBitmap(const ValidityBitmap&) = delete;
@@ -45,8 +47,16 @@ class ValidityBitmap {
   // Population count over all words (approximate under concurrent writes).
   std::size_t CountValid() const noexcept;
 
+  // Word-level read access for bulk materialization: word `w` covers bits
+  // [w*64, w*64+64). Out-of-range words read as all-zero. Wait-free; the
+  // attribute filter index ANDs whole bitmaps this way instead of testing
+  // bit by bit.
+  std::uint64_t WordAt(std::size_t w) const noexcept;
+  std::size_t num_words() const noexcept {
+    return num_words_.load(std::memory_order_acquire);
+  }
+
  private:
-  static constexpr std::size_t kBitsPerWord = 64;
   static constexpr std::size_t kWordsPerChunk = 1024;  // 64K bits per chunk
 
   using Word = std::atomic<std::uint64_t>;

@@ -11,14 +11,45 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "filter/filter_expression.h"
 #include "mq/message.h"
 #include "vecmath/vector.h"
 
 namespace jdvs {
+
+// Per-query diagnostics of a hybrid (filtered) search: which pushdown
+// strategy the index chose, how selective the materialized filter was and
+// how much scan work the bitmap saved. Caller-owned, filled by the query
+// that receives it — no concurrency.
+struct FilterScanStats {
+  enum class Strategy : std::uint8_t {
+    kNone = 0,      // no filter, plain scan
+    kPre = 1,       // bitmap evaluated per sub-block before the kernel
+    kPost = 2,      // kernel survivors tested against the bitmap
+    kFallback = 3,  // generic over-fetch + post-filter (non-IVF indexes)
+  };
+
+  Strategy strategy = Strategy::kNone;
+  // matches / universe in basis points (10000 = everything passes).
+  std::uint32_t selectivity_bp = 10000;
+  std::size_t matches = 0;
+  std::size_t universe = 0;
+  // 64-entry sub-blocks whose kernel call was skipped because the bitmap
+  // proved them wholly dead vs sub-blocks actually scanned.
+  std::uint64_t blocks_skipped = 0;
+  std::uint64_t blocks_scanned = 0;
+  // True when extreme selectivity widened nprobe to keep recall.
+  bool widened_nprobe = false;
+  // Cost of materializing the filter bitmap (the "searcher_filter" stage).
+  std::int64_t materialize_micros = 0;
+};
+
+const char* FilterStrategyName(FilterScanStats::Strategy strategy) noexcept;
 
 // One search result as shipped from searcher to broker to blender. Strings
 // are owned copies: results cross (simulated) process boundaries.
@@ -65,6 +96,19 @@ class ImageIndex {
                                 std::size_t nprobe_override = 0) const {
     return Search(query, k, nprobe_override, kNoCategoryFilter);
   }
+
+  // Hybrid filtered search: top-k valid images matching every predicate of
+  // `filter` (conjoined with `category_filter`). The base implementation
+  // over-fetches through the unfiltered Search and post-filters the hits,
+  // so every index representation (LSH, IMI, binary-hash) answers hybrid
+  // queries correctly out of the box; IvfIndex and IvfPqIndex override it
+  // with true bitmap pushdown into the scan. `stats`, when non-null,
+  // receives the per-query strategy/selectivity diagnostics.
+  virtual std::vector<SearchHit> Search(FeatureView query, std::size_t k,
+                                        std::size_t nprobe_override,
+                                        CategoryId category_filter,
+                                        const FilterExpression& filter,
+                                        FilterScanStats* stats = nullptr) const;
 
   virtual std::size_t size() const = 0;
   virtual std::size_t dim() const = 0;

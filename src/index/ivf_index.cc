@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/hash.h"
 #include "vecmath/kernels.h"
 
@@ -59,6 +60,9 @@ LocalId IvfIndex::AddImage(std::string_view image_url, ProductId product_id,
   //    based on its high-dimensional features. The image ID is then added to
   //    the end of the inverted list and the last element position ... is
   //    updated in the auxiliary array."
+  // Attribute filter index in lockstep with the forward index: same local
+  // id, same tag, same numeric values.
+  filters_.Append(category, attributes);
   const std::uint32_t list = quantizer_->NearestCentroid(feature);
   lists_[list]->Append(local);
   // 3. Feature row into the list's scan block (padding lanes stay zero: the
@@ -93,6 +97,7 @@ std::size_t IvfIndex::UpdateProductAttributes(ProductId product_id,
   if (it == product_to_locals_.end()) return 0;
   for (const LocalId local : it->second) {
     forward_.UpdateNumeric(local, attributes);
+    filters_.UpdateNumeric(local, attributes);
     if (!detail_url.empty()) forward_.UpdateDetailUrl(local, detail_url);
   }
   return it->second.size();
@@ -137,6 +142,8 @@ const float* IvfIndex::PadQuery(FeatureView query, float* stack_buf,
 
 void IvfIndex::ScanListPadded(std::size_t list, const float* padded_query,
                               float query_norm, CategoryId category_filter,
+                              const MaterializedFilter* filter,
+                              bool post_filter, FilterScanStats* stats,
                               TopK& topk) const {
   const DistanceKernels& kernels = Kernels();
   const std::size_t stride = padded_dim_;
@@ -159,11 +166,29 @@ void IvfIndex::ScanListPadded(std::size_t list, const float* padded_query,
     // flood at one sub-block instead of the whole run. The threshold only
     // tightens while offering, so a sub-block's survivors are a superset;
     // each is re-checked against the freshest threshold before its Offer.
+    //
+    // Hybrid pushdown: with a materialized filter in pre mode, the
+    // sub-block's alive mask is gathered first (ids are in list-append
+    // order, so each bit is a bitmap probe) and a wholly-dead sub-block
+    // skips the kernel — its 64 feature rows are never touched. The bitmap
+    // already folds validity and the category tag, so survivor admission is
+    // a single mask test in place of the two legacy checks.
     constexpr std::size_t kFilterBlock = 64;
     std::uint32_t keep[kFilterBlock];
     float keep_dist[kFilterBlock];
     for (std::size_t b = 0; b < count; b += kFilterBlock) {
       const std::size_t block = std::min(kFilterBlock, count - b);
+      std::uint64_t alive = 0;
+      if (filter != nullptr && !post_filter) {
+        for (std::size_t s = 0; s < block; ++s) {
+          alive |= std::uint64_t{filter->Test(ids[b + s])} << s;
+        }
+        if (alive == 0) {
+          if (stats != nullptr) ++stats->blocks_skipped;
+          continue;
+        }
+      }
+      if (stats != nullptr) ++stats->blocks_scanned;
       float threshold = topk.Threshold();
       const std::size_t kept = kernels.l2sq_scan_filter(
           padded_query, query_norm, rows + b * stride, norms + b, stride,
@@ -172,16 +197,65 @@ void IvfIndex::ScanListPadded(std::size_t list, const float* padded_query,
         const float dist = keep_dist[s];
         if (dist > threshold) continue;
         const LocalId local = ids[b + keep[s]];
-        if (config_.filter_invalid_during_scan && !valid_.Get(local)) continue;
-        if (category_filter != kNoCategoryFilter &&
-            forward_.CategoryOf(local) != category_filter) {
-          continue;
+        if (filter != nullptr) {
+          const bool pass = post_filter ? filter->Test(local)
+                                        : ((alive >> keep[s]) & 1) != 0;
+          if (!pass) continue;
+        } else {
+          if (config_.filter_invalid_during_scan && !valid_.Get(local)) {
+            continue;
+          }
+          if (category_filter != kNoCategoryFilter &&
+              forward_.CategoryOf(local) != category_filter) {
+            continue;
+          }
         }
         topk.Offer(local, dist);
         threshold = topk.Threshold();
       }
     }
   });
+}
+
+IvfIndex::FilterPlan IvfIndex::PlanFilteredScan(const FilterExpression& filter,
+                                                CategoryId category_filter,
+                                                std::size_t nprobe,
+                                                FilterScanStats* stats) const {
+  FilterPlan plan;
+  plan.nprobe = nprobe;
+  if (stats != nullptr) {
+    *stats = FilterScanStats{};
+    stats->universe = forward_.size();
+  }
+  if (filter.empty()) return plan;
+  const Stopwatch watch(MonotonicClock::Instance());
+  // The ablation flag keeps validity out of the bitmap (deferred to
+  // materialization), matching the unfiltered scan's contract.
+  plan.bits = filters_.Materialize(
+      filter, category_filter,
+      config_.filter_invalid_during_scan ? &valid_ : nullptr);
+  const Micros materialize_micros = watch.ElapsedMicros();
+  plan.use_filter = true;
+  const double selectivity = plan.bits.selectivity();
+  if (plan.bits.matches == 0) {
+    plan.empty_result = true;
+  } else if (selectivity >= config_.filter_post_threshold) {
+    plan.post_mode = true;
+  } else if (selectivity < config_.filter_widen_threshold &&
+             config_.filter_widen_factor > 1) {
+    plan.nprobe = std::min(nprobe * config_.filter_widen_factor,
+                           quantizer_->num_clusters());
+  }
+  if (stats != nullptr) {
+    stats->strategy = plan.post_mode ? FilterScanStats::Strategy::kPost
+                                     : FilterScanStats::Strategy::kPre;
+    stats->selectivity_bp = static_cast<std::uint32_t>(selectivity * 10000.0);
+    stats->matches = plan.bits.matches;
+    stats->universe = plan.bits.universe;
+    stats->widened_nprobe = plan.nprobe != nprobe;
+    stats->materialize_micros = materialize_micros;
+  }
+  return plan;
 }
 
 SearchHit IvfIndex::MaterializeHit(const ScoredImage& scored) const {
@@ -214,7 +288,8 @@ std::vector<SearchHit> IvfIndex::MaterializeRanked(
 
 std::vector<ScoredImage> IvfIndex::ScanProbes(
     FeatureView query, std::size_t k, std::span<const std::uint32_t> probes,
-    CategoryId category_filter) const {
+    CategoryId category_filter, const MaterializedFilter* filter,
+    bool post_filter, FilterScanStats* stats) const {
   assert(query.size() == dim());
   alignas(kCacheLineBytes) float stack_query[kMaxStackQueryFloats];
   AlignedArray<float> heap_query;
@@ -222,7 +297,8 @@ std::vector<ScoredImage> IvfIndex::ScanProbes(
   const float query_norm = SquaredNorm(padded, dim());
   TopK topk(k);
   for (const std::uint32_t list : probes) {
-    ScanListPadded(list, padded, query_norm, category_filter, topk);
+    ScanListPadded(list, padded, query_norm, category_filter, filter,
+                   post_filter, stats, topk);
   }
   return topk.TakeSorted();
 }
@@ -243,6 +319,28 @@ std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
   return MaterializeRanked(ranked);
 }
 
+std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
+                                        std::size_t nprobe_override,
+                                        CategoryId category_filter,
+                                        const FilterExpression& filter,
+                                        FilterScanStats* stats) const {
+  assert(query.size() == dim());
+  const std::size_t nprobe =
+      nprobe_override == 0 ? config_.nprobe : nprobe_override;
+  const FilterPlan plan =
+      PlanFilteredScan(filter, category_filter, nprobe, stats);
+  if (!plan.use_filter) {
+    return Search(query, k, nprobe_override, category_filter);
+  }
+  // Zero matches: empty-but-successful, no scan work at all.
+  if (plan.empty_result) return {};
+  const std::vector<std::uint32_t> probes =
+      quantizer_->NearestCentroids(query, plan.nprobe);
+  std::vector<ScoredImage> ranked = ScanProbes(
+      query, k, probes, kNoCategoryFilter, &plan.bits, plan.post_mode, stats);
+  return MaterializeRanked(ranked);
+}
+
 std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
     std::span<const IvfBatchQuery> queries) const {
   const std::size_t n = queries.size();
@@ -253,10 +351,25 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
   std::vector<std::size_t> nprobes;
   views.reserve(n);
   nprobes.reserve(n);
-  for (const IvfBatchQuery& bq : queries) {
+  // Per-query filter plans first: extreme selectivity can widen a query's
+  // nprobe, which must happen before the shared coarse pass.
+  std::vector<FilterPlan> plans(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const IvfBatchQuery& bq = queries[i];
     assert(bq.query.size() == dim());
     views.push_back(bq.query);
-    nprobes.push_back(bq.nprobe == 0 ? config_.nprobe : bq.nprobe);
+    const std::size_t nprobe = bq.nprobe == 0 ? config_.nprobe : bq.nprobe;
+    if (bq.filter != nullptr && !bq.filter->empty()) {
+      plans[i] = PlanFilteredScan(*bq.filter, bq.category_filter, nprobe,
+                                  bq.filter_stats);
+    } else {
+      plans[i].nprobe = nprobe;
+      if (bq.filter_stats != nullptr) {
+        *bq.filter_stats = FilterScanStats{};
+        bq.filter_stats->universe = forward_.size();
+      }
+    }
+    nprobes.push_back(plans[i].nprobe);
   }
   const std::vector<std::vector<std::uint32_t>> probes =
       quantizer_->NearestCentroidsBatch(views, nprobes);
@@ -272,6 +385,7 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
   // back-to-back while its rows are still in cache.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> plan;  // (list, query)
   for (std::size_t i = 0; i < n; ++i) {
+    if (plans[i].empty_result) continue;  // zero-match filter: no scan work
     for (const std::uint32_t list : probes[i]) {
       plan.emplace_back(list, static_cast<std::uint32_t>(i));
     }
@@ -282,8 +396,12 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
   topks.reserve(n);
   for (const IvfBatchQuery& bq : queries) topks.emplace_back(bq.k);
   for (const auto& [list, qi] : plan) {
+    const FilterPlan& fp = plans[qi];
     ScanListPadded(list, padded.get() + qi * padded_dim_, query_norms[qi],
-                   queries[qi].category_filter, topks[qi]);
+                   fp.use_filter ? kNoCategoryFilter
+                                 : queries[qi].category_filter,
+                   fp.use_filter ? &fp.bits : nullptr, fp.post_mode,
+                   queries[qi].filter_stats, topks[qi]);
   }
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = MaterializeRanked(topks[i].TakeSorted());
@@ -310,6 +428,38 @@ std::vector<SearchHit> IvfIndex::SearchExhaustive(FeatureView query,
       kernels.l2sq_scan(padded, rows, stride, stride, count, dists);
       for (std::size_t j = 0; j < count; ++j) {
         if (!valid_.Get(ids[j])) continue;
+        topk.Offer(static_cast<ImageId>(ids[j]), dists[j]);
+      }
+    });
+  }
+  std::vector<SearchHit> hits;
+  for (const ScoredImage& scored : topk.TakeSorted()) {
+    hits.push_back(MaterializeHit(scored));
+  }
+  return hits;
+}
+
+std::vector<SearchHit> IvfIndex::SearchExhaustive(
+    FeatureView query, std::size_t k, const FilterExpression& filter) const {
+  assert(query.size() == dim());
+  alignas(kCacheLineBytes) float stack_query[kMaxStackQueryFloats];
+  AlignedArray<float> heap_query;
+  const float* padded = PadQuery(query, stack_query, heap_query);
+  const DistanceKernels& kernels = Kernels();
+  const std::size_t stride = padded_dim_;
+  TopK topk(k);
+  // Predicates evaluated per candidate straight off the forward index — the
+  // slow, obviously-correct oracle the bitmap path is checked against.
+  for (const auto& block : blocks_) {
+    block->ForEachRun([&](const LocalId* ids, const std::uint8_t* payload,
+                          const float* /*norms*/, std::size_t count) {
+      const float* rows = reinterpret_cast<const float*>(payload);
+      float dists[kScanRunEntries];
+      kernels.l2sq_scan(padded, rows, stride, stride, count, dists);
+      for (std::size_t j = 0; j < count; ++j) {
+        if (!valid_.Get(ids[j])) continue;
+        const AttributeSnapshot snapshot = forward_.Get(ids[j]);
+        if (!filter.Matches(snapshot.category, snapshot.attributes)) continue;
         topk.Offer(static_cast<ImageId>(ids[j]), dists[j]);
       }
     });

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cluster/quantizer.h"
+#include "filter/attribute_filter_index.h"
 #include "index/bitmap.h"
 #include "index/forward_index.h"
 #include "index/image_index.h"
@@ -54,6 +55,17 @@ struct IvfIndexConfig {
   // images are filtered only when materializing results — the "no bitmap
   // optimization" ablation baseline.
   bool filter_invalid_during_scan = true;
+  // ---- Hybrid filter pushdown strategy knobs ----
+  // Selectivity (matching fraction) at or above which the scan post-filters
+  // kernel survivors instead of evaluating the bitmap per sub-block: when
+  // almost everything passes, per-survivor tests are cheaper than
+  // per-candidate mask gathering.
+  double filter_post_threshold = 0.5;
+  // Selectivity below which nprobe is widened (probed lists multiplied by
+  // filter_widen_factor, clamped to the list count) so k results can still
+  // be found under an extreme filter.
+  double filter_widen_threshold = 0.01;
+  std::size_t filter_widen_factor = 4;
 };
 
 struct IvfIndexStats {
@@ -73,6 +85,12 @@ struct IvfBatchQuery {
   std::size_t k = 10;
   std::size_t nprobe = 0;  // 0 = configured default
   CategoryId category_filter = kNoCategoryFilter;
+  // Optional hybrid filter: the pointee must outlive the SearchBatch call
+  // (the searcher keeps it alive in the per-request QueryOptions). Null or
+  // empty means unfiltered.
+  const FilterExpression* filter = nullptr;
+  // Optional per-query diagnostics sink (caller-owned).
+  FilterScanStats* filter_stats = nullptr;
 };
 
 class IvfIndex final : public ImageIndex {
@@ -127,6 +145,18 @@ class IvfIndex final : public ImageIndex {
                                 std::size_t nprobe_override,
                                 CategoryId category_filter) const override;
 
+  // Hybrid filtered search with true predicate pushdown: the filter is
+  // materialized once into a bitmap (category tags AND validity AND numeric
+  // ranges), a selectivity-adaptive strategy is chosen (pre-filter
+  // sub-blocks / post-filter survivors / widen nprobe — see the
+  // IvfIndexConfig knobs) and the scan skips wholly-dead 64-entry
+  // sub-blocks without touching their feature rows.
+  std::vector<SearchHit> Search(FeatureView query, std::size_t k,
+                                std::size_t nprobe_override,
+                                CategoryId category_filter,
+                                const FilterExpression& filter,
+                                FilterScanStats* stats = nullptr) const override;
+
   // Answers a group of concurrently admitted queries in one pass:
   // coarse assignment is a single centroid-major sweep for the whole batch,
   // and inverted lists probed by several queries are scanned back-to-back so
@@ -143,11 +173,19 @@ class IvfIndex final : public ImageIndex {
   std::vector<ScoredImage> ScanProbes(
       FeatureView query, std::size_t k,
       std::span<const std::uint32_t> probes,
-      CategoryId category_filter = kNoCategoryFilter) const;
+      CategoryId category_filter = kNoCategoryFilter,
+      const MaterializedFilter* filter = nullptr, bool post_filter = false,
+      FilterScanStats* stats = nullptr) const;
 
   // Brute-force scan over all valid images (ground truth for recall tests).
   std::vector<SearchHit> SearchExhaustive(FeatureView query,
                                           std::size_t k) const;
+
+  // Brute-force filtered ground truth: every valid image matching the
+  // predicates, exact distances (subtract form), top-k. The oracle the
+  // hybrid property tests compare pushdown against.
+  std::vector<SearchHit> SearchExhaustive(FeatureView query, std::size_t k,
+                                          const FilterExpression& filter) const;
 
   // Visits every entry in local-id order with its attributes, feature and
   // validity — the iteration snapshotting and replication tooling builds on.
@@ -164,6 +202,9 @@ class IvfIndex final : public ImageIndex {
   std::size_t padded_dim() const noexcept { return padded_dim_; }
   const CoarseQuantizer& quantizer() const { return *quantizer_; }
   const IvfIndexConfig& config() const { return config_; }
+  // The attribute filter index this partition maintains alongside the
+  // forward index (read-only: snapshot verification and tests).
+  const AttributeFilterIndex& attribute_filters() const { return filters_; }
 
   // True when every published feature row sits on a 64-byte boundary — the
   // layout invariant snapshot load re-checks before SIMD scans run on the
@@ -171,6 +212,19 @@ class IvfIndex final : public ImageIndex {
   bool feature_storage_aligned() const noexcept;
 
  private:
+  // One query's hybrid scan decision: the materialized bitmap plus the
+  // strategy the selectivity picked. Shared by Search and SearchBatch.
+  struct FilterPlan {
+    MaterializedFilter bits;
+    bool use_filter = false;    // false = unfiltered legacy scan
+    bool post_mode = false;     // survivors tested vs sub-block masks
+    bool empty_result = false;  // zero matches: skip the scan entirely
+    std::size_t nprobe = 0;     // effective probe count (possibly widened)
+  };
+  FilterPlan PlanFilteredScan(const FilterExpression& filter,
+                              CategoryId category_filter, std::size_t nprobe,
+                              FilterScanStats* stats) const;
+
   SearchHit MaterializeHit(const ScoredImage& scored) const;
   // Materializes ranked scan results, applying the late validity filter when
   // the ablation flag disabled filtering during the scan.
@@ -179,10 +233,14 @@ class IvfIndex final : public ImageIndex {
   // Scans one list given a query padded to padded_dim() (zeroed tail,
   // 64-byte-aligned base) and its squared L2 norm (the fused scan kernel
   // computes distances in the dot-product form against per-row norms stored
-  // in the scan block).
+  // in the scan block). A non-null `filter` replaces the per-survivor
+  // validity/category checks (the bitmap already folds them): post_filter
+  // tests kernel survivors only, otherwise sub-block masks are gathered
+  // first and wholly-dead sub-blocks skip the kernel.
   void ScanListPadded(std::size_t list, const float* padded_query,
                       float query_norm, CategoryId category_filter,
-                      TopK& topk) const;
+                      const MaterializedFilter* filter, bool post_filter,
+                      FilterScanStats* stats, TopK& topk) const;
   // Copies `query` into a padded row: `stack_buf` (kMaxStackQueryFloats
   // capacity) when it fits, else a fresh aligned heap block kept alive by
   // `heap_buf`.
@@ -196,6 +254,9 @@ class IvfIndex final : public ImageIndex {
   const std::size_t padded_dim_;
   ForwardIndex forward_;
   ValidityBitmap valid_;
+  // Attribute filter index (per-tag bitmaps + numeric columns), appended in
+  // lockstep with forward_ so LocalIds align.
+  AttributeFilterIndex filters_;
   std::vector<std::unique_ptr<InvertedList>> lists_;
   // Per-list contiguous feature rows in list order (the scan layout).
   std::vector<std::unique_ptr<ScanBlock>> blocks_;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <vector>
 
 namespace jdvs {
@@ -10,7 +11,11 @@ namespace {
 constexpr std::uint64_t kMagic = 0x4A44565349445831ULL;  // "JDVSIDX1"
 // Version 2 adds the update high-water mark right after the version field;
 // version-1 snapshots still load (hwm = 0, "replay everything").
-constexpr std::uint32_t kVersion = 2;
+// Version 3 adds the hybrid-filter strategy knobs to the config block and a
+// trailing verification section (per-category populations + numeric-column
+// checksum) that load cross-checks against the rebuilt attribute filter
+// index; v1/v2 snapshots still load with default knobs and no verification.
+constexpr std::uint32_t kVersion = 3;
 
 void WriteRaw(std::ostream& os, const void* data, std::size_t bytes) {
   os.write(static_cast<const char*>(data),
@@ -68,6 +73,9 @@ void SaveIndexSnapshot(const IvfIndex& index, const std::string& path,
   WritePod<std::uint64_t>(os, config.nprobe);
   WritePod<std::uint64_t>(os, config.initial_list_capacity);
   WritePod<std::uint8_t>(os, config.filter_invalid_during_scan ? 1 : 0);
+  WritePod<double>(os, config.filter_post_threshold);
+  WritePod<double>(os, config.filter_widen_threshold);
+  WritePod<std::uint64_t>(os, config.filter_widen_factor);
 
   // Quantizer.
   const CoarseQuantizer& quantizer = index.quantizer();
@@ -80,6 +88,7 @@ void SaveIndexSnapshot(const IvfIndex& index, const std::string& path,
 
   // Entries.
   WritePod<std::uint64_t>(os, index.size());
+  std::map<CategoryId, std::uint64_t> category_populations;
   index.ForEachEntry([&](LocalId, const AttributeSnapshot& snapshot,
                          FeatureView feature, bool valid) {
     WriteString(os, snapshot.image_url);
@@ -91,7 +100,19 @@ void SaveIndexSnapshot(const IvfIndex& index, const std::string& path,
     WriteString(os, snapshot.detail_url);
     WritePod<std::uint8_t>(os, valid ? 1 : 0);
     WriteRaw(os, feature.data(), feature.size() * sizeof(float));
+    // Category bitmaps count every appended image, valid or not (validity
+    // is a separate fold at materialization time).
+    ++category_populations[snapshot.category];
   });
+
+  // Verification section: the saved filter-index state the loader must be
+  // able to reproduce by replaying the entries above through AddImage.
+  WritePod<std::uint64_t>(os, category_populations.size());
+  for (const auto& [category, population] : category_populations) {
+    WritePod<std::uint32_t>(os, category);
+    WritePod<std::uint64_t>(os, population);
+  }
+  WritePod<std::uint64_t>(os, index.attribute_filters().ColumnChecksum());
   os.flush();
   if (!os) throw SnapshotError("snapshot flush failed");
 }
@@ -106,7 +127,7 @@ std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
     throw SnapshotError("bad snapshot magic: " + path);
   }
   const auto version = ReadPod<std::uint32_t>(is);
-  if (version != 1 && version != kVersion) {
+  if (version < 1 || version > kVersion) {
     throw SnapshotError("unsupported snapshot version " +
                         std::to_string(version));
   }
@@ -118,6 +139,12 @@ std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
   config.initial_list_capacity =
       static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
   config.filter_invalid_during_scan = ReadPod<std::uint8_t>(is) != 0;
+  if (version >= 3) {
+    config.filter_post_threshold = ReadPod<double>(is);
+    config.filter_widen_threshold = ReadPod<double>(is);
+    config.filter_widen_factor =
+        static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
+  }
 
   const auto dim = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
   const auto num_clusters = static_cast<std::size_t>(ReadPod<std::uint64_t>(is));
@@ -156,6 +183,35 @@ std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
     index->SetImageValidity(url, valid);
   }
   index->FinishPendingExpansions();
+  if (version >= 3) {
+    // The AddImage replay above rebuilt the attribute filter index; verify
+    // it reproduces the saved state before the index takes hybrid traffic —
+    // a mismatch means filtered queries would silently return wrong results.
+    const AttributeFilterIndex& filters = index->attribute_filters();
+    const auto num_categories = ReadPod<std::uint64_t>(is);
+    if (num_categories > (1u << 24)) {
+      throw SnapshotError("implausible category count in snapshot");
+    }
+    for (std::uint64_t i = 0; i < num_categories; ++i) {
+      const auto category = ReadPod<std::uint32_t>(is);
+      const auto population = ReadPod<std::uint64_t>(is);
+      const ValidityBitmap* bitmap = filters.CategoryBitmap(category);
+      const std::uint64_t rebuilt =
+          bitmap == nullptr ? 0 : bitmap->CountValid();
+      if (rebuilt != population) {
+        throw SnapshotError("filter index verification failed: category " +
+                            std::to_string(category) + " has " +
+                            std::to_string(rebuilt) + " images, snapshot " +
+                            "recorded " + std::to_string(population));
+      }
+    }
+    const auto checksum = ReadPod<std::uint64_t>(is);
+    if (filters.ColumnChecksum() != checksum) {
+      throw SnapshotError(
+          "filter index verification failed: numeric column checksum "
+          "mismatch after rebuild");
+    }
+  }
   // Layout invariant before the restored index takes SIMD traffic: every
   // feature row the scan kernels will touch must sit on a cache-line
   // boundary. Cannot fail with the current allocator; a snapshot load is the

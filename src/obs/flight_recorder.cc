@@ -22,6 +22,8 @@ const char* FlightStageName(FlightStage stage) {
       return "fan_in";
     case FlightStage::kRank:
       return "rank";
+    case FlightStage::kFilter:
+      return "searcher_filter";
   }
   return "unknown";
 }

@@ -39,8 +39,13 @@ enum class FlightStage : std::uint8_t {
   kHedgeWait,
   kFanIn,
   kRank,
+  // Filter-bitmap materialization inside the winning searcher attempts of a
+  // hybrid (attribute-filtered) query; carved out of kScan by the blender so
+  // kFilter + kScan still equals the slowest winning attempt. Appended at
+  // the end so existing persisted stage arrays keep their indices.
+  kFilter,
 };
-inline constexpr std::size_t kNumFlightStages = 7;
+inline constexpr std::size_t kNumFlightStages = 8;
 const char* FlightStageName(FlightStage stage);
 
 struct FlightRecord {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/hash.h"
 #include "vecmath/distance.h"
 #include "vecmath/kernels.h"
@@ -49,6 +50,7 @@ LocalId IvfPqIndex::AddImage(std::string_view image_url, ProductId product_id,
   const ImageId image_id = Fnv1a64(image_url);
   const LocalId local = forward_.Append(image_id, product_id, category,
                                         attributes, image_url, detail_url);
+  filters_.Append(category, attributes);
   const PqCode code = pq_->Encode(feature);
   const std::size_t slot = codes_.Append(code);
   (void)slot;
@@ -79,6 +81,7 @@ std::size_t IvfPqIndex::UpdateProductAttributes(ProductId product_id,
   if (it == product_to_locals_.end()) return 0;
   for (const LocalId local : it->second) {
     forward_.UpdateNumeric(local, attributes);
+    filters_.UpdateNumeric(local, attributes);
     if (!detail_url.empty()) forward_.UpdateDetailUrl(local, detail_url);
   }
   return it->second.size();
@@ -118,6 +121,8 @@ SearchHit IvfPqIndex::MaterializeHit(const ScoredImage& scored) const {
 
 void IvfPqIndex::ScanListAdc(std::size_t list, const float* table,
                              CategoryId category_filter,
+                             const MaterializedFilter* filter,
+                             bool post_filter, FilterScanStats* stats,
                              TopK& adc_topk) const {
   const DistanceKernels& kernels = Kernels();
   const std::size_t m = pq_->num_subspaces();
@@ -126,19 +131,37 @@ void IvfPqIndex::ScanListAdc(std::size_t list, const float* table,
                                      const std::uint8_t* codes,
                                      const float* /*aux*/,
                                      std::size_t count) {
-    // True ADC: the whole run of packed codes through one kernel call —
-    // per candidate that is m table lookups, gathered 8/16-wide on the SIMD
-    // tiers. Summation order per candidate matches DistanceWithTable, so
-    // distances are bit-identical to the per-candidate path.
-    float dists[kCodeRunEntries];
-    kernels.pq_adc_scan(table, ks, codes, m, count, dists);
-    // SIMD admission filter, then per-survivor validity/category/Offer —
-    // same structure (sub-block threshold refresh, tie reasoning) as the
-    // IVF scan's filter pass.
+    // True ADC: packed codes through the pq_adc_scan kernel — per candidate
+    // that is m table lookups, gathered 8/16-wide on the SIMD tiers.
+    // Summation order per candidate matches DistanceWithTable, so distances
+    // are bit-identical to the per-candidate path.
+    //
+    // Unfiltered and post-filter scans run the whole run through one kernel
+    // call; pushdown (pre) mode runs it per 64-code sub-block instead, so a
+    // sub-block the bitmap proves dead never gathers its tables at all.
     constexpr std::size_t kFilterBlock = 64;
+    float dists[kCodeRunEntries];
+    const bool pre = filter != nullptr && !post_filter;
+    if (!pre) {
+      kernels.pq_adc_scan(table, ks, codes, m, count, dists);
+    }
     std::uint32_t keep[kFilterBlock];
     for (std::size_t b = 0; b < count; b += kFilterBlock) {
       const std::size_t block = std::min(kFilterBlock, count - b);
+      std::uint64_t alive = 0;
+      if (pre) {
+        for (std::size_t s = 0; s < block; ++s) {
+          alive |= std::uint64_t{filter->Test(ids[b + s])} << s;
+        }
+        if (alive == 0) {
+          if (stats != nullptr) ++stats->blocks_skipped;
+          continue;
+        }
+        kernels.pq_adc_scan(table, ks, codes + b * m, m, block, dists + b);
+      }
+      if (stats != nullptr) ++stats->blocks_scanned;
+      // SIMD admission filter, then per-survivor admission — same structure
+      // (sub-block threshold refresh, tie reasoning) as the IVF scan.
       float threshold = adc_topk.Threshold();
       const std::size_t kept =
           kernels.filter_le(dists + b, block, threshold, keep);
@@ -146,16 +169,60 @@ void IvfPqIndex::ScanListAdc(std::size_t list, const float* table,
         const std::size_t j = b + keep[s];
         if (dists[j] > threshold) continue;
         const LocalId local = ids[j];
-        if (!valid_.Get(local)) continue;
-        if (category_filter != kNoCategoryFilter &&
-            forward_.CategoryOf(local) != category_filter) {
-          continue;
+        if (filter != nullptr) {
+          const bool pass = post_filter ? filter->Test(local)
+                                        : ((alive >> keep[s]) & 1) != 0;
+          if (!pass) continue;
+        } else {
+          if (!valid_.Get(local)) continue;
+          if (category_filter != kNoCategoryFilter &&
+              forward_.CategoryOf(local) != category_filter) {
+            continue;
+          }
         }
         adc_topk.Offer(local, dists[j]);
         threshold = adc_topk.Threshold();
       }
     }
   });
+}
+
+IvfPqIndex::FilterPlan IvfPqIndex::PlanFilteredScan(
+    const FilterExpression& filter, CategoryId category_filter,
+    std::size_t nprobe, FilterScanStats* stats) const {
+  FilterPlan plan;
+  plan.nprobe = nprobe;
+  if (stats != nullptr) {
+    *stats = FilterScanStats{};
+    stats->universe = forward_.size();
+  }
+  if (filter.empty()) return plan;
+  const Stopwatch watch(MonotonicClock::Instance());
+  // The PQ scan always honors validity (no ablation flag here), so it is
+  // always folded into the bitmap.
+  plan.bits = filters_.Materialize(filter, category_filter, &valid_);
+  const Micros materialize_micros = watch.ElapsedMicros();
+  plan.use_filter = true;
+  const double selectivity = plan.bits.selectivity();
+  if (plan.bits.matches == 0) {
+    plan.empty_result = true;
+  } else if (selectivity >= config_.filter_post_threshold) {
+    plan.post_mode = true;
+  } else if (selectivity < config_.filter_widen_threshold &&
+             config_.filter_widen_factor > 1) {
+    plan.nprobe = std::min(nprobe * config_.filter_widen_factor,
+                           quantizer_->num_clusters());
+  }
+  if (stats != nullptr) {
+    stats->strategy = plan.post_mode ? FilterScanStats::Strategy::kPost
+                                     : FilterScanStats::Strategy::kPre;
+    stats->selectivity_bp = static_cast<std::uint32_t>(selectivity * 10000.0);
+    stats->matches = plan.bits.matches;
+    stats->universe = plan.bits.universe;
+    stats->widened_nprobe = plan.nprobe != nprobe;
+    stats->materialize_micros = materialize_micros;
+  }
+  return plan;
 }
 
 std::vector<SearchHit> IvfPqIndex::RankAndMaterialize(FeatureView query,
@@ -196,7 +263,35 @@ std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
                                     : k;
   TopK adc_topk(adc_k);
   for (const std::uint32_t list : quantizer_->NearestCentroids(query, nprobe)) {
-    ScanListAdc(list, table.data(), category_filter, adc_topk);
+    ScanListAdc(list, table.data(), category_filter, nullptr, false, nullptr,
+                adc_topk);
+  }
+  return RankAndMaterialize(query, k, adc_topk);
+}
+
+std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
+                                          std::size_t nprobe_override,
+                                          CategoryId category_filter,
+                                          const FilterExpression& filter,
+                                          FilterScanStats* stats) const {
+  assert(query.size() == dim());
+  const std::size_t nprobe =
+      nprobe_override == 0 ? config_.nprobe : nprobe_override;
+  const FilterPlan plan =
+      PlanFilteredScan(filter, category_filter, nprobe, stats);
+  if (!plan.use_filter) {
+    return Search(query, k, nprobe_override, category_filter);
+  }
+  if (plan.empty_result) return {};
+  const std::vector<float> table = pq_->BuildDistanceTable(query);
+  const std::size_t adc_k =
+      config_.rerank_candidates > 0 ? std::max(config_.rerank_candidates, k)
+                                    : k;
+  TopK adc_topk(adc_k);
+  for (const std::uint32_t list :
+       quantizer_->NearestCentroids(query, plan.nprobe)) {
+    ScanListAdc(list, table.data(), kNoCategoryFilter, &plan.bits,
+                plan.post_mode, stats, adc_topk);
   }
   return RankAndMaterialize(query, k, adc_topk);
 }
@@ -210,10 +305,24 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
   std::vector<std::size_t> nprobes;
   views.reserve(n);
   nprobes.reserve(n);
-  for (const IvfBatchQuery& bq : queries) {
+  // Per-query filter plans first: widening must precede the coarse pass.
+  std::vector<FilterPlan> plans(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const IvfBatchQuery& bq = queries[i];
     assert(bq.query.size() == dim());
     views.push_back(bq.query);
-    nprobes.push_back(bq.nprobe == 0 ? config_.nprobe : bq.nprobe);
+    const std::size_t nprobe = bq.nprobe == 0 ? config_.nprobe : bq.nprobe;
+    if (bq.filter != nullptr && !bq.filter->empty()) {
+      plans[i] = PlanFilteredScan(*bq.filter, bq.category_filter, nprobe,
+                                  bq.filter_stats);
+    } else {
+      plans[i].nprobe = nprobe;
+      if (bq.filter_stats != nullptr) {
+        *bq.filter_stats = FilterScanStats{};
+        bq.filter_stats->universe = forward_.size();
+      }
+    }
+    nprobes.push_back(plans[i].nprobe);
   }
   const std::vector<std::vector<std::uint32_t>> probes =
       quantizer_->NearestCentroidsBatch(views, nprobes);
@@ -233,6 +342,7 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
   // List-major scan order: a list probed by several queries stays in cache.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> plan;  // (list, query)
   for (std::size_t i = 0; i < n; ++i) {
+    if (plans[i].empty_result) continue;  // zero-match filter: no scan work
     for (const std::uint32_t list : probes[i]) {
       plan.emplace_back(list, static_cast<std::uint32_t>(i));
     }
@@ -240,8 +350,12 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
   std::stable_sort(plan.begin(), plan.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [list, qi] : plan) {
-    ScanListAdc(list, tables[qi].data(), queries[qi].category_filter,
-                topks[qi]);
+    const FilterPlan& fp = plans[qi];
+    ScanListAdc(list, tables[qi].data(),
+                fp.use_filter ? kNoCategoryFilter
+                              : queries[qi].category_filter,
+                fp.use_filter ? &fp.bits : nullptr, fp.post_mode,
+                queries[qi].filter_stats, topks[qi]);
   }
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = RankAndMaterialize(queries[i].query, queries[i].k, topks[i]);
@@ -271,6 +385,7 @@ LocalId IvfPqIndex::AddEncoded(std::string_view image_url,
   const ImageId image_id = Fnv1a64(image_url);
   const LocalId local = forward_.Append(image_id, product_id, category,
                                         attributes, image_url, detail_url);
+  filters_.Append(category, attributes);
   codes_.Append(code);
   if (raw_) {
     if (raw_or_empty.empty()) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/quantizer.h"
+#include "filter/attribute_filter_index.h"
 #include "index/bitmap.h"
 #include "index/forward_index.h"
 #include "index/inverted_index.h"
@@ -45,6 +46,12 @@ struct IvfPqIndexConfig {
   // candidates with exact distances (requires keep_raw_vectors).
   std::size_t rerank_candidates = 0;
   bool keep_raw_vectors = false;
+  // Hybrid filter pushdown strategy knobs (same semantics as
+  // IvfIndexConfig's): post-filter survivors at/above the first threshold,
+  // widen nprobe below the second.
+  double filter_post_threshold = 0.5;
+  double filter_widen_threshold = 0.01;
+  std::size_t filter_widen_factor = 4;
 };
 
 struct IvfPqStats {
@@ -86,6 +93,17 @@ class IvfPqIndex final : public ImageIndex {
                                 std::size_t nprobe_override,
                                 CategoryId category_filter) const override;
 
+  // Hybrid filtered search with bitmap pushdown into the ADC scan: dead
+  // 64-code sub-blocks skip the pq_adc_scan kernel in pre mode, survivors
+  // are bitmap-tested in post mode, and extreme selectivity widens nprobe
+  // (see the config knobs). Re-ranking operates on already-filtered
+  // candidates, so predicates survive the IVFADC+R finish.
+  std::vector<SearchHit> Search(FeatureView query, std::size_t k,
+                                std::size_t nprobe_override,
+                                CategoryId category_filter,
+                                const FilterExpression& filter,
+                                FilterScanStats* stats = nullptr) const override;
+
   // Micro-batched variant: one centroid-major coarse pass for the whole
   // batch, per-query ADC tables built once, and lists probed by several
   // queries scanned back-to-back. out[i] is identical to Search(queries[i]).
@@ -106,6 +124,7 @@ class IvfPqIndex final : public ImageIndex {
   const ProductQuantizer& pq() const { return *pq_; }
   const CoarseQuantizer& quantizer() const { return *quantizer_; }
   const IvfPqIndexConfig& config() const { return config_; }
+  const AttributeFilterIndex& attribute_filters() const { return filters_; }
 
   // Inserts a pre-encoded entry (snapshot restore path): the code and the
   // inverted-list assignment are trusted as-is, so restored indexes
@@ -122,11 +141,29 @@ class IvfPqIndex final : public ImageIndex {
   bool code_storage_aligned() const noexcept;
 
  private:
+  // Mirrors IvfIndex::FilterPlan — one query's materialized bitmap plus the
+  // selectivity-chosen strategy.
+  struct FilterPlan {
+    MaterializedFilter bits;
+    bool use_filter = false;
+    bool post_mode = false;
+    bool empty_result = false;
+    std::size_t nprobe = 0;
+  };
+  FilterPlan PlanFilteredScan(const FilterExpression& filter,
+                              CategoryId category_filter, std::size_t nprobe,
+                              FilterScanStats* stats) const;
+
   SearchHit MaterializeHit(const ScoredImage& scored) const;
   // ADC scan of one list: one pq_adc_scan kernel call per contiguous run,
-  // then validity/category filtering on the way into the heap.
+  // then validity/category filtering on the way into the heap. A non-null
+  // `filter` replaces those checks with bitmap tests; in pre mode the ADC
+  // kernel runs per 64-code sub-block so wholly-dead sub-blocks skip the
+  // table gathers entirely.
   void ScanListAdc(std::size_t list, const float* table,
-                   CategoryId category_filter, TopK& adc_topk) const;
+                   CategoryId category_filter,
+                   const MaterializedFilter* filter, bool post_filter,
+                   FilterScanStats* stats, TopK& adc_topk) const;
   // Post-scan finish shared by Search and SearchBatch: optional exact
   // re-ranking (IVFADC+R), trim to k, materialize.
   std::vector<SearchHit> RankAndMaterialize(FeatureView query, std::size_t k,
@@ -136,6 +173,8 @@ class IvfPqIndex final : public ImageIndex {
   std::shared_ptr<const ProductQuantizer> pq_;
   IvfPqIndexConfig config_;
   ForwardIndex forward_;
+  // Attribute filter index, appended in lockstep with forward_.
+  AttributeFilterIndex filters_;
   CodeSet codes_;
   std::unique_ptr<VectorSet> raw_;  // only when keep_raw_vectors
   ValidityBitmap valid_;

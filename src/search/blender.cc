@@ -274,7 +274,8 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
   if (cache_) {
     state->cache_key = cache_->KeyFor(feature, state->options.k,
                                       state->options.nprobe,
-                                      state->category_filter);
+                                      state->category_filter,
+                                      state->options.filter);
     if (auto cached = cache_->Lookup(state->cache_key, state->version)) {
       cached->from_cache = true;
       cached->total_micros = state->watch.ElapsedMicros();
@@ -353,7 +354,7 @@ void Blender::BeginQuery(const std::shared_ptr<RequestState>& state,
     }
     brokers_[b]->SearchAsync(
         feature, state->fetch_k, effective_nprobe, state->category_filter,
-        state->deadline, root.context(),
+        state->options.filter, state->deadline, root.context(),
         [guard](Broker::SearchResult result) {
           DeliverAndCancelTimer(*guard, std::move(result));
         });
@@ -371,13 +372,21 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
   state->flight.set_stage(obs::FlightStage::kFanOut, fanout_wall);
   Micros scan_micros = 0;
   Micros hedge_wait_micros = 0;
+  Micros filter_micros = 0;
   for (const auto& slot : slots) {
     if (!slot.ok()) continue;
     scan_micros = std::max(scan_micros, slot.value->slowest_attempt_micros);
     hedge_wait_micros =
         std::max(hedge_wait_micros, slot.value->hedge_wait_micros);
+    filter_micros = std::max(filter_micros, slot.value->filter_micros);
   }
-  state->flight.set_stage(obs::FlightStage::kScan, scan_micros);
+  // The filter-bitmap materialization happened *inside* the winning scan
+  // attempts; carve it out of kScan so the two stages stay disjoint and the
+  // critical-path table attributes hybrid-query overhead to its own row.
+  filter_micros = std::min(filter_micros, scan_micros);
+  state->flight.set_stage(obs::FlightStage::kFilter, filter_micros);
+  state->flight.set_stage(obs::FlightStage::kScan,
+                          scan_micros - filter_micros);
   state->flight.set_stage(obs::FlightStage::kHedgeWait, hedge_wait_micros);
   state->flight.set_stage(obs::FlightStage::kFanIn,
                           fanout_wall - scan_micros - hedge_wait_micros);

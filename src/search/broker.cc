@@ -148,11 +148,13 @@ struct Broker::Slot {
 
 struct Broker::FanOutState {
   FanOutState(FeatureVector q, std::size_t k, std::size_t nprobe,
-              CategoryId filter, qos::Deadline deadline, SearchCallback done)
+              CategoryId filter, FilterExpression attr_filter,
+              qos::Deadline deadline, SearchCallback done)
       : query(std::move(q)),
         k(k),
         nprobe(nprobe),
         filter(filter),
+        attr_filter(std::move(attr_filter)),
         deadline(deadline),
         watch(MonotonicClock::Instance()),
         on_done(std::move(done)) {}
@@ -161,6 +163,7 @@ struct Broker::FanOutState {
   std::size_t k;
   std::size_t nprobe;
   CategoryId filter;
+  FilterExpression attr_filter;  // hybrid predicates, fanned to every attempt
   qos::Deadline deadline;
   Stopwatch watch;
   SearchCallback on_done;
@@ -177,15 +180,19 @@ struct Broker::FanOutState {
   // scan that gated this broker) and the worst hedge-win dispatch gap.
   std::atomic<Micros> slowest_attempt{0};
   std::atomic<Micros> max_hedge_wait{0};
+  // Max-folded by every attempt's searcher (hedges and failovers included):
+  // the worst filter-bitmap materialization cost contributing to this
+  // fan-out, surfaced in Reply::filter_micros.
+  std::atomic<Micros> filter_micros{0};
 };
 
 void Broker::SearchAsync(FeatureVector query, std::size_t k,
                          std::size_t nprobe, CategoryId category_filter,
-                         qos::Deadline deadline, obs::TraceContext parent,
-                         SearchCallback on_done) {
+                         FilterExpression filter, qos::Deadline deadline,
+                         obs::TraceContext parent, SearchCallback on_done) {
   auto state = std::make_shared<FanOutState>(std::move(query), k, nprobe,
-                                             category_filter, deadline,
-                                             std::move(on_done));
+                                             category_filter, std::move(filter),
+                                             deadline, std::move(on_done));
   node_.InvokeAsync(
       // The token covers the tail of the entry task: an attempt can answer
       // the caller while this task is still sweeping hedge timers, and the
@@ -208,12 +215,12 @@ void Broker::SearchAsync(FeatureVector query, std::size_t k,
 
 std::future<std::vector<SearchHit>> Broker::SearchAsync(
     FeatureVector query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter, qos::Deadline deadline,
-    obs::TraceContext parent) {
+    CategoryId category_filter, FilterExpression filter,
+    qos::Deadline deadline, obs::TraceContext parent) {
   auto promise = std::make_shared<std::promise<std::vector<SearchHit>>>();
   std::future<std::vector<SearchHit>> future = promise->get_future();
-  SearchAsync(std::move(query), k, nprobe, category_filter, deadline, parent,
-              [promise](SearchResult result) {
+  SearchAsync(std::move(query), k, nprobe, category_filter, std::move(filter),
+              deadline, parent, [promise](SearchResult result) {
                 if (result.ok()) {
                   promise->set_value(std::move(result.value->hits));
                 } else {
@@ -398,14 +405,14 @@ bool Broker::TryDispatchNext(const std::shared_ptr<FanOutState>& state,
   // scope the RPC source so fault-injection links stay (broker -> searcher).
   RpcSourceScope rpc_source(node_.name());
   partitions_[partition][replica]->SearchAsync(
-      state->query, state->k, state->nprobe, state->filter, state->deadline,
-      state->context,
+      state->query, state->k, state->nprobe, state->filter,
+      state->attr_filter, state->deadline, state->context,
       [this, state, slot_idx, replica, is_hedge, dispatched_at,
        token = AcquireCallbackToken()](Searcher::SearchResult result) {
         OnAttemptResult(state, slot_idx, replica, is_hedge, dispatched_at,
                         std::move(result));
       },
-      config_.rpc_timeout_micros);
+      config_.rpc_timeout_micros, &state->filter_micros);
   return true;
 }
 
@@ -560,6 +567,7 @@ void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
       state->slowest_attempt.load(std::memory_order_relaxed);
   reply.hedge_wait_micros =
       state->max_hedge_wait.load(std::memory_order_relaxed);
+  reply.filter_micros = state->filter_micros.load(std::memory_order_relaxed);
   reply.fanout_micros = state->watch.ElapsedMicros();
   fanout_stage_->Record(reply.fanout_micros);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);

@@ -87,6 +87,10 @@ class Broker {
     Micros slowest_attempt_micros = 0;
     Micros hedge_wait_micros = 0;
     Micros fanout_micros = 0;
+    // Slowest per-searcher filter-bitmap materialization among this broker's
+    // attempts (0 when the query carried no filter) — the blender's
+    // "searcher_filter" flight stage.
+    Micros filter_micros = 0;
   };
   using SearchResult = AsyncResult<Reply>;
   using SearchCallback = std::function<void(SearchResult)>;
@@ -131,14 +135,16 @@ class Broker {
   // replica that failed *because the deadline expired* is never failed over
   // — retrying a timed-out call on a sibling only amplifies the overload.
   void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
-                   CategoryId category_filter, qos::Deadline deadline,
-                   obs::TraceContext parent, SearchCallback on_done);
+                   CategoryId category_filter, FilterExpression filter,
+                   qos::Deadline deadline, obs::TraceContext parent,
+                   SearchCallback on_done);
 
   // Future facade over the continuation path (tests / ablation harnesses).
   std::future<std::vector<SearchHit>> SearchAsync(
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
       CategoryId category_filter = kNoCategoryFilter,
-      qos::Deadline deadline = {}, obs::TraceContext parent = {});
+      FilterExpression filter = {}, qos::Deadline deadline = {},
+      obs::TraceContext parent = {});
 
   Node& node() { return node_; }
   const std::string& name() const { return node_.name(); }

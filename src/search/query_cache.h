@@ -73,8 +73,13 @@ class QueryCache {
   QueryCache& operator=(const QueryCache&) = delete;
 
   // Cache key for a query feature + options. Deterministic; thread-safe.
+  // The full FilterExpression participates in the key: two queries that
+  // differ only in a predicate (category tag or numeric range) must never
+  // share an entry — a cached hit list for "price <= 5000" is wrong for
+  // "price <= 4999".
   std::uint64_t KeyFor(FeatureView feature, std::size_t k, std::size_t nprobe,
-                       CategoryId category_filter = kNoCategoryFilter) const;
+                       CategoryId category_filter = kNoCategoryFilter,
+                       const FilterExpression& filter = {}) const;
 
   // Returns the cached response if present, fresh (TTL) and — under strict
   // checking — inserted at the same `version`.

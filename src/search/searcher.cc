@@ -26,8 +26,20 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
           "jdvs_searcher_scan_micros", "searcher", node_.name()))),
       scan_stage_(&registry_->GetHistogram(
           obs::Labeled("jdvs_stage_micros", "stage", "searcher_scan"))),
+      filter_stage_(&registry_->GetHistogram(
+          obs::Labeled("jdvs_stage_micros", "stage", "searcher_filter"))),
       batch_size_(&registry_->GetHistogram(obs::Labeled(
           "jdvs_searcher_batch_size", "searcher", node_.name()))),
+      filter_selectivity_bp_(
+          &registry_->GetHistogram("jdvs_filter_selectivity_bp")),
+      filter_pre_total_(&registry_->GetCounter(
+          obs::Labeled("jdvs_filter_strategy_total", "strategy", "pre"))),
+      filter_post_total_(&registry_->GetCounter(
+          obs::Labeled("jdvs_filter_strategy_total", "strategy", "post"))),
+      filter_blocks_skipped_(
+          &registry_->GetCounter("jdvs_filter_blocks_skipped_total")),
+      filter_widened_(
+          &registry_->GetCounter("jdvs_filter_widened_nprobe_total")),
       consumed_total_(&registry_->GetCounter(obs::Labeled(
           "jdvs_searcher_messages_consumed_total", "searcher",
           node_.name()))),
@@ -134,14 +146,14 @@ std::size_t Searcher::CatchUpFromLog(const MessageLog& log,
 
 std::future<std::vector<SearchHit>> Searcher::SearchAsync(
     FeatureVector query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter, qos::Deadline deadline,
-    obs::TraceContext parent) {
+    CategoryId category_filter, FilterExpression filter,
+    qos::Deadline deadline, obs::TraceContext parent) {
   // Future facade over the continuation path, for tests and tools that want
   // a blocking join; the broker drives the callback overload directly.
   auto promise = std::make_shared<std::promise<std::vector<SearchHit>>>();
   std::future<std::vector<SearchHit>> future = promise->get_future();
-  SearchAsync(std::move(query), k, nprobe, category_filter, deadline, parent,
-              [promise](SearchResult result) {
+  SearchAsync(std::move(query), k, nprobe, category_filter, std::move(filter),
+              deadline, parent, [promise](SearchResult result) {
                 if (result.ok()) {
                   promise->set_value(*std::move(result.value));
                 } else {
@@ -153,14 +165,17 @@ std::future<std::vector<SearchHit>> Searcher::SearchAsync(
 
 void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                            std::size_t nprobe, CategoryId category_filter,
-                           qos::Deadline deadline, obs::TraceContext parent,
-                           SearchCallback on_done, Micros rpc_timeout_micros) {
+                           FilterExpression filter, qos::Deadline deadline,
+                           obs::TraceContext parent, SearchCallback on_done,
+                           Micros rpc_timeout_micros,
+                           std::atomic<Micros>* filter_micros_out) {
   // Counted from dispatch (not scan start) so a query queued behind a
   // running scan already reads as concurrent and opts into batching.
   scans_in_flight_.fetch_add(1, std::memory_order_relaxed);
   node_.InvokeSpannedAsyncWithDeadline(
       trace_sink_, parent, "searcher.scan", deadline, rpc_timeout_micros,
       [this, query = std::move(query), k, nprobe, category_filter,
+       filter = std::move(filter), filter_micros_out,
        deadline](obs::Span& span) {
         span.AddTag("k", static_cast<std::uint64_t>(k));
         if (nprobe > 0) {
@@ -170,12 +185,41 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
           span.AddTag("category",
                       static_cast<std::uint64_t>(category_filter));
         }
+        const bool filtered = !filter.empty();
+        FilterScanStats fstats;
         const Stopwatch watch(MonotonicClock::Instance());
-        auto hits = SearchBatched(query, k, nprobe, category_filter, deadline);
+        auto hits = SearchBatched(query, k, nprobe, category_filter, filter,
+                                  filtered ? &fstats : nullptr, deadline);
         const Micros elapsed = watch.ElapsedMicros();
         scan_micros_->Record(elapsed);
         scan_stage_->RecordWithExemplar(elapsed, span.context().trace_id);
         span.AddTag("hits", static_cast<std::uint64_t>(hits.size()));
+        if (filtered) {
+          filter_stage_->RecordWithExemplar(fstats.materialize_micros,
+                                            span.context().trace_id);
+          filter_selectivity_bp_->Record(fstats.selectivity_bp);
+          (fstats.strategy == FilterScanStats::Strategy::kPost
+               ? filter_post_total_
+               : filter_pre_total_)
+              ->Increment();
+          filter_blocks_skipped_->Increment(fstats.blocks_skipped);
+          if (fstats.widened_nprobe) filter_widened_->Increment();
+          span.AddTag("filter", filter.ToString());
+          span.AddTag("filter_selectivity_bp",
+                      static_cast<std::uint64_t>(fstats.selectivity_bp));
+          span.AddTag("filter_strategy", FilterStrategyName(fstats.strategy));
+          if (filter_micros_out != nullptr) {
+            // Atomic max: hedged attempts against replicas share the sink
+            // and the slowest materialization should win the attribution.
+            Micros current =
+                filter_micros_out->load(std::memory_order_relaxed);
+            while (fstats.materialize_micros > current &&
+                   !filter_micros_out->compare_exchange_weak(
+                       current, fstats.materialize_micros,
+                       std::memory_order_relaxed)) {
+            }
+          }
+        }
         return hits;
       },
       [this, done = std::move(on_done)](SearchResult result) {
@@ -189,11 +233,10 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
       });
 }
 
-std::vector<SearchHit> Searcher::SearchBatched(FeatureView query,
-                                               std::size_t k,
-                                               std::size_t nprobe,
-                                               CategoryId category_filter,
-                                               qos::Deadline deadline) const {
+std::vector<SearchHit> Searcher::SearchBatched(
+    FeatureView query, std::size_t k, std::size_t nprobe,
+    CategoryId category_filter, const FilterExpression& filter,
+    FilterScanStats* stats, qos::Deadline deadline) const {
   const std::shared_ptr<IvfIndex> index =
       index_.load(std::memory_order_acquire);
   if (!index) throw std::runtime_error(node_.name() + ": no index installed");
@@ -213,11 +256,20 @@ std::vector<SearchHit> Searcher::SearchBatched(FeatureView query,
   if (max_batch_queries_ < 2 || window == 0 ||
       scans_in_flight_.load(std::memory_order_relaxed) <= 1) {
     batch_size_->Record(1);
-    return index->Search(query, k, nprobe, category_filter);
+    if (filter.empty()) {
+      return index->Search(query, k, nprobe, category_filter);
+    }
+    return index->Search(query, k, nprobe, category_filter, filter, stats);
   }
 
   PendingScan me;
   me.query = IvfBatchQuery{query, k, nprobe, category_filter};
+  if (!filter.empty()) {
+    // `filter` outlives the batch: the leader's SearchBatch call completes
+    // before any waiter (this frame included) unparks.
+    me.query.filter = &filter;
+    me.query.filter_stats = stats;
+  }
 
   std::unique_lock lock(batch_mu_);
   if (forming_ && forming_->open &&
@@ -274,13 +326,18 @@ std::vector<SearchHit> Searcher::SearchBatched(FeatureView query,
   return std::move(me.hits);
 }
 
-std::vector<SearchHit> Searcher::SearchLocal(
-    FeatureView query, std::size_t k, std::size_t nprobe,
-    CategoryId category_filter) const {
+std::vector<SearchHit> Searcher::SearchLocal(FeatureView query, std::size_t k,
+                                             std::size_t nprobe,
+                                             CategoryId category_filter,
+                                             const FilterExpression& filter,
+                                             FilterScanStats* stats) const {
   const std::shared_ptr<IvfIndex> index =
       index_.load(std::memory_order_acquire);
   if (!index) throw std::runtime_error(node_.name() + ": no index installed");
-  return index->Search(query, k, nprobe, category_filter);
+  if (filter.empty() && stats == nullptr) {
+    return index->Search(query, k, nprobe, category_filter);
+  }
+  return index->Search(query, k, nprobe, category_filter, filter, stats);
 }
 
 std::vector<SearchHit> Searcher::SearchExhaustiveLocal(FeatureView query,
@@ -289,6 +346,14 @@ std::vector<SearchHit> Searcher::SearchExhaustiveLocal(FeatureView query,
       index_.load(std::memory_order_acquire);
   if (!index) throw std::runtime_error(node_.name() + ": no index installed");
   return index->SearchExhaustive(query, k);
+}
+
+std::vector<SearchHit> Searcher::SearchExhaustiveLocal(
+    FeatureView query, std::size_t k, const FilterExpression& filter) const {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) throw std::runtime_error(node_.name() + ": no index installed");
+  return index->SearchExhaustive(query, k, filter);
 }
 
 void Searcher::StartConsuming(std::shared_ptr<Subscription> subscription) {

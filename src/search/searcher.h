@@ -109,13 +109,15 @@ class Searcher {
                              const CatchUpPacer& pacer = {});
 
   // Remote search: runs on this searcher's node. Returns "the top k most
-  // similar images" of this partition, optionally scoped to one category.
-  // When `parent` is a sampled trace context, the scan records a
-  // "searcher.scan" child span.
+  // similar images" of this partition, optionally scoped to one category
+  // and/or a structured attribute filter (hybrid search: the filter is
+  // pushed down into the index scan). When `parent` is a sampled trace
+  // context, the scan records a "searcher.scan" child span.
   std::future<std::vector<SearchHit>> SearchAsync(
       FeatureVector query, std::size_t k, std::size_t nprobe = 0,
       CategoryId category_filter = kNoCategoryFilter,
-      qos::Deadline deadline = {}, obs::TraceContext parent = {});
+      FilterExpression filter = {}, qos::Deadline deadline = {},
+      obs::TraceContext parent = {});
 
   // Continuation-passing variant the broker drives: the partial result (or
   // the failure, e.g. NodeFailedError while this node is down) is delivered
@@ -129,19 +131,30 @@ class Searcher {
   // reply lands in time — the fabric dropped a message, or the scan is stuck
   // behind a backlog — `on_done` fires with RpcTimeoutError instead of
   // never. A late real reply is then suppressed, not double-delivered.
+  // `filter_micros_out`, when non-null, receives (via atomic max, so
+  // concurrent hedged attempts fold) the cost of materializing the filter
+  // bitmap — the broker forwards it so the blender can attribute a
+  // "searcher_filter" stage in the flight record. The pointee must outlive
+  // the callback (the broker owns it in its per-request fan-out state).
   using SearchResult = AsyncResult<std::vector<SearchHit>>;
   using SearchCallback = std::function<void(SearchResult)>;
   void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
-                   CategoryId category_filter, qos::Deadline deadline,
-                   obs::TraceContext parent, SearchCallback on_done,
-                   Micros rpc_timeout_micros = 0);
+                   CategoryId category_filter, FilterExpression filter,
+                   qos::Deadline deadline, obs::TraceContext parent,
+                   SearchCallback on_done, Micros rpc_timeout_micros = 0,
+                   std::atomic<Micros>* filter_micros_out = nullptr);
 
   // In-process search (tests / exhaustive ground truth), bypassing the node.
   std::vector<SearchHit> SearchLocal(
       FeatureView query, std::size_t k, std::size_t nprobe = 0,
-      CategoryId category_filter = kNoCategoryFilter) const;
+      CategoryId category_filter = kNoCategoryFilter,
+      const FilterExpression& filter = {},
+      FilterScanStats* stats = nullptr) const;
   std::vector<SearchHit> SearchExhaustiveLocal(FeatureView query,
                                                std::size_t k) const;
+  // Brute-force filtered ground truth over this partition.
+  std::vector<SearchHit> SearchExhaustiveLocal(
+      FeatureView query, std::size_t k, const FilterExpression& filter) const;
 
   // Starts the message-queue consumer loop on a dedicated thread.
   void StartConsuming(std::shared_ptr<Subscription> subscription);
@@ -206,10 +219,14 @@ class Searcher {
   };
 
   // Scan body of SearchAsync: joins or leads a micro-batch when other scans
-  // are in flight, otherwise degenerates to a plain index Search.
+  // are in flight, otherwise degenerates to a plain index Search. `filter`
+  // must outlive the call (it rides the batch as a pointer); `stats`
+  // (caller-owned, may be null) receives this query's filter diagnostics.
   std::vector<SearchHit> SearchBatched(FeatureView query, std::size_t k,
                                        std::size_t nprobe,
                                        CategoryId category_filter,
+                                       const FilterExpression& filter,
+                                       FilterScanStats* stats,
                                        qos::Deadline deadline) const;
 
   Node node_;
@@ -222,7 +239,14 @@ class Searcher {
   obs::TraceSink* trace_sink_;
   Histogram* scan_micros_;        // per-searcher scan latency
   Histogram* scan_stage_;         // shared jdvs_stage_micros{stage="searcher_scan"}
+  Histogram* filter_stage_;       // shared jdvs_stage_micros{stage="searcher_filter"}
   Histogram* batch_size_;         // jdvs_searcher_batch_size{searcher=...}
+  // Hybrid-filter observability (filtered queries only).
+  Histogram* filter_selectivity_bp_;     // jdvs_filter_selectivity_bp
+  obs::Counter* filter_pre_total_;       // jdvs_filter_strategy_total{strategy=pre}
+  obs::Counter* filter_post_total_;      // jdvs_filter_strategy_total{strategy=post}
+  obs::Counter* filter_blocks_skipped_;  // jdvs_filter_blocks_skipped_total
+  obs::Counter* filter_widened_;         // jdvs_filter_widened_nprobe_total
   obs::Counter* consumed_total_;  // mirrors messages_consumed_
   obs::Counter* deduped_total_;   // duplicate updates skipped by sequence
   obs::Counter* deadline_exceeded_;  // jdvs_qos_deadline_exceeded_total{tier=searcher}

@@ -32,6 +32,12 @@ struct QueryOptions {
   // category-filter ablation measures.
   CategoryId category_filter = kNoCategoryFilter;
 
+  // Structured attribute predicates (hybrid filtered search): every result
+  // must satisfy this conjunction of category-tag and numeric-range
+  // predicates, enforced by bitmap pushdown inside the searcher scan. Empty
+  // = unfiltered. Conjoined with category_filter when both are set.
+  FilterExpression filter;
+
   // Latency budget (QoS): the blender stamps budget -> absolute deadline at
   // admission and every tier below fails fast once it expires. kNoBudget
   // (the default) falls back to the blender's configured default budget, or

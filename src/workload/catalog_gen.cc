@@ -8,21 +8,37 @@
 namespace jdvs {
 namespace {
 
-ProductAttributes SampleAttributes(Rng& rng) {
+// Bounded Pareto draw: power-law tail with exponent `alpha`, floored at
+// `scale`. Smaller alpha = heavier tail. The 1e15 cap keeps downstream
+// arithmetic (praise = sales * fraction) far from uint64 overflow.
+std::uint64_t ParetoDraw(Rng& rng, double scale, double alpha) {
+  // NextDouble() in [0, 1): 1-u in (0, 1] so the pow never divides by zero.
+  const double u = rng.NextDouble();
+  const double value = scale * std::pow(1.0 - u, -1.0 / alpha);
+  return static_cast<std::uint64_t>(std::min(value, 1e15));
+}
+
+}  // namespace
+
+ProductAttributes SampleProductAttributes(Rng& rng) {
   ProductAttributes attributes;
-  // Heavy-tailed sales: most products sell little, a few sell a lot.
-  attributes.sales =
-      static_cast<std::uint64_t>(rng.NextExponential(/*mean=*/150.0));
-  // Lognormal prices around ~80 CNY.
-  attributes.price_cents = static_cast<std::uint64_t>(
-      std::max(100.0, 8000.0 * std::exp(0.8 * rng.NextGaussian())));
-  // Praise correlates with sales.
+  // Zipf-like sales: alpha ~1.1 gives the classic e-commerce shape — the
+  // top ~1% of products carry orders of magnitude more sales than the
+  // median, so "sales >= high threshold" predicates are genuinely rare.
+  attributes.sales = ParetoDraw(rng, /*scale=*/10.0, /*alpha=*/1.1) - 10;
+  // Prices: lognormal body around ~80 CNY with a Pareto luxury tail.
+  const double body =
+      std::max(100.0, 8000.0 * std::exp(0.8 * rng.NextGaussian()));
+  const double tail = rng.NextBool(0.02)
+                          ? static_cast<double>(
+                                ParetoDraw(rng, /*scale=*/50000.0, /*alpha=*/1.5))
+                          : 0.0;
+  attributes.price_cents = static_cast<std::uint64_t>(std::max(body, tail));
+  // Praise correlates with sales (a fraction of buyers leave a review).
   attributes.praise = static_cast<std::uint64_t>(
       static_cast<double>(attributes.sales) * rng.NextDouble() * 0.8);
   return attributes;
 }
-
-}  // namespace
 
 CatalogGenStats GenerateCatalog(const CatalogGenConfig& config,
                                 ProductCatalog& catalog, ImageStore& images,
@@ -34,7 +50,7 @@ CatalogGenStats GenerateCatalog(const CatalogGenConfig& config,
     record.id = static_cast<ProductId>(i + 1);  // 0 reserved as "no product"
     record.category =
         static_cast<CategoryId>(rng.Below(config.num_categories));
-    record.attributes = SampleAttributes(rng);
+    record.attributes = SampleProductAttributes(rng);
     record.detail_url = "jd://item/" + std::to_string(record.id);
     const std::uint32_t num_images = static_cast<std::uint32_t>(
         rng.Uniform(config.min_images_per_product,

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
 #include "store/catalog.h"
 #include "store/feature_db.h"
 #include "store/image_store.h"
@@ -26,6 +27,14 @@ struct CatalogGenConfig {
   double initial_off_market_fraction = 0.0;
   std::uint64_t seed = 11;
 };
+
+// Draws one product's business attributes from Zipf-like (Pareto) power-law
+// distributions: a small head of products captures most sales/praise, with
+// prices lognormal around ~80 CNY plus a Pareto tail of luxury items. This
+// is the distribution shape the hybrid-filter selectivity sweep depends on —
+// a "sales >= p99" predicate must actually be ~1% selective. Deterministic
+// in the Rng state (same seed, same draw sequence -> same catalog).
+ProductAttributes SampleProductAttributes(Rng& rng);
 
 struct CatalogGenStats {
   std::uint64_t products = 0;

@@ -257,7 +257,7 @@ TEST(SearcherBatchingTest, TightDeadlineRunsSoloAndCompletes) {
         qos::Deadline::FromBudget(MonotonicClock::Instance(), 20'000);
     futures.push_back(fx.searcher->SearchAsync(queries[i], /*k=*/5,
                                                /*nprobe=*/0, kNoCategoryFilter,
-                                               deadline));
+                                               FilterExpression{}, deadline));
   }
   for (std::size_t i = 0; i < 8; ++i) {
     const auto batched = futures[i].get();  // must not hang on the window

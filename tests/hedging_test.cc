@@ -155,7 +155,7 @@ TEST(HedgingTest, NoHedgeAfterDeadlineExpires) {
   broker.AddPartition({&h.r0, &h.r1});
 
   auto future = broker.SearchAsync(
-      h.Query(1), 5, 0, kNoCategoryFilter,
+      h.Query(1), 5, 0, kNoCategoryFilter, FilterExpression{},
       qos::Deadline::FromBudget(MonotonicClock::Instance(), 2'000));
   EXPECT_THROW(future.get(), qos::DeadlineExceededError);
   EXPECT_EQ(broker.hedges(), 0u);

@@ -380,7 +380,7 @@ TEST(QosClusterTest, SearcherShedsExpiredWorkBeforeScanning) {
   // Sanity: a live deadline scans normally.
   Searcher& searcher = cluster->searcher(0);
   auto live = searcher.SearchAsync(
-      FeatureVector(16, 0.f), 5, 0, kNoCategoryFilter,
+      FeatureVector(16, 0.f), 5, 0, kNoCategoryFilter, FilterExpression{},
       qos::Deadline::FromBudget(MonotonicClock::Instance(), 10'000'000));
   EXPECT_NO_THROW(live.get());
   const auto scans_before = scans->Count();
@@ -388,7 +388,7 @@ TEST(QosClusterTest, SearcherShedsExpiredWorkBeforeScanning) {
   // An expired deadline is re-checked on the searcher's pool thread and
   // fails fast without running the scan.
   auto dead = searcher.SearchAsync(
-      FeatureVector(16, 0.f), 5, 0, kNoCategoryFilter,
+      FeatureVector(16, 0.f), 5, 0, kNoCategoryFilter, FilterExpression{},
       qos::Deadline::FromBudget(MonotonicClock::Instance(), 0));
   EXPECT_THROW(dead.get(), qos::DeadlineExceededError);
   EXPECT_EQ(scans->Count(), scans_before);
@@ -401,7 +401,7 @@ TEST(QosClusterTest, BrokerShedsExpiredFanOutBeforeDispatch) {
       obs::Labeled("jdvs_stage_micros", "stage", "searcher_scan"));
   ASSERT_NE(scans, nullptr);
   auto dead = cluster->broker(0).SearchAsync(
-      FeatureVector(16, 0.f), 5, 0, kNoCategoryFilter,
+      FeatureVector(16, 0.f), 5, 0, kNoCategoryFilter, FilterExpression{},
       qos::Deadline::FromBudget(MonotonicClock::Instance(), 0));
   EXPECT_THROW(dead.get(), qos::DeadlineExceededError);
   // The fan-out never dispatched: no searcher scanned, no searcher raised.

@@ -90,6 +90,44 @@ TEST_F(SnapshotTest, RoundTripPreservesConfig) {
   EXPECT_EQ(loaded->dim(), built.index->dim());
 }
 
+// Snapshot v3 persists the attribute filter state (category bitmaps +
+// numeric columns): a loaded index answers hybrid filtered queries
+// identically, and the filter knobs survive the config round trip.
+TEST_F(SnapshotTest, RoundTripPreservesFilteredSearch) {
+  Built built;
+  built.index->SetProductValidity(7, false);
+  const std::string path = PathFor("index.snap");
+  SaveIndexSnapshot(*built.index, path);
+  const auto loaded = LoadIndexSnapshot(path);
+
+  EXPECT_EQ(loaded->config().filter_post_threshold,
+            built.index->config().filter_post_threshold);
+  EXPECT_EQ(loaded->config().filter_widen_threshold,
+            built.index->config().filter_widen_threshold);
+  EXPECT_EQ(loaded->config().filter_widen_factor,
+            built.index->config().filter_widen_factor);
+  EXPECT_EQ(loaded->attribute_filters().ColumnChecksum(),
+            built.index->attribute_filters().ColumnChecksum());
+
+  FilterExpression filter;
+  filter.WithCategoryRange(0, 3).WithMin(FilterField::kSales, 1);
+  for (ProductId pid = 1; pid <= 20; ++pid) {
+    const auto record = built.catalog.Get(pid);
+    const auto query =
+        built.embedder.ExtractQuery(pid, record->category, pid);
+    const auto original =
+        built.index->Search(query, 5, 16, kNoCategoryFilter, filter);
+    const auto restored =
+        loaded->Search(query, 5, 16, kNoCategoryFilter, filter);
+    ASSERT_EQ(original.size(), restored.size()) << "pid " << pid;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].image_id, restored[i].image_id);
+      EXPECT_TRUE(filter.Matches(restored[i].category,
+                                 restored[i].attributes));
+    }
+  }
+}
+
 TEST_F(SnapshotTest, LoadedIndexAcceptsNewWrites) {
   Built built;
   const std::string path = PathFor("index.snap");

@@ -2,8 +2,12 @@
 // closed-loop query client.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
+#include <vector>
 
+#include "common/rng.h"
 #include "workload/catalog_gen.h"
 #include "workload/day_trace.h"
 #include "workload/query_client.h"
@@ -74,6 +78,39 @@ TEST(CatalogGenTest, DeterministicForSameSeed) {
     EXPECT_EQ(ra.attributes, rb->attributes);
     EXPECT_EQ(ra.image_urls, rb->image_urls);
   });
+}
+
+TEST(CatalogGenTest, AttributeSamplerDeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(SampleProductAttributes(a), SampleProductAttributes(b)) << i;
+  }
+}
+
+// The sampler is Zipf-like: the top of the sales distribution has to sit
+// orders of magnitude above the median, or "sales >= high threshold"
+// filters wouldn't be the rare-predicate regime the selectivity sweep
+// exercises.
+TEST(CatalogGenTest, AttributeSamplerIsHeavyTailed) {
+  Rng rng(7);
+  std::vector<std::uint64_t> sales;
+  std::uint64_t praise_le_sales = 0;
+  constexpr std::size_t kDraws = 20'000;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const ProductAttributes attrs = SampleProductAttributes(rng);
+    sales.push_back(attrs.sales);
+    praise_le_sales += attrs.praise <= attrs.sales;
+    EXPECT_GE(attrs.price_cents, 100u);  // price floor: 1 CNY
+  }
+  std::sort(sales.begin(), sales.end());
+  const std::uint64_t median = sales[kDraws / 2];
+  const std::uint64_t p99 = sales[kDraws - kDraws / 100];
+  const std::uint64_t p999 = sales[kDraws - kDraws / 1000];
+  EXPECT_GE(p99, 10 * std::max<std::uint64_t>(median, 1));
+  EXPECT_GE(p999, 100 * std::max<std::uint64_t>(median, 1));
+  // Praise is a fraction of buyers, never more than sales.
+  EXPECT_EQ(praise_le_sales, kDraws);
 }
 
 struct TraceFixture {
