@@ -253,7 +253,7 @@ inline void PrintHeader(const char* id, const char* paper_claim) {
 inline void PrintStageBreakdown(const obs::Registry& registry) {
   static constexpr const char* kStages[] = {
       "query_total", "extract", "broker_fanout", "searcher_filter",
-      "searcher_scan", "rank", "rt_apply"};
+      "searcher_io", "searcher_scan", "rank", "rt_apply"};
   std::printf("\nper-stage latency breakdown (us):\n");
   std::printf("  %-14s %10s %10s %10s %10s\n", "stage", "count", "mean",
               "p90", "p99");

@@ -126,6 +126,50 @@ void IvfIndex::FinishPendingExpansions() {
   for (const auto& list : lists_) list->MaybeFinishExpansion();
 }
 
+LocalId IvfIndex::AddImageMetadata(std::string_view image_url,
+                                   ProductId product_id, CategoryId category,
+                                   const ProductAttributes& attributes,
+                                   std::string_view detail_url) {
+  const ImageId image_id = Fnv1a64(image_url);
+  const LocalId local = forward_.Append(image_id, product_id, category,
+                                        attributes, image_url, detail_url);
+  filters_.Append(category, attributes);
+  // Feature pointer resolved later by AttachFrozenList.
+  local_feature_.push_back(nullptr);
+  valid_.Set(local, true);
+  url_to_local_.emplace(std::string(image_url), local);
+  product_to_locals_[product_id].push_back(local);
+  return local;
+}
+
+void IvfIndex::AttachFrozenList(std::size_t list, const LocalId* ids,
+                                const float* norms,
+                                const std::uint8_t* payload,
+                                std::size_t count) {
+  assert(list < lists_.size());
+  if (count == 0) return;
+  auto owned_ids = AllocateAligned<LocalId>(count);
+  auto owned_norms = AllocateAligned<float>(count);
+  std::memcpy(owned_ids.get(), ids, count * sizeof(LocalId));
+  std::memcpy(owned_norms.get(), norms, count * sizeof(float));
+  for (std::size_t i = 0; i < count; ++i) {
+    lists_[list]->Append(ids[i]);
+    assert(ids[i] < local_feature_.size());
+    local_feature_[ids[i]] =
+        reinterpret_cast<const float*>(payload + i * padded_dim_ *
+                                                     sizeof(float));
+  }
+  blocks_[list]->AttachFrozen(std::move(owned_ids), std::move(owned_norms),
+                              payload, count);
+}
+
+void IvfIndex::ForEachScanRun(
+    std::size_t list,
+    const std::function<void(const LocalId*, const std::uint8_t*,
+                             const float*, std::size_t)>& fn) const {
+  blocks_[list]->ForEachRun(fn);
+}
+
 const float* IvfIndex::PadQuery(FeatureView query, float* stack_buf,
                                 AlignedArray<float>& heap_buf) const {
   float* dst;
@@ -143,8 +187,9 @@ const float* IvfIndex::PadQuery(FeatureView query, float* stack_buf,
 void IvfIndex::ScanListPadded(std::size_t list, const float* padded_query,
                               float query_norm, CategoryId category_filter,
                               const MaterializedFilter* filter,
-                              bool post_filter, FilterScanStats* stats,
-                              TopK& topk) const {
+                              bool post_filter,
+                              const FilterExpression* direct,
+                              FilterScanStats* stats, TopK& topk) const {
   const DistanceKernels& kernels = Kernels();
   const std::size_t stride = padded_dim_;
   blocks_[list]->ForEachRun([&](const LocalId* ids,
@@ -201,6 +246,22 @@ void IvfIndex::ScanListPadded(std::size_t list, const float* padded_query,
           const bool pass = post_filter ? filter->Test(local)
                                         : ((alive >> keep[s]) & 1) != 0;
           if (!pass) continue;
+        } else if (direct != nullptr) {
+          // Broad-filter direct post mode: no bitmap was materialized, so
+          // validity / category / predicates are all evaluated here — but
+          // only on the <= k survivors the kernel admitted, which is the
+          // whole point of skipping materialization.
+          if (config_.filter_invalid_during_scan && !valid_.Get(local)) {
+            continue;
+          }
+          if (category_filter != kNoCategoryFilter &&
+              forward_.CategoryOf(local) != category_filter) {
+            continue;
+          }
+          const AttributeSnapshot snapshot = forward_.Get(local);
+          if (!direct->Matches(snapshot.category, snapshot.attributes)) {
+            continue;
+          }
         } else {
           if (config_.filter_invalid_during_scan && !valid_.Get(local)) {
             continue;
@@ -217,10 +278,36 @@ void IvfIndex::ScanListPadded(std::size_t list, const float* padded_query,
   });
 }
 
-IvfIndex::FilterPlan IvfIndex::PlanFilteredScan(const FilterExpression& filter,
-                                                CategoryId category_filter,
-                                                std::size_t nprobe,
-                                                FilterScanStats* stats) const {
+double IvfIndex::EstimateFilterSelectivity(const FilterExpression& filter,
+                                           CategoryId category_filter) const {
+  const std::size_t n = forward_.size();
+  if (n == 0) return 0.0;
+  // Deterministic strided sample of the forward index: ~256 probes bound the
+  // cost regardless of index size, and appended entries arrive in workload
+  // order, so strides see a representative attribute mix.
+  constexpr std::size_t kSamples = 256;
+  const std::size_t step = std::max<std::size_t>(1, n / kSamples);
+  std::size_t seen = 0;
+  std::size_t pass = 0;
+  for (std::size_t local = 0; local < n; local += step) {
+    ++seen;
+    const auto id = static_cast<LocalId>(local);
+    if (config_.filter_invalid_during_scan && !valid_.Get(id)) continue;
+    const AttributeSnapshot snapshot = forward_.Get(id);
+    if (category_filter != kNoCategoryFilter &&
+        snapshot.category != category_filter) {
+      continue;
+    }
+    if (!filter.Matches(snapshot.category, snapshot.attributes)) continue;
+    ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(seen);
+}
+
+IvfIndex::FilterPlan IvfIndex::PlanFilteredScan(
+    const FilterExpression& filter, CategoryId category_filter,
+    std::size_t nprobe, FilterScanStats* stats,
+    std::shared_ptr<const MaterializedFilter> reuse) const {
   FilterPlan plan;
   plan.nprobe = nprobe;
   if (stats != nullptr) {
@@ -228,16 +315,42 @@ IvfIndex::FilterPlan IvfIndex::PlanFilteredScan(const FilterExpression& filter,
     stats->universe = forward_.size();
   }
   if (filter.empty()) return plan;
-  const Stopwatch watch(MonotonicClock::Instance());
-  // The ablation flag keeps validity out of the bitmap (deferred to
-  // materialization), matching the unfiltered scan's contract.
-  plan.bits = filters_.Materialize(
-      filter, category_filter,
-      config_.filter_invalid_during_scan ? &valid_ : nullptr);
-  const Micros materialize_micros = watch.ElapsedMicros();
+  if (reuse == nullptr) {
+    // Broad filters never materialize (PR 8's open cut): a sampled estimate
+    // at/above the post threshold routes the query into direct post mode,
+    // where predicates run only against the <= k kernel survivors and the
+    // per-query ~1ms/100k-entry bitmap cost disappears.
+    const double estimate = EstimateFilterSelectivity(filter, category_filter);
+    if (estimate >= config_.filter_post_threshold) {
+      plan.use_filter = true;
+      plan.post_mode = true;
+      plan.direct = &filter;
+      if (stats != nullptr) {
+        stats->strategy = FilterScanStats::Strategy::kPost;
+        stats->selectivity_bp =
+            static_cast<std::uint32_t>(estimate * 10000.0);
+        stats->estimated = true;
+      }
+      return plan;
+    }
+  }
+  Micros materialize_micros = 0;
+  if (reuse != nullptr) {
+    // A batch sibling with an identical filter already paid for the bitmap.
+    plan.bits = std::move(reuse);
+    if (stats != nullptr) stats->reused_bitmap = true;
+  } else {
+    const Stopwatch watch(MonotonicClock::Instance());
+    // The ablation flag keeps validity out of the bitmap (deferred to
+    // materialization), matching the unfiltered scan's contract.
+    plan.bits = std::make_shared<const MaterializedFilter>(filters_.Materialize(
+        filter, category_filter,
+        config_.filter_invalid_during_scan ? &valid_ : nullptr));
+    materialize_micros = watch.ElapsedMicros();
+  }
   plan.use_filter = true;
-  const double selectivity = plan.bits.selectivity();
-  if (plan.bits.matches == 0) {
+  const double selectivity = plan.bits->selectivity();
+  if (plan.bits->matches == 0) {
     plan.empty_result = true;
   } else if (selectivity >= config_.filter_post_threshold) {
     plan.post_mode = true;
@@ -250,8 +363,8 @@ IvfIndex::FilterPlan IvfIndex::PlanFilteredScan(const FilterExpression& filter,
     stats->strategy = plan.post_mode ? FilterScanStats::Strategy::kPost
                                      : FilterScanStats::Strategy::kPre;
     stats->selectivity_bp = static_cast<std::uint32_t>(selectivity * 10000.0);
-    stats->matches = plan.bits.matches;
-    stats->universe = plan.bits.universe;
+    stats->matches = plan.bits->matches;
+    stats->universe = plan.bits->universe;
     stats->widened_nprobe = plan.nprobe != nprobe;
     stats->materialize_micros = materialize_micros;
   }
@@ -289,7 +402,8 @@ std::vector<SearchHit> IvfIndex::MaterializeRanked(
 std::vector<ScoredImage> IvfIndex::ScanProbes(
     FeatureView query, std::size_t k, std::span<const std::uint32_t> probes,
     CategoryId category_filter, const MaterializedFilter* filter,
-    bool post_filter, FilterScanStats* stats) const {
+    bool post_filter, FilterScanStats* stats,
+    const FilterExpression* direct_filter) const {
   assert(query.size() == dim());
   alignas(kCacheLineBytes) float stack_query[kMaxStackQueryFloats];
   AlignedArray<float> heap_query;
@@ -298,7 +412,7 @@ std::vector<ScoredImage> IvfIndex::ScanProbes(
   TopK topk(k);
   for (const std::uint32_t list : probes) {
     ScanListPadded(list, padded, query_norm, category_filter, filter,
-                   post_filter, stats, topk);
+                   post_filter, direct_filter, stats, topk);
   }
   return topk.TakeSorted();
 }
@@ -306,17 +420,8 @@ std::vector<ScoredImage> IvfIndex::ScanProbes(
 std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
                                         std::size_t nprobe_override,
                                         CategoryId category_filter) const {
-  assert(query.size() == dim());
-  const std::size_t nprobe =
-      nprobe_override == 0 ? config_.nprobe : nprobe_override;
-  // "each searcher node identifies the cluster that is most similar to the
-  // queried image based on its features" (Section 2.4), generalized to the
-  // standard multi-probe recall knob.
-  const std::vector<std::uint32_t> probes =
-      quantizer_->NearestCentroids(query, nprobe);
-  std::vector<ScoredImage> ranked =
-      ScanProbes(query, k, probes, category_filter);
-  return MaterializeRanked(ranked);
+  return Search(query, k, nprobe_override, category_filter, nullptr, nullptr,
+                /*io_budget_micros=*/0, /*tier_stats=*/nullptr);
 }
 
 std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
@@ -324,20 +429,51 @@ std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
                                         CategoryId category_filter,
                                         const FilterExpression& filter,
                                         FilterScanStats* stats) const {
+  return Search(query, k, nprobe_override, category_filter, &filter, stats,
+                /*io_budget_micros=*/0, /*tier_stats=*/nullptr);
+}
+
+std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
+                                        std::size_t nprobe_override,
+                                        CategoryId category_filter,
+                                        const FilterExpression* filter,
+                                        FilterScanStats* stats,
+                                        Micros io_budget_micros,
+                                        TierScanStats* tier_stats) const {
   assert(query.size() == dim());
   const std::size_t nprobe =
       nprobe_override == 0 ? config_.nprobe : nprobe_override;
-  const FilterPlan plan =
-      PlanFilteredScan(filter, category_filter, nprobe, stats);
-  if (!plan.use_filter) {
-    return Search(query, k, nprobe_override, category_filter);
+  FilterPlan plan;
+  if (filter != nullptr && !filter->empty()) {
+    plan = PlanFilteredScan(*filter, category_filter, nprobe, stats);
+    // Zero matches: empty-but-successful, no scan work at all.
+    if (plan.empty_result) return {};
+  } else {
+    plan.nprobe = nprobe;
+    if (stats != nullptr) {
+      *stats = FilterScanStats{};
+      stats->universe = forward_.size();
+    }
   }
-  // Zero matches: empty-but-successful, no scan work at all.
-  if (plan.empty_result) return {};
-  const std::vector<std::uint32_t> probes =
+  // "each searcher node identifies the cluster that is most similar to the
+  // queried image based on its features" (Section 2.4), generalized to the
+  // standard multi-probe recall knob.
+  std::vector<std::uint32_t> probes =
       quantizer_->NearestCentroids(query, plan.nprobe);
-  std::vector<ScoredImage> ranked = ScanProbes(
-      query, k, probes, kNoCategoryFilter, &plan.bits, plan.post_mode, stats);
+  // Tiered mode: pin the probed lists before the fused kernel touches any
+  // row. The guard keeps them evict-exempt for the whole scan; probes past
+  // the io budget were dropped (reduced effective nprobe).
+  TieredListStore::PinGuard guard;
+  if (tiered_store_ != nullptr) {
+    guard = tiered_store_->Pin(probes, io_budget_micros, tier_stats);
+    probes.resize(guard.num_pinned());
+  }
+  // With a bitmap, category/validity are folded in already; direct mode and
+  // the unfiltered scan carry the category filter through.
+  std::vector<ScoredImage> ranked =
+      ScanProbes(query, k, probes,
+                 plan.bits != nullptr ? kNoCategoryFilter : category_filter,
+                 plan.bits.get(), plan.post_mode, stats, plan.direct);
   return MaterializeRanked(ranked);
 }
 
@@ -352,7 +488,16 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
   views.reserve(n);
   nprobes.reserve(n);
   // Per-query filter plans first: extreme selectivity can widen a query's
-  // nprobe, which must happen before the shared coarse pass.
+  // nprobe, which must happen before the shared coarse pass. Queries whose
+  // FilterExpression hashes (and compares) equal share one materialized
+  // bitmap — the batch pays the materialization cost once, not per query.
+  struct SharedBitmap {
+    std::uint64_t hash = 0;
+    CategoryId category = kNoCategoryFilter;
+    const FilterExpression* expr = nullptr;
+    std::shared_ptr<const MaterializedFilter> bits;  // null if direct mode
+  };
+  std::vector<SharedBitmap> shared;
   std::vector<FilterPlan> plans(n);
   for (std::size_t i = 0; i < n; ++i) {
     const IvfBatchQuery& bq = queries[i];
@@ -360,8 +505,22 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
     views.push_back(bq.query);
     const std::size_t nprobe = bq.nprobe == 0 ? config_.nprobe : bq.nprobe;
     if (bq.filter != nullptr && !bq.filter->empty()) {
+      const std::uint64_t hash = bq.filter->Hash();
+      SharedBitmap* match = nullptr;
+      for (SharedBitmap& s : shared) {
+        if (s.hash == hash && s.category == bq.category_filter &&
+            *s.expr == *bq.filter) {
+          match = &s;
+          break;
+        }
+      }
       plans[i] = PlanFilteredScan(*bq.filter, bq.category_filter, nprobe,
-                                  bq.filter_stats);
+                                  bq.filter_stats,
+                                  match != nullptr ? match->bits : nullptr);
+      if (match == nullptr) {
+        shared.push_back(
+            {hash, bq.category_filter, bq.filter, plans[i].bits});
+      }
     } else {
       plans[i].nprobe = nprobe;
       if (bq.filter_stats != nullptr) {
@@ -371,8 +530,20 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
     }
     nprobes.push_back(plans[i].nprobe);
   }
-  const std::vector<std::vector<std::uint32_t>> probes =
+  std::vector<std::vector<std::uint32_t>> probes =
       quantizer_->NearestCentroidsBatch(views, nprobes);
+  // Tiered mode: pin every query's probe set for the batch's whole scan;
+  // per-query io budgets truncate their own probe lists.
+  std::vector<TieredListStore::PinGuard> guards;
+  if (tiered_store_ != nullptr) {
+    guards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      guards.push_back(tiered_store_->Pin(probes[i],
+                                          queries[i].io_budget_micros,
+                                          queries[i].tier_stats));
+      probes[i].resize(guards.back().num_pinned());
+    }
+  }
   // All padded queries in one aligned block, with their norms.
   AlignedArray<float> padded = AllocateAligned<float>(n * padded_dim_);
   std::vector<float> query_norms(n);
@@ -398,9 +569,9 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
   for (const auto& [list, qi] : plan) {
     const FilterPlan& fp = plans[qi];
     ScanListPadded(list, padded.get() + qi * padded_dim_, query_norms[qi],
-                   fp.use_filter ? kNoCategoryFilter
-                                 : queries[qi].category_filter,
-                   fp.use_filter ? &fp.bits : nullptr, fp.post_mode,
+                   fp.bits != nullptr ? kNoCategoryFilter
+                                      : queries[qi].category_filter,
+                   fp.bits.get(), fp.post_mode, fp.direct,
                    queries[qi].filter_stats, topks[qi]);
   }
   for (std::size_t i = 0; i < n; ++i) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cluster/quantizer.h"
+#include "common/clock.h"
 #include "filter/attribute_filter_index.h"
 #include "index/bitmap.h"
 #include "index/forward_index.h"
@@ -40,6 +41,7 @@
 #include "index/inverted_index.h"
 #include "index/scan_block.h"
 #include "mq/message.h"
+#include "tier/tiered_store.h"
 #include "vecmath/aligned.h"
 #include "vecmath/topk.h"
 #include "vecmath/vector.h"
@@ -91,6 +93,11 @@ struct IvfBatchQuery {
   const FilterExpression* filter = nullptr;
   // Optional per-query diagnostics sink (caller-owned).
   FilterScanStats* filter_stats = nullptr;
+  // Tiered serving: fault-time budget for cold posting lists (0 = no limit;
+  // probes past the budget are dropped — reduced effective nprobe) and an
+  // optional residency accounting sink (caller-owned).
+  Micros io_budget_micros = 0;
+  TierScanStats* tier_stats = nullptr;
 };
 
 class IvfIndex final : public ImageIndex {
@@ -157,6 +164,20 @@ class IvfIndex final : public ImageIndex {
                                 const FilterExpression& filter,
                                 FilterScanStats* stats = nullptr) const override;
 
+  // Full-fat search: every per-query knob in one call (the virtuals above
+  // forward here). `filter` may be null or empty (unfiltered). In tiered
+  // mode the probed lists are pinned in the residency cache before the scan;
+  // `io_budget_micros` bounds the accumulated cold-list fault time (0 = no
+  // limit; probes past the budget are dropped — a reduced effective nprobe)
+  // and `tier_stats` receives the hit/fault accounting.
+  std::vector<SearchHit> Search(FeatureView query, std::size_t k,
+                                std::size_t nprobe_override,
+                                CategoryId category_filter,
+                                const FilterExpression* filter,
+                                FilterScanStats* stats,
+                                Micros io_budget_micros,
+                                TierScanStats* tier_stats) const;
+
   // Answers a group of concurrently admitted queries in one pass:
   // coarse assignment is a single centroid-major sweep for the whole batch,
   // and inverted lists probed by several queries are scanned back-to-back so
@@ -175,7 +196,8 @@ class IvfIndex final : public ImageIndex {
       std::span<const std::uint32_t> probes,
       CategoryId category_filter = kNoCategoryFilter,
       const MaterializedFilter* filter = nullptr, bool post_filter = false,
-      FilterScanStats* stats = nullptr) const;
+      FilterScanStats* stats = nullptr,
+      const FilterExpression* direct_filter = nullptr) const;
 
   // Brute-force scan over all valid images (ground truth for recall tests).
   std::vector<SearchHit> SearchExhaustive(FeatureView query,
@@ -211,19 +233,76 @@ class IvfIndex final : public ImageIndex {
   // restored storage.
   bool feature_storage_aligned() const noexcept;
 
+  // ---- Tiered (mmap) restore hooks: writer-only, load-time ----
+
+  // Appends an entry's metadata only — forward index, attribute filters,
+  // validity, lookup maps — without touching the inverted lists or scan
+  // storage; the feature row arrives later through AttachFrozenList. The
+  // restore-path twin of AddImage for the v4 mapped loader.
+  LocalId AddImageMetadata(std::string_view image_url, ProductId product_id,
+                           CategoryId category,
+                           const ProductAttributes& attributes,
+                           std::string_view detail_url);
+
+  // Installs list `list`'s frozen scan storage: `count` entries whose ids
+  // and norms the index copies into heap arrays (the RAM-resident "head")
+  // and whose payload rows stay at `payload` — 64-byte aligned, padded_dim()
+  // stride, typically inside an mmap'd v4 snapshot, valid for the index's
+  // lifetime. Replays the ids into the InvertedList and resolves the
+  // per-local feature pointers. Must follow the AddImageMetadata calls that
+  // defined the ids; each list may be attached once, before any AddImage.
+  void AttachFrozenList(std::size_t list, const LocalId* ids,
+                        const float* norms, const std::uint8_t* payload,
+                        std::size_t count);
+
+  // Attaches the residency cache; searches pin their probe sets through it
+  // from then on. The store must own the mapping AttachFrozenList's payload
+  // pointers refer into.
+  void AttachTieredStore(std::shared_ptr<TieredListStore> store) {
+    tiered_store_ = std::move(store);
+  }
+  const TieredListStore* tiered_store() const noexcept {
+    return tiered_store_.get();
+  }
+
+  // Per-list scan storage introspection (tiered snapshot writer).
+  std::size_t num_lists() const noexcept { return lists_.size(); }
+  std::size_t ListEntryCount(std::size_t list) const {
+    return blocks_[list]->size();
+  }
+  // Visits list `list`'s published entries as contiguous runs:
+  // fn(ids, payload, norms, count). Safe concurrently with searches.
+  void ForEachScanRun(
+      std::size_t list,
+      const std::function<void(const LocalId*, const std::uint8_t*,
+                               const float*, std::size_t)>& fn) const;
+
  private:
-  // One query's hybrid scan decision: the materialized bitmap plus the
-  // strategy the selectivity picked. Shared by Search and SearchBatch.
+  // One query's hybrid scan decision: the (possibly shared) materialized
+  // bitmap — or, for broad filters, a direct predicate pointer and no bitmap
+  // at all — plus the strategy the selectivity picked. Shared by Search and
+  // SearchBatch.
   struct FilterPlan {
-    MaterializedFilter bits;
+    std::shared_ptr<const MaterializedFilter> bits;  // null in direct mode
+    // Direct post mode: predicates evaluated only on kernel survivors,
+    // nothing materialized (the broad-filter fix from PR 8's open cut).
+    const FilterExpression* direct = nullptr;
     bool use_filter = false;    // false = unfiltered legacy scan
     bool post_mode = false;     // survivors tested vs sub-block masks
     bool empty_result = false;  // zero matches: skip the scan entirely
     std::size_t nprobe = 0;     // effective probe count (possibly widened)
   };
-  FilterPlan PlanFilteredScan(const FilterExpression& filter,
-                              CategoryId category_filter, std::size_t nprobe,
-                              FilterScanStats* stats) const;
+  // `reuse` (optional) is an already-materialized bitmap for this exact
+  // (filter, category_filter) — SearchBatch shares one across a batch's
+  // queries with equal FilterExpression::Hash().
+  FilterPlan PlanFilteredScan(
+      const FilterExpression& filter, CategoryId category_filter,
+      std::size_t nprobe, FilterScanStats* stats,
+      std::shared_ptr<const MaterializedFilter> reuse = nullptr) const;
+  // Sampled selectivity estimate (bounded forward-index probes, no bitmap):
+  // the gate that sends broad filters into direct post mode.
+  double EstimateFilterSelectivity(const FilterExpression& filter,
+                                   CategoryId category_filter) const;
 
   SearchHit MaterializeHit(const ScoredImage& scored) const;
   // Materializes ranked scan results, applying the late validity filter when
@@ -237,10 +316,13 @@ class IvfIndex final : public ImageIndex {
   // validity/category checks (the bitmap already folds them): post_filter
   // tests kernel survivors only, otherwise sub-block masks are gathered
   // first and wholly-dead sub-blocks skip the kernel.
+  // A non-null `direct` (mutually exclusive with `filter`) post-filters
+  // kernel survivors straight against the predicates — no bitmap exists.
   void ScanListPadded(std::size_t list, const float* padded_query,
                       float query_norm, CategoryId category_filter,
                       const MaterializedFilter* filter, bool post_filter,
-                      FilterScanStats* stats, TopK& topk) const;
+                      const FilterExpression* direct, FilterScanStats* stats,
+                      TopK& topk) const;
   // Copies `query` into a padded row: `stack_buf` (kMaxStackQueryFloats
   // capacity) when it fits, else a fresh aligned heap block kept alive by
   // `heap_buf`.
@@ -268,6 +350,9 @@ class IvfIndex final : public ImageIndex {
   std::vector<const float*> local_feature_;
   std::unordered_map<std::string, LocalId> url_to_local_;
   std::unordered_map<ProductId, std::vector<LocalId>> product_to_locals_;
+  // Residency cache for disk-backed frozen lists (null = fully RAM-resident;
+  // attached once at load, before the index takes traffic).
+  std::shared_ptr<TieredListStore> tiered_store_;
 };
 
 }  // namespace jdvs

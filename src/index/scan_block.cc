@@ -30,11 +30,18 @@ void ScanBlock::Append(LocalId id, const void* payload, float aux) {
     assert(chunks_.size() < kMaxChunks);
     Chunk c;
     c.begin = index;
-    c.capacity = chunks_.empty() ? kFirstChunkEntries
-                                 : chunks_.back().capacity * 2;
-    c.payload = AllocateAligned<std::uint8_t>(c.capacity * stride_);
-    c.ids = AllocateAligned<LocalId>(c.capacity);
-    c.aux = AllocateAligned<float>(c.capacity);
+    // Delta chunks after a frozen prefix restart at the small size: the
+    // prefix can be arbitrarily large and doubling from it would make the
+    // first real-time append allocate a prefix-sized heap block.
+    c.capacity = (chunks_.empty() || chunks_.back().frozen)
+                     ? kFirstChunkEntries
+                     : chunks_.back().capacity * 2;
+    c.owned_payload = AllocateAligned<std::uint8_t>(c.capacity * stride_);
+    c.owned_ids = AllocateAligned<LocalId>(c.capacity);
+    c.owned_aux = AllocateAligned<float>(c.capacity);
+    c.payload = c.owned_payload.get();
+    c.ids = c.owned_ids.get();
+    c.aux = c.owned_aux.get();
     allocated_bytes_.fetch_add(
         c.capacity * (stride_ + sizeof(LocalId) + sizeof(float)),
         std::memory_order_relaxed);
@@ -44,11 +51,34 @@ void ScanBlock::Append(LocalId id, const void* payload, float aux) {
     chunk_count_.store(chunks_.size(), std::memory_order_release);
   }
   Chunk& chunk = chunks_.back();
+  assert(!chunk.frozen);
   const std::size_t offset = index - chunk.begin;
-  std::memcpy(chunk.payload.get() + offset * stride_, payload, stride_);
-  chunk.ids.get()[offset] = id;
-  chunk.aux.get()[offset] = aux;
+  std::memcpy(chunk.owned_payload.get() + offset * stride_, payload, stride_);
+  chunk.owned_ids.get()[offset] = id;
+  chunk.owned_aux.get()[offset] = aux;
   size_.store(index + 1, std::memory_order_release);
+}
+
+void ScanBlock::AttachFrozen(AlignedArray<LocalId> ids, AlignedArray<float> aux,
+                             const std::uint8_t* payload, std::size_t count) {
+  assert(size_.load(std::memory_order_relaxed) == 0 && chunks_.empty());
+  assert(IsCacheAligned(payload));
+  if (count == 0) return;
+  Chunk c;
+  c.begin = 0;
+  c.capacity = count;
+  c.owned_ids = std::move(ids);
+  c.owned_aux = std::move(aux);
+  c.payload = payload;  // external, disk-backed; not counted in memory_bytes
+  c.ids = c.owned_ids.get();
+  c.aux = c.owned_aux.get();
+  c.frozen = true;
+  allocated_bytes_.fetch_add(count * (sizeof(LocalId) + sizeof(float)),
+                             std::memory_order_relaxed);
+  chunks_.push_back(std::move(c));
+  frozen_entries_ = count;
+  chunk_count_.store(chunks_.size(), std::memory_order_release);
+  size_.store(count, std::memory_order_release);
 }
 
 const ScanBlock::Chunk* ScanBlock::FindChunk(
@@ -66,26 +96,27 @@ const ScanBlock::Chunk* ScanBlock::FindChunk(
 const std::uint8_t* ScanBlock::PayloadAt(std::size_t index) const noexcept {
   assert(index < size());
   const Chunk* chunk = FindChunk(index);
-  return chunk->payload.get() + (index - chunk->begin) * stride_;
+  return chunk->payload + (index - chunk->begin) * stride_;
 }
 
 std::uint8_t* ScanBlock::MutablePayloadAt(std::size_t index) noexcept {
   assert(index < size());
   const Chunk* chunk = FindChunk(index);
-  return const_cast<std::uint8_t*>(chunk->payload.get()) +
+  assert(!chunk->frozen);
+  return const_cast<std::uint8_t*>(chunk->payload) +
          (index - chunk->begin) * stride_;
 }
 
 LocalId ScanBlock::IdAt(std::size_t index) const noexcept {
   assert(index < size());
   const Chunk* chunk = FindChunk(index);
-  return chunk->ids.get()[index - chunk->begin];
+  return chunk->ids[index - chunk->begin];
 }
 
 bool ScanBlock::storage_aligned() const noexcept {
   const std::size_t chunks = chunk_count_.load(std::memory_order_acquire);
   for (std::size_t c = 0; c < chunks; ++c) {
-    if (!IsCacheAligned(chunks_[c].payload.get())) return false;
+    if (!IsCacheAligned(chunks_[c].payload)) return false;
   }
   return true;
 }

@@ -53,6 +53,22 @@ class ScanBlock {
   // payloads without a norm (PQ codes) leave it zero.
   void Append(LocalId id, const void* payload, float aux = 0.0f);
 
+  // Installs a frozen prefix (single writer, block must be empty): chunk 0
+  // becomes `count` entries whose ids/aux the block owns but whose payload
+  // is a non-owning pointer — in the tiered index it points into the mmap'd
+  // v4 snapshot, so the rows are demand-paged and never copied. The frozen
+  // chunk is immutable (MutablePayloadAt on it is a contract violation);
+  // subsequent Appends allocate heap chunks exactly as before, which is what
+  // makes the real-time delta RAM-resident and mutable on top of a
+  // disk-resident base. `payload` must be 64-byte aligned and hold
+  // count * payload_stride_bytes() bytes for the block's lifetime.
+  void AttachFrozen(AlignedArray<LocalId> ids, AlignedArray<float> aux,
+                    const std::uint8_t* payload, std::size_t count);
+
+  // Entries in the frozen prefix (0 when none was attached); their payload
+  // bytes are external (disk-backed), everything after them is heap.
+  std::size_t frozen_entries() const noexcept { return frozen_entries_; }
+
   // Payload pointer of entry `index`. Stable for the lifetime of the block;
   // safe concurrently with Append for any index < size() observed earlier.
   const std::uint8_t* PayloadAt(std::size_t index) const noexcept;
@@ -79,9 +95,8 @@ class ScanBlock {
           std::min(chunk.capacity, published - chunk.begin);
       for (std::size_t offset = 0; offset < in_chunk;
            offset += max_run_entries_) {
-        fn(chunk.ids.get() + offset, chunk.payload.get() + offset * stride_,
-           chunk.aux.get() + offset,
-           std::min(max_run_entries_, in_chunk - offset));
+        fn(chunk.ids + offset, chunk.payload + offset * stride_,
+           chunk.aux + offset, std::min(max_run_entries_, in_chunk - offset));
       }
     }
   }
@@ -101,12 +116,18 @@ class ScanBlock {
   bool storage_aligned() const noexcept;
 
  private:
+  // Readers go through the raw pointers; the owning arrays (null for the
+  // frozen chunk's external payload) just pin the storage's lifetime.
   struct Chunk {
-    AlignedArray<std::uint8_t> payload;
-    AlignedArray<LocalId> ids;
-    AlignedArray<float> aux;
+    AlignedArray<std::uint8_t> owned_payload;
+    AlignedArray<LocalId> owned_ids;
+    AlignedArray<float> owned_aux;
+    const std::uint8_t* payload = nullptr;
+    const LocalId* ids = nullptr;
+    const float* aux = nullptr;
     std::size_t begin = 0;     // global index of this chunk's first entry
     std::size_t capacity = 0;  // entries this chunk can hold
+    bool frozen = false;       // immutable prefix (external payload)
   };
 
   const Chunk* FindChunk(std::size_t index) const noexcept;
@@ -117,6 +138,7 @@ class ScanBlock {
   std::atomic<std::size_t> chunk_count_{0};
   std::atomic<std::size_t> size_{0};
   std::atomic<std::size_t> allocated_bytes_{0};
+  std::size_t frozen_entries_ = 0;  // writer-owned
 };
 
 }  // namespace jdvs

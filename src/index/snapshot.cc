@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "tier/tiered_snapshot.h"
+
 namespace jdvs {
 namespace {
 
@@ -15,6 +17,8 @@ constexpr std::uint64_t kMagic = 0x4A44565349445831ULL;  // "JDVSIDX1"
 // trailing verification section (per-category populations + numeric-column
 // checksum) that load cross-checks against the rebuilt attribute filter
 // index; v1/v2 snapshots still load with default knobs and no verification.
+// Version 4 is the tiered (mmap-able) layout defined in tier/tiered_snapshot;
+// this writer still emits v3 and the loader dispatches v4 files there.
 constexpr std::uint32_t kVersion = 3;
 
 void WriteRaw(std::ostream& os, const void* data, std::size_t bytes) {
@@ -127,6 +131,14 @@ std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
     throw SnapshotError("bad snapshot magic: " + path);
   }
   const auto version = ReadPod<std::uint32_t>(is);
+  if (version == 4) {
+    // v4 tiered layout: a different body entirely. The heap loader replays
+    // it through AddImage so callers of the generic entry point keep getting
+    // a fully RAM-resident index; use LoadTieredSnapshot for mapped serving.
+    is.close();
+    return internal::LoadTieredSnapshotHeap(path, std::move(copy_executor),
+                                            update_hwm);
+  }
   if (version < 1 || version > kVersion) {
     throw SnapshotError("unsupported snapshot version " +
                         std::to_string(version));

@@ -79,6 +79,9 @@
 #include "store/catalog.h"
 #include "store/feature_db.h"
 #include "store/image_store.h"
+#include "tier/mmap_file.h"
+#include "tier/tiered_snapshot.h"
+#include "tier/tiered_store.h"
 #include "vecmath/distance.h"
 #include "vecmath/topk.h"
 #include "vecmath/vector.h"

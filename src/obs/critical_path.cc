@@ -139,8 +139,8 @@ CriticalPathReport CriticalPathFromFlightRecord(const FlightRecord& record) {
   CriticalPathReport report;
   static constexpr FlightStage kChronological[] = {
       FlightStage::kQueueWait, FlightStage::kExtract, FlightStage::kFilter,
-      FlightStage::kScan,      FlightStage::kHedgeWait, FlightStage::kFanIn,
-      FlightStage::kRank,
+      FlightStage::kIo,        FlightStage::kScan,    FlightStage::kHedgeWait,
+      FlightStage::kFanIn,     FlightStage::kRank,
   };
   Micros at = record.start_micros;
   for (const FlightStage stage : kChronological) {
@@ -194,7 +194,8 @@ std::string RenderCriticalPathTable(const Registry& registry) {
   static constexpr const char* kStages[] = {
       "query",      "extract",       "broker.search", "searcher.scan",
       "rank",       "rt.apply",      "queue_wait",    "broker_fanout",
-      "searcher_filter", "searcher_scan", "hedge_wait", "fan_in",
+      "searcher_filter", "searcher_io", "searcher_scan", "hedge_wait",
+      "fan_in",
   };
   struct Row {
     const char* stage;

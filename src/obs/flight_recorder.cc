@@ -24,6 +24,8 @@ const char* FlightStageName(FlightStage stage) {
       return "rank";
     case FlightStage::kFilter:
       return "searcher_filter";
+    case FlightStage::kIo:
+      return "searcher_io";
   }
   return "unknown";
 }

@@ -44,8 +44,13 @@ enum class FlightStage : std::uint8_t {
   // kFilter + kScan still equals the slowest winning attempt. Appended at
   // the end so existing persisted stage arrays keep their indices.
   kFilter,
+  // Cold-list fault time inside the winning searcher attempts of a tiered
+  // (mmap-served) partition; carved out of kScan like kFilter, so
+  // kFilter + kIo + kScan still equals the slowest winning attempt. Also
+  // appended at the end for persisted-array compatibility.
+  kIo,
 };
-inline constexpr std::size_t kNumFlightStages = 8;
+inline constexpr std::size_t kNumFlightStages = 9;
 const char* FlightStageName(FlightStage stage);
 
 struct FlightRecord {

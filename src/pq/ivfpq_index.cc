@@ -122,8 +122,8 @@ SearchHit IvfPqIndex::MaterializeHit(const ScoredImage& scored) const {
 void IvfPqIndex::ScanListAdc(std::size_t list, const float* table,
                              CategoryId category_filter,
                              const MaterializedFilter* filter,
-                             bool post_filter, FilterScanStats* stats,
-                             TopK& adc_topk) const {
+                             bool post_filter, const FilterExpression* direct,
+                             FilterScanStats* stats, TopK& adc_topk) const {
   const DistanceKernels& kernels = Kernels();
   const std::size_t m = pq_->num_subspaces();
   const std::size_t ks = pq_->codebook_size();
@@ -173,6 +173,18 @@ void IvfPqIndex::ScanListAdc(std::size_t list, const float* table,
           const bool pass = post_filter ? filter->Test(local)
                                         : ((alive >> keep[s]) & 1) != 0;
           if (!pass) continue;
+        } else if (direct != nullptr) {
+          // Broad-filter direct post mode: no bitmap, so validity/category/
+          // predicates all run here — but only on the kernel survivors.
+          if (!valid_.Get(local)) continue;
+          if (category_filter != kNoCategoryFilter &&
+              forward_.CategoryOf(local) != category_filter) {
+            continue;
+          }
+          const AttributeSnapshot snapshot = forward_.Get(local);
+          if (!direct->Matches(snapshot.category, snapshot.attributes)) {
+            continue;
+          }
         } else {
           if (!valid_.Get(local)) continue;
           if (category_filter != kNoCategoryFilter &&
@@ -187,9 +199,35 @@ void IvfPqIndex::ScanListAdc(std::size_t list, const float* table,
   });
 }
 
+double IvfPqIndex::EstimateFilterSelectivity(
+    const FilterExpression& filter, CategoryId category_filter) const {
+  const std::size_t n = forward_.size();
+  if (n == 0) return 0.0;
+  // Deterministic strided sample (same recipe as IvfIndex); the PQ scan
+  // always honors validity, so the sample does too.
+  constexpr std::size_t kSamples = 256;
+  const std::size_t step = std::max<std::size_t>(1, n / kSamples);
+  std::size_t seen = 0;
+  std::size_t pass = 0;
+  for (std::size_t local = 0; local < n; local += step) {
+    ++seen;
+    const auto id = static_cast<LocalId>(local);
+    if (!valid_.Get(id)) continue;
+    const AttributeSnapshot snapshot = forward_.Get(id);
+    if (category_filter != kNoCategoryFilter &&
+        snapshot.category != category_filter) {
+      continue;
+    }
+    if (!filter.Matches(snapshot.category, snapshot.attributes)) continue;
+    ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(seen);
+}
+
 IvfPqIndex::FilterPlan IvfPqIndex::PlanFilteredScan(
     const FilterExpression& filter, CategoryId category_filter,
-    std::size_t nprobe, FilterScanStats* stats) const {
+    std::size_t nprobe, FilterScanStats* stats,
+    std::shared_ptr<const MaterializedFilter> reuse) const {
   FilterPlan plan;
   plan.nprobe = nprobe;
   if (stats != nullptr) {
@@ -197,14 +235,39 @@ IvfPqIndex::FilterPlan IvfPqIndex::PlanFilteredScan(
     stats->universe = forward_.size();
   }
   if (filter.empty()) return plan;
-  const Stopwatch watch(MonotonicClock::Instance());
-  // The PQ scan always honors validity (no ablation flag here), so it is
-  // always folded into the bitmap.
-  plan.bits = filters_.Materialize(filter, category_filter, &valid_);
-  const Micros materialize_micros = watch.ElapsedMicros();
+  if (reuse == nullptr) {
+    // Broad filters skip bitmap materialization: a sampled estimate at or
+    // above the post threshold routes into direct post mode.
+    const double estimate = EstimateFilterSelectivity(filter, category_filter);
+    if (estimate >= config_.filter_post_threshold) {
+      plan.use_filter = true;
+      plan.post_mode = true;
+      plan.direct = &filter;
+      if (stats != nullptr) {
+        stats->strategy = FilterScanStats::Strategy::kPost;
+        stats->selectivity_bp =
+            static_cast<std::uint32_t>(estimate * 10000.0);
+        stats->estimated = true;
+      }
+      return plan;
+    }
+  }
+  Micros materialize_micros = 0;
+  if (reuse != nullptr) {
+    // A batch sibling with an identical filter already paid for the bitmap.
+    plan.bits = std::move(reuse);
+    if (stats != nullptr) stats->reused_bitmap = true;
+  } else {
+    const Stopwatch watch(MonotonicClock::Instance());
+    // The PQ scan always honors validity (no ablation flag here), so it is
+    // always folded into the bitmap.
+    plan.bits = std::make_shared<const MaterializedFilter>(
+        filters_.Materialize(filter, category_filter, &valid_));
+    materialize_micros = watch.ElapsedMicros();
+  }
   plan.use_filter = true;
-  const double selectivity = plan.bits.selectivity();
-  if (plan.bits.matches == 0) {
+  const double selectivity = plan.bits->selectivity();
+  if (plan.bits->matches == 0) {
     plan.empty_result = true;
   } else if (selectivity >= config_.filter_post_threshold) {
     plan.post_mode = true;
@@ -217,8 +280,8 @@ IvfPqIndex::FilterPlan IvfPqIndex::PlanFilteredScan(
     stats->strategy = plan.post_mode ? FilterScanStats::Strategy::kPost
                                      : FilterScanStats::Strategy::kPre;
     stats->selectivity_bp = static_cast<std::uint32_t>(selectivity * 10000.0);
-    stats->matches = plan.bits.matches;
-    stats->universe = plan.bits.universe;
+    stats->matches = plan.bits->matches;
+    stats->universe = plan.bits->universe;
     stats->widened_nprobe = plan.nprobe != nprobe;
     stats->materialize_micros = materialize_micros;
   }
@@ -251,22 +314,8 @@ std::vector<SearchHit> IvfPqIndex::RankAndMaterialize(FeatureView query,
 std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
                                           std::size_t nprobe_override,
                                           CategoryId category_filter) const {
-  assert(query.size() == dim());
-  const std::size_t nprobe =
-      nprobe_override == 0 ? config_.nprobe : nprobe_override;
-  // Per-query ADC table, built exactly once: num_subspaces x codebook_size
-  // partial squared distances.
-  const std::vector<float> table = pq_->BuildDistanceTable(query);
-
-  const std::size_t adc_k =
-      config_.rerank_candidates > 0 ? std::max(config_.rerank_candidates, k)
-                                    : k;
-  TopK adc_topk(adc_k);
-  for (const std::uint32_t list : quantizer_->NearestCentroids(query, nprobe)) {
-    ScanListAdc(list, table.data(), category_filter, nullptr, false, nullptr,
-                adc_topk);
-  }
-  return RankAndMaterialize(query, k, adc_topk);
+  return Search(query, k, nprobe_override, category_filter, nullptr, nullptr,
+                /*io_budget_micros=*/0, /*tier_stats=*/nullptr);
 }
 
 std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
@@ -274,24 +323,52 @@ std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
                                           CategoryId category_filter,
                                           const FilterExpression& filter,
                                           FilterScanStats* stats) const {
+  return Search(query, k, nprobe_override, category_filter, &filter, stats,
+                /*io_budget_micros=*/0, /*tier_stats=*/nullptr);
+}
+
+std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
+                                          std::size_t nprobe_override,
+                                          CategoryId category_filter,
+                                          const FilterExpression* filter,
+                                          FilterScanStats* stats,
+                                          Micros io_budget_micros,
+                                          TierScanStats* tier_stats) const {
   assert(query.size() == dim());
   const std::size_t nprobe =
       nprobe_override == 0 ? config_.nprobe : nprobe_override;
-  const FilterPlan plan =
-      PlanFilteredScan(filter, category_filter, nprobe, stats);
-  if (!plan.use_filter) {
-    return Search(query, k, nprobe_override, category_filter);
+  FilterPlan plan;
+  if (filter != nullptr && !filter->empty()) {
+    plan = PlanFilteredScan(*filter, category_filter, nprobe, stats);
+    if (plan.empty_result) return {};
+  } else {
+    plan.nprobe = nprobe;
+    if (stats != nullptr) {
+      *stats = FilterScanStats{};
+      stats->universe = forward_.size();
+    }
   }
-  if (plan.empty_result) return {};
+  // Per-query ADC table, built exactly once: num_subspaces x codebook_size
+  // partial squared distances.
   const std::vector<float> table = pq_->BuildDistanceTable(query);
   const std::size_t adc_k =
       config_.rerank_candidates > 0 ? std::max(config_.rerank_candidates, k)
                                     : k;
   TopK adc_topk(adc_k);
-  for (const std::uint32_t list :
-       quantizer_->NearestCentroids(query, plan.nprobe)) {
-    ScanListAdc(list, table.data(), kNoCategoryFilter, &plan.bits,
-                plan.post_mode, stats, adc_topk);
+  std::vector<std::uint32_t> probes =
+      quantizer_->NearestCentroids(query, plan.nprobe);
+  // Tiered mode: pin the probed code segments before the ADC kernel runs;
+  // probes past the io budget are dropped (reduced effective nprobe).
+  TieredListStore::PinGuard guard;
+  if (tiered_store_ != nullptr) {
+    guard = tiered_store_->Pin(probes, io_budget_micros, tier_stats);
+    probes.resize(guard.num_pinned());
+  }
+  for (const std::uint32_t list : probes) {
+    ScanListAdc(list, table.data(),
+                plan.bits != nullptr ? kNoCategoryFilter : category_filter,
+                plan.bits.get(), plan.post_mode, plan.direct, stats,
+                adc_topk);
   }
   return RankAndMaterialize(query, k, adc_topk);
 }
@@ -306,6 +383,14 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
   views.reserve(n);
   nprobes.reserve(n);
   // Per-query filter plans first: widening must precede the coarse pass.
+  // Queries with identical filters share one materialized bitmap.
+  struct SharedBitmap {
+    std::uint64_t hash = 0;
+    CategoryId category = kNoCategoryFilter;
+    const FilterExpression* expr = nullptr;
+    std::shared_ptr<const MaterializedFilter> bits;  // null if direct mode
+  };
+  std::vector<SharedBitmap> shared;
   std::vector<FilterPlan> plans(n);
   for (std::size_t i = 0; i < n; ++i) {
     const IvfBatchQuery& bq = queries[i];
@@ -313,8 +398,22 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
     views.push_back(bq.query);
     const std::size_t nprobe = bq.nprobe == 0 ? config_.nprobe : bq.nprobe;
     if (bq.filter != nullptr && !bq.filter->empty()) {
+      const std::uint64_t hash = bq.filter->Hash();
+      SharedBitmap* match = nullptr;
+      for (SharedBitmap& s : shared) {
+        if (s.hash == hash && s.category == bq.category_filter &&
+            *s.expr == *bq.filter) {
+          match = &s;
+          break;
+        }
+      }
       plans[i] = PlanFilteredScan(*bq.filter, bq.category_filter, nprobe,
-                                  bq.filter_stats);
+                                  bq.filter_stats,
+                                  match != nullptr ? match->bits : nullptr);
+      if (match == nullptr) {
+        shared.push_back(
+            {hash, bq.category_filter, bq.filter, plans[i].bits});
+      }
     } else {
       plans[i].nprobe = nprobe;
       if (bq.filter_stats != nullptr) {
@@ -324,8 +423,19 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
     }
     nprobes.push_back(plans[i].nprobe);
   }
-  const std::vector<std::vector<std::uint32_t>> probes =
+  std::vector<std::vector<std::uint32_t>> probes =
       quantizer_->NearestCentroidsBatch(views, nprobes);
+  // Tiered mode: pin every query's probe set for the whole batch scan.
+  std::vector<TieredListStore::PinGuard> guards;
+  if (tiered_store_ != nullptr) {
+    guards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      guards.push_back(tiered_store_->Pin(probes[i],
+                                          queries[i].io_budget_micros,
+                                          queries[i].tier_stats));
+      probes[i].resize(guards.back().num_pinned());
+    }
+  }
   // One ADC table per query for the batch's whole scan.
   std::vector<std::vector<float>> tables;
   tables.reserve(n);
@@ -352,9 +462,9 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
   for (const auto& [list, qi] : plan) {
     const FilterPlan& fp = plans[qi];
     ScanListAdc(list, tables[qi].data(),
-                fp.use_filter ? kNoCategoryFilter
-                              : queries[qi].category_filter,
-                fp.use_filter ? &fp.bits : nullptr, fp.post_mode,
+                fp.bits != nullptr ? kNoCategoryFilter
+                                   : queries[qi].category_filter,
+                fp.bits.get(), fp.post_mode, fp.direct,
                 queries[qi].filter_stats, topks[qi]);
   }
   for (std::size_t i = 0; i < n; ++i) {

@@ -104,6 +104,17 @@ class IvfPqIndex final : public ImageIndex {
                                 const FilterExpression& filter,
                                 FilterScanStats* stats = nullptr) const override;
 
+  // Full-fat overload: optional filter plus the tiered-serving knobs (io
+  // budget for cold-list faults, per-query tier accounting). The other
+  // Search overloads forward here.
+  std::vector<SearchHit> Search(FeatureView query, std::size_t k,
+                                std::size_t nprobe_override,
+                                CategoryId category_filter,
+                                const FilterExpression* filter,
+                                FilterScanStats* stats,
+                                Micros io_budget_micros,
+                                TierScanStats* tier_stats) const;
+
   // Micro-batched variant: one centroid-major coarse pass for the whole
   // batch, per-query ADC tables built once, and lists probed by several
   // queries scanned back-to-back. out[i] is identical to Search(queries[i]).
@@ -140,19 +151,35 @@ class IvfPqIndex final : public ImageIndex {
   // invariant re-checked after snapshot restore).
   bool code_storage_aligned() const noexcept;
 
+  // Attaches a residency cache over the packed-code payload; searches pin
+  // their probe sets through it (same contract as IvfIndex's tiered mode —
+  // the store's extents address this index's per-list code segments).
+  void AttachTieredStore(std::shared_ptr<TieredListStore> store) {
+    tiered_store_ = std::move(store);
+  }
+  const TieredListStore* tiered_store() const noexcept {
+    return tiered_store_.get();
+  }
+
  private:
-  // Mirrors IvfIndex::FilterPlan — one query's materialized bitmap plus the
-  // selectivity-chosen strategy.
+  // Mirrors IvfIndex::FilterPlan — one query's (possibly shared) bitmap, or
+  // a direct predicate pointer for broad filters, plus the strategy.
   struct FilterPlan {
-    MaterializedFilter bits;
+    std::shared_ptr<const MaterializedFilter> bits;  // null in direct mode
+    const FilterExpression* direct = nullptr;
     bool use_filter = false;
     bool post_mode = false;
     bool empty_result = false;
     std::size_t nprobe = 0;
   };
-  FilterPlan PlanFilteredScan(const FilterExpression& filter,
-                              CategoryId category_filter, std::size_t nprobe,
-                              FilterScanStats* stats) const;
+  FilterPlan PlanFilteredScan(
+      const FilterExpression& filter, CategoryId category_filter,
+      std::size_t nprobe, FilterScanStats* stats,
+      std::shared_ptr<const MaterializedFilter> reuse = nullptr) const;
+  // Sampled pass rate of `filter` (+ category) over ~256 strided forward
+  // entries; decides direct post mode without materializing anything.
+  double EstimateFilterSelectivity(const FilterExpression& filter,
+                                   CategoryId category_filter) const;
 
   SearchHit MaterializeHit(const ScoredImage& scored) const;
   // ADC scan of one list: one pq_adc_scan kernel call per contiguous run,
@@ -163,7 +190,8 @@ class IvfPqIndex final : public ImageIndex {
   void ScanListAdc(std::size_t list, const float* table,
                    CategoryId category_filter,
                    const MaterializedFilter* filter, bool post_filter,
-                   FilterScanStats* stats, TopK& adc_topk) const;
+                   const FilterExpression* direct, FilterScanStats* stats,
+                   TopK& adc_topk) const;
   // Post-scan finish shared by Search and SearchBatch: optional exact
   // re-ranking (IVFADC+R), trim to k, materialize.
   std::vector<SearchHit> RankAndMaterialize(FeatureView query, std::size_t k,
@@ -184,6 +212,7 @@ class IvfPqIndex final : public ImageIndex {
   std::unordered_map<std::string, LocalId> url_to_local_;
   std::unordered_map<ProductId, std::vector<LocalId>> product_to_locals_;
   std::vector<std::uint32_t> local_to_list_;  // writer-owned
+  std::shared_ptr<TieredListStore> tiered_store_;
 };
 
 }  // namespace jdvs

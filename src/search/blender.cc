@@ -373,20 +373,25 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
   Micros scan_micros = 0;
   Micros hedge_wait_micros = 0;
   Micros filter_micros = 0;
+  Micros io_micros = 0;
   for (const auto& slot : slots) {
     if (!slot.ok()) continue;
     scan_micros = std::max(scan_micros, slot.value->slowest_attempt_micros);
     hedge_wait_micros =
         std::max(hedge_wait_micros, slot.value->hedge_wait_micros);
     filter_micros = std::max(filter_micros, slot.value->filter_micros);
+    io_micros = std::max(io_micros, slot.value->io_micros);
   }
-  // The filter-bitmap materialization happened *inside* the winning scan
-  // attempts; carve it out of kScan so the two stages stay disjoint and the
-  // critical-path table attributes hybrid-query overhead to its own row.
+  // The filter-bitmap materialization and any tiered cold-list faults both
+  // happened *inside* the winning scan attempts; carve them out of kScan so
+  // the stages stay disjoint (kFilter + kIo + kScan = slowest attempt) and
+  // the critical-path table attributes each overhead to its own row.
   filter_micros = std::min(filter_micros, scan_micros);
+  io_micros = std::min(io_micros, scan_micros - filter_micros);
   state->flight.set_stage(obs::FlightStage::kFilter, filter_micros);
+  state->flight.set_stage(obs::FlightStage::kIo, io_micros);
   state->flight.set_stage(obs::FlightStage::kScan,
-                          scan_micros - filter_micros);
+                          scan_micros - filter_micros - io_micros);
   state->flight.set_stage(obs::FlightStage::kHedgeWait, hedge_wait_micros);
   state->flight.set_stage(obs::FlightStage::kFanIn,
                           fanout_wall - scan_micros - hedge_wait_micros);

@@ -182,8 +182,10 @@ struct Broker::FanOutState {
   std::atomic<Micros> max_hedge_wait{0};
   // Max-folded by every attempt's searcher (hedges and failovers included):
   // the worst filter-bitmap materialization cost contributing to this
-  // fan-out, surfaced in Reply::filter_micros.
+  // fan-out, surfaced in Reply::filter_micros, and the worst tiered
+  // cold-list fault time, surfaced in Reply::io_micros.
   std::atomic<Micros> filter_micros{0};
+  std::atomic<Micros> io_micros{0};
 };
 
 void Broker::SearchAsync(FeatureVector query, std::size_t k,
@@ -412,7 +414,7 @@ bool Broker::TryDispatchNext(const std::shared_ptr<FanOutState>& state,
         OnAttemptResult(state, slot_idx, replica, is_hedge, dispatched_at,
                         std::move(result));
       },
-      config_.rpc_timeout_micros, &state->filter_micros);
+      config_.rpc_timeout_micros, &state->filter_micros, &state->io_micros);
   return true;
 }
 
@@ -568,6 +570,7 @@ void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
   reply.hedge_wait_micros =
       state->max_hedge_wait.load(std::memory_order_relaxed);
   reply.filter_micros = state->filter_micros.load(std::memory_order_relaxed);
+  reply.io_micros = state->io_micros.load(std::memory_order_relaxed);
   reply.fanout_micros = state->watch.ElapsedMicros();
   fanout_stage_->Record(reply.fanout_micros);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);

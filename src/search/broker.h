@@ -91,6 +91,9 @@ class Broker {
     // attempts (0 when the query carried no filter) — the blender's
     // "searcher_filter" flight stage.
     Micros filter_micros = 0;
+    // Slowest per-searcher cold-list fault time among this broker's attempts
+    // (0 on RAM-resident partitions) — the blender's "searcher_io" stage.
+    Micros io_micros = 0;
   };
   using SearchResult = AsyncResult<Reply>;
   using SearchCallback = std::function<void(SearchResult)>;

@@ -235,6 +235,11 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
          << " (interactive/background)\n";
     }
   });
+  introspection_->AddStatusSection("tier", [this](std::ostream& os) {
+    // Tiered (mmap-served) partitions only; RAM-resident searchers render
+    // nothing, so the section stays empty on a fully resident cluster.
+    for (const auto& s : searchers_) s->RenderTierStatus(os);
+  });
   introspection_->AddStatusSection("pools", [this](std::ostream& os) {
     auto row = [&os](Node& node) {
       const ThreadPool& pool = node.pool();

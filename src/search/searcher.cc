@@ -28,6 +28,8 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
           obs::Labeled("jdvs_stage_micros", "stage", "searcher_scan"))),
       filter_stage_(&registry_->GetHistogram(
           obs::Labeled("jdvs_stage_micros", "stage", "searcher_filter"))),
+      io_stage_(&registry_->GetHistogram(
+          obs::Labeled("jdvs_stage_micros", "stage", "searcher_io"))),
       batch_size_(&registry_->GetHistogram(obs::Labeled(
           "jdvs_searcher_batch_size", "searcher", node_.name()))),
       filter_selectivity_bp_(
@@ -168,14 +170,15 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                            FilterExpression filter, qos::Deadline deadline,
                            obs::TraceContext parent, SearchCallback on_done,
                            Micros rpc_timeout_micros,
-                           std::atomic<Micros>* filter_micros_out) {
+                           std::atomic<Micros>* filter_micros_out,
+                           std::atomic<Micros>* io_micros_out) {
   // Counted from dispatch (not scan start) so a query queued behind a
   // running scan already reads as concurrent and opts into batching.
   scans_in_flight_.fetch_add(1, std::memory_order_relaxed);
   node_.InvokeSpannedAsyncWithDeadline(
       trace_sink_, parent, "searcher.scan", deadline, rpc_timeout_micros,
       [this, query = std::move(query), k, nprobe, category_filter,
-       filter = std::move(filter), filter_micros_out,
+       filter = std::move(filter), filter_micros_out, io_micros_out,
        deadline](obs::Span& span) {
         span.AddTag("k", static_cast<std::uint64_t>(k));
         if (nprobe > 0) {
@@ -187,13 +190,37 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
         }
         const bool filtered = !filter.empty();
         FilterScanStats fstats;
+        TierScanStats tstats;
         const Stopwatch watch(MonotonicClock::Instance());
         auto hits = SearchBatched(query, k, nprobe, category_filter, filter,
-                                  filtered ? &fstats : nullptr, deadline);
+                                  filtered ? &fstats : nullptr, deadline,
+                                  &tstats);
         const Micros elapsed = watch.ElapsedMicros();
         scan_micros_->Record(elapsed);
         scan_stage_->RecordWithExemplar(elapsed, span.context().trace_id);
         span.AddTag("hits", static_cast<std::uint64_t>(hits.size()));
+        if (tstats.lists_hit + tstats.lists_faulted > 0) {
+          // Tiered partition: attribute the cold-read cost to its own stage
+          // and surface per-scan tier behaviour on the span.
+          io_stage_->RecordWithExemplar(tstats.fault_micros,
+                                        span.context().trace_id);
+          if (tstats.lists_faulted > 0) {
+            span.AddTag("tier_faults",
+                        static_cast<std::uint64_t>(tstats.lists_faulted));
+          }
+          if (tstats.probes_dropped > 0) {
+            span.AddTag("tier_probes_dropped",
+                        static_cast<std::uint64_t>(tstats.probes_dropped));
+          }
+          if (io_micros_out != nullptr) {
+            Micros current = io_micros_out->load(std::memory_order_relaxed);
+            while (tstats.fault_micros > current &&
+                   !io_micros_out->compare_exchange_weak(
+                       current, tstats.fault_micros,
+                       std::memory_order_relaxed)) {
+            }
+          }
+        }
         if (filtered) {
           filter_stage_->RecordWithExemplar(fstats.materialize_micros,
                                             span.context().trace_id);
@@ -236,10 +263,20 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
 std::vector<SearchHit> Searcher::SearchBatched(
     FeatureView query, std::size_t k, std::size_t nprobe,
     CategoryId category_filter, const FilterExpression& filter,
-    FilterScanStats* stats, qos::Deadline deadline) const {
+    FilterScanStats* stats, qos::Deadline deadline,
+    TierScanStats* tier_stats) const {
   const std::shared_ptr<IvfIndex> index =
       index_.load(std::memory_order_acquire);
   if (!index) throw std::runtime_error(node_.name() + ": no index installed");
+  // Tiered partition under a deadline: give cold-list faults half the
+  // remaining budget, so a string of disk reads degrades the query to a
+  // reduced nprobe instead of blowing through the whole budget (the
+  // cheapest rung of the degradation ladder, applied at the io layer).
+  Micros io_budget = 0;
+  if (index->tiered_store() != nullptr && !deadline.unlimited()) {
+    io_budget = std::max<Micros>(
+        1, deadline.RemainingMicros(MonotonicClock::Instance()) / 2);
+  }
   // Solo fast path: batching disabled, nobody else in flight, or a budget
   // too tight to spend any of it waiting (the window plus the batch's own
   // scan must both fit).
@@ -256,14 +293,15 @@ std::vector<SearchHit> Searcher::SearchBatched(
   if (max_batch_queries_ < 2 || window == 0 ||
       scans_in_flight_.load(std::memory_order_relaxed) <= 1) {
     batch_size_->Record(1);
-    if (filter.empty()) {
-      return index->Search(query, k, nprobe, category_filter);
-    }
-    return index->Search(query, k, nprobe, category_filter, filter, stats);
+    return index->Search(query, k, nprobe, category_filter,
+                         filter.empty() ? nullptr : &filter, stats, io_budget,
+                         tier_stats);
   }
 
   PendingScan me;
   me.query = IvfBatchQuery{query, k, nprobe, category_filter};
+  me.query.io_budget_micros = io_budget;
+  me.query.tier_stats = tier_stats;
   if (!filter.empty()) {
     // `filter` outlives the batch: the leader's SearchBatch call completes
     // before any waiter (this frame included) unparks.
@@ -338,6 +376,16 @@ std::vector<SearchHit> Searcher::SearchLocal(FeatureView query, std::size_t k,
     return index->Search(query, k, nprobe, category_filter);
   }
   return index->Search(query, k, nprobe, category_filter, filter, stats);
+}
+
+void Searcher::RenderTierStatus(std::ostream& os) const {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) return;
+  const TieredListStore* store = index->tiered_store();
+  if (store == nullptr) return;
+  os << node_.name() << ":\n";
+  store->RenderStatus(os);
 }
 
 std::vector<SearchHit> Searcher::SearchExhaustiveLocal(FeatureView query,

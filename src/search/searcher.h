@@ -136,13 +136,17 @@ class Searcher {
   // bitmap — the broker forwards it so the blender can attribute a
   // "searcher_filter" stage in the flight record. The pointee must outlive
   // the callback (the broker owns it in its per-request fan-out state).
+  // `io_micros_out` is the tiered-serving twin: the cold-list fault time of
+  // this scan (0 when the partition is RAM-resident), max-folded the same
+  // way into the blender's "searcher_io" stage.
   using SearchResult = AsyncResult<std::vector<SearchHit>>;
   using SearchCallback = std::function<void(SearchResult)>;
   void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
                    CategoryId category_filter, FilterExpression filter,
                    qos::Deadline deadline, obs::TraceContext parent,
                    SearchCallback on_done, Micros rpc_timeout_micros = 0,
-                   std::atomic<Micros>* filter_micros_out = nullptr);
+                   std::atomic<Micros>* filter_micros_out = nullptr,
+                   std::atomic<Micros>* io_micros_out = nullptr);
 
   // In-process search (tests / exhaustive ground truth), bypassing the node.
   std::vector<SearchHit> SearchLocal(
@@ -190,6 +194,10 @@ class Searcher {
   // Snapshot of cumulative update latency.
   void MergeUpdateLatencyInto(Histogram& out) const;
   IvfIndexStats index_stats() const;
+  // statusz "tier" section body for this partition: residency-cache state of
+  // the installed index's TieredListStore; writes nothing when the index is
+  // RAM-resident (or not installed).
+  void RenderTierStatus(std::ostream& os) const;
   std::uint64_t messages_consumed() const {
     return messages_consumed_.load(std::memory_order_relaxed);
   }
@@ -222,12 +230,16 @@ class Searcher {
   // are in flight, otherwise degenerates to a plain index Search. `filter`
   // must outlive the call (it rides the batch as a pointer); `stats`
   // (caller-owned, may be null) receives this query's filter diagnostics.
+  // `tier_stats` (caller-owned, may be null) receives the tiered-serving
+  // accounting (faults, drops, io time); the io budget handed to the index
+  // is carved from the deadline's remaining budget.
   std::vector<SearchHit> SearchBatched(FeatureView query, std::size_t k,
                                        std::size_t nprobe,
                                        CategoryId category_filter,
                                        const FilterExpression& filter,
                                        FilterScanStats* stats,
-                                       qos::Deadline deadline) const;
+                                       qos::Deadline deadline,
+                                       TierScanStats* tier_stats) const;
 
   Node node_;
   FeatureDb& features_;
@@ -240,6 +252,7 @@ class Searcher {
   Histogram* scan_micros_;        // per-searcher scan latency
   Histogram* scan_stage_;         // shared jdvs_stage_micros{stage="searcher_scan"}
   Histogram* filter_stage_;       // shared jdvs_stage_micros{stage="searcher_filter"}
+  Histogram* io_stage_;           // shared jdvs_stage_micros{stage="searcher_io"}
   Histogram* batch_size_;         // jdvs_searcher_batch_size{searcher=...}
   // Hybrid-filter observability (filtered queries only).
   Histogram* filter_selectivity_bp_;     // jdvs_filter_selectivity_bp

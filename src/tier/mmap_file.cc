@@ -1,0 +1,110 @@
+#include "tier/mmap_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define JDVS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define JDVS_HAVE_MMAP 0
+#endif
+
+namespace jdvs {
+namespace {
+
+#if JDVS_HAVE_MMAP
+std::size_t PageSize() noexcept {
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page == 0 ? 4096 : page;
+}
+#endif
+
+}  // namespace
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  this->~MmapFile();
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  mapped_ = std::exchange(other.mapped_, false);
+  heap_ = std::move(other.heap_);
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+#if JDVS_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+MmapFile MmapFile::Open(const std::string& path) {
+#if JDVS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw MmapError("cannot open for reading: " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    throw MmapError("cannot stat (or empty): " + path);
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference; the descriptor is not needed after.
+  ::close(fd);
+  if (base == MAP_FAILED) throw MmapError("mmap failed: " + path);
+  MmapFile file;
+  file.data_ = static_cast<std::uint8_t*>(base);
+  file.size_ = bytes;
+  file.mapped_ = true;
+  return file;
+#else
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw MmapError("cannot open for reading: " + path);
+  const auto bytes = static_cast<std::size_t>(is.tellg());
+  if (bytes == 0) throw MmapError("empty file: " + path);
+  MmapFile file;
+  file.heap_ = AllocateAligned<std::uint8_t>(bytes);
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(file.heap_.get()),
+          static_cast<std::streamsize>(bytes));
+  if (is.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw MmapError("short read: " + path);
+  }
+  file.data_ = file.heap_.get();
+  file.size_ = bytes;
+  file.mapped_ = false;
+  return file;
+#endif
+}
+
+bool MmapFile::Advise(std::size_t offset, std::size_t length,
+                      Advice advice) const {
+#if JDVS_HAVE_MMAP
+  if (!mapped_ || data_ == nullptr || length == 0) return false;
+  if (offset > size_ || length > size_ - offset) return false;
+  const std::size_t page = PageSize();
+  // Widen to page boundaries (madvise requires a page-aligned address); the
+  // mapping itself covers whole pages, so rounding the end up stays in range.
+  const std::size_t begin = (offset / page) * page;
+  const std::size_t end = ((offset + length + page - 1) / page) * page;
+  const int flag = advice == Advice::kWillNeed ? MADV_WILLNEED : MADV_DONTNEED;
+  return ::madvise(data_ + begin, end - begin, flag) == 0;
+#else
+  (void)offset;
+  (void)length;
+  (void)advice;
+  return false;
+#endif
+}
+
+}  // namespace jdvs

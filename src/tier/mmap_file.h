@@ -1,0 +1,72 @@
+// Read-only memory-mapped file with advisory residency control.
+//
+// The v4 tiered snapshot is scanned in place: posting-list payload segments
+// are 64-byte-aligned in the file, the file is mapped once, and the SIMD
+// scan kernels read rows straight out of the mapping — the kernel's page
+// cache is the storage tier. MmapFile is the RAII wrapper the tier layer
+// builds on: open + map at construction, unmap at destruction, and
+// madvise() pass-throughs so the hot-list cache can hint which segments
+// should be resident (kWillNeed on admit) or dropped (kDontNeed on evict).
+//
+// Residency hints are *advisory*: on a read-only file mapping, MADV_DONTNEED
+// discards the pages and a later access refaults them from the file, so an
+// over-eager eviction is a performance hazard, never a correctness hazard.
+// On platforms without mmap the whole file is read into an aligned heap
+// block instead (mapped() == false) and the hints become no-ops — every
+// consumer works unchanged, it just stops being demand-paged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "vecmath/aligned.h"
+
+namespace jdvs {
+
+// Typed failure for open/map errors (missing file, empty file, mmap denial).
+struct MmapError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class MmapFile {
+ public:
+  enum class Advice {
+    kWillNeed,  // fault these pages in soon (cache admit)
+    kDontNeed,  // drop these pages; refault from file on next access (evict)
+  };
+
+  MmapFile() = default;
+
+  // Opens `path` read-only and maps it (or heap-reads it on platforms
+  // without mmap). Throws MmapError on failure; an empty file is an error.
+  static MmapFile Open(const std::string& path);
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool valid() const noexcept { return data_ != nullptr; }
+  // True when the bytes are a real file mapping (demand-paged); false on the
+  // heap-read fallback, where Advise is a no-op.
+  bool mapped() const noexcept { return mapped_; }
+
+  // madvise() over [offset, offset+length), widened to page boundaries.
+  // Returns false when the hint was not applied (fallback mode or kernel
+  // refusal) — callers must treat that as "no hint", not as an error.
+  bool Advise(std::size_t offset, std::size_t length, Advice advice) const;
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  // Heap fallback storage (only set when mapped_ is false).
+  AlignedArray<std::uint8_t> heap_;
+};
+
+}  // namespace jdvs

@@ -1,0 +1,75 @@
+// Snapshot format v4: the tiered (mmap-able) index layout.
+//
+// Versions 1-3 interleave every entry's feature row with its metadata, so a
+// loader must stream the whole file through AddImage and copy each row into
+// heap scan storage. Version 4 splits the file into a "head" the loader keeps
+// in RAM — config, quantizer centroids, per-entry metadata, per-list
+// LocalId/norm arrays, the per-list payload directory, and the v3-style
+// verification trailer — and a payload region of per-list ScanBlock segments:
+// each inverted list's padded feature rows as one contiguous, 64-byte-aligned,
+// independently-addressable extent. The payload region is exactly what the
+// PR 7 fused kernels scan, so a searcher can mmap the file and serve queries
+// from it in place with zero deserialization, demand-paging lists through a
+// TieredListStore residency cache (head-in-RAM, postings-on-disk).
+//
+// Layout:
+//   u64 magic "JDVSIDX1" | u32 version=4 | u64 update_hwm | u64 payload_base
+//   head (byte stream, same Write/ReadPod idiom as v1-v3):
+//     config block (6 fields, as v3)
+//     quantizer: dim, num_clusters, centroid floats
+//     padded_dim (payload row stride in floats; loader cross-checks its own)
+//     entries: count, then per entry in LocalId order the v3 metadata fields
+//       (url, product, category, sales/price/praise, detail url, valid) —
+//       but NO feature floats
+//     directory: num_lists, then per list {entry_count, rel_offset, bytes};
+//       rel_offset is 64-aligned and relative to payload_base
+//     per-list head arrays: LocalId ids[entry_count], float norms[entry_count]
+//     verification: per-category populations + numeric column checksum (v3)
+//   zero padding to payload_base (64-aligned)
+//   payload segments: list i's rows at payload_base + rel_offset[i]
+//
+// Both loaders restore bit-identical search behaviour: the mapped loader
+// installs the stored ids/norms/rows directly (AttachFrozenList), the heap
+// loader replays AddImage with features read from the payload rows — the
+// coarse assignment and norm computations are deterministic, so the rebuilt
+// structure matches the stored one exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "index/snapshot.h"
+#include "tier/tiered_store.h"
+
+namespace jdvs {
+
+// Writes `index` to `path` in the v4 tiered layout. Throws SnapshotError on
+// I/O failure. Must not race the index's writer.
+void SaveTieredSnapshot(const IvfIndex& index, const std::string& path,
+                        std::uint64_t update_hwm = 0);
+
+// Mapped load of a v4 snapshot: head in RAM, payload left in the file and
+// served through an attached TieredListStore built with `tier_config`.
+// Throws SnapshotError on bad magic, non-v4 version, truncation, or a
+// corrupt directory (misaligned or out-of-range extents, id/count
+// mismatches). The returned index's real-time delta path stays fully
+// mutable: AddImage appends heap chunks behind each frozen prefix.
+std::unique_ptr<IvfIndex> LoadTieredSnapshot(
+    const std::string& path, const TieredStoreConfig& tier_config,
+    CopyExecutor copy_executor = InlineCopyExecutor(),
+    std::uint64_t* update_hwm = nullptr);
+
+namespace internal {
+
+// Heap load of a v4 snapshot: everything copied to RAM via the AddImage
+// replay path, no mapping, no tier store. LoadIndexSnapshot dispatches v4
+// files here so the generic loader keeps working on every version; the
+// bit-exactness test compares this against LoadTieredSnapshot.
+std::unique_ptr<IvfIndex> LoadTieredSnapshotHeap(const std::string& path,
+                                                 CopyExecutor copy_executor,
+                                                 std::uint64_t* update_hwm);
+
+}  // namespace internal
+
+}  // namespace jdvs

@@ -1,0 +1,214 @@
+#include "tier/tiered_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace jdvs {
+namespace {
+
+constexpr std::size_t kTouchStride = 4096;  // conservative page size
+
+}  // namespace
+
+TieredListStore::TieredListStore(MmapFile file,
+                                 std::vector<ListExtent> extents,
+                                 const TieredStoreConfig& config)
+    : file_(std::move(file)),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &MonotonicClock::Instance()) {
+  obs::Registry& registry =
+      config.registry != nullptr ? *config.registry : obs::Registry::Default();
+  hits_metric_ = &registry.GetCounter("jdvs_tier_hits_total");
+  misses_metric_ = &registry.GetCounter("jdvs_tier_misses_total");
+  evictions_metric_ = &registry.GetCounter("jdvs_tier_evictions_total");
+  probes_dropped_metric_ =
+      &registry.GetCounter("jdvs_tier_probes_dropped_total");
+  resident_bytes_metric_ = &registry.GetGauge("jdvs_tier_resident_bytes");
+  budget_bytes_metric_ = &registry.GetGauge("jdvs_tier_budget_bytes");
+  fault_micros_metric_ = &registry.GetHistogram("jdvs_tier_fault_micros");
+  fault_micros_metric_->EnableExemplars();
+  budget_bytes_metric_->Add(
+      static_cast<std::int64_t>(config_.resident_bytes_budget));
+
+  states_.reserve(extents.size());
+  for (const ListExtent& extent : extents) {
+    ListState state;
+    state.extent = extent;
+    states_.push_back(state);
+    payload_bytes_ += extent.bytes;
+  }
+  if (config_.drop_pages_on_load) {
+    for (const ListState& state : states_) {
+      if (state.extent.bytes > 0) {
+        file_.Advise(state.extent.offset, state.extent.bytes,
+                     MmapFile::Advice::kDontNeed);
+      }
+    }
+  }
+}
+
+void TieredListStore::TouchExtent(const ListExtent& extent) const {
+  const volatile std::uint8_t* base = file_.data() + extent.offset;
+  std::uint8_t sink = 0;
+  for (std::uint64_t off = 0; off < extent.bytes; off += kTouchStride) {
+    sink ^= base[off];
+  }
+  if (extent.bytes > 0) sink ^= base[extent.bytes - 1];
+  (void)sink;
+}
+
+void TieredListStore::EvictForLocked(std::size_t need,
+                                     std::vector<ListExtent>& dropped) {
+  if (config_.resident_bytes_budget == 0 || states_.empty()) return;
+  const std::size_t budget = config_.resident_bytes_budget;
+  // Clock sweep, at most two full revolutions (first clears ref bits, the
+  // second evicts). Pinned lists are skipped unconditionally: pin wins.
+  std::size_t steps = 2 * states_.size();
+  while (steps-- > 0 && resident_bytes_ + need > budget) {
+    ListState& s = states_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % states_.size();
+    if (!s.resident || s.pin_count > 0) continue;
+    if (s.ref) {
+      s.ref = false;  // second chance
+      continue;
+    }
+    s.resident = false;
+    resident_bytes_ -= s.extent.bytes;
+    --resident_lists_;
+    dropped.push_back(s.extent);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_metric_->Increment();
+    resident_bytes_metric_->Add(-static_cast<std::int64_t>(s.extent.bytes));
+  }
+}
+
+TieredListStore::PinGuard TieredListStore::Pin(
+    std::span<const std::uint32_t> lists, Micros io_budget_micros,
+    TierScanStats* stats) {
+  PinGuard guard;
+  guard.store_ = this;
+  guard.pinned_.reserve(lists.size());
+  Micros fault_total = 0;
+  std::vector<ListExtent> dropped;
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    const std::uint32_t list = lists[i];
+    if (list >= states_.size()) break;  // malformed probe: stop cleanly
+    bool fault = false;
+    ListExtent extent;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ListState& s = states_[list];
+      if (s.resident || s.extent.bytes == 0) {
+        ++s.pin_count;
+        s.ref = true;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_metric_->Increment();
+        if (stats != nullptr) ++stats->lists_hit;
+      } else {
+        // Cold list: charge it to the io budget before committing. The
+        // first list is always served, however cold — a degraded answer
+        // still needs at least one probe.
+        if (io_budget_micros > 0 && fault_total >= io_budget_micros &&
+            !guard.pinned_.empty()) {
+          const auto remaining =
+              static_cast<std::uint32_t>(lists.size() - i);
+          probes_dropped_.fetch_add(remaining, std::memory_order_relaxed);
+          probes_dropped_metric_->Increment(remaining);
+          if (stats != nullptr) stats->probes_dropped += remaining;
+          break;
+        }
+        EvictForLocked(s.extent.bytes, dropped);
+        s.resident = true;
+        s.ref = true;
+        ++s.pin_count;
+        resident_bytes_ += s.extent.bytes;
+        ++resident_lists_;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        misses_metric_->Increment();
+        resident_bytes_metric_->Add(
+            static_cast<std::int64_t>(s.extent.bytes));
+        fault = true;
+        extent = s.extent;
+        if (stats != nullptr) ++stats->lists_faulted;
+      }
+    }
+    // Page release for evicted lists and the fault walk for this one happen
+    // outside the lock. A concurrent re-pin racing the DONTNEED merely
+    // refaults the same file bytes — a latency hazard the pin prevents on
+    // lists that matter, never a correctness one.
+    for (const ListExtent& d : dropped) {
+      file_.Advise(d.offset, d.bytes, MmapFile::Advice::kDontNeed);
+    }
+    dropped.clear();
+    if (fault) {
+      const Stopwatch watch(*clock_);
+      file_.Advise(extent.offset, extent.bytes, MmapFile::Advice::kWillNeed);
+      TouchExtent(extent);
+      const Micros micros = watch.ElapsedMicros();
+      fault_total += micros;
+      fault_micros_metric_->RecordWithExemplar(micros, /*trace_id=*/0,
+                                               /*ref=*/list);
+    }
+    guard.pinned_.push_back(list);
+  }
+  if (stats != nullptr) stats->fault_micros += fault_total;
+  return guard;
+}
+
+void TieredListStore::Unpin(std::span<const std::uint32_t> lists) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::uint32_t list : lists) {
+    ListState& s = states_[list];
+    if (s.pin_count > 0) --s.pin_count;
+  }
+}
+
+TieredListStore::PinGuard& TieredListStore::PinGuard::operator=(
+    PinGuard&& other) noexcept {
+  if (this == &other) return *this;
+  if (store_ != nullptr && !pinned_.empty()) store_->Unpin(pinned_);
+  store_ = std::exchange(other.store_, nullptr);
+  pinned_ = std::move(other.pinned_);
+  other.pinned_.clear();
+  return *this;
+}
+
+TieredListStore::PinGuard::~PinGuard() {
+  if (store_ != nullptr && !pinned_.empty()) store_->Unpin(pinned_);
+}
+
+TieredStoreStats TieredListStore::Stats() const {
+  TieredStoreStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.num_lists = states_.size();
+    stats.resident_lists = resident_lists_;
+    stats.resident_bytes = resident_bytes_;
+  }
+  stats.budget_bytes = config_.resident_bytes_budget;
+  stats.payload_bytes = payload_bytes_;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.probes_dropped = probes_dropped_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void TieredListStore::RenderStatus(std::ostream& os) const {
+  const TieredStoreStats s = Stats();
+  const double hit_rate =
+      (s.hits + s.misses) == 0
+          ? 0.0
+          : static_cast<double>(s.hits) /
+                static_cast<double>(s.hits + s.misses);
+  os << "  mapped: " << (file_.mapped() ? "yes" : "no (heap fallback)")
+     << "\n  lists: " << s.num_lists << " (" << s.resident_lists
+     << " resident)\n  payload bytes: " << s.payload_bytes
+     << " on disk, " << s.resident_bytes << " resident, budget "
+     << s.budget_bytes << "\n  hits: " << s.hits << "  misses: " << s.misses
+     << "  hit rate: " << hit_rate << "\n  evictions: " << s.evictions
+     << "  probes dropped (io budget): " << s.probes_dropped << "\n";
+}
+
+}  // namespace jdvs

@@ -1,0 +1,177 @@
+// Hot-list residency cache over an mmap'd v4 snapshot.
+//
+// The tiered index keeps the "head" in RAM — coarse quantizer, per-list
+// directory, LocalId/norm arrays, PQ codebooks, attribute filter index —
+// while the big per-list payload segments (feature rows / packed PQ codes)
+// stay in the snapshot file and are demand-paged through one read-only
+// mapping (SPANN/DiskANN-style head-in-RAM, postings-on-disk). The
+// TieredListStore is the residency policy on top of that mapping: an
+// explicit clock (second-chance) cache over whole posting lists, sized by
+// `resident_bytes_budget`, with madvise hints on admit/evict and a pin
+// contract for scans.
+//
+// Pin contract: a scan calls Pin() with its probe set before touching any
+// row; cold lists are faulted in (madvise(WILLNEED) + page touch, timed into
+// the fault histogram) and every pinned list is exempt from eviction until
+// the returned guard dies. Eviction is *advisory page release* — the data is
+// a read-only file mapping, so a dropped page refaults from the file with
+// identical bytes; eviction can therefore never corrupt a scan, only slow
+// one down, and the pin exists to keep the hot path off that slow refault.
+//
+// Deadline interaction: Pin() charges accumulated fault time against the
+// caller's io budget (micros). Once the budget is exhausted the remaining
+// probes are dropped — the query degrades to a reduced effective nprobe
+// (the PR 4 degradation ladder's cheapest rung) instead of blowing p99 on a
+// string of cold reads. At least one list is always served so a fully cold
+// query still returns results.
+//
+// Concurrency: any number of threads may Pin/unpin concurrently (scans are
+// lock-free readers of the index itself; the store takes a short mutex per
+// list transition). The page-touch walk happens outside the lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/registry.h"
+#include "tier/mmap_file.h"
+
+namespace jdvs {
+
+struct TieredStoreConfig {
+  // Target resident payload bytes; 0 = unlimited (first touch faults a list
+  // in and nothing is ever evicted). The budget is advisory: when every
+  // resident list is pinned, admission overshoots rather than failing.
+  std::size_t resident_bytes_budget = 0;
+  // Drop all payload pages at construction so serving starts genuinely cold
+  // (the file was usually just written and is warm in the page cache).
+  bool drop_pages_on_load = true;
+  obs::Registry* registry = nullptr;  // nullptr = obs::Registry::Default()
+  const Clock* clock = nullptr;       // nullptr = MonotonicClock::Instance()
+};
+
+// Per-query tier accounting, folded into the searcher_io flight stage.
+struct TierScanStats {
+  std::uint32_t lists_hit = 0;      // probed lists already resident
+  std::uint32_t lists_faulted = 0;  // probed lists faulted in
+  std::uint32_t probes_dropped = 0; // probes dropped for io budget
+  Micros fault_micros = 0;          // wall time spent faulting
+};
+
+// Cumulative store state (statusz section, bench JSON).
+struct TieredStoreStats {
+  std::size_t num_lists = 0;
+  std::size_t resident_lists = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t budget_bytes = 0;
+  std::size_t payload_bytes = 0;  // total on-disk payload across lists
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t probes_dropped = 0;
+};
+
+class TieredListStore {
+ public:
+  // One list's payload segment inside the file.
+  struct ListExtent {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  // Takes ownership of the mapping. `extents[i]` is list i's payload
+  // segment; empty lists use bytes == 0.
+  TieredListStore(MmapFile file, std::vector<ListExtent> extents,
+                  const TieredStoreConfig& config);
+
+  TieredListStore(const TieredListStore&) = delete;
+  TieredListStore& operator=(const TieredListStore&) = delete;
+
+  // RAII pin over a prefix of the probe set passed to Pin(). While alive,
+  // none of the pinned lists can be evicted.
+  class PinGuard {
+   public:
+    PinGuard() = default;
+    PinGuard(PinGuard&& other) noexcept { *this = std::move(other); }
+    PinGuard& operator=(PinGuard&& other) noexcept;
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+    ~PinGuard();
+
+    // Number of leading entries of the Pin() probe set that are pinned and
+    // scannable; the caller truncates its probe loop to this.
+    std::size_t num_pinned() const noexcept { return pinned_.size(); }
+
+   private:
+    friend class TieredListStore;
+    TieredListStore* store_ = nullptr;
+    std::vector<std::uint32_t> pinned_;
+  };
+
+  // Pins `lists` in order, faulting cold ones. `io_budget_micros` bounds the
+  // accumulated fault time: when exceeded, the remaining (coldest-ranked
+  // last) probes are dropped and counted, but the first list is always
+  // served. 0 = unlimited. `stats` (optional) receives per-call accounting.
+  PinGuard Pin(std::span<const std::uint32_t> lists, Micros io_budget_micros,
+               TierScanStats* stats);
+
+  TieredStoreStats Stats() const;
+  // statusz section body.
+  void RenderStatus(std::ostream& os) const;
+
+  const MmapFile& file() const noexcept { return file_; }
+  std::size_t num_lists() const noexcept { return states_.size(); }
+  // List i's payload extent; immutable after construction (inspection).
+  ListExtent extent(std::size_t list) const { return states_[list].extent; }
+
+ private:
+  struct ListState {
+    ListExtent extent;
+    std::uint32_t pin_count = 0;
+    bool resident = false;
+    bool ref = false;  // clock second-chance bit
+  };
+
+  // Evicts unpinned resident lists until `need` more bytes fit under the
+  // budget (or nothing evictable remains). Appends dropped extents to
+  // `dropped` for the caller to madvise outside the lock. Lock held.
+  void EvictForLocked(std::size_t need, std::vector<ListExtent>& dropped);
+  void Unpin(std::span<const std::uint32_t> lists);
+  // Walks the extent's pages so the file data is actually faulted in.
+  void TouchExtent(const ListExtent& extent) const;
+
+  MmapFile file_;
+  const TieredStoreConfig config_;
+  const Clock* clock_;
+  std::size_t payload_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<ListState> states_;
+  std::size_t resident_bytes_ = 0;
+  std::size_t resident_lists_ = 0;
+  std::size_t clock_hand_ = 0;
+
+  // Store-local cumulative counters (mirrored into the registry instruments,
+  // which may be shared across partitions).
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> probes_dropped_{0};
+
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Counter* probes_dropped_metric_;
+  obs::Gauge* resident_bytes_metric_;
+  obs::Gauge* budget_bytes_metric_;
+  Histogram* fault_micros_metric_;
+};
+
+}  // namespace jdvs
