@@ -40,14 +40,30 @@
 //                         fires and the slot fails over, so success rate
 //                         returns to ~100%.
 //
+// Disk-fault section (tiered snapshots + integrity layer, --disk-only to
+// run it alone):
+//
+//   bit-flip corruption    every replica-0 tiered file gets one payload bit
+//                          flipped on disk. Scrubbers and first fault-ins
+//                          catch the checksum mismatch, quarantine the list,
+//                          and queries complete degraded — never a wrong
+//                          pair, never a crash. The control plane re-images
+//                          each sick replica from its healthy sibling
+//                          (quarantine repair) and the cluster returns to
+//                          full health; repair MTTR is reported.
+//
 // Flags: --seed=N (fault schedule + workload seed), --quick (short windows
-// for CI smoke), --json (write BENCH_chaos_availability.json).
+// for CI smoke), --disk-only (only the disk-fault section), --json (write
+// BENCH_chaos_availability.json).
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "net/fault_injector.h"
@@ -455,6 +471,299 @@ LossyRow RunLossy(const char* label, std::uint64_t seed, Micros window,
   return row;
 }
 
+// ---- Disk faults: on-disk corruption under the tiered index ----
+
+struct DiskFaultResult {
+  std::size_t corrupted_replicas = 0;
+  std::uint64_t verify_queries = 0;
+  std::uint64_t probe_errors = 0;      // probes that failed outright (goal: 0)
+  std::uint64_t degraded_verify = 0;   // degraded responses while quarantined
+  std::uint64_t wrong_pairs = 0;       // returned pairs deviating from truth
+  std::uint64_t quarantined_lists = 0; // across corrupt replicas, pre-repair
+  std::uint64_t scrub_lists = 0;
+  std::uint64_t scrub_corrupt = 0;
+  double load_qps = 0.0;
+  std::uint64_t load_errors = 0;
+  double load_hit_rate = 0.0;
+  std::uint64_t repairs = 0;
+  std::uint64_t recoveries = 0;  // sick replicas the detector re-imaged instead
+  double repair_mttr_ms = 0.0;
+  std::uint64_t degraded_after = 0;    // degraded responses post-repair
+  std::uint64_t wrong_pairs_after = 0;
+  std::uint64_t quarantined_after = 0;
+  std::uint64_t blender_degraded = 0;  // jdvs_blender_degraded_total
+};
+
+// One verification probe: a fixed (product, seed) query plus the feature the
+// blender will deterministically extract for it. Every returned hit is then
+// checked against first principles — the true squared-L2 distance between
+// that feature and the hit image's stored feature — so a corrupt payload
+// that survived into an answer shows up as a wrong pair no matter how the
+// candidate pool or ranking shifts.
+struct VerifyProbe {
+  QueryImage query;
+  FeatureVector feature;
+};
+
+float SquaredL2(const FeatureVector& a, const FeatureVector& b) {
+  float sum = 0.f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+DiskFaultResult RunDiskFaults(std::uint64_t seed, bool quick,
+                              const std::string& snapshot_dir) {
+  FaultInjector injector(seed ^ 0xD15C);
+  TestbedOptions options = ChaosOptions();
+  options.seed = seed;
+  auto cluster = std::make_unique<VisualSearchCluster>([&] {
+    ClusterConfig config = MakeTestbedConfig(options);
+    config.replicas_per_partition = 2;
+    config.fault_injector = &injector;
+    return config;
+  }());
+  CatalogGenConfig cg;
+  cg.num_products = options.num_products;
+  cg.num_categories = 50;
+  cg.seed = seed ^ 0x11;
+  GenerateCatalog(cg, cluster->catalog(), cluster->image_store(),
+                  &cluster->features());
+  cluster->BuildAndInstallFullIndexes();
+  cluster->Start();
+
+  // Re-serve every replica through its own private tiered (mmap) file, with
+  // a background scrubber walking the checksums. Private files so one
+  // replica's corruption cannot leak into its sibling.
+  std::vector<std::string> files(kPartitions * 2);
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const std::string path = snapshot_dir + "/disk-partition-" +
+                               std::to_string(p) + "-replica-" +
+                               std::to_string(r) + "-g0.jdvsidx";
+      Searcher& searcher = cluster->searcher(p, r);
+      searcher.SaveTieredSnapshot(path);
+      searcher.InstallFromTieredSnapshot(path, /*resident_budget_bytes=*/0);
+      TierScrubConfig sc;
+      sc.poll_micros = 2'000;
+      sc.lists_per_slice = 16;
+      searcher.StartTierScrub(sc);
+      files[cluster->replica_slot(p, r)] = path;
+    }
+  }
+
+  // Fixed probe set. Extraction is deterministic in (product, category,
+  // seed), so the feature computed here is exactly the one the blender will
+  // extract each time the probe is re-issued.
+  const std::size_t num_probes = quick ? 24 : 64;
+  std::vector<VerifyProbe> probes;
+  Rng rng(seed ^ 0x7EE7);
+  while (probes.size() < num_probes) {
+    const ProductId pid =
+        static_cast<ProductId>(1 + rng.Below(options.num_products));
+    const auto record = cluster->catalog().Get(pid);
+    if (!record) continue;
+    VerifyProbe probe;
+    probe.query.subject_product = pid;
+    probe.query.true_category = record->category;
+    probe.query.query_seed = rng.Next64();
+    probe.feature = cluster->embedder().ExtractQuery(pid, record->category,
+                                                     probe.query.query_seed);
+    probes.push_back(std::move(probe));
+  }
+
+  // Corrupt: flip one bit inside the first non-empty payload segment of
+  // replica 0's file in every partition, then drop residency so the next
+  // fault-in re-reads the poisoned bytes from disk.
+  DiskFaultResult out;
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    const std::string& path = files[cluster->replica_slot(p, 0)];
+    const TieredDirectoryInfo dir = ReadTieredDirectory(path);
+    for (const TieredSegmentInfo& seg : dir.segments) {
+      if (seg.bytes == 0) continue;
+      if (FaultInjector::FlipBit(path, seg.offset, seg.bytes, seed ^ p)) {
+        ++out.corrupted_replicas;
+      }
+      break;
+    }
+    cluster->searcher(p, 0).DropTierResidency();
+  }
+
+  // Degraded window (no repair yet): every probe must complete, and every
+  // returned pair must match first principles — the quarantine may shrink
+  // coverage (degraded) but never distort an answer.
+  auto run_probes = [&](std::uint64_t* degraded, std::uint64_t* wrong) {
+    for (const VerifyProbe& probe : probes) {
+      ++out.verify_queries;
+      try {
+        const QueryResponse response = cluster->front_end().Next().Search(
+            probe.query, QueryOptions{.k = 10, .nprobe = 0});
+        if (response.degraded) ++*degraded;
+        for (const RankedResult& r : response.results) {
+          const auto content = cluster->image_store().Fetch(r.hit.image_url);
+          if (!content || content->product_id != r.hit.product_id) {
+            ++*wrong;
+            continue;
+          }
+          const FeatureVector stored = cluster->embedder().Extract(*content);
+          const float truth = SquaredL2(probe.feature, stored);
+          // The serving kernels accumulate the same value in dot-product
+          // form; a corrupt payload is off by whole units, not ulps.
+          if (std::abs(r.hit.distance - truth) >
+              0.01f * (1.0f + std::abs(truth))) {
+            ++*wrong;
+          }
+        }
+      } catch (const std::exception&) {
+        ++out.probe_errors;
+      }
+    }
+  };
+  run_probes(&out.degraded_verify, &out.wrong_pairs);
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    out.quarantined_lists += cluster->searcher(p, 0).tier_quarantined_lists();
+  }
+
+  // Control plane with quarantine repair: every sick replica is re-imaged
+  // from its healthy sibling while the closed-loop load runs.
+  ctrl::ControllerConfig cc;
+  cc.detector.heartbeat_period_micros = 10'000;
+  cc.detector.suspect_after_misses = 2;
+  cc.detector.down_after_misses = 6;
+  cc.recovery_poll_micros = 2'000;
+  cc.snapshot_dir = snapshot_dir;
+  cc.quarantine_repair_threshold = 1;
+  cc.tiered_snapshots = true;
+  cc.tiered_resident_budget = 0;
+  ctrl::ClusterController controller(*cluster, cc);
+  controller.Start();
+
+  QueryWorkloadConfig qc;
+  qc.num_threads = 16;
+  qc.duration_micros = quick ? 1'500'000 : 4'000'000;
+  qc.seed = seed;
+  QueryClient client(*cluster, qc);
+  const QueryWorkloadResult load = client.Run();
+  out.load_qps = load.qps;
+  out.load_errors = load.errors;
+  out.load_hit_rate = load.subject_hit_rate;
+
+  // Wait (bounded) until every corrupt replica has been re-imaged, no
+  // quarantined list remains anywhere, and every replica is serving again.
+  const Clock& clock = MonotonicClock::Instance();
+  const Micros wait_deadline = clock.NowMicros() + 20'000'000;
+  while (clock.NowMicros() < wait_deadline) {
+    std::uint64_t quarantined = 0;
+    bool all_up = true;
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      for (std::size_t r = 0; r < 2; ++r) {
+        quarantined += cluster->searcher(p, r).tier_quarantined_lists();
+        if (cluster->replica_states().Get(cluster->replica_slot(p, r)) !=
+            ctrl::ReplicaState::kUp) {
+          all_up = false;
+        }
+      }
+    }
+    if (quarantined == 0 && all_up &&
+        controller.quarantine_repairs() + controller.recoveries() >=
+            out.corrupted_replicas) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  out.repairs = controller.quarantine_repairs();
+  out.recoveries = controller.recoveries();
+  out.repair_mttr_ms = controller.MeanRecoveryMicros() / 1000.0;
+  // Freeze the control plane before the clean-state pass so a detector
+  // flap mid-probe can't re-mark a healthy replica and muddy the report.
+  controller.Stop();
+
+  // Post-repair: the same probes answer clean again.
+  run_probes(&out.degraded_after, &out.wrong_pairs_after);
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      out.quarantined_after +=
+          cluster->searcher(p, r).tier_quarantined_lists();
+      if (const TierScrubber* scrubber =
+              cluster->searcher(p, r).tier_scrubber()) {
+        out.scrub_lists += scrubber->lists_scrubbed();
+        out.scrub_corrupt += scrubber->corrupt_found();
+      }
+    }
+  }
+  out.blender_degraded = SumDegraded(*cluster);
+  cluster->Stop();
+  return out;
+}
+
+DiskFaultResult RunDiskFaultSection(std::uint64_t seed, bool quick,
+                                    const std::string& snapshot_dir) {
+  std::printf("\nDisk faults: one payload bit flipped on disk in replica 0's "
+              "tiered file,\nevery partition; scrub + checksum-at-fault-in "
+              "quarantine, then control-plane\nre-image from the healthy "
+              "sibling (seed %llu):\n\n",
+              (unsigned long long)seed);
+  const DiskFaultResult r = RunDiskFaults(seed, quick, snapshot_dir);
+  std::printf("  corrupted replicas:   %zu of %zu (1 bit each)\n",
+              r.corrupted_replicas, (std::size_t)kPartitions * 2);
+  std::printf("  degraded window:      %llu probes, %llu failed, %llu "
+              "degraded, %llu wrong pairs\n",
+              (unsigned long long)(r.verify_queries / 2),
+              (unsigned long long)r.probe_errors,
+              (unsigned long long)r.degraded_verify,
+              (unsigned long long)r.wrong_pairs);
+  std::printf("  quarantined lists:    %llu (scrub checked %llu, flagged "
+              "%llu corrupt)\n",
+              (unsigned long long)r.quarantined_lists,
+              (unsigned long long)r.scrub_lists,
+              (unsigned long long)r.scrub_corrupt);
+  std::printf("  load during repair:   %.0f QPS, %llu errors, hit rate "
+              "%.2f\n",
+              r.load_qps, (unsigned long long)r.load_errors, r.load_hit_rate);
+  std::printf("  quarantine repairs:   %llu replicas re-imaged (+%llu via "
+              "detector recovery), MTTR %.1f ms\n",
+              (unsigned long long)r.repairs,
+              (unsigned long long)r.recoveries, r.repair_mttr_ms);
+  std::printf("  after repair:         %llu degraded, %llu wrong pairs, "
+              "%llu lists still quarantined\n",
+              (unsigned long long)r.degraded_after,
+              (unsigned long long)r.wrong_pairs_after,
+              (unsigned long long)r.quarantined_after);
+  std::printf("\n(a corrupt payload list is quarantined the first time its "
+              "checksum fails —\nat fault-in or by the scrubber — and "
+              "skipped by every later probe: queries\ncomplete from the "
+              "surviving lists and are marked degraded, never wrong and\n"
+              "never crashed. The controller treats quarantine >= threshold "
+              "as storage\nfailure and re-images the replica from its "
+              "healthy sibling's bytes.)\n");
+  return r;
+}
+
+Json DiskFaultJson(const DiskFaultResult& r) {
+  Json j = Json::Object();
+  j.Set("corrupted_replicas", r.corrupted_replicas);
+  j.Set("verify_queries", r.verify_queries);
+  j.Set("probe_errors", r.probe_errors);
+  j.Set("degraded_verify", r.degraded_verify);
+  j.Set("wrong_pairs", r.wrong_pairs);
+  j.Set("quarantined_lists", r.quarantined_lists);
+  j.Set("scrub_lists", r.scrub_lists);
+  j.Set("scrub_corrupt", r.scrub_corrupt);
+  j.Set("load_qps", r.load_qps);
+  j.Set("load_errors", r.load_errors);
+  j.Set("load_hit_rate", r.load_hit_rate);
+  j.Set("quarantine_repairs", r.repairs);
+  j.Set("detector_recoveries", r.recoveries);
+  j.Set("repair_mttr_ms", r.repair_mttr_ms);
+  j.Set("degraded_after", r.degraded_after);
+  j.Set("wrong_pairs_after", r.wrong_pairs_after);
+  j.Set("quarantined_after", r.quarantined_after);
+  j.Set("blender_degraded", r.blender_degraded);
+  return j;
+}
+
 Json LimpingJson(const LimpingRow& row) {
   Json j = Json::Object();
   j.Set("label", std::string(row.label));
@@ -490,12 +799,15 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
   std::uint64_t seed = 2018;
   bool quick = false;
+  bool disk_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.data() + 7, nullptr, 10);
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--disk-only") {
+      disk_only = true;
     }
   }
   PrintHeader("Chaos: availability with searcher replicas under failures",
@@ -504,6 +816,24 @@ int main(int argc, char** argv) {
   const std::filesystem::path snapshot_dir =
       std::filesystem::temp_directory_path() / "jdvs_chaos_snapshots";
   std::filesystem::create_directories(snapshot_dir);
+
+  if (disk_only) {
+    const DiskFaultResult disk =
+        RunDiskFaultSection(seed, quick, snapshot_dir.string());
+    if (WantJson(argc, argv)) {
+      Json root = Json::Object();
+      root.Set("bench", "chaos_availability");
+      root.Set("seed", seed);
+      root.Set("disk_fault", DiskFaultJson(disk));
+      WriteBenchJson("chaos_availability", root);
+    }
+    std::filesystem::remove_all(snapshot_dir);
+    const bool ok = disk.probe_errors == 0 && disk.wrong_pairs == 0 &&
+                    disk.wrong_pairs_after == 0 && disk.load_errors == 0 &&
+                    disk.quarantined_after == 0 && disk.repairs >= 1;
+    if (!ok) std::printf("\nDISK-FAULT INVARIANT VIOLATED\n");
+    return ok ? 0 : 1;
+  }
 
   std::printf("8 partitions, chaos thread killing primary searchers, 16 "
               "client threads for 6s per row:\n\n");
@@ -609,6 +939,9 @@ int main(int argc, char** argv) {
               "Defended, the per-RPC timeout turns the drop into a typed "
               "error and the slot fails over to the sibling replica.)\n");
 
+  const DiskFaultResult disk =
+      RunDiskFaultSection(seed, quick, snapshot_dir.string());
+
   const RollingDeployResult rollout =
       RunRollingDeployment(snapshot_dir.string());
   if (WantJson(argc, argv)) {
@@ -626,6 +959,7 @@ int main(int argc, char** argv) {
     gray.Set("limping_replica", std::move(limping_json));
     gray.Set("lossy_network", std::move(lossy_json));
     root.Set("gray_failure", std::move(gray));
+    root.Set("disk_fault", DiskFaultJson(disk));
     Json rollout_json = Json::Object();
     rollout_json.Set("qps", rollout.qps);
     rollout_json.Set("errors", rollout.errors);

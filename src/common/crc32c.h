@@ -1,0 +1,19 @@
+#ifndef JDVS_COMMON_CRC32C_H_
+#define JDVS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jdvs {
+
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum used
+// for snapshot payload segments. Software table-driven implementation so it
+// works on every target; segments are verified once per residency, not per
+// scan, so this is never on the warmed hot path.
+//
+// Incremental use: crc = Crc32c(chunk2, n2, Crc32c(chunk1, n1)).
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace jdvs
+
+#endif  // JDVS_COMMON_CRC32C_H_

@@ -1,10 +1,12 @@
 #include "ctrl/controller.h"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
 #include "index/snapshot.h"
+#include "tier/tiered_snapshot.h"
 
 namespace jdvs::ctrl {
 
@@ -13,7 +15,9 @@ ClusterController::ClusterController(VisualSearchCluster& cluster,
     : cluster_(cluster),
       config_(config),
       table_(cluster.replica_states()),
-      has_snapshot_(cluster.config().num_partitions, false) {
+      has_snapshot_(cluster.config().num_partitions, false),
+      tiered_paths_(cluster.config().num_partitions *
+                    cluster.config().replicas_per_partition) {
   // With auto-recovery the controller owns DOWN -> RECOVERING -> UP; without
   // it the detector reinstates a DOWN replica as soon as it acks again (the
   // operator-revive mode).
@@ -33,6 +37,8 @@ ClusterController::ClusterController(VisualSearchCluster& cluster,
                                                 dc, &cluster_.registry());
   obs::Registry& registry = cluster_.registry();
   recoveries_total_ = &registry.GetCounter("jdvs_ctrl_recoveries_total");
+  quarantine_repairs_total_ =
+      &registry.GetCounter("jdvs_ctrl_quarantine_repairs_total");
   catchup_total_ = &registry.GetCounter("jdvs_ctrl_catchup_replayed_total");
   rollouts_total_ = &registry.GetCounter("jdvs_ctrl_rollouts_total");
   qos_backoff_total_ =
@@ -70,6 +76,14 @@ std::string ClusterController::SnapshotPath(std::size_t partition) const {
          ".jdvsidx";
 }
 
+std::string ClusterController::TieredSnapshotPath(
+    std::size_t partition, std::size_t replica,
+    std::uint64_t generation) const {
+  return config_.snapshot_dir + "/partition-" + std::to_string(partition) +
+         "-replica-" + std::to_string(replica) + "-g" +
+         std::to_string(generation) + ".jdvsidx";
+}
+
 bool ClusterController::HasBaseSnapshot(std::size_t partition) const {
   return !config_.snapshot_dir.empty() && has_snapshot_[partition];
 }
@@ -100,7 +114,21 @@ void ClusterController::RecoveryLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     for (std::size_t slot = 0; slot < table_.size(); ++slot) {
       if (stop_.load(std::memory_order_relaxed)) return;
-      if (table_.Get(slot) != ReplicaState::kDown) continue;
+      const ReplicaState state = table_.Get(slot);
+      if (state == ReplicaState::kUp &&
+          config_.quarantine_repair_threshold > 0) {
+        // Disk-health leg: an UP replica whose tiered store has quarantined
+        // too many corrupt lists is serving degraded answers — re-image it
+        // from a healthy peer before the rot spreads query impact.
+        Searcher& searcher =
+            cluster_.searcher(slot / replicas, slot % replicas);
+        if (searcher.tier_quarantined_lists() >=
+            config_.quarantine_repair_threshold) {
+          RepairReplica(slot / replicas, slot % replicas, slot);
+        }
+        continue;
+      }
+      if (state != ReplicaState::kDown) continue;
       RecoverReplica(slot / replicas, slot % replicas, slot);
     }
     std::this_thread::sleep_for(
@@ -131,8 +159,9 @@ void ClusterController::RecoverReplica(std::size_t partition,
     // batches while the cluster is degraded, so reviving a replica never
     // deepens the overload it is reviving into.
     Micros backoff = 0;
-    const std::size_t replayed = RestoreIndex(
-        partition, searcher, [this, &backoff] { backoff += BackoffWhileDegraded(); });
+    const std::size_t replayed =
+        RestoreIndex(partition, replica, searcher,
+                     [this, &backoff] { backoff += BackoffWhileDegraded(); });
     if (subscription) searcher.StartConsuming(std::move(subscription));
     table_.Set(slot, ReplicaState::kUp);
     recoveries_.fetch_add(1, std::memory_order_relaxed);
@@ -161,6 +190,58 @@ void ClusterController::RecoverReplica(std::size_t partition,
   }
 }
 
+void ClusterController::RepairReplica(std::size_t partition,
+                                      std::size_t replica, std::size_t slot) {
+  std::lock_guard lock(ops_mu_);
+  if (table_.Get(slot) != ReplicaState::kUp) return;  // raced an outage
+  Searcher& searcher = cluster_.searcher(partition, replica);
+  const std::uint64_t quarantined = searcher.tier_quarantined_lists();
+  if (quarantined < config_.quarantine_repair_threshold) return;
+  obs::Span span = cluster_.tracer().StartTrace("ctrl.repair", "controller");
+  span.AddTag("replica", table_.name(slot));
+  span.AddTag("quarantined_lists", quarantined);
+  const Micros started = MonotonicClock::Instance().NowMicros();
+  // Same drain-restore-rejoin choreography as recovery, minus the process
+  // restart: the node never failed, its storage did. RECOVERING pulls the
+  // replica out of broker rotation while the fresh image installs.
+  table_.Set(slot, ReplicaState::kRecovering);
+  try {
+    searcher.StopConsuming();
+    std::shared_ptr<Subscription> subscription;
+    if (cluster_.realtime_running()) {
+      subscription = cluster_.SubscribeUpdates();
+    }
+    Micros backoff = 0;
+    const std::size_t replayed =
+        RestoreIndex(partition, replica, searcher,
+                     [this, &backoff] { backoff += BackoffWhileDegraded(); });
+    if (subscription) searcher.StartConsuming(std::move(subscription));
+    table_.Set(slot, ReplicaState::kUp);
+    quarantine_repairs_.fetch_add(1, std::memory_order_relaxed);
+    quarantine_repairs_total_->Increment();
+    catchup_replayed_.fetch_add(replayed, std::memory_order_relaxed);
+    catchup_total_->Increment(static_cast<std::uint64_t>(replayed));
+    const Micros mttr = MonotonicClock::Instance().NowMicros() - started;
+    if (mttr > 0) recovery_micros_->Record(mttr);
+    span.AddTag("replayed", static_cast<std::uint64_t>(replayed));
+    span.AddTag("mttr_micros", static_cast<std::uint64_t>(mttr));
+    if (backoff > 0) {
+      span.AddTag("qos_backoff_micros", static_cast<std::uint64_t>(backoff));
+    }
+    JDVS_LOG(kInfo) << "ctrl: repaired " << table_.name(slot) << " ("
+                    << quarantined << " quarantined lists, " << replayed
+                    << " messages replayed, mttr " << mttr << "us)";
+  } catch (const std::exception& e) {
+    // The install failed, so the old (sick but partially serving) state may
+    // be gone too; mark the replica DOWN and let the recovery leg own the
+    // retry — it tolerates an index-less searcher.
+    table_.Set(slot, ReplicaState::kDown);
+    span.SetError(e.what());
+    JDVS_LOG(kWarning) << "ctrl: repair of " << table_.name(slot)
+                       << " failed: " << e.what();
+  }
+}
+
 Micros ClusterController::BackoffWhileDegraded() {
   qos::LoadController* load = cluster_.load_controller();
   if (load == nullptr || config_.qos_backoff_at_level <= 0) return 0;
@@ -182,13 +263,48 @@ Micros ClusterController::BackoffWhileDegraded() {
 }
 
 std::size_t ClusterController::RestoreIndex(std::size_t partition,
+                                            std::size_t replica,
                                             Searcher& searcher,
                                             const Searcher::CatchUpPacer& pacer) {
-  // Best available image first: the partition base snapshot, else a
+  bool installed = false;
+  if (config_.tiered_snapshots && !config_.snapshot_dir.empty()) {
+    // Tiered mode: write a fresh-generation image to a replica-private path
+    // and map that. Never the file the sick replica still has flock'd, and
+    // never a corrupt file re-served — a new inode per install. Source is a
+    // serving sibling when one exists, else a catalog rebuild.
+    const std::size_t slot = cluster_.replica_slot(partition, replica);
+    const std::string path =
+        TieredSnapshotPath(partition, replica, ++tiered_generation_);
+    const std::size_t replicas = cluster_.config().replicas_per_partition;
+    bool written = false;
+    for (std::size_t r = 0; r < replicas && !written; ++r) {
+      Searcher& sibling = cluster_.searcher(partition, r);
+      if (&sibling == &searcher ||
+          !table_.Serving(cluster_.replica_slot(partition, r)) ||
+          !sibling.HasIndex()) {
+        continue;
+      }
+      sibling.SaveTieredSnapshot(path);
+      written = true;
+    }
+    if (!written) {
+      const std::uint64_t hwm = cluster_.last_update_sequence();
+      const auto index = cluster_.BuildPartitionIndex(partition);
+      jdvs::SaveTieredSnapshot(*index, path, hwm);
+    }
+    searcher.InstallFromTieredSnapshot(path, config_.tiered_resident_budget);
+    // The replaced generation's mapping just died with the old index; its
+    // file is garbage now.
+    if (!tiered_paths_[slot].empty() && tiered_paths_[slot] != path) {
+      std::remove(tiered_paths_[slot].c_str());
+    }
+    tiered_paths_[slot] = path;
+    installed = true;
+  }
+  // Best available heap image next: the partition base snapshot, else a
   // snapshot taken from a serving sibling right now, else a full rebuild
   // from the catalog.
-  bool installed = false;
-  if (HasBaseSnapshot(partition)) {
+  if (!installed && HasBaseSnapshot(partition)) {
     searcher.InstallFromSnapshot(SnapshotPath(partition));
     installed = true;
   }

@@ -67,6 +67,21 @@ struct ControllerConfig {
   // permanently-degraded cluster still finishes recovering.
   Micros qos_backoff_slice_micros = 5'000;
   Micros qos_max_backoff_micros = 500'000;
+
+  // ---- Disk-integrity repair (tiered replicas; defaults = off) ----
+  // When a serving replica's tiered index holds at least this many
+  // quarantined (corrupt / fault-prone) payload lists, the recovery loop
+  // treats the replica's storage as unhealthy and re-installs its index
+  // from a healthy peer — clearing the quarantine with fresh bytes rather
+  // than serving degraded answers forever. 0 disables the repair path.
+  std::size_t quarantine_repair_threshold = 0;
+  // Repair (and recovery) installs tiered (mmap) snapshots instead of heap
+  // images: each install writes a fresh generation file per replica under
+  // snapshot_dir — never the file the sick replica still has mapped, and
+  // never a re-serve of corrupt bytes — and maps it with this residency
+  // budget. Requires a non-empty snapshot_dir.
+  bool tiered_snapshots = false;
+  std::size_t tiered_resident_budget = 0;
 };
 
 // Result of one DeployFullIndex run.
@@ -114,6 +129,10 @@ class ClusterController {
   std::uint64_t recoveries() const {
     return recoveries_.load(std::memory_order_relaxed);
   }
+  // Serving replicas re-imaged because quarantine crossed the threshold.
+  std::uint64_t quarantine_repairs() const {
+    return quarantine_repairs_.load(std::memory_order_relaxed);
+  }
   std::uint64_t catchup_replayed() const {
     return catchup_replayed_.load(std::memory_order_relaxed);
   }
@@ -125,15 +144,28 @@ class ClusterController {
   // Revives one DOWN replica (step sequence in the header comment).
   void RecoverReplica(std::size_t partition, std::size_t replica,
                       std::size_t slot);
+  // Re-images one UP-but-storage-sick replica (quarantine threshold
+  // crossed): drain from brokers, install a fresh image from a healthy
+  // peer, catch up, rejoin. The quarantine clears because the new store
+  // starts unpoisoned over verified bytes.
+  void RepairReplica(std::size_t partition, std::size_t replica,
+                     std::size_t slot);
   // Installs the best available index on a recovering searcher and returns
   // the catch-up replay count; `pacer` (may be empty) is handed to the
   // catch-up replay so it can yield while the cluster is degraded.
-  std::size_t RestoreIndex(std::size_t partition, Searcher& searcher,
+  std::size_t RestoreIndex(std::size_t partition, std::size_t replica,
+                           Searcher& searcher,
                            const Searcher::CatchUpPacer& pacer = {});
   // Sleeps in bounded slices while the cluster's degradation level is at or
   // above qos_backoff_at_level; returns the time spent backing off.
   Micros BackoffWhileDegraded();
   std::string SnapshotPath(std::size_t partition) const;
+  // Replica-private, generation-suffixed tiered image path. A fresh inode
+  // per install: SaveTieredSnapshot takes an exclusive flock and the sick
+  // replica still holds a shared one on its current file, so reusing a
+  // path would deadlock-or-fail; a new generation never conflicts.
+  std::string TieredSnapshotPath(std::size_t partition, std::size_t replica,
+                                 std::uint64_t generation) const;
   bool HasBaseSnapshot(std::size_t partition) const;
   // Blocks until some *other* replica of `partition` is serving (or the
   // timeout passes). Returns true when the invariant holds.
@@ -150,14 +182,21 @@ class ClusterController {
   std::mutex ops_mu_;
   // Guarded by ops_mu_: partitions with a base snapshot on disk.
   std::vector<bool> has_snapshot_;
+  // Guarded by ops_mu_: tiered-install bookkeeping — next generation number
+  // and, per replica slot, the path of the currently installed generation
+  // (unlinked once a newer one replaces it).
+  std::uint64_t tiered_generation_ = 0;
+  std::vector<std::string> tiered_paths_;
 
   std::atomic<bool> stop_{false};
   std::thread recovery_thread_;
   bool started_ = false;
 
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> quarantine_repairs_{0};
   std::atomic<std::uint64_t> catchup_replayed_{0};
   obs::Counter* recoveries_total_;
+  obs::Counter* quarantine_repairs_total_;
   obs::Counter* catchup_total_;
   obs::Counter* rollouts_total_;
   obs::Counter* qos_backoff_total_;  // jdvs_qos_recovery_backoff_micros_total

@@ -466,7 +466,9 @@ std::vector<SearchHit> IvfIndex::Search(FeatureView query, std::size_t k,
   TieredListStore::PinGuard guard;
   if (tiered_store_ != nullptr) {
     guard = tiered_store_->Pin(probes, io_budget_micros, tier_stats);
-    probes.resize(guard.num_pinned());
+    // Not a prefix: quarantined lists are skipped mid-set, over-budget
+    // tails are dropped. Scan exactly what the guard holds pinned.
+    probes = guard.pinned();
   }
   // With a bitmap, category/validity are folded in already; direct mode and
   // the unfiltered scan carry the category filter through.
@@ -541,7 +543,7 @@ std::vector<std::vector<SearchHit>> IvfIndex::SearchBatch(
       guards.push_back(tiered_store_->Pin(probes[i],
                                           queries[i].io_budget_micros,
                                           queries[i].tier_stats));
-      probes[i].resize(guards.back().num_pinned());
+      probes[i] = guards.back().pinned();
     }
   }
   // All padded queries in one aligned block, with their norms.

@@ -264,6 +264,11 @@ class IvfIndex final : public ImageIndex {
   const TieredListStore* tiered_store() const noexcept {
     return tiered_store_.get();
   }
+  // Shared (mutable) handle for the background scrubber: ScrubList poisons
+  // corrupt lists, which is a store-internal state change, not an index one.
+  std::shared_ptr<TieredListStore> tiered_store_shared() const noexcept {
+    return tiered_store_;
+  }
 
   // Per-list scan storage introspection (tiered snapshot writer).
   std::size_t num_lists() const noexcept { return lists_.size(); }

@@ -131,10 +131,11 @@ std::unique_ptr<IvfIndex> LoadIndexSnapshot(const std::string& path,
     throw SnapshotError("bad snapshot magic: " + path);
   }
   const auto version = ReadPod<std::uint32_t>(is);
-  if (version == 4) {
-    // v4 tiered layout: a different body entirely. The heap loader replays
-    // it through AddImage so callers of the generic entry point keep getting
-    // a fully RAM-resident index; use LoadTieredSnapshot for mapped serving.
+  if (version == 4 || version == 5) {
+    // Tiered layout (v5 = v4 + per-list payload checksums): a different body
+    // entirely. The heap loader replays it through AddImage so callers of
+    // the generic entry point keep getting a fully RAM-resident index; use
+    // LoadTieredSnapshot for mapped serving.
     is.close();
     return internal::LoadTieredSnapshotHeap(path, std::move(copy_executor),
                                             update_hwm);

@@ -1,5 +1,7 @@
 #include "net/fault_injector.h"
 
+#include <fstream>
+
 #include "common/hash.h"
 
 namespace jdvs {
@@ -100,6 +102,72 @@ FaultInjector::Decision FaultInjector::Decide(const std::string& from,
     replies_duplicated_.fetch_add(1, std::memory_order_relaxed);
   }
   return decision;
+}
+
+void FaultInjector::SetStorage(const std::string& node,
+                               const StorageFaults& faults) {
+  StorageRule rule;
+  rule.faults = faults;
+  rule.key_hash = HashCombine(Mix64(seed_), Mix64(Fnv1a64(node)));
+  rule.ordinal = std::make_shared<std::atomic<std::uint64_t>>(0);
+  rule.fail_next =
+      std::make_shared<std::atomic<bool>>(faults.fail_next_fault_in);
+  std::lock_guard lock(mu_);
+  storage_rules_[node] = std::move(rule);
+}
+
+void FaultInjector::HealStorage(const std::string& node) {
+  std::lock_guard lock(mu_);
+  storage_rules_.erase(node);
+}
+
+FaultInjector::StorageDecision FaultInjector::DecideStorage(
+    const std::string& node) {
+  StorageFaults faults;
+  std::uint64_t key_hash = 0;
+  std::shared_ptr<std::atomic<std::uint64_t>> ordinal;
+  std::shared_ptr<std::atomic<bool>> fail_next;
+  {
+    std::lock_guard lock(mu_);
+    const auto found = storage_rules_.find(node);
+    if (found == storage_rules_.end()) return StorageDecision{};
+    faults = found->second.faults;
+    key_hash = found->second.key_hash;
+    ordinal = found->second.ordinal;
+    fail_next = found->second.fail_next;
+  }
+  StorageDecision decision;
+  decision.delay_micros = faults.fault_in_delay_micros;
+  if (fail_next->exchange(false, std::memory_order_relaxed)) {
+    decision.fail = true;
+    storage_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  const std::uint64_t n = ordinal->fetch_add(1, std::memory_order_relaxed);
+  if (faults.fault_in_error_probability > 0.0 &&
+      ToUnit(Mix64(HashCombine(key_hash, HashCombine(Mix64(n), 7)))) <
+          faults.fault_in_error_probability) {
+    decision.fail = true;
+    storage_faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+bool FaultInjector::FlipBit(const std::string& path, std::uint64_t offset,
+                            std::uint64_t length, std::uint64_t seed) {
+  if (length == 0) return false;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) return false;
+  const std::uint64_t bit = Mix64(seed) % (length * 8);
+  const std::uint64_t byte = offset + bit / 8;
+  f.seekg(static_cast<std::streamoff>(byte));
+  char c = 0;
+  if (!f.get(c)) return false;
+  c = static_cast<char>(c ^ static_cast<char>(1u << (bit % 8)));
+  f.seekp(static_cast<std::streamoff>(byte));
+  if (!f.put(c)) return false;
+  f.flush();
+  return f.good();
 }
 
 const std::string& CurrentRpcSource() { return current_rpc_source; }

@@ -58,6 +58,24 @@ struct LinkFaults {
   }
 };
 
+// Storage fault profile of one node's tiered store. Fault-ins on that node
+// consult DecideStorage() before touching the mapping; the store converts a
+// `fail` into quarantine + skip, never a crash.
+struct StorageFaults {
+  // One-shot: the next fault-in on this node fails (consumed on first draw).
+  bool fail_next_fault_in = false;
+  // Probability an individual fault-in fails (flaky disk / lost pages).
+  double fault_in_error_probability = 0.0;
+  // Flat extra delay per fault-in (degraded disk); charged to the query's
+  // io budget like real fault time.
+  Micros fault_in_delay_micros = 0;
+
+  bool IsClean() const {
+    return !fail_next_fault_in && fault_in_error_probability <= 0.0 &&
+           fault_in_delay_micros <= 0;
+  }
+};
+
 class FaultInjector {
  public:
   // The fate of one message, computed at dispatch on the caller's side.
@@ -96,9 +114,32 @@ class FaultInjector {
   void HealNode(const std::string& to);
   void Clear();
 
+  // The fate of one storage fault-in on a node.
+  struct StorageDecision {
+    bool fail = false;
+    Micros delay_micros = 0;
+  };
+
   // Decides the n-th message's fate on the matching link. Clean (and cheap:
   // one map lookup) when no rule matches.
   Decision Decide(const std::string& from, const std::string& to);
+
+  // Installs / removes the storage fault profile of `node`'s tiered store.
+  // Replacing a rule resets its fault-in ordinal (and re-arms
+  // fail_next_fault_in).
+  void SetStorage(const std::string& node, const StorageFaults& faults);
+  void HealStorage(const std::string& node);
+
+  // Decides the n-th fault-in's fate on `node`. Deterministic in
+  // (seed, node, ordinal), same discipline as Decide().
+  StorageDecision DecideStorage(const std::string& node);
+
+  // Seeded at-rest corruption: flips one deterministically chosen bit inside
+  // [offset, offset+length) of `path` (bit index = Mix64(seed) mod length*8).
+  // Returns false when the file cannot be opened or is too short. This is a
+  // file-level chaos tool, not tied to an injector instance.
+  static bool FlipBit(const std::string& path, std::uint64_t offset,
+                      std::uint64_t length, std::uint64_t seed);
 
   // ---- Counters (what the chaos actually did, for bench reports) ----
   std::uint64_t requests_dropped() const {
@@ -121,6 +162,10 @@ class FaultInjector {
   void OnReplyDropped() {
     replies_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Fault-ins failed by DecideStorage (bench report: injected disk faults).
+  std::uint64_t storage_faults_injected() const {
+    return storage_faults_injected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Rule {
@@ -133,15 +178,26 @@ class FaultInjector {
 
   using LinkKey = std::pair<std::string, std::string>;
 
+  struct StorageRule {
+    StorageFaults faults;
+    std::uint64_t key_hash = 0;
+    std::shared_ptr<std::atomic<std::uint64_t>> ordinal;
+    // One-shot flag lives behind a shared_ptr for the same reason as the
+    // ordinal: consumed outside the rules lock.
+    std::shared_ptr<std::atomic<bool>> fail_next;
+  };
+
   void Install(LinkKey key, const LinkFaults& faults);
 
   const std::uint64_t seed_;
   mutable std::mutex mu_;
   std::map<LinkKey, Rule> rules_;
+  std::map<std::string, StorageRule> storage_rules_;
   std::atomic<std::uint64_t> requests_dropped_{0};
   std::atomic<std::uint64_t> replies_dropped_{0};
   std::atomic<std::uint64_t> replies_duplicated_{0};
   std::atomic<std::uint64_t> duplicates_suppressed_{0};
+  std::atomic<std::uint64_t> storage_faults_injected_{0};
 };
 
 // Identity of the node (or external actor) issuing RPCs from the current

@@ -362,7 +362,9 @@ std::vector<SearchHit> IvfPqIndex::Search(FeatureView query, std::size_t k,
   TieredListStore::PinGuard guard;
   if (tiered_store_ != nullptr) {
     guard = tiered_store_->Pin(probes, io_budget_micros, tier_stats);
-    probes.resize(guard.num_pinned());
+    // Not a prefix: quarantined lists are skipped mid-set, over-budget
+    // tails are dropped. Scan exactly what the guard holds pinned.
+    probes = guard.pinned();
   }
   for (const std::uint32_t list : probes) {
     ScanListAdc(list, table.data(),
@@ -433,7 +435,7 @@ std::vector<std::vector<SearchHit>> IvfPqIndex::SearchBatch(
       guards.push_back(tiered_store_->Pin(probes[i],
                                           queries[i].io_budget_micros,
                                           queries[i].tier_stats));
-      probes[i].resize(guards.back().num_pinned());
+      probes[i] = guards.back().pinned();
     }
   }
   // One ADC table per query for the batch's whole scan.

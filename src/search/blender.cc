@@ -416,12 +416,14 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
   }
   std::size_t failures = 0;
   std::size_t partitions_failed = 0;
+  std::size_t tier_degraded = 0;
   std::string first_error;
   std::vector<std::vector<SearchHit>> partials;
   partials.reserve(slots.size());
   for (auto& slot : slots) {
     if (slot.ok()) {
       partitions_failed += slot.value->partitions_failed;
+      tier_degraded += slot.value->tier_degraded;
       partials.push_back(std::move(slot.value->hits));
     } else {
       ++failures;
@@ -429,12 +431,22 @@ void Blender::FinishQuery(const std::shared_ptr<RequestState>& state,
     }
   }
   state->response.broker_failures = failures;
+  if (tier_degraded > 0) {
+    // Integrity degradation: some searcher skipped quarantined (corrupt)
+    // tiered lists. Every returned hit is correct — the response is just
+    // drawn from fewer lists than requested, so flag it like any other
+    // partial-coverage answer.
+    state->response.degraded = true;
+    degraded_total_->Increment();
+    state->root.AddTag("tier_degraded",
+                       static_cast<std::uint64_t>(tier_degraded));
+  }
   if (failures > 0 || partitions_failed > 0) {
     // Graceful degradation: answer from whatever coverage survived — a dead
     // broker or an unreachable partition behind a live broker — rather than
     // failing the query (availability over completeness).
+    if (!state->response.degraded) degraded_total_->Increment();
     state->response.degraded = true;
-    degraded_total_->Increment();
     if (failures > 0) {
       state->root.AddTag("broker_failures",
                          static_cast<std::uint64_t>(failures));

@@ -186,6 +186,8 @@ struct Broker::FanOutState {
   // cold-list fault time, surfaced in Reply::io_micros.
   std::atomic<Micros> filter_micros{0};
   std::atomic<Micros> io_micros{0};
+  // Attempts that skipped quarantined tiered lists (integrity degradation).
+  std::atomic<std::uint32_t> tier_degraded{0};
 };
 
 void Broker::SearchAsync(FeatureVector query, std::size_t k,
@@ -414,7 +416,8 @@ bool Broker::TryDispatchNext(const std::shared_ptr<FanOutState>& state,
         OnAttemptResult(state, slot_idx, replica, is_hedge, dispatched_at,
                         std::move(result));
       },
-      config_.rpc_timeout_micros, &state->filter_micros, &state->io_micros);
+      config_.rpc_timeout_micros, &state->filter_micros, &state->io_micros,
+      &state->tier_degraded);
   return true;
 }
 
@@ -571,6 +574,7 @@ void Broker::FinishFanOut(std::shared_ptr<FanOutState> state,
       state->max_hedge_wait.load(std::memory_order_relaxed);
   reply.filter_micros = state->filter_micros.load(std::memory_order_relaxed);
   reply.io_micros = state->io_micros.load(std::memory_order_relaxed);
+  reply.tier_degraded = state->tier_degraded.load(std::memory_order_relaxed);
   reply.fanout_micros = state->watch.ElapsedMicros();
   fanout_stage_->Record(reply.fanout_micros);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);

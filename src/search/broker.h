@@ -94,6 +94,10 @@ class Broker {
     // Slowest per-searcher cold-list fault time among this broker's attempts
     // (0 on RAM-resident partitions) — the blender's "searcher_io" stage.
     Micros io_micros = 0;
+    // Attempts under this broker that skipped quarantined (corrupt) tiered
+    // lists: the answer is correct but drawn from fewer lists than asked
+    // for, so the blender marks the response degraded.
+    std::uint32_t tier_degraded = 0;
   };
   using SearchResult = AsyncResult<Reply>;
   using SearchCallback = std::function<void(SearchResult)>;

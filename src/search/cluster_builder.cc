@@ -57,6 +57,7 @@ VisualSearchCluster::VisualSearchCluster(const ClusterConfig& config)
       sc.seed = config_.seed + p * 131 + r;
       sc.registry = registry_;
       sc.trace_sink = trace_sink_;
+      sc.fault_injector = config_.fault_injector;
       searchers_.push_back(std::make_unique<Searcher>(
           "searcher-p" + std::to_string(p) + "-r" + std::to_string(r), sc,
           features_, partitioner_.FilterFor(p)));

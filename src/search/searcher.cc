@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "index/snapshot.h"
+#include "tier/tiered_snapshot.h"
 #include "vecmath/kernels.h"
 
 namespace jdvs {
@@ -22,6 +23,7 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
                                            : &obs::Registry::Default()),
       trace_sink_(config.trace_sink != nullptr ? config.trace_sink
                                                : &obs::TraceSink::Default()),
+      fault_injector_(config.fault_injector),
       scan_micros_(&registry_->GetHistogram(obs::Labeled(
           "jdvs_searcher_scan_micros", "searcher", node_.name()))),
       scan_stage_(&registry_->GetHistogram(
@@ -60,6 +62,9 @@ Searcher::Searcher(std::string name, const Config& config, FeatureDb& features,
 }
 
 Searcher::~Searcher() {
+  // The scrubber reads the index through a provider closure over `this`, so
+  // it must be parked before anything else dies.
+  StopTierScrub();
   // Quiesce the scan pool before any member teardown. With per-RPC timeouts
   // and hedging a caller can be answered — and cluster teardown reached —
   // while a slow scan is still running on this node's pool (its delivery
@@ -107,6 +112,66 @@ void Searcher::InstallFromSnapshot(const std::string& path) {
   std::uint64_t hwm = 0;
   auto index = LoadIndexSnapshot(path, PoolCopyExecutor(node_.pool()), &hwm);
   InstallIndex(std::move(index), hwm);
+}
+
+void Searcher::SaveTieredSnapshot(const std::string& path) const {
+  std::lock_guard lock(writer_mu_);  // consistent point-in-time image
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) throw std::runtime_error(node_.name() + ": no index to save");
+  jdvs::SaveTieredSnapshot(*index, path,
+                           applied_sequence_.load(std::memory_order_relaxed));
+}
+
+void Searcher::InstallFromTieredSnapshot(const std::string& path,
+                                         std::size_t resident_budget_bytes) {
+  TieredStoreConfig tier;
+  tier.resident_bytes_budget = resident_budget_bytes;
+  tier.registry = registry_;
+  tier.fault_injector = fault_injector_;
+  tier.node_name = node_.name();
+  std::uint64_t hwm = 0;
+  auto index =
+      LoadTieredSnapshot(path, tier, PoolCopyExecutor(node_.pool()), &hwm);
+  InstallIndex(std::move(index), hwm);
+}
+
+std::uint64_t Searcher::tier_quarantined_lists() const {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) return 0;
+  const std::shared_ptr<TieredListStore> store = index->tiered_store_shared();
+  return store != nullptr ? store->quarantined_lists() : 0;
+}
+
+void Searcher::StartTierScrub(const TierScrubConfig& config) {
+  std::lock_guard lock(scrub_mu_);
+  if (scrubber_) scrubber_->Stop();
+  TierScrubConfig cfg = config;
+  if (cfg.registry == nullptr) cfg.registry = registry_;
+  scrubber_ = std::make_unique<TierScrubber>(
+      [this]() -> std::shared_ptr<TieredListStore> {
+        const std::shared_ptr<IvfIndex> index =
+            index_.load(std::memory_order_acquire);
+        return index != nullptr ? index->tiered_store_shared() : nullptr;
+      },
+      cfg);
+  scrubber_->Start();
+}
+
+void Searcher::StopTierScrub() {
+  std::lock_guard lock(scrub_mu_);
+  if (scrubber_) scrubber_->Stop();
+}
+
+void Searcher::DropTierResidency() {
+  const std::shared_ptr<IvfIndex> index =
+      index_.load(std::memory_order_acquire);
+  if (!index) return;
+  if (const std::shared_ptr<TieredListStore> store =
+          index->tiered_store_shared()) {
+    store->DropResidency();
+  }
 }
 
 void Searcher::Crash() {
@@ -171,7 +236,8 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                            obs::TraceContext parent, SearchCallback on_done,
                            Micros rpc_timeout_micros,
                            std::atomic<Micros>* filter_micros_out,
-                           std::atomic<Micros>* io_micros_out) {
+                           std::atomic<Micros>* io_micros_out,
+                           std::atomic<std::uint32_t>* tier_degraded_out) {
   // Counted from dispatch (not scan start) so a query queued behind a
   // running scan already reads as concurrent and opts into batching.
   scans_in_flight_.fetch_add(1, std::memory_order_relaxed);
@@ -179,7 +245,7 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
       trace_sink_, parent, "searcher.scan", deadline, rpc_timeout_micros,
       [this, query = std::move(query), k, nprobe, category_filter,
        filter = std::move(filter), filter_micros_out, io_micros_out,
-       deadline](obs::Span& span) {
+       tier_degraded_out, deadline](obs::Span& span) {
         span.AddTag("k", static_cast<std::uint64_t>(k));
         if (nprobe > 0) {
           span.AddTag("nprobe", static_cast<std::uint64_t>(nprobe));
@@ -219,6 +285,17 @@ void Searcher::SearchAsync(FeatureVector query, std::size_t k,
                        current, tstats.fault_micros,
                        std::memory_order_relaxed)) {
             }
+          }
+        }
+        if (tstats.lists_quarantined > 0) {
+          // This scan skipped quarantined (corrupt/faulting) lists: the
+          // answer is correct but incomplete — the integrity rung of the
+          // degradation ladder. Outside the lists_hit+faulted block above
+          // because a scan whose every probe is poisoned hits neither.
+          span.AddTag("tier_quarantine_skips",
+                      static_cast<std::uint64_t>(tstats.lists_quarantined));
+          if (tier_degraded_out != nullptr) {
+            tier_degraded_out->fetch_add(1, std::memory_order_relaxed);
           }
         }
         if (filtered) {

@@ -35,8 +35,11 @@
 #include "obs/trace.h"
 #include "qos/deadline.h"
 #include "store/feature_db.h"
+#include "tier/scrubber.h"
 
 namespace jdvs {
+
+class FaultInjector;
 
 class Searcher {
  public:
@@ -60,6 +63,9 @@ class Searcher {
     // sampled traces.
     obs::Registry* registry = nullptr;
     obs::TraceSink* trace_sink = nullptr;
+    // Deterministic storage-fault injection handed through to any tiered
+    // store this searcher installs (chaos bench / disk-fault tests).
+    FaultInjector* fault_injector = nullptr;
   };
 
   Searcher(std::string name, const Config& config, FeatureDb& features,
@@ -90,6 +96,35 @@ class Searcher {
   // Adopts the snapshot's high-water mark, so a subsequent CatchUpFromLog
   // replays exactly the missing suffix.
   void InstallFromSnapshot(const std::string& path);
+
+  // Tiered twins of the save/install pair. SaveTieredSnapshot writes the
+  // current index in the v4/v5 mmap layout (checksummed directory);
+  // InstallFromTieredSnapshot maps `path` and serves the partition through a
+  // TieredListStore sized to `resident_budget_bytes`, wiring in this
+  // searcher's registry and (when configured) fault injector. The mapping
+  // holds a shared flock on `path` for the index's lifetime, so the file
+  // must stay put until the next install swaps it out.
+  void SaveTieredSnapshot(const std::string& path) const;
+  void InstallFromTieredSnapshot(const std::string& path,
+                                 std::size_t resident_budget_bytes);
+
+  // Currently quarantined payload lists of the installed tiered index
+  // (0 when heap-resident / no index): the control plane's disk-health
+  // signal — past a threshold the controller re-installs this replica's
+  // snapshot from a healthy peer.
+  std::uint64_t tier_quarantined_lists() const;
+
+  // Background integrity scrub over the installed tiered store (no-op
+  // slices while the index is heap-resident). The provider re-resolves the
+  // store every slice, so controller repairs that swap the index are safe.
+  void StartTierScrub(const TierScrubConfig& config);
+  void StopTierScrub();
+  const TierScrubber* tier_scrubber() const { return scrubber_.get(); }
+
+  // Bench/chaos hook: drop the tiered store's residency + verification
+  // state, as if the page cache went cold — corruption written to the file
+  // at rest is only observable through a re-fault.
+  void DropTierResidency();
 
   // Simulated hard failure: flips the node's fail switch, stops the
   // consumer and discards the in-memory index and high-water mark — the
@@ -138,7 +173,11 @@ class Searcher {
   // the callback (the broker owns it in its per-request fan-out state).
   // `io_micros_out` is the tiered-serving twin: the cold-list fault time of
   // this scan (0 when the partition is RAM-resident), max-folded the same
-  // way into the blender's "searcher_io" stage.
+  // way into the blender's "searcher_io" stage. `tier_degraded_out`, when
+  // non-null, is incremented iff this scan skipped quarantined lists — the
+  // integrity rung of the degradation ladder; the broker folds it into the
+  // reply so the blender marks the response degraded (results are correct
+  // but drawn from fewer lists than requested).
   using SearchResult = AsyncResult<std::vector<SearchHit>>;
   using SearchCallback = std::function<void(SearchResult)>;
   void SearchAsync(FeatureVector query, std::size_t k, std::size_t nprobe,
@@ -146,7 +185,8 @@ class Searcher {
                    qos::Deadline deadline, obs::TraceContext parent,
                    SearchCallback on_done, Micros rpc_timeout_micros = 0,
                    std::atomic<Micros>* filter_micros_out = nullptr,
-                   std::atomic<Micros>* io_micros_out = nullptr);
+                   std::atomic<Micros>* io_micros_out = nullptr,
+                   std::atomic<std::uint32_t>* tier_degraded_out = nullptr);
 
   // In-process search (tests / exhaustive ground truth), bypassing the node.
   std::vector<SearchHit> SearchLocal(
@@ -249,6 +289,7 @@ class Searcher {
   const Micros batch_window_micros_;
   obs::Registry* registry_;
   obs::TraceSink* trace_sink_;
+  FaultInjector* fault_injector_;
   Histogram* scan_micros_;        // per-searcher scan latency
   Histogram* scan_stage_;         // shared jdvs_stage_micros{stage="searcher_scan"}
   Histogram* filter_stage_;       // shared jdvs_stage_micros{stage="searcher_filter"}
@@ -281,6 +322,12 @@ class Searcher {
   // Crash() can race the controller's recovery thread, so start/stop
   // serialize here. ConsumeLoop itself never takes this mutex (it only uses
   // writer_mu_ via ApplyUpdate), so joining the thread under it is safe.
+  // Scrubber lifecycle parallels the consumer's: start/stop may race the
+  // control plane, so they serialize on their own mutex. The scrubber holds
+  // only a provider closure over `this`, never a raw store pointer.
+  std::mutex scrub_mu_;
+  std::unique_ptr<TierScrubber> scrubber_;  // guarded by scrub_mu_
+
   std::mutex consumer_mu_;
   std::shared_ptr<Subscription> subscription_;  // guarded by consumer_mu_
   std::thread consumer_;                        // guarded by consumer_mu_

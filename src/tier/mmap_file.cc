@@ -1,12 +1,16 @@
 #include "tier/mmap_file.h"
 
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <utility>
 
+#include "common/logging.h"
+
 #if defined(__linux__) || defined(__APPLE__)
 #define JDVS_HAVE_MMAP 1
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -23,6 +27,22 @@ std::size_t PageSize() noexcept {
       static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
   return page == 0 ? 4096 : page;
 }
+
+int OpenRetry(const char* path) noexcept {
+  int fd;
+  do {
+    fd = ::open(path, O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+int FlockRetry(int fd, int operation) noexcept {
+  int rc;
+  do {
+    rc = ::flock(fd, operation);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
 #endif
 
 }  // namespace
@@ -33,6 +53,8 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
   data_ = std::exchange(other.data_, nullptr);
   size_ = std::exchange(other.size_, 0);
   mapped_ = std::exchange(other.mapped_, false);
+  locked_ = std::exchange(other.locked_, false);
+  fd_ = std::exchange(other.fd_, -1);
   heap_ = std::move(other.heap_);
   return *this;
 }
@@ -40,38 +62,78 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
 MmapFile::~MmapFile() {
 #if JDVS_HAVE_MMAP
   if (mapped_ && data_ != nullptr) {
-    ::munmap(data_, size_);
+    if (::munmap(data_, size_) != 0) {
+      // Leaks the address range but is otherwise survivable; it must not be
+      // silent — a bad unmap here usually means the mapping bookkeeping is
+      // wrong and the next map may land on top of it.
+      JDVS_LOG(kWarning)
+          << "munmap of " << size_ << " bytes failed: " << std::strerror(errno);
+    }
+  }
+  if (fd_ >= 0) {
+    // close() is called exactly once: on Linux the descriptor is released
+    // even when the call returns EINTR, so retrying could close a descriptor
+    // reused by another thread. Closing also drops the flock.
+    if (::close(fd_) != 0 && errno != EINTR) {
+      JDVS_LOG(kWarning)
+          << "close of mapped file descriptor failed: " << std::strerror(errno);
+    }
   }
 #endif
   data_ = nullptr;
   size_ = 0;
   mapped_ = false;
+  locked_ = false;
+  fd_ = -1;
 }
 
-MmapFile MmapFile::Open(const std::string& path) {
+MmapFile MmapFile::Open(const std::string& path, bool lock_shared) {
 #if JDVS_HAVE_MMAP
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = OpenRetry(path.c_str());
   if (fd < 0) throw MmapError("cannot open for reading: " + path);
   struct stat st {};
-  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+  if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    throw MmapError("cannot stat (or empty): " + path);
+    throw MmapError("cannot stat: " + path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw MmapError("not a regular file: " + path);
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    throw MmapError("empty file: " + path);
+  }
+  bool locked = false;
+  if (lock_shared) {
+    if (FlockRetry(fd, LOCK_SH | LOCK_NB) != 0) {
+      ::close(fd);
+      throw MmapError("file is locked by a writer (being rewritten?): " +
+                      path);
+    }
+    locked = true;
   }
   const auto bytes = static_cast<std::size_t>(st.st_size);
   void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
-  // The mapping holds its own reference; the descriptor is not needed after.
-  ::close(fd);
-  if (base == MAP_FAILED) throw MmapError("mmap failed: " + path);
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    throw MmapError("mmap failed: " + path);
+  }
+  // The descriptor is retained for the lifetime of the mapping: it anchors
+  // the advisory flock and serves Pread()'s syscall-path reads.
   MmapFile file;
   file.data_ = static_cast<std::uint8_t*>(base);
   file.size_ = bytes;
   file.mapped_ = true;
+  file.locked_ = locked;
+  file.fd_ = fd;
   return file;
 #else
   std::ifstream is(path, std::ios::binary | std::ios::ate);
   if (!is) throw MmapError("cannot open for reading: " + path);
   const auto bytes = static_cast<std::size_t>(is.tellg());
   if (bytes == 0) throw MmapError("empty file: " + path);
+  (void)lock_shared;  // no advisory locking on the heap fallback
   MmapFile file;
   file.heap_ = AllocateAligned<std::uint8_t>(bytes);
   is.seekg(0);
@@ -105,6 +167,32 @@ bool MmapFile::Advise(std::size_t offset, std::size_t length,
   (void)advice;
   return false;
 #endif
+}
+
+bool MmapFile::Pread(std::size_t offset, void* out, std::size_t length) const {
+  if (data_ == nullptr) return false;
+  if (offset > size_ || length > size_ - offset) return false;
+  if (length == 0) return true;
+#if JDVS_HAVE_MMAP
+  if (fd_ >= 0) {
+    auto* dst = static_cast<std::uint8_t*>(out);
+    std::size_t done = 0;
+    while (done < length) {
+      const ::ssize_t n =
+          ::pread(fd_, dst + done, length - done,
+                  static_cast<::off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // short file: truncated behind the mapping
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+#endif
+  std::memcpy(out, data_ + offset, length);
+  return true;
 }
 
 }  // namespace jdvs

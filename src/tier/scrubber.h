@@ -1,0 +1,92 @@
+// Background integrity scrub over a TieredListStore.
+//
+// Bitrot on a demand-paged index is only discovered when a query faults the
+// corrupt list in — which on a Zipfian workload can take arbitrarily long
+// for cold lists. The scrubber closes that gap: a low-priority thread walks
+// the payload directory round-robin, verifying each segment's CRC32C
+// through the syscall path (TieredListStore::ScrubList — pread, so no
+// SIGBUS exposure and no page-cache perturbation) and poisoning anything
+// corrupt. Quarantine then shows up in the replica's health signal and the
+// ClusterController repairs the replica from a healthy peer.
+//
+// Pacing reuses the io budget discipline of the serving path: each slice
+// verifies at most `lists_per_slice` lists and stops early once
+// `io_budget_micros_per_slice` of read+hash time has been charged, then
+// sleeps `poll_micros`. The store is re-resolved from the provider every
+// slice, so a controller re-installing the index (new store) never leaves
+// the scrubber holding a dangling pointer — it just picks up the fresh
+// store on its next slice.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "obs/registry.h"
+#include "tier/tiered_store.h"
+
+namespace jdvs {
+
+struct TierScrubConfig {
+  // Sleep between slices. The default walks ~160 lists/second.
+  Micros poll_micros = 50'000;
+  // Lists verified per slice (before the io budget is consulted).
+  std::size_t lists_per_slice = 8;
+  // Read+hash budget per slice; 0 = unlimited (bounded by lists_per_slice).
+  Micros io_budget_micros_per_slice = 0;
+  obs::Registry* registry = nullptr;  // nullptr = obs::Registry::Default()
+};
+
+class TierScrubber {
+ public:
+  // Returns the store to scrub, or nullptr when there is nothing tiered to
+  // verify right now (heap index installed, index mid-swap).
+  using StoreProvider = std::function<std::shared_ptr<TieredListStore>()>;
+
+  TierScrubber(StoreProvider provider, const TierScrubConfig& config);
+  ~TierScrubber();
+
+  TierScrubber(const TierScrubber&) = delete;
+  TierScrubber& operator=(const TierScrubber&) = delete;
+
+  void Start();
+  void Stop();
+
+  std::uint64_t lists_scrubbed() const {
+    return lists_scrubbed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t corrupt_found() const {
+    return corrupt_found_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cycles() const {
+    return cycles_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  const StoreProvider provider_;
+  const TierScrubConfig config_;
+
+  obs::Counter* lists_metric_;
+  obs::Counter* corrupt_metric_;
+  obs::Counter* cycles_metric_;
+
+  std::atomic<std::uint64_t> lists_scrubbed_{0};
+  std::atomic<std::uint64_t> corrupt_found_{0};
+  std::atomic<std::uint64_t> cycles_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::size_t cursor_ = 0;  // next list to verify (mod store size)
+  std::thread thread_;
+};
+
+}  // namespace jdvs

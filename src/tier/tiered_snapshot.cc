@@ -1,5 +1,6 @@
 #include "tier/tiered_snapshot.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -8,14 +9,25 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "vecmath/aligned.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#define JDVS_HAVE_FLOCK 1
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
 
 namespace jdvs {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4A44565349445831ULL;  // "JDVSIDX1"
 constexpr std::uint32_t kTieredVersion = 4;
+constexpr std::uint32_t kTieredVersionChecksummed = 5;
 constexpr std::uint64_t kSegmentAlign = kCacheLineBytes;
+static_assert(kTieredSnapshotVersion == kTieredVersionChecksummed);
 
 std::uint64_t AlignUp(std::uint64_t value) {
   return (value + kSegmentAlign - 1) & ~(kSegmentAlign - 1);
@@ -79,6 +91,7 @@ struct EntryMeta {
 // Everything a loader needs before it decides heap-vs-mapped for the
 // payload: the full head section plus where the payload region starts.
 struct ParsedHead {
+  std::uint32_t version = 0;
   std::uint64_t update_hwm = 0;
   std::uint64_t payload_base = 0;
   IvfIndexConfig config;
@@ -91,18 +104,35 @@ struct ParsedHead {
   std::vector<std::vector<float>> list_norms;
   std::vector<std::pair<CategoryId, std::uint64_t>> category_populations;
   std::uint64_t column_checksum = 0;
+  // v5: per-list CRC32C over each segment's exact payload bytes. Empty on
+  // v4 files (checksums absent).
+  std::vector<std::uint32_t> list_crcs;
 };
+
+// The file size the directory implies: payload_base when every list is
+// empty, otherwise the end of the furthest segment. The writer emits
+// nothing after the last segment, so any other size means the file was
+// rewritten or truncated under us.
+std::uint64_t ExpectedFileSize(const ParsedHead& head) {
+  std::uint64_t end = head.payload_base;
+  for (const ListDirEntry& dir : head.directory) {
+    if (dir.bytes == 0) continue;
+    end = std::max(end, head.payload_base + dir.rel_offset + dir.bytes);
+  }
+  return end;
+}
 
 ParsedHead ParseHead(std::istream& is, const std::string& path) {
   if (ReadPod<std::uint64_t>(is) != kMagic) {
     throw SnapshotError("bad snapshot magic: " + path);
   }
   const auto version = ReadPod<std::uint32_t>(is);
-  if (version != kTieredVersion) {
-    throw SnapshotError("not a v4 tiered snapshot (version " +
+  if (version != kTieredVersion && version != kTieredVersionChecksummed) {
+    throw SnapshotError("not a tiered snapshot (version " +
                         std::to_string(version) + "): " + path);
   }
   ParsedHead head;
+  head.version = version;
   head.update_hwm = ReadPod<std::uint64_t>(is);
   head.payload_base = ReadPod<std::uint64_t>(is);
   if (head.payload_base % kSegmentAlign != 0) {
@@ -153,12 +183,15 @@ ParsedHead ParseHead(std::istream& is, const std::string& path) {
     throw SnapshotError("v4 directory list count does not match quantizer");
   }
   head.directory.resize(num_lists);
+  const bool has_checksums = version >= kTieredVersionChecksummed;
+  if (has_checksums) head.list_crcs.reserve(num_lists);
   const std::uint64_t row_bytes = head.padded_dim * sizeof(float);
   std::uint64_t total_entries = 0;
   for (ListDirEntry& dir : head.directory) {
     dir.entry_count = ReadPod<std::uint64_t>(is);
     dir.rel_offset = ReadPod<std::uint64_t>(is);
     dir.bytes = ReadPod<std::uint64_t>(is);
+    if (has_checksums) head.list_crcs.push_back(ReadPod<std::uint32_t>(is));
     if (dir.rel_offset % kSegmentAlign != 0) {
       throw SnapshotError("v4 directory segment not 64-byte aligned");
     }
@@ -225,10 +258,53 @@ void VerifyFilters(const IvfIndex& index, const ParsedHead& head) {
   }
 }
 
+// Holds LOCK_EX on an existing snapshot file across a rewrite. A mapped
+// loader holds LOCK_SH for the lifetime of its mapping, so a deploy trying
+// to rewrite a file that a live index is scanning fails here, loudly,
+// before the first truncating byte.
+class ExclusiveWriteLock {
+ public:
+  explicit ExclusiveWriteLock(const std::string& path) {
+#if JDVS_HAVE_FLOCK
+    do {
+      fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    } while (fd_ < 0 && errno == EINTR);
+    if (fd_ < 0) return;  // no existing file: nothing can be mapping it
+    int rc;
+    do {
+      rc = ::flock(fd_, LOCK_EX | LOCK_NB);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw SnapshotError(
+          "snapshot file is mapped by a live index (shared flock held), "
+          "refusing to rewrite: " + path);
+    }
+#else
+    (void)path;
+#endif
+  }
+  ~ExclusiveWriteLock() {
+#if JDVS_HAVE_FLOCK
+    if (fd_ >= 0) ::close(fd_);
+#endif
+  }
+  ExclusiveWriteLock(const ExclusiveWriteLock&) = delete;
+  ExclusiveWriteLock& operator=(const ExclusiveWriteLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
 }  // namespace
 
 void SaveTieredSnapshot(const IvfIndex& index, const std::string& path,
-                        std::uint64_t update_hwm) {
+                        std::uint64_t update_hwm, std::uint32_t version) {
+  if (version != kTieredVersion && version != kTieredVersionChecksummed) {
+    throw SnapshotError("unsupported tiered snapshot version " +
+                        std::to_string(version));
+  }
   const std::size_t num_lists = index.num_lists();
   const std::uint64_t row_bytes = index.padded_dim() * sizeof(float);
 
@@ -241,6 +317,23 @@ void SaveTieredSnapshot(const IvfIndex& index, const std::string& path,
     dir.rel_offset = running;
     dir.bytes = dir.entry_count * row_bytes;
     running += AlignUp(dir.bytes);
+  }
+
+  // v5: CRC32C per segment, over the exact payload bytes the segment will
+  // contain (alignment padding between segments is not covered — it is
+  // never scanned). One extra pass over the rows, paid only at save time.
+  std::vector<std::uint32_t> list_crcs;
+  if (version >= kTieredVersionChecksummed) {
+    list_crcs.resize(num_lists, 0);
+    for (std::size_t list = 0; list < num_lists; ++list) {
+      std::uint32_t crc = 0;
+      index.ForEachScanRun(
+          list, [&](const LocalId* /*ids*/, const std::uint8_t* payload,
+                    const float* /*norms*/, std::size_t count) {
+            crc = Crc32c(payload, count * row_bytes, crc);
+          });
+      list_crcs[list] = crc;
+    }
   }
 
   // Head section in memory: its size determines payload_base.
@@ -278,10 +371,14 @@ void SaveTieredSnapshot(const IvfIndex& index, const std::string& path,
   });
 
   WritePod<std::uint64_t>(head, static_cast<std::uint64_t>(num_lists));
-  for (const ListDirEntry& dir : directory) {
+  for (std::size_t list = 0; list < num_lists; ++list) {
+    const ListDirEntry& dir = directory[list];
     WritePod<std::uint64_t>(head, dir.entry_count);
     WritePod<std::uint64_t>(head, dir.rel_offset);
     WritePod<std::uint64_t>(head, dir.bytes);
+    if (version >= kTieredVersionChecksummed) {
+      WritePod<std::uint32_t>(head, list_crcs[list]);
+    }
   }
   for (std::size_t list = 0; list < num_lists; ++list) {
     index.ForEachScanRun(
@@ -310,10 +407,13 @@ void SaveTieredSnapshot(const IvfIndex& index, const std::string& path,
   const std::uint64_t payload_base =
       AlignUp(kPrefixBytes + head_bytes.size());
 
+  // Refuses (throws) when a live mapping holds the shared lock; held until
+  // the rewrite below completes.
+  const ExclusiveWriteLock write_lock(path);
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw SnapshotError("cannot open for writing: " + path);
   WritePod(os, kMagic);
-  WritePod(os, kTieredVersion);
+  WritePod(os, version);
   WritePod<std::uint64_t>(os, update_hwm);
   WritePod<std::uint64_t>(os, payload_base);
   WriteRaw(os, head_bytes.data(), head_bytes.size());
@@ -355,17 +455,24 @@ std::unique_ptr<IvfIndex> LoadTieredSnapshot(const std::string& path,
   }();
   if (update_hwm != nullptr) *update_hwm = head.update_hwm;
 
+  // The shared flock outlives the mapping (it rides the retained fd inside
+  // MmapFile), so SaveTieredSnapshot's exclusive lock fails while any index
+  // is still serving from this file.
   MmapFile file = [&] {
     try {
-      return MmapFile::Open(path);
+      return MmapFile::Open(path, /*lock_shared=*/true);
     } catch (const MmapError& e) {
-      throw SnapshotError(std::string("cannot map v4 snapshot: ") + e.what());
+      throw SnapshotError(std::string("cannot map tiered snapshot: ") +
+                          e.what());
     }
   }();
-  for (const ListDirEntry& dir : head.directory) {
-    if (head.payload_base + dir.rel_offset + dir.bytes > file.size()) {
-      throw SnapshotError("v4 payload extent past end of file (truncated?)");
-    }
+  const std::uint64_t expected_size = ExpectedFileSize(head);
+  if (file.size() != expected_size) {
+    throw SnapshotError(
+        "tiered snapshot size disagrees with its directory (file " +
+        std::to_string(file.size()) + " bytes, directory implies " +
+        std::to_string(expected_size) +
+        " — truncated or rewritten under us?): " + path);
   }
 
   auto quantizer = std::make_shared<const CoarseQuantizer>(
@@ -405,8 +512,60 @@ std::unique_ptr<IvfIndex> LoadTieredSnapshot(const std::string& path,
   // The store owns the mapping; the frozen payload pointers installed above
   // stay valid because MmapFile moves transfer the mapping, never remap it.
   index->AttachTieredStore(std::make_shared<TieredListStore>(
-      std::move(file), std::move(extents), tier_config));
+      std::move(file), std::move(extents), std::move(head.list_crcs),
+      tier_config));
   return index;
+}
+
+TieredDirectoryInfo ReadTieredDirectory(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SnapshotError("cannot open for reading: " + path);
+  const ParsedHead head = ParseHead(is, path);
+  TieredDirectoryInfo info;
+  info.version = head.version;
+  info.has_checksums = !head.list_crcs.empty();
+  info.payload_base = head.payload_base;
+  info.segments.reserve(head.directory.size());
+  for (std::size_t list = 0; list < head.directory.size(); ++list) {
+    const ListDirEntry& dir = head.directory[list];
+    TieredSegmentInfo seg;
+    seg.list = static_cast<std::uint32_t>(list);
+    seg.offset = head.payload_base + dir.rel_offset;
+    seg.bytes = dir.bytes;
+    seg.entry_count = dir.entry_count;
+    if (info.has_checksums) seg.crc32c = head.list_crcs[list];
+    info.segments.push_back(seg);
+  }
+  return info;
+}
+
+TieredVerifyResult VerifyTieredSnapshot(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SnapshotError("cannot open for reading: " + path);
+  const ParsedHead head = ParseHead(is, path);
+  TieredVerifyResult result;
+  result.has_checksums = !head.list_crcs.empty();
+  if (!result.has_checksums) return result;
+  std::vector<char> buf(1 << 18);
+  for (std::size_t list = 0; list < head.directory.size(); ++list) {
+    const ListDirEntry& dir = head.directory[list];
+    if (dir.bytes == 0) continue;
+    is.clear();
+    is.seekg(static_cast<std::streamoff>(head.payload_base + dir.rel_offset));
+    std::uint32_t crc = 0;
+    for (std::uint64_t off = 0; off < dir.bytes;) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(dir.bytes - off, buf.size()));
+      ReadRaw(is, buf.data(), n);
+      crc = Crc32c(buf.data(), n, crc);
+      off += n;
+    }
+    ++result.checked;
+    if (crc != head.list_crcs[list]) {
+      result.corrupt_lists.push_back(static_cast<std::uint32_t>(list));
+    }
+  }
+  return result;
 }
 
 namespace internal {
@@ -431,11 +590,19 @@ std::unique_ptr<IvfIndex> LoadTieredSnapshotHeap(const std::string& path,
     is.clear();
     is.seekg(static_cast<std::streamoff>(head.payload_base + dir.rel_offset));
     if (!is) throw SnapshotError("v4 payload seek failed (truncated?)");
+    std::uint32_t crc = 0;
     for (std::uint64_t j = 0; j < dir.entry_count; ++j) {
       ReadRaw(is, row.data(), head.padded_dim * sizeof(float));
+      if (!head.list_crcs.empty()) {
+        crc = Crc32c(row.data(), head.padded_dim * sizeof(float), crc);
+      }
       const LocalId local = head.list_ids[list][static_cast<std::size_t>(j)];
       std::memcpy(features.data() + static_cast<std::size_t>(local) * head.dim,
                   row.data(), head.dim * sizeof(float));
+    }
+    if (!head.list_crcs.empty() && crc != head.list_crcs[list]) {
+      throw SnapshotError("payload checksum mismatch on list " +
+                          std::to_string(list) + " (bitrot?): " + path);
     }
   }
 

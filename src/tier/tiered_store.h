@@ -25,18 +25,37 @@
 // string of cold reads. At least one list is always served so a fully cold
 // query still returns results.
 //
+// Integrity: storage is treated as an adversary. When the snapshot carries
+// per-list CRC32C checksums (v5 directory), a list is verified on its first
+// fault-in after load or after re-residency — the page touch that faults the
+// data in doubles as the checksum walk, so a warmed hot path pays nothing.
+// The touch+verify runs under a scoped SIGBUS guard: an I/O error or a file
+// truncated behind the mapping surfaces as a typed TieredIoError for that
+// probe instead of process death. A list that fails its checksum or faults
+// is *quarantined* (atomic per-list poisoned flag): scans skip it and count
+// the skip so the response can be marked degraded, and the control plane
+// repairs the replica from a healthy peer when quarantine crosses its
+// threshold. ScrubList() verifies a segment through the syscall path
+// (pread), so a background scrubber can walk the file without perturbing
+// residency and without SIGBUS exposure.
+//
 // Concurrency: any number of threads may Pin/unpin concurrently (scans are
 // lock-free readers of the index itself; the store takes a short mutex per
-// list transition). The page-touch walk happens outside the lock.
+// list transition). The page-touch walk happens outside the lock; a list
+// mid-fault is in a `faulting` state and concurrent pinners wait on it, so
+// no scan ever reads a checksummed segment before verification finishes.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
@@ -44,6 +63,16 @@
 #include "tier/mmap_file.h"
 
 namespace jdvs {
+
+class FaultInjector;
+
+// Typed failure for payload I/O: SIGBUS under the mapping (page loss,
+// truncation behind the mapping) or a pread error during scrub. The store
+// converts these into quarantine + skip on the query path; the type carries
+// the diagnosis into logs and tools.
+struct TieredIoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct TieredStoreConfig {
   // Target resident payload bytes; 0 = unlimited (first touch faults a list
@@ -55,6 +84,10 @@ struct TieredStoreConfig {
   bool drop_pages_on_load = true;
   obs::Registry* registry = nullptr;  // nullptr = obs::Registry::Default()
   const Clock* clock = nullptr;       // nullptr = MonotonicClock::Instance()
+  // Optional deterministic storage-fault injection (tests, chaos bench):
+  // fault-ins consult injector->DecideStorage(node_name).
+  FaultInjector* fault_injector = nullptr;
+  std::string node_name;
 };
 
 // Per-query tier accounting, folded into the searcher_io flight stage.
@@ -62,6 +95,7 @@ struct TierScanStats {
   std::uint32_t lists_hit = 0;      // probed lists already resident
   std::uint32_t lists_faulted = 0;  // probed lists faulted in
   std::uint32_t probes_dropped = 0; // probes dropped for io budget
+  std::uint32_t lists_quarantined = 0;  // probes skipped or newly poisoned
   Micros fault_micros = 0;          // wall time spent faulting
 };
 
@@ -76,6 +110,11 @@ struct TieredStoreStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t probes_dropped = 0;
+  bool has_checksums = false;
+  std::uint64_t quarantined_lists = 0;  // currently poisoned
+  std::uint64_t quarantine_events = 0;  // lists ever poisoned
+  std::uint64_t quarantine_skips = 0;   // probes skipped on poisoned lists
+  std::uint64_t io_errors = 0;          // SIGBUS/pread failures survived
 };
 
 class TieredListStore {
@@ -86,16 +125,33 @@ class TieredListStore {
     std::uint64_t bytes = 0;
   };
 
+  // Outcome of a scrub pass over one list.
+  enum class ScrubStatus {
+    kOk,                  // checksum verified
+    kEmpty,               // empty segment, nothing to verify
+    kNoChecksum,          // snapshot has no checksums (v4)
+    kAlreadyQuarantined,  // previously poisoned, left alone
+    kIoError,             // read failed → quarantined
+    kCorrupt,             // checksum mismatch → quarantined
+  };
+
   // Takes ownership of the mapping. `extents[i]` is list i's payload
-  // segment; empty lists use bytes == 0.
+  // segment; empty lists use bytes == 0. `checksums` (may be empty = no
+  // integrity data, v4 snapshots) is the per-list CRC32C over the exact
+  // payload bytes of each segment.
   TieredListStore(MmapFile file, std::vector<ListExtent> extents,
+                  std::vector<std::uint32_t> checksums,
                   const TieredStoreConfig& config);
+  TieredListStore(MmapFile file, std::vector<ListExtent> extents,
+                  const TieredStoreConfig& config)
+      : TieredListStore(std::move(file), std::move(extents), {}, config) {}
 
   TieredListStore(const TieredListStore&) = delete;
   TieredListStore& operator=(const TieredListStore&) = delete;
 
-  // RAII pin over a prefix of the probe set passed to Pin(). While alive,
-  // none of the pinned lists can be evicted.
+  // RAII pin over the subset of the Pin() probe set that was actually
+  // admitted (quarantined lists are skipped, over-budget tails dropped).
+  // While alive, none of the pinned lists can be evicted.
   class PinGuard {
    public:
     PinGuard() = default;
@@ -105,8 +161,11 @@ class TieredListStore {
     PinGuard& operator=(const PinGuard&) = delete;
     ~PinGuard();
 
-    // Number of leading entries of the Pin() probe set that are pinned and
-    // scannable; the caller truncates its probe loop to this.
+    // The pinned, scannable lists, in probe order. Not necessarily a prefix
+    // of the Pin() argument: a quarantined list mid-set is skipped.
+    const std::vector<std::uint32_t>& pinned() const noexcept {
+      return pinned_;
+    }
     std::size_t num_pinned() const noexcept { return pinned_.size(); }
 
    private:
@@ -118,9 +177,22 @@ class TieredListStore {
   // Pins `lists` in order, faulting cold ones. `io_budget_micros` bounds the
   // accumulated fault time: when exceeded, the remaining (coldest-ranked
   // last) probes are dropped and counted, but the first list is always
-  // served. 0 = unlimited. `stats` (optional) receives per-call accounting.
+  // served. 0 = unlimited. Quarantined lists are skipped (never scanned,
+  // never fatal). `stats` (optional) receives per-call accounting.
   PinGuard Pin(std::span<const std::uint32_t> lists, Micros io_budget_micros,
                TierScanStats* stats);
+
+  // Verifies one list's payload against its checksum through the syscall
+  // path (pread) — no SIGBUS exposure, no residency perturbation. Poisons
+  // the list on mismatch or read failure. `elapsed_micros` (optional)
+  // receives the wall time so a scrubber can charge an io budget.
+  ScrubStatus ScrubList(std::uint32_t list, Micros* elapsed_micros = nullptr);
+
+  // Drops every unpinned resident list and clears verification state, as if
+  // the page cache went cold (bench/chaos hook: corruption written to the
+  // file at rest is only observable through a re-fault, and re-residency
+  // must re-verify).
+  void DropResidency();
 
   TieredStoreStats Stats() const;
   // statusz section body.
@@ -128,15 +200,25 @@ class TieredListStore {
 
   const MmapFile& file() const noexcept { return file_; }
   std::size_t num_lists() const noexcept { return states_.size(); }
+  bool has_checksums() const noexcept { return !checksums_.empty(); }
   // List i's payload extent; immutable after construction (inspection).
   ListExtent extent(std::size_t list) const { return states_[list].extent; }
+  bool poisoned(std::size_t list) const {
+    return poisoned_[list].load(std::memory_order_acquire) != 0;
+  }
+  // Currently quarantined list count (control-plane health signal).
+  std::uint64_t quarantined_lists() const {
+    return quarantined_now_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ListState {
     ListExtent extent;
     std::uint32_t pin_count = 0;
     bool resident = false;
-    bool ref = false;  // clock second-chance bit
+    bool ref = false;       // clock second-chance bit
+    bool verified = false;  // checksum verified for the current residency
+    bool faulting = false;  // fault-in + verification in flight
   };
 
   // Evicts unpinned resident lists until `need` more bytes fit under the
@@ -144,16 +226,32 @@ class TieredListStore {
   // `dropped` for the caller to madvise outside the lock. Lock held.
   void EvictForLocked(std::size_t need, std::vector<ListExtent>& dropped);
   void Unpin(std::span<const std::uint32_t> lists);
-  // Walks the extent's pages so the file data is actually faulted in.
-  void TouchExtent(const ListExtent& extent) const;
+  // Poisons `list` and rolls back its in-flight admission (lock taken
+  // inside). `io_error` selects the error counter. Returns the extent so
+  // the caller can drop its pages outside the lock.
+  void QuarantineFromFault(std::uint32_t list, bool io_error,
+                           const char* reason);
+  // Poisons `list` from the scrub path; un-residents it when unpinned.
+  void QuarantineFromScrub(std::uint32_t list, bool io_error,
+                           const char* reason);
+  void NotePoisonedLocked(std::uint32_t list, bool io_error,
+                          const char* reason);
+  // Walks the extent's pages (and computes the CRC when `crc_out` is
+  // non-null) under a scoped SIGBUS guard. Returns false when the access
+  // faulted — truncated file, lost page, I/O error.
+  bool TouchExtentGuarded(const ListExtent& extent,
+                          std::uint32_t* crc_out) const;
 
   MmapFile file_;
   const TieredStoreConfig config_;
   const Clock* clock_;
   std::size_t payload_bytes_ = 0;
+  std::vector<std::uint32_t> checksums_;  // empty = no integrity data (v4)
 
   mutable std::mutex mu_;
+  std::condition_variable fault_cv_;
   std::vector<ListState> states_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> poisoned_;
   std::size_t resident_bytes_ = 0;
   std::size_t resident_lists_ = 0;
   std::size_t clock_hand_ = 0;
@@ -164,13 +262,21 @@ class TieredListStore {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> probes_dropped_{0};
+  std::atomic<std::uint64_t> quarantined_now_{0};
+  std::atomic<std::uint64_t> quarantine_events_{0};
+  std::atomic<std::uint64_t> quarantine_skips_{0};
+  std::atomic<std::uint64_t> io_errors_{0};
 
   obs::Counter* hits_metric_;
   obs::Counter* misses_metric_;
   obs::Counter* evictions_metric_;
   obs::Counter* probes_dropped_metric_;
+  obs::Counter* quarantine_metric_;
+  obs::Counter* quarantine_skips_metric_;
+  obs::Counter* io_errors_metric_;
   obs::Gauge* resident_bytes_metric_;
   obs::Gauge* budget_bytes_metric_;
+  obs::Gauge* quarantine_lists_metric_;
   Histogram* fault_micros_metric_;
 };
 

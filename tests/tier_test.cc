@@ -1,16 +1,21 @@
-// Tests for the tiered memory/disk subsystem: v4 snapshot round trips,
-// mapped-vs-heap bit-exactness, corruption rejection, and the hot-list
-// residency cache (hits/misses, clock eviction, pin-wins, io budget).
+// Tests for the tiered memory/disk subsystem: v4/v5 snapshot round trips,
+// mapped-vs-heap bit-exactness, corruption rejection, the hot-list
+// residency cache (hits/misses, clock eviction, pin-wins, io budget), and
+// the integrity layer (checksums, quarantine, SIGBUS survival, scrub).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <thread>
 
+#include "common/crc32c.h"
 #include "index/digest.h"
 #include "index/full_index_builder.h"
 #include "index/snapshot.h"
+#include "net/fault_injector.h"
+#include "tier/scrubber.h"
 #include "tier/tiered_snapshot.h"
 #include "tier/tiered_store.h"
 #include "workload/catalog_gen.h"
@@ -476,6 +481,333 @@ TEST_F(TierTest, ConcurrentSearchOnBudgetedMappedIndex) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_GT(mapped->tiered_store()->Stats().evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity layer: CRC32C, checksummed v5 snapshots, quarantine, SIGBUS
+// survival, scrub, storage fault injection.
+// ---------------------------------------------------------------------------
+
+TEST_F(TierTest, Crc32cKnownAnswer) {
+  // RFC 3720 check value for the Castagnoli polynomial.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32c(check, 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // Incremental == one-shot.
+  const std::uint32_t part = Crc32c(check, 4);
+  EXPECT_EQ(Crc32c(check + 4, 5, part), Crc32c(check, 9));
+}
+
+TEST_F(TierTest, MmapFileTypedErrors) {
+  // Zero-length file.
+  const std::string empty = PathFor("empty");
+  { std::ofstream os(empty, std::ios::binary); }
+  EXPECT_THROW(MmapFile::Open(empty), MmapError);
+  // Not a regular file (a directory).
+  EXPECT_THROW(MmapFile::Open(dir_.string()), MmapError);
+  // Missing file.
+  EXPECT_THROW(MmapFile::Open(PathFor("missing")), MmapError);
+}
+
+TEST_F(TierTest, V5RoundTripCarriesChecksumsAndMatchesV4) {
+  Built built;
+  const std::string v4 = PathFor("index.v4");
+  const std::string v5 = PathFor("index.v5");
+  SaveTieredSnapshot(*built.index, v4, /*update_hwm=*/3, /*version=*/4);
+  SaveTieredSnapshot(*built.index, v5, /*update_hwm=*/3);
+
+  const auto from_v4 = LoadTieredSnapshot(v4, TieredStoreConfig{});
+  const auto from_v5 = LoadTieredSnapshot(v5, TieredStoreConfig{});
+  EXPECT_FALSE(from_v4->tiered_store()->has_checksums());
+  EXPECT_TRUE(from_v5->tiered_store()->has_checksums());
+  EXPECT_EQ(ComputeIndexDigest(*from_v4).content_hash,
+            ComputeIndexDigest(*from_v5).content_hash);
+
+  // The generic (heap) loader dispatches v5 too and verifies during copy.
+  const auto heap = LoadIndexSnapshot(v5);
+  EXPECT_EQ(ComputeIndexDigest(*heap).content_hash,
+            ComputeIndexDigest(*from_v5).content_hash);
+
+  // The directory reports matching metadata and the offline verify is clean.
+  const TieredDirectoryInfo dir = ReadTieredDirectory(v5);
+  EXPECT_EQ(dir.version, 5u);
+  EXPECT_TRUE(dir.has_checksums);
+  EXPECT_FALSE(ReadTieredDirectory(v4).has_checksums);
+  const TieredVerifyResult verify = VerifyTieredSnapshot(v5);
+  EXPECT_TRUE(verify.has_checksums);
+  EXPECT_GT(verify.checked, 0u);
+  EXPECT_TRUE(verify.corrupt_lists.empty());
+}
+
+TEST_F(TierTest, FileSizeDisagreeingWithDirectoryRefusesToMap) {
+  Built built;
+  const std::string path = PathFor("index.v5");
+  SaveTieredSnapshot(*built.index, path);
+  // Append garbage: the size no longer matches the directory's last extent.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write("xx", 2);
+  }
+  EXPECT_THROW(LoadTieredSnapshot(path, TieredStoreConfig{}), SnapshotError);
+}
+
+#if defined(__linux__) || defined(__APPLE__)
+TEST_F(TierTest, SaveRefusesFileMappedByLiveIndex) {
+  Built built;
+  const std::string path = PathFor("index.v5");
+  SaveTieredSnapshot(*built.index, path);
+  {
+    // The mapped loader holds a shared flock; rewriting under it must fail.
+    const auto mapped = LoadTieredSnapshot(path, TieredStoreConfig{});
+    EXPECT_THROW(SaveTieredSnapshot(*built.index, path), SnapshotError);
+  }
+  // Mapping gone, lock released: the rewrite goes through.
+  SaveTieredSnapshot(*built.index, path);
+  // And the loader refuses a file a live mapping still flocks, from the
+  // other side: a concurrent second mapping is fine (shared lock).
+  const auto a = LoadTieredSnapshot(path, TieredStoreConfig{});
+  const auto b = LoadTieredSnapshot(path, TieredStoreConfig{});
+  EXPECT_TRUE(a->tiered_store()->file().locked());
+}
+#endif
+
+// Flips one bit inside the first non-empty payload segment of `path` and
+// returns the victim list.
+std::uint32_t CorruptFirstSegment(const std::string& path,
+                                  std::uint64_t seed = 42) {
+  const TieredDirectoryInfo dir = ReadTieredDirectory(path);
+  for (const TieredSegmentInfo& seg : dir.segments) {
+    if (seg.bytes == 0) continue;
+    EXPECT_TRUE(FaultInjector::FlipBit(path, seg.offset, seg.bytes, seed));
+    return seg.list;
+  }
+  ADD_FAILURE() << "no non-empty segment to corrupt";
+  return 0;
+}
+
+// image_id -> exact distance over the whole partition: the "never a wrong
+// answer" oracle for degraded queries.
+std::map<ImageId, float> ExhaustiveDistances(const IvfIndex& index,
+                                             FeatureView query) {
+  std::map<ImageId, float> truth;
+  for (const SearchHit& hit : index.SearchExhaustive(query, index.size())) {
+    truth[hit.image_id] = hit.distance;
+  }
+  return truth;
+}
+
+TEST_F(TierTest, BitFlipQuarantinesAtFaultInAndQueriesDegradeCorrectly) {
+  Built built;
+  const std::string path = PathFor("index.v5");
+  SaveTieredSnapshot(*built.index, path);
+  const std::uint32_t victim = CorruptFirstSegment(path);
+
+  const auto mapped = LoadTieredSnapshot(path, TieredStoreConfig{});
+  TieredListStore& store = *mapped->tiered_store_shared();
+  ASSERT_TRUE(store.has_checksums());
+
+  // The heap loader verifies during copy: corrupt file refuses to restore.
+  EXPECT_THROW(LoadIndexSnapshot(path), SnapshotError);
+  // The offline verifier pins the same list.
+  const TieredVerifyResult verify = VerifyTieredSnapshot(path);
+  ASSERT_EQ(verify.corrupt_lists.size(), 1u);
+  EXPECT_EQ(verify.corrupt_lists[0], victim);
+
+  // Serving: every query completes; the corrupt list is quarantined on its
+  // first fault-in and skipped after; no returned distance is ever wrong.
+  std::uint32_t degraded_queries = 0;
+  for (ProductId pid = 1; pid <= 40; ++pid) {
+    const auto record = built.catalog.Get(pid);
+    const auto query = built.embedder.ExtractQuery(pid, record->category, pid);
+    TierScanStats tstats;
+    const auto hits = mapped->Search(query, 5, /*nprobe=*/16,
+                                     kNoCategoryFilter, nullptr, nullptr,
+                                     /*io_budget_micros=*/0, &tstats);
+    if (tstats.lists_quarantined > 0) ++degraded_queries;
+    const auto truth = ExhaustiveDistances(*built.index, query);
+    for (const SearchHit& hit : hits) {
+      const auto it = truth.find(hit.image_id);
+      ASSERT_NE(it, truth.end());
+      // The IVF scan and the exhaustive oracle accumulate the same distance
+      // through different float orderings; a corrupt payload would be off by
+      // whole units, not ulps.
+      EXPECT_NEAR(hit.distance, it->second, 0.01f);
+    }
+  }
+  EXPECT_GT(degraded_queries, 0u);
+  EXPECT_EQ(store.quarantined_lists(), 1u);
+  EXPECT_TRUE(store.poisoned(victim));
+  const TieredStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.quarantine_events, 1u);
+  EXPECT_GT(stats.quarantine_skips, 0u);
+  // Scrub agrees: the poisoned list is left alone, everything else is ok.
+  EXPECT_EQ(store.ScrubList(victim),
+            TieredListStore::ScrubStatus::kAlreadyQuarantined);
+}
+
+TEST_F(TierTest, ScrubFindsCorruptionBeforeAnyQueryTouchesIt) {
+  Built built;
+  const std::string path = PathFor("index.v5");
+  SaveTieredSnapshot(*built.index, path);
+  const std::uint32_t victim = CorruptFirstSegment(path);
+
+  const auto mapped = LoadTieredSnapshot(path, TieredStoreConfig{});
+  TieredListStore& store = *mapped->tiered_store_shared();
+  // No query has run; the scrub walk discovers the corruption cold.
+  bool found = false;
+  for (std::uint32_t i = 0; i < store.num_lists(); ++i) {
+    const auto status = store.ScrubList(i);
+    if (i == victim) {
+      EXPECT_EQ(status, TieredListStore::ScrubStatus::kCorrupt);
+      found = true;
+    } else {
+      EXPECT_NE(status, TieredListStore::ScrubStatus::kCorrupt);
+      EXPECT_NE(status, TieredListStore::ScrubStatus::kIoError);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(store.poisoned(victim));
+  // Queries after the scrub skip the poisoned list without ever faulting it.
+  const auto record = built.catalog.Get(1);
+  const auto query = built.embedder.ExtractQuery(1, record->category, 1);
+  const auto hits = mapped->Search(query, 5, /*nprobe=*/16);
+  EXPECT_FALSE(hits.empty());
+}
+
+#if defined(__linux__)
+TEST_F(TierTest, TruncationBehindMappingSurvivesAsQuarantine) {
+  Built built;
+  const std::string path = PathFor("index.v5");
+  SaveTieredSnapshot(*built.index, path);
+
+  const auto mapped = LoadTieredSnapshot(path, TieredStoreConfig{});
+  TieredListStore& store = *mapped->tiered_store_shared();
+  // Find a list whose extent will fall past the truncated EOF.
+  const TieredDirectoryInfo dir = ReadTieredDirectory(path);
+  const std::uintmax_t cut = std::filesystem::file_size(path) / 2;
+  std::uint32_t victim = UINT32_MAX;
+  for (const TieredSegmentInfo& seg : dir.segments) {
+    if (seg.bytes > 0 && seg.offset + seg.bytes > cut) {
+      victim = seg.list;
+      break;
+    }
+  }
+  ASSERT_NE(victim, UINT32_MAX);
+
+  // Truncate the file behind the live mapping (an flock is advisory: a
+  // hostile actor — or a full disk — does not ask), then force re-faults.
+  store.DropResidency();
+  std::filesystem::resize_file(path, cut);
+
+  // The guarded fault-in takes the SIGBUS, quarantines, and the query path
+  // survives: the pin simply skips the victim.
+  TierScanStats stats;
+  const std::uint32_t probes[] = {victim};
+  {
+    const auto guard = store.Pin(probes, 0, &stats);
+    EXPECT_EQ(guard.num_pinned(), 0u);
+  }
+  EXPECT_EQ(stats.lists_quarantined, 1u);
+  EXPECT_TRUE(store.poisoned(victim));
+  EXPECT_GT(store.Stats().io_errors, 0u);
+
+  // End-to-end: searches still complete (lists before the cut still serve).
+  const auto record = built.catalog.Get(1);
+  const auto query = built.embedder.ExtractQuery(1, record->category, 1);
+  const auto hits = mapped->Search(query, 5, /*nprobe=*/16);
+  EXPECT_FALSE(hits.empty());
+}
+#endif
+
+TEST_F(TierTest, FailNextFaultInInjectsOneQuarantine) {
+  Built built;
+  const std::string path = PathFor("index.v5");
+  SaveTieredSnapshot(*built.index, path);
+
+  FaultInjector injector(7);
+  TieredStoreConfig config;
+  config.fault_injector = &injector;
+  config.node_name = "searcher-under-test";
+  const auto mapped = LoadTieredSnapshot(path, config);
+  TieredListStore& store = *mapped->tiered_store_shared();
+
+  StorageFaults faults;
+  faults.fail_next_fault_in = true;
+  injector.SetStorage("searcher-under-test", faults);
+
+  // First cold fault-in fails (one-shot); later fault-ins are clean.
+  const auto record = built.catalog.Get(1);
+  const auto query = built.embedder.ExtractQuery(1, record->category, 1);
+  TierScanStats tstats;
+  const auto hits = mapped->Search(query, 5, /*nprobe=*/16, kNoCategoryFilter,
+                                   nullptr, nullptr, 0, &tstats);
+  EXPECT_FALSE(hits.empty());
+  EXPECT_EQ(store.quarantined_lists(), 1u);
+  EXPECT_EQ(injector.storage_faults_injected(), 1u);
+  EXPECT_GE(tstats.lists_quarantined, 1u);
+
+  // The rest of the store still faults in and serves normally.
+  for (ProductId pid = 2; pid <= 10; ++pid) {
+    const auto r = built.catalog.Get(pid);
+    const auto q = built.embedder.ExtractQuery(pid, r->category, pid);
+    EXPECT_FALSE(mapped->Search(q, 5, 16).empty());
+  }
+  EXPECT_EQ(store.quarantined_lists(), 1u);  // no further poisoning
+}
+
+TEST_F(TierTest, ConcurrentScrubAndServingScans) {
+  // TSan target: a scrubber walking checksums through pread while serving
+  // threads pin/fault/evict the same lists through the mapping.
+  const std::string path = PathFor("payload.bin");
+  auto extents = WriteSyntheticPayload(path, 8);
+  std::vector<std::uint32_t> checksums;
+  {
+    const MmapFile probe = MmapFile::Open(path);
+    for (const auto& extent : extents) {
+      checksums.push_back(Crc32c(probe.data() + extent.offset,
+                                 static_cast<std::size_t>(extent.bytes)));
+    }
+  }
+  obs::Registry registry;
+  TieredStoreConfig config;
+  config.resident_bytes_budget = 2 * kSynListBytes;  // constant eviction
+  config.registry = &registry;
+  auto store = std::make_shared<TieredListStore>(
+      MmapFile::Open(path), std::move(extents), std::move(checksums), config);
+
+  TierScrubConfig sc;
+  sc.poll_micros = 100;
+  sc.lists_per_slice = 8;
+  sc.registry = &registry;
+  TierScrubber scrubber([&store] { return store; }, sc);
+  scrubber.Start();
+
+  std::atomic<int> bad_bytes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&store, &bad_bytes, t] {
+      for (int i = 0; i < 300; ++i) {
+        const std::uint32_t probes[] = {
+            static_cast<std::uint32_t>((i + t) % 8),
+            static_cast<std::uint32_t>((i * 5 + 2 * t) % 8)};
+        const auto guard = store->Pin(probes, 0, nullptr);
+        for (const std::uint32_t list : guard.pinned()) {
+          const auto extent = store->extent(list);
+          const std::uint8_t* data = store->file().data() + extent.offset;
+          const auto want = static_cast<std::uint8_t>(list * 17 + 1);
+          if (data[0] != want || data[extent.bytes - 1] != want) {
+            bad_bytes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  scrubber.Stop();
+  EXPECT_EQ(bad_bytes.load(), 0);
+  EXPECT_GT(scrubber.lists_scrubbed(), 0u);
+  EXPECT_EQ(scrubber.corrupt_found(), 0u);
+  EXPECT_EQ(store->quarantined_lists(), 0u);
 }
 
 }  // namespace

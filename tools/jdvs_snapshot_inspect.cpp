@@ -1,7 +1,11 @@
 // jdvs_snapshot_inspect — load an index snapshot and print its contents
 // summary plus a content digest (replica verification).
 //
-//   jdvs_snapshot_inspect index.snap [--pq]
+//   jdvs_snapshot_inspect index.snap [--pq] [--verify]
+//
+// --verify (tiered v4/v5 files) recomputes every payload segment's CRC32C
+// against the directory and reports per-list status; exits nonzero on any
+// mismatch, so a deploy pipeline can gate on it.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -27,7 +31,40 @@ bool PeekSnapshotVersion(const std::string& path, std::uint32_t* version) {
 // v4 tiered snapshots get a layout-aware report: per-list payload directory,
 // segment alignment check, and the resident(head)-vs-disk(payload) byte
 // split. v1/v2/v3 keep the classic report byte for byte.
-int InspectTiered(const std::string& path) {
+// Offline integrity walk (no mapping, no load): recompute each segment's
+// CRC32C through buffered reads and compare against the directory.
+int VerifyTiered(const std::string& path) {
+  using namespace jdvs;
+  const TieredDirectoryInfo dir = ReadTieredDirectory(path);
+  std::printf("%s: tiered snapshot v%u, %zu payload segments\n", path.c_str(),
+              dir.version, dir.segments.size());
+  if (!dir.has_checksums) {
+    std::printf("  no checksums in directory (v4 file) — nothing to verify\n");
+    return 0;
+  }
+  const TieredVerifyResult result = VerifyTieredSnapshot(path);
+  std::size_t empty = 0;
+  for (const TieredSegmentInfo& seg : dir.segments) {
+    if (seg.bytes == 0) ++empty;
+  }
+  for (const std::uint32_t list : result.corrupt_lists) {
+    const TieredSegmentInfo& seg = dir.segments[list];
+    std::printf("  list %u: CORRUPT (%llu bytes at offset %llu, expected "
+                "crc32c %08x)\n",
+                list, (unsigned long long)seg.bytes,
+                (unsigned long long)seg.offset, seg.crc32c);
+  }
+  std::printf("  verified %zu segments (%zu empty): %zu corrupt\n",
+              result.checked, empty, result.corrupt_lists.size());
+  if (!result.corrupt_lists.empty()) {
+    std::printf("  INTEGRITY FAILURE — do not deploy this file\n");
+    return 1;
+  }
+  std::printf("  integrity ok\n");
+  return 0;
+}
+
+int InspectTiered(const std::string& path, std::uint32_t version) {
   using namespace jdvs;
   std::uint64_t update_hwm = 0;
   TieredStoreConfig tier_config;
@@ -57,7 +94,8 @@ int InspectTiered(const std::string& path) {
   const std::uint64_t head_bytes = payload_base;
   const std::uint64_t ram_arrays = stats.total_images * 8ULL;
 
-  std::printf("%s: flat IVF snapshot (v4 tiered)\n", path.c_str());
+  std::printf("%s: flat IVF snapshot (v%u tiered%s)\n", path.c_str(), version,
+              store.has_checksums() ? ", checksummed" : "");
   std::printf("  update hwm:     %llu\n", (unsigned long long)update_hwm);
   std::printf("  dim:            %zu\n", index->dim());
   std::printf("  entries:        %zu (%zu valid)\n", stats.total_images,
@@ -109,8 +147,13 @@ int main(int argc, char** argv) {
       std::printf("  PQ: M=%zu, Ks=%zu\n", index->pq().num_subspaces(),
                   index->pq().codebook_size());
     } else if (std::uint32_t version = 0;
-               PeekSnapshotVersion(path, &version) && version == 4) {
-      return InspectTiered(path);
+               PeekSnapshotVersion(path, &version) &&
+               (version == 4 || version == 5)) {
+      if (flags.GetBool("verify", false)) return VerifyTiered(path);
+      return InspectTiered(path, version);
+    } else if (flags.GetBool("verify", false)) {
+      std::fprintf(stderr, "error: --verify requires a tiered (v4/v5) file\n");
+      return 2;
     } else {
       std::uint64_t update_hwm = 0;
       const auto index =
